@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Each module in this directory regenerates one table/figure of the
+reconstructed evaluation (see DESIGN.md).  Every test prints its table,
+archives it under ``benchmarks/results/``, and asserts the *shape* of the
+paper's claim (who wins, roughly by how much) -- not absolute numbers,
+which depend on the simulated device model.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def shape_check():
+    """Collect shape assertions and report them together.
+
+    Benchmarks assert claim *shapes*; collecting failures (rather than
+    stopping at the first) makes a mismatch report read like an
+    experiment log.
+    """
+    failures: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            failures.append(message)
+
+    yield check
+    assert not failures, "shape mismatches:\n- " + "\n- ".join(failures)

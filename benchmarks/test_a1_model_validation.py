@@ -1,0 +1,97 @@
+"""A1 (extension) -- analytical model vs measured engine.
+
+The design-space papers this system builds on lean on closed-form cost
+models to navigate tuning; :mod:`repro.analysis` implements those models
+for this engine.  This experiment is the honesty check: for each policy,
+predict tree depth, write amplification, and lookup cost, then measure
+them on a real run and report the ratio.  The shape requirement is that
+every prediction is directionally right and within first-order tolerance
+(2.5x), which is what makes the tuning advisor trustworthy.
+"""
+
+from repro.analysis.model import CostModel
+from repro.bench import EXPERIMENT_SCALE, ExperimentResult, record_experiment
+from repro.config import CompactionStyle, baseline_config
+from repro.core.engine import AcheronEngine
+from repro.metrics.amplification import write_amplification
+
+ENTRIES = 30_000
+LOOKUPS = 2_000
+
+
+def _measure(policy: CompactionStyle) -> dict:
+    config = baseline_config(policy=policy, trivial_moves=False, **EXPERIMENT_SCALE)
+    engine = AcheronEngine(config)
+    for i in range(ENTRIES):
+        engine.put((i * 2654435761) % ENTRIES, i)
+    engine.flush()
+
+    import numpy as np
+
+    rng = np.random.default_rng(0xA1)
+    stats = engine.disk.stats
+    before = stats.pages_read
+    for _ in range(LOOKUPS):
+        engine.get(int(rng.integers(0, ENTRIES)))
+    pages_per_hit = (stats.pages_read - before) / LOOKUPS
+
+    measured = {
+        "levels": engine.tree.deepest_nonempty_level(),
+        "wa": write_amplification(engine.tree),
+        "lookup": pages_per_hit,
+    }
+    engine.close()
+    return measured
+
+
+def test_a1_model_validation(benchmark, shape_check):
+    rows = []
+    ratios = []
+
+    def run():
+        for policy in (
+            CompactionStyle.LEVELING,
+            CompactionStyle.LAZY_LEVELING,
+            CompactionStyle.TIERING,
+        ):
+            config = baseline_config(policy=policy, trivial_moves=False, **EXPERIMENT_SCALE)
+            model = CostModel(config)
+            predicted = {
+                "levels": model.levels(ENTRIES),
+                "wa": model.write_amplification(ENTRIES),
+                "lookup": model.point_lookup_pages(ENTRIES, exists=True),
+            }
+            measured = _measure(policy)
+            for metric in ("levels", "wa", "lookup"):
+                ratio = measured[metric] / predicted[metric] if predicted[metric] else 0.0
+                ratios.append((policy.value, metric, ratio))
+                rows.append(
+                    [
+                        policy.value,
+                        metric,
+                        round(predicted[metric], 3),
+                        round(measured[metric], 3),
+                        round(ratio, 3),
+                    ]
+                )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    record_experiment(
+        ExperimentResult(
+            exp_id="A1",
+            title=f"Cost model vs measurement ({ENTRIES} entries, {LOOKUPS} lookups)",
+            headers=["policy", "metric", "predicted", "measured", "measured/predicted"],
+            rows=rows,
+            notes=(
+                "Shape: every metric within 2.5x of its first-order "
+                "prediction; orderings across policies exact."
+            ),
+        ),
+        benchmark,
+    )
+
+    for policy, metric, ratio in ratios:
+        shape_check(
+            1 / 2.5 <= ratio <= 2.5,
+            f"{policy}/{metric}: measured/predicted ratio {ratio:.2f} out of tolerance",
+        )

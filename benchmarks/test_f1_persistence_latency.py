@@ -1,0 +1,98 @@
+"""F1 -- Delete persistence latency: baseline vs FADE across D_th.
+
+The paper's headline figure: the baseline gives *no bound* on how long a
+deleted entry survives (its tail is limited only by how long the workload
+runs), while FADE keeps every delete within the configured ``D_th``.
+
+Regenerates: one row per engine configuration with the latency
+distribution of persisted deletes and the age of the oldest still-pending
+delete (the compliance exposure).
+"""
+
+from repro.bench import ExperimentResult, make_acheron, make_baseline, record_experiment
+from repro.workload.spec import OpKind, WorkloadSpec
+
+
+def _spec() -> WorkloadSpec:
+    return WorkloadSpec(
+        operations=20_000,
+        preload=10_000,
+        weights={
+            OpKind.INSERT: 0.45,
+            OpKind.UPDATE: 0.15,
+            OpKind.POINT_DELETE: 0.25,
+            OpKind.POINT_QUERY: 0.15,
+        },
+        seed=0xF1,
+    )
+
+
+def test_f1_persistence_latency(benchmark, shape_check):
+    spec = _spec()
+    configs = [
+        ("baseline", None, make_baseline),
+        ("fade D_th=5k", 5_000, lambda: make_acheron(5_000, pages_per_tile=1)),
+        ("fade D_th=15k", 15_000, lambda: make_acheron(15_000, pages_per_tile=1)),
+    ]
+    rows = []
+    worst: dict[str, int] = {}
+
+    def run():
+        from repro.bench import run_mixed_workload
+
+        for name, d_th, factory in configs:
+            engine = factory()
+            _, stats = run_mixed_workload(engine, spec)
+            p = stats.persistence
+            bound = max(p.max_latency or 0, p.oldest_pending_age or 0)
+            worst[name] = bound
+            rows.append(
+                [
+                    name,
+                    d_th,
+                    p.registered,
+                    p.persisted,
+                    p.pending,
+                    p.p50_latency,
+                    p.p99_latency,
+                    p.max_latency,
+                    p.oldest_pending_age,
+                    p.violations,
+                    "yes" if p.compliant() and d_th else ("n/a" if not d_th else "NO"),
+                ]
+            )
+            engine.close()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    record_experiment(
+        ExperimentResult(
+            exp_id="F1",
+            title="Delete persistence latency (ticks), baseline vs FADE",
+            headers=[
+                "engine",
+                "D_th",
+                "registered",
+                "persisted",
+                "pending",
+                "p50",
+                "p99",
+                "max",
+                "oldest pending",
+                "violations",
+                "compliant",
+            ],
+            rows=rows,
+            notes=(
+                "Claim shape: FADE's worst case (max latency and oldest pending "
+                "age) stays <= D_th; the baseline's exposure is unbounded."
+            ),
+        ),
+        benchmark,
+    )
+
+    shape_check(worst["fade D_th=5k"] <= 5_000, "FADE D_th=5k exceeded its bound")
+    shape_check(worst["fade D_th=15k"] <= 15_000, "FADE D_th=15k exceeded its bound")
+    shape_check(
+        worst["baseline"] > 15_000,
+        f"baseline exposure ({worst['baseline']}) should exceed the largest D_th",
+    )

@@ -1,0 +1,98 @@
+"""F2 -- Space amplification vs delete fraction.
+
+Lethe's abstract claims 2.1-9.8x lower space amplification: tombstones and
+the dead versions they pin inflate the baseline's footprint, while FADE
+purges both within ``D_th``.  Space amplification is measured as
+bytes-on-disk / live-bytes at the end of each run (1.0 = no waste); the
+comparison column reports baseline *overhead* (amp - 1) relative to FADE's,
+which is the quantity the paper's multiplier describes.
+"""
+
+from repro.bench import (
+    ExperimentResult,
+    make_acheron,
+    make_baseline,
+    record_experiment,
+    run_mixed_workload,
+)
+from repro.workload.spec import OpKind, WorkloadSpec
+
+DELETE_FRACTIONS = [0.05, 0.15, 0.25, 0.40]
+
+
+def _spec(delete_fraction: float) -> WorkloadSpec:
+    return WorkloadSpec(
+        operations=18_000,
+        preload=9_000,
+        weights={
+            OpKind.INSERT: 0.55,
+            OpKind.UPDATE: 0.25,
+            OpKind.POINT_QUERY: 0.20,
+        },
+        seed=0xF2,
+    ).with_delete_fraction(delete_fraction)
+
+
+def test_f2_space_amplification(benchmark, shape_check):
+    rows = []
+    overhead_ratios = []
+
+    def run():
+        for fraction in DELETE_FRACTIONS:
+            spec = _spec(fraction)
+            base = make_baseline()
+            ach = make_acheron(8_000, pages_per_tile=1)
+            _, base_stats = run_mixed_workload(base, spec)
+            _, ach_stats = run_mixed_workload(ach, spec)
+            base_amp = base_stats.amplification.space_amplification
+            ach_amp = ach_stats.amplification.space_amplification
+            base_overhead = base_amp - 1.0
+            ach_overhead = ach_amp - 1.0
+            ratio = base_overhead / ach_overhead if ach_overhead > 1e-9 else float("inf")
+            overhead_ratios.append((fraction, ratio, base_amp, ach_amp))
+            rows.append(
+                [
+                    f"{fraction:.0%}",
+                    round(base_amp, 4),
+                    round(ach_amp, 4),
+                    base_stats.amplification.tombstones_on_disk,
+                    ach_stats.amplification.tombstones_on_disk,
+                    round(ratio, 2) if ratio != float("inf") else "inf",
+                ]
+            )
+            base.close()
+            ach.close()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    record_experiment(
+        ExperimentResult(
+            exp_id="F2",
+            title="Space amplification vs delete fraction (D_th=8k)",
+            headers=[
+                "deletes",
+                "baseline space-amp",
+                "acheron space-amp",
+                "baseline tombstones",
+                "acheron tombstones",
+                "overhead ratio (base/ach)",
+            ],
+            rows=rows,
+            notes=(
+                "Claim shape: FADE's space overhead is a small fraction of the "
+                "baseline's (paper band: 2.1-9.8x lower), and the gap widens "
+                "with the delete fraction."
+            ),
+        ),
+        benchmark,
+    )
+
+    for fraction, ratio, base_amp, ach_amp in overhead_ratios:
+        shape_check(
+            ach_amp <= base_amp + 1e-9,
+            f"at {fraction:.0%} deletes acheron ({ach_amp:.3f}) not <= baseline ({base_amp:.3f})",
+        )
+    meaningful = [r for f, r, *_ in overhead_ratios if f >= 0.15]
+    shape_check(
+        all(r >= 1.5 for r in meaningful),
+        f"expected >=1.5x overhead reduction at >=15% deletes, got {meaningful}",
+    )

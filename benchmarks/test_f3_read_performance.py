@@ -1,0 +1,132 @@
+"""F3 -- Read performance: point lookups on a tombstone-laden tree.
+
+Lethe's abstract claims 1.17-1.4x higher read throughput: after a
+delete-heavy history the baseline tree is bloated with tombstones and the
+dead versions they pin -- deeper levels, more files, more Bloom
+false-positive traffic -- while FADE has purged them.  Both engines then
+serve an identical read-only phase (point lookups on live keys, lookups of
+deleted keys, and lookups of never-existing keys); the figure reports
+device pages per lookup and modeled throughput.
+
+FADE-only configuration (``h = 1``): the weave's point-lookup penalty is
+measured separately in F7.
+"""
+
+from repro.bench import (
+    EXPERIMENT_SCALE,
+    ExperimentResult,
+    make_acheron,
+    make_baseline,
+    record_experiment,
+)
+from repro.workload.generator import KEY_STRIDE, WorkloadGenerator
+from repro.workload.runner import run_workload
+from repro.workload.spec import OpKind, WorkloadSpec
+
+READS = 4_000
+
+
+def _history() -> WorkloadSpec:
+    return WorkloadSpec(
+        operations=24_000,
+        preload=12_000,
+        weights={
+            OpKind.INSERT: 0.50,
+            OpKind.UPDATE: 0.15,
+            OpKind.POINT_DELETE: 0.35,
+        },
+        seed=0xF3,
+    )
+
+
+def _build(engine):
+    spec = _history()
+    generator = WorkloadGenerator(spec)
+    run_workload(engine, generator.operations())
+    live_slots = generator._live  # noqa: SLF001 - bench introspection
+    return [slot * KEY_STRIDE for slot in live_slots]
+
+
+def _measure_reads(engine, live_keys):
+    import numpy as np
+
+    rng = np.random.default_rng(0xF3)
+    disk = engine.disk.stats
+    before_pages, before_us = disk.pages_read, disk.modeled_us
+    hits = 0
+    for i in range(READS):
+        mode = i % 4
+        if mode < 2:  # live key
+            key = live_keys[int(rng.integers(0, len(live_keys)))]
+        elif mode == 2:  # deleted/missing on-stride key
+            key = int(rng.integers(0, max(live_keys))) // KEY_STRIDE * KEY_STRIDE
+        else:  # never-existed key
+            key = int(rng.integers(0, max(live_keys))) | 1
+        if engine.get(key) is not None:
+            hits += 1
+    pages = disk.pages_read - before_pages
+    modeled_us = disk.modeled_us - before_us
+    return {
+        "hits": hits,
+        "pages_per_lookup": pages / READS,
+        "us_per_lookup": modeled_us / READS,
+        "throughput": READS / (modeled_us / 1e6) if modeled_us else float("inf"),
+    }
+
+
+def test_f3_read_performance(benchmark, shape_check):
+    rows = []
+    outcome = {}
+
+    def run():
+        for name, factory in [
+            ("baseline", make_baseline),
+            ("acheron (FADE)", lambda: make_acheron(8_000, pages_per_tile=1)),
+        ]:
+            engine = factory()
+            live_keys = _build(engine)
+            shape = engine.stats()
+            reads = _measure_reads(engine, live_keys)
+            outcome[name] = reads
+            rows.append(
+                [
+                    name,
+                    shape.amplification.entries_on_disk,
+                    shape.amplification.tombstones_on_disk,
+                    reads["hits"],
+                    round(reads["pages_per_lookup"], 3),
+                    round(reads["us_per_lookup"], 1),
+                    round(reads["throughput"], 0),
+                ]
+            )
+            engine.close()
+        ratio = outcome["acheron (FADE)"]["throughput"] / outcome["baseline"]["throughput"]
+        rows.append(["speedup (acheron/baseline)", None, None, None, None, None, round(ratio, 3)])
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    record_experiment(
+        ExperimentResult(
+            exp_id="F3",
+            title=f"Point-lookup cost after a delete-heavy history ({READS} lookups)",
+            headers=[
+                "engine",
+                "entries on disk",
+                "tombstones on disk",
+                "hits",
+                "pages/lookup",
+                "modeled us/lookup",
+                "modeled lookups/s",
+            ],
+            rows=rows,
+            notes=(
+                "Claim shape: the purged (FADE) tree serves lookups with fewer "
+                "device pages -> higher modeled throughput (paper band: "
+                "1.17-1.4x)."
+            ),
+        ),
+        benchmark,
+    )
+
+    ratio = outcome["acheron (FADE)"]["throughput"] / outcome["baseline"]["throughput"]
+    shape_check(ratio >= 1.0, f"expected FADE read speedup >= 1.0x, got {ratio:.3f}")
+    shape_check(ratio <= 3.0, f"speedup {ratio:.3f} implausibly large; check the setup")

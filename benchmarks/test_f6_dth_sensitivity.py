@@ -1,0 +1,96 @@
+"""F6 -- D_th sensitivity: the knob the demo lets the audience turn.
+
+One workload, one engine design, ``D_th`` swept across two orders of
+magnitude.  Shows the whole tradeoff surface at once: tighter deadlines
+mean lower persistence latency and less tombstone residue but more expiry
+compactions and write amplification.
+"""
+
+from repro.bench import (
+    ExperimentResult,
+    make_acheron,
+    record_experiment,
+    run_mixed_workload,
+)
+from repro.workload.spec import OpKind, WorkloadSpec
+
+D_TH_SWEEP = [1_000, 4_000, 16_000, 64_000]
+
+
+def _spec() -> WorkloadSpec:
+    return WorkloadSpec(
+        operations=18_000,
+        preload=9_000,
+        weights={
+            OpKind.INSERT: 0.50,
+            OpKind.UPDATE: 0.15,
+            OpKind.POINT_DELETE: 0.20,
+            OpKind.POINT_QUERY: 0.15,
+        },
+        seed=0xF6,
+    )
+
+
+def test_f6_dth_sensitivity(benchmark, shape_check):
+    rows = []
+    series = []
+
+    def run():
+        spec = _spec()
+        for d_th in D_TH_SWEEP:
+            engine = make_acheron(d_th, pages_per_tile=1)
+            _, stats = run_mixed_workload(engine, spec)
+            p = stats.persistence
+            wa = stats.amplification.write_amplification
+            fade = engine.tree.fade
+            bound = max(p.max_latency or 0, p.oldest_pending_age or 0)
+            series.append((d_th, bound, wa, fade.expiry_compactions + fade.purge_compactions))
+            rows.append(
+                [
+                    d_th,
+                    p.max_latency,
+                    p.oldest_pending_age,
+                    p.violations,
+                    round(wa, 3),
+                    stats.amplification.tombstones_on_disk,
+                    fade.expiry_compactions,
+                    fade.purge_compactions,
+                ]
+            )
+            engine.close()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    record_experiment(
+        ExperimentResult(
+            exp_id="F6",
+            title="D_th sensitivity (20% deletes)",
+            headers=[
+                "D_th",
+                "max latency",
+                "oldest pending",
+                "violations",
+                "write amp",
+                "tombstones left",
+                "expiry compactions",
+                "bottom purges",
+            ],
+            rows=rows,
+            notes=(
+                "Claim shape: worst-case latency tracks D_th (always <= it, "
+                "zero violations); write amplification and expiry-compaction "
+                "count fall as D_th loosens."
+            ),
+        ),
+        benchmark,
+    )
+
+    for d_th, bound, _, _ in series:
+        shape_check(bound <= d_th, f"D_th={d_th}: worst case {bound} exceeds the bound")
+    shape_check(
+        series[0][2] >= series[-1][2],
+        f"write amp should not increase with looser D_th: {[(d, round(w,2)) for d, _, w, _ in series]}",
+    )
+    shape_check(
+        series[0][3] >= series[-1][3],
+        "expiry compaction count should fall as D_th loosens",
+    )

@@ -1,0 +1,113 @@
+"""F9 (extension) -- key-popularity skew and the delete lifecycle.
+
+Under a skewed (Zipfian) workload hot keys are constantly overwritten, so
+many tombstones are *superseded* -- the delete becomes moot before FADE
+ever has to act -- while under uniform traffic most tombstones must be
+physically persisted.  This experiment runs the same mix under uniform,
+Zipfian, and hotspot popularity and shows how the lifecycle split, the
+exposure, and FADE's costs shift -- the demo's "try a skewed workload"
+panel.
+"""
+
+from repro.bench import (
+    ExperimentResult,
+    make_acheron,
+    make_baseline,
+    record_experiment,
+    run_mixed_workload,
+)
+from repro.workload.spec import OpKind, WorkloadSpec
+
+DISTRIBUTIONS = ["uniform", "zipfian", "hotspot"]
+D_TH = 8_000
+
+
+def _spec(distribution: str) -> WorkloadSpec:
+    return WorkloadSpec(
+        operations=16_000,
+        preload=8_000,
+        weights={
+            OpKind.INSERT: 0.35,
+            OpKind.UPDATE: 0.30,
+            OpKind.POINT_DELETE: 0.20,
+            OpKind.POINT_QUERY: 0.15,
+        },
+        distribution=distribution,
+        reinsert_fraction=0.4,
+        seed=0xF9,
+    )
+
+
+def test_f9_skew_sensitivity(benchmark, shape_check):
+    rows = []
+    superseded_fraction = {}
+
+    def run():
+        for distribution in DISTRIBUTIONS:
+            spec = _spec(distribution)
+            base = make_baseline()
+            ach = make_acheron(D_TH, pages_per_tile=1)
+            _, base_stats = run_mixed_workload(base, spec)
+            _, ach_stats = run_mixed_workload(ach, spec)
+            p = ach_stats.persistence
+            resolved = p.persisted + p.superseded
+            superseded_fraction[distribution] = (
+                p.superseded / resolved if resolved else 0.0
+            )
+            base_p = base_stats.persistence
+            rows.append(
+                [
+                    distribution,
+                    p.registered,
+                    p.persisted,
+                    p.superseded,
+                    round(superseded_fraction[distribution], 3),
+                    max(p.max_latency or 0, p.oldest_pending_age or 0),
+                    max(base_p.max_latency or 0, base_p.oldest_pending_age or 0),
+                    round(ach_stats.amplification.write_amplification, 2),
+                    round(base_stats.amplification.write_amplification, 2),
+                ]
+            )
+            base.close()
+            ach.close()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    record_experiment(
+        ExperimentResult(
+            exp_id="F9",
+            title=f"Key-popularity skew vs the delete lifecycle (D_th={D_TH})",
+            headers=[
+                "distribution",
+                "deletes",
+                "persisted",
+                "superseded",
+                "superseded frac",
+                "acheron worst exposure",
+                "baseline worst exposure",
+                "acheron WA",
+                "baseline WA",
+            ],
+            rows=rows,
+            notes=(
+                "Claim shape: key churn (40% of inserts resurrect deleted "
+                "keys) splits the lifecycle between persistence and "
+                "supersession; the D_th bound holds under every "
+                "distribution; skew dedups in the buffer and lowers the "
+                "baseline's write amplification."
+            ),
+        ),
+        benchmark,
+    )
+
+    for distribution in DISTRIBUTIONS:
+        shape_check(
+            superseded_fraction[distribution] > 0.0,
+            f"{distribution}: key churn should supersede some tombstones",
+        )
+    for row in rows:
+        shape_check(row[5] <= D_TH, f"{row[0]}: acheron exposure {row[5]} exceeds D_th")
+    by_dist = {row[0]: row for row in rows}
+    shape_check(
+        by_dist["zipfian"][8] < by_dist["uniform"][8],
+        "skewed updates dedup in the buffer: zipfian baseline WA < uniform",
+    )

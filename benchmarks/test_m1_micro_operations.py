@@ -1,0 +1,97 @@
+"""M1 (microbenchmark) -- raw operation latency of the Python engine.
+
+Not a paper experiment: the reconstructed evaluation (F1-F9, T1-T3, A1)
+is stated in device I/O counts, which are interpreter-independent.  This
+module is the honest wall-clock companion -- what the pure-Python engine
+itself costs per operation on this machine -- using pytest-benchmark the
+conventional way (many rounds, statistics) so regressions in the
+*implementation* are visible even when the I/O model is unchanged.
+"""
+
+import numpy as np
+
+from repro.bench import make_acheron, make_baseline
+
+PRELOADED = 20_000
+
+
+def _preloaded(factory):
+    engine = factory()
+    for k in range(PRELOADED):
+        engine.put((k * 48_271) % PRELOADED, k)
+    return engine
+
+
+def test_m1_put_baseline(benchmark):
+    engine = make_baseline()
+    counter = iter(range(10**9))
+
+    def put_one():
+        engine.put(next(counter), "value")
+
+    benchmark(put_one)
+    engine.close()
+
+
+def test_m1_put_acheron(benchmark):
+    engine = make_acheron(20_000, pages_per_tile=8, kiwi_page_filters=True)
+    counter = iter(range(10**9))
+
+    def put_one():
+        engine.put(next(counter), "value")
+
+    benchmark(put_one)
+    engine.close()
+
+
+def test_m1_get_hit_baseline(benchmark):
+    engine = _preloaded(make_baseline)
+    rng = np.random.default_rng(1)
+    keys = rng.integers(0, PRELOADED, size=100_000)
+    it = iter(keys.tolist())
+
+    def get_one():
+        engine.get(next(it))
+
+    benchmark(get_one)
+    engine.close()
+
+
+def test_m1_get_miss_baseline(benchmark):
+    engine = _preloaded(make_baseline)
+    rng = np.random.default_rng(2)
+    keys = (rng.integers(0, PRELOADED, size=100_000) + PRELOADED * 10).tolist()
+    it = iter(keys)
+
+    def get_one():
+        engine.get(next(it))
+
+    benchmark(get_one)
+    engine.close()
+
+
+def test_m1_short_scan_baseline(benchmark):
+    engine = _preloaded(make_baseline)
+    rng = np.random.default_rng(3)
+    starts = iter(rng.integers(0, PRELOADED - 100, size=100_000).tolist())
+
+    def scan_100():
+        lo = next(starts)
+        for _ in engine.scan(lo, lo + 100):
+            pass
+
+    benchmark(scan_100)
+    engine.close()
+
+
+def test_m1_delete_acheron(benchmark):
+    engine = make_acheron(50_000, pages_per_tile=1)
+    for k in range(PRELOADED):
+        engine.put(k, k)
+    counter = iter(range(10**9))
+
+    def delete_one():
+        engine.delete(next(counter) % PRELOADED)
+
+    benchmark(delete_one)
+    engine.close()

@@ -1,0 +1,140 @@
+"""T1 -- Strategy comparison grid: the demo's side-by-side panel.
+
+Every engine variant the demonstration can configure, run on one seeded
+delete-heavy workload, with every evaluation metric in one table: write /
+space amplification, lookup cost, delete persistence, compaction counts.
+This is the at-a-glance artifact the audience saw when toggling engines.
+"""
+
+from repro.bench import (
+    EXPERIMENT_SCALE,
+    ExperimentResult,
+    make_acheron,
+    make_baseline,
+    record_experiment,
+    run_mixed_workload,
+)
+from repro.config import CompactionStyle
+from repro.workload.spec import OpKind, WorkloadSpec
+
+D_TH = 8_000
+
+
+def _spec() -> WorkloadSpec:
+    return WorkloadSpec(
+        operations=18_000,
+        preload=9_000,
+        weights={
+            OpKind.INSERT: 0.45,
+            OpKind.UPDATE: 0.15,
+            OpKind.POINT_DELETE: 0.20,
+            OpKind.POINT_QUERY: 0.15,
+            OpKind.EMPTY_QUERY: 0.03,
+            OpKind.RANGE_QUERY: 0.02,
+        },
+        seed=0x71,
+    )
+
+
+ENGINES = [
+    ("leveling", lambda: make_baseline()),
+    ("tiering", lambda: make_baseline(policy=CompactionStyle.TIERING)),
+    ("lazy-leveling", lambda: make_baseline(policy=CompactionStyle.LAZY_LEVELING)),
+    ("fade-leveling", lambda: make_acheron(D_TH, pages_per_tile=1)),
+    (
+        "fade-tiering",
+        lambda: make_acheron(D_TH, pages_per_tile=1, policy=CompactionStyle.TIERING),
+    ),
+    (
+        "fade-lazy-leveling",
+        lambda: make_acheron(
+            D_TH, pages_per_tile=1, policy=CompactionStyle.LAZY_LEVELING
+        ),
+    ),
+    ("acheron (fade+kiwi h=8)", lambda: make_acheron(D_TH, pages_per_tile=8)),
+]
+
+
+def test_t1_strategy_comparison(benchmark, shape_check):
+    rows = []
+    metrics = {}
+
+    def run():
+        spec = _spec()
+        for name, factory in ENGINES:
+            engine = factory()
+            result, stats = run_mixed_workload(engine, spec)
+            p = stats.persistence
+            lookups = result.per_kind.get(OpKind.POINT_QUERY)
+            bound = max(p.max_latency or 0, p.oldest_pending_age or 0)
+            metrics[name] = {
+                "wa": stats.amplification.write_amplification,
+                "sa": stats.amplification.space_amplification,
+                "bound": bound,
+            }
+            rows.append(
+                [
+                    name,
+                    round(stats.amplification.write_amplification, 2),
+                    round(stats.amplification.space_amplification, 3),
+                    round(lookups.pages_read_per_op, 3) if lookups else None,
+                    p.pending,
+                    bound,
+                    p.violations,
+                    stats.compaction_count,
+                    stats.amplification.tombstones_on_disk,
+                ]
+            )
+            engine.close()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    record_experiment(
+        ExperimentResult(
+            exp_id="T1",
+            title=f"Strategy comparison, one workload (20% deletes, D_th={D_TH})",
+            headers=[
+                "engine",
+                "write amp",
+                "space amp",
+                "pages/lookup",
+                "pending deletes",
+                "worst exposure",
+                "violations",
+                "compactions",
+                "tombstones left",
+            ],
+            rows=rows,
+            notes=(
+                "Claim shape: tiering < leveling on write amp; the FADE "
+                "variants bound delete exposure by D_th where both baselines "
+                "are unbounded; space amp of FADE variants <= their baselines."
+            ),
+        ),
+        benchmark,
+    )
+
+    shape_check(
+        metrics["tiering"]["wa"] < metrics["leveling"]["wa"],
+        "tiering should have lower write amp than leveling",
+    )
+    for fade_name in (
+        "fade-leveling",
+        "fade-tiering",
+        "fade-lazy-leveling",
+        "acheron (fade+kiwi h=8)",
+    ):
+        shape_check(
+            metrics[fade_name]["bound"] <= D_TH,
+            f"{fade_name} exposure exceeds D_th",
+        )
+    shape_check(metrics["leveling"]["bound"] > D_TH, "leveling baseline should exceed D_th")
+    shape_check(metrics["tiering"]["bound"] > D_TH, "tiering baseline should exceed D_th")
+    shape_check(
+        metrics["fade-leveling"]["sa"] <= metrics["leveling"]["sa"] + 1e-9,
+        "fade-leveling space amp should not exceed leveling's",
+    )
+    shape_check(
+        metrics["tiering"]["wa"] <= metrics["lazy-leveling"]["wa"] * 1.05
+        and metrics["lazy-leveling"]["wa"] <= metrics["leveling"]["wa"] * 1.05,
+        "lazy leveling write amp should sit between tiering and leveling",
+    )

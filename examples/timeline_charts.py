@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Timeline charts: watch tombstones live and die.
+
+The demo's most persuasive visual was a live chart: the baseline's
+pending-delete count climbing without bound while Acheron's saw-toothed
+under the ``D_th`` ceiling.  This example reproduces those charts as text
+sparklines -- one identical delete-heavy workload, both engines sampled
+every 1000 ticks.
+
+Run: ``python examples/timeline_charts.py``
+"""
+
+from repro import AcheronEngine
+from repro.metrics.timeline import TimelineSampler
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.runner import run_workload
+from repro.workload.spec import OpKind, WorkloadSpec
+
+SCALE = {"memtable_entries": 512, "entries_per_page": 32}
+D_TH = 8_000
+
+
+def run_with_timeline(engine: AcheronEngine, name: str) -> None:
+    spec = WorkloadSpec(
+        operations=25_000,
+        preload=10_000,
+        weights={
+            OpKind.INSERT: 0.45,
+            OpKind.UPDATE: 0.15,
+            OpKind.POINT_DELETE: 0.25,
+            OpKind.POINT_QUERY: 0.15,
+        },
+        seed=0x717,
+    )
+    sampler = TimelineSampler(engine, every=1_000)
+    generator = WorkloadGenerator(spec)
+    # Sample between batches so the series tracks the whole run.
+    batch: list = []
+    for op in generator.operations():
+        batch.append(op)
+        if len(batch) == 500:
+            run_workload(engine, batch)
+            batch.clear()
+            sampler.maybe_sample()
+    if batch:
+        run_workload(engine, batch)
+    sampler.sample()
+
+    print(f"=== {name} ===")
+    print(sampler.timeline.render())
+    pending = sampler.timeline.values("pending_deletes")
+    print(
+        f"    pending deletes: final {pending[-1]:,.0f}, "
+        f"peak {max(pending):,.0f} (D_th={D_TH if engine.config.fade_enabled else 'none'})\n"
+    )
+
+
+def main() -> None:
+    run_with_timeline(AcheronEngine.baseline(**SCALE), "baseline (no guarantee)")
+    run_with_timeline(
+        AcheronEngine.acheron(delete_persistence_threshold=D_TH, pages_per_tile=8, **SCALE),
+        f"acheron (D_th={D_TH})",
+    )
+    print(
+        "The baseline's pending series only ever climbs (deletes persist\n"
+        "by accident); Acheron's saw-tooths as FADE's deadlines fire and\n"
+        "purge -- the live view of the F1 experiment."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Tuning advisor: navigate the design space with the cost model.
+
+Given a workload description -- resident data size, delete fraction, how
+often secondary range deletes run, and a persistence deadline -- this
+example enumerates candidate configurations (policy x KiWi tile size),
+scores them with :mod:`repro.analysis`, prints the predicted tradeoff
+grid, and then *validates* the recommended configuration by actually
+running the workload on it.
+
+This mirrors how the demo answered audience "what should I configure?"
+questions: predict first, then run the simulator to confirm.
+
+Run: ``python examples/tuning_advisor.py``
+"""
+
+from repro.analysis.model import CostModel, WorkloadProfile
+from repro.config import CompactionStyle, LSMConfig, acheron_config
+from repro.core.engine import AcheronEngine
+from repro.metrics.reporting import format_table
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.runner import run_workload
+from repro.workload.spec import OpKind, WorkloadSpec
+
+# --- the user's requirements ------------------------------------------
+RESIDENT_ENTRIES = 30_000
+DELETE_FRACTION = 0.20
+D_TH = 20_000  # the regulatory/retention deadline, in ops
+SCALE = {"memtable_entries": 512, "entries_per_page": 32}
+
+CANDIDATES: list[tuple[str, LSMConfig]] = []
+for policy in (CompactionStyle.LEVELING, CompactionStyle.LAZY_LEVELING, CompactionStyle.TIERING):
+    for h in (1, 8):
+        CANDIDATES.append(
+            (
+                f"{policy.value} h={h}",
+                acheron_config(D_TH, pages_per_tile=h, policy=policy, **SCALE),
+            )
+        )
+
+
+def predict() -> tuple[str, list[list]]:
+    profile = WorkloadProfile(
+        unique_entries=RESIDENT_ENTRIES, delete_fraction=DELETE_FRACTION
+    )
+    rows = []
+    best_name, best_score = "", float("inf")
+    for name, config in CANDIDATES:
+        model = CostModel(config)
+        summary = model.summary(profile)
+        sdel = model.secondary_delete_pages(
+            tree_pages=RESIDENT_ENTRIES // config.entries_per_page, selectivity=0.2
+        )
+        # A simple utility: weighted sum of the normalized costs (the demo
+        # exposed the weights as sliders; here: balanced write/read with a
+        # premium on cheap retention deletes).
+        score = (
+            summary["write_amplification"]
+            + 4.0 * summary["pages_per_existing_lookup"]
+            + sdel / 100.0
+        )
+        rows.append(
+            [
+                name,
+                summary["levels"],
+                round(summary["write_amplification"], 2),
+                round(summary["pages_per_existing_lookup"], 3),
+                round(summary["space_amplification_bound"], 2),
+                round(sdel, 0),
+                round(score, 2),
+            ]
+        )
+        if score < best_score:
+            best_name, best_score = name, score
+    return best_name, rows
+
+
+def validate(name: str) -> list[list]:
+    config = dict(CANDIDATES)[name]
+    engine = AcheronEngine(config)
+    spec = WorkloadSpec(
+        operations=20_000,
+        preload=10_000,
+        weights={
+            OpKind.INSERT: 0.50,
+            OpKind.UPDATE: 0.15,
+            OpKind.POINT_QUERY: 0.15,
+        },
+        seed=0xAD,
+    ).with_delete_fraction(DELETE_FRACTION)
+    run_workload(engine, WorkloadGenerator(spec).operations())
+    stats = engine.stats()
+    p = stats.persistence
+    rows = [
+        ["write amplification", round(stats.amplification.write_amplification, 2)],
+        ["space amplification", round(stats.amplification.space_amplification, 3)],
+        ["pages/lookup", round(stats.amplification.pages_read_per_lookup, 3)],
+        ["max delete latency", p.max_latency],
+        ["D_th violations", p.violations],
+        ["compliant", "yes" if p.compliant() else "NO"],
+    ]
+    engine.close()
+    return rows
+
+
+def main() -> None:
+    best, rows = predict()
+    print(
+        format_table(
+            [
+                "candidate",
+                "levels",
+                "pred WA",
+                "pred pages/lookup",
+                "space bound",
+                "pred sdel pages",
+                "score",
+            ],
+            rows,
+            title=(
+                f"Predicted tradeoffs for {RESIDENT_ENTRIES} entries, "
+                f"{DELETE_FRACTION:.0%} deletes, D_th={D_TH}"
+            ),
+        )
+    )
+    print(f"\nrecommended configuration: {best}\n")
+    print(
+        format_table(
+            ["measured metric", "value"],
+            validate(best),
+            title=f"Validation run of '{best}'",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

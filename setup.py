@@ -1,0 +1,7 @@
+"""Setup shim: the offline environment lacks the wheel package
+required by PEP 660 editable installs, so this file keeps the legacy
+``setup.py develop`` path working.  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""Acheron reproduction: persisting tombstones in LSM engines.
+
+A complete, pure-Python reproduction of the system demonstrated in
+*"Acheron: Persisting Tombstones in LSM Engines"* (SIGMOD 2023): an
+LSM-tree storage engine with
+
+* **FADE** -- delete-aware compaction that guarantees every tombstone is
+  physically purged within a user-defined threshold ``D_th``;
+* **KiWi** -- a key-weaving physical layout enabling cheap range deletes
+  on a secondary attribute (page drops instead of a full-tree rewrite);
+* classical **leveling/tiering baselines**, a simulated block device with
+  exact I/O accounting, workload generation, and the full reconstructed
+  evaluation suite (see DESIGN.md and EXPERIMENTS.md).
+
+Quickstart::
+
+    from repro import AcheronEngine
+
+    with AcheronEngine.acheron(delete_persistence_threshold=20_000) as db:
+        db.put(1, "hello")
+        db.delete(1)
+        print(db.stats().persistence.pending)
+"""
+
+from repro.clock import AutoTickClock, LogicalClock
+from repro.config import (
+    CompactionStyle,
+    DiskModel,
+    FilePickPolicy,
+    LSMConfig,
+    acheron_config,
+    baseline_config,
+)
+from repro.core.engine import AcheronEngine, EngineStats
+from repro.core.kiwi import SecondaryDeleteReport
+from repro.core.persistence import PersistenceStats, PersistenceTracker
+from repro.core.retention import PurgeRecord, RetentionPolicy
+from repro.analysis.model import CostModel, WorkloadProfile
+from repro.errors import (
+    AcheronError,
+    CompactionError,
+    ConfigError,
+    CorruptionError,
+    EngineClosedError,
+    InvariantViolationError,
+    StorageError,
+    WALError,
+    WorkloadError,
+)
+from repro.lsm.tree import LSMTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcheronEngine",
+    "AcheronError",
+    "AutoTickClock",
+    "CompactionError",
+    "CompactionStyle",
+    "CostModel",
+    "ConfigError",
+    "CorruptionError",
+    "DiskModel",
+    "EngineClosedError",
+    "EngineStats",
+    "FilePickPolicy",
+    "InvariantViolationError",
+    "LSMConfig",
+    "LSMTree",
+    "LogicalClock",
+    "PersistenceStats",
+    "PersistenceTracker",
+    "PurgeRecord",
+    "RetentionPolicy",
+    "SecondaryDeleteReport",
+    "StorageError",
+    "WALError",
+    "WorkloadError",
+    "WorkloadProfile",
+    "acheron_config",
+    "baseline_config",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Analytical cost models for the engine's design space.
+
+Closed-form predictions -- tree depth, write amplification, lookup I/O,
+space bounds, KiWi delete costs, FADE TTL allocation -- in the style of
+the LSM design-space literature the paper builds on.  The A1 experiment
+(``benchmarks/test_a1_model_validation.py``) checks the model against the
+measured engine; ``examples/tuning_advisor.py`` uses it to recommend
+configurations.
+"""
+
+from repro.analysis.model import CostModel, WorkloadProfile
+
+__all__ = ["CostModel", "WorkloadProfile"]

@@ -1,0 +1,225 @@
+"""Closed-form cost model of the engine's design space.
+
+The formulas are the standard LSM asymptotics (O1996 LSM paper; Monkey;
+Dostoevsky; the authors' compaction-design-space analysis), instantiated
+with this engine's concrete conventions so they are *checkable* against
+the simulator rather than merely asymptotic:
+
+* buffer of ``B`` entries, size ratio ``T``; level ``i`` holds up to
+  ``B * T^i`` entries, so ``N`` entries need
+  ``L = ceil(log_T(N / B))`` levels;
+* **leveling** rewrites a level's data about ``(T+1)/2`` times while the
+  level fills, at every level, plus the initial flush:
+  ``WA = 1 + L * (T+1)/2``;
+* **tiering** writes each entry once per level: ``WA = 1 + L``;
+* **lazy leveling** tiers the first ``L-1`` levels and levels the last:
+  ``WA = 1 + (L-1) + (T+1)/2``;
+* a **point lookup** pays one page per run that cannot be excluded: an
+  existing key costs ``1 + fp * (runs - 1)`` expected pages, a missing
+  key ``fp * runs``, with ``fp`` the Bloom false-positive rate
+  ``(1 - e^(-k*n/m))^k`` at ``k = bits * ln2``;
+* a **KiWi range delete** of delete-key selectivity ``s`` classifies each
+  tile's ``h`` delete-key-partitioned pages: about ``s*h`` pages are
+  covered, of which up to 2 straddle the boundary and must be rewritten,
+  so expected free drops are ``max(0, s*h - 2)/h`` of each tile and the
+  I/O is ``~2 pages per overlapping tile``; the classic layout (h=1)
+  and the full rewrite pay ``s`` resp. ``1`` of the tree.
+
+The model is deliberately first-order: it ignores the memtable's dedup,
+partial fills, and trivial moves.  The A1 experiment documents how close
+it lands (within ~2x on every metric at simulator scale, directionally
+exact).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.config import CompactionStyle, LSMConfig
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """The workload parameters the model needs.
+
+    ``unique_entries`` -- live keys resident in the tree.
+    ``delete_fraction`` -- point deletes as a fraction of ingestion.
+    ``range_delete_selectivity`` -- fraction of the delete-key domain one
+    secondary range delete covers.
+    """
+
+    unique_entries: int
+    delete_fraction: float = 0.0
+    range_delete_selectivity: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.unique_entries < 1:
+            raise ValueError("unique_entries must be >= 1")
+        if not 0.0 <= self.delete_fraction < 1.0:
+            raise ValueError("delete_fraction must be in [0, 1)")
+        if not 0.0 < self.range_delete_selectivity <= 1.0:
+            raise ValueError("range_delete_selectivity must be in (0, 1]")
+
+
+class CostModel:
+    """Predictions for one configuration (see module docstring)."""
+
+    def __init__(self, config: LSMConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    def levels(self, entries: int) -> int:
+        """Predicted number of on-disk levels for ``entries`` entries."""
+        if entries <= 0:
+            return 0
+        buffer = self.config.memtable_entries
+        ratio = self.config.size_ratio
+        level, capacity = 1, buffer * ratio
+        total = capacity
+        while total < entries:
+            level += 1
+            capacity *= ratio
+            total += capacity
+        return level
+
+    def runs_per_level(self) -> float:
+        """Expected run count in a non-last level at steady state."""
+        if self.config.policy is CompactionStyle.LEVELING:
+            return 1.0
+        return (1 + self.config.size_ratio) / 2.0
+
+    def total_runs(self, entries: int) -> float:
+        """Expected number of runs a lookup may have to consider."""
+        depth = self.levels(entries)
+        if self.config.policy is CompactionStyle.LEVELING:
+            return float(depth)
+        if self.config.policy is CompactionStyle.LAZY_LEVELING:
+            return (depth - 1) * self.runs_per_level() + 1 if depth else 0.0
+        return depth * self.runs_per_level()
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def write_amplification(self, entries: int) -> float:
+        """Predicted device-bytes-written per ingested byte."""
+        depth = self.levels(entries)
+        ratio = self.config.size_ratio
+        per_level_rewrites = (ratio + 1) / 2.0
+        if self.config.policy is CompactionStyle.LEVELING:
+            return 1.0 + depth * per_level_rewrites
+        if self.config.policy is CompactionStyle.LAZY_LEVELING:
+            return 1.0 + max(0, depth - 1) + per_level_rewrites
+        return 1.0 + depth
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def bloom_false_positive_rate(self) -> float:
+        """FP rate of the per-file filters at the configured budget."""
+        bits = self.config.bloom_bits_per_key
+        if bits <= 0:
+            return 1.0
+        hashes = max(1, round(bits * math.log(2)))
+        return (1.0 - math.exp(-hashes / bits)) ** hashes
+
+    def point_lookup_pages(self, entries: int, exists: bool) -> float:
+        """Expected device pages for one point lookup.
+
+        A KiWi weave multiplies the in-file probe cost by the expected
+        candidate-page count, approximated as ``(h+1)/2`` (a key's range
+        membership is roughly uniform across a tile's pages).  Per-page
+        filters prune the false candidates, leaving ``1 + fp*(h-1)/2``.
+        """
+        fp = self.bloom_false_positive_rate()
+        runs = self.total_runs(entries)
+        h = self.config.pages_per_tile
+        if self.config.kiwi_page_filters and h > 1:
+            candidates = 1.0 + fp * (h - 1) / 2.0
+        else:
+            candidates = (h + 1) / 2.0
+        if exists:
+            return (1.0 + fp * max(0.0, runs - 1.0)) * candidates
+        return fp * runs * candidates
+
+    def space_amplification_bound(self, profile: WorkloadProfile) -> float:
+        """Upper bound on steady-state space amplification (no FADE).
+
+        Leveling: stale versions are confined to the non-last levels,
+        ~1/T of the data, plus the tombstone residue of unpersisted
+        deletes.  Tiering: a level may hold T full copies -> amp up to T.
+        """
+        ratio = self.config.size_ratio
+        tombstone_share = profile.delete_fraction / (1.0 - profile.delete_fraction)
+        if self.config.policy is CompactionStyle.TIERING:
+            return ratio * (1.0 + tombstone_share)
+        return (1.0 + 1.0 / ratio) * (1.0 + tombstone_share)
+
+    # ------------------------------------------------------------------
+    # deletes
+    # ------------------------------------------------------------------
+    def kiwi_free_drop_fraction(self, selectivity: float) -> float:
+        """Fraction of covered pages a KiWi delete drops without I/O."""
+        h = self.config.pages_per_tile
+        covered = selectivity * h
+        return max(0.0, covered - 2.0) / covered if covered > 0 else 0.0
+
+    def secondary_delete_pages(self, tree_pages: int, selectivity: float) -> float:
+        """Expected I/O pages (read+write) for one secondary range delete."""
+        h = self.config.pages_per_tile
+        tiles = tree_pages / h
+        if h == 1:
+            # Classic layout: delete keys are scattered; nearly every page
+            # holding a victim must be read and rewritten.
+            return 2.0 * selectivity * tree_pages
+        # Weave: each tile spans the delete-key domain, so every tile
+        # overlaps a prefix range ("older than T", the retention case);
+        # the cut leaves one boundary page per tile, read + rewritten.
+        return 2.0 * tiles
+
+    def full_rewrite_delete_pages(self, tree_pages: int, selectivity: float) -> float:
+        """The baseline comparator: read everything, rewrite survivors."""
+        return tree_pages + tree_pages * (1.0 - selectivity)
+
+    # ------------------------------------------------------------------
+    # FADE
+    # ------------------------------------------------------------------
+    def fade_ttl_table(self, entries: int) -> list[tuple[int, int]]:
+        """(level, cumulative deadline offset) for the configured D_th."""
+        d_th = self.config.delete_persistence_threshold
+        if d_th is None:
+            raise ValueError("the config has no delete_persistence_threshold")
+        depth = max(1, self.levels(entries))
+        ratio = self.config.size_ratio
+        table = []
+        for level in range(1, depth + 1):
+            if level >= depth:
+                share = d_th
+            else:
+                share = max(
+                    1, d_th * (ratio ** (level + 1) - 1) // (ratio ** (depth + 1) - 1)
+                )
+            table.append((level, share))
+        return table
+
+    def persistence_bound(self) -> int | None:
+        """The guaranteed worst-case delete persistence latency."""
+        return self.config.delete_persistence_threshold
+
+    # ------------------------------------------------------------------
+    # summary
+    # ------------------------------------------------------------------
+    def summary(self, profile: WorkloadProfile) -> dict[str, float | int | None]:
+        """All predictions for one workload, keyed for table rendering."""
+        n = profile.unique_entries
+        return {
+            "levels": self.levels(n),
+            "write_amplification": self.write_amplification(n),
+            "pages_per_existing_lookup": self.point_lookup_pages(n, exists=True),
+            "pages_per_missing_lookup": self.point_lookup_pages(n, exists=False),
+            "space_amplification_bound": self.space_amplification_bound(profile),
+            "bloom_fp_rate": self.bloom_false_positive_rate(),
+            "persistence_bound": self.persistence_bound(),
+        }

@@ -1,0 +1,25 @@
+"""Benchmark harness support.
+
+Shared machinery for the experiment modules in ``benchmarks/``: standard
+engine scales, workload execution helpers, and an experiment recorder that
+both prints each regenerated table/figure and archives it under
+``benchmarks/results/`` so EXPERIMENTS.md can quote stable artifacts.
+"""
+
+from repro.bench.harness import (
+    EXPERIMENT_SCALE,
+    ExperimentResult,
+    make_acheron,
+    make_baseline,
+    record_experiment,
+    run_mixed_workload,
+)
+
+__all__ = [
+    "EXPERIMENT_SCALE",
+    "ExperimentResult",
+    "make_acheron",
+    "make_baseline",
+    "record_experiment",
+    "run_mixed_workload",
+]

@@ -1,0 +1,199 @@
+"""Command-line interface.
+
+Five subcommands mirror the ways the demonstration was driven:
+
+* ``demo``     -- the side-by-side baseline-vs-Acheron walkthrough;
+* ``workload`` -- run one configurable workload on one engine and print
+  its dashboards;
+* ``inspect``  -- open a durable directory (read-only semantics: no new
+  ops are issued) and print its dashboards;
+* ``verify``   -- run the store doctor against a durable directory; exit
+  status 1 when corruption is found;
+* ``shell``    -- the hands-on mode: an interactive prompt over one
+  engine (put/get/del/purge/dashboards), reading stdin;
+* ``record``   -- materialize a generated workload into a checksummed
+  trace file that ``workload --replay`` (or any other tool) can replay.
+
+Usage: ``python -m repro.cli <command> --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.config import CompactionStyle
+from repro.core.engine import AcheronEngine
+from repro.demo.inspector import TreeInspector
+from repro.demo.scenarios import run_side_by_side
+from repro.tools.doctor import diagnose_store
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.runner import run_workload
+from repro.workload.spec import WorkloadSpec
+
+_POLICIES = {style.value: style for style in CompactionStyle}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Acheron reproduction: delete-aware LSM engine tooling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="side-by-side baseline vs Acheron walkthrough")
+    demo.add_argument("--ops", type=int, default=8_000, help="mixed-phase operations")
+    demo.add_argument("--preload", type=int, default=4_000, help="preload inserts")
+    demo.add_argument("--d-th", type=int, default=10_000, help="delete persistence threshold")
+    demo.add_argument("--deletes", type=float, default=0.25, help="delete fraction")
+    demo.add_argument("--seed", type=int, default=0xACE)
+
+    wl = sub.add_parser("workload", help="run one workload on one engine")
+    wl.add_argument("--engine", choices=["baseline", "acheron"], default="acheron")
+    wl.add_argument("--policy", choices=sorted(_POLICIES), default="leveling")
+    wl.add_argument("--ops", type=int, default=10_000)
+    wl.add_argument("--preload", type=int, default=5_000)
+    wl.add_argument("--deletes", type=float, default=0.15, help="delete fraction")
+    wl.add_argument("--d-th", type=int, default=10_000)
+    wl.add_argument("--pages-per-tile", type=int, default=8, help="KiWi h")
+    wl.add_argument("--distribution", choices=["uniform", "zipfian", "hotspot"],
+                    default="uniform")
+    wl.add_argument("--seed", type=int, default=0xACE)
+    wl.add_argument("--directory", default=None, help="durable store directory")
+    wl.add_argument("--replay", default=None, help="replay a recorded trace instead of generating")
+
+    record = sub.add_parser("record", help="write a generated workload to a trace file")
+    record.add_argument("trace_path")
+    record.add_argument("--ops", type=int, default=10_000)
+    record.add_argument("--preload", type=int, default=5_000)
+    record.add_argument("--deletes", type=float, default=0.15)
+    record.add_argument("--distribution", choices=["uniform", "zipfian", "hotspot"],
+                        default="uniform")
+    record.add_argument("--seed", type=int, default=0xACE)
+
+    inspect = sub.add_parser("inspect", help="print dashboards of a durable store")
+    inspect.add_argument("directory")
+
+    verify = sub.add_parser("verify", help="run the store doctor (exit 1 on corruption)")
+    verify.add_argument("directory")
+
+    shell = sub.add_parser("shell", help="interactive engine shell (reads stdin)")
+    shell.add_argument("--engine", choices=["baseline", "acheron"], default="acheron")
+    shell.add_argument("--d-th", type=int, default=10_000)
+    shell.add_argument("--directory", default=None, help="durable store directory")
+
+    return parser
+
+
+def _spec_from_args(args: argparse.Namespace) -> WorkloadSpec:
+    spec = WorkloadSpec(
+        operations=args.ops,
+        preload=args.preload,
+        distribution=getattr(args, "distribution", "uniform"),
+        seed=args.seed,
+    )
+    return spec.with_delete_fraction(args.deletes)
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    scenario = run_side_by_side(
+        _spec_from_args(args),
+        delete_persistence_threshold=args.d_th,
+        memtable_entries=512,
+        entries_per_page=32,
+    )
+    print(scenario.render())
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    scale = {
+        "memtable_entries": 512,
+        "entries_per_page": 32,
+        "policy": _POLICIES[args.policy],
+    }
+    if args.engine == "acheron":
+        engine = AcheronEngine.acheron(
+            delete_persistence_threshold=args.d_th,
+            pages_per_tile=args.pages_per_tile,
+            directory=args.directory,
+            **scale,
+        )
+    else:
+        engine = AcheronEngine.baseline(directory=args.directory, **scale)
+    if args.replay:
+        from repro.workload.trace import load_trace
+
+        operations = load_trace(args.replay)
+        result = run_workload(engine, operations)
+    else:
+        generator = WorkloadGenerator(_spec_from_args(args))
+        result = run_workload(engine, generator.operations())
+    inspector = TreeInspector(engine, name=args.engine)
+    print(inspector.dashboard())
+    print(
+        f"\n{result.operations} ops, {result.wall_seconds:.2f}s wall, "
+        f"{result.modeled_throughput_ops_per_s():,.0f} modeled ops/s"
+    )
+    engine.close()
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.workload.generator import generate_operations
+    from repro.workload.trace import record_trace
+
+    count = record_trace(generate_operations(_spec_from_args(args)), args.trace_path)
+    print(f"recorded {count} operations to {args.trace_path}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    engine = AcheronEngine(config=None, directory=args.directory, read_only=True)
+    print(TreeInspector(engine, name=args.directory).dashboard())
+    engine.close()
+    return 0
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:
+    from repro.demo.shell import DemoShell
+
+    if args.engine == "acheron":
+        engine = AcheronEngine.acheron(
+            delete_persistence_threshold=args.d_th,
+            directory=args.directory,
+            memtable_entries=512,
+            entries_per_page=32,
+        )
+    else:
+        engine = AcheronEngine.baseline(
+            directory=args.directory, memtable_entries=512, entries_per_page=32
+        )
+    DemoShell(engine, name=args.engine).run(sys.stdin, sys.stdout)
+    engine.close()
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    report = diagnose_store(args.directory)
+    print(report.render())
+    return 0 if report.healthy else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "workload": _cmd_workload,
+        "inspect": _cmd_inspect,
+        "verify": _cmd_verify,
+        "shell": _cmd_shell,
+        "record": _cmd_record,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

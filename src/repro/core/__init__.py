@@ -1,0 +1,28 @@
+"""The paper's contribution: delete-aware LSM machinery.
+
+* :mod:`repro.core.persistence` -- the tombstone lifecycle tracker that
+  measures delete persistence latency (the paper's central metric).
+* :mod:`repro.core.fade` -- FADE, the delete-aware compaction scheduler
+  that bounds persistence latency by ``D_th`` via per-level TTLs.
+* :mod:`repro.core.kiwi` -- secondary range deletes over the key-weaving
+  layout (page drops instead of a full-tree rewrite), plus the baseline
+  full-rewrite comparator.
+* :mod:`repro.core.engine` -- the user-facing engine facade that wires the
+  above onto the LSM substrate.
+"""
+
+from repro.core.engine import AcheronEngine, EngineStats
+from repro.core.fade import FadeScheduler
+from repro.core.kiwi import SecondaryDeleteReport, full_rewrite_delete, kiwi_range_delete
+from repro.core.persistence import PersistenceStats, PersistenceTracker
+
+__all__ = [
+    "AcheronEngine",
+    "EngineStats",
+    "FadeScheduler",
+    "PersistenceStats",
+    "PersistenceTracker",
+    "SecondaryDeleteReport",
+    "full_rewrite_delete",
+    "kiwi_range_delete",
+]

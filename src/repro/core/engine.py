@@ -1,0 +1,270 @@
+"""The user-facing engine facade.
+
+:class:`AcheronEngine` is the public API of this library: a key-value store
+with puts, point deletes carrying a persistence guarantee, secondary range
+deletes, point and range reads, and rich observability.  It wires together
+the LSM substrate, the FADE scheduler, the persistence tracker, and the
+KiWi delete executors, and exposes one :meth:`stats` snapshot gathering
+everything the paper's evaluation measures.
+
+Typical use::
+
+    from repro import AcheronEngine
+
+    engine = AcheronEngine.acheron(delete_persistence_threshold=50_000)
+    engine.put("user:42", b"profile-bytes")
+    engine.delete("user:42")              # guaranteed purged within D_th
+    engine.delete_range(0, cutoff_tick)   # secondary delete, via KiWi
+    print(engine.stats().persistence.max_latency)
+
+``AcheronEngine.baseline()`` builds the state-of-the-art comparison engine
+(same tree, delete-awareness off) so experiments compare like with like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.clock import LogicalClock
+from repro.config import LSMConfig, acheron_config, baseline_config
+from repro.core.kiwi import (
+    SecondaryDeleteReport,
+    full_rewrite_delete,
+    kiwi_range_delete,
+)
+from repro.core.persistence import PersistenceStats, PersistenceTracker
+from repro.errors import ConfigError
+from repro.lsm.tree import LSMTree
+from repro.metrics.amplification import AmplificationReport, measure_amplification
+from repro.metrics.shape import LevelSummary, tree_shape
+from repro.storage.disk import IOStats
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Everything the evaluation measures, in one snapshot."""
+
+    io: IOStats
+    amplification: AmplificationReport
+    persistence: PersistenceStats
+    shape: list[LevelSummary]
+    counters: dict[str, int]
+    flush_count: int
+    compaction_count: int
+    cache_hit_rate: float
+    tick: int
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot (for logging, dashboards, bench archives)."""
+        from dataclasses import asdict
+
+        def scrub(value):
+            if isinstance(value, float) and (value != value or abs(value) == float("inf")):
+                return str(value)
+            if isinstance(value, dict):
+                return {k: scrub(v) for k, v in value.items()}
+            if isinstance(value, list):
+                return [scrub(v) for v in value]
+            return value
+
+        return scrub(
+            {
+                "tick": self.tick,
+                "io": asdict(self.io),
+                "amplification": asdict(self.amplification),
+                "persistence": asdict(self.persistence),
+                "shape": [asdict(level) for level in self.shape],
+                "counters": dict(self.counters),
+                "flush_count": self.flush_count,
+                "compaction_count": self.compaction_count,
+                "cache_hit_rate": self.cache_hit_rate,
+            }
+        )
+
+
+class AcheronEngine:
+    """A delete-aware LSM key-value engine (see module docstring)."""
+
+    def __init__(
+        self,
+        config: LSMConfig | None = None,
+        directory: str | None = None,
+        clock: LogicalClock | None = None,
+        track_persistence: bool = True,
+        read_only: bool = False,
+    ) -> None:
+        if config is None and directory is not None:
+            # A durable store is self-describing: prefer its recorded
+            # config over the default when none is given explicitly.
+            from repro.storage.filestore import FileStore
+
+            manifest = FileStore(directory).read_manifest()
+            if manifest is not None and "config" in manifest:
+                config = LSMConfig.from_dict(manifest["config"])
+        self.config = config or acheron_config()
+        self.tracker = (
+            PersistenceTracker(threshold=self.config.delete_persistence_threshold)
+            if track_persistence
+            else None
+        )
+        if directory is not None:
+            self.tree = LSMTree.open(
+                self.config, directory, listener=self.tracker, read_only=read_only
+            )
+        else:
+            if read_only:
+                raise ConfigError("read_only requires a durable directory")
+            self.tree = LSMTree(self.config, clock=clock, listener=self.tracker)
+
+    # ------------------------------------------------------------------
+    # named constructors (the two engines the demo compares)
+    # ------------------------------------------------------------------
+    @classmethod
+    def acheron(
+        cls,
+        delete_persistence_threshold: int = 50_000,
+        pages_per_tile: int = 8,
+        directory: str | None = None,
+        **config_overrides: object,
+    ) -> "AcheronEngine":
+        """The demonstrated engine: FADE + KiWi enabled."""
+        cfg = acheron_config(
+            delete_persistence_threshold=delete_persistence_threshold,
+            pages_per_tile=pages_per_tile,
+            **config_overrides,
+        )
+        return cls(cfg, directory=directory)
+
+    @classmethod
+    def baseline(
+        cls, directory: str | None = None, **config_overrides: object
+    ) -> "AcheronEngine":
+        """The state-of-the-art baseline: no persistence guarantee."""
+        return cls(baseline_config(**config_overrides), directory=directory)
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def put(self, key: Any, value: Any, delete_key: int | None = None) -> None:
+        """Insert or update ``key`` (see :meth:`LSMTree.put`)."""
+        self.tree.put(key, value, delete_key=delete_key)
+
+    def delete(self, key: Any) -> None:
+        """Logically delete ``key``; FADE bounds its physical purge."""
+        self.tree.delete(key)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Point lookup; ``default`` for missing or deleted keys."""
+        return self.tree.get(key, default=default)
+
+    def contains(self, key: Any) -> bool:
+        return self.tree.contains(key)
+
+    def scan(
+        self,
+        lo: Any,
+        hi: Any,
+        limit: int | None = None,
+        reverse: bool = False,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Live pairs with ``lo <= key <= hi`` (descending when ``reverse``)."""
+        return self.tree.scan(lo, hi, limit=limit, reverse=reverse)
+
+    def delete_range(
+        self, delete_key_lo: int, delete_key_hi: int, method: str = "auto"
+    ) -> SecondaryDeleteReport:
+        """Delete every value whose *delete key* lies in the given range.
+
+        ``method`` selects the executor: ``"kiwi"`` (page drops),
+        ``"full_rewrite"`` (the baseline full-tree rewrite), or ``"auto"``
+        (kiwi when the weave is enabled, full rewrite otherwise -- i.e.
+        each engine pays its own paper-accurate cost).
+        """
+        if method == "auto":
+            method = "kiwi" if self.config.kiwi_enabled else "full_rewrite"
+        if method == "kiwi":
+            return kiwi_range_delete(self.tree, delete_key_lo, delete_key_hi)
+        if method == "full_rewrite":
+            return full_rewrite_delete(self.tree, delete_key_lo, delete_key_hi)
+        raise ValueError(f"unknown secondary delete method {method!r}")
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        self.tree.flush()
+
+    def compact_all(self) -> None:
+        """Force a full tree merge (the baseline's delete-forcing tool)."""
+        self.tree.full_compaction()
+
+    def advance_time(self, ticks: int) -> None:
+        """Model an idle period so FADE deadlines can come due."""
+        self.tree.advance_time(ticks)
+
+    def close(self) -> None:
+        self.tree.close()
+
+    def __enter__(self) -> "AcheronEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> EngineStats:
+        """One consistent snapshot of every evaluation metric."""
+        now = self.tree.clock.now()
+        tracker = self.tracker or PersistenceTracker()
+        return EngineStats(
+            io=self.tree.disk.snapshot(),
+            amplification=measure_amplification(self.tree),
+            persistence=tracker.stats(now),
+            shape=tree_shape(self.tree),
+            counters=dict(self.tree.counters),
+            flush_count=self.tree.flush_count,
+            compaction_count=len(self.tree.compaction_log),
+            cache_hit_rate=self.tree.cache.hit_rate,
+            tick=now,
+        )
+
+    def persistence_stats(self) -> PersistenceStats:
+        tracker = self.tracker or PersistenceTracker()
+        return tracker.stats(self.tree.clock.now())
+
+    def compliance_report(self) -> dict:
+        """The privacy-compliance audit in one call.
+
+        What a deletion-compliance review asks for: how many deletes are
+        outstanding, the oldest exposure, whether the configured deadline
+        has ever been missed, and how much logically dead data remains on
+        the device.  JSON-safe, suitable for export.
+        """
+        now = self.tree.clock.now()
+        stats = self.persistence_stats()
+        amp = measure_amplification(self.tree)
+        dead_bytes = max(0, amp.bytes_on_disk - amp.live_bytes)
+        return {
+            "tick": now,
+            "guarantee_ticks": self.config.delete_persistence_threshold,
+            "deletes_registered": stats.registered,
+            "deletes_persisted": stats.persisted,
+            "deletes_superseded": stats.superseded,
+            "deletes_pending": stats.pending,
+            "oldest_pending_age": stats.oldest_pending_age,
+            "deadline_violations": stats.violations,
+            "compliant": stats.compliant(),
+            "tombstones_on_disk": amp.tombstones_on_disk,
+            "logically_dead_bytes_on_disk": dead_bytes,
+        }
+
+    @property
+    def disk(self) -> Any:
+        return self.tree.disk
+
+    @property
+    def clock(self) -> LogicalClock:
+        return self.tree.clock

@@ -1,0 +1,255 @@
+"""FADE: fast deletion through delete-aware compaction.
+
+FADE turns the user's delete persistence threshold ``D_th`` into enforcement
+machinery with three pieces:
+
+**Per-level TTL allocation.**  A tombstone must traverse buffer and levels
+``1..L`` within ``D_th``, so the threshold is split into per-level shares
+that grow geometrically with level capacity::
+
+    cum_ttl(i) = D_th * (T^(i+1) - 1) / (T^(L+1) - 1)
+
+``cum_ttl(i)`` is the cumulative deadline offset by which a tombstone
+written at time ``w`` must have *left* level ``i`` (``i = 0`` is the
+buffer; ``cum_ttl(L) = D_th`` exactly).  Deeper levels hold exponentially
+more data and therefore get exponentially more time, which keeps the extra
+compaction traffic small -- the +4-25% write-amplification overhead band.
+
+**Expiry triggers.**  Every file carries the ``write_time`` of its oldest
+tombstone; when a file lands in level ``i`` the scheduler records the
+deadline ``oldest + cum_ttl(i)`` in a lazy min-heap.  The engine peeks the
+heap once per ingest (O(1)); an expired file yields a compaction that moves
+it down one level -- or, at the bottommost level, rewrites it in place to
+physically purge its tombstones (:class:`BOTTOM_PURGE`).  If the tree has
+deepened since a deadline was computed, the move cascades within a single
+maintenance pass, so the end-to-end bound always holds.
+
+**Delete-aware data movement.**  Saturation compactions pick the file with
+the highest tombstone density (see
+:class:`~repro.config.FilePickPolicy.TOMBSTONE_DENSITY`), so ordinary
+housekeeping also pushes deletes toward the bottom.  That part is
+implemented in the shared planner; this module owns the TTL machinery.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+from repro.config import CompactionStyle, LSMConfig
+from repro.lsm.run import SSTableFile
+from repro.lsm.compaction.task import (
+    CompactionReason,
+    CompactionTask,
+    OutputPlacement,
+    TaskInput,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lsm.tree import LSMTree
+
+
+class FadeScheduler:
+    """Tracks tombstone deadlines and plans expiry-driven compactions."""
+
+    def __init__(self, config: LSMConfig) -> None:
+        if config.delete_persistence_threshold is None:
+            raise ValueError("FadeScheduler requires a delete_persistence_threshold")
+        if not config.drop_tombstones_at_bottom:
+            raise ValueError(
+                "FADE cannot honor D_th with drop_tombstones_at_bottom=False: "
+                "purging at the last level is how a delete is persisted"
+            )
+        self.config = config
+        self.d_th = config.delete_persistence_threshold
+        # (deadline, file_id); entries go stale when files are removed --
+        # validated lazily against _live on pop.
+        self._heap: list[tuple[int, int]] = []
+        self._live: dict[int, tuple[SSTableFile, int]] = {}
+        self.expiry_compactions = 0
+        self.purge_compactions = 0
+
+    # ------------------------------------------------------------------
+    # TTL allocation
+    # ------------------------------------------------------------------
+    def cumulative_ttl(self, level: int, deepest: int) -> int:
+        """Deadline offset by which a tombstone must have left ``level``.
+
+        ``level`` 0 is the write buffer.  ``deepest`` is the currently
+        deepest data-bearing level; at or beyond it the full ``D_th``
+        applies (the tombstone must be *purged* by then).
+        """
+        if level < 0:
+            raise ValueError(f"level must be >= 0, got {level}")
+        depth = max(deepest, 1)
+        if level >= depth:
+            return self.d_th
+        ratio = self.config.size_ratio
+        share = self.d_th * (ratio ** (level + 1) - 1) // (ratio ** (depth + 1) - 1)
+        return max(1, share)
+
+    def buffer_deadline(self, oldest_tombstone_time: int, deepest: int) -> int:
+        """Tick by which the write buffer must flush its oldest tombstone.
+
+        The buffer shares level 1's slice of ``D_th`` rather than taking a
+        slice of its own: deadlines are measured from the tombstone's
+        *write* time, so time spent buffered counts against level 1's
+        share automatically, and a file flushed at (or past) its level-1
+        deadline simply cascades downward in the same maintenance pass.
+        Giving the buffer a separate (tiny) slice would force far more
+        frequent flushes and inflate write amplification for no extra
+        guarantee.
+        """
+        return oldest_tombstone_time + self.cumulative_ttl(1, deepest)
+
+    # ------------------------------------------------------------------
+    # file registry (called by the tree on every install/remove)
+    # ------------------------------------------------------------------
+    def file_added(self, file: SSTableFile, level_index: int, deepest: int) -> None:
+        if file.oldest_tombstone_time is None:
+            return
+        deadline = file.oldest_tombstone_time + self.cumulative_ttl(level_index, deepest)
+        self._live[file.file_id] = (file, level_index)
+        heapq.heappush(self._heap, (deadline, file.file_id))
+
+    def file_removed(self, file_id: int) -> None:
+        self._live.pop(file_id, None)
+
+    def tracked_file_count(self) -> int:
+        return len(self._live)
+
+    def next_deadline(self) -> int | None:
+        """Earliest live deadline, or None (O(1) amortized)."""
+        while self._heap:
+            deadline, file_id = self._heap[0]
+            if file_id in self._live:
+                return deadline
+            heapq.heappop(self._heap)
+        return None
+
+    def _pop_expired(self, now: int) -> tuple[SSTableFile, int] | None:
+        while self._heap:
+            deadline, file_id = self._heap[0]
+            entry = self._live.get(file_id)
+            if entry is None:
+                heapq.heappop(self._heap)
+                continue
+            if deadline > now:
+                return None
+            heapq.heappop(self._heap)
+            self._live.pop(file_id, None)
+            return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, tree: "LSMTree") -> CompactionTask | None:
+        """The next expiry-driven task, or None when nothing is due.
+
+        Must be called at structural quiescence (no level over capacity,
+        leveling invariant restored) -- the tree's maintenance loop
+        guarantees that by draining the saturation planner first.
+        """
+        expired = self._pop_expired(tree.clock.now())
+        if expired is None:
+            return None
+        file, level_index = expired
+        deepest = tree.deepest_nonempty_level()
+        if self.config.policy is CompactionStyle.LEVELING:
+            task = self._plan_leveling(tree, file, level_index, deepest)
+        else:
+            task = self._plan_tiering(tree, file, level_index, deepest)
+        if task is None:
+            return self.plan(tree)  # stale expiry; look for the next one
+        if task.reason is CompactionReason.BOTTOM_PURGE:
+            self.purge_compactions += 1
+        else:
+            self.expiry_compactions += 1
+        return task
+
+    def _plan_leveling(
+        self,
+        tree: "LSMTree",
+        file: SSTableFile,
+        level_index: int,
+        deepest: int,
+    ) -> CompactionTask | None:
+        level = tree.level(level_index)
+        run = next((r for r in level.runs if file in r.files), None)
+        if run is None:
+            return None  # the file was compacted away concurrently
+        if level_index >= deepest:
+            # Bottommost data: rewrite the file alone, purging tombstones.
+            # Safe because a run is key-partitioned (no same-level overlap)
+            # and nothing exists below.
+            return CompactionTask(
+                reason=CompactionReason.BOTTOM_PURGE,
+                inputs=[TaskInput(level_index, run, [file])],
+                target_level=level_index,
+                placement=OutputPlacement.MERGE_INTO_TARGET_RUN,
+                drop_tombstones=True,
+                notes=f"purge file {file.file_id} at bottom L{level_index}",
+            )
+        next_index = level_index + 1
+        next_level = tree.level(next_index)
+        inputs = [TaskInput(level_index, run, [file])]
+        overlap: list[SSTableFile] = []
+        if not next_level.is_empty:
+            target_run = next_level.runs[0]
+            overlap = target_run.overlapping_files(file.min_key, file.max_key)
+            if overlap:
+                inputs.append(TaskInput(next_index, target_run, overlap))
+        drop = next_index >= deepest
+        # An expired file with clear space below (and no purge due yet)
+        # can descend as a trivial move: the deadline is met for free.
+        if self.config.trivial_moves and not overlap and not drop:
+            return CompactionTask(
+                reason=CompactionReason.TTL_EXPIRY,
+                inputs=inputs,
+                target_level=next_index,
+                placement=OutputPlacement.MERGE_INTO_TARGET_RUN,
+                trivial_move=True,
+                notes=f"expired trivial move {file.file_id} L{level_index}->L{next_index}",
+            )
+        return CompactionTask(
+            reason=CompactionReason.TTL_EXPIRY,
+            inputs=inputs,
+            target_level=next_index,
+            placement=OutputPlacement.MERGE_INTO_TARGET_RUN,
+            drop_tombstones=drop,
+            notes=f"expired file {file.file_id} L{level_index}->L{next_index}",
+        )
+
+    def _plan_tiering(
+        self,
+        tree: "LSMTree",
+        file: SSTableFile,
+        level_index: int,
+        deepest: int,
+    ) -> CompactionTask | None:
+        level = tree.level(level_index)
+        if not any(file in r.files for r in level.runs):
+            return None
+        inputs = [TaskInput(level_index, run, list(run.files)) for run in level.runs]
+        if level_index >= deepest and tree.level(level_index + 1).is_empty:
+            # Bottommost data: merge the whole level in place and purge.
+            # All runs participate, so every older version is in the merge.
+            return CompactionTask(
+                reason=CompactionReason.BOTTOM_PURGE,
+                inputs=inputs,
+                target_level=level_index,
+                placement=OutputPlacement.NEW_RUN,
+                drop_tombstones=True,
+                notes=f"purge-merge L{level_index}",
+            )
+        next_index = level_index + 1
+        target_empty = tree.level(next_index).is_empty
+        return CompactionTask(
+            reason=CompactionReason.TTL_EXPIRY,
+            inputs=inputs,
+            target_level=next_index,
+            placement=OutputPlacement.NEW_RUN,
+            drop_tombstones=target_empty and level_index >= deepest,
+            notes=f"expired tier-merge L{level_index}->L{next_index}",
+        )

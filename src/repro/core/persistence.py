@@ -1,0 +1,160 @@
+"""The tombstone lifecycle and delete persistence latency.
+
+The paper's problem statement: in a state-of-the-art LSM engine a delete is
+*logical* -- a tombstone invalidates older versions but the invalidated data
+(and the tombstone) may survive on disk arbitrarily long, which breaks
+privacy regulation deadlines (GDPR's right to be forgotten et al.).  The
+metric that captures this is **delete persistence latency**: the time from
+tombstone insertion to the moment the delete is *physically* realized.
+
+A tombstone's life can end in exactly two ways:
+
+* **persisted** -- a compaction merged it into the bottommost level and
+  dropped it: every older version is physically gone.  The latency of this
+  event is what FADE bounds by ``D_th``.
+* **superseded** -- a newer write to the same key shadowed it before it
+  persisted; the delete became moot (the key was re-inserted or re-deleted)
+  and the newer entry carries the obligation forward.
+
+:class:`PersistenceTracker` observes these events from the engine (it is
+the ``listener`` the tree reports to) and exposes the distributions the F1
+and F6 experiments plot, including the paper-critical *pending* set: deletes
+issued but not yet persisted, i.e. the engine's current privacy exposure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.lsm.entry import Entry
+
+
+class DeleteLifecycleListener(Protocol):
+    """What the tree reports to (see :class:`~repro.lsm.tree.LSMTree`)."""
+
+    def tombstone_registered(self, entry: Entry, now: int) -> None: ...
+
+    def tombstone_persisted(self, entry: Entry, now: int) -> None: ...
+
+    def tombstone_superseded(self, entry: Entry, now: int) -> None: ...
+
+
+@dataclass
+class PersistenceStats:
+    """Summary of the delete lifecycle at one observation point."""
+
+    registered: int
+    persisted: int
+    superseded: int
+    pending: int
+    max_latency: int | None
+    mean_latency: float | None
+    p50_latency: int | None
+    p99_latency: int | None
+    violations: int
+    oldest_pending_age: int | None
+    threshold: int | None
+
+    def compliant(self) -> bool:
+        """True when no persisted delete exceeded the threshold *and* no
+        pending delete has already aged past it."""
+        if self.threshold is None:
+            return True
+        if self.violations:
+            return False
+        return self.oldest_pending_age is None or self.oldest_pending_age <= self.threshold
+
+
+@dataclass
+class PersistenceTracker:
+    """Observes tombstone lifecycle events and aggregates latency stats.
+
+    ``threshold`` is the ``D_th`` being checked (None for a baseline engine
+    with no guarantee -- latencies are still recorded, which is how the F1
+    experiment shows the baseline's unbounded tail).
+    """
+
+    threshold: int | None = None
+    _pending: dict[tuple[Any, int], int] = field(default_factory=dict)
+    latencies: list[int] = field(default_factory=list)
+    registered_count: int = 0
+    persisted_count: int = 0
+    superseded_count: int = 0
+    violations: int = 0
+    #: Lifecycle events for tombstones this tracker never saw registered
+    #: (possible after crash recovery); counted rather than raised.
+    unmatched_events: int = 0
+
+    # ------------------------------------------------------------------
+    # listener protocol
+    # ------------------------------------------------------------------
+    def tombstone_registered(self, entry: Entry, now: int) -> None:
+        self.registered_count += 1
+        self._pending[(entry.key, entry.seqno)] = entry.write_time
+
+    def tombstone_persisted(self, entry: Entry, now: int) -> None:
+        born = self._pending.pop((entry.key, entry.seqno), None)
+        if born is None:
+            self.unmatched_events += 1
+            born = entry.write_time
+        latency = now - born
+        self.persisted_count += 1
+        self.latencies.append(latency)
+        if self.threshold is not None and latency > self.threshold:
+            self.violations += 1
+
+    def tombstone_superseded(self, entry: Entry, now: int) -> None:
+        if self._pending.pop((entry.key, entry.seqno), None) is None:
+            self.unmatched_events += 1
+        self.superseded_count += 1
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def pending_ages(self, now: int) -> list[int]:
+        """Age of every unpersisted delete (the privacy-exposure view)."""
+        return sorted(now - born for born in self._pending.values())
+
+    def latency_percentile(self, fraction: float) -> int | None:
+        """The ``fraction``-quantile of persisted latencies (0 < f <= 1)."""
+        if not self.latencies:
+            return None
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, max(0, round(fraction * len(ordered)) - 1))
+        return ordered[index]
+
+    def stats(self, now: int) -> PersistenceStats:
+        ages = self.pending_ages(now)
+        return PersistenceStats(
+            registered=self.registered_count,
+            persisted=self.persisted_count,
+            superseded=self.superseded_count,
+            pending=self.pending_count,
+            max_latency=max(self.latencies) if self.latencies else None,
+            mean_latency=(sum(self.latencies) / len(self.latencies)) if self.latencies else None,
+            p50_latency=self.latency_percentile(0.50),
+            p99_latency=self.latency_percentile(0.99),
+            violations=self.violations,
+            oldest_pending_age=ages[-1] if ages else None,
+            threshold=self.threshold,
+        )
+
+
+class NullListener:
+    """A listener that ignores everything (engines without tracking)."""
+
+    def tombstone_registered(self, entry: Entry, now: int) -> None:
+        pass
+
+    def tombstone_persisted(self, entry: Entry, now: int) -> None:
+        pass
+
+    def tombstone_superseded(self, entry: Entry, now: int) -> None:
+        pass

@@ -1,0 +1,111 @@
+"""Retention-based deletion: "keep nothing older than W".
+
+The deletion-compliance framework behind this system distinguishes two
+delete classes: *on-demand* deletes (a user asks; served by point deletes
++ FADE) and *retention-based* deletes (policy says data expires after a
+window; served by secondary range deletes over the delete key).  This
+module implements the latter as an engine-attached policy:
+
+    policy = RetentionPolicy(engine, window=50_000, period=5_000)
+    ... policy.maybe_purge() after batches, or wire it into your loop ...
+
+Every ``period`` ticks the policy issues ``delete_range(0, now - window)``
+-- with KiWi that is mostly free page drops.  The policy keeps an audit
+log of every purge (when, horizon, entries removed, I/O paid), which is
+what a compliance review wants to see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.kiwi import SecondaryDeleteReport
+from repro.errors import AcheronError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import AcheronEngine
+
+
+@dataclass(frozen=True)
+class PurgeRecord:
+    """One executed retention purge (the audit-log row)."""
+
+    tick: int
+    horizon: int
+    entries_deleted: int
+    buffered_deleted: int
+    pages_dropped: int
+    io_pages: int
+
+
+@dataclass
+class RetentionPolicy:
+    """Purges everything older than ``window`` every ``period`` ticks.
+
+    ``window`` and ``period`` are in clock ticks (delete keys default to
+    insertion ticks, so "age" is ticks since insertion).  The first purge
+    happens once the clock passes ``window``; call :meth:`maybe_purge`
+    as often as convenient -- it is O(1) when nothing is due.
+    """
+
+    engine: "AcheronEngine"
+    window: int
+    period: int
+    method: str = "auto"
+    audit_log: list[PurgeRecord] = field(default_factory=list)
+    _next_due: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise AcheronError(f"retention window must be >= 1 tick, got {self.window}")
+        if self.period < 1:
+            raise AcheronError(f"purge period must be >= 1 tick, got {self.period}")
+        self._next_due = self.window
+
+    # ------------------------------------------------------------------
+    # operation
+    # ------------------------------------------------------------------
+    def maybe_purge(self) -> SecondaryDeleteReport | None:
+        """Run a purge if one is due; returns its report (or None)."""
+        now = self.engine.clock.now()
+        if now < self._next_due:
+            return None
+        return self.purge_now()
+
+    def purge_now(self) -> SecondaryDeleteReport:
+        """Unconditionally purge everything older than the window."""
+        now = self.engine.clock.now()
+        horizon = max(0, now - self.window)
+        report = self.engine.delete_range(0, horizon, method=self.method)
+        self.audit_log.append(
+            PurgeRecord(
+                tick=now,
+                horizon=horizon,
+                entries_deleted=report.entries_deleted,
+                buffered_deleted=report.memtable_entries_deleted,
+                pages_dropped=report.pages_dropped,
+                io_pages=report.io.total_pages,
+            )
+        )
+        self._next_due = now + self.period
+        return report
+
+    # ------------------------------------------------------------------
+    # compliance reporting
+    # ------------------------------------------------------------------
+    @property
+    def next_due_tick(self) -> int:
+        return self._next_due
+
+    def total_purged(self) -> int:
+        return sum(r.entries_deleted + r.buffered_deleted for r in self.audit_log)
+
+    def oldest_possible_entry_age(self) -> int:
+        """Worst-case age of any retained expired entry.
+
+        Between purges, an entry can exceed the window by at most one
+        period -- the policy's compliance bound, analogous to ``D_th``
+        for point deletes.
+        """
+        return self.window + self.period

@@ -1,0 +1,18 @@
+"""The demonstration layer.
+
+Acheron is a SIGMOD demo: its on-stage artifact is an interactive view of
+tombstones sinking through an LSM-tree under different configurations.
+This package reproduces that experience as text dashboards:
+
+* :class:`~repro.demo.inspector.TreeInspector` renders the per-level
+  table (runs, entries, tombstone density, oldest tombstone age vs the
+  FADE deadline) plus persistence and I/O dashboards;
+* :mod:`repro.demo.scenarios` scripts the demo's walkthrough: the same
+  workload against the baseline and Acheron side by side.
+"""
+
+from repro.demo.inspector import TreeInspector
+from repro.demo.shell import DemoShell
+from repro.demo.scenarios import DemoScenario, run_side_by_side
+
+__all__ = ["DemoScenario", "DemoShell", "TreeInspector", "run_side_by_side"]

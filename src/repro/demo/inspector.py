@@ -1,0 +1,139 @@
+"""Text rendering of engine state: the demo's dashboards.
+
+Everything is computed from public engine state and rendered with the
+shared table formatter, so inspector output can be asserted in tests and
+pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.metrics.amplification import measure_amplification
+from repro.metrics.reporting import format_table
+from repro.metrics.shape import tree_shape
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import AcheronEngine
+
+
+class TreeInspector:
+    """Renders per-level, persistence, and I/O views of one engine."""
+
+    def __init__(self, engine: "AcheronEngine", name: str = "engine") -> None:
+        self.engine = engine
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # individual views
+    # ------------------------------------------------------------------
+    def levels_table(self) -> str:
+        """The demo's central visual: one row per level."""
+        tree = self.engine.tree
+        fade = tree.fade
+        deepest = tree.deepest_nonempty_level()
+        rows = []
+        rows.append(
+            [
+                "buf",
+                "-",
+                "-",
+                "-",
+                len(tree.memtable),
+                tree.memtable.tombstone_count,
+                f"{len(tree.memtable) / tree.config.memtable_entries:.0%}",
+                "-",
+                "-",
+            ]
+        )
+        for summary in tree_shape(tree):
+            ttl = "-"
+            if fade is not None and summary.index <= max(deepest, 1):
+                ttl = fade.cumulative_ttl(summary.index, deepest)
+            rows.append(
+                [
+                    f"L{summary.index}",
+                    summary.runs,
+                    summary.files,
+                    summary.pages,
+                    summary.entries,
+                    summary.tombstones,
+                    f"{summary.fill_fraction:.0%}",
+                    summary.oldest_tombstone_age,
+                    ttl,
+                ]
+            )
+        return format_table(
+            ["level", "runs", "files", "pages", "entries", "tombs", "fill", "oldest-ts-age", "cum-TTL"],
+            rows,
+            title=f"[{self.name}] tree @ tick {tree.clock.now()}",
+        )
+
+    def persistence_table(self) -> str:
+        """Delete-lifecycle dashboard (the paper's headline metric)."""
+        stats = self.engine.persistence_stats()
+        rows = [
+            ["registered", stats.registered],
+            ["persisted", stats.persisted],
+            ["superseded", stats.superseded],
+            ["pending (exposure)", stats.pending],
+            ["max latency", stats.max_latency],
+            ["p50 latency", stats.p50_latency],
+            ["p99 latency", stats.p99_latency],
+            ["threshold D_th", stats.threshold],
+            ["violations", stats.violations],
+            ["oldest pending age", stats.oldest_pending_age],
+            ["compliant", "yes" if stats.compliant() else "NO"],
+        ]
+        return format_table(
+            ["delete lifecycle", "value"], rows, title=f"[{self.name}] persistence"
+        )
+
+    def io_table(self) -> str:
+        """Device activity broken down by category."""
+        stats = self.engine.tree.disk.stats
+        amp = measure_amplification(self.engine.tree)
+        rows = [["read:" + cat, pages] for cat, pages in sorted(stats.reads_by_category.items())]
+        rows += [["write:" + cat, pages] for cat, pages in sorted(stats.writes_by_category.items())]
+        rows += [
+            ["modeled ms", stats.modeled_us / 1000.0],
+            ["write amplification", amp.write_amplification],
+            ["space amplification", amp.space_amplification],
+            ["pages/lookup", amp.pages_read_per_lookup],
+            ["cache hit rate", self.engine.tree.cache.hit_rate],
+        ]
+        return format_table(["device I/O", "value"], rows, title=f"[{self.name}] I/O")
+
+    def compaction_history(self, last: int = 10) -> str:
+        """The most recent compactions, newest last."""
+        rows = [
+            [
+                e.tick,
+                e.reason,
+                f"L{e.source_level}->L{e.target_level}",
+                e.entries_in,
+                e.entries_out,
+                e.tombstones_dropped,
+                e.pages_read,
+                e.pages_written,
+            ]
+            for e in self.engine.tree.compaction_log[-last:]
+        ]
+        return format_table(
+            ["tick", "reason", "move", "in", "out", "ts-dropped", "pg-rd", "pg-wr"],
+            rows,
+            title=f"[{self.name}] recent compactions",
+        )
+
+    # ------------------------------------------------------------------
+    # the full dashboard
+    # ------------------------------------------------------------------
+    def dashboard(self) -> str:
+        return "\n\n".join(
+            [
+                self.levels_table(),
+                self.persistence_table(),
+                self.io_table(),
+                self.compaction_history(),
+            ]
+        )

@@ -1,0 +1,107 @@
+"""Scripted demo scenarios: the walkthrough the SIGMOD audience saw.
+
+A :class:`DemoScenario` runs one seeded workload against any number of
+engine configurations, pausing at checkpoints to capture the inspector
+dashboards.  :func:`run_side_by_side` is the canonical comparison --
+baseline vs Acheron on the same stream -- used by the
+``examples/demo_walkthrough.py`` script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.engine import AcheronEngine
+from repro.demo.inspector import TreeInspector
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.runner import WorkloadResult, run_workload
+from repro.workload.spec import WorkloadSpec
+
+EngineFactory = Callable[[], AcheronEngine]
+
+
+@dataclass
+class ScenarioCapture:
+    """Dashboards captured at one checkpoint for one engine."""
+
+    checkpoint: str
+    engine_name: str
+    dashboard: str
+
+
+@dataclass
+class DemoScenario:
+    """One seeded workload, replayed identically against several engines."""
+
+    spec: WorkloadSpec
+    engines: dict[str, EngineFactory]
+    checkpoints: int = 2
+    captures: list[ScenarioCapture] = field(default_factory=list)
+    results: dict[str, WorkloadResult] = field(default_factory=dict)
+
+    def run(self) -> "DemoScenario":
+        """Execute the scenario; captures and results are filled in."""
+        # Materialize once so every engine sees the identical stream.
+        operations = list(WorkloadGenerator(self.spec).operations())
+        chunk = max(1, len(operations) // max(1, self.checkpoints))
+        for name, factory in self.engines.items():
+            engine = factory()
+            inspector = TreeInspector(engine, name=name)
+            total = WorkloadResult()
+            for start in range(0, len(operations), chunk):
+                part = run_workload(
+                    engine,
+                    operations[start : start + chunk],
+                    secondary_delete_window=self.spec.secondary_delete_window,
+                )
+                _merge_results(total, part)
+                self.captures.append(
+                    ScenarioCapture(
+                        checkpoint=f"after {min(start + chunk, len(operations))} ops",
+                        engine_name=name,
+                        dashboard=inspector.dashboard(),
+                    )
+                )
+            self.results[name] = total
+            engine.close()
+        return self
+
+    def render(self) -> str:
+        """All captures, in execution order."""
+        blocks = []
+        for capture in self.captures:
+            header = f"=== {capture.engine_name} :: {capture.checkpoint} ==="
+            blocks.append(f"{header}\n{capture.dashboard}")
+        return "\n\n".join(blocks)
+
+
+def _merge_results(total: WorkloadResult, part: WorkloadResult) -> None:
+    total.operations += part.operations
+    total.wall_seconds += part.wall_seconds
+    for kind, stats in part.per_kind.items():
+        agg = total.kind(kind)
+        agg.count += stats.count
+        agg.pages_read += stats.pages_read
+        agg.pages_written += stats.pages_written
+        agg.modeled_us += stats.modeled_us
+        agg.results_returned += stats.results_returned
+
+
+def run_side_by_side(
+    spec: WorkloadSpec,
+    delete_persistence_threshold: int = 20_000,
+    **config_overrides: object,
+) -> DemoScenario:
+    """The canonical demo: baseline vs Acheron on one stream."""
+    scenario = DemoScenario(
+        spec=spec,
+        engines={
+            "baseline": lambda: AcheronEngine.baseline(**config_overrides),
+            "acheron": lambda: AcheronEngine.acheron(
+                delete_persistence_threshold=delete_persistence_threshold,
+                **config_overrides,
+            ),
+        },
+    )
+    return scenario.run()

@@ -1,0 +1,155 @@
+"""An interactive shell over one engine: the demo's hands-on mode.
+
+The SIGMOD demonstration let the audience poke the engine directly; this
+is that experience at a prompt::
+
+    acheron> put user:1 alice
+    acheron> del user:1
+    acheron> persistence
+    acheron> levels
+    acheron> purge-older-than 500
+    acheron> quit
+
+Driven by any line iterator, so it is fully testable (and scriptable:
+``python -m repro.cli shell < script.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, TextIO
+
+from repro.core.engine import AcheronEngine
+from repro.demo.inspector import TreeInspector
+
+_HELP = """\
+commands:
+  put <key> <value>        insert/update (int keys are auto-detected)
+  get <key>                point lookup
+  del <key>                point delete (tracked tombstone)
+  scan <lo> <hi> [limit]   range scan
+  purge-older-than <tick>  secondary range delete on insertion time
+  flush                    force the memtable to disk
+  compact                  full tree compaction
+  wait <ticks>             advance simulated time (lets deadlines fire)
+  levels | persistence | io | history | stats   dashboards
+  help                     this text
+  quit / exit              leave the shell"""
+
+
+def _parse_key(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+class DemoShell:
+    """Executes shell commands against one engine."""
+
+    def __init__(self, engine: AcheronEngine, name: str = "acheron") -> None:
+        self.engine = engine
+        self.inspector = TreeInspector(engine, name=name)
+        self.name = name
+        self._commands: dict[str, Callable[[list[str]], str]] = {
+            "put": self._cmd_put,
+            "get": self._cmd_get,
+            "del": self._cmd_del,
+            "scan": self._cmd_scan,
+            "purge-older-than": self._cmd_purge,
+            "flush": self._cmd_flush,
+            "compact": self._cmd_compact,
+            "wait": self._cmd_wait,
+            "levels": lambda args: self.inspector.levels_table(),
+            "persistence": lambda args: self.inspector.persistence_table(),
+            "io": lambda args: self.inspector.io_table(),
+            "history": lambda args: self.inspector.compaction_history(),
+            "stats": lambda args: self.inspector.dashboard(),
+            "help": lambda args: _HELP,
+        }
+
+    # ------------------------------------------------------------------
+    # command handlers
+    # ------------------------------------------------------------------
+    def _cmd_put(self, args: list[str]) -> str:
+        if len(args) < 2:
+            return "usage: put <key> <value>"
+        key = _parse_key(args[0])
+        self.engine.put(key, " ".join(args[1:]))
+        return f"ok (tick {self.engine.clock.now()})"
+
+    def _cmd_get(self, args: list[str]) -> str:
+        if len(args) != 1:
+            return "usage: get <key>"
+        sentinel = object()
+        value = self.engine.get(_parse_key(args[0]), default=sentinel)
+        return "(not found)" if value is sentinel else repr(value)
+
+    def _cmd_del(self, args: list[str]) -> str:
+        if len(args) != 1:
+            return "usage: del <key>"
+        self.engine.delete(_parse_key(args[0]))
+        threshold = self.engine.config.delete_persistence_threshold
+        if threshold is not None:
+            return f"tombstone registered; persists within D_th={threshold}"
+        return "tombstone registered (no persistence guarantee on this engine)"
+
+    def _cmd_scan(self, args: list[str]) -> str:
+        if len(args) not in (2, 3):
+            return "usage: scan <lo> <hi> [limit]"
+        limit = int(args[2]) if len(args) == 3 else 20
+        rows = list(
+            self.engine.scan(_parse_key(args[0]), _parse_key(args[1]), limit=limit)
+        )
+        if not rows:
+            return "(empty)"
+        return "\n".join(f"  {k!r} -> {v!r}" for k, v in rows)
+
+    def _cmd_purge(self, args: list[str]) -> str:
+        if len(args) != 1:
+            return "usage: purge-older-than <tick>"
+        report = self.engine.delete_range(0, int(args[0]))
+        return report.summary()
+
+    def _cmd_flush(self, args: list[str]) -> str:
+        self.engine.flush()
+        return "flushed"
+
+    def _cmd_compact(self, args: list[str]) -> str:
+        self.engine.compact_all()
+        return "full compaction done"
+
+    def _cmd_wait(self, args: list[str]) -> str:
+        if len(args) != 1:
+            return "usage: wait <ticks>"
+        self.engine.advance_time(int(args[0]))
+        return f"now at tick {self.engine.clock.now()}"
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def execute(self, line: str) -> tuple[str, bool]:
+        """Run one command line; returns (output, should_continue)."""
+        tokens = line.strip().split()
+        if not tokens:
+            return "", True
+        command, args = tokens[0].lower(), tokens[1:]
+        if command in ("quit", "exit"):
+            return "bye", False
+        handler = self._commands.get(command)
+        if handler is None:
+            return f"unknown command {command!r} (try 'help')", True
+        try:
+            return handler(args), True
+        except Exception as exc:  # surface, don't kill the shell
+            return f"error: {exc}", True
+
+    def run(self, lines: Iterable[str], out: TextIO) -> None:
+        """Drive the shell from an iterator of command lines."""
+        print(f"{self.name} shell -- 'help' for commands", file=out)
+        for line in lines:
+            output, keep_going = self.execute(line)
+            if output:
+                print(output, file=out)
+            if not keep_going:
+                return
+        print("bye", file=out)

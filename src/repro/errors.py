@@ -1,0 +1,53 @@
+"""Exception hierarchy for the Acheron reproduction.
+
+Every error raised by this library derives from :class:`AcheronError`, so
+callers can catch one base class.  Sub-classes are deliberately fine-grained:
+configuration mistakes, storage corruption, and engine misuse are different
+failure modes and should be distinguishable without string matching.
+"""
+
+from __future__ import annotations
+
+
+class AcheronError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(AcheronError):
+    """An :class:`~repro.config.LSMConfig` field is invalid or inconsistent."""
+
+
+class StorageError(AcheronError):
+    """Base class for errors in the simulated/persistent storage layer."""
+
+
+class CorruptionError(StorageError):
+    """A page, WAL record, or manifest failed its checksum or decode step."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id was requested that the disk has no record of."""
+
+
+class WALError(StorageError):
+    """The write-ahead log is in an unusable state (closed, truncated...)."""
+
+
+class EngineClosedError(AcheronError):
+    """An operation was attempted on an engine after :meth:`close`."""
+
+
+class CompactionError(AcheronError):
+    """A compaction task could not be planned or executed."""
+
+
+class InvariantViolationError(AcheronError):
+    """An internal structural invariant was found broken.
+
+    Raised by the self-check utilities (``check_invariants`` methods); seeing
+    this outside of a test indicates a bug in the library itself.
+    """
+
+
+class WorkloadError(AcheronError):
+    """A workload specification is invalid (bad mix weights, empty keyspace)."""

@@ -1,0 +1,11 @@
+"""Read-path auxiliary structures: Bloom filters and fence pointers.
+
+Both live entirely in memory (as the paper assumes): probing them is free
+in device I/O terms, which is exactly why they matter -- they decide *which*
+pages the engine pays to read.
+"""
+
+from repro.filters.bloom import BloomFilter
+from repro.filters.fence import FenceIndex
+
+__all__ = ["BloomFilter", "FenceIndex"]

@@ -1,0 +1,113 @@
+"""A Bloom filter with a configurable bits-per-key budget.
+
+One filter guards each file (SSTable): a point lookup probes the filter
+before paying any page read, so a negative skips the file entirely.  The
+memory budget (``bits_per_key``) is the knob the T2 experiment sweeps --
+fewer bits means more false positives, means more wasted page reads, and
+tombstone-laden trees amplify that waste (the F8 experiment).
+
+Hashing uses ``blake2b`` split into two 64-bit halves combined with the
+Kirsch-Mitzenmacher double-hashing scheme, so membership answers are
+deterministic across processes (Python's builtin ``hash`` is salted per
+process and would break reproducibility).
+"""
+
+from __future__ import annotations
+
+import math
+from hashlib import blake2b
+from typing import Any, Iterable
+
+
+def _key_bytes(key: Any) -> bytes:
+    """Canonical byte encoding of a key for hashing."""
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, int):
+        length = max(1, (key.bit_length() + 8) // 8)
+        return key.to_bytes(length, "little", signed=True)
+    return repr(key).encode("utf-8")
+
+
+class BloomFilter:
+    """An approximate-membership filter over a fixed key set.
+
+    Built once (at file-construction time) from the full key list; the
+    engine never inserts into a live filter, matching how LSM engines build
+    per-SSTable filters during compaction.
+    """
+
+    __slots__ = ("num_bits", "num_hashes", "_bits", "probes", "false_positive_budget")
+
+    def __init__(self, num_keys: int, bits_per_key: float) -> None:
+        if num_keys < 0:
+            raise ValueError(f"num_keys must be >= 0, got {num_keys}")
+        if bits_per_key < 0:
+            raise ValueError(f"bits_per_key must be >= 0, got {bits_per_key}")
+        self.num_bits = max(8, int(num_keys * bits_per_key)) if bits_per_key > 0 else 0
+        # k* = (m/n) ln 2 minimizes the false positive rate.  An enabled
+        # filter always probes at least one bit so that a filter built
+        # over an empty key set correctly answers "absent".
+        self.num_hashes = max(1, round(bits_per_key * math.log(2))) if self.num_bits else 0
+        self._bits = bytearray((self.num_bits + 7) // 8) if self.num_bits else bytearray()
+        self.probes = 0
+        self.false_positive_budget = bits_per_key
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, keys: Iterable[Any], bits_per_key: float) -> "BloomFilter":
+        """Build a filter sized for ``keys`` and populate it."""
+        key_list = list(keys)
+        bloom = cls(len(key_list), bits_per_key)
+        for key in key_list:
+            bloom._add(key)
+        return bloom
+
+    def _hash_pair(self, key: Any) -> tuple[int, int]:
+        digest = blake2b(_key_bytes(key), digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little") | 1  # odd => full-cycle stride
+        return h1, h2
+
+    def _add(self, key: Any) -> None:
+        if not self.num_bits:
+            return
+        h1, h2 = self._hash_pair(key)
+        for i in range(self.num_hashes):
+            bit = (h1 + i * h2) % self.num_bits
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def might_contain(self, key: Any) -> bool:
+        """False means definitely absent; True means 'probably present'.
+
+        With ``bits_per_key == 0`` the filter is disabled and always
+        answers True (every lookup must probe the file).
+        """
+        self.probes += 1
+        if not self.num_bits:
+            return True
+        h1, h2 = self._hash_pair(key)
+        for i in range(self.num_hashes):
+            bit = (h1 + i * h2) % self.num_bits
+            if not self._bits[bit >> 3] & (1 << (bit & 7)):
+                return False
+        return True
+
+    @property
+    def size_bytes(self) -> int:
+        """Memory footprint of the bit array."""
+        return len(self._bits)
+
+    def expected_false_positive_rate(self, num_keys: int) -> float:
+        """Theoretical FP rate for a filter of this size holding ``num_keys``."""
+        if not self.num_bits or not num_keys:
+            return 1.0 if not self.num_bits else 0.0
+        exponent = -self.num_hashes * num_keys / self.num_bits
+        return (1.0 - math.exp(exponent)) ** self.num_hashes

@@ -1,0 +1,73 @@
+"""Fence pointers: in-memory min/max indexes over ordered extents.
+
+A :class:`FenceIndex` is built over any sequence of extents (tiles within a
+file, pages within a tile, files within a run) that are **sorted by their
+min bound and mutually disjoint**.  It answers two questions without I/O:
+
+* which single extent *can* contain a point key, and
+* which contiguous span of extents overlaps a range.
+
+KiWi uses two fence granularities per file: tiles are fenced on the sort
+key, and pages inside a tile are fenced on the *delete* key (that second
+index is what lets a secondary range delete find droppable pages for free).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Sequence
+
+
+class FenceIndex:
+    """Binary-searchable (min, max) bounds over disjoint sorted extents."""
+
+    __slots__ = ("_mins", "_maxes")
+
+    def __init__(self, mins: Sequence[Any], maxes: Sequence[Any]) -> None:
+        if len(mins) != len(maxes):
+            raise ValueError("fence mins and maxes must have equal length")
+        for lo, hi in zip(mins, maxes):
+            if lo > hi:
+                raise ValueError(f"fence extent has min {lo!r} > max {hi!r}")
+        for i in range(1, len(mins)):
+            if mins[i] <= maxes[i - 1]:
+                raise ValueError(
+                    f"fence extents must be disjoint and sorted; extent {i} "
+                    f"starts at {mins[i]!r} <= previous max {maxes[i - 1]!r}"
+                )
+        self._mins = list(mins)
+        self._maxes = list(maxes)
+
+    @classmethod
+    def over(cls, extents: Sequence[Any], min_attr: str, max_attr: str) -> "FenceIndex":
+        """Build from objects exposing min/max attributes."""
+        return cls(
+            [getattr(e, min_attr) for e in extents],
+            [getattr(e, max_attr) for e in extents],
+        )
+
+    def __len__(self) -> int:
+        return len(self._mins)
+
+    def locate(self, key: Any) -> int | None:
+        """Index of the unique extent whose [min, max] contains ``key``."""
+        if not self._mins:
+            return None
+        idx = bisect_right(self._mins, key) - 1
+        if idx < 0:
+            return None
+        return idx if key <= self._maxes[idx] else None
+
+    def overlapping(self, lo: Any, hi: Any) -> range:
+        """Indexes of every extent intersecting ``[lo, hi]`` (may be empty)."""
+        if lo > hi or not self._mins:
+            return range(0)
+        first = bisect_left(self._maxes, lo)  # first extent with max >= lo
+        last = bisect_right(self._mins, hi)  # one past the last with min <= hi
+        return range(first, last) if first < last else range(0)
+
+    def min_bound(self) -> Any:
+        return self._mins[0] if self._mins else None
+
+    def max_bound(self) -> Any:
+        return self._maxes[-1] if self._maxes else None

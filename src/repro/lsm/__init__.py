@@ -1,0 +1,13 @@
+"""LSM-tree substrate: memtable, runs, levels, iterators, compaction.
+
+This package implements a complete log-structured merge tree in Python.
+The paper's contributions (FADE, KiWi) live in :mod:`repro.core` and are
+expressed as configurations/policies of this substrate rather than as a
+separate engine, so baseline-vs-Acheron comparisons share every code path.
+"""
+
+from repro.lsm.entry import Entry, EntryKind
+from repro.lsm.memtable import Memtable
+from repro.lsm.tree import LSMTree
+
+__all__ = ["Entry", "EntryKind", "Memtable", "LSMTree"]

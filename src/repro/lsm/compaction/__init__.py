@@ -1,0 +1,24 @@
+"""Compaction framework: tasks, planning, execution.
+
+Following the design-space decomposition of Sarkar et al. (PVLDB 2021), a
+compaction strategy is factored into *when to compact* (trigger), *which
+data to move* (picker), and *how to execute the move* (executor).  The
+baseline triggers (saturation, run-count) live in
+:mod:`repro.lsm.compaction.planner`; the paper's delete-aware triggers
+(tombstone TTL expiry, bottom-level purge) live in :mod:`repro.core.fade`
+and produce the same :class:`CompactionTask` objects, so a single executor
+serves every strategy.
+"""
+
+from repro.lsm.compaction.executor import CompactionEvent, execute_task
+from repro.lsm.compaction.planner import SaturationPlanner
+from repro.lsm.compaction.task import CompactionReason, CompactionTask, TaskInput
+
+__all__ = [
+    "CompactionEvent",
+    "CompactionReason",
+    "CompactionTask",
+    "SaturationPlanner",
+    "TaskInput",
+    "execute_task",
+]

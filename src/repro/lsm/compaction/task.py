@@ -1,0 +1,127 @@
+"""Compaction task descriptions.
+
+A :class:`CompactionTask` is a pure description of one merge: which files
+leave which runs, where the output lands, and whether winning tombstones may
+be purged.  Planners (baseline and FADE) produce tasks; the executor
+consumes them.  Keeping the description declarative makes every strategy
+testable without running an engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.lsm.run import Run, SSTableFile
+
+
+class CompactionReason(enum.Enum):
+    """Why a task was planned (reported in logs and the demo inspector)."""
+
+    #: A level temporarily holds more runs than leveling allows; collapse
+    #: them into one (also how a fresh flush merges into level 1).
+    LEVEL_COLLAPSE = "level_collapse"
+    #: A level exceeded its capacity; move data to the next level.
+    SATURATION = "saturation"
+    #: FADE: a file's oldest tombstone hit its per-level deadline.
+    TTL_EXPIRY = "ttl_expiry"
+    #: FADE: expired tombstones sit in the bottommost level; rewrite in
+    #: place to physically purge them.
+    BOTTOM_PURGE = "bottom_purge"
+    #: Lazy leveling: the last level's run outgrew its level; move it down
+    #: one level as-is (a trivial move -- metadata only, no device I/O).
+    RELOCATION = "relocation"
+
+
+class OutputPlacement(enum.Enum):
+    """How the executor installs the merged output."""
+
+    #: Combine output files with the surviving files of the target level's
+    #: run (leveling: the target run contributed its overlap as input).
+    MERGE_INTO_TARGET_RUN = "merge_into_target_run"
+    #: Install the output as a brand-new newest run in the target level
+    #: (tiering, and bottom purges that rewrite a whole level).
+    NEW_RUN = "new_run"
+
+
+@dataclass
+class TaskInput:
+    """Files consumed from one run of one level.
+
+    ``files`` must be a key-ordered subset of ``run.files``; the executor
+    removes exactly those files and keeps the rest of the run.
+    """
+
+    level_index: int
+    run: Run
+    files: list[SSTableFile]
+
+    def __post_init__(self) -> None:
+        run_files = {id(f) for f in self.run.files}
+        for file in self.files:
+            if id(file) not in run_files:
+                raise ValueError(
+                    f"task input file {file.file_id} is not part of the given run"
+                )
+
+    @property
+    def page_count(self) -> int:
+        return sum(f.page_count for f in self.files)
+
+    @property
+    def entry_count(self) -> int:
+        return sum(f.entry_count for f in self.files)
+
+
+@dataclass
+class CompactionTask:
+    """One planned merge, ready for :func:`~repro.lsm.compaction.execute_task`."""
+
+    reason: CompactionReason
+    inputs: list[TaskInput]
+    target_level: int
+    placement: OutputPlacement
+    #: Winning tombstones are physically dropped (and reported as
+    #: *persisted*).  Only safe when the output is the bottommost data for
+    #: its key range; planners are responsible for setting this correctly
+    #: and the executor trusts them.
+    drop_tombstones: bool = False
+    #: Move the input files to the target level unchanged -- no merge, no
+    #: device I/O (RocksDB's "trivial move").  Only valid for a single
+    #: input whose key range has no overlap in the target level; the
+    #: executor validates this.  ``drop_tombstones`` must be False (a
+    #: trivial move rewrites nothing).
+    trivial_move: bool = False
+    notes: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise ValueError("a compaction task needs at least one input")
+        if self.target_level < 1:
+            raise ValueError(f"target level must be >= 1, got {self.target_level}")
+        if self.trivial_move:
+            if len(self.inputs) != 1:
+                raise ValueError("a trivial move takes exactly one input")
+            if self.drop_tombstones:
+                raise ValueError("a trivial move cannot drop tombstones")
+
+    @property
+    def source_level(self) -> int:
+        return min(inp.level_index for inp in self.inputs)
+
+    @property
+    def input_pages(self) -> int:
+        return sum(inp.page_count for inp in self.inputs)
+
+    @property
+    def input_entries(self) -> int:
+        return sum(inp.entry_count for inp in self.inputs)
+
+    def describe(self) -> str:
+        """One-line human summary (used by the demo inspector)."""
+        per_level: dict[int, int] = {}
+        for inp in self.inputs:
+            per_level[inp.level_index] = per_level.get(inp.level_index, 0) + len(inp.files)
+        parts = ", ".join(f"L{lvl}:{n}f" for lvl, n in sorted(per_level.items()))
+        drop = " drop-tombstones" if self.drop_tombstones else ""
+        return f"{self.reason.value}[{parts} -> L{self.target_level}{drop}]"

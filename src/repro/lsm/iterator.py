@@ -1,0 +1,135 @@
+"""Merge iterators: the shared machinery of scans and compactions.
+
+Both a range scan and a compaction do the same thing -- combine several
+sort-key-ordered streams and resolve multiple versions of a key to the
+newest one.  They differ only in what happens to the losers and to winning
+tombstones:
+
+* a **scan** silently skips shadowed versions and suppresses winning
+  tombstones (a deleted key is invisible);
+* a **compaction** reports every shadowed entry (so the persistence tracker
+  learns when a tombstone was superseded) and may drop winning tombstones
+  when writing the bottommost level (the *purge* that persists a delete).
+
+``merge_resolve`` implements the shared core; thin wrappers specialize it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Iterator
+
+from repro.lsm.entry import Entry
+
+#: Callback fired with (loser, winner) whenever a version is shadowed.
+ShadowCallback = Callable[[Entry, Entry], None]
+
+
+def merge_resolve(
+    sources: list[Iterable[Entry]],
+    on_shadowed: ShadowCallback | None = None,
+) -> Iterator[Entry]:
+    """K-way merge of key-ordered streams, newest version per key wins.
+
+    Each source must be ascending in sort key with unique keys *within*
+    itself (true for memtable drains, files, and runs).  Across sources,
+    versions of the same key are resolved by sequence number: the largest
+    ``seqno`` wins and every other version is reported to ``on_shadowed``.
+    """
+    if not sources:
+        return
+    if len(sources) == 1:
+        yield from sources[0]
+        return
+
+    merged = heapq.merge(*sources, key=lambda e: (e.key, -e.seqno))
+    current: Entry | None = None
+    for entry in merged:
+        if current is None or entry.key != current.key:
+            if current is not None:
+                yield current
+            current = entry
+        else:
+            # Same key, smaller seqno: shadowed by `current`.
+            if on_shadowed is not None:
+                on_shadowed(entry, current)
+    if current is not None:
+        yield current
+
+
+def merge_resolve_desc(
+    sources: list[Iterable[Entry]],
+    on_shadowed: ShadowCallback | None = None,
+) -> Iterator[Entry]:
+    """Descending-order twin of :func:`merge_resolve`.
+
+    Each source must be *descending* in sort key with unique keys within
+    itself.  Sorting by ``(key, seqno)`` reversed yields keys descending
+    and, within one key, the newest version first -- so the winner is the
+    first of each group, exactly as in the ascending variant.
+    """
+    if not sources:
+        return
+    if len(sources) == 1:
+        yield from sources[0]
+        return
+
+    merged = heapq.merge(*sources, key=lambda e: (e.key, e.seqno), reverse=True)
+    current: Entry | None = None
+    for entry in merged:
+        if current is None or entry.key != current.key:
+            if current is not None:
+                yield current
+            current = entry
+        else:
+            if on_shadowed is not None:
+                on_shadowed(entry, current)
+    if current is not None:
+        yield current
+
+
+def visible_entries(resolved: Iterable[Entry]) -> Iterator[Entry]:
+    """Drop winning tombstones: what a user-level scan should see."""
+    for entry in resolved:
+        if entry.is_put:
+            yield entry
+
+
+def scan_merge(
+    sources: list[Iterable[Entry]],
+    limit: int | None = None,
+    reverse: bool = False,
+) -> Iterator[Entry]:
+    """User-visible range scan over several sources (newest wins, no
+    tombstones), optionally truncated to ``limit`` results.
+
+    With ``reverse=True`` the sources must be key-descending and the
+    output (and the ``limit``) runs from the top of the range downward.
+    """
+    resolve = merge_resolve_desc if reverse else merge_resolve
+    produced = 0
+    for entry in visible_entries(resolve(sources)):
+        yield entry
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+
+
+class CountingIterator:
+    """Wraps an entry iterator and counts what passes through.
+
+    Used by tests and the demo inspector to observe how many versions a
+    scan had to consider versus how many it returned.
+    """
+
+    def __init__(self, inner: Iterable[Entry]) -> None:
+        self._inner = iter(inner)
+        self.count = 0
+
+    def __iter__(self) -> "CountingIterator":
+        return self
+
+    def __next__(self) -> Entry:
+        entry = next(self._inner)
+        self.count += 1
+        return entry

@@ -1,0 +1,82 @@
+"""A level: an ordered collection of runs.
+
+Runs are kept **newest first** -- ``runs[0]`` contains the most recent data.
+Point lookups probe runs in that order and stop at the first hit, which is
+what makes the ordering load-bearing.  Leveling keeps at most one run per
+level (two only transiently, between a flush/merge landing and the planner
+collapsing them); tiering accumulates up to ``size_ratio`` runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lsm.run import Run, SSTableFile
+
+
+class Level:
+    """One on-disk level (1-based index; the memtable is 'level 0')."""
+
+    __slots__ = ("index", "runs")
+
+    def __init__(self, index: int) -> None:
+        if index < 1:
+            raise ValueError(f"on-disk levels are 1-based, got {index}")
+        self.index = index
+        self.runs: list[Run] = []
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_newest_run(self, run: Run) -> None:
+        self.runs.insert(0, run)
+
+    def add_oldest_run(self, run: Run) -> None:
+        self.runs.append(run)
+
+    def remove_run(self, run: Run) -> None:
+        self.runs.remove(run)
+
+    def replace_run(self, old: Run, new: Run | None) -> None:
+        """Swap ``old`` for ``new`` in place (or drop it when new is None)."""
+        idx = self.runs.index(old)
+        if new is None:
+            del self.runs[idx]
+        else:
+            self.runs[idx] = new
+
+    def clear(self) -> None:
+        self.runs.clear()
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def run_count(self) -> int:
+        return len(self.runs)
+
+    @property
+    def entry_count(self) -> int:
+        return sum(r.entry_count for r in self.runs)
+
+    @property
+    def tombstone_count(self) -> int:
+        return sum(r.tombstone_count for r in self.runs)
+
+    @property
+    def page_count(self) -> int:
+        return sum(r.page_count for r in self.runs)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.runs
+
+    def iter_files(self) -> Iterator[SSTableFile]:
+        for run in self.runs:
+            yield from run.files
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Level({self.index}: {self.run_count} runs, {self.entry_count} entries, "
+            f"{self.tombstone_count} tombstones)"
+        )

@@ -1,0 +1,166 @@
+"""Pages and delete tiles: the physical layout of a file.
+
+This module implements the paper's *key-weaving storage layout* (KiWi) and
+its classical degenerate case in one structure:
+
+* a **page** is the unit of device I/O and holds up to ``entries_per_page``
+  entries, always sorted by **sort key** internally;
+* a **delete tile** is a group of ``h = pages_per_tile`` consecutive pages.
+  Tiles partition the file's sort-key space (tile *i* holds strictly
+  smaller keys than tile *i+1*), but *within* a tile the pages are
+  partitioned by the **delete key** -- each page covers a disjoint
+  delete-key range.
+
+That weave is the whole trick: a range delete on the delete key can drop
+every page whose delete-key range falls inside the predicate *without
+reading it*, while sort-key point lookups still land on one tile via fence
+pointers (and then probe up to ``h`` candidate pages -- the read penalty the
+F7 experiment quantifies).  With ``h == 1`` the layout collapses to the
+classical sort-key-only file used by the baselines.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterator
+
+from repro.lsm.entry import Entry
+
+
+class Page:
+    """One disk page: entries sorted by sort key, with both key ranges."""
+
+    __slots__ = (
+        "entries",
+        "min_key",
+        "max_key",
+        "min_delete_key",
+        "max_delete_key",
+        "tombstone_count",
+        "bloom",
+    )
+
+    def __init__(self, entries: list[Entry]) -> None:
+        if not entries:
+            raise ValueError("a page must hold at least one entry")
+        self.entries = entries
+        self.min_key = entries[0].key
+        self.max_key = entries[-1].key
+        dkeys = [e.delete_key for e in entries]
+        self.min_delete_key = min(dkeys)
+        self.max_delete_key = max(dkeys)
+        self.tombstone_count = sum(1 for e in entries if e.is_tombstone)
+        #: Optional per-page Bloom filter (KiWi point-read mitigation);
+        #: attached by the file builder when ``kiwi_page_filters`` is on.
+        self.bloom = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get(self, key: Any) -> Entry | None:
+        """Binary-search this page for ``key`` (keys are unique in a file)."""
+        entries = self.entries
+        idx = bisect_left(entries, key, key=lambda e: e.key)
+        if idx < len(entries) and entries[idx].key == key:
+            return entries[idx]
+        return None
+
+    def covers_key(self, key: Any) -> bool:
+        return self.min_key <= key <= self.max_key
+
+    def covered_by_delete_range(self, lo: int, hi: int) -> bool:
+        """True when *every* entry's delete key falls inside [lo, hi]."""
+        return lo <= self.min_delete_key and self.max_delete_key <= hi
+
+    def overlaps_delete_range(self, lo: int, hi: int) -> bool:
+        return not (self.max_delete_key < lo or self.min_delete_key > hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Page({len(self.entries)} entries, key=[{self.min_key!r},{self.max_key!r}], "
+            f"dkey=[{self.min_delete_key},{self.max_delete_key}])"
+        )
+
+
+class DeleteTile:
+    """A group of pages: disjoint in delete key, jointly one sort-key range.
+
+    ``pages`` are ordered by ``min_delete_key``.  The tile's sort-key bounds
+    span all its pages; they are what the file-level fence pointers index.
+    """
+
+    __slots__ = ("pages", "min_key", "max_key", "min_delete_key", "max_delete_key")
+
+    def __init__(self, pages: list[Page]) -> None:
+        if not pages:
+            raise ValueError("a delete tile must hold at least one page")
+        self.pages = pages
+        self.min_key = min(p.min_key for p in pages)
+        self.max_key = max(p.max_key for p in pages)
+        self.min_delete_key = min(p.min_delete_key for p in pages)
+        self.max_delete_key = max(p.max_delete_key for p in pages)
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(p) for p in self.pages)
+
+    @property
+    def tombstone_count(self) -> int:
+        return sum(p.tombstone_count for p in self.pages)
+
+    def candidate_page_indexes(self, key: Any) -> list[int]:
+        """Pages whose sort-key range may contain ``key``.
+
+        Within a tile the pages are delete-key-partitioned, so their
+        sort-key ranges overlap arbitrarily: a point probe may have to
+        check up to ``h`` pages.  This is KiWi's documented point-read
+        cost (swept in experiment F7).
+        """
+        return [i for i, page in enumerate(self.pages) if page.covers_key(key)]
+
+    def iter_entries_sorted(self) -> Iterator[Entry]:
+        """All entries of the tile in ascending sort-key order.
+
+        Used by compaction and range scans after the pages have been paid
+        for; merging is pure CPU.
+        """
+        if len(self.pages) == 1:
+            yield from self.pages[0].entries
+            return
+        import heapq
+
+        yield from heapq.merge(*(p.entries for p in self.pages), key=lambda e: e.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeleteTile({len(self.pages)} pages, key=[{self.min_key!r},{self.max_key!r}], "
+            f"dkey=[{self.min_delete_key},{self.max_delete_key}])"
+        )
+
+
+def weave_tile(chunk: list[Entry], entries_per_page: int, pages_per_tile: int) -> DeleteTile:
+    """Build one delete tile from a sort-key-ordered chunk of entries.
+
+    The chunk is re-sorted by (delete key, sort key), split into pages of
+    ``entries_per_page``, and each page is re-sorted by sort key -- the
+    key-weaving construction.  With ``pages_per_tile == 1`` the weave is the
+    identity and is skipped.
+    """
+    if not chunk:
+        raise ValueError("cannot weave an empty tile")
+    if pages_per_tile == 1 or len(chunk) <= entries_per_page:
+        pages = [
+            Page(chunk[i : i + entries_per_page]) for i in range(0, len(chunk), entries_per_page)
+        ]
+        return DeleteTile(pages)
+    by_delete_key = sorted(chunk, key=lambda e: (e.delete_key, e.key))
+    pages = []
+    for start in range(0, len(by_delete_key), entries_per_page):
+        page_entries = sorted(
+            by_delete_key[start : start + entries_per_page], key=lambda e: e.key
+        )
+        pages.append(Page(page_entries))
+    return DeleteTile(pages)

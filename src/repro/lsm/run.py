@@ -1,0 +1,404 @@
+"""Files (SSTables) and sorted runs.
+
+A **file** is the immutable unit of compaction: a sequence of delete tiles
+plus in-memory metadata -- Bloom filter, tile fence pointers, entry and
+tombstone counts, and the ``write_time`` of its *oldest tombstone*.  That
+last field is the "very small amount of additional metadata" the paper adds
+to make compaction delete-aware: FADE's per-level TTL triggers compare it
+against the clock, and the tombstone-density file picker uses the counts.
+
+A **run** is a sort-key-partitioned sequence of files (non-overlapping,
+ascending).  Leveling keeps one run per level; tiering keeps up to ``T``.
+
+All page access goes through a :class:`PageReader`, which consults the
+shared block cache and charges the simulated disk on misses -- files never
+touch the device directly, so I/O accounting is airtight.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator
+
+from repro.config import LSMConfig
+from repro.filters.bloom import BloomFilter
+from repro.filters.fence import FenceIndex
+from repro.lsm.entry import Entry
+from repro.lsm.page import DeleteTile, Page, weave_tile
+from repro.storage.cache import BlockCache
+from repro.storage.disk import CATEGORY_QUERY, SimulatedDisk
+
+
+class PageReader:
+    """Cache-aware, category-tagged page access for the read path."""
+
+    __slots__ = ("disk", "cache", "category")
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        cache: BlockCache,
+        category: str = CATEGORY_QUERY,
+    ) -> None:
+        self.disk = disk
+        self.cache = cache
+        self.category = category
+
+    def read_page(self, file: "SSTableFile", tile_idx: int, page_idx: int) -> Page:
+        """Fetch one page, charging the device only on a cache miss."""
+        flat = file.flat_page_index(tile_idx, page_idx)
+        cached = self.cache.get(file.file_id, flat)
+        if cached is not None:
+            return cached
+        self.disk.read_pages(1, self.category)
+        page = file.tiles[tile_idx].pages[page_idx]
+        self.cache.put(file.file_id, flat, page)
+        return page
+
+
+class SSTableFile:
+    """An immutable sorted file of delete tiles plus its metadata."""
+
+    __slots__ = (
+        "file_id",
+        "tiles",
+        "bloom",
+        "tile_fence",
+        "entry_count",
+        "tombstone_count",
+        "min_key",
+        "max_key",
+        "oldest_tombstone_time",
+        "created_at",
+        "_tile_page_offsets",
+        "page_count",
+    )
+
+    def __init__(
+        self,
+        file_id: int,
+        tiles: list[DeleteTile],
+        bloom: BloomFilter,
+        created_at: int,
+    ) -> None:
+        if not tiles:
+            raise ValueError("a file must hold at least one tile")
+        self.file_id = file_id
+        self.tiles = tiles
+        self.bloom = bloom
+        self.created_at = created_at
+        self.tile_fence = FenceIndex.over(tiles, "min_key", "max_key")
+        self.entry_count = sum(t.entry_count for t in tiles)
+        self.tombstone_count = sum(t.tombstone_count for t in tiles)
+        self.min_key = tiles[0].min_key
+        self.max_key = tiles[-1].max_key
+        self.oldest_tombstone_time = _oldest_tombstone_time(tiles)
+        offsets = []
+        total = 0
+        for tile in tiles:
+            offsets.append(total)
+            total += len(tile)
+        self._tile_page_offsets = offsets
+        self.page_count = total
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        file_id: int,
+        entries: list[Entry],
+        config: LSMConfig,
+        created_at: int,
+        level: int = 1,
+    ) -> "SSTableFile":
+        """Build one file from sort-key-ordered, unique-key entries.
+
+        ``level`` is where the file will be installed; under the Monkey
+        allocation it determines the Bloom filter's memory budget.
+        """
+        if not entries:
+            raise ValueError("cannot build an empty file")
+        tile_span = config.entries_per_page * config.pages_per_tile
+        tiles = [
+            weave_tile(
+                entries[i : i + tile_span],
+                config.entries_per_page,
+                config.pages_per_tile,
+            )
+            for i in range(0, len(entries), tile_span)
+        ]
+        bits = config.bloom_bits_for_level(level)
+        bloom = BloomFilter.build((e.key for e in entries), bits)
+        if config.kiwi_page_filters and config.pages_per_tile > 1:
+            attach_page_filters(tiles, bits)
+        return cls(file_id, tiles, bloom, created_at)
+
+    @classmethod
+    def from_tiles(
+        cls,
+        file_id: int,
+        tiles: list[DeleteTile],
+        bloom: BloomFilter,
+        created_at: int,
+    ) -> "SSTableFile":
+        """Rebuild a file from surviving tiles (secondary-delete path).
+
+        The Bloom filter is inherited: it may now contain deleted keys,
+        which only costs false positives, never false negatives.
+        """
+        return cls(file_id, tiles, bloom, created_at)
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def flat_page_index(self, tile_idx: int, page_idx: int) -> int:
+        """Global page number within the file (the cache key component)."""
+        return self._tile_page_offsets[tile_idx] + page_idx
+
+    @property
+    def tombstone_density(self) -> float:
+        """Fraction of entries that are tombstones (FADE's picking score)."""
+        return self.tombstone_count / self.entry_count if self.entry_count else 0.0
+
+    def overlaps(self, lo: Any, hi: Any) -> bool:
+        return not (self.max_key < lo or self.min_key > hi)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, key: Any, reader: PageReader) -> Entry | None:
+        """Point lookup: fence -> candidate pages -> binary search.
+
+        The file-level Bloom filter is the *caller's* job (the run
+        consults it before descending); per-page filters, when present,
+        prune candidate pages here before any I/O.
+        """
+        tile_idx = self.tile_fence.locate(key)
+        if tile_idx is None:
+            return None
+        tile = self.tiles[tile_idx]
+        for page_idx in tile.candidate_page_indexes(key):
+            candidate = tile.pages[page_idx]
+            if candidate.bloom is not None and not candidate.bloom.might_contain(key):
+                continue
+            page = reader.read_page(self, tile_idx, page_idx)
+            entry = page.get(key)
+            if entry is not None:
+                return entry
+        return None
+
+    def range_entries(self, lo: Any, hi: Any, reader: PageReader) -> Iterator[Entry]:
+        """Entries with ``lo <= key <= hi`` in sort-key order.
+
+        Every page of an overlapping tile must be fetched (the weave means
+        any page may hold in-range keys) -- KiWi's range-read penalty.
+        """
+        for tile_idx in self.tile_fence.overlapping(lo, hi):
+            tile = self.tiles[tile_idx]
+            pages = [
+                reader.read_page(self, tile_idx, page_idx) for page_idx in range(len(tile.pages))
+            ]
+            merged: Iterator[Entry]
+            if len(pages) == 1:
+                merged = iter(pages[0].entries)
+            else:
+                merged = heapq.merge(*(p.entries for p in pages), key=lambda e: e.key)
+            for entry in merged:
+                if entry.key > hi:
+                    break
+                if entry.key >= lo:
+                    yield entry
+
+    def range_entries_desc(self, lo: Any, hi: Any, reader: PageReader) -> Iterator[Entry]:
+        """Entries with ``lo <= key <= hi`` in *descending* sort-key order.
+
+        Same I/O profile as the ascending variant: all pages of every
+        overlapping tile are fetched.
+        """
+        for tile_idx in reversed(self.tile_fence.overlapping(lo, hi)):
+            tile = self.tiles[tile_idx]
+            pages = [
+                reader.read_page(self, tile_idx, page_idx) for page_idx in range(len(tile.pages))
+            ]
+            merged: Iterator[Entry]
+            if len(pages) == 1:
+                merged = reversed(pages[0].entries)
+            else:
+                merged = heapq.merge(
+                    *(reversed(p.entries) for p in pages),
+                    key=lambda e: e.key,
+                    reverse=True,
+                )
+            for entry in merged:
+                if entry.key < lo:
+                    break
+                if entry.key <= hi:
+                    yield entry
+
+    def iter_all_entries(self) -> Iterator[Entry]:
+        """All entries in sort-key order, *without* charging I/O.
+
+        Compaction charges its inputs as one bulk sequential read
+        (``page_count`` pages) before calling this; see the executor.
+        """
+        for tile in self.tiles:
+            yield from tile.iter_entries_sorted()
+
+    def check_invariants(self) -> None:
+        """Structural self-check used by tests (AssertionError on failure)."""
+        assert self.tiles, "file with no tiles"
+        prev_max = None
+        for tile in self.tiles:
+            assert tile.pages, "tile with no pages"
+            if prev_max is not None:
+                assert tile.min_key > prev_max, "tiles overlap in sort key"
+            prev_max = tile.max_key
+            for page in tile.pages:
+                keys = [e.key for e in page.entries]
+                assert keys == sorted(keys), "page entries unsorted"
+        assert self.entry_count == sum(t.entry_count for t in self.tiles)
+        assert self.tombstone_count == sum(t.tombstone_count for t in self.tiles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SSTableFile(id={self.file_id}, {self.entry_count} entries, "
+            f"{self.tombstone_count} tombstones, {self.page_count} pages, "
+            f"keys=[{self.min_key!r},{self.max_key!r}])"
+        )
+
+
+def attach_page_filters(tiles: list[DeleteTile], bits_per_key: float) -> None:
+    """Equip every page of ``tiles`` with its own Bloom filter."""
+    for tile in tiles:
+        if len(tile.pages) <= 1:
+            continue  # a single candidate page gains nothing from a filter
+        for page in tile.pages:
+            page.bloom = BloomFilter.build((e.key for e in page.entries), bits_per_key)
+
+
+def _oldest_tombstone_time(tiles: list[DeleteTile]) -> int | None:
+    oldest: int | None = None
+    for tile in tiles:
+        for page in tile.pages:
+            if not page.tombstone_count:
+                continue
+            for entry in page.entries:
+                if entry.is_tombstone and (oldest is None or entry.write_time < oldest):
+                    oldest = entry.write_time
+    return oldest
+
+
+def build_files(
+    entries: list[Entry],
+    config: LSMConfig,
+    next_file_id: "FileIdAllocator",
+    created_at: int,
+    level: int = 1,
+) -> list["SSTableFile"]:
+    """Partition sorted entries into files of at most ``file_entry_limit``."""
+    limit = config.file_entry_limit
+    files = []
+    for start in range(0, len(entries), limit):
+        chunk = entries[start : start + limit]
+        files.append(
+            SSTableFile.build(next_file_id(), chunk, config, created_at, level=level)
+        )
+    return files
+
+
+class FileIdAllocator:
+    """Monotonic file-id source (persisted via the manifest)."""
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def __call__(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    def peek(self) -> int:
+        return self._next
+
+    def advance_past(self, used_id: int) -> None:
+        if used_id >= self._next:
+            self._next = used_id + 1
+
+
+class Run:
+    """A sort-key-partitioned sequence of non-overlapping files."""
+
+    __slots__ = ("files", "file_fence")
+
+    def __init__(self, files: list[SSTableFile]) -> None:
+        if not files:
+            raise ValueError("a run must hold at least one file")
+        ordered = sorted(files, key=lambda f: f.min_key)
+        for left, right in zip(ordered, ordered[1:]):
+            if right.min_key <= left.max_key:
+                raise ValueError(
+                    f"files {left.file_id} and {right.file_id} overlap; a run must "
+                    "be key-partitioned"
+                )
+        self.files = ordered
+        self.file_fence = FenceIndex.over(ordered, "min_key", "max_key")
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def entry_count(self) -> int:
+        return sum(f.entry_count for f in self.files)
+
+    @property
+    def tombstone_count(self) -> int:
+        return sum(f.tombstone_count for f in self.files)
+
+    @property
+    def page_count(self) -> int:
+        return sum(f.page_count for f in self.files)
+
+    @property
+    def min_key(self) -> Any:
+        return self.files[0].min_key
+
+    @property
+    def max_key(self) -> Any:
+        return self.files[-1].max_key
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, key: Any, reader: PageReader) -> Entry | None:
+        """Point lookup: file fence -> Bloom -> file probe."""
+        idx = self.file_fence.locate(key)
+        if idx is None:
+            return None
+        file = self.files[idx]
+        if not file.bloom.might_contain(key):
+            return None
+        return file.get(key, reader)
+
+    def range_entries(self, lo: Any, hi: Any, reader: PageReader) -> Iterator[Entry]:
+        """In-order entries of the run restricted to ``[lo, hi]``."""
+        for idx in self.file_fence.overlapping(lo, hi):
+            yield from self.files[idx].range_entries(lo, hi, reader)
+
+    def range_entries_desc(self, lo: Any, hi: Any, reader: PageReader) -> Iterator[Entry]:
+        """Descending-order entries of the run restricted to ``[lo, hi]``."""
+        for idx in reversed(self.file_fence.overlapping(lo, hi)):
+            yield from self.files[idx].range_entries_desc(lo, hi, reader)
+
+    def overlapping_files(self, lo: Any, hi: Any) -> list[SSTableFile]:
+        return [self.files[i] for i in self.file_fence.overlapping(lo, hi)]
+
+    def iter_all_entries(self) -> Iterator[Entry]:
+        for file in self.files:
+            yield from file.iter_all_entries()

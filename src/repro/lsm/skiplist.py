@@ -1,0 +1,181 @@
+"""A probabilistic skip list.
+
+This is the ordered map under the memtable, chosen because it is what
+production LSM engines (LevelDB, RocksDB) use for their write buffers and
+because its expected O(log n) insert/search with cheap in-order iteration is
+exactly the access pattern a memtable needs: random-order inserts, point
+probes, and one full ordered sweep at flush time.
+
+The list is seeded deterministically so an identical operation sequence
+produces an identical structure -- a requirement for reproducible benchmarks
+(see DESIGN.md, "Determinism everywhere").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator
+
+_MAX_LEVEL = 24
+_P_INV = 4  # promote a node with probability 1/4 per level
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Any, value: Any, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: list[_Node | None] = [None] * level
+
+
+class SkipList:
+    """An ordered ``key -> value`` map with expected O(log n) operations.
+
+    Keys must be mutually comparable (the engine uses ints or bytes).
+    Setting an existing key replaces its value in place.
+    """
+
+    def __init__(self, seed: int = 0x5EED) -> None:
+        self._rng = random.Random(seed)
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.randrange(_P_INV) == 0:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key: Any) -> list[_Node]:
+        """Per level, the rightmost node with ``node.key < key``."""
+        update: list[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[lvl]
+            update[lvl] = node
+        return update
+
+    # ------------------------------------------------------------------
+    # mutating API
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> bool:
+        """Insert or replace ``key``.  Returns True when the key was new."""
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            candidate.value = value
+            return False
+
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, value, level)
+        for lvl in range(level):
+            node.forward[lvl] = update[lvl].forward[lvl]
+            update[lvl].forward[lvl] = node
+        self._size += 1
+        return True
+
+    def remove(self, key: Any) -> bool:
+        """Physically remove ``key``.  Returns True when it was present."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is None or node.key != key:
+            return False
+        for lvl in range(len(node.forward)):
+            if update[lvl].forward[lvl] is node:
+                update[lvl].forward[lvl] = node.forward[lvl]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+        return True
+
+    def clear(self) -> None:
+        """Drop every node."""
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # read API
+    # ------------------------------------------------------------------
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[lvl]
+        node = node.forward[0]
+        if node is not None and node.key == key:
+            return node.value
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def __len__(self) -> int:
+        return self._size
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All ``(key, value)`` pairs in ascending key order."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def items_from(self, key: Any) -> Iterator[tuple[Any, Any]]:
+        """Pairs with ``node.key >= key`` in ascending key order."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def range_items(self, lo: Any, hi: Any) -> Iterator[tuple[Any, Any]]:
+        """Pairs with ``lo <= key <= hi`` in ascending key order."""
+        for key, value in self.items_from(lo):
+            if key > hi:
+                return
+            yield key, value
+
+    def min_key(self) -> Any:
+        node = self._head.forward[0]
+        return None if node is None else node.key
+
+    def max_key(self) -> Any:
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            while node.forward[lvl] is not None:
+                node = node.forward[lvl]
+        return None if node is self._head else node.key
+
+    def check_invariants(self) -> None:
+        """Verify ordering and size bookkeeping (test support).
+
+        Raises :class:`AssertionError` on violation.
+        """
+        count = 0
+        prev_key = None
+        node = self._head.forward[0]
+        while node is not None:
+            if prev_key is not None:
+                assert prev_key < node.key, f"unordered: {prev_key!r} !< {node.key!r}"
+            prev_key = node.key
+            count += 1
+            node = node.forward[0]
+        assert count == self._size, f"size mismatch: counted {count}, recorded {self._size}"
+        for lvl in range(1, self._level):
+            node = self._head.forward[lvl]
+            while node is not None:
+                assert len(node.forward) > lvl
+                node = node.forward[lvl]

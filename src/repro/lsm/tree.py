@@ -1,0 +1,555 @@
+"""The LSM-tree: ingestion, reads, flushing, and the maintenance loop.
+
+One class serves every engine variant in the repository.  Delete-awareness
+is attached, not forked:
+
+* when the config carries a ``delete_persistence_threshold``, a
+  :class:`~repro.core.fade.FadeScheduler` is wired into the maintenance
+  loop (expiry-driven compactions and early buffer flushes);
+* a :class:`~repro.core.persistence.DeleteLifecycleListener` (usually the
+  :class:`~repro.core.persistence.PersistenceTracker`) observes every
+  tombstone's registration, supersession, and persistence;
+* the physical layout (classic vs KiWi weave) is decided by
+  ``pages_per_tile`` inside the file builder.
+
+Durability is optional: construct with a :class:`~repro.storage.FileStore`
+(or use :meth:`LSMTree.open`) and every flush/compaction is persisted --
+files first, then an atomic manifest swap -- with WAL protection for the
+buffer.  Benchmarks run memory-only; the simulated disk accounts I/O either
+way.
+
+Timing convention: the logical clock advances by one tick per ingest
+operation (put or delete).  Reads do not advance time; call
+:meth:`advance_time` to model idle periods.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.clock import LogicalClock
+from repro.config import LSMConfig
+from repro.errors import ConfigError, EngineClosedError
+from repro.lsm.entry import Entry
+from repro.lsm.iterator import scan_merge
+from repro.lsm.level import Level
+from repro.lsm.memtable import Memtable
+from repro.lsm.page import DeleteTile, Page
+from repro.lsm.run import FileIdAllocator, PageReader, Run, SSTableFile, build_files
+from repro.lsm.compaction.executor import CompactionEvent, execute_task
+from repro.lsm.compaction.planner import SaturationPlanner
+from repro.lsm.compaction.task import (
+    CompactionReason,
+    CompactionTask,
+    OutputPlacement,
+    TaskInput,
+)
+from repro.filters.bloom import BloomFilter
+from repro.storage.cache import BlockCache
+from repro.storage.disk import CATEGORY_FLUSH, SimulatedDisk
+from repro.storage.filestore import FileStore
+from repro.storage.wal import WriteAheadLog
+
+
+class LSMTree:
+    """A complete LSM-tree storage engine (see module docstring)."""
+
+    def __init__(
+        self,
+        config: LSMConfig,
+        disk: SimulatedDisk | None = None,
+        cache: BlockCache | None = None,
+        clock: LogicalClock | None = None,
+        listener: Any = None,
+        store: FileStore | None = None,
+        wal_sync: bool = False,
+        read_only: bool = False,
+    ) -> None:
+        self.config = config
+        self.disk = disk or SimulatedDisk(config.disk)
+        self.cache = cache or BlockCache(config.cache_pages)
+        self.clock = clock or LogicalClock()
+        self.listener = listener
+        self.memtable = Memtable(config.memtable_entries)
+        self.file_ids = FileIdAllocator()
+        self.compaction_log: list[CompactionEvent] = []
+        self.flush_count = 0
+        self.counters: dict[str, int] = {
+            "puts": 0,
+            "deletes": 0,
+            "gets": 0,
+            "gets_found": 0,
+            "scans": 0,
+            "ingested_bytes": 0,
+        }
+        self._levels: list[Level] = []
+        self._seqno = 0
+        self._planner = SaturationPlanner(config)
+        self._fade = None
+        if config.fade_enabled:
+            from repro.core.fade import FadeScheduler  # avoid import cycle
+
+            self._fade = FadeScheduler(config)
+        self._store = store
+        self._read_only = read_only
+        self._wal = (
+            WriteAheadLog(store.wal_path, sync=wal_sync)
+            if store is not None and not read_only
+            else None
+        )
+        self._closed = False
+
+    # ==================================================================
+    # construction from disk
+    # ==================================================================
+    @classmethod
+    def open(
+        cls,
+        config: LSMConfig | None,
+        directory: str,
+        listener: Any = None,
+        wal_sync: bool = False,
+        read_only: bool = False,
+    ) -> "LSMTree":
+        """Open (or create) a durable tree rooted at ``directory``.
+
+        ``config=None`` loads the configuration recorded in the manifest
+        (a durable directory is self-describing); passing a config on an
+        existing directory overrides the recorded one -- safe for
+        runtime-only knobs (cache size, disk model), at the caller's risk
+        for layout knobs.
+
+        ``read_only=True`` opens for inspection: the store is never
+        touched (no WAL handle, no flush on close, no manifest writes)
+        and every mutating operation raises.
+
+        Recovery order: manifest -> files -> WAL replay into the memtable.
+        Tombstones replayed from the WAL are re-registered with the
+        listener so persistence tracking survives a restart.
+        """
+        store = FileStore(directory)
+        if config is None:
+            manifest = store.read_manifest()
+            if manifest is None or "config" not in manifest:
+                raise ConfigError(
+                    f"no config given and {directory} has no recorded one "
+                    "(empty or pre-1.0 store)"
+                )
+            config = LSMConfig.from_dict(manifest["config"])
+        tree = cls(
+            config, listener=listener, store=store, wal_sync=wal_sync, read_only=read_only
+        )
+        manifest = store.read_manifest()
+        if manifest is not None:
+            tree._restore_from_manifest(manifest)
+        for entry in WriteAheadLog.replay(store.wal_path):
+            tree.memtable.add(entry)
+            tree._seqno = max(tree._seqno, entry.seqno)
+            tree.clock.advance_to(entry.write_time + 1)
+            if entry.is_tombstone and tree.listener is not None:
+                tree.listener.tombstone_registered(entry, tree.clock.now())
+        return tree
+
+    def _restore_from_manifest(self, manifest: dict) -> None:
+        self._seqno = manifest["seqno"]
+        self.clock.advance_to(manifest["clock"])
+        self.flush_count = manifest.get("flush_count", 0)
+        for level_offset, run_lists in enumerate(manifest["levels"]):
+            level = self.level(level_offset + 1)
+            for file_ids in run_lists:  # stored newest-first
+                files = [self._load_file(fid, level.index) for fid in file_ids]
+                level.add_oldest_run(Run(files))
+                for file in files:
+                    self._register_file(file, level.index)
+        self.file_ids.advance_past(manifest["next_file_id"] - 1)
+
+    def _load_file(self, file_id: int, level: int = 1) -> SSTableFile:
+        assert self._store is not None
+        tile_entries, meta = self._store.read_sstable(file_id)
+        tiles = [DeleteTile([Page(page) for page in pages]) for pages in tile_entries]
+        keys = [e.key for tile in tiles for page in tile.pages for e in page.entries]
+        bits = self.config.bloom_bits_for_level(level)
+        bloom = BloomFilter.build(keys, bits)
+        if self.config.kiwi_page_filters and self.config.pages_per_tile > 1:
+            from repro.lsm.run import attach_page_filters
+
+            attach_page_filters(tiles, bits)
+        return SSTableFile(file_id, tiles, bloom, meta.get("created_at", 0))
+
+    # ==================================================================
+    # write path
+    # ==================================================================
+    def put(self, key: Any, value: Any, delete_key: int | None = None) -> None:
+        """Insert or update ``key``.
+
+        ``delete_key`` is the secondary attribute used by range deletes
+        (defaults to the current tick, i.e. an insertion timestamp).
+        """
+        self._check_open()
+        now = self.clock.now()
+        entry = Entry.put(key, value, self._next_seqno(), now, delete_key)
+        self.counters["puts"] += 1
+        self.counters["ingested_bytes"] += self.config.entry_bytes(is_tombstone=False)
+        self._ingest(entry)
+
+    def delete(self, key: Any) -> None:
+        """Logically delete ``key`` by inserting a tombstone.
+
+        The tombstone is *registered* with the lifecycle listener; with
+        FADE enabled it is guaranteed to be physically purged within
+        ``D_th`` ticks.
+        """
+        self._check_open()
+        now = self.clock.now()
+        entry = Entry.tombstone(key, self._next_seqno(), now)
+        self.counters["deletes"] += 1
+        self.counters["ingested_bytes"] += self.config.entry_bytes(is_tombstone=True)
+        if self.listener is not None:
+            self.listener.tombstone_registered(entry, now)
+        self._ingest(entry)
+
+    def _next_seqno(self) -> int:
+        self._seqno += 1
+        return self._seqno
+
+    def _ingest(self, entry: Entry) -> None:
+        self._check_writable()
+        displaced = self.memtable.get(entry.key)
+        if displaced is not None and displaced.is_tombstone and self.listener is not None:
+            self.listener.tombstone_superseded(displaced, self.clock.now())
+        if self._wal is not None:
+            self._wal.append(entry)
+        self.memtable.add(entry)
+        self.clock.tick()
+        self._maybe_flush()
+        self.maintain()
+
+    def _maybe_flush(self) -> None:
+        if self.memtable.is_full:
+            self._flush()
+            return
+        # FADE: the buffer holds its own slice of D_th; flush early if the
+        # oldest buffered tombstone is about to overstay it.
+        if self._fade is not None and self.memtable.first_tombstone_time is not None:
+            deadline = self._fade.buffer_deadline(
+                self.memtable.first_tombstone_time, self.deepest_nonempty_level()
+            )
+            if self.clock.now() >= deadline:
+                self._flush()
+
+    def flush(self) -> None:
+        """Force the memtable to disk (no-op when empty)."""
+        self._check_open()
+        self._check_writable()
+        if not self.memtable.is_empty:
+            self._flush()
+            self.maintain()
+
+    def _flush(self) -> None:
+        entries = self.memtable.drain()
+        if not entries:
+            return
+        now = self.clock.now()
+        files = build_files(entries, self.config, self.file_ids, now)
+        self.disk.write_pages(sum(f.page_count for f in files), CATEGORY_FLUSH)
+        self.level(1).add_newest_run(Run(files))
+        for file in files:
+            self._register_file(file, 1)
+            self._persist_file(file)
+        self.flush_count += 1
+        if self._wal is not None:
+            self._wal.truncate()
+        self._persist_manifest()
+
+    # ==================================================================
+    # maintenance (compaction loop)
+    # ==================================================================
+    def maintain(self) -> int:
+        """Run compactions until no trigger fires; returns how many ran.
+
+        Saturation/structural tasks drain first so FADE always plans
+        against a structurally quiescent tree; expiry tasks then run until
+        no deadline is due.  All work is synchronous and instantaneous in
+        simulated time (the clock only moves on ingestion).
+        """
+        self._check_open()
+        executed = 0
+        while True:
+            task = self._planner.plan(self)
+            if task is None and self._fade is not None:
+                task = self._fade.plan(self)
+            if task is None:
+                break
+            event = execute_task(task, self)
+            self.compaction_log.append(event)
+            executed += 1
+        if executed:
+            self._persist_manifest()
+        return executed
+
+    def full_compaction(self) -> CompactionEvent | None:
+        """Merge the entire tree into a single bottom run, purging deletes.
+
+        This is the expensive "full tree merge" the paper notes is the
+        baseline's only way to force deletes out; exposed both as a user
+        utility and as the comparator in experiment F5.
+        """
+        self._check_open()
+        self._check_writable()
+        self.flush()
+        inputs = [
+            TaskInput(level.index, run, list(run.files))
+            for level in self.iter_levels()
+            for run in level.runs
+        ]
+        if not inputs:
+            return None
+        target = max(self.deepest_nonempty_level(), 1)
+        task = CompactionTask(
+            reason=CompactionReason.LEVEL_COLLAPSE,
+            inputs=inputs,
+            target_level=target,
+            placement=OutputPlacement.NEW_RUN,
+            drop_tombstones=True,
+            notes="full tree compaction",
+        )
+        event = execute_task(task, self)
+        self.compaction_log.append(event)
+        self._persist_manifest()
+        return event
+
+    # ==================================================================
+    # read path
+    # ==================================================================
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Point lookup; returns ``default`` for missing or deleted keys."""
+        self._check_open()
+        self.counters["gets"] += 1
+        entry = self._get_entry(key)
+        if entry is None or entry.is_tombstone:
+            return default
+        self.counters["gets_found"] += 1
+        return entry.value
+
+    def contains(self, key: Any) -> bool:
+        """True when ``key`` currently maps to a live value."""
+        self._check_open()
+        entry = self._get_entry(key)
+        return entry is not None and entry.is_put
+
+    def _get_entry(self, key: Any) -> Entry | None:
+        entry = self.memtable.get(key)
+        if entry is not None:
+            return entry
+        reader = PageReader(self.disk, self.cache)
+        for level in self.iter_levels():
+            for run in level.runs:  # newest first
+                found = run.get(key, reader)
+                if found is not None:
+                    return found
+        return None
+
+    def scan(
+        self,
+        lo: Any,
+        hi: Any,
+        limit: int | None = None,
+        reverse: bool = False,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Live ``(key, value)`` pairs with ``lo <= key <= hi``.
+
+        Ascending by default; ``reverse=True`` walks from ``hi`` down to
+        ``lo`` (``limit`` then takes the topmost keys).  Lazy: page reads
+        are charged as the iterator is consumed.
+        """
+        self._check_open()
+        self.counters["scans"] += 1
+        reader = PageReader(self.disk, self.cache)
+        buffered = list(self.memtable.range(lo, hi))
+        if reverse:
+            buffered.reverse()
+        sources = [buffered]
+        for level in self.iter_levels():
+            for run in level.runs:
+                if reverse:
+                    sources.append(run.range_entries_desc(lo, hi, reader))
+                else:
+                    sources.append(run.range_entries(lo, hi, reader))
+        for entry in scan_merge(sources, limit=limit, reverse=reverse):
+            yield entry.key, entry.value
+
+    # ==================================================================
+    # structure accessors
+    # ==================================================================
+    def level(self, index: int) -> Level:
+        """Level ``index`` (1-based), created on demand."""
+        if index < 1:
+            raise ValueError(f"on-disk levels are 1-based, got {index}")
+        while len(self._levels) < index:
+            self._levels.append(Level(len(self._levels) + 1))
+        return self._levels[index - 1]
+
+    def iter_levels(self) -> Iterator[Level]:
+        """Existing levels, shallow to deep (some may be empty)."""
+        return iter(self._levels)
+
+    def deepest_nonempty_level(self) -> int:
+        """Index of the deepest level holding data, or 0 when none do."""
+        for level in reversed(self._levels):
+            if not level.is_empty:
+                return level.index
+        return 0
+
+    @property
+    def entry_count_on_disk(self) -> int:
+        return sum(level.entry_count for level in self._levels)
+
+    @property
+    def tombstone_count_on_disk(self) -> int:
+        return sum(level.tombstone_count for level in self._levels)
+
+    @property
+    def page_count_on_disk(self) -> int:
+        return sum(level.page_count for level in self._levels)
+
+    # ==================================================================
+    # file lifecycle hooks (executor / secondary deletes call these)
+    # ==================================================================
+    def on_file_added(self, file: SSTableFile, level_index: int) -> None:
+        self._register_file(file, level_index)
+        self._persist_file(file)
+
+    def on_file_removed(self, file: SSTableFile, level_index: int) -> None:
+        if self._fade is not None:
+            self._fade.file_removed(file.file_id)
+        if self._store is not None and not self._read_only:
+            self._store.delete_sstable(file.file_id)
+
+    def on_file_moved(self, file: SSTableFile, from_level: int, to_level: int) -> None:
+        """A trivial move: same file object, new depth.
+
+        The durable copy needs no rewrite (the manifest records the new
+        level); FADE deadlines are depth-dependent, so re-register.
+        """
+        if self._fade is not None:
+            self._fade.file_removed(file.file_id)
+            self._fade.file_added(file, to_level, self.deepest_nonempty_level())
+
+    def _register_file(self, file: SSTableFile, level_index: int) -> None:
+        if self._fade is not None:
+            self._fade.file_added(file, level_index, self.deepest_nonempty_level())
+
+    def _persist_file(self, file: SSTableFile) -> None:
+        if self._store is None or self._read_only:
+            return
+        tiles = [[page.entries for page in tile.pages] for tile in file.tiles]
+        self._store.write_sstable(file.file_id, tiles, {"created_at": file.created_at})
+
+    def _persist_manifest(self) -> None:
+        if self._store is None or self._read_only:
+            return
+        levels = [
+            [[f.file_id for f in run.files] for run in level.runs] for level in self._levels
+        ]
+        self._store.write_manifest(
+            {
+                "levels": levels,
+                "next_file_id": self.file_ids.peek(),
+                "seqno": self._seqno,
+                "clock": self.clock.now(),
+                "flush_count": self.flush_count,
+                "config": self.config.to_dict(),
+            }
+        )
+
+    # ==================================================================
+    # lifecycle & utilities
+    # ==================================================================
+    def advance_time(self, ticks: int) -> None:
+        """Model an idle period of ``ticks``.
+
+        The clock is advanced *deadline by deadline*: whenever a FADE file
+        deadline or the buffer's tombstone deadline falls inside the
+        window, time stops there, the due maintenance runs, and only then
+        does time continue -- exactly as a background compaction thread
+        would behave.  Jumping the whole window at once would make expiry
+        compactions appear late and violate ``D_th`` spuriously.
+        """
+        self._check_open()
+        self._check_writable()
+        if ticks < 0:
+            raise ValueError(f"cannot advance time backwards ({ticks})")
+        target = self.clock.now() + ticks
+        while True:
+            now = self.clock.now()
+            if now >= target:
+                break
+            stop = target
+            if self._fade is not None:
+                next_deadline = self._fade.next_deadline()
+                if next_deadline is not None and now < next_deadline < stop:
+                    stop = next_deadline
+                if self.memtable.first_tombstone_time is not None:
+                    buffer_deadline = self._fade.buffer_deadline(
+                        self.memtable.first_tombstone_time, self.deepest_nonempty_level()
+                    )
+                    if now < buffer_deadline < stop:
+                        stop = buffer_deadline
+            self.clock.advance_to(stop)
+            self._maybe_flush()
+            self.maintain()
+
+    def close(self) -> None:
+        """Flush state to disk (durable mode) and refuse further use."""
+        if self._closed:
+            return
+        if self._store is not None and not self._read_only and not self.memtable.is_empty:
+            self._flush()
+            self.maintain()
+        if self._wal is not None:
+            self._wal.close()
+        self._closed = True
+
+    def __enter__(self) -> "LSMTree":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineClosedError("this tree has been closed")
+
+    def _check_writable(self) -> None:
+        if self._read_only:
+            raise EngineClosedError("this tree was opened read-only")
+
+    @property
+    def fade(self) -> Any:
+        """The FADE scheduler, or None for a baseline tree."""
+        return self._fade
+
+    def check_invariants(self) -> None:
+        """Deep structural self-check (tests; AssertionError on failure)."""
+        for level in self._levels:
+            for run in level.runs:
+                for file in run.files:
+                    file.check_invariants()
+        # Per-key version ordering: shallower copies must be newer.
+        best_seqno: dict[Any, int] = {}
+        for entry in self.memtable:
+            best_seqno[entry.key] = entry.seqno
+        for level in self._levels:
+            level_best: dict[Any, int] = {}
+            for run in level.runs:
+                for file in run.files:
+                    for entry in file.iter_all_entries():
+                        prev = best_seqno.get(entry.key)
+                        assert prev is None or entry.seqno < prev, (
+                            f"key {entry.key!r}: seqno {entry.seqno} at L{level.index} "
+                            f"not older than {prev} above"
+                        )
+                        existing = level_best.get(entry.key)
+                        if existing is None or entry.seqno > existing:
+                            level_best[entry.key] = entry.seqno
+            best_seqno.update(level_best)

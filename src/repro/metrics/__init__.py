@@ -1,0 +1,35 @@
+"""Measurement: amplification metrics, tree shape, table rendering.
+
+Everything here is read-only over a tree/engine; computing a metric never
+charges the simulated disk (measurement must not perturb the experiment).
+"""
+
+from repro.metrics.amplification import (
+    AmplificationReport,
+    bytes_on_disk,
+    live_bytes_on_disk,
+    measure_amplification,
+    read_cost_breakdown,
+    space_amplification,
+    write_amplification,
+)
+from repro.metrics.reporting import format_table, print_table, sparkline
+from repro.metrics.shape import LevelSummary, tree_shape
+from repro.metrics.timeline import Timeline, TimelineSampler
+
+__all__ = [
+    "AmplificationReport",
+    "LevelSummary",
+    "Timeline",
+    "TimelineSampler",
+    "bytes_on_disk",
+    "format_table",
+    "live_bytes_on_disk",
+    "measure_amplification",
+    "read_cost_breakdown",
+    "print_table",
+    "space_amplification",
+    "sparkline",
+    "tree_shape",
+    "write_amplification",
+]

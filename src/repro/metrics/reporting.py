@@ -1,0 +1,108 @@
+"""Plain-text table rendering for benchmark and demo output.
+
+Every experiment in ``benchmarks/`` prints its rows through
+:func:`format_table` so the regenerated tables and figures share one look
+and are easy to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _render_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        magnitude = abs(value)
+        if magnitude and (magnitude >= 100_000 or magnitude < 0.01):
+            return f"{value:.3e}"
+        return f"{value:,.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table (numbers right-aligned)."""
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str], original: Sequence[Any] | None = None) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            right = original is not None and isinstance(original[i], (int, float))
+            parts.append(cell.rjust(widths[i]) if right else cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    rule = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(rule)
+    lines.append(fmt_row(list(headers)))
+    lines.append(rule)
+    for original, row in zip(rows, rendered):
+        lines.append(fmt_row(row, original))
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> None:
+    """Convenience wrapper: render and print with surrounding blank lines."""
+    print()
+    print(format_table(headers, rows, title=title))
+    print()
+
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values, width: int = 60) -> str:
+    """Render ``values`` as a fixed-width text sparkline.
+
+    Values are downsampled (bucket means) to ``width`` characters and
+    mapped onto a 10-step density ramp, min-to-max normalized.  Flat
+    series render as a mid-level line.  ASCII-only so the charts survive
+    any terminal and diff cleanly in archived experiment output.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return " " * width
+    if len(values) > width:
+        buckets = []
+        for i in range(width):
+            start = i * len(values) // width
+            end = max(start + 1, (i + 1) * len(values) // width)
+            chunk = values[start:end]
+            buckets.append(sum(chunk) / len(chunk))
+        values = buckets
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return (_SPARK_LEVELS[5] * len(values)).ljust(width)
+    chars = []
+    top = len(_SPARK_LEVELS) - 1
+    for value in values:
+        index = round((value - lo) / span * top)
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars).ljust(width)

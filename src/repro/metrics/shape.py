@@ -1,0 +1,64 @@
+"""Tree-shape summaries: the data behind the demo's per-level view.
+
+The Acheron demonstration's central visual is a per-level table -- how many
+runs/files/entries each level holds, how many are tombstones, and how old
+the oldest tombstone is (i.e. how close the level is to its FADE deadline).
+:func:`tree_shape` computes exactly those rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lsm.tree import LSMTree
+
+
+@dataclass(frozen=True)
+class LevelSummary:
+    """One row of the per-level table."""
+
+    index: int
+    runs: int
+    files: int
+    pages: int
+    entries: int
+    tombstones: int
+    capacity: int
+    oldest_tombstone_age: int | None
+
+    @property
+    def tombstone_fraction(self) -> float:
+        return self.tombstones / self.entries if self.entries else 0.0
+
+    @property
+    def fill_fraction(self) -> float:
+        return self.entries / self.capacity if self.capacity else 0.0
+
+
+def tree_shape(tree: "LSMTree") -> list[LevelSummary]:
+    """Per-level summaries, shallow to deep (empty trailing levels kept)."""
+    now = tree.clock.now()
+    rows = []
+    for level in tree.iter_levels():
+        oldest: int | None = None
+        file_count = 0
+        for file in level.iter_files():
+            file_count += 1
+            t = file.oldest_tombstone_time
+            if t is not None and (oldest is None or t < oldest):
+                oldest = t
+        rows.append(
+            LevelSummary(
+                index=level.index,
+                runs=level.run_count,
+                files=file_count,
+                pages=level.page_count,
+                entries=level.entry_count,
+                tombstones=level.tombstone_count,
+                capacity=tree.config.level_capacity_entries(level.index),
+                oldest_tombstone_age=(now - oldest) if oldest is not None else None,
+            )
+        )
+    return rows

@@ -1,0 +1,116 @@
+"""Time-series sampling: the data behind the demo's live charts.
+
+The on-stage demo plotted engine state evolving as the workload ran --
+tombstone counts sinking, space amplification breathing with compactions,
+the pending-delete exposure being clamped by FADE.  A
+:class:`TimelineSampler` captures exactly those series: call
+:meth:`sample` at any cadence (the workload runner can do it every N
+operations) and render the result as aligned text charts.
+
+Series are plain lists of (tick, value) so benchmarks can archive them and
+tests can assert on their shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.metrics.amplification import space_amplification, write_amplification
+from repro.metrics.reporting import sparkline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import AcheronEngine
+
+#: The series every sample records.
+SERIES = (
+    "entries_on_disk",
+    "tombstones_on_disk",
+    "pending_deletes",
+    "space_amplification",
+    "write_amplification",
+    "compactions",
+)
+
+
+@dataclass
+class Timeline:
+    """Sampled engine state over time."""
+
+    ticks: list[int] = field(default_factory=list)
+    series: dict[str, list[float]] = field(
+        default_factory=lambda: {name: [] for name in SERIES}
+    )
+
+    def __len__(self) -> int:
+        return len(self.ticks)
+
+    def values(self, name: str) -> list[float]:
+        return self.series[name]
+
+    def final(self, name: str) -> float:
+        values = self.series[name]
+        if not values:
+            raise ValueError("timeline has no samples yet")
+        return values[-1]
+
+    def peak(self, name: str) -> float:
+        values = self.series[name]
+        if not values:
+            raise ValueError("timeline has no samples yet")
+        return max(values)
+
+    def render(self, width: int = 60) -> str:
+        """All series as labeled text sparklines."""
+        if not self.ticks:
+            return "(no samples)"
+        lines = [f"timeline: {len(self.ticks)} samples, ticks {self.ticks[0]}..{self.ticks[-1]}"]
+        label_width = max(len(name) for name in SERIES)
+        for name in SERIES:
+            values = self.series[name]
+            chart = sparkline(values, width=width)
+            lines.append(
+                f"  {name.ljust(label_width)} |{chart}| "
+                f"{values[-1]:,.2f} (peak {max(values):,.2f})"
+            )
+        return "\n".join(lines)
+
+
+class TimelineSampler:
+    """Samples one engine into a :class:`Timeline`.
+
+    ``every`` is a tick interval: :meth:`maybe_sample` is O(1) when no
+    sample is due, so it can be called per operation.
+    """
+
+    def __init__(self, engine: "AcheronEngine", every: int = 1_000) -> None:
+        if every < 1:
+            raise ValueError(f"sampling interval must be >= 1 tick, got {every}")
+        self.engine = engine
+        self.every = every
+        self.timeline = Timeline()
+        self._next_due = 0
+
+    def maybe_sample(self) -> bool:
+        """Sample if the interval elapsed; returns True when it did."""
+        now = self.engine.clock.now()
+        if now < self._next_due:
+            return False
+        self.sample()
+        return True
+
+    def sample(self) -> None:
+        """Record one sample unconditionally."""
+        engine = self.engine
+        tree = engine.tree
+        now = tree.clock.now()
+        pending = engine.tracker.pending_count if engine.tracker else 0
+        self.timeline.ticks.append(now)
+        series = self.timeline.series
+        series["entries_on_disk"].append(float(tree.entry_count_on_disk))
+        series["tombstones_on_disk"].append(float(tree.tombstone_count_on_disk))
+        series["pending_deletes"].append(float(pending))
+        series["space_amplification"].append(space_amplification(tree))
+        series["write_amplification"].append(write_amplification(tree))
+        series["compactions"].append(float(len(tree.compaction_log)))
+        self._next_due = now + self.every

@@ -1,0 +1,18 @@
+"""Storage substrate: simulated block device, cache, codecs, WAL, files.
+
+The paper's evaluation ran on real SSDs; this reproduction replaces the
+device with :class:`SimulatedDisk`, a page-granular accountant that counts
+every read/write and prices it with a latency model.  All experiment tables
+lead with these device I/O counts (see DESIGN.md, substitution table).
+
+Durability is real, not simulated: :class:`FileStore` serializes runs with a
+checksummed binary codec and :class:`WriteAheadLog` journals the buffer, so
+an engine opened on an existing directory recovers its exact state.
+"""
+
+from repro.storage.cache import BlockCache
+from repro.storage.disk import IOStats, SimulatedDisk
+from repro.storage.filestore import FileStore
+from repro.storage.wal import WriteAheadLog
+
+__all__ = ["BlockCache", "IOStats", "SimulatedDisk", "FileStore", "WriteAheadLog"]

@@ -1,0 +1,89 @@
+"""A shared LRU block cache.
+
+The cache sits between the read path and the :class:`SimulatedDisk`: a hit
+serves the page without charging the device; a miss charges a read and
+installs the page.  Keys are ``(file_id, page_index)``.  Compaction removing
+a file must call :meth:`invalidate_file` so stale pages can never be served
+-- the unit tests assert this.
+
+The T2 memory-sensitivity experiment sweeps this cache's capacity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class BlockCache:
+    """Fixed-capacity LRU of decoded pages.
+
+    ``capacity`` is in pages; ``0`` disables caching (every lookup misses
+    and nothing is stored), which lets callers keep a single code path.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._pages: OrderedDict[tuple[Hashable, int], Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+    def get(self, file_id: Hashable, page_index: int) -> Any | None:
+        """Return the cached page or None; updates recency and hit stats."""
+        if self.capacity == 0:
+            self.misses += 1
+            return None
+        key = (file_id, page_index)
+        page = self._pages.get(key)
+        if page is None:
+            self.misses += 1
+            return None
+        self._pages.move_to_end(key)
+        self.hits += 1
+        return page
+
+    def put(self, file_id: Hashable, page_index: int, page: Any) -> None:
+        """Install a page, evicting the least-recently-used as needed."""
+        if self.capacity == 0:
+            return
+        key = (file_id, page_index)
+        if key in self._pages:
+            self._pages.move_to_end(key)
+            self._pages[key] = page
+            return
+        self._pages[key] = page
+        while len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+
+    def invalidate_file(self, file_id: Hashable) -> int:
+        """Drop every page of ``file_id``; returns how many were dropped."""
+        doomed = [key for key in self._pages if key[0] == file_id]
+        for key in doomed:
+            del self._pages[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, key: tuple[Hashable, int]) -> bool:
+        return key in self._pages
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

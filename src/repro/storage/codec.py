@@ -1,0 +1,164 @@
+"""Binary serialization for entries and pages.
+
+Used by the durable backends (:mod:`repro.storage.filestore`,
+:mod:`repro.storage.wal`).  The format is deliberately simple and fully
+self-describing:
+
+* scalars are tagged (None / int64 / big-int / bytes / str) so the engine
+  stays value-agnostic;
+* an entry is ``kind(1) seqno(8) write_time(8) delete_key-obj key-obj
+  value-obj``;
+* a page is ``magic(4) count(4) crc32(4) payload`` where the CRC covers the
+  payload -- decode raises :class:`~repro.errors.CorruptionError` on any
+  mismatch, never returns garbage.
+
+All integers are little-endian.  The format is versioned through the magic
+number; bumping the layout means a new magic.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any
+
+from repro.errors import CorruptionError
+from repro.lsm.entry import Entry, EntryKind
+
+PAGE_MAGIC = 0x41434831  # "ACH1"
+
+_TAG_NONE = 0
+_TAG_INT64 = 1
+_TAG_BIGINT = 2
+_TAG_BYTES = 3
+_TAG_STR = 4
+
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+
+_u8 = struct.Struct("<B")
+_i64 = struct.Struct("<q")
+_u32 = struct.Struct("<I")
+_page_header = struct.Struct("<III")  # magic, count, crc32
+
+
+def pack_obj(obj: Any, out: bytearray) -> None:
+    """Append the tagged encoding of ``obj`` (None/int/bytes/str) to ``out``."""
+    if obj is None:
+        out += _u8.pack(_TAG_NONE)
+    elif isinstance(obj, bool):
+        raise TypeError("bool keys/values are not supported; use int")
+    elif isinstance(obj, int):
+        if _I64_MIN <= obj <= _I64_MAX:
+            out += _u8.pack(_TAG_INT64)
+            out += _i64.pack(obj)
+        else:
+            payload = obj.to_bytes((obj.bit_length() + 8) // 8, "little", signed=True)
+            out += _u8.pack(_TAG_BIGINT)
+            out += _u32.pack(len(payload))
+            out += payload
+    elif isinstance(obj, bytes):
+        out += _u8.pack(_TAG_BYTES)
+        out += _u32.pack(len(obj))
+        out += obj
+    elif isinstance(obj, str):
+        payload = obj.encode("utf-8")
+        out += _u8.pack(_TAG_STR)
+        out += _u32.pack(len(payload))
+        out += payload
+    else:
+        raise TypeError(
+            f"cannot serialize {type(obj).__name__}; durable engines support "
+            "None, int, bytes, and str keys/values"
+        )
+
+
+def unpack_obj(buf: bytes, offset: int) -> tuple[Any, int]:
+    """Decode one tagged object at ``offset``; returns (obj, next offset)."""
+    try:
+        (tag,) = _u8.unpack_from(buf, offset)
+        offset += 1
+        if tag == _TAG_NONE:
+            return None, offset
+        if tag == _TAG_INT64:
+            (value,) = _i64.unpack_from(buf, offset)
+            return value, offset + 8
+        if tag == _TAG_BIGINT:
+            (length,) = _u32.unpack_from(buf, offset)
+            offset += 4
+            payload = buf[offset : offset + length]
+            if len(payload) != length:
+                raise CorruptionError("truncated big-int payload")
+            return int.from_bytes(payload, "little", signed=True), offset + length
+        if tag == _TAG_BYTES or tag == _TAG_STR:
+            (length,) = _u32.unpack_from(buf, offset)
+            offset += 4
+            payload = buf[offset : offset + length]
+            if len(payload) != length:
+                raise CorruptionError("truncated bytes/str payload")
+            if tag == _TAG_STR:
+                return payload.decode("utf-8"), offset + length
+            return bytes(payload), offset + length
+    except struct.error as exc:
+        raise CorruptionError(f"truncated object at offset {offset}") from exc
+    raise CorruptionError(f"unknown object tag {tag} at offset {offset}")
+
+
+def encode_entry(entry: Entry, out: bytearray) -> None:
+    """Append the binary form of ``entry`` to ``out``."""
+    out += _u8.pack(int(entry.kind))
+    out += _i64.pack(entry.seqno)
+    out += _i64.pack(entry.write_time)
+    pack_obj(entry.delete_key, out)
+    pack_obj(entry.key, out)
+    pack_obj(entry.value, out)
+
+
+def decode_entry(buf: bytes, offset: int) -> tuple[Entry, int]:
+    """Decode one entry at ``offset``; returns (entry, next offset)."""
+    try:
+        (kind_raw,) = _u8.unpack_from(buf, offset)
+        offset += 1
+        (seqno,) = _i64.unpack_from(buf, offset)
+        offset += 8
+        (write_time,) = _i64.unpack_from(buf, offset)
+        offset += 8
+    except struct.error as exc:
+        raise CorruptionError(f"truncated entry header at offset {offset}") from exc
+    try:
+        kind = EntryKind(kind_raw)
+    except ValueError as exc:
+        raise CorruptionError(f"invalid entry kind {kind_raw}") from exc
+    delete_key, offset = unpack_obj(buf, offset)
+    key, offset = unpack_obj(buf, offset)
+    value, offset = unpack_obj(buf, offset)
+    return Entry(key, seqno, kind, value, delete_key, write_time), offset
+
+
+def encode_page(entries: list[Entry]) -> bytes:
+    """Serialize a page of entries with a CRC-protected header."""
+    payload = bytearray()
+    for entry in entries:
+        encode_entry(entry, payload)
+    crc = zlib.crc32(payload)
+    return _page_header.pack(PAGE_MAGIC, len(entries), crc) + bytes(payload)
+
+
+def decode_page(data: bytes) -> list[Entry]:
+    """Deserialize a page; raises CorruptionError on any damage."""
+    if len(data) < _page_header.size:
+        raise CorruptionError(f"page shorter than its header ({len(data)} bytes)")
+    magic, count, crc = _page_header.unpack_from(data, 0)
+    if magic != PAGE_MAGIC:
+        raise CorruptionError(f"bad page magic {magic:#x}")
+    payload = data[_page_header.size :]
+    if zlib.crc32(payload) != crc:
+        raise CorruptionError("page checksum mismatch")
+    entries: list[Entry] = []
+    offset = 0
+    for _ in range(count):
+        entry, offset = decode_entry(payload, offset)
+        entries.append(entry)
+    if offset != len(payload):
+        raise CorruptionError(f"{len(payload) - offset} trailing bytes after page payload")
+    return entries

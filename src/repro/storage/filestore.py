@@ -1,0 +1,168 @@
+"""Durable storage for runs and the manifest.
+
+The engine can run fully in memory (the benchmark mode: the simulated disk
+does the accounting) or durably against a directory.  In durable mode each
+file (SSTable) is serialized here and the level structure is recorded in a
+JSON manifest written atomically (temp file + rename), so a crash between
+operations is always recoverable to a consistent tree.
+
+File format::
+
+    magic(4) meta_len(4) meta_json
+    tile_count(4) [pages_in_tile(4) ...]
+    page_count(4) [page_len(4) page_bytes ...]
+
+Pages are the CRC-protected blocks of :mod:`repro.storage.codec`; tile
+boundaries preserve the KiWi layout across restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from pathlib import Path
+
+from repro.errors import CorruptionError, StorageError
+from repro.lsm.entry import Entry
+from repro.storage.codec import decode_page, encode_page
+
+SSTABLE_MAGIC = 0x41434832  # "ACH2"
+MANIFEST_NAME = "MANIFEST.json"
+
+_u32 = struct.Struct("<I")
+
+
+class FileStore:
+    """Reads and writes SSTable files and the manifest in one directory."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def sstable_path(self, file_id: int) -> Path:
+        return self.directory / f"sst-{file_id:08d}.ach"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    @property
+    def wal_path(self) -> Path:
+        return self.directory / "wal.log"
+
+    # ------------------------------------------------------------------
+    # sstables
+    # ------------------------------------------------------------------
+    def write_sstable(
+        self,
+        file_id: int,
+        tiles: list[list[list[Entry]]],
+        meta: dict | None = None,
+    ) -> None:
+        """Persist one SSTable: a list of delete tiles, each a list of pages."""
+        buf = bytearray()
+        meta_json = json.dumps(meta or {}).encode("utf-8")
+        buf += _u32.pack(SSTABLE_MAGIC)
+        buf += _u32.pack(len(meta_json))
+        buf += meta_json
+        buf += _u32.pack(len(tiles))
+        pages: list[list[Entry]] = []
+        for tile in tiles:
+            buf += _u32.pack(len(tile))
+            pages.extend(tile)
+        buf += _u32.pack(len(pages))
+        for page in pages:
+            blob = encode_page(page)
+            buf += _u32.pack(len(blob))
+            buf += blob
+        tmp = self.sstable_path(file_id).with_suffix(".tmp")
+        tmp.write_bytes(bytes(buf))
+        os.replace(tmp, self.sstable_path(file_id))
+
+    def read_sstable(self, file_id: int) -> tuple[list[list[list[Entry]]], dict]:
+        """Load one SSTable; returns (tiles, meta)."""
+        path = self.sstable_path(file_id)
+        if not path.exists():
+            raise StorageError(f"sstable {file_id} not found at {path}")
+        data = path.read_bytes()
+        offset = 0
+        try:
+            (magic,) = _u32.unpack_from(data, offset)
+            offset += 4
+            if magic != SSTABLE_MAGIC:
+                raise CorruptionError(f"bad sstable magic {magic:#x} in {path}")
+            (meta_len,) = _u32.unpack_from(data, offset)
+            offset += 4
+            meta = json.loads(data[offset : offset + meta_len].decode("utf-8"))
+            offset += meta_len
+            (tile_count,) = _u32.unpack_from(data, offset)
+            offset += 4
+            tile_sizes: list[int] = []
+            for _ in range(tile_count):
+                (size,) = _u32.unpack_from(data, offset)
+                offset += 4
+                tile_sizes.append(size)
+            (page_count,) = _u32.unpack_from(data, offset)
+            offset += 4
+            pages: list[list[Entry]] = []
+            for _ in range(page_count):
+                (blob_len,) = _u32.unpack_from(data, offset)
+                offset += 4
+                pages.append(decode_page(data[offset : offset + blob_len]))
+                offset += blob_len
+        except struct.error as exc:
+            raise CorruptionError(f"truncated sstable file {path}") from exc
+        if sum(tile_sizes) != page_count:
+            raise CorruptionError(f"tile directory of {path} does not cover its pages")
+        tiles: list[list[list[Entry]]] = []
+        cursor = 0
+        for size in tile_sizes:
+            tiles.append(pages[cursor : cursor + size])
+            cursor += size
+        return tiles, meta
+
+    def delete_sstable(self, file_id: int) -> None:
+        """Remove one SSTable file (idempotent)."""
+        self.sstable_path(file_id).unlink(missing_ok=True)
+
+    def list_sstable_ids(self) -> list[int]:
+        """All file ids present on disk, ascending."""
+        ids = []
+        for path in self.directory.glob("sst-*.ach"):
+            stem = path.stem  # "sst-00000001"
+            try:
+                ids.append(int(stem.split("-", 1)[1]))
+            except (IndexError, ValueError):
+                continue
+        return sorted(ids)
+
+    # ------------------------------------------------------------------
+    # manifest
+    # ------------------------------------------------------------------
+    def write_manifest(self, manifest: dict) -> None:
+        """Atomically replace the manifest."""
+        tmp = self.manifest_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(manifest, indent=1, sort_keys=True))
+        os.replace(tmp, self.manifest_path)
+
+    def read_manifest(self) -> dict | None:
+        """The current manifest, or None if the store is empty."""
+        if not self.manifest_path.exists():
+            return None
+        try:
+            return json.loads(self.manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CorruptionError(f"manifest {self.manifest_path} is not valid JSON") from exc
+
+    def garbage_collect(self, live_file_ids: set[int]) -> list[int]:
+        """Delete sstables not referenced by the manifest; returns their ids."""
+        removed = []
+        for file_id in self.list_sstable_ids():
+            if file_id not in live_file_ids:
+                self.delete_sstable(file_id)
+                removed.append(file_id)
+        return removed

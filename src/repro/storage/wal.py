@@ -1,0 +1,109 @@
+"""Write-ahead log for the memtable.
+
+Every ingest (put or tombstone) is appended here before it enters the
+memtable; a flush that persists the buffer truncates the log.  On restart,
+:meth:`WriteAheadLog.replay` yields the surviving entries in append order so
+the engine can rebuild the exact buffer state.
+
+Framing is ``length(4) crc32(4) payload`` per record.  Replay stops cleanly
+at the first torn or corrupt record (the normal crash shape: a partial final
+append) but raises :class:`~repro.errors.CorruptionError` if damage is
+found *before* the tail, since that indicates real corruption rather than a
+crash mid-write.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import CorruptionError, WALError
+from repro.lsm.entry import Entry
+from repro.storage.codec import decode_entry, encode_entry
+
+_frame = struct.Struct("<II")  # payload length, crc32
+
+
+class WriteAheadLog:
+    """An append-only, checksummed journal of entries."""
+
+    def __init__(self, path: str | Path, sync: bool = False) -> None:
+        self.path = Path(path)
+        self.sync = sync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "ab")
+        self.records_appended = 0
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, entry: Entry) -> None:
+        """Durably append one entry."""
+        if self._fh.closed:
+            raise WALError(f"WAL {self.path} is closed")
+        payload = bytearray()
+        encode_entry(entry, payload)
+        self._fh.write(_frame.pack(len(payload), zlib.crc32(payload)))
+        self._fh.write(payload)
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+        self.records_appended += 1
+
+    def truncate(self) -> None:
+        """Discard all records (called after the memtable is persisted)."""
+        if self._fh.closed:
+            raise WALError(f"WAL {self.path} is closed")
+        self._fh.truncate(0)
+        self._fh.seek(0)
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def replay(path: str | Path) -> Iterator[Entry]:
+        """Yield surviving entries from ``path`` in append order.
+
+        A torn final record (crash mid-append) is tolerated silently;
+        corruption anywhere else raises :class:`CorruptionError`.
+        """
+        path = Path(path)
+        if not path.exists():
+            return
+        data = path.read_bytes()
+        offset = 0
+        total = len(data)
+        while offset < total:
+            header = data[offset : offset + _frame.size]
+            if len(header) < _frame.size:
+                return  # torn tail: header itself is partial
+            length, crc = _frame.unpack(header)
+            start = offset + _frame.size
+            payload = data[start : start + length]
+            if len(payload) < length:
+                return  # torn tail: payload is partial
+            if zlib.crc32(payload) != crc:
+                if start + length >= total:
+                    return  # corrupt final record: treat as torn tail
+                raise CorruptionError(f"WAL record at offset {offset} fails its checksum")
+            entry, consumed = decode_entry(payload, 0)
+            if consumed != length:
+                raise CorruptionError(f"WAL record at offset {offset} has trailing bytes")
+            yield entry
+            offset = start + length

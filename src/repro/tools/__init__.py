@@ -1,0 +1,5 @@
+"""Operational tooling: the store doctor and the command-line interface."""
+
+from repro.tools.doctor import DoctorReport, diagnose_store
+
+__all__ = ["DoctorReport", "diagnose_store"]

@@ -1,0 +1,36 @@
+"""Workload generation and execution.
+
+Deterministic, seeded operation streams in the mixes the paper's
+evaluation sweeps: inserts, updates, point deletes, point queries (hit and
+empty), range queries, and secondary range deletes, over uniform or
+Zipfian key popularity.  :mod:`repro.workload.runner` applies a stream to
+an engine while attributing device I/O to each operation kind.
+"""
+
+from repro.workload.distributions import (
+    HotspotKeyPicker,
+    UniformKeyPicker,
+    ZipfianKeyPicker,
+    make_key_picker,
+)
+from repro.workload.spec import Operation, OpKind, WorkloadSpec
+from repro.workload.generator import WorkloadGenerator, generate_operations
+from repro.workload.runner import OpKindStats, WorkloadResult, run_workload
+from repro.workload.trace import load_trace, record_trace
+
+__all__ = [
+    "HotspotKeyPicker",
+    "OpKind",
+    "OpKindStats",
+    "Operation",
+    "UniformKeyPicker",
+    "WorkloadGenerator",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "ZipfianKeyPicker",
+    "generate_operations",
+    "load_trace",
+    "record_trace",
+    "make_key_picker",
+    "run_workload",
+]

@@ -1,0 +1,110 @@
+"""Key-popularity distributions.
+
+A *key picker* chooses an index into the current live-key population.  The
+three shapes the evaluation uses:
+
+* :class:`UniformKeyPicker` -- every live key equally likely (the paper's
+  default workload assumption);
+* :class:`ZipfianKeyPicker` -- the YCSB-style skewed distribution, where a
+  few keys absorb most operations.  Implemented by inverse-CDF sampling
+  over the exact Zipf probabilities (numpy ``searchsorted`` on a
+  precomputed cumulative table), re-usable across population sizes by
+  rescaling ranks;
+* :class:`HotspotKeyPicker` -- a fraction of operations targets a small
+  hot set, the rest spread uniformly.
+
+All pickers draw from a seeded :class:`numpy.random.Generator`, so a
+workload is a pure function of its spec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+#: Size of the precomputed Zipf rank table.  Ranks are rescaled onto the
+#: live population, so the table bounds resolution, not population size.
+_ZIPF_TABLE_SIZE = 100_000
+
+
+class UniformKeyPicker:
+    """Uniform choice over ``population`` items."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def pick(self, population: int) -> int:
+        if population <= 0:
+            raise WorkloadError("cannot pick from an empty population")
+        return int(self._rng.integers(0, population))
+
+
+class ZipfianKeyPicker:
+    """Zipf(theta) choice over ranks, rescaled to the live population.
+
+    ``theta`` is the Zipf exponent (YCSB uses 0.99; larger is more
+    skewed).  Rank 0 is the hottest item.
+    """
+
+    def __init__(self, rng: np.random.Generator, theta: float = 0.99) -> None:
+        if theta <= 0:
+            raise WorkloadError(f"zipf theta must be positive, got {theta}")
+        self._rng = rng
+        self.theta = theta
+        ranks = np.arange(1, _ZIPF_TABLE_SIZE + 1, dtype=np.float64)
+        weights = ranks**-theta
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def pick(self, population: int) -> int:
+        if population <= 0:
+            raise WorkloadError("cannot pick from an empty population")
+        u = self._rng.random()
+        rank = int(np.searchsorted(self._cdf, u, side="left"))
+        # Rescale table rank onto the live population.
+        return min(population - 1, rank * population // _ZIPF_TABLE_SIZE)
+
+
+class HotspotKeyPicker:
+    """``hot_fraction`` of picks land uniformly in the hottest
+    ``hot_set_fraction`` of the population; the rest are uniform overall."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        hot_fraction: float = 0.9,
+        hot_set_fraction: float = 0.1,
+    ) -> None:
+        if not 0.0 < hot_fraction <= 1.0:
+            raise WorkloadError(f"hot_fraction must be in (0, 1], got {hot_fraction}")
+        if not 0.0 < hot_set_fraction <= 1.0:
+            raise WorkloadError(
+                f"hot_set_fraction must be in (0, 1], got {hot_set_fraction}"
+            )
+        self._rng = rng
+        self.hot_fraction = hot_fraction
+        self.hot_set_fraction = hot_set_fraction
+
+    def pick(self, population: int) -> int:
+        if population <= 0:
+            raise WorkloadError("cannot pick from an empty population")
+        if self._rng.random() < self.hot_fraction:
+            hot = max(1, int(population * self.hot_set_fraction))
+            return int(self._rng.integers(0, hot))
+        return int(self._rng.integers(0, population))
+
+
+def make_key_picker(
+    name: str,
+    rng: np.random.Generator,
+    zipf_theta: float = 0.99,
+):
+    """Build a picker by name: ``uniform``, ``zipfian``, or ``hotspot``."""
+    if name == "uniform":
+        return UniformKeyPicker(rng)
+    if name == "zipfian":
+        return ZipfianKeyPicker(rng, theta=zipf_theta)
+    if name == "hotspot":
+        return HotspotKeyPicker(rng)
+    raise WorkloadError(f"unknown key distribution {name!r}")

@@ -1,0 +1,145 @@
+"""Turning a :class:`~repro.workload.spec.WorkloadSpec` into operations.
+
+The generator models the evolving key population: inserts mint fresh keys,
+deletes retire live ones, queries target live keys (or guaranteed-missing
+ones for empty queries).  Liveness is tracked with the classic
+list-plus-swap-remove trick so every draw is O(1).
+
+Keys are integers spread over a sparse domain (``key = slot * STRIDE``) so
+empty queries can target in-between values that provably never existed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.distributions import make_key_picker
+from repro.workload.spec import Operation, OpKind, WorkloadSpec
+
+#: Live keys are multiples of this; empty queries probe ``key + 1``.
+KEY_STRIDE = 4
+
+
+class WorkloadGenerator:
+    """Stateful generator of one spec's operation stream."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self._rng = np.random.default_rng(spec.seed)
+        self._picker = make_key_picker(spec.distribution, self._rng, spec.zipf_theta)
+        self._live: list[int] = []  # key slots currently live
+        self._graveyard: list[int] = []  # deleted slots, most recent last
+        self._next_slot = 0
+        self._ops_emitted = 0
+        kinds = sorted(spec.weights, key=lambda k: k.value)
+        weights = np.array([spec.weights[k] for k in kinds], dtype=np.float64)
+        self._kinds = kinds
+        self._probs = weights / weights.sum()
+
+    # ------------------------------------------------------------------
+    # population bookkeeping
+    # ------------------------------------------------------------------
+    def _mint_slot(self) -> int:
+        slot = self._next_slot
+        self._next_slot += 1
+        self._live.append(slot)
+        return slot
+
+    def _pick_live_index(self) -> int:
+        return self._picker.pick(len(self._live))
+
+    def _retire_index(self, index: int) -> int:
+        slot = self._live[index]
+        self._live[index] = self._live[-1]
+        self._live.pop()
+        self._graveyard.append(slot)
+        return slot
+
+    def _resurrect_slot(self) -> int:
+        """Re-insert the most recently deleted key (hot-key churn shape).
+
+        Resurrecting a key whose tombstone is still pending is what makes
+        that tombstone *superseded* rather than persisted.
+        """
+        slot = self._graveyard.pop()
+        self._live.append(slot)
+        return slot
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def preload_operations(self) -> Iterator[Operation]:
+        """The initial pure-insert phase."""
+        for _ in range(self.spec.preload):
+            slot = self._mint_slot()
+            yield self._insert_op(slot)
+
+    def mixed_operations(self) -> Iterator[Operation]:
+        """The measured phase, following the spec's weights."""
+        for _ in range(self.spec.operations):
+            yield self._next_mixed()
+
+    def operations(self) -> Iterator[Operation]:
+        """Preload followed by the mixed phase."""
+        yield from self.preload_operations()
+        yield from self.mixed_operations()
+
+    def _next_mixed(self) -> Operation:
+        kind = self._kinds[int(self._rng.choice(len(self._kinds), p=self._probs))]
+        # Kinds that need a live population degrade to an insert while the
+        # population is empty (can happen under extreme delete fractions).
+        needs_live = kind in (
+            OpKind.UPDATE,
+            OpKind.POINT_DELETE,
+            OpKind.POINT_QUERY,
+            OpKind.RANGE_QUERY,
+        )
+        if needs_live and not self._live:
+            kind = OpKind.INSERT
+        self._ops_emitted += 1
+        if kind is OpKind.INSERT:
+            resurrect = (
+                self.spec.reinsert_fraction > 0
+                and self._graveyard
+                and self._rng.random() < self.spec.reinsert_fraction
+            )
+            slot = self._resurrect_slot() if resurrect else self._mint_slot()
+            return self._insert_op(slot)
+        if kind is OpKind.UPDATE:
+            slot = self._live[self._pick_live_index()]
+            return self._insert_op(slot, kind=OpKind.UPDATE)
+        if kind is OpKind.POINT_DELETE:
+            slot = self._retire_index(self._pick_live_index())
+            return Operation(OpKind.POINT_DELETE, key=slot * KEY_STRIDE)
+        if kind is OpKind.POINT_QUERY:
+            slot = self._live[self._pick_live_index()]
+            return Operation(OpKind.POINT_QUERY, key=slot * KEY_STRIDE)
+        if kind is OpKind.EMPTY_QUERY:
+            slot = int(self._rng.integers(0, max(1, self._next_slot)))
+            return Operation(OpKind.EMPTY_QUERY, key=slot * KEY_STRIDE + 1)
+        if kind is OpKind.RANGE_QUERY:
+            slot = self._live[self._pick_live_index()]
+            lo = slot * KEY_STRIDE
+            return Operation(OpKind.RANGE_QUERY, key=lo, key_hi=lo + self.spec.range_span * KEY_STRIDE)
+        if kind is OpKind.SECONDARY_RANGE_DELETE:
+            # Bounds are resolved against the engine clock at run time; the
+            # generator emits the *window fraction* in key/key_hi as a
+            # placeholder resolved by the runner.
+            return Operation(OpKind.SECONDARY_RANGE_DELETE, key=0, key_hi=0)
+        raise WorkloadError(f"unhandled operation kind {kind}")  # pragma: no cover
+
+    def _insert_op(self, slot: int, kind: OpKind = OpKind.INSERT) -> Operation:
+        key = slot * KEY_STRIDE
+        return Operation(kind, key=key, value=self.spec.value_template.format(key=key))
+
+
+def generate_operations(spec: WorkloadSpec) -> list[Operation]:
+    """Materialize the full stream of one spec (preload + mixed)."""
+    return list(WorkloadGenerator(spec).operations())

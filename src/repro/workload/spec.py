@@ -1,0 +1,130 @@
+"""Workload specifications and the operation model.
+
+A :class:`WorkloadSpec` describes an operation mix the way the paper's
+evaluation parameterizes its workloads: total operation count, per-kind
+weights (the central knob being the *delete fraction*), key distribution,
+and range shapes.  A spec plus a seed fully determines the stream.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import WorkloadError
+
+
+class OpKind(enum.Enum):
+    """One operation the engine can be asked to perform."""
+
+    INSERT = "insert"  # put of a never-used key
+    UPDATE = "update"  # put of a live key
+    POINT_DELETE = "point_delete"  # tombstone for a live key
+    POINT_QUERY = "point_query"  # get of a live key (expected hit)
+    EMPTY_QUERY = "empty_query"  # get of a key that never existed
+    RANGE_QUERY = "range_query"  # scan of a key interval
+    SECONDARY_RANGE_DELETE = "secondary_range_delete"  # delete on delete key
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One concrete operation.
+
+    ``key`` is the sort key for point ops, the low bound for range ops;
+    ``key_hi`` the high bound.  For secondary range deletes the bounds are
+    *delete-key* (tick) values.
+    """
+
+    kind: OpKind
+    key: Any = None
+    key_hi: Any = None
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A reproducible workload description.
+
+    ``weights`` maps :class:`OpKind` to relative frequency; kinds missing
+    from the map never occur.  ``preload`` keys are inserted before the
+    mixed phase begins (building the initial tree the way the paper's
+    experiments do).
+    """
+
+    operations: int = 10_000
+    preload: int = 5_000
+    weights: dict[OpKind, float] = field(
+        default_factory=lambda: {
+            OpKind.INSERT: 0.50,
+            OpKind.UPDATE: 0.20,
+            OpKind.POINT_DELETE: 0.10,
+            OpKind.POINT_QUERY: 0.15,
+            OpKind.EMPTY_QUERY: 0.03,
+            OpKind.RANGE_QUERY: 0.02,
+        }
+    )
+    distribution: str = "uniform"
+    zipf_theta: float = 0.99
+    #: Range queries span this many consecutive key slots.
+    range_span: int = 128
+    #: Secondary range deletes target the oldest this-fraction of the
+    #: current delete-key (time) domain.
+    secondary_delete_window: float = 0.05
+    #: Fraction of INSERTs that *resurrect* a previously deleted key
+    #: instead of minting a fresh one.  Resurrection is what supersedes a
+    #: pending tombstone (the delete becomes moot); 0 disables it.
+    reinsert_fraction: float = 0.0
+    value_template: str = "v{key}"
+    seed: int = 0xACE
+
+    def __post_init__(self) -> None:
+        if self.operations < 0 or self.preload < 0:
+            raise WorkloadError("operation and preload counts must be >= 0")
+        if not self.weights:
+            raise WorkloadError("a workload needs at least one operation kind")
+        total = sum(self.weights.values())
+        if total <= 0:
+            raise WorkloadError("workload weights must sum to a positive value")
+        for kind, weight in self.weights.items():
+            if not isinstance(kind, OpKind):
+                raise WorkloadError(f"weight key {kind!r} is not an OpKind")
+            if weight < 0:
+                raise WorkloadError(f"negative weight for {kind}: {weight}")
+        if self.range_span < 1:
+            raise WorkloadError(f"range_span must be >= 1, got {self.range_span}")
+        if not 0.0 < self.secondary_delete_window <= 1.0:
+            raise WorkloadError(
+                "secondary_delete_window must be in (0, 1], got "
+                f"{self.secondary_delete_window}"
+            )
+        if not 0.0 <= self.reinsert_fraction <= 1.0:
+            raise WorkloadError(
+                f"reinsert_fraction must be in [0, 1], got {self.reinsert_fraction}"
+            )
+
+    def with_delete_fraction(self, fraction: float) -> "WorkloadSpec":
+        """The paper's main sweep knob: rescale so point deletes make up
+        ``fraction`` of the mixed phase, other kinds keeping their ratios."""
+        if not 0.0 <= fraction < 1.0:
+            raise WorkloadError(f"delete fraction must be in [0, 1), got {fraction}")
+        others = {k: w for k, w in self.weights.items() if k is not OpKind.POINT_DELETE}
+        other_total = sum(others.values())
+        if other_total <= 0:
+            raise WorkloadError("cannot rescale: no non-delete operations in the mix")
+        scale = (1.0 - fraction) / other_total
+        new_weights = {k: w * scale for k, w in others.items()}
+        if fraction > 0:
+            new_weights[OpKind.POINT_DELETE] = fraction
+        return WorkloadSpec(
+            operations=self.operations,
+            preload=self.preload,
+            weights=new_weights,
+            distribution=self.distribution,
+            zipf_theta=self.zipf_theta,
+            range_span=self.range_span,
+            secondary_delete_window=self.secondary_delete_window,
+            reinsert_fraction=self.reinsert_fraction,
+            value_template=self.value_template,
+            seed=self.seed,
+        )

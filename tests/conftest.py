@@ -1,0 +1,60 @@
+"""Shared fixtures: small engine scales that exercise multi-level trees
+quickly, and helpers for building populated engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import LSMConfig, acheron_config, baseline_config
+from repro.core.engine import AcheronEngine
+
+#: A deliberately tiny scale: trees develop 3+ levels within a few
+#: thousand operations, so compaction logic is exercised by every test.
+TINY = {
+    "memtable_entries": 64,
+    "entries_per_page": 8,
+    "size_ratio": 3,
+}
+
+
+@pytest.fixture
+def tiny_config() -> LSMConfig:
+    return baseline_config(**TINY)
+
+
+@pytest.fixture
+def baseline_engine() -> AcheronEngine:
+    engine = AcheronEngine.baseline(**TINY)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture
+def acheron_engine() -> AcheronEngine:
+    engine = AcheronEngine.acheron(
+        delete_persistence_threshold=1_000, pages_per_tile=4, **TINY
+    )
+    yield engine
+    engine.close()
+
+
+def fill_sequential(engine: AcheronEngine, count: int, start: int = 0) -> None:
+    """Insert ``count`` keys ``start..start+count-1`` with value v<k>."""
+    for k in range(start, start + count):
+        engine.put(k, f"v{k}")
+
+
+def make_acheron(**overrides) -> AcheronEngine:
+    params = dict(TINY)
+    params.setdefault("pages_per_tile", 4)
+    d_th = overrides.pop("delete_persistence_threshold", 1_000)
+    params.update(overrides)
+    return AcheronEngine(
+        acheron_config(delete_persistence_threshold=d_th, **params)
+    )
+
+
+def make_baseline(**overrides) -> AcheronEngine:
+    params = dict(TINY)
+    params.update(overrides)
+    return AcheronEngine(baseline_config(**params))

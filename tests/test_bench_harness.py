@@ -1,0 +1,93 @@
+"""Tests for the benchmark harness support (experiment recording etc.)."""
+
+import json
+
+import pytest
+
+import repro.bench.harness as harness
+from repro.bench.harness import (
+    EXPERIMENT_SCALE,
+    ExperimentResult,
+    make_acheron,
+    make_baseline,
+    record_experiment,
+    run_mixed_workload,
+)
+from repro.workload.spec import OpKind, WorkloadSpec
+
+
+class TestEngineFactories:
+    def test_scale_applied(self):
+        engine = make_baseline()
+        assert engine.config.memtable_entries == EXPERIMENT_SCALE["memtable_entries"]
+        assert not engine.config.fade_enabled
+        engine.close()
+
+    def test_overrides_win(self):
+        engine = make_baseline(memtable_entries=64)
+        assert engine.config.memtable_entries == 64
+        engine.close()
+
+    def test_acheron_factory(self):
+        engine = make_acheron(delete_persistence_threshold=123, pages_per_tile=2)
+        assert engine.config.delete_persistence_threshold == 123
+        assert engine.config.pages_per_tile == 2
+        engine.close()
+
+
+class TestRunMixedWorkload:
+    def test_returns_result_and_stats(self):
+        spec = WorkloadSpec(
+            operations=300,
+            preload=200,
+            weights={OpKind.INSERT: 0.7, OpKind.POINT_QUERY: 0.3},
+            seed=5,
+        )
+        engine = make_baseline()
+        result, stats = run_mixed_workload(engine, spec)
+        # Only the mixed phase is in the returned result.
+        assert result.operations == 300
+        # ...but the stats snapshot covers the whole run.
+        assert stats.counters["puts"] >= 200
+        engine.close()
+
+
+class TestRecordExperiment:
+    def _result(self):
+        return ExperimentResult(
+            exp_id="TEST-X",
+            title="a test experiment",
+            headers=["metric", "value"],
+            rows=[["alpha", 1], ["beta", float("inf")], ["gamma", 2.5]],
+            notes="test notes",
+            extra={"nan": float("nan"), "plain": 7},
+        )
+
+    def test_render_contains_table_and_notes(self):
+        text = self._result().render()
+        assert "TEST-X" in text
+        assert "alpha" in text
+        assert "test notes" in text
+
+    def test_record_archives_txt_and_json(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        record_experiment(self._result())
+        out = capsys.readouterr().out
+        assert "TEST-X" in out
+        assert (tmp_path / "TEST-X.txt").exists()
+        payload = json.loads((tmp_path / "TEST-X.json").read_text())
+        assert payload["exp_id"] == "TEST-X"
+        assert payload["rows"][0] == ["alpha", 1]
+        # Non-finite floats are stringified so the JSON stays valid.
+        assert payload["rows"][1][1] == "inf"
+        assert payload["extra"]["nan"] == "nan"
+        assert payload["extra"]["plain"] == 7
+
+    def test_record_attaches_to_benchmark_fixture(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+
+        class FakeBenchmark:
+            extra_info: dict = {}
+
+        record_experiment(self._result(), FakeBenchmark)
+        assert FakeBenchmark.extra_info["experiment"]["exp_id"] == "TEST-X"

@@ -1,0 +1,70 @@
+"""Unit tests for the logical clocks."""
+
+import pytest
+
+from repro.clock import AutoTickClock, LogicalClock
+
+
+class TestLogicalClock:
+    def test_starts_at_zero_by_default(self):
+        assert LogicalClock().now() == 0
+
+    def test_starts_at_given_tick(self):
+        assert LogicalClock(start=42).now() == 42
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            LogicalClock(start=-1)
+
+    def test_tick_advances_and_returns_new_time(self):
+        clock = LogicalClock()
+        assert clock.tick() == 1
+        assert clock.tick(5) == 6
+        assert clock.now() == 6
+
+    def test_now_does_not_advance(self):
+        clock = LogicalClock()
+        clock.now()
+        clock.now()
+        assert clock.now() == 0
+
+    def test_tick_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LogicalClock().tick(-1)
+
+    def test_tick_zero_is_a_noop(self):
+        clock = LogicalClock(start=3)
+        assert clock.tick(0) == 3
+
+    def test_advance_to_moves_forward(self):
+        clock = LogicalClock()
+        assert clock.advance_to(10) == 10
+        assert clock.now() == 10
+
+    def test_advance_to_never_moves_backward(self):
+        clock = LogicalClock(start=10)
+        assert clock.advance_to(5) == 10
+        assert clock.now() == 10
+
+
+class TestAutoTickClock:
+    def test_now_advances_by_step(self):
+        clock = AutoTickClock(step=2)
+        assert clock.now() == 0
+        assert clock.now() == 2
+        assert clock.now() == 4
+
+    def test_zero_step_behaves_like_plain_clock(self):
+        clock = AutoTickClock(step=0)
+        assert clock.now() == 0
+        assert clock.now() == 0
+
+    def test_rejects_negative_step(self):
+        with pytest.raises(ValueError):
+            AutoTickClock(step=-1)
+
+    def test_explicit_tick_still_works(self):
+        clock = AutoTickClock(step=1)
+        clock.tick(10)
+        assert clock.now() == 10  # read returns 10, then bumps to 11
+        assert clock.now() == 11

@@ -1,0 +1,156 @@
+"""Unit and property tests for the binary codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.lsm.entry import Entry, EntryKind
+from repro.storage.codec import (
+    decode_entry,
+    decode_page,
+    encode_entry,
+    encode_page,
+    pack_obj,
+    unpack_obj,
+)
+
+scalar = st.one_of(
+    st.none(),
+    st.integers(-(2**100), 2**100),
+    st.binary(max_size=64),
+    st.text(max_size=64),
+)
+
+
+def roundtrip_obj(obj):
+    buf = bytearray()
+    pack_obj(obj, buf)
+    decoded, offset = unpack_obj(bytes(buf), 0)
+    assert offset == len(buf)
+    return decoded
+
+
+class TestObjects:
+    @pytest.mark.parametrize(
+        "obj",
+        [None, 0, 1, -1, 2**62, -(2**62), 2**90, -(2**90), b"", b"bytes", "", "text", "unié"],
+    )
+    def test_roundtrip(self, obj):
+        assert roundtrip_obj(obj) == obj
+
+    def test_bytes_and_str_stay_distinct(self):
+        assert isinstance(roundtrip_obj(b"x"), bytes)
+        assert isinstance(roundtrip_obj("x"), str)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            roundtrip_obj(True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            roundtrip_obj(3.14)
+
+    def test_truncated_object_raises_corruption(self):
+        buf = bytearray()
+        pack_obj(b"hello world", buf)
+        with pytest.raises(CorruptionError):
+            unpack_obj(bytes(buf[:-3]), 0)
+
+    def test_unknown_tag_raises_corruption(self):
+        with pytest.raises(CorruptionError):
+            unpack_obj(b"\xff", 0)
+
+    @given(scalar)
+    @settings(max_examples=80)
+    def test_property_roundtrip(self, obj):
+        assert roundtrip_obj(obj) == obj
+
+
+entries = st.builds(
+    Entry,
+    key=st.one_of(st.integers(-(2**40), 2**40), st.text(max_size=16), st.binary(max_size=16)),
+    seqno=st.integers(0, 2**40),
+    kind=st.sampled_from([EntryKind.PUT, EntryKind.TOMBSTONE]),
+    value=scalar,
+    delete_key=st.integers(0, 2**40),
+    write_time=st.integers(0, 2**40),
+)
+
+
+class TestEntries:
+    def test_roundtrip_put(self):
+        entry = Entry.put("user:1", b"profile", seqno=7, write_time=20, delete_key=3)
+        buf = bytearray()
+        encode_entry(entry, buf)
+        decoded, consumed = decode_entry(bytes(buf), 0)
+        assert decoded == entry
+        assert consumed == len(buf)
+
+    def test_roundtrip_tombstone(self):
+        entry = Entry.tombstone(99, seqno=8, write_time=21)
+        buf = bytearray()
+        encode_entry(entry, buf)
+        decoded, _ = decode_entry(bytes(buf), 0)
+        assert decoded == entry
+        assert decoded.is_tombstone
+
+    def test_invalid_kind_raises_corruption(self):
+        buf = bytearray()
+        encode_entry(Entry.put(1, "v", 1), buf)
+        buf[0] = 200  # clobber the kind byte
+        with pytest.raises(CorruptionError):
+            decode_entry(bytes(buf), 0)
+
+    def test_truncated_header_raises_corruption(self):
+        with pytest.raises(CorruptionError):
+            decode_entry(b"\x00\x01", 0)
+
+    @given(entries)
+    @settings(max_examples=80)
+    def test_property_roundtrip(self, entry):
+        buf = bytearray()
+        encode_entry(entry, buf)
+        decoded, consumed = decode_entry(bytes(buf), 0)
+        assert decoded == entry
+        assert consumed == len(buf)
+
+
+class TestPages:
+    def _page(self):
+        return [Entry.put(k, f"v{k}", seqno=k + 1, write_time=k) for k in range(20)]
+
+    def test_roundtrip(self):
+        page = self._page()
+        assert decode_page(encode_page(page)) == page
+
+    def test_empty_page(self):
+        assert decode_page(encode_page([])) == []
+
+    def test_bad_magic(self):
+        blob = bytearray(encode_page(self._page()))
+        blob[0] ^= 0xFF
+        with pytest.raises(CorruptionError):
+            decode_page(bytes(blob))
+
+    def test_payload_bitflip_detected(self):
+        blob = bytearray(encode_page(self._page()))
+        blob[-1] ^= 0x01
+        with pytest.raises(CorruptionError):
+            decode_page(bytes(blob))
+
+    def test_truncated_page(self):
+        blob = encode_page(self._page())
+        with pytest.raises(CorruptionError):
+            decode_page(blob[:8])
+
+    def test_trailing_garbage_detected(self):
+        # Extra bytes change the CRC; decode must not silently ignore them.
+        blob = encode_page(self._page()) + b"junk"
+        with pytest.raises(CorruptionError):
+            decode_page(blob)
+
+    @given(st.lists(entries, max_size=30))
+    @settings(max_examples=40)
+    def test_property_roundtrip(self, page):
+        assert decode_page(encode_page(page)) == page

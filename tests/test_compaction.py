@@ -1,0 +1,534 @@
+"""Unit tests for compaction planning and execution."""
+
+import pytest
+
+from repro.config import CompactionStyle, FilePickPolicy, baseline_config
+from repro.lsm.compaction.task import (
+    CompactionReason,
+    CompactionTask,
+    OutputPlacement,
+    TaskInput,
+)
+from repro.lsm.entry import Entry
+from repro.lsm.run import FileIdAllocator, Run, build_files
+from repro.lsm.tree import LSMTree
+
+from conftest import TINY
+
+
+def make_tree(**overrides):
+    params = dict(TINY)
+    params.update(overrides)
+    return LSMTree(baseline_config(**params))
+
+
+class TestTaskValidation:
+    def _run(self):
+        cfg = baseline_config(**TINY)
+        files = build_files(
+            [Entry.put(k, k, k + 1) for k in range(32)], cfg, FileIdAllocator(), 0
+        )
+        return Run(files)
+
+    def test_task_needs_inputs(self):
+        with pytest.raises(ValueError):
+            CompactionTask(
+                reason=CompactionReason.SATURATION,
+                inputs=[],
+                target_level=1,
+                placement=OutputPlacement.NEW_RUN,
+            )
+
+    def test_task_rejects_bad_target(self):
+        run = self._run()
+        with pytest.raises(ValueError):
+            CompactionTask(
+                reason=CompactionReason.SATURATION,
+                inputs=[TaskInput(1, run, list(run.files))],
+                target_level=0,
+                placement=OutputPlacement.NEW_RUN,
+            )
+
+    def test_input_files_must_belong_to_run(self):
+        run = self._run()
+        other = self._run()
+        with pytest.raises(ValueError):
+            TaskInput(1, run, [other.files[0]])
+
+    def test_describe_mentions_levels(self):
+        run = self._run()
+        task = CompactionTask(
+            reason=CompactionReason.SATURATION,
+            inputs=[TaskInput(2, run, [run.files[0]])],
+            target_level=3,
+            placement=OutputPlacement.MERGE_INTO_TARGET_RUN,
+            drop_tombstones=True,
+        )
+        text = task.describe()
+        assert "L2" in text and "L3" in text and "drop" in text
+
+
+class TestLevelingBehavior:
+    def test_compaction_log_records_events(self):
+        tree = make_tree()
+        for k in range(300):
+            tree.put(k, k)
+        assert tree.compaction_log
+        event = tree.compaction_log[0]
+        assert event.reason == CompactionReason.LEVEL_COLLAPSE.value
+        assert event.pages_written > 0
+
+    def test_update_heavy_workload_reclaims_space(self):
+        tree = make_tree()
+        for _ in range(6):
+            for k in range(100):
+                tree.put(k, "x")
+        # 600 ingested versions of 100 keys: compaction must have
+        # discarded most duplicates.
+        assert tree.entry_count_on_disk + len(tree.memtable) < 300
+
+    def test_tombstones_dropped_only_at_bottom(self):
+        tree = make_tree()
+        for k in range(400):
+            tree.put(k, k)
+        for k in range(0, 400, 2):
+            tree.delete(k)
+        tree.flush()
+        # Some tombstones may still be draining through upper levels, but
+        # the bottom level must never store any.
+        deepest = tree.deepest_nonempty_level()
+        bottom = tree.level(deepest)
+        for run in bottom.runs:
+            # Bottom tombstones can exist in leveling only if a deeper
+            # range never existed; with 400 keys over 3 levels the bottom
+            # run's key span covers deleted keys, so:
+            assert all(f.tombstone_count == 0 or deepest == 1 for f in run.files)
+
+    def test_saturation_respects_capacity(self):
+        tree = make_tree()
+        for k in range(3000):
+            tree.put(k, k)
+        for level in tree.iter_levels():
+            if not level.is_empty:
+                assert level.entry_count <= tree.config.level_capacity_entries(level.index)
+
+    def test_reads_correct_after_many_compactions(self):
+        tree = make_tree()
+        expected = {}
+        for k in range(2500):
+            key = k % 617
+            tree.put(key, k)
+            expected[key] = k
+        for key, value in list(expected.items())[::13]:
+            assert tree.get(key) == value
+
+
+class TestFilePickPolicies:
+    def _loaded_tree(self, pick):
+        tree = make_tree(file_pick=pick)
+        for k in range(1200):
+            tree.put(k, k)
+        for k in range(0, 300, 2):
+            tree.delete(k)
+        for k in range(1200, 1800):
+            tree.put(k, k)
+        return tree
+
+    @pytest.mark.parametrize(
+        "pick",
+        [FilePickPolicy.MIN_OVERLAP, FilePickPolicy.TOMBSTONE_DENSITY, FilePickPolicy.OLDEST],
+    )
+    def test_all_policies_preserve_correctness(self, pick):
+        tree = self._loaded_tree(pick)
+        tree.check_invariants()
+        assert tree.get(1) == 1
+        assert tree.get(2) is None  # deleted
+        assert tree.get(1500) == 1500
+
+    def test_tombstone_density_drains_deletes_faster(self):
+        dropped = {}
+        for pick in (FilePickPolicy.MIN_OVERLAP, FilePickPolicy.TOMBSTONE_DENSITY):
+            tree = self._loaded_tree(pick)
+            dropped[pick] = sum(e.tombstones_dropped for e in tree.compaction_log)
+        assert (
+            dropped[FilePickPolicy.TOMBSTONE_DENSITY] >= dropped[FilePickPolicy.MIN_OVERLAP]
+        )
+
+
+class TestTieringBehavior:
+    def make_tiering(self, **overrides):
+        return make_tree(policy=CompactionStyle.TIERING, **overrides)
+
+    def test_levels_hold_multiple_runs(self):
+        tree = self.make_tiering()
+        for k in range(200):
+            tree.put(k, k)
+        max_runs = max((lvl.run_count for lvl in tree.iter_levels()), default=0)
+        assert 1 <= max_runs < tree.config.size_ratio
+
+    def test_run_count_trigger(self):
+        tree = self.make_tiering()
+        for k in range(3000):
+            tree.put(k, k)
+        for level in tree.iter_levels():
+            assert level.run_count < tree.config.size_ratio
+
+    def test_reads_correct_with_overlapping_runs(self):
+        tree = self.make_tiering()
+        expected = {}
+        for k in range(2000):
+            key = k % 401
+            tree.put(key, k)
+            expected[key] = k
+        for key in range(0, 401, 11):
+            assert tree.get(key) == expected[key]
+
+    def test_newest_run_is_probed_first(self):
+        tree = self.make_tiering(memtable_entries=16)
+        for k in range(16):
+            tree.put(k, "old")
+        for k in range(16):
+            tree.put(k, "new")
+        # Both runs are on disk at level 1 now; reads must see "new".
+        assert tree.level(1).run_count >= 2 or tree.deepest_nonempty_level() > 1
+        assert tree.get(3) == "new"
+
+    def test_tiering_write_amp_lower_than_leveling(self):
+        def ingest(tree):
+            for k in range(4000):
+                tree.put(k % 977, k)
+            return tree.disk.stats.pages_written
+
+        leveling_writes = ingest(make_tree())
+        tiering_writes = ingest(self.make_tiering())
+        assert tiering_writes < leveling_writes
+
+    def test_invariants(self):
+        tree = self.make_tiering()
+        for k in range(1500):
+            tree.put(k % 313, k)
+            if k % 6 == 0:
+                tree.delete((k * 5) % 313)
+        tree.check_invariants()
+
+
+class TestLazyLeveling:
+    def make_lazy(self, **overrides):
+        return make_tree(policy=CompactionStyle.LAZY_LEVELING, **overrides)
+
+    def test_last_level_is_a_single_run(self):
+        tree = self.make_lazy()
+        for k in range(3000):
+            tree.put(k, k)
+        last = tree.deepest_nonempty_level()
+        assert tree.level(last).run_count == 1
+
+    def test_upper_levels_tier(self):
+        tree = self.make_lazy()
+        for k in range(3000):
+            tree.put(k, k)
+        last = tree.deepest_nonempty_level()
+        for level in tree.iter_levels():
+            if level.index < last:
+                assert level.run_count < tree.config.size_ratio
+
+    def test_relocations_are_free(self):
+        tree = self.make_lazy()
+        for k in range(3000):
+            tree.put(k, k)
+        relocations = [e for e in tree.compaction_log if e.reason == "relocation"]
+        assert relocations, "growth must have relocated the last run at least once"
+        for event in relocations:
+            assert event.pages_read == 0
+            assert event.pages_written == 0
+            assert event.entries_in == event.entries_out
+
+    def test_write_amp_sits_between_tiering_and_leveling(self):
+        from repro.metrics.amplification import write_amplification
+
+        def wa(policy):
+            tree = make_tree(policy=policy)
+            for i in range(6000):
+                tree.put(i % 1500, i)
+            return write_amplification(tree)
+
+        leveling = wa(CompactionStyle.LEVELING)
+        lazy = wa(CompactionStyle.LAZY_LEVELING)
+        tiering = wa(CompactionStyle.TIERING)
+        assert tiering <= lazy <= leveling
+
+    def test_reads_correct(self):
+        tree = self.make_lazy()
+        expected = {}
+        for k in range(2500):
+            key = k % 613
+            tree.put(key, k)
+            expected[key] = k
+        for key in range(0, 613, 7):
+            assert tree.get(key) == expected[key]
+        tree.check_invariants()
+
+    def test_deletes_and_invariants(self):
+        tree = self.make_lazy()
+        for k in range(1500):
+            tree.put(k % 311, k)
+            if k % 5 == 0:
+                tree.delete((k * 7) % 311)
+        tree.check_invariants()
+        assert dict(tree.scan(-1, 10**9))  # something survives
+
+
+class TestTrivialMoveTask:
+    def test_trivial_move_requires_single_input(self):
+        cfg = baseline_config(**TINY)
+        files = build_files(
+            [Entry.put(k, k, k + 1) for k in range(200)], cfg, FileIdAllocator(), 0
+        )
+        run = Run(files)
+        with pytest.raises(ValueError):
+            CompactionTask(
+                reason=CompactionReason.RELOCATION,
+                inputs=[TaskInput(1, run, [files[0]]), TaskInput(1, run, [files[1]])],
+                target_level=2,
+                placement=OutputPlacement.NEW_RUN,
+                trivial_move=True,
+            )
+
+    def test_trivial_move_cannot_drop_tombstones(self):
+        cfg = baseline_config(**TINY)
+        files = build_files(
+            [Entry.put(k, k, k + 1) for k in range(32)], cfg, FileIdAllocator(), 0
+        )
+        run = Run(files)
+        with pytest.raises(ValueError):
+            CompactionTask(
+                reason=CompactionReason.RELOCATION,
+                inputs=[TaskInput(1, run, list(files))],
+                target_level=2,
+                placement=OutputPlacement.NEW_RUN,
+                trivial_move=True,
+                drop_tombstones=True,
+            )
+
+    def test_trivial_move_rejects_overlap_at_target(self):
+        from repro.lsm.compaction.executor import execute_task
+
+        tree = make_tree()
+        cfg = tree.config
+        upper = Run(
+            build_files(
+                [Entry.put(k, k, k + 1) for k in range(0, 100)],
+                cfg,
+                tree.file_ids,
+                0,
+            )
+        )
+        lower = Run(
+            build_files(
+                [Entry.put(k, k, 200 + k) for k in range(50, 150)],
+                cfg,
+                tree.file_ids,
+                0,
+            )
+        )
+        tree.level(1).add_newest_run(upper)
+        tree.level(2).add_newest_run(lower)
+        task = CompactionTask(
+            reason=CompactionReason.RELOCATION,
+            inputs=[TaskInput(1, upper, list(upper.files))],
+            target_level=2,
+            placement=OutputPlacement.NEW_RUN,
+            trivial_move=True,
+        )
+        with pytest.raises(AssertionError):
+            execute_task(task, tree)
+
+    def test_trivial_move_to_clear_target_succeeds(self):
+        from repro.lsm.compaction.executor import execute_task
+
+        tree = make_tree()
+        run = Run(
+            build_files(
+                [Entry.put(k, k, k + 1) for k in range(100)],
+                tree.config,
+                tree.file_ids,
+                0,
+            )
+        )
+        tree.level(1).add_newest_run(run)
+        before = tree.disk.snapshot()
+        event = execute_task(
+            CompactionTask(
+                reason=CompactionReason.RELOCATION,
+                inputs=[TaskInput(1, run, list(run.files))],
+                target_level=2,
+                placement=OutputPlacement.NEW_RUN,
+                trivial_move=True,
+            ),
+            tree,
+        )
+        delta = tree.disk.delta_since(before)
+        assert delta.total_pages == 0
+        assert event.pages_read == 0 and event.pages_written == 0
+        assert tree.level(1).is_empty
+        assert tree.level(2).entry_count == 100
+        assert tree.get(42) == 42
+
+
+class TestCompactionGranularity:
+    def test_level_granularity_merges_whole_levels(self):
+        from repro.config import CompactionGranularity
+
+        tree = make_tree(granularity=CompactionGranularity.LEVEL)
+        for k in range(2000):
+            tree.put(k, k)
+        saturations = [e for e in tree.compaction_log if e.reason == "saturation"]
+        assert saturations
+        # Whole-level merges move far more entries per compaction than the
+        # per-file default would (one file is <= 64 entries at TINY scale).
+        assert max(e.entries_in for e in saturations) > 3 * tree.config.file_entry_limit
+        tree.check_invariants()
+        for level in tree.iter_levels():
+            assert level.run_count <= 1
+
+    def test_level_granularity_correctness(self):
+        from repro.config import CompactionGranularity
+
+        tree = make_tree(granularity=CompactionGranularity.LEVEL)
+        expected = {}
+        for k in range(2500):
+            key = k % 617
+            tree.put(key, k)
+            expected[key] = k
+            if k % 9 == 0:
+                victim = (k * 3) % 617
+                tree.delete(victim)
+                expected.pop(victim, None)
+        assert dict(tree.scan(-1, 10**9)) == expected
+
+    def test_level_granularity_has_higher_write_amp(self):
+        from repro.config import CompactionGranularity
+        from repro.metrics.amplification import write_amplification
+
+        def wa(**kw):
+            tree = make_tree(**kw)
+            for k in range(5000):
+                tree.put(k, k)  # fresh keys: file granularity can trivially move
+            return write_amplification(tree)
+
+        assert wa(granularity=CompactionGranularity.LEVEL) > wa()
+
+
+class TestTrivialMovesInTheWild:
+    def test_sequential_ingest_produces_trivial_moves(self):
+        # Monotonically growing keys never overlap deeper levels, so with
+        # trivial moves enabled most saturation moves are free.
+        tree = make_tree(trivial_moves=True)
+        for k in range(3000):
+            tree.put(k, k)
+        free_moves = [
+            e
+            for e in tree.compaction_log
+            if e.reason == "saturation" and e.pages_read == 0 and e.pages_written == 0
+        ]
+        assert free_moves, "sequential ingest should trigger trivial moves"
+        tree.check_invariants()
+
+    def test_trivial_moves_reduce_write_amp_on_sequential_ingest(self):
+        from repro.metrics.amplification import write_amplification
+
+        def wa(flag):
+            tree = make_tree(trivial_moves=flag)
+            for k in range(4000):
+                tree.put(k, k)
+            return write_amplification(tree)
+
+        assert wa(True) < wa(False)
+
+    def test_trivial_moves_never_skip_a_due_purge(self):
+        # A file with tombstones moving into the bottommost level must be
+        # rewritten (to purge), never trivially moved.
+        tree = make_tree(trivial_moves=True)
+        for k in range(1200):
+            tree.put(k, k)
+        for k in range(0, 1200, 2):
+            tree.delete(k)
+        for k in range(1200, 3000):
+            tree.put(k, k)
+        deepest = tree.deepest_nonempty_level()
+        bottom_tombstones = sum(
+            f.tombstone_count for f in tree.level(deepest).iter_files()
+        )
+        assert bottom_tombstones == 0
+
+
+class TestExecutorEdgeCases:
+    def test_compaction_with_empty_output(self):
+        # A bottom merge whose inputs are exclusively tombstones (their
+        # puts already purged) produces no output files at all.
+        from repro.lsm.compaction.executor import execute_task
+
+        tree = make_tree()
+        cfg = tree.config
+        tombs = [Entry.tombstone(k, 1000 + k, write_time=k) for k in range(40)]
+        run = Run(build_files(tombs, cfg, tree.file_ids, 0))
+        tree.level(1).add_newest_run(run)
+        task = CompactionTask(
+            reason=CompactionReason.LEVEL_COLLAPSE,
+            inputs=[TaskInput(1, run, list(run.files))],
+            target_level=1,
+            placement=OutputPlacement.NEW_RUN,
+            drop_tombstones=True,
+        )
+        event = execute_task(task, tree)
+        assert event.entries_out == 0
+        assert event.tombstones_dropped == 40
+        assert event.output_file_ids == ()
+        assert tree.level(1).is_empty
+
+    def test_trivial_move_into_existing_leveled_run(self):
+        from repro.lsm.compaction.executor import execute_task
+
+        tree = make_tree()
+        cfg = tree.config
+        moving = Run(build_files([Entry.put(k, k, k + 1) for k in range(50)], cfg, tree.file_ids, 0))
+        resident = Run(
+            build_files([Entry.put(k, k, 500 + k) for k in range(100, 150)], cfg, tree.file_ids, 0)
+        )
+        tree.level(1).add_newest_run(moving)
+        tree.level(2).add_newest_run(resident)
+        event = execute_task(
+            CompactionTask(
+                reason=CompactionReason.SATURATION,
+                inputs=[TaskInput(1, moving, list(moving.files))],
+                target_level=2,
+                placement=OutputPlacement.MERGE_INTO_TARGET_RUN,
+                trivial_move=True,
+            ),
+            tree,
+        )
+        assert event.pages_read == 0 and event.pages_written == 0
+        assert tree.level(2).run_count == 1
+        assert tree.level(2).entry_count == 100
+        assert tree.get(10) == 10 and tree.get(120) == 120
+
+    def test_compaction_event_reports_superseded_tombstones(self):
+        from repro.lsm.compaction.executor import execute_task
+
+        tree = make_tree()
+        cfg = tree.config
+        old = Run(build_files([Entry.tombstone(k, k + 1, write_time=0) for k in range(20)], cfg, tree.file_ids, 0))
+        new = Run(build_files([Entry.put(k, "revived", 100 + k) for k in range(20)], cfg, tree.file_ids, 0))
+        tree.level(1).add_newest_run(old)
+        tree.level(1).add_newest_run(new)
+        task = CompactionTask(
+            reason=CompactionReason.LEVEL_COLLAPSE,
+            inputs=[TaskInput(1, run, list(run.files)) for run in tree.level(1).runs],
+            target_level=1,
+            placement=OutputPlacement.NEW_RUN,
+            drop_tombstones=True,
+        )
+        event = execute_task(task, tree)
+        assert event.tombstones_superseded == 20
+        assert event.tombstones_dropped == 0
+        assert all(tree.get(k) == "revived" for k in range(20))

@@ -1,0 +1,160 @@
+"""Unit tests for configuration validation and derived quantities."""
+
+import pytest
+
+from repro.config import (
+    CompactionStyle,
+    DiskModel,
+    FilePickPolicy,
+    LSMConfig,
+    acheron_config,
+    baseline_config,
+)
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_default_config_is_valid(self):
+        LSMConfig()  # __post_init__ validates
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("memtable_entries", 0),
+            ("size_ratio", 1),
+            ("entries_per_page", 0),
+            ("pages_per_tile", 0),
+            ("max_file_entries", -1),
+            ("bloom_bits_per_key", -0.5),
+            ("cache_pages", -1),
+            ("delete_persistence_threshold", 0),
+            ("key_size_bytes", 0),
+            ("value_size_bytes", -1),
+            ("tombstone_overhead_bytes", -1),
+        ],
+    )
+    def test_out_of_range_fields_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            LSMConfig(**{field: value})
+
+    def test_bad_enum_types_rejected(self):
+        with pytest.raises(ConfigError):
+            LSMConfig(policy="leveling")  # must be the enum, not a string
+        with pytest.raises(ConfigError):
+            LSMConfig(file_pick="oldest")
+
+    def test_negative_disk_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            LSMConfig(disk=DiskModel(read_page_us=-1))
+
+    def test_with_updates_validates(self):
+        config = LSMConfig()
+        with pytest.raises(ConfigError):
+            config.with_updates(size_ratio=0)
+
+    def test_with_updates_returns_modified_copy(self):
+        config = LSMConfig(size_ratio=4)
+        updated = config.with_updates(size_ratio=8)
+        assert updated.size_ratio == 8
+        assert config.size_ratio == 4
+
+
+class TestDerivedQuantities:
+    def test_fade_enabled_tracks_threshold(self):
+        assert not LSMConfig().fade_enabled
+        assert LSMConfig(delete_persistence_threshold=100).fade_enabled
+
+    def test_kiwi_enabled_tracks_tile_size(self):
+        assert not LSMConfig(pages_per_tile=1).kiwi_enabled
+        assert LSMConfig(pages_per_tile=2).kiwi_enabled
+
+    def test_file_entry_limit_defaults_to_memtable(self):
+        assert LSMConfig(memtable_entries=100).file_entry_limit == 100
+        assert LSMConfig(max_file_entries=40).file_entry_limit == 40
+
+    def test_level_capacity_grows_geometrically(self):
+        config = LSMConfig(memtable_entries=10, size_ratio=3)
+        assert config.level_capacity_entries(1) == 30
+        assert config.level_capacity_entries(2) == 90
+        assert config.level_capacity_entries(3) == 270
+
+    def test_level_capacity_rejects_level_zero(self):
+        with pytest.raises(ValueError):
+            LSMConfig().level_capacity_entries(0)
+
+    def test_entry_bytes_distinguishes_tombstones(self):
+        config = LSMConfig(key_size_bytes=16, value_size_bytes=100, tombstone_overhead_bytes=8)
+        assert config.entry_bytes(is_tombstone=False) == 116
+        assert config.entry_bytes(is_tombstone=True) == 24
+
+    def test_page_size_bytes(self):
+        config = LSMConfig(entries_per_page=10, key_size_bytes=16, value_size_bytes=84)
+        assert config.page_size_bytes == 1000
+
+
+class TestPresets:
+    def test_baseline_has_no_delete_awareness(self):
+        config = baseline_config()
+        assert not config.fade_enabled
+        assert not config.kiwi_enabled
+        assert config.file_pick is FilePickPolicy.MIN_OVERLAP
+
+    def test_acheron_enables_fade_and_kiwi(self):
+        config = acheron_config(delete_persistence_threshold=123, pages_per_tile=4)
+        assert config.delete_persistence_threshold == 123
+        assert config.pages_per_tile == 4
+        assert config.file_pick is FilePickPolicy.TOMBSTONE_DENSITY
+
+    def test_presets_share_all_other_knobs(self):
+        base = baseline_config()
+        ach = acheron_config()
+        assert base.memtable_entries == ach.memtable_entries
+        assert base.size_ratio == ach.size_ratio
+        assert base.entries_per_page == ach.entries_per_page
+        assert base.bloom_bits_per_key == ach.bloom_bits_per_key
+        assert base.policy is ach.policy is CompactionStyle.LEVELING
+
+    def test_overrides_flow_through(self):
+        config = acheron_config(size_ratio=10, memtable_entries=99)
+        assert config.size_ratio == 10
+        assert config.memtable_entries == 99
+
+
+class TestSerialization:
+    def test_roundtrip_default(self):
+        config = LSMConfig()
+        assert LSMConfig.from_dict(config.to_dict()) == config
+
+    def test_roundtrip_fully_tuned(self):
+        from repro.config import CompactionGranularity
+
+        config = acheron_config(
+            4321,
+            pages_per_tile=16,
+            policy=CompactionStyle.LAZY_LEVELING,
+            granularity=CompactionGranularity.LEVEL,
+            trivial_moves=False,
+            bloom_allocation="monkey",
+            kiwi_page_filters=True,
+            cache_pages=99,
+        )
+        assert LSMConfig.from_dict(config.to_dict()) == config
+
+    def test_missing_new_fields_take_defaults(self):
+        # A manifest written before newer knobs existed must still load.
+        data = LSMConfig().to_dict()
+        for newer in ("granularity", "trivial_moves", "bloom_allocation", "kiwi_page_filters"):
+            del data[newer]
+        config = LSMConfig.from_dict(data)
+        assert config.trivial_moves is True
+        assert config.bloom_allocation == "uniform"
+
+    def test_unknown_fields_rejected(self):
+        data = LSMConfig().to_dict()
+        data["flux_capacitor"] = True
+        with pytest.raises(ConfigError):
+            LSMConfig.from_dict(data)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError):
+            LSMConfig.from_dict({"policy": "quantum"})

@@ -1,0 +1,112 @@
+"""Tests for the demo layer: inspector rendering and scripted scenarios."""
+
+from repro.demo.inspector import TreeInspector
+from repro.demo.scenarios import DemoScenario, run_side_by_side
+from repro.workload.spec import OpKind, WorkloadSpec
+
+from conftest import TINY, make_acheron, make_baseline
+
+
+class TestInspector:
+    def _inspector(self):
+        engine = make_acheron(delete_persistence_threshold=2000)
+        for k in range(700):
+            engine.put(k, k)
+        for k in range(0, 700, 3):
+            engine.delete(k)
+        return TreeInspector(engine, name="test")
+
+    def test_levels_table_has_buffer_and_levels(self):
+        text = self._inspector().levels_table()
+        assert "buf" in text
+        assert "L1" in text
+        assert "cum-TTL" in text
+        assert "tick" in text
+
+    def test_persistence_table_shows_threshold(self):
+        text = self._inspector().persistence_table()
+        assert "threshold D_th" in text
+        assert "2,000" in text
+        assert "compliant" in text
+
+    def test_io_table_shows_categories_and_amplification(self):
+        text = self._inspector().io_table()
+        assert "write:flush" in text
+        assert "write amplification" in text
+        assert "space amplification" in text
+
+    def test_compaction_history_bounded(self):
+        inspector = self._inspector()
+        text = inspector.compaction_history(last=3)
+        data_lines = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(data_lines) <= 4  # header + at most 3 rows
+
+    def test_dashboard_combines_all_views(self):
+        text = self._inspector().dashboard()
+        for fragment in ("tree @", "persistence", "I/O", "recent compactions"):
+            assert fragment in text
+
+    def test_inspector_on_baseline_engine(self):
+        engine = make_baseline()
+        for k in range(100):
+            engine.put(k, k)
+        text = TreeInspector(engine, name="base").dashboard()
+        assert "base" in text
+
+
+class TestScenarios:
+    def _spec(self):
+        return WorkloadSpec(
+            operations=400,
+            preload=300,
+            weights={
+                OpKind.INSERT: 0.5,
+                OpKind.POINT_DELETE: 0.2,
+                OpKind.POINT_QUERY: 0.3,
+            },
+            seed=42,
+        )
+
+    def test_side_by_side_runs_both_engines(self):
+        scenario = run_side_by_side(
+            self._spec(), delete_persistence_threshold=500, **TINY
+        )
+        assert set(scenario.results) == {"baseline", "acheron"}
+        for result in scenario.results.values():
+            assert result.operations == 700
+
+    def test_captures_at_checkpoints(self):
+        scenario = run_side_by_side(
+            self._spec(), delete_persistence_threshold=500, **TINY
+        )
+        names = {c.engine_name for c in scenario.captures}
+        assert names == {"baseline", "acheron"}
+        assert len(scenario.captures) >= 4  # >= 2 checkpoints x 2 engines
+
+    def test_render_contains_dashboards(self):
+        scenario = run_side_by_side(
+            self._spec(), delete_persistence_threshold=500, **TINY
+        )
+        text = scenario.render()
+        assert "=== baseline ::" in text
+        assert "=== acheron ::" in text
+        assert "persistence" in text
+
+    def test_custom_engine_set(self):
+        scenario = DemoScenario(
+            spec=self._spec(),
+            engines={"only": lambda: make_baseline()},
+            checkpoints=1,
+        ).run()
+        assert list(scenario.results) == ["only"]
+
+    def test_identical_stream_for_every_engine(self):
+        # The scenario materializes the operation stream once, so both
+        # engines execute the same op counts per kind.
+        scenario = run_side_by_side(
+            self._spec(), delete_persistence_threshold=500, **TINY
+        )
+        base = scenario.results["baseline"]
+        ach = scenario.results["acheron"]
+        for kind, stats in base.per_kind.items():
+            assert ach.per_kind[kind].count == stats.count

@@ -1,0 +1,249 @@
+"""Durability and recovery tests: the engine must survive restarts and
+crash shapes with its exact logical state."""
+
+import pytest
+
+from repro.config import acheron_config, baseline_config
+from repro.lsm.tree import LSMTree
+from repro.storage.filestore import FileStore
+
+from conftest import TINY
+
+
+def durable_config(**overrides):
+    params = dict(TINY)
+    params.update(overrides)
+    return baseline_config(**params)
+
+
+class TestReopen:
+    def test_clean_close_and_reopen_preserves_data(self, tmp_path):
+        config = durable_config()
+        with LSMTree.open(config, tmp_path) as tree:
+            for k in range(500):
+                tree.put(k, f"v{k}")
+            for k in range(0, 100, 2):
+                tree.delete(k)
+        reopened = LSMTree.open(config, tmp_path)
+        for k in range(0, 100, 2):
+            assert reopened.get(k) is None
+        for k in range(1, 100, 2):
+            assert reopened.get(k) == f"v{k}"
+        assert reopened.get(400) == "v400"
+        reopened.check_invariants()
+
+    def test_reopen_preserves_scan_results(self, tmp_path):
+        config = durable_config()
+        with LSMTree.open(config, tmp_path) as tree:
+            for k in range(300):
+                tree.put(k, k * 2)
+            expected = list(tree.scan(50, 150))
+        reopened = LSMTree.open(config, tmp_path)
+        assert list(reopened.scan(50, 150)) == expected
+
+    def test_reopen_restores_clock_and_seqnos(self, tmp_path):
+        config = durable_config()
+        with LSMTree.open(config, tmp_path) as tree:
+            for k in range(200):
+                tree.put(k, k)
+            tick = tree.clock.now()
+        reopened = LSMTree.open(config, tmp_path)
+        assert reopened.clock.now() >= tick
+        # New writes must win over everything recovered.
+        reopened.put(0, "fresh")
+        assert reopened.get(0) == "fresh"
+
+    def test_unflushed_writes_recovered_from_wal(self, tmp_path):
+        config = durable_config()
+        tree = LSMTree.open(config, tmp_path)
+        for k in range(30):  # well under the 64-entry buffer: no flush
+            tree.put(k, f"v{k}")
+        tree.delete(3)
+        # Simulate a crash: no close(), no flush.
+        del tree
+        recovered = LSMTree.open(config, tmp_path)
+        assert recovered.get(5) == "v5"
+        assert recovered.get(3) is None
+        assert len(recovered.memtable) == 30
+
+    def test_torn_wal_tail_loses_only_the_last_write(self, tmp_path):
+        config = durable_config()
+        tree = LSMTree.open(config, tmp_path)
+        for k in range(20):
+            tree.put(k, f"v{k}")
+        del tree
+        store = FileStore(tmp_path)
+        data = store.wal_path.read_bytes()
+        store.wal_path.write_bytes(data[:-4])  # crash mid-append
+        recovered = LSMTree.open(config, tmp_path)
+        assert len(recovered.memtable) == 19
+        assert recovered.get(18) == "v18"
+        assert recovered.get(19) is None
+
+    def test_kiwi_layout_survives_restart(self, tmp_path):
+        params = dict(TINY)
+        config = acheron_config(
+            delete_persistence_threshold=5_000, pages_per_tile=4, **params
+        )
+        with LSMTree.open(config, tmp_path) as tree:
+            for k in range(400):
+                tree.put((k * 37) % 400, f"v{k}")
+        reopened = LSMTree.open(config, tmp_path)
+        for level in reopened.iter_levels():
+            for run in level.runs:
+                for file in run.files:
+                    file.check_invariants()
+        # The weave (multi-page tiles) must survive serialization.
+        tiles = [
+            tile
+            for level in reopened.iter_levels()
+            for run in level.runs
+            for file in run.files
+            for tile in file.tiles
+        ]
+        assert any(len(tile.pages) > 1 for tile in tiles)
+
+    def test_fade_deadlines_rebuilt_after_restart(self, tmp_path):
+        params = dict(TINY)
+        config = acheron_config(
+            delete_persistence_threshold=2_000, pages_per_tile=1, **params
+        )
+        with LSMTree.open(config, tmp_path) as tree:
+            for k in range(800):
+                tree.put(k, k)
+            for k in range(0, 800, 2):
+                tree.delete(k)
+        reopened = LSMTree.open(config, tmp_path)
+        if reopened.tombstone_count_on_disk:
+            assert reopened.fade.tracked_file_count() > 0
+        # Deadlines must still be honored after restart.
+        reopened.advance_time(2_500)
+        assert reopened.tombstone_count_on_disk == 0
+
+    def test_wal_tombstones_reregister_with_listener(self, tmp_path):
+        from repro.core.persistence import PersistenceTracker
+
+        config = durable_config()
+        tree = LSMTree.open(config, tmp_path)
+        tree.put(1, "x")
+        tree.delete(1)
+        del tree  # crash with the tombstone only in the WAL
+        tracker = PersistenceTracker(threshold=10_000)
+        recovered = LSMTree.open(config, tmp_path, listener=tracker)
+        assert tracker.registered_count == 1
+        assert tracker.pending_count == 1
+        recovered.close()
+
+
+class TestStoreHygiene:
+    def test_no_orphan_sstables_after_compactions(self, tmp_path):
+        config = durable_config()
+        with LSMTree.open(config, tmp_path) as tree:
+            for k in range(1500):
+                tree.put(k % 400, k)
+        store = FileStore(tmp_path)
+        manifest = store.read_manifest()
+        live = {fid for runs in manifest["levels"] for run in runs for fid in run}
+        on_disk = set(store.list_sstable_ids())
+        assert on_disk == live
+
+    def test_manifest_tracks_next_file_id(self, tmp_path):
+        config = durable_config()
+        tree = LSMTree.open(config, tmp_path)
+        for k in range(300):
+            tree.put(k, k)
+        tree.close()  # close flushes the buffer, allocating further ids
+        next_id = tree.file_ids.peek()
+        manifest = FileStore(tmp_path).read_manifest()
+        assert manifest["next_file_id"] == next_id
+        reopened = LSMTree.open(config, tmp_path)
+        # New files must not collide with recovered ones.
+        assert reopened.file_ids.peek() >= next_id
+
+    def test_two_directories_are_independent(self, tmp_path):
+        config = durable_config()
+        with LSMTree.open(config, tmp_path / "a") as a:
+            a.put(1, "a-data")
+        with LSMTree.open(config, tmp_path / "b") as b:
+            b.put(1, "b-data")
+        assert LSMTree.open(config, tmp_path / "a").get(1) == "a-data"
+        assert LSMTree.open(config, tmp_path / "b").get(1) == "b-data"
+
+    def test_secondary_delete_persists_across_restart(self, tmp_path):
+        from repro.core.kiwi import kiwi_range_delete
+
+        params = dict(TINY)
+        config = acheron_config(
+            delete_persistence_threshold=50_000, pages_per_tile=4, **params
+        )
+        with LSMTree.open(config, tmp_path) as tree:
+            for k in range(400):
+                tree.put(k, f"v{k}")
+            cutoff = tree.clock.now() // 2
+            kiwi_range_delete(tree, 0, cutoff)
+            survivors = dict(tree.scan(0, 10_000))
+        reopened = LSMTree.open(config, tmp_path)
+        assert dict(reopened.scan(0, 10_000)) == survivors
+
+
+class TestReadOnlyOpen:
+    def _built(self, tmp_path):
+        config = durable_config()
+        tree = LSMTree.open(config, tmp_path)
+        for k in range(300):
+            tree.put(k, f"v{k}")
+        for k in range(200, 230):  # leave entries in the WAL
+            tree.put(k, "buffered")
+        tree._wal.close()  # crash
+        return config
+
+    def test_reads_work_mutations_raise(self, tmp_path):
+        from repro.errors import EngineClosedError
+
+        config = self._built(tmp_path)
+        tree = LSMTree.open(config, tmp_path, read_only=True)
+        assert tree.get(5) == "v5"
+        assert tree.get(205) == "buffered"  # WAL replayed into memory
+        assert list(tree.scan(0, 3))
+        with pytest.raises(EngineClosedError):
+            tree.put(1, "nope")
+        with pytest.raises(EngineClosedError):
+            tree.delete(1)
+        with pytest.raises(EngineClosedError):
+            tree.flush()
+        with pytest.raises(EngineClosedError):
+            tree.advance_time(10)
+        with pytest.raises(EngineClosedError):
+            tree.full_compaction()
+
+    def test_read_only_open_leaves_store_untouched(self, tmp_path):
+        import hashlib
+
+        config = self._built(tmp_path)
+
+        def fingerprint():
+            digest = hashlib.sha256()
+            for path in sorted(p for p in tmp_path.iterdir() if p.is_file()):
+                digest.update(path.name.encode())
+                digest.update(path.read_bytes())
+            return digest.hexdigest()
+
+        before = fingerprint()
+        tree = LSMTree.open(config, tmp_path, read_only=True)
+        tree.get(5)
+        list(tree.scan(0, 100))
+        tree.close()
+        assert fingerprint() == before
+
+    def test_engine_facade_read_only(self, tmp_path):
+        from repro.core.engine import AcheronEngine
+        from repro.errors import ConfigError, EngineClosedError
+
+        self._built(tmp_path)
+        engine = AcheronEngine(config=None, directory=str(tmp_path), read_only=True)
+        assert engine.get(5) == "v5"
+        with pytest.raises(EngineClosedError):
+            engine.put(1, "x")
+        engine.close()
+        with pytest.raises(ConfigError):
+            AcheronEngine(read_only=True)  # no directory: meaningless

@@ -1,0 +1,313 @@
+"""Tests for FADE: TTL allocation, expiry triggers, and the paper's
+central guarantee -- every tombstone persists within ``D_th``."""
+
+import pytest
+
+from repro.config import CompactionStyle, acheron_config
+from repro.core.fade import FadeScheduler
+from repro.core.persistence import PersistenceTracker
+from repro.lsm.compaction.task import CompactionReason
+from repro.lsm.tree import LSMTree
+
+from conftest import TINY
+
+
+def make_fade_tree(d_th=1000, policy=CompactionStyle.LEVELING, **overrides):
+    params = dict(TINY)
+    params.update(overrides)
+    tracker = PersistenceTracker(threshold=d_th)
+    tree = LSMTree(
+        acheron_config(
+            delete_persistence_threshold=d_th,
+            pages_per_tile=1,
+            policy=policy,
+            **params,
+        ),
+        listener=tracker,
+    )
+    return tree, tracker
+
+
+class TestTTLAllocation:
+    def _scheduler(self, d_th=1000, size_ratio=3):
+        params = dict(TINY)
+        params["size_ratio"] = size_ratio
+        config = acheron_config(delete_persistence_threshold=d_th, **params)
+        return FadeScheduler(config)
+
+    def test_requires_threshold(self):
+        from repro.config import baseline_config
+
+        with pytest.raises(ValueError):
+            FadeScheduler(baseline_config())
+
+    def test_cumulative_ttl_is_monotone_in_level(self):
+        fade = self._scheduler()
+        deepest = 4
+        ttls = [fade.cumulative_ttl(i, deepest) for i in range(deepest + 1)]
+        assert ttls == sorted(ttls)
+        assert all(t >= 1 for t in ttls)
+
+    def test_bottom_level_gets_exactly_d_th(self):
+        fade = self._scheduler(d_th=5000)
+        for deepest in (1, 2, 3, 5):
+            assert fade.cumulative_ttl(deepest, deepest) == 5000
+            assert fade.cumulative_ttl(deepest + 2, deepest) == 5000
+
+    def test_shares_grow_geometrically(self):
+        fade = self._scheduler(d_th=10_000, size_ratio=3)
+        deepest = 3
+        d0 = fade.cumulative_ttl(0, deepest)
+        d1 = fade.cumulative_ttl(1, deepest) - d0
+        d2 = fade.cumulative_ttl(2, deepest) - fade.cumulative_ttl(1, deepest)
+        # Each level's share is ~T times the previous one.
+        assert d1 == pytest.approx(3 * d0, rel=0.2)
+        assert d2 == pytest.approx(3 * d1, rel=0.2)
+
+    def test_rejects_negative_level(self):
+        with pytest.raises(ValueError):
+            self._scheduler().cumulative_ttl(-1, 3)
+
+    def test_buffer_deadline_shares_level_one_slice(self):
+        fade = self._scheduler(d_th=1000)
+        assert fade.buffer_deadline(100, deepest=2) == 100 + fade.cumulative_ttl(1, 2)
+        # Never beyond the full threshold.
+        assert fade.buffer_deadline(100, deepest=1) <= 100 + 1000
+
+
+class TestGuarantee:
+    """The headline property: persisted latency <= D_th, no pending
+    tombstone older than D_th."""
+
+    def _check_compliance(self, tree, tracker):
+        stats = tracker.stats(tree.clock.now())
+        assert stats.violations == 0, f"latency violations: {stats}"
+        assert stats.compliant(), f"non-compliant: {stats}"
+
+    @pytest.mark.parametrize("d_th", [300, 1000, 5000])
+    def test_leveling_guarantee_across_thresholds(self, d_th):
+        tree, tracker = make_fade_tree(d_th=d_th)
+        for k in range(800):
+            tree.put(k, k)
+        for k in range(0, 800, 3):
+            tree.delete(k)
+        for k in range(800, 800 + 2 * d_th):
+            tree.put(k, k)  # let time pass well beyond D_th
+        self._check_compliance(tree, tracker)
+        assert tracker.persisted_count > 0
+
+    def test_lazy_leveling_guarantee(self):
+        tree, tracker = make_fade_tree(
+            d_th=800, policy=CompactionStyle.LAZY_LEVELING
+        )
+        for k in range(600):
+            tree.put(k, k)
+        for k in range(0, 600, 4):
+            tree.delete(k)
+        for k in range(600, 3000):
+            tree.put(k, k)
+        self._check_compliance(tree, tracker)
+        assert tracker.persisted_count > 0
+
+    def test_tiering_guarantee(self):
+        tree, tracker = make_fade_tree(d_th=800, policy=CompactionStyle.TIERING)
+        for k in range(600):
+            tree.put(k, k)
+        for k in range(0, 600, 4):
+            tree.delete(k)
+        for k in range(600, 3000):
+            tree.put(k, k)
+        self._check_compliance(tree, tracker)
+        assert tracker.persisted_count > 0
+
+    def test_guarantee_holds_under_interleaved_deletes(self):
+        tree, tracker = make_fade_tree(d_th=500)
+        for k in range(4000):
+            tree.put(k % 701, k)
+            if k % 7 == 0:
+                tree.delete((k * 3) % 701)
+        # Drain: advance time so the last deletes hit their deadlines.
+        tree.advance_time(600)
+        self._check_compliance(tree, tracker)
+
+    def test_idle_time_still_persists_deletes(self):
+        # Deletes issued then the workload stops: advance_time must drive
+        # the flush + expiry compactions with no further ingestion.
+        tree, tracker = make_fade_tree(d_th=400)
+        for k in range(100):
+            tree.put(k, k)
+        for k in range(50):
+            tree.delete(k)
+        tree.advance_time(500)
+        stats = tracker.stats(tree.clock.now())
+        assert stats.pending == 0
+        assert stats.violations == 0
+
+    def test_baseline_does_violate(self):
+        # Sanity: without FADE the same workload leaves old pending deletes.
+        # The tree must be deep enough that tombstones cannot all reach the
+        # bottom level through incidental compaction.
+        from repro.config import baseline_config
+
+        tracker = PersistenceTracker(threshold=400)
+        tree = LSMTree(baseline_config(**TINY), listener=tracker)
+        for k in range(1500):
+            tree.put(k, k)
+        for k in range(0, 1500, 10):
+            tree.delete(k)
+        for k in range(1500, 2500):
+            tree.put(k, k)
+        stats = tracker.stats(tree.clock.now())
+        assert not stats.compliant()
+
+
+class TestMechanics:
+    def test_expiry_produces_ttl_or_purge_compactions(self):
+        # A deep tree: tombstones flushed into L1 cannot be dropped by the
+        # L1 collapse (deeper data exists), so persisting them within D_th
+        # requires FADE's own triggers.
+        tree, _ = make_fade_tree(d_th=300)
+        for k in range(800):
+            tree.put(k, k)
+        for k in range(0, 800, 2):
+            tree.delete(k)
+        tree.advance_time(400)
+        reasons = {e.reason for e in tree.compaction_log}
+        assert CompactionReason.TTL_EXPIRY.value in reasons or (
+            CompactionReason.BOTTOM_PURGE.value in reasons
+        )
+        fade = tree.fade
+        assert fade.expiry_compactions + fade.purge_compactions > 0
+
+    def test_bottom_purge_merges_tiered_bottom_level(self):
+        # Tiering is where tombstones genuinely come to rest at the bottom
+        # (a run merged onto a non-empty last level cannot drop them);
+        # FADE's BOTTOM_PURGE is the mechanism that clears them.
+        tree, tracker = make_fade_tree(
+            d_th=300, policy=CompactionStyle.TIERING
+        )
+        for k in range(800):
+            tree.put(k, k)
+        for k in range(0, 800, 2):
+            tree.delete(k)
+        tree.advance_time(400)
+        assert tree.tombstone_count_on_disk == 0
+        stats = tracker.stats(tree.clock.now())
+        assert stats.pending == 0 and stats.violations == 0
+        # Deleted keys stay deleted, surviving keys stay readable.
+        assert tree.get(0) is None
+        assert tree.get(1) == 1
+
+    def test_scheduler_registry_cleans_up(self):
+        tree, _ = make_fade_tree(d_th=300)
+        for k in range(2000):
+            tree.put(k, k)
+            if k % 5 == 0:
+                tree.delete(k // 2)
+        tree.advance_time(400)
+        fade = tree.fade
+        # Every tracked file must still be live in the tree.
+        live_ids = {
+            f.file_id for lvl in tree.iter_levels() for f in lvl.iter_files()
+        }
+        assert set(fade._live).issubset(live_ids)
+
+    def test_next_deadline_visibility(self):
+        # With many tombstones resting in non-bottom levels, the scheduler
+        # must be tracking them, and the earliest deadline can never exceed
+        # "oldest tombstone + D_th".
+        tree, _ = make_fade_tree(d_th=10_000)
+        for k in range(800):
+            tree.put(k, k)
+        for k in range(0, 800, 2):
+            tree.delete(k)
+        tree.flush()
+        assert tree.tombstone_count_on_disk > 0
+        assert tree.fade.tracked_file_count() > 0
+        deadline = tree.fade.next_deadline()
+        assert deadline is not None
+        assert deadline <= tree.clock.now() + 10_000
+
+    def test_single_delete_persists_by_its_deadline(self):
+        # A lone tombstone is not urgent enough for the drain-score picker
+        # to chase, but the TTL machinery must still persist it within
+        # D_th even if no further compaction pressure arrives.
+        tree, tracker = make_fade_tree(d_th=10_000)
+        for k in range(900):
+            tree.put(k, k)
+        tree.delete(1)
+        tree.flush()
+        tree.advance_time(10_001)
+        stats = tracker.stats(tree.clock.now())
+        assert stats.persisted + stats.superseded == 1
+        assert stats.pending == 0
+        assert stats.violations == 0
+
+    def test_files_without_tombstones_are_not_tracked(self):
+        tree, _ = make_fade_tree(d_th=1000)
+        for k in range(300):
+            tree.put(k, k)
+        assert tree.fade.tracked_file_count() == 0
+
+
+class TestFadeWithLazyLeveling:
+    def test_ttl_plan_uses_tiering_semantics(self):
+        # Under lazy leveling FADE's expiry merges whole levels (the
+        # tiering branch); the guarantee must hold and the structure stay
+        # legal (single leveled last run at quiescence).
+        tree, tracker = make_fade_tree(
+            d_th=400, policy=CompactionStyle.LAZY_LEVELING
+        )
+        for k in range(900):
+            tree.put(k, k)
+        for k in range(0, 900, 2):
+            tree.delete(k)
+        tree.advance_time(500)
+        stats = tracker.stats(tree.clock.now())
+        assert stats.pending == 0 and stats.violations == 0
+        last = tree.deepest_nonempty_level()
+        assert tree.level(last).run_count == 1
+
+
+class TestFadeTrivialMoves:
+    def test_expired_file_with_clear_path_moves_free(self):
+        # Build a deep tree, then delete keys in a range that has no
+        # overlap below after full compaction of a disjoint region is
+        # hard to stage; instead verify globally: with trivial moves on,
+        # some TTL expiries may resolve without I/O, and the guarantee
+        # still holds.
+        tree, tracker = make_fade_tree(d_th=400)
+        for k in range(2000):
+            tree.put(k, k)
+        for k in range(1900, 2000):
+            tree.delete(k)  # newest range: likely clear below
+        tree.advance_time(500)
+        stats = tracker.stats(tree.clock.now())
+        assert stats.pending == 0 and stats.violations == 0
+
+    def test_guarantee_with_trivial_moves_disabled(self):
+        tree, tracker = make_fade_tree(d_th=400, trivial_moves=False)
+        for k in range(1200):
+            tree.put(k, k)
+        for k in range(0, 1200, 5):
+            tree.delete(k)
+        tree.advance_time(500)
+        stats = tracker.stats(tree.clock.now())
+        assert stats.pending == 0 and stats.violations == 0
+
+
+class TestFadeStaleEntries:
+    def test_stale_heap_entries_are_skipped(self):
+        # Force the heap to hold entries for files that have since been
+        # compacted away: plan() must skip them silently.
+        tree, _ = make_fade_tree(d_th=600)
+        for k in range(800):
+            tree.put(k, k)
+        for k in range(0, 800, 2):
+            tree.delete(k)
+        # Full compaction destroys every tracked file (persisting all
+        # tombstones); the heap still holds their old deadlines.
+        tree.full_compaction()
+        assert tree.fade.tracked_file_count() == 0
+        tree.advance_time(700)  # pops every stale entry
+        assert tree.fade.next_deadline() is None

@@ -1,0 +1,162 @@
+"""Unit and property tests for Bloom filters and fence pointers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.bloom import BloomFilter
+from repro.filters.fence import FenceIndex
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        keys = list(range(0, 5000, 3))
+        bloom = BloomFilter.build(keys, bits_per_key=10)
+        assert all(bloom.might_contain(k) for k in keys)
+
+    def test_false_positive_rate_near_theory(self):
+        keys = list(range(2000))
+        bloom = BloomFilter.build(keys, bits_per_key=10)
+        probes = range(1_000_000, 1_010_000)
+        fp = sum(1 for k in probes if bloom.might_contain(k)) / 10_000
+        # ~1% theoretical at 10 bits/key; allow generous slack.
+        assert fp < 0.05
+
+    def test_more_bits_fewer_false_positives(self):
+        keys = list(range(2000))
+        probes = range(1_000_000, 1_005_000)
+        rates = []
+        for bits in (2, 6, 12):
+            bloom = BloomFilter.build(keys, bits_per_key=bits)
+            rates.append(sum(1 for k in probes if bloom.might_contain(k)))
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_zero_bits_disables_filter(self):
+        bloom = BloomFilter.build(range(100), bits_per_key=0)
+        assert bloom.might_contain(123456)  # always "maybe"
+        assert bloom.size_bytes == 0
+
+    def test_empty_key_set(self):
+        bloom = BloomFilter.build([], bits_per_key=10)
+        assert not bloom.might_contain(1)
+
+    def test_deterministic_across_instances(self):
+        a = BloomFilter.build(range(500), bits_per_key=8)
+        b = BloomFilter.build(range(500), bits_per_key=8)
+        probes = range(10_000, 11_000)
+        assert [a.might_contain(k) for k in probes] == [b.might_contain(k) for k in probes]
+
+    def test_supports_str_bytes_and_int_keys(self):
+        keys = ["alpha", b"beta", 3, -(2**70)]
+        bloom = BloomFilter.build(keys, bits_per_key=12)
+        assert all(bloom.might_contain(k) for k in keys)
+
+    def test_probe_counter(self):
+        bloom = BloomFilter.build(range(10), bits_per_key=10)
+        bloom.might_contain(1)
+        bloom.might_contain(2)
+        assert bloom.probes == 2
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(-1, 10)
+        with pytest.raises(ValueError):
+            BloomFilter(10, -1)
+
+    def test_expected_fp_rate_monotone_in_bits(self):
+        low = BloomFilter(1000, 4).expected_false_positive_rate(1000)
+        high = BloomFilter(1000, 16).expected_false_positive_rate(1000)
+        assert 0 < high < low < 1
+
+    @given(st.sets(st.integers(-(2**40), 2**40), max_size=200))
+    @settings(max_examples=40)
+    def test_property_no_false_negatives(self, keys):
+        bloom = BloomFilter.build(keys, bits_per_key=6)
+        assert all(bloom.might_contain(k) for k in keys)
+
+
+class TestFenceIndex:
+    def test_locate_hits_the_containing_extent(self):
+        fence = FenceIndex([0, 10, 20], [5, 15, 25])
+        assert fence.locate(0) == 0
+        assert fence.locate(5) == 0
+        assert fence.locate(12) == 1
+        assert fence.locate(25) == 2
+
+    def test_locate_misses_gaps_and_outside(self):
+        fence = FenceIndex([0, 10], [5, 15])
+        assert fence.locate(7) is None  # gap
+        assert fence.locate(-1) is None
+        assert fence.locate(16) is None
+
+    def test_empty_index(self):
+        fence = FenceIndex([], [])
+        assert fence.locate(1) is None
+        assert list(fence.overlapping(0, 100)) == []
+        assert fence.min_bound() is None
+        assert fence.max_bound() is None
+
+    def test_overlapping_spans(self):
+        fence = FenceIndex([0, 10, 20, 30], [5, 15, 25, 35])
+        assert list(fence.overlapping(12, 22)) == [1, 2]
+        assert list(fence.overlapping(-5, 100)) == [0, 1, 2, 3]
+        assert list(fence.overlapping(6, 9)) == []  # falls in a gap
+        assert list(fence.overlapping(5, 5)) == [0]
+
+    def test_overlapping_empty_range(self):
+        fence = FenceIndex([0], [10])
+        assert list(fence.overlapping(7, 3)) == []
+
+    def test_rejects_unsorted_or_overlapping_extents(self):
+        with pytest.raises(ValueError):
+            FenceIndex([10, 0], [15, 5])
+        with pytest.raises(ValueError):
+            FenceIndex([0, 4], [5, 9])  # 4 <= 5: overlap
+        with pytest.raises(ValueError):
+            FenceIndex([0], [0, 1])  # length mismatch
+        with pytest.raises(ValueError):
+            FenceIndex([5], [3])  # min > max
+
+    def test_over_builds_from_attributes(self):
+        class Extent:
+            def __init__(self, lo, hi):
+                self.lo, self.hi = lo, hi
+
+        fence = FenceIndex.over([Extent(0, 4), Extent(6, 9)], "lo", "hi")
+        assert fence.locate(8) == 1
+        assert fence.min_bound() == 0
+        assert fence.max_bound() == 9
+
+    @given(
+        st.lists(st.integers(0, 500), min_size=1, max_size=40, unique=True),
+        st.integers(0, 500),
+    )
+    @settings(max_examples=60)
+    def test_property_locate_matches_linear_scan(self, starts, probe):
+        starts = sorted(starts)
+        # Build disjoint extents [s, s+1] spaced by construction.
+        mins = [s * 3 for s in starts]
+        maxes = [s * 3 + 1 for s in starts]
+        fence = FenceIndex(mins, maxes)
+        expected = next(
+            (i for i, (lo, hi) in enumerate(zip(mins, maxes)) if lo <= probe <= hi),
+            None,
+        )
+        assert fence.locate(probe) == expected
+
+    @given(
+        st.lists(st.integers(0, 200), min_size=1, max_size=30, unique=True),
+        st.integers(0, 650),
+        st.integers(0, 650),
+    )
+    @settings(max_examples=60)
+    def test_property_overlapping_matches_linear_scan(self, starts, a, b):
+        lo, hi = min(a, b), max(a, b)
+        starts = sorted(starts)
+        mins = [s * 3 for s in starts]
+        maxes = [s * 3 + 1 for s in starts]
+        fence = FenceIndex(mins, maxes)
+        expected = [
+            i for i, (mn, mx) in enumerate(zip(mins, maxes)) if mx >= lo and mn <= hi
+        ]
+        assert list(fence.overlapping(lo, hi)) == expected

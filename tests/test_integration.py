@@ -1,0 +1,247 @@
+"""Integration tests: whole-engine behaviour under realistic workloads,
+cross-engine equivalence, and the paper's qualitative claims at test scale."""
+
+import random
+
+import pytest
+
+from repro.config import CompactionStyle
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.runner import run_workload
+from repro.workload.spec import OpKind, WorkloadSpec
+
+from conftest import TINY, make_acheron, make_baseline
+
+
+def mixed_spec(operations=1500, preload=800, delete_fraction=0.15, seed=99):
+    return WorkloadSpec(
+        operations=operations,
+        preload=preload,
+        weights={
+            OpKind.INSERT: 0.45,
+            OpKind.UPDATE: 0.15,
+            OpKind.POINT_QUERY: 0.20,
+            OpKind.EMPTY_QUERY: 0.03,
+            OpKind.RANGE_QUERY: 0.02,
+            OpKind.POINT_DELETE: 0.15,
+        },
+        seed=seed,
+    ).with_delete_fraction(delete_fraction)
+
+
+class TestModelEquivalence:
+    """The engine must behave exactly like a dict under any op sequence."""
+
+    def _run_against_model(self, engine, seed, ops=2500):
+        rng = random.Random(seed)
+        model = {}
+        for i in range(ops):
+            action = rng.random()
+            key = rng.randrange(400)
+            if action < 0.55:
+                engine.put(key, i)
+                model[key] = i
+            elif action < 0.75:
+                engine.delete(key)
+                model.pop(key, None)
+            elif action < 0.95:
+                assert engine.get(key) == model.get(key), f"key {key} at op {i}"
+            else:
+                lo = rng.randrange(400)
+                hi = lo + rng.randrange(50)
+                expected = sorted(
+                    (k, v) for k, v in model.items() if lo <= k <= hi
+                )
+                assert list(engine.scan(lo, hi)) == expected, f"scan at op {i}"
+        # Final full verification.
+        assert dict(engine.scan(-1, 10**9)) == model
+        engine.tree.check_invariants()
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_baseline_leveling(self, seed):
+        self._run_against_model(make_baseline(), seed)
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_baseline_tiering(self, seed):
+        self._run_against_model(make_baseline(policy=CompactionStyle.TIERING), seed)
+
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_baseline_lazy_leveling(self, seed):
+        self._run_against_model(
+            make_baseline(policy=CompactionStyle.LAZY_LEVELING), seed
+        )
+
+    def test_acheron_lazy_leveling(self):
+        self._run_against_model(
+            make_acheron(
+                delete_persistence_threshold=500,
+                pages_per_tile=4,
+                policy=CompactionStyle.LAZY_LEVELING,
+            ),
+            seed=12,
+        )
+
+    @pytest.mark.parametrize("seed", [6, 7])
+    def test_acheron_leveling(self, seed):
+        self._run_against_model(
+            make_acheron(delete_persistence_threshold=500, pages_per_tile=4), seed
+        )
+
+    def test_acheron_tiering(self):
+        self._run_against_model(
+            make_acheron(
+                delete_persistence_threshold=500,
+                pages_per_tile=4,
+                policy=CompactionStyle.TIERING,
+            ),
+            seed=8,
+        )
+
+    def test_acheron_with_cache(self):
+        self._run_against_model(
+            make_acheron(delete_persistence_threshold=800, cache_pages=32), seed=9
+        )
+
+
+class TestCrossEngineEquivalence:
+    def test_all_variants_agree_on_one_stream(self):
+        spec = mixed_spec()
+        operations = list(WorkloadGenerator(spec).operations())
+        reads = [op for op in operations if op.kind is OpKind.POINT_QUERY]
+        engines = {
+            "baseline-level": make_baseline(),
+            "baseline-tier": make_baseline(policy=CompactionStyle.TIERING),
+            "baseline-lazy": make_baseline(policy=CompactionStyle.LAZY_LEVELING),
+            "acheron": make_acheron(delete_persistence_threshold=600, pages_per_tile=4),
+        }
+        views = {}
+        for name, engine in engines.items():
+            run_workload(engine, operations)
+            views[name] = dict(engine.scan(-1, 10**12))
+            for op in reads[::17]:
+                pass  # the scan equality below subsumes point agreement
+        assert (
+            views["baseline-level"]
+            == views["baseline-tier"]
+            == views["baseline-lazy"]
+            == views["acheron"]
+        )
+
+
+class TestPaperClaimsAtTestScale:
+    """Qualitative shape of the headline claims, small scale."""
+
+    def _run(self, engine, spec):
+        result = run_workload(engine, WorkloadGenerator(spec).operations())
+        return result, engine.stats()
+
+    def test_fade_bounds_latency_baseline_does_not(self):
+        spec = mixed_spec(operations=3000, preload=1500, delete_fraction=0.2)
+        d_th = 800
+        __, base = self._run(make_baseline(), spec)
+        __, ach = self._run(
+            make_acheron(delete_persistence_threshold=d_th, pages_per_tile=1), spec
+        )
+        assert ach.persistence.violations == 0
+        assert ach.persistence.compliant()
+        base_worst = max(
+            base.persistence.max_latency or 0,
+            base.persistence.oldest_pending_age or 0,
+        )
+        ach_worst = max(
+            ach.persistence.max_latency or 0,
+            ach.persistence.oldest_pending_age or 0,
+        )
+        assert ach_worst <= d_th
+        assert base_worst > d_th  # the baseline blows through the threshold
+
+    def test_fade_pays_bounded_write_amplification(self):
+        spec = mixed_spec(operations=3000, preload=1500, delete_fraction=0.2)
+        __, base = self._run(make_baseline(), spec)
+        __, ach = self._run(
+            make_acheron(delete_persistence_threshold=2000, pages_per_tile=1), spec
+        )
+        base_wa = base.amplification.write_amplification
+        ach_wa = ach.amplification.write_amplification
+        assert ach_wa >= base_wa * 0.95  # delete-awareness is not free...
+        assert ach_wa <= base_wa * 2.0  # ...but the overhead is bounded
+
+    def test_fade_improves_space_amplification(self):
+        spec = mixed_spec(operations=3000, preload=1500, delete_fraction=0.25)
+        __, base = self._run(make_baseline(), spec)
+        __, ach = self._run(
+            make_acheron(delete_persistence_threshold=800, pages_per_tile=1), spec
+        )
+        assert (
+            ach.amplification.space_amplification
+            <= base.amplification.space_amplification
+        )
+
+    def test_kiwi_secondary_delete_is_orders_cheaper(self):
+        woven = make_acheron(delete_persistence_threshold=50_000, pages_per_tile=4)
+        baseline = make_baseline()
+        for engine in (woven, baseline):
+            for k in range(1500):
+                engine.put((k * 37) % 1500, f"v{k}")
+            engine.flush()
+        cutoff = woven.clock.now() // 2
+        kiwi_report = woven.delete_range(0, cutoff, method="kiwi")
+        rewrite_report = baseline.delete_range(0, cutoff, method="full_rewrite")
+        assert kiwi_report.io.total_pages * 3 < rewrite_report.io.total_pages
+
+    def test_tombstone_pileup_slows_baseline_empty_queries(self):
+        # After mass deletion, empty-range scans over the deleted region
+        # cost the baseline real I/O; with FADE the region is purged.
+        base = make_baseline()
+        ach = make_acheron(delete_persistence_threshold=500, pages_per_tile=1)
+        for engine in (base, ach):
+            for k in range(1200):
+                engine.put(k, k)
+            for k in range(400, 800):
+                engine.delete(k)
+            engine.advance_time(600)
+        def deleted_region_cost(engine):
+            before = engine.disk.stats.pages_read
+            for _ in range(3):
+                assert list(engine.scan(400, 799)) == []
+            return engine.disk.stats.pages_read - before
+
+        assert deleted_region_cost(ach) <= deleted_region_cost(base)
+
+
+class TestDurableIntegration:
+    def test_mixed_workload_with_restart_in_the_middle(self, tmp_path):
+        from repro.core.engine import AcheronEngine
+
+        def opener():
+            return AcheronEngine.acheron(
+                delete_persistence_threshold=1000,
+                pages_per_tile=4,
+                directory=str(tmp_path),
+                **TINY,
+            )
+
+        model = {}
+        engine = opener()
+        rng = random.Random(77)
+        for i in range(1200):
+            key = rng.randrange(300)
+            if rng.random() < 0.7:
+                engine.put(key, i)
+                model[key] = i
+            else:
+                engine.delete(key)
+                model.pop(key, None)
+        engine.close()
+        engine = opener()
+        for i in range(1200, 2000):
+            key = rng.randrange(300)
+            if rng.random() < 0.7:
+                engine.put(key, i)
+                model[key] = i
+            else:
+                engine.delete(key)
+                model.pop(key, None)
+        assert dict(engine.scan(-1, 10**9)) == model
+        engine.tree.check_invariants()
+        engine.close()

@@ -1,0 +1,199 @@
+"""Tests for secondary range deletes: KiWi page drops vs full rewrite."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kiwi import full_rewrite_delete, kiwi_range_delete
+from repro.errors import AcheronError
+
+from conftest import make_acheron, make_baseline
+
+
+def load_timestamped(engine, count=600):
+    """Insert ``count`` keys; delete_key defaults to the insertion tick,
+    so delete-key order == ingestion order.  Keys are shuffled so sort-key
+    and delete-key orders differ (the case KiWi exists for)."""
+    keys = [(k * 37) % count for k in range(count)]  # permutation of 0..count-1
+    for k in keys:
+        engine.put(k, f"v{k}")
+    return keys
+
+
+class TestKiwiRangeDelete:
+    def test_deletes_exactly_the_matching_values(self):
+        engine = make_acheron(pages_per_tile=4)
+        load_timestamped(engine)
+        cutoff = engine.clock.now() // 3
+        report = engine.delete_range(0, cutoff, method="kiwi")
+        total = report.entries_deleted + report.memtable_entries_deleted
+        assert total > 0
+        engine.tree.check_invariants()
+        # Nothing with delete_key <= cutoff survives anywhere.
+        for level in engine.tree.iter_levels():
+            for run in level.runs:
+                for entry in run.iter_all_entries():
+                    if entry.is_put:
+                        assert entry.delete_key > cutoff
+        for entry in engine.tree.memtable:
+            if entry.is_put:
+                assert entry.delete_key > cutoff
+
+    def test_unmatched_range_is_a_noop(self):
+        engine = make_acheron(pages_per_tile=4)
+        load_timestamped(engine)
+        before = engine.tree.entry_count_on_disk
+        report = engine.delete_range(10**9, 2 * 10**9, method="kiwi")
+        assert report.entries_deleted == 0
+        assert report.files_modified == 0
+        assert engine.tree.entry_count_on_disk == before
+
+    def test_empty_range_rejected(self):
+        engine = make_acheron()
+        with pytest.raises(AcheronError):
+            kiwi_range_delete(engine.tree, 10, 5)
+
+    def test_woven_layout_drops_pages_without_reading_them(self):
+        engine = make_acheron(pages_per_tile=4)
+        load_timestamped(engine)
+        engine.flush()
+        cutoff = engine.clock.now() // 2
+        report = engine.delete_range(0, cutoff, method="kiwi")
+        assert report.pages_dropped > 0
+        # Free drops: pages dropped must not appear in the read counter.
+        assert report.io.pages_read < report.pages_dropped + report.pages_rewritten + 5
+
+    def test_classic_layout_drops_little(self):
+        # With h=1 pages follow sort-key order; since sort key and delete
+        # key are decorrelated here, few pages are fully covered.
+        woven = make_acheron(pages_per_tile=4)
+        classic = make_acheron(pages_per_tile=1)
+        load_timestamped(woven)
+        load_timestamped(classic)
+        woven.flush()
+        classic.flush()
+        cutoff = woven.clock.now() // 2
+        report_woven = woven.delete_range(0, cutoff, method="kiwi")
+        report_classic = classic.delete_range(0, cutoff, method="kiwi")
+        assert report_woven.pages_dropped > report_classic.pages_dropped
+        assert report_woven.io.pages_read < report_classic.io.pages_read
+
+    def test_tombstones_survive_secondary_delete(self):
+        # Point-delete tombstones must never be removed by a secondary
+        # range delete, or older versions below would resurface.
+        engine = make_acheron(pages_per_tile=4, delete_persistence_threshold=100_000)
+        for k in range(800):
+            engine.put(k, f"v{k}")
+        for k in range(0, 800, 2):
+            engine.delete(k)
+        engine.flush()
+        tombs_before = (
+            engine.tree.tombstone_count_on_disk + engine.tree.memtable.tombstone_count
+        )
+        assert tombs_before > 0
+        engine.delete_range(0, engine.clock.now(), method="kiwi")  # covers everything
+        tombs_after = (
+            engine.tree.tombstone_count_on_disk + engine.tree.memtable.tombstone_count
+        )
+        assert tombs_after == tombs_before
+        # And the deleted keys are still deleted.
+        assert engine.get(5) is None
+
+    def test_reads_remain_correct_after_page_drops(self):
+        engine = make_acheron(pages_per_tile=4)
+        load_timestamped(engine)
+        cutoff = engine.clock.now() // 2
+        engine.delete_range(0, cutoff, method="kiwi")
+        # Survivors answer correctly; victims are gone.
+        for level in engine.tree.iter_levels():
+            for run in level.runs:
+                for entry in list(run.iter_all_entries())[::7]:
+                    assert engine.get(entry.key) == entry.value
+
+    def test_report_summary_is_informative(self):
+        engine = make_acheron(pages_per_tile=4)
+        load_timestamped(engine)
+        report = engine.delete_range(0, engine.clock.now() // 2)
+        text = report.summary()
+        assert "kiwi" in text and "dropped" in text
+
+
+class TestFullRewriteDelete:
+    def test_same_logical_result_as_kiwi(self):
+        kiwi_engine = make_acheron(pages_per_tile=4)
+        rewrite_engine = make_acheron(pages_per_tile=4)
+        load_timestamped(kiwi_engine)
+        load_timestamped(rewrite_engine)
+        cutoff = kiwi_engine.clock.now() // 2
+        kiwi_engine.delete_range(0, cutoff, method="kiwi")
+        rewrite_engine.delete_range(0, cutoff, method="full_rewrite")
+        kiwi_view = dict(kiwi_engine.scan(0, 10_000))
+        rewrite_view = dict(rewrite_engine.scan(0, 10_000))
+        assert kiwi_view == rewrite_view
+
+    def test_full_rewrite_reads_every_page(self):
+        engine = make_baseline()
+        load_timestamped(engine)
+        engine.flush()
+        pages = engine.tree.page_count_on_disk
+        report = engine.delete_range(0, 1, method="full_rewrite")  # nearly empty range
+        assert report.io.pages_read >= pages
+
+    def test_kiwi_is_cheaper_than_full_rewrite(self):
+        kiwi_engine = make_acheron(pages_per_tile=4)
+        rewrite_engine = make_acheron(pages_per_tile=4)
+        load_timestamped(kiwi_engine)
+        load_timestamped(rewrite_engine)
+        kiwi_engine.flush()
+        rewrite_engine.flush()
+        cutoff = kiwi_engine.clock.now() // 2
+        kiwi_io = kiwi_engine.delete_range(0, cutoff, method="kiwi").io
+        rewrite_io = rewrite_engine.delete_range(0, cutoff, method="full_rewrite").io
+        assert kiwi_io.total_pages < rewrite_io.total_pages
+
+    def test_empty_range_rejected(self):
+        engine = make_baseline()
+        with pytest.raises(AcheronError):
+            full_rewrite_delete(engine.tree, 10, 5)
+
+    def test_invariants_after_rewrite(self):
+        engine = make_baseline()
+        load_timestamped(engine)
+        engine.delete_range(0, engine.clock.now() // 3, method="full_rewrite")
+        engine.tree.check_invariants()
+
+
+class TestEngineMethodSelection:
+    def test_auto_picks_by_layout(self):
+        woven = make_acheron(pages_per_tile=4)
+        classic = make_baseline()
+        load_timestamped(woven, 100)
+        load_timestamped(classic, 100)
+        assert woven.delete_range(0, 10).method == "kiwi"
+        assert classic.delete_range(0, 10).method == "full_rewrite"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            make_baseline().delete_range(0, 1, method="magic")
+
+
+class TestProperties:
+    @given(
+        st.integers(0, 400),
+        st.integers(0, 400),
+        st.integers(2, 6),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_property_kiwi_equals_model(self, a, b, h):
+        lo, hi = min(a, b), max(a, b)
+        engine = make_acheron(pages_per_tile=h)
+        count = 240
+        keys = [(k * 29) % count for k in range(count)]
+        model = {}
+        for k in keys:
+            engine.put(k, f"v{k}")
+            model[k] = (f"v{k}", engine.clock.now() - 1)  # delete_key = tick at put
+        engine.delete_range(lo, hi, method="kiwi")
+        expected = {k: v for k, (v, dkey) in model.items() if not (lo <= dkey <= hi)}
+        assert dict(engine.scan(0, 10_000)) == expected
+        engine.tree.check_invariants()

@@ -1,0 +1,91 @@
+"""Unit tests for the Level container (run ordering is load-bearing)."""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.lsm.entry import Entry
+from repro.lsm.level import Level
+from repro.lsm.run import FileIdAllocator, Run, build_files
+
+from conftest import TINY
+
+
+def make_run(keys, ids=None, seqno_base=0):
+    ids = ids or FileIdAllocator()
+    entries = [Entry.put(k, f"v{k}", seqno_base + i + 1) for i, k in enumerate(sorted(keys))]
+    return Run(build_files(entries, baseline_config(**TINY), ids, 0))
+
+
+class TestLevel:
+    def test_one_based_indexing(self):
+        with pytest.raises(ValueError):
+            Level(0)
+        assert Level(3).index == 3
+
+    def test_empty_level(self):
+        level = Level(1)
+        assert level.is_empty
+        assert level.run_count == 0
+        assert level.entry_count == 0
+        assert level.page_count == 0
+        assert list(level.iter_files()) == []
+
+    def test_newest_run_goes_first(self):
+        level = Level(1)
+        ids = FileIdAllocator()
+        old = make_run(range(10), ids)
+        new = make_run(range(10, 20), ids, seqno_base=100)
+        level.add_newest_run(old)
+        level.add_newest_run(new)
+        assert level.runs[0] is new
+        assert level.runs[1] is old
+
+    def test_add_oldest_run_appends(self):
+        level = Level(1)
+        ids = FileIdAllocator()
+        first = make_run(range(5), ids)
+        second = make_run(range(5, 10), ids, seqno_base=50)
+        level.add_newest_run(first)
+        level.add_oldest_run(second)
+        assert level.runs == [first, second]
+
+    def test_remove_and_replace(self):
+        level = Level(1)
+        ids = FileIdAllocator()
+        a = make_run(range(5), ids)
+        b = make_run(range(5, 10), ids, seqno_base=50)
+        level.add_newest_run(a)
+        level.add_newest_run(b)
+        level.remove_run(a)
+        assert level.runs == [b]
+        c = make_run(range(20, 25), ids, seqno_base=90)
+        level.replace_run(b, c)
+        assert level.runs == [c]
+        level.replace_run(c, None)
+        assert level.is_empty
+
+    def test_replace_missing_run_raises(self):
+        level = Level(1)
+        with pytest.raises(ValueError):
+            level.replace_run(make_run(range(3)), None)
+
+    def test_accounting_sums_runs(self):
+        level = Level(2)
+        ids = FileIdAllocator()
+        level.add_newest_run(make_run(range(30), ids))
+        level.add_newest_run(make_run(range(100, 120), ids, seqno_base=500))
+        assert level.entry_count == 50
+        assert level.run_count == 2
+        assert len(list(level.iter_files())) == sum(len(r.files) for r in level.runs)
+
+    def test_clear(self):
+        level = Level(1)
+        level.add_newest_run(make_run(range(5)))
+        level.clear()
+        assert level.is_empty
+
+    def test_repr_mentions_shape(self):
+        level = Level(1)
+        level.add_newest_run(make_run(range(5)))
+        text = repr(level)
+        assert "Level(1" in text and "1 runs" in text

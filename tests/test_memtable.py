@@ -1,0 +1,122 @@
+"""Unit tests for the memtable (write buffer)."""
+
+import pytest
+
+from repro.lsm.entry import Entry
+from repro.lsm.memtable import Memtable
+
+
+def put(key, seqno, t=0):
+    return Entry.put(key, f"v{key}@{seqno}", seqno, write_time=t)
+
+
+def tomb(key, seqno, t=0):
+    return Entry.tombstone(key, seqno, write_time=t)
+
+
+class TestBasics:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            Memtable(0)
+
+    def test_add_and_get(self):
+        mt = Memtable(10)
+        mt.add(put(1, 1))
+        assert mt.get(1).value == "v1@1"
+        assert mt.get(2) is None
+        assert 1 in mt
+        assert len(mt) == 1
+
+    def test_newer_write_replaces_older(self):
+        mt = Memtable(10)
+        mt.add(put(1, 1))
+        mt.add(put(1, 2))
+        assert mt.get(1).seqno == 2
+        assert len(mt) == 1
+
+    def test_tombstone_is_stored_and_returned(self):
+        mt = Memtable(10)
+        mt.add(put(1, 1))
+        mt.add(tomb(1, 2))
+        entry = mt.get(1)
+        assert entry.is_tombstone
+        assert mt.tombstone_count == 1
+
+    def test_put_over_tombstone_clears_tombstone_count(self):
+        mt = Memtable(10)
+        mt.add(tomb(1, 1))
+        mt.add(put(1, 2))
+        assert mt.tombstone_count == 0
+        assert mt.get(1).is_put
+
+    def test_tombstone_over_tombstone_counts_once(self):
+        mt = Memtable(10)
+        mt.add(tomb(1, 1))
+        mt.add(tomb(1, 2))
+        assert mt.tombstone_count == 1
+
+    def test_is_full_at_capacity(self):
+        mt = Memtable(2)
+        mt.add(put(1, 1))
+        assert not mt.is_full
+        mt.add(put(2, 2))
+        assert mt.is_full
+
+    def test_updates_do_not_consume_capacity(self):
+        mt = Memtable(2)
+        for seqno in range(5):
+            mt.add(put(1, seqno))
+        assert not mt.is_full
+
+    def test_iteration_is_key_ordered(self):
+        mt = Memtable(10)
+        for key in [5, 1, 3]:
+            mt.add(put(key, key))
+        assert [e.key for e in mt] == [1, 3, 5]
+
+    def test_range_is_inclusive(self):
+        mt = Memtable(10)
+        for key in range(10):
+            mt.add(put(key, key))
+        assert [e.key for e in mt.range(2, 4)] == [2, 3, 4]
+
+
+class TestFlushSupport:
+    def test_drain_returns_ordered_entries_and_resets(self):
+        mt = Memtable(10)
+        for key in [4, 2, 9]:
+            mt.add(put(key, key))
+        mt.add(tomb(2, 100))
+        drained = mt.drain()
+        assert [e.key for e in drained] == [2, 4, 9]
+        assert drained[0].is_tombstone
+        assert mt.is_empty
+        assert mt.tombstone_count == 0
+        assert mt.first_tombstone_time is None
+
+    def test_first_tombstone_time_records_earliest(self):
+        mt = Memtable(10)
+        assert mt.first_tombstone_time is None
+        mt.add(put(1, 1, t=5))
+        assert mt.first_tombstone_time is None
+        mt.add(tomb(2, 2, t=7))
+        mt.add(tomb(3, 3, t=9))
+        assert mt.first_tombstone_time == 7
+
+    def test_first_tombstone_time_is_conservative_after_replacement(self):
+        # The tracked time survives the tombstone being overwritten by a
+        # put: FADE may flush early but never late.
+        mt = Memtable(10)
+        mt.add(tomb(1, 1, t=3))
+        mt.add(put(1, 2, t=4))
+        assert mt.first_tombstone_time == 3
+        assert mt.tombstone_count == 0
+
+    def test_oldest_tombstone_time_scans_live_entries(self):
+        mt = Memtable(10)
+        mt.add(tomb(1, 1, t=3))
+        mt.add(tomb(2, 2, t=8))
+        mt.add(put(1, 3, t=9))  # replaces the t=3 tombstone
+        assert mt.oldest_tombstone_time() == 8
+        mt.add(put(2, 4, t=10))
+        assert mt.oldest_tombstone_time() is None

@@ -1,0 +1,130 @@
+"""Tests for KiWi per-page filters (the weave's point-read mitigation)."""
+
+import pytest
+
+from repro.config import LSMConfig
+from repro.core.engine import AcheronEngine
+from repro.config import acheron_config
+
+from conftest import TINY
+
+
+def woven_engine(page_filters: bool, h: int = 4, **overrides):
+    params = dict(TINY)
+    params.update(overrides)
+    return AcheronEngine(
+        acheron_config(
+            delete_persistence_threshold=10**6,
+            pages_per_tile=h,
+            kiwi_page_filters=page_filters,
+            **params,
+        )
+    )
+
+
+def load_shuffled(engine, count=800):
+    for k in range(count):
+        engine.put((k * 37) % count, f"v{k}")
+    engine.flush()
+    return count
+
+
+class TestPageFilters:
+    def test_config_serialization_roundtrip(self):
+        config = LSMConfig(pages_per_tile=4, kiwi_page_filters=True)
+        assert LSMConfig.from_dict(config.to_dict()) == config
+
+    def test_filters_attached_only_on_multi_page_tiles(self):
+        engine = woven_engine(page_filters=True, h=4)
+        load_shuffled(engine)
+        saw_filter = False
+        for level in engine.tree.iter_levels():
+            for file in level.iter_files():
+                for tile in file.tiles:
+                    for page in tile.pages:
+                        if len(tile.pages) > 1:
+                            assert page.bloom is not None
+                            saw_filter = True
+                        else:
+                            assert page.bloom is None
+        assert saw_filter
+
+    def test_disabled_by_default(self):
+        engine = woven_engine(page_filters=False)
+        load_shuffled(engine)
+        for level in engine.tree.iter_levels():
+            for file in level.iter_files():
+                for tile in file.tiles:
+                    assert all(page.bloom is None for page in tile.pages)
+
+    def test_reads_stay_correct(self):
+        engine = woven_engine(page_filters=True, h=8)
+        count = load_shuffled(engine)
+        values = {(k * 37) % count: f"v{k}" for k in range(count)}
+        for k in range(0, count, 13):
+            assert engine.get(k) == values[k]
+        assert engine.get(10**9) is None
+
+    def test_filters_cut_point_read_io(self):
+        with_filters = woven_engine(page_filters=True, h=8)
+        without = woven_engine(page_filters=False, h=8)
+        count = load_shuffled(with_filters)
+        load_shuffled(without)
+
+        def probe_cost(engine):
+            stats = engine.disk.stats
+            before = stats.pages_read
+            for k in range(0, count, 3):
+                engine.get(k)
+            return stats.pages_read - before
+
+        assert probe_cost(with_filters) < probe_cost(without)
+
+    def test_secondary_delete_preserves_filters_on_rewritten_pages(self):
+        engine = woven_engine(page_filters=True, h=4)
+        load_shuffled(engine)
+        report = engine.delete_range(0, engine.clock.now() // 2, method="kiwi")
+        assert report.pages_rewritten > 0
+        values = dict(engine.scan(0, 10**9))
+        for key, value in list(values.items())[::7]:
+            assert engine.get(key) == value
+        # Rewritten pages in multi-page tiles keep their filters.
+        for level in engine.tree.iter_levels():
+            for file in level.iter_files():
+                for tile in file.tiles:
+                    if len(tile.pages) > 1:
+                        for page in tile.pages:
+                            if page.bloom is not None:
+                                for entry in page.entries:
+                                    assert page.bloom.might_contain(entry.key)
+
+    def test_filters_survive_restart(self, tmp_path):
+        from repro.lsm.tree import LSMTree
+
+        params = dict(TINY)
+        config = acheron_config(
+            delete_persistence_threshold=10**6,
+            pages_per_tile=4,
+            kiwi_page_filters=True,
+            **params,
+        )
+        with LSMTree.open(config, tmp_path) as tree:
+            for k in range(400):
+                tree.put((k * 37) % 400, f"v{k}")
+        reopened = LSMTree.open(None, tmp_path)
+        assert reopened.config.kiwi_page_filters
+        found = False
+        for level in reopened.iter_levels():
+            for file in level.iter_files():
+                for tile in file.tiles:
+                    if len(tile.pages) > 1:
+                        assert all(p.bloom is not None for p in tile.pages)
+                        found = True
+        assert found
+
+    def test_no_false_negatives_through_engine(self):
+        engine = woven_engine(page_filters=True, h=8, bloom_bits_per_key=2.0)
+        count = load_shuffled(engine, 600)
+        values = {(k * 37) % count: f"v{k}" for k in range(count)}
+        for key, value in values.items():
+            assert engine.get(key) == value

@@ -1,0 +1,124 @@
+"""Unit tests for the persistence tracker (the delete lifecycle observer)."""
+
+import pytest
+
+from repro.core.persistence import NullListener, PersistenceTracker
+from repro.lsm.entry import Entry
+
+
+def tomb(key, seqno, t):
+    return Entry.tombstone(key, seqno, write_time=t)
+
+
+class TestLifecycle:
+    def test_register_then_persist_records_latency(self):
+        tracker = PersistenceTracker(threshold=100)
+        entry = tomb(1, 1, t=10)
+        tracker.tombstone_registered(entry, 10)
+        tracker.tombstone_persisted(entry, 60)
+        assert tracker.latencies == [50]
+        assert tracker.persisted_count == 1
+        assert tracker.pending_count == 0
+        assert tracker.violations == 0
+
+    def test_latency_over_threshold_counts_violation(self):
+        tracker = PersistenceTracker(threshold=100)
+        entry = tomb(1, 1, t=0)
+        tracker.tombstone_registered(entry, 0)
+        tracker.tombstone_persisted(entry, 101)
+        assert tracker.violations == 1
+
+    def test_latency_exactly_at_threshold_is_compliant(self):
+        tracker = PersistenceTracker(threshold=100)
+        entry = tomb(1, 1, t=0)
+        tracker.tombstone_registered(entry, 0)
+        tracker.tombstone_persisted(entry, 100)
+        assert tracker.violations == 0
+        assert tracker.stats(now=100).compliant()
+
+    def test_superseded_removes_from_pending(self):
+        tracker = PersistenceTracker()
+        entry = tomb(1, 1, t=0)
+        tracker.tombstone_registered(entry, 0)
+        tracker.tombstone_superseded(entry, 5)
+        assert tracker.pending_count == 0
+        assert tracker.superseded_count == 1
+        assert tracker.latencies == []  # supersession is not persistence
+
+    def test_unmatched_events_are_counted_not_raised(self):
+        tracker = PersistenceTracker()
+        tracker.tombstone_persisted(tomb(1, 1, t=0), 5)
+        tracker.tombstone_superseded(tomb(2, 2, t=0), 5)
+        assert tracker.unmatched_events == 2
+        # The persisted event still records a latency from write_time.
+        assert tracker.latencies == [5]
+
+    def test_pending_ages_sorted(self):
+        tracker = PersistenceTracker()
+        tracker.tombstone_registered(tomb(1, 1, t=10), 10)
+        tracker.tombstone_registered(tomb(2, 2, t=30), 30)
+        assert tracker.pending_ages(now=40) == [10, 30]
+
+
+class TestStats:
+    def _tracked(self, latencies, threshold=None):
+        tracker = PersistenceTracker(threshold=threshold)
+        for i, latency in enumerate(latencies):
+            entry = tomb(i, i + 1, t=0)
+            tracker.tombstone_registered(entry, 0)
+            tracker.tombstone_persisted(entry, latency)
+        return tracker
+
+    def test_percentiles(self):
+        tracker = self._tracked(list(range(1, 101)))
+        assert tracker.latency_percentile(0.5) == 50
+        assert tracker.latency_percentile(0.99) == 99
+        assert tracker.latency_percentile(1.0) == 100
+
+    def test_percentile_validation(self):
+        tracker = self._tracked([1])
+        with pytest.raises(ValueError):
+            tracker.latency_percentile(0.0)
+        with pytest.raises(ValueError):
+            tracker.latency_percentile(1.5)
+
+    def test_percentile_of_empty_is_none(self):
+        assert PersistenceTracker().latency_percentile(0.5) is None
+
+    def test_stats_snapshot(self):
+        tracker = self._tracked([10, 20, 30], threshold=25)
+        tracker.tombstone_registered(tomb(99, 100, t=5), 5)
+        stats = tracker.stats(now=50)
+        assert stats.registered == 4
+        assert stats.persisted == 3
+        assert stats.pending == 1
+        assert stats.max_latency == 30
+        assert stats.mean_latency == pytest.approx(20.0)
+        assert stats.violations == 1
+        assert stats.oldest_pending_age == 45
+
+    def test_compliance_requires_pending_under_threshold(self):
+        tracker = PersistenceTracker(threshold=10)
+        tracker.tombstone_registered(tomb(1, 1, t=0), 0)
+        assert tracker.stats(now=5).compliant()
+        assert not tracker.stats(now=11).compliant()
+
+    def test_no_threshold_is_always_compliant(self):
+        tracker = PersistenceTracker()
+        tracker.tombstone_registered(tomb(1, 1, t=0), 0)
+        assert tracker.stats(now=10**9).compliant()
+
+    def test_empty_tracker_stats(self):
+        stats = PersistenceTracker(threshold=10).stats(now=0)
+        assert stats.max_latency is None
+        assert stats.mean_latency is None
+        assert stats.compliant()
+
+
+class TestNullListener:
+    def test_accepts_all_events(self):
+        listener = NullListener()
+        entry = tomb(1, 1, t=0)
+        listener.tombstone_registered(entry, 0)
+        listener.tombstone_persisted(entry, 1)
+        listener.tombstone_superseded(entry, 2)

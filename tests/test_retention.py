@@ -1,0 +1,168 @@
+"""Tests for retention-based deletion (the second delete class of the
+deletion-compliance framework)."""
+
+import pytest
+
+from repro.core.retention import RetentionPolicy
+from repro.errors import AcheronError
+
+from conftest import make_acheron, make_baseline
+
+
+class TestRetentionPolicy:
+    def test_validation(self):
+        engine = make_acheron()
+        with pytest.raises(AcheronError):
+            RetentionPolicy(engine, window=0, period=10)
+        with pytest.raises(AcheronError):
+            RetentionPolicy(engine, window=10, period=0)
+
+    def test_not_due_is_a_noop(self):
+        engine = make_acheron()
+        policy = RetentionPolicy(engine, window=1_000, period=100)
+        engine.put(1, "x")
+        assert policy.maybe_purge() is None
+        assert policy.audit_log == []
+
+    def test_purges_only_expired_entries(self):
+        engine = make_acheron(delete_persistence_threshold=10**6)
+        policy = RetentionPolicy(engine, window=500, period=100)
+        for k in range(1_000):
+            engine.put(k, f"v{k}")
+        report = policy.maybe_purge()
+        assert report is not None
+        horizon = policy.audit_log[0].horizon
+        # Everything older than the horizon is gone, the rest retained.
+        assert engine.get(0) is None
+        assert engine.get(horizon - 2) is None
+        assert engine.get(999) == "v999"
+        survivors = dict(engine.scan(0, 10**9))
+        assert all(k >= horizon - 1 for k in survivors)
+
+    def test_period_schedules_next_purge(self):
+        engine = make_acheron()
+        policy = RetentionPolicy(engine, window=300, period=200)
+        for k in range(400):
+            engine.put(k, k)
+        assert policy.maybe_purge() is not None
+        due_after_first = policy.next_due_tick
+        assert due_after_first == engine.clock.now() + 200
+        assert policy.maybe_purge() is None  # not due again yet
+        for k in range(400, 700):
+            engine.put(k, k)
+        assert policy.maybe_purge() is not None
+
+    def test_audit_log_accumulates(self):
+        engine = make_acheron()
+        policy = RetentionPolicy(engine, window=200, period=150)
+        total = 0
+        for k in range(1_200):
+            engine.put(k, k)
+            report = policy.maybe_purge()
+            if report is not None:
+                total += report.entries_deleted + report.memtable_entries_deleted
+        assert len(policy.audit_log) >= 3
+        assert policy.total_purged() == total
+        ticks = [r.tick for r in policy.audit_log]
+        assert ticks == sorted(ticks)
+
+    def test_compliance_bound(self):
+        engine = make_acheron()
+        policy = RetentionPolicy(engine, window=400, period=100)
+        assert policy.oldest_possible_entry_age() == 500
+        # Drive a long workload purging on schedule; at every purge point
+        # nothing older than window+period may survive on disk.
+        for k in range(2_000):
+            engine.put(k, k)
+            report = policy.maybe_purge()
+            if report is not None:
+                now = engine.clock.now()
+                for level in engine.tree.iter_levels():
+                    for run in level.runs:
+                        for entry in run.iter_all_entries():
+                            if entry.is_put:
+                                age = now - entry.delete_key
+                                assert age <= policy.oldest_possible_entry_age()
+
+    def test_works_on_classic_layout_via_full_rewrite(self):
+        engine = make_baseline()
+        policy = RetentionPolicy(engine, window=300, period=200, method="full_rewrite")
+        for k in range(800):
+            engine.put(k, k)
+        report = policy.maybe_purge()
+        assert report is not None
+        assert report.method == "full_rewrite"
+        assert engine.get(0) is None
+
+    def test_purge_now_is_unconditional(self):
+        engine = make_acheron()
+        for k in range(100):
+            engine.put(k, k)
+        policy = RetentionPolicy(engine, window=50, period=10**9)
+        report = policy.purge_now()
+        assert report.entries_deleted + report.memtable_entries_deleted > 0
+
+
+class TestMonkeyBloomAllocation:
+    def test_bits_decrease_with_depth(self):
+        from repro.config import baseline_config
+
+        config = baseline_config(bloom_allocation="monkey", size_ratio=4)
+        bits = [config.bloom_bits_for_level(i) for i in range(1, 6)]
+        assert bits == sorted(bits, reverse=True)
+        assert bits[0] == config.bloom_bits_per_key
+
+    def test_uniform_is_flat(self):
+        from repro.config import baseline_config
+
+        config = baseline_config()
+        assert config.bloom_bits_for_level(1) == config.bloom_bits_for_level(5)
+
+    def test_invalid_allocation_rejected(self):
+        from repro.config import baseline_config
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            baseline_config(bloom_allocation="optimal")
+
+    def test_monkey_saves_filter_memory(self):
+        # trivial_moves=False so every descent rebuilds the file at its
+        # destination level (a trivially moved file legitimately keeps its
+        # original, larger filter).
+        monkey = make_baseline(bloom_allocation="monkey", trivial_moves=False)
+        uniform = make_baseline(trivial_moves=False)
+        for engine in (monkey, uniform):
+            for k in range(2_000):
+                engine.put(k, k)
+            engine.flush()
+
+        def filter_bytes(engine):
+            return sum(
+                f.bloom.size_bytes
+                for lvl in engine.tree.iter_levels()
+                for f in lvl.iter_files()
+            )
+
+        assert filter_bytes(monkey) < filter_bytes(uniform)
+
+    def test_monkey_keeps_reads_correct(self):
+        engine = make_baseline(bloom_allocation="monkey")
+        for k in range(1_500):
+            engine.put(k, f"v{k}")
+        for k in range(0, 1_500, 97):
+            assert engine.get(k) == f"v{k}"
+        assert engine.get(10**9) is None
+
+    def test_monkey_survives_restart(self, tmp_path):
+        from repro.config import baseline_config
+        from repro.lsm.tree import LSMTree
+
+        from conftest import TINY
+
+        config = baseline_config(bloom_allocation="monkey", **TINY)
+        with LSMTree.open(config, tmp_path) as tree:
+            for k in range(500):
+                tree.put(k, k)
+        reopened = LSMTree.open(None, tmp_path)  # config from manifest
+        assert reopened.config.bloom_allocation == "monkey"
+        assert reopened.get(123) == 123

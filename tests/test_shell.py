@@ -1,0 +1,124 @@
+"""Tests for the interactive demo shell."""
+
+import io
+
+from repro.demo.shell import DemoShell
+
+from conftest import make_acheron, make_baseline
+
+
+def run_lines(engine, lines):
+    shell = DemoShell(engine, name="t")
+    out = io.StringIO()
+    shell.run(lines, out)
+    return out.getvalue()
+
+
+def exec_one(engine, line):
+    return DemoShell(engine).execute(line)
+
+
+class TestCommands:
+    def test_put_get_roundtrip(self):
+        engine = make_acheron()
+        out = run_lines(engine, ["put 7 seven", "get 7", "quit"])
+        assert "'seven'" in out
+
+    def test_string_keys(self):
+        engine = make_acheron()
+        out = run_lines(engine, ["put user:1 alice smith", "get user:1", "quit"])
+        assert "'alice smith'" in out
+
+    def test_get_missing(self):
+        engine = make_acheron()
+        output, _ = exec_one(engine, "get 404")
+        assert output == "(not found)"
+
+    def test_delete_reports_threshold(self):
+        engine = make_acheron(delete_persistence_threshold=777)
+        engine.put(1, "x")
+        output, _ = exec_one(engine, "del 1")
+        assert "777" in output
+        assert engine.get(1) is None
+
+    def test_delete_on_baseline_warns_no_guarantee(self):
+        engine = make_baseline()
+        engine.put(1, "x")
+        output, _ = exec_one(engine, "del 1")
+        assert "no persistence guarantee" in output
+
+    def test_scan(self):
+        engine = make_acheron()
+        for k in range(10):
+            engine.put(k, k)
+        output, _ = exec_one(engine, "scan 2 5")
+        assert "2 -> 2" in output and "5 -> 5" in output
+
+    def test_scan_empty(self):
+        output, _ = exec_one(make_acheron(), "scan 0 10")
+        assert output == "(empty)"
+
+    def test_purge_older_than(self):
+        engine = make_acheron()
+        for k in range(300):
+            engine.put(k, k)
+        output, _ = exec_one(engine, "purge-older-than 100")
+        assert "deleted" in output
+        assert engine.get(0) is None
+
+    def test_wait_advances_clock(self):
+        engine = make_acheron()
+        output, _ = exec_one(engine, "wait 123")
+        assert "tick 123" in output
+
+    def test_dashboards(self):
+        engine = make_acheron()
+        engine.put(1, "x")
+        for command, fragment in [
+            ("levels", "tree @"),
+            ("persistence", "delete lifecycle"),
+            ("io", "device I/O"),
+            ("history", "compactions"),
+            ("help", "commands:"),
+        ]:
+            output, keep = exec_one(engine, command)
+            assert fragment in output, command
+            assert keep
+
+    def test_flush_and_compact(self):
+        engine = make_acheron()
+        engine.put(1, "x")
+        assert exec_one(engine, "flush")[0] == "flushed"
+        assert "done" in exec_one(engine, "compact")[0]
+        assert engine.tree.entry_count_on_disk == 1
+
+
+class TestLoop:
+    def test_unknown_command_keeps_running(self):
+        output, keep = exec_one(make_acheron(), "frobnicate")
+        assert "unknown command" in output
+        assert keep
+
+    def test_blank_lines_ignored(self):
+        output, keep = exec_one(make_acheron(), "   ")
+        assert output == "" and keep
+
+    def test_errors_are_surfaced_not_fatal(self):
+        output, keep = exec_one(make_acheron(), "wait not-a-number")
+        assert output.startswith("error:")
+        assert keep
+
+    def test_quit_stops(self):
+        out = run_lines(make_acheron(), ["put 1 x", "quit", "get 1"])
+        assert out.count("bye") == 1
+        assert "'x'" not in out  # the get after quit never ran
+
+    def test_eof_terminates_cleanly(self):
+        out = run_lines(make_acheron(), ["put 1 x"])
+        assert out.strip().endswith("bye")
+
+    def test_usage_messages(self):
+        engine = make_acheron()
+        for line in ("put onlykey", "get", "del", "scan 1", "purge-older-than", "wait"):
+            output, _ = exec_one(engine, line)
+            assert output.startswith("usage:"), line

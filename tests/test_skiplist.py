@@ -1,0 +1,138 @@
+"""Unit and property tests for the skip list."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.skiplist import SkipList
+
+
+class TestBasics:
+    def test_empty(self):
+        sl = SkipList()
+        assert len(sl) == 0
+        assert sl.get(1) is None
+        assert 1 not in sl
+        assert sl.min_key() is None
+        assert sl.max_key() is None
+        assert list(sl.items()) == []
+
+    def test_insert_and_get(self):
+        sl = SkipList()
+        assert sl.insert(5, "five") is True
+        assert sl.get(5) == "five"
+        assert 5 in sl
+        assert len(sl) == 1
+
+    def test_insert_replaces_in_place(self):
+        sl = SkipList()
+        sl.insert(5, "old")
+        assert sl.insert(5, "new") is False
+        assert sl.get(5) == "new"
+        assert len(sl) == 1
+
+    def test_get_default(self):
+        sl = SkipList()
+        assert sl.get(9, default="fallback") == "fallback"
+
+    def test_items_are_key_ordered(self):
+        sl = SkipList()
+        for key in [7, 3, 9, 1, 5]:
+            sl.insert(key, key * 10)
+        assert list(sl.items()) == [(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)]
+
+    def test_min_max(self):
+        sl = SkipList()
+        for key in [7, 3, 9]:
+            sl.insert(key, None)
+        assert sl.min_key() == 3
+        assert sl.max_key() == 9
+
+    def test_remove(self):
+        sl = SkipList()
+        for key in range(10):
+            sl.insert(key, key)
+        assert sl.remove(4) is True
+        assert sl.remove(4) is False
+        assert 4 not in sl
+        assert len(sl) == 9
+        sl.check_invariants()
+
+    def test_clear(self):
+        sl = SkipList()
+        sl.insert(1, "a")
+        sl.clear()
+        assert len(sl) == 0
+        assert list(sl.items()) == []
+
+    def test_items_from(self):
+        sl = SkipList()
+        for key in range(0, 20, 2):
+            sl.insert(key, key)
+        assert [k for k, _ in sl.items_from(7)] == [8, 10, 12, 14, 16, 18]
+        assert [k for k, _ in sl.items_from(8)] == [8, 10, 12, 14, 16, 18]
+
+    def test_range_items_inclusive_both_ends(self):
+        sl = SkipList()
+        for key in range(10):
+            sl.insert(key, key)
+        assert [k for k, _ in sl.range_items(3, 6)] == [3, 4, 5, 6]
+
+    def test_range_items_empty_interval(self):
+        sl = SkipList()
+        sl.insert(5, 5)
+        assert list(sl.range_items(6, 9)) == []
+
+    def test_string_keys(self):
+        sl = SkipList()
+        for key in ["pear", "apple", "mango"]:
+            sl.insert(key, key.upper())
+        assert [k for k, _ in sl.items()] == ["apple", "mango", "pear"]
+
+    def test_deterministic_for_same_seed(self):
+        a, b = SkipList(seed=3), SkipList(seed=3)
+        for key in range(100):
+            a.insert(key, key)
+            b.insert(key, key)
+        assert list(a.items()) == list(b.items())
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(-1000, 1000), st.integers())))
+    @settings(max_examples=60)
+    def test_behaves_like_a_dict(self, pairs):
+        sl = SkipList()
+        model: dict[int, int] = {}
+        for key, value in pairs:
+            sl.insert(key, value)
+            model[key] = value
+        assert len(sl) == len(model)
+        assert list(sl.items()) == sorted(model.items())
+        sl.check_invariants()
+
+    @given(
+        st.lists(st.integers(0, 200), min_size=1),
+        st.lists(st.integers(0, 200)),
+    )
+    @settings(max_examples=60)
+    def test_insert_then_remove_matches_set_model(self, inserts, removals):
+        sl = SkipList()
+        model: set[int] = set()
+        for key in inserts:
+            sl.insert(key, key)
+            model.add(key)
+        for key in removals:
+            assert sl.remove(key) == (key in model)
+            model.discard(key)
+        assert sorted(model) == [k for k, _ in sl.items()]
+        sl.check_invariants()
+
+    @given(st.lists(st.integers(0, 100), min_size=1), st.integers(0, 100), st.integers(0, 100))
+    @settings(max_examples=60)
+    def test_range_matches_sorted_filter(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        sl = SkipList()
+        for key in keys:
+            sl.insert(key, key)
+        expected = sorted(k for k in set(keys) if lo <= k <= hi)
+        assert [k for k, _ in sl.range_items(lo, hi)] == expected

@@ -1,0 +1,169 @@
+"""Hypothesis stateful machine: the engine vs a dict, adversarially.
+
+A ``RuleBasedStateMachine`` lets hypothesis *interleave* operations —
+puts, deletes, reads, scans, flushes, idle time, secondary range deletes,
+and (for the durable variant) crash-restarts — searching for an ordering
+that desynchronizes the engine from its model.  This subsumes the
+fixed-pattern integration tests: any counterexample shrinks to a minimal
+operation sequence.
+"""
+
+import shutil
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.config import CompactionStyle, acheron_config
+from repro.lsm.tree import LSMTree
+
+KEYS = st.integers(0, 60)
+VALUES = st.integers(0, 10_000)
+
+MACHINE_SETTINGS = settings(
+    max_examples=25,
+    stateful_step_count=40,
+    deadline=None,
+)
+
+
+def small_config(policy=CompactionStyle.LEVELING):
+    return acheron_config(
+        delete_persistence_threshold=150,
+        pages_per_tile=2,
+        kiwi_page_filters=True,
+        memtable_entries=8,
+        entries_per_page=4,
+        size_ratio=3,
+        policy=policy,
+    )
+
+
+class EngineMachine(RuleBasedStateMachine):
+    """In-memory engine vs dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = LSMTree(small_config())
+        self.model: dict[int, int] = {}
+        self.dkeys: dict[int, int] = {}  # key -> delete_key of live version
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+    @rule(key=KEYS, value=VALUES)
+    def put(self, key, value):
+        self.tree.put(key, value)
+        self.model[key] = value
+        self.dkeys[key] = self.tree.clock.now() - 1
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        self.tree.delete(key)
+        self.model.pop(key, None)
+        self.dkeys.pop(key, None)
+
+    @rule(key=KEYS)
+    def get(self, key):
+        assert self.tree.get(key) == self.model.get(key)
+
+    @rule(lo=KEYS, span=st.integers(0, 20))
+    def scan(self, lo, span):
+        hi = lo + span
+        expected = sorted((k, v) for k, v in self.model.items() if lo <= k <= hi)
+        assert list(self.tree.scan(lo, hi)) == expected
+        assert list(self.tree.scan(lo, hi, reverse=True)) == expected[::-1]
+
+    @rule()
+    def flush(self):
+        self.tree.flush()
+
+    @rule(ticks=st.integers(1, 200))
+    def idle(self, ticks):
+        self.tree.advance_time(ticks)
+
+    @rule(window=st.integers(0, 500))
+    def secondary_delete(self, window):
+        now = self.tree.clock.now()
+        lo, hi = 0, max(0, now - window)
+        if lo > hi:
+            return
+        from repro.core.kiwi import kiwi_range_delete
+
+        kiwi_range_delete(self.tree, lo, hi)
+        for key, dkey in list(self.dkeys.items()):
+            if lo <= dkey <= hi:
+                del self.model[key]
+                del self.dkeys[key]
+
+    # ------------------------------------------------------------------
+    # invariants (checked after every rule)
+    # ------------------------------------------------------------------
+    @invariant()
+    def full_view_matches(self):
+        assert dict(self.tree.scan(-1, 10**9)) == self.model
+
+    @invariant()
+    def capacity_respected(self):
+        for level in self.tree.iter_levels():
+            if not level.is_empty:
+                assert level.entry_count <= self.tree.config.level_capacity_entries(
+                    level.index
+                ) or level.run_count > 1  # transiently legal mid-install
+
+
+class DurableEngineMachine(RuleBasedStateMachine):
+    """Durable engine with crash-restarts vs dict model."""
+
+    @initialize()
+    def setup(self):
+        import tempfile
+
+        self.directory = tempfile.mkdtemp(prefix="acheron-stateful-")
+        self.config = small_config(policy=CompactionStyle.LAZY_LEVELING)
+        self.tree = LSMTree.open(self.config, self.directory)
+        self.model: dict[int, int] = {}
+
+    @rule(key=KEYS, value=VALUES)
+    def put(self, key, value):
+        self.tree.put(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        self.tree.delete(key)
+        self.model.pop(key, None)
+
+    @rule(key=KEYS)
+    def get(self, key):
+        assert self.tree.get(key) == self.model.get(key)
+
+    @precondition(lambda self: True)
+    @rule()
+    def crash_and_recover(self):
+        # Abandon the handle without close(): everything acknowledged must
+        # survive through the manifest + WAL.
+        self.tree._wal.close()  # noqa: SLF001 - simulating the crash
+        self.tree = LSMTree.open(self.config, self.directory)
+
+    @invariant()
+    def full_view_matches(self):
+        assert dict(self.tree.scan(-1, 10**9)) == self.model
+
+    def teardown(self):
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+
+TestEngineMachine = EngineMachine.TestCase
+TestEngineMachine.settings = MACHINE_SETTINGS
+
+TestDurableEngineMachine = DurableEngineMachine.TestCase
+TestDurableEngineMachine.settings = settings(
+    max_examples=10, stateful_step_count=25, deadline=None
+)

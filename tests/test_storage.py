@@ -1,0 +1,215 @@
+"""Unit tests for the simulated disk, block cache, and file store."""
+
+import pytest
+
+from repro.config import DiskModel
+from repro.errors import CorruptionError, StorageError
+from repro.lsm.entry import Entry
+from repro.storage.cache import BlockCache
+from repro.storage.disk import SimulatedDisk
+from repro.storage.filestore import FileStore
+
+
+class TestSimulatedDisk:
+    def test_counts_pages_and_requests(self):
+        disk = SimulatedDisk()
+        disk.read_pages(3)
+        disk.read_pages(2)
+        disk.write_pages(5)
+        stats = disk.stats
+        assert stats.pages_read == 5
+        assert stats.read_requests == 2
+        assert stats.pages_written == 5
+        assert stats.write_requests == 1
+        assert stats.total_pages == 10
+
+    def test_zero_page_requests_are_free(self):
+        disk = SimulatedDisk()
+        assert disk.read_pages(0) == 0.0
+        assert disk.write_pages(0) == 0.0
+        assert disk.stats.read_requests == 0
+        assert disk.stats.modeled_us == 0.0
+
+    def test_negative_counts_rejected(self):
+        disk = SimulatedDisk()
+        with pytest.raises(ValueError):
+            disk.read_pages(-1)
+        with pytest.raises(ValueError):
+            disk.write_pages(-1)
+
+    def test_latency_model_pricing(self):
+        disk = SimulatedDisk(DiskModel(read_page_us=100, write_page_us=20, request_overhead_us=5))
+        assert disk.read_pages(2) == pytest.approx(205.0)
+        assert disk.write_pages(3) == pytest.approx(65.0)
+        assert disk.stats.modeled_us == pytest.approx(270.0)
+
+    def test_category_attribution(self):
+        disk = SimulatedDisk()
+        disk.read_pages(2, "query")
+        disk.read_pages(3, "compaction")
+        disk.read_pages(1, "query")
+        disk.write_pages(4, "flush")
+        assert disk.stats.reads_by_category == {"query": 3, "compaction": 3}
+        assert disk.stats.writes_by_category == {"flush": 4}
+
+    def test_snapshot_is_isolated_from_future_activity(self):
+        disk = SimulatedDisk()
+        disk.read_pages(1)
+        snap = disk.snapshot()
+        disk.read_pages(10)
+        assert snap.pages_read == 1
+
+    def test_delta_since(self):
+        disk = SimulatedDisk()
+        disk.read_pages(2, "query")
+        snap = disk.snapshot()
+        disk.read_pages(3, "query")
+        disk.write_pages(1, "flush")
+        delta = disk.delta_since(snap)
+        assert delta.pages_read == 3
+        assert delta.pages_written == 1
+        assert delta.reads_by_category == {"query": 3}
+
+    def test_reset(self):
+        disk = SimulatedDisk()
+        disk.read_pages(5)
+        disk.reset()
+        assert disk.stats.pages_read == 0
+        assert disk.stats.modeled_us == 0.0
+
+
+class TestBlockCache:
+    def test_miss_then_hit(self):
+        cache = BlockCache(4)
+        assert cache.get("f1", 0) is None
+        cache.put("f1", 0, "page")
+        assert cache.get("f1", 0) == "page"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = BlockCache(2)
+        cache.put("f", 0, "a")
+        cache.put("f", 1, "b")
+        cache.get("f", 0)  # touch a: now b is LRU
+        cache.put("f", 2, "c")
+        assert cache.get("f", 1) is None  # evicted
+        assert cache.get("f", 0) == "a"
+        assert cache.get("f", 2) == "c"
+
+    def test_put_existing_updates_value_and_recency(self):
+        cache = BlockCache(2)
+        cache.put("f", 0, "a")
+        cache.put("f", 1, "b")
+        cache.put("f", 0, "a2")  # refresh
+        cache.put("f", 2, "c")  # evicts 1, not 0
+        assert cache.get("f", 0) == "a2"
+        assert cache.get("f", 1) is None
+
+    def test_capacity_zero_disables_cache(self):
+        cache = BlockCache(0)
+        cache.put("f", 0, "a")
+        assert cache.get("f", 0) is None
+        assert len(cache) == 0
+        assert cache.misses == 1  # the get() still counts as a miss
+
+    def test_invalidate_file_drops_only_that_file(self):
+        cache = BlockCache(8)
+        cache.put("f1", 0, "a")
+        cache.put("f1", 1, "b")
+        cache.put("f2", 0, "c")
+        assert cache.invalidate_file("f1") == 2
+        assert cache.get("f1", 0) is None
+        assert cache.get("f2", 0) == "c"
+
+    def test_hit_rate(self):
+        cache = BlockCache(4)
+        cache.put("f", 0, "a")
+        cache.get("f", 0)
+        cache.get("f", 1)
+        assert cache.hit_rate == pytest.approx(0.5)
+        cache.reset_stats()
+        assert cache.hit_rate == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCache(-1)
+
+    def test_contains(self):
+        cache = BlockCache(2)
+        cache.put("f", 0, "a")
+        assert ("f", 0) in cache
+        assert ("f", 1) not in cache
+
+
+def tile(*page_keys):
+    """Build a tile as nested entry lists from per-page key tuples."""
+    return [
+        [Entry.put(k, f"v{k}", seqno=k + 1, write_time=k) for k in keys]
+        for keys in page_keys
+    ]
+
+
+class TestFileStore:
+    def test_sstable_roundtrip(self, tmp_path):
+        store = FileStore(tmp_path)
+        tiles = [tile((1, 2), (3, 4)), tile((10, 11))]
+        store.write_sstable(7, tiles, {"created_at": 99})
+        loaded, meta = store.read_sstable(7)
+        assert loaded == tiles
+        assert meta == {"created_at": 99}
+
+    def test_missing_sstable_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            FileStore(tmp_path).read_sstable(1)
+
+    def test_corrupt_page_detected(self, tmp_path):
+        store = FileStore(tmp_path)
+        store.write_sstable(1, [tile((1, 2))], {})
+        path = store.sstable_path(1)
+        data = bytearray(path.read_bytes())
+        data[-2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptionError):
+            store.read_sstable(1)
+
+    def test_delete_is_idempotent(self, tmp_path):
+        store = FileStore(tmp_path)
+        store.write_sstable(1, [tile((1,))], {})
+        store.delete_sstable(1)
+        store.delete_sstable(1)
+        assert store.list_sstable_ids() == []
+
+    def test_list_sstable_ids_sorted(self, tmp_path):
+        store = FileStore(tmp_path)
+        for fid in (5, 1, 3):
+            store.write_sstable(fid, [tile((fid,))], {})
+        assert store.list_sstable_ids() == [1, 3, 5]
+
+    def test_manifest_roundtrip_and_missing(self, tmp_path):
+        store = FileStore(tmp_path)
+        assert store.read_manifest() is None
+        manifest = {"levels": [[[1, 2]]], "seqno": 9}
+        store.write_manifest(manifest)
+        assert store.read_manifest() == manifest
+
+    def test_manifest_overwrite_is_atomic_swap(self, tmp_path):
+        store = FileStore(tmp_path)
+        store.write_manifest({"v": 1})
+        store.write_manifest({"v": 2})
+        assert store.read_manifest() == {"v": 2}
+        assert not store.manifest_path.with_suffix(".tmp").exists()
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        store = FileStore(tmp_path)
+        store.manifest_path.write_text("{not json")
+        with pytest.raises(CorruptionError):
+            store.read_manifest()
+
+    def test_garbage_collect_removes_unreferenced(self, tmp_path):
+        store = FileStore(tmp_path)
+        for fid in (1, 2, 3):
+            store.write_sstable(fid, [tile((fid,))], {})
+        removed = store.garbage_collect(live_file_ids={2})
+        assert removed == [1, 3]
+        assert store.list_sstable_ids() == [2]

@@ -1,0 +1,128 @@
+"""Tests for the timeline sampler and sparkline rendering."""
+
+import pytest
+
+from repro.metrics.reporting import sparkline
+from repro.metrics.timeline import SERIES, Timeline, TimelineSampler
+
+from conftest import make_acheron, make_baseline
+
+
+class TestSparkline:
+    def test_empty_is_blank(self):
+        assert sparkline([], width=10) == " " * 10
+
+    def test_fixed_width(self):
+        assert len(sparkline([1, 2, 3], width=40)) == 40
+        assert len(sparkline(list(range(500)), width=40)) == 40
+
+    def test_monotone_series_ramps_up(self):
+        chart = sparkline(list(range(10)), width=10).rstrip()
+        assert chart[0] == " "  # minimum maps to the lowest level
+        assert chart[-1] == "@"  # maximum maps to the highest
+
+    def test_flat_series_is_mid_level(self):
+        chart = sparkline([5, 5, 5], width=10)
+        assert set(chart.strip()) == {"+"}
+
+    def test_downsampling_preserves_trend(self):
+        values = list(range(1000))
+        chart = sparkline(values, width=20).rstrip()
+        levels = [chart.index(c) if False else c for c in chart]
+        # First char must be a lower ramp level than the last.
+        ramp = " .:-=+*#%@"
+        assert ramp.index(chart[0]) < ramp.index(chart[-1])
+
+    def test_handles_negative_and_float(self):
+        chart = sparkline([-1.5, 0.0, 2.5], width=10)
+        assert len(chart) == 10
+
+
+class TestTimeline:
+    def test_empty_timeline(self):
+        timeline = Timeline()
+        assert len(timeline) == 0
+        assert timeline.render() == "(no samples)"
+        with pytest.raises(ValueError):
+            timeline.final("entries_on_disk")
+        with pytest.raises(ValueError):
+            timeline.peak("entries_on_disk")
+
+    def test_sampler_validation(self):
+        with pytest.raises(ValueError):
+            TimelineSampler(make_baseline(), every=0)
+
+    def test_sampler_records_all_series(self):
+        engine = make_acheron()
+        sampler = TimelineSampler(engine, every=100)
+        for k in range(500):
+            engine.put(k, k)
+            sampler.maybe_sample()
+        timeline = sampler.timeline
+        assert len(timeline) >= 4
+        for name in SERIES:
+            assert len(timeline.values(name)) == len(timeline)
+
+    def test_maybe_sample_respects_interval(self):
+        engine = make_baseline()
+        sampler = TimelineSampler(engine, every=1_000)
+        took = 0
+        for k in range(100):
+            engine.put(k, k)
+            took += sampler.maybe_sample()
+        assert took == 1  # only the very first call sampled
+
+    def test_ticks_are_monotone(self):
+        engine = make_baseline()
+        sampler = TimelineSampler(engine, every=50)
+        for k in range(400):
+            engine.put(k, k)
+            sampler.maybe_sample()
+        ticks = sampler.timeline.ticks
+        assert ticks == sorted(ticks)
+
+    def test_pending_series_tracks_tracker(self):
+        engine = make_acheron(delete_persistence_threshold=10**6)
+        for k in range(700):
+            engine.put(k, k)
+        for k in range(100):
+            engine.delete(k)
+        sampler = TimelineSampler(engine, every=1)
+        sampler.sample()
+        assert sampler.timeline.final("pending_deletes") == engine.tracker.pending_count
+
+    def test_render_shows_every_series(self):
+        engine = make_baseline()
+        sampler = TimelineSampler(engine, every=10)
+        for k in range(200):
+            engine.put(k, k)
+            sampler.maybe_sample()
+        text = sampler.timeline.render(width=30)
+        for name in SERIES:
+            assert name in text
+
+    def test_final_and_peak(self):
+        timeline = Timeline()
+        timeline.ticks.extend([1, 2, 3])
+        for name in SERIES:
+            timeline.series[name].extend([1.0, 5.0, 2.0])
+        assert timeline.final("compactions") == 2.0
+        assert timeline.peak("compactions") == 5.0
+
+    def test_baseline_pending_grows_acheron_bounded(self):
+        # The timeline view of the F1 claim.
+        def pending_series(engine):
+            sampler = TimelineSampler(engine, every=300)
+            for k in range(1_200):
+                engine.put(k, k)
+            for k in range(0, 1_200, 3):
+                engine.delete(k)
+                sampler.maybe_sample()
+            for k in range(1_200, 2_400):
+                engine.put(k, k)
+                sampler.maybe_sample()
+            return sampler.timeline.values("pending_deletes")
+
+        base = pending_series(make_baseline())
+        ach = pending_series(make_acheron(delete_persistence_threshold=400))
+        assert max(ach) < max(base)

@@ -1,0 +1,184 @@
+"""Tests for the store doctor and the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.config import acheron_config, baseline_config
+from repro.lsm.tree import LSMTree
+from repro.storage.filestore import FileStore
+from repro.tools.doctor import diagnose_store
+
+from conftest import TINY
+
+
+def build_store(tmp_path, deletes=True, config=None):
+    config = config or acheron_config(
+        delete_persistence_threshold=2_000, pages_per_tile=4, **TINY
+    )
+    tree = LSMTree.open(config, tmp_path)
+    for k in range(600):
+        tree.put(k, f"v{k}")
+    if deletes:
+        for k in range(0, 300, 2):
+            tree.delete(k)
+    for k in range(600, 640):  # leave some entries in the WAL
+        tree.put(k, k)
+    tree._wal.close()  # simulate crash: no clean close/flush
+    return config
+
+
+class TestDoctor:
+    def test_healthy_store(self, tmp_path):
+        build_store(tmp_path)
+        report = diagnose_store(tmp_path)
+        assert report.healthy, report.render()
+        assert report.stats["sstables"] > 0
+        assert report.stats["wal_entries"] > 0
+        assert "HEALTHY" in report.render()
+
+    def test_uninitialized_directory(self, tmp_path):
+        report = diagnose_store(tmp_path)
+        assert not report.healthy
+        assert any("manifest" in e for e in report.errors)
+
+    def test_corrupt_manifest(self, tmp_path):
+        build_store(tmp_path)
+        FileStore(tmp_path).manifest_path.write_text("{broken")
+        report = diagnose_store(tmp_path)
+        assert not report.healthy
+
+    def test_missing_sstable_detected(self, tmp_path):
+        build_store(tmp_path)
+        store = FileStore(tmp_path)
+        manifest = store.read_manifest()
+        victim = manifest["levels"][0][0][0]
+        store.delete_sstable(victim)
+        report = diagnose_store(tmp_path)
+        assert not report.healthy
+        assert any(f"sstable {victim}" in e for e in report.errors)
+
+    def test_bitflip_in_sstable_detected(self, tmp_path):
+        build_store(tmp_path)
+        store = FileStore(tmp_path)
+        victim = store.list_sstable_ids()[0]
+        path = store.sstable_path(victim)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        report = diagnose_store(tmp_path)
+        assert not report.healthy
+
+    def test_orphan_sstable_is_a_warning(self, tmp_path):
+        build_store(tmp_path)
+        store = FileStore(tmp_path)
+        store.write_sstable(99_999, [[[]]], {})  # not referenced anywhere
+        report = diagnose_store(tmp_path)
+        assert report.healthy  # warning, not error
+        assert any("orphan" in w for w in report.warnings)
+
+    def test_interior_wal_corruption_detected(self, tmp_path):
+        build_store(tmp_path)
+        wal_path = FileStore(tmp_path).wal_path
+        data = bytearray(wal_path.read_bytes())
+        data[9] ^= 0xFF  # first record's payload
+        wal_path.write_bytes(bytes(data))
+        report = diagnose_store(tmp_path)
+        assert not report.healthy
+        assert any("WAL" in e for e in report.errors)
+
+    def test_baseline_store_is_also_diagnosable(self, tmp_path):
+        build_store(tmp_path, config=baseline_config(**TINY))
+        assert diagnose_store(tmp_path).healthy
+
+
+class TestCLI:
+    def test_verify_healthy_exits_zero(self, tmp_path, capsys):
+        build_store(tmp_path)
+        assert main(["verify", str(tmp_path)]) == 0
+        assert "HEALTHY" in capsys.readouterr().out
+
+    def test_verify_corrupt_exits_one(self, tmp_path, capsys):
+        build_store(tmp_path)
+        FileStore(tmp_path).manifest_path.write_text("{broken")
+        assert main(["verify", str(tmp_path)]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_inspect_uses_recorded_config(self, tmp_path, capsys):
+        build_store(tmp_path)
+        assert main(["inspect", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "tree @" in out
+        assert "persistence" in out
+
+    def test_workload_command(self, capsys):
+        code = main(
+            [
+                "workload",
+                "--engine",
+                "acheron",
+                "--ops",
+                "800",
+                "--preload",
+                "500",
+                "--deletes",
+                "0.2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "modeled ops/s" in out
+        assert "persistence" in out
+
+    def test_workload_lazy_leveling_baseline(self, capsys):
+        code = main(
+            [
+                "workload",
+                "--engine",
+                "baseline",
+                "--policy",
+                "lazy_leveling",
+                "--ops",
+                "600",
+                "--preload",
+                "400",
+            ]
+        )
+        assert code == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_demo_command(self, capsys):
+        code = main(["demo", "--ops", "600", "--preload", "400", "--d-th", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "=== baseline ::" in out
+        assert "=== acheron ::" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestCLITraces:
+    def test_record_then_replay(self, tmp_path, capsys):
+        trace = tmp_path / "w.trace"
+        assert (
+            main(["record", str(trace), "--ops", "400", "--preload", "300", "--deletes", "0.2"])
+            == 0
+        )
+        assert "recorded 700 operations" in capsys.readouterr().out
+        assert trace.exists()
+        code = main(["workload", "--engine", "baseline", "--replay", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "700 ops" in out
+
+    def test_replay_equals_generated(self, tmp_path, capsys):
+        trace = tmp_path / "w.trace"
+        main(["record", str(trace), "--ops", "300", "--preload", "200", "--seed", "9"])
+        capsys.readouterr()
+        from repro.workload.generator import generate_operations
+        from repro.workload.spec import WorkloadSpec
+        from repro.workload.trace import load_trace
+
+        spec = WorkloadSpec(operations=300, preload=200, seed=9).with_delete_fraction(0.15)
+        assert load_trace(trace) == generate_operations(spec)

@@ -1,0 +1,305 @@
+"""Unit tests for basic LSM-tree semantics (put/get/delete/scan/flush)."""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.errors import EngineClosedError
+from repro.lsm.tree import LSMTree
+
+from conftest import TINY
+
+
+def make_tree(**overrides):
+    params = dict(TINY)
+    params.update(overrides)
+    return LSMTree(baseline_config(**params))
+
+
+class TestPointOps:
+    def test_get_from_memtable(self):
+        tree = make_tree()
+        tree.put(1, "one")
+        assert tree.get(1) == "one"
+
+    def test_get_missing_returns_default(self):
+        tree = make_tree()
+        assert tree.get(404) is None
+        assert tree.get(404, default="fallback") == "fallback"
+
+    def test_update_replaces_value(self):
+        tree = make_tree()
+        tree.put(1, "old")
+        tree.put(1, "new")
+        assert tree.get(1) == "new"
+
+    def test_get_spans_flushed_data(self):
+        tree = make_tree()
+        for k in range(200):
+            tree.put(k, f"v{k}")
+        assert tree.flush_count > 0
+        for k in (0, 63, 64, 150, 199):
+            assert tree.get(k) == f"v{k}"
+
+    def test_delete_hides_key_immediately(self):
+        tree = make_tree()
+        tree.put(1, "one")
+        tree.delete(1)
+        assert tree.get(1) is None
+        assert not tree.contains(1)
+
+    def test_delete_hides_flushed_data(self):
+        tree = make_tree()
+        for k in range(200):
+            tree.put(k, f"v{k}")
+        tree.delete(100)
+        assert tree.get(100) is None
+
+    def test_put_after_delete_resurrects(self):
+        tree = make_tree()
+        tree.put(1, "one")
+        tree.delete(1)
+        tree.put(1, "again")
+        assert tree.get(1) == "again"
+
+    def test_delete_of_nonexistent_key_is_harmless(self):
+        tree = make_tree()
+        tree.delete(999)
+        assert tree.get(999) is None
+
+    def test_newest_version_wins_across_levels(self):
+        tree = make_tree()
+        for round_no in range(4):
+            for k in range(100):
+                tree.put(k, f"r{round_no}")
+        for k in range(0, 100, 7):
+            assert tree.get(k) == "r3"
+
+    def test_contains(self):
+        tree = make_tree()
+        tree.put(1, "x")
+        assert tree.contains(1)
+        assert not tree.contains(2)
+
+
+class TestScan:
+    def test_scan_ordered_inclusive(self):
+        tree = make_tree()
+        for k in range(0, 50, 2):
+            tree.put(k, k)
+        assert [k for k, _ in tree.scan(10, 20)] == [10, 12, 14, 16, 18, 20]
+
+    def test_scan_spans_memtable_and_disk(self):
+        tree = make_tree()
+        for k in range(0, 300, 2):
+            tree.put(k, "disk")
+        tree.put(151, "mem")  # odd key only in the memtable
+        keys = [k for k, _ in tree.scan(148, 154)]
+        assert keys == [148, 150, 151, 152, 154]
+
+    def test_scan_skips_deleted(self):
+        tree = make_tree()
+        for k in range(20):
+            tree.put(k, k)
+        for k in range(5, 10):
+            tree.delete(k)
+        assert [k for k, _ in tree.scan(0, 19)] == [0, 1, 2, 3, 4] + list(range(10, 20))
+
+    def test_scan_returns_newest_values(self):
+        tree = make_tree()
+        for k in range(100):
+            tree.put(k, "old")
+        for k in range(100):
+            tree.put(k, "new")
+        assert all(v == "new" for _, v in tree.scan(0, 99))
+
+    def test_scan_limit(self):
+        tree = make_tree()
+        for k in range(50):
+            tree.put(k, k)
+        assert len(list(tree.scan(0, 49, limit=7))) == 7
+
+    def test_empty_scan(self):
+        tree = make_tree()
+        assert list(tree.scan(0, 100)) == []
+
+
+class TestFlushAndShape:
+    def test_flush_on_capacity(self):
+        tree = make_tree(memtable_entries=16)
+        for k in range(16):
+            tree.put(k, k)
+        assert tree.flush_count == 1
+        assert len(tree.memtable) == 0
+
+    def test_manual_flush(self):
+        tree = make_tree()
+        tree.put(1, "x")
+        tree.flush()
+        assert len(tree.memtable) == 0
+        assert tree.entry_count_on_disk == 1
+        tree.flush()  # no-op on empty
+        assert tree.flush_count == 1
+
+    def test_leveling_keeps_one_run_per_level(self):
+        tree = make_tree()
+        for k in range(2000):
+            tree.put(k, k)
+        for level in tree.iter_levels():
+            assert level.run_count <= 1
+
+    def test_level_sizes_respect_capacity_after_maintenance(self):
+        tree = make_tree()
+        for k in range(2000):
+            tree.put(k, k)
+        for level in tree.iter_levels():
+            if not level.is_empty:
+                assert level.entry_count <= tree.config.level_capacity_entries(level.index)
+
+    def test_deepest_nonempty_level(self):
+        tree = make_tree()
+        assert tree.deepest_nonempty_level() == 0
+        for k in range(500):
+            tree.put(k, k)
+        assert tree.deepest_nonempty_level() >= 2
+
+    def test_clock_ticks_once_per_ingest(self):
+        tree = make_tree()
+        for k in range(10):
+            tree.put(k, k)
+        tree.delete(0)
+        assert tree.clock.now() == 11
+        tree.get(5)  # reads do not advance time
+        assert tree.clock.now() == 11
+
+    def test_counters(self):
+        tree = make_tree()
+        tree.put(1, "x")
+        tree.put(2, "y")
+        tree.delete(1)
+        tree.get(1)
+        tree.get(2)
+        list(tree.scan(0, 10))
+        c = tree.counters
+        assert c["puts"] == 2
+        assert c["deletes"] == 1
+        assert c["gets"] == 2
+        assert c["gets_found"] == 1
+        assert c["scans"] == 1
+        assert c["ingested_bytes"] > 0
+
+    def test_full_compaction_collapses_to_single_run(self):
+        tree = make_tree()
+        for k in range(1000):
+            tree.put(k, k)
+        for k in range(0, 1000, 3):
+            tree.delete(k)
+        tree.full_compaction()
+        nonempty = [lvl for lvl in tree.iter_levels() if not lvl.is_empty]
+        assert len(nonempty) == 1
+        assert nonempty[0].run_count == 1
+        assert tree.tombstone_count_on_disk == 0  # all purged
+        assert tree.get(3) is None
+        assert tree.get(1) == 1
+
+    def test_full_compaction_on_empty_tree(self):
+        tree = make_tree()
+        assert tree.full_compaction() is None
+
+    def test_invariants_hold_after_heavy_mixed_load(self):
+        tree = make_tree()
+        for k in range(1500):
+            tree.put(k % 311, k)
+            if k % 5 == 0:
+                tree.delete((k * 7) % 311)
+        tree.check_invariants()
+
+
+class TestLifecycle:
+    def test_operations_after_close_raise(self):
+        tree = make_tree()
+        tree.put(1, "x")
+        tree.close()
+        with pytest.raises(EngineClosedError):
+            tree.put(2, "y")
+        with pytest.raises(EngineClosedError):
+            tree.get(1)
+        with pytest.raises(EngineClosedError):
+            tree.flush()
+
+    def test_close_is_idempotent(self):
+        tree = make_tree()
+        tree.close()
+        tree.close()
+
+    def test_context_manager(self):
+        with make_tree() as tree:
+            tree.put(1, "x")
+        with pytest.raises(EngineClosedError):
+            tree.get(1)
+
+    def test_advance_time_moves_clock(self):
+        tree = make_tree()
+        tree.advance_time(100)
+        assert tree.clock.now() == 100
+
+
+class TestReverseScan:
+    def _loaded(self, n=600):
+        tree = make_tree()
+        for k in range(n):
+            tree.put(k, f"v{k}")
+        for k in range(0, n, 5):
+            tree.delete(k)
+        tree.put(n + 50, "mem-only")
+        return tree
+
+    def test_reverse_equals_reversed_forward(self):
+        tree = self._loaded()
+        forward = list(tree.scan(0, 10_000))
+        backward = list(tree.scan(0, 10_000, reverse=True))
+        assert backward == list(reversed(forward))
+
+    def test_reverse_limit_takes_topmost(self):
+        tree = self._loaded()
+        top3 = list(tree.scan(0, 10_000, limit=3, reverse=True))
+        assert [k for k, _ in top3] == [650, 599, 598]
+
+    def test_reverse_bounds_inclusive(self):
+        tree = make_tree()
+        for k in range(20):
+            tree.put(k, k)
+        assert [k for k, _ in tree.scan(5, 9, reverse=True)] == [9, 8, 7, 6, 5]
+
+    def test_reverse_skips_deleted_and_sees_newest(self):
+        tree = make_tree()
+        for k in range(300):
+            tree.put(k, "old")
+        for k in range(300):
+            tree.put(k, "new")
+        tree.delete(150)
+        rows = dict(tree.scan(140, 160, reverse=True))
+        assert 150 not in rows
+        assert all(v == "new" for v in rows.values())
+
+    def test_reverse_empty_range(self):
+        tree = self._loaded(100)
+        assert list(tree.scan(10_000, 20_000, reverse=True)) == []
+
+    def test_reverse_with_kiwi_weave(self):
+        from conftest import make_acheron
+
+        engine = make_acheron(pages_per_tile=4)
+        n = 500
+        for k in range(n):
+            engine.put((k * 37) % n, f"v{k}")
+        forward = list(engine.scan(0, n))
+        assert list(engine.scan(0, n, reverse=True)) == list(reversed(forward))
+
+    def test_reverse_with_tiering(self):
+        from repro.config import CompactionStyle
+
+        tree = make_tree(policy=CompactionStyle.TIERING)
+        for k in range(800):
+            tree.put(k % 211, k)
+        forward = list(tree.scan(0, 1000))
+        assert list(tree.scan(0, 1000, reverse=True)) == list(reversed(forward))

@@ -1,0 +1,106 @@
+"""Unit tests for the write-ahead log, including crash shapes."""
+
+import pytest
+
+from repro.errors import CorruptionError, WALError
+from repro.lsm.entry import Entry
+from repro.storage.wal import WriteAheadLog
+
+
+def sample_entries(n):
+    out = []
+    for i in range(n):
+        if i % 3 == 2:
+            out.append(Entry.tombstone(i, seqno=i + 1, write_time=i))
+        else:
+            out.append(Entry.put(i, f"v{i}", seqno=i + 1, write_time=i))
+    return out
+
+
+class TestAppendReplay:
+    def test_replay_of_missing_file_is_empty(self, tmp_path):
+        assert list(WriteAheadLog.replay(tmp_path / "nope.log")) == []
+
+    def test_roundtrip_preserves_order_and_content(self, tmp_path):
+        path = tmp_path / "wal.log"
+        entries = sample_entries(25)
+        with WriteAheadLog(path) as wal:
+            for entry in entries:
+                wal.append(entry)
+        assert list(WriteAheadLog.replay(path)) == entries
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.close()
+        with pytest.raises(WALError):
+            wal.append(Entry.put(1, "v", 1))
+        with pytest.raises(WALError):
+            wal.truncate()
+
+    def test_truncate_discards_everything(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            for entry in sample_entries(5):
+                wal.append(entry)
+            wal.truncate()
+            wal.append(Entry.put(99, "fresh", 100))
+        replayed = list(WriteAheadLog.replay(path))
+        assert len(replayed) == 1
+        assert replayed[0].key == 99
+
+    def test_reopen_appends_after_existing_records(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(Entry.put(1, "a", 1))
+        with WriteAheadLog(path) as wal:
+            wal.append(Entry.put(2, "b", 2))
+        assert [e.key for e in WriteAheadLog.replay(path)] == [1, 2]
+
+    def test_records_appended_counter(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal.log") as wal:
+            for entry in sample_entries(4):
+                wal.append(entry)
+            assert wal.records_appended == 4
+
+
+class TestCrashShapes:
+    def _write(self, path, n):
+        with WriteAheadLog(path) as wal:
+            for entry in sample_entries(n):
+                wal.append(entry)
+
+    def test_torn_final_record_is_tolerated(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._write(path, 10)
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])  # chop mid-record
+        replayed = list(WriteAheadLog.replay(path))
+        assert len(replayed) == 9
+
+    def test_torn_final_header_is_tolerated(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._write(path, 3)
+        path.write_bytes(path.read_bytes() + b"\x01\x02")  # partial next header
+        assert len(list(WriteAheadLog.replay(path))) == 3
+
+    def test_corrupt_final_record_is_treated_as_torn(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._write(path, 5)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert len(list(WriteAheadLog.replay(path))) == 4
+
+    def test_corruption_before_the_tail_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self._write(path, 10)
+        data = bytearray(path.read_bytes())
+        data[9] ^= 0xFF  # inside the first record's payload (after its 8B frame)
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptionError):
+            list(WriteAheadLog.replay(path))
+
+    def test_empty_file_replays_empty(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"")
+        assert list(WriteAheadLog.replay(path)) == []

@@ -1,0 +1,403 @@
+"""Tests for workload specs, generators, distributions, and the runner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.distributions import (
+    HotspotKeyPicker,
+    UniformKeyPicker,
+    ZipfianKeyPicker,
+    make_key_picker,
+)
+from repro.workload.generator import KEY_STRIDE, WorkloadGenerator, generate_operations
+from repro.workload.runner import run_workload
+from repro.workload.spec import Operation, OpKind, WorkloadSpec
+
+from conftest import make_baseline
+
+
+class TestSpec:
+    def test_default_spec_valid(self):
+        WorkloadSpec()
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(operations=-1)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(preload=-1)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(weights={})
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(weights={OpKind.INSERT: -1.0})
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(weights={OpKind.INSERT: 0.0})
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(weights={"insert": 1.0})
+
+    def test_rejects_bad_range_and_window(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(range_span=0)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(secondary_delete_window=0.0)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(secondary_delete_window=1.5)
+
+    def test_with_delete_fraction_rescales(self):
+        spec = WorkloadSpec().with_delete_fraction(0.25)
+        weights = spec.weights
+        total = sum(weights.values())
+        assert weights[OpKind.POINT_DELETE] / total == pytest.approx(0.25)
+        # Other kinds keep their relative ratios.
+        base = WorkloadSpec().weights
+        ratio = weights[OpKind.INSERT] / weights[OpKind.POINT_QUERY]
+        base_ratio = base[OpKind.INSERT] / base[OpKind.POINT_QUERY]
+        assert ratio == pytest.approx(base_ratio)
+
+    def test_with_delete_fraction_zero_removes_deletes(self):
+        spec = WorkloadSpec().with_delete_fraction(0.0)
+        assert OpKind.POINT_DELETE not in spec.weights
+
+    def test_with_delete_fraction_bounds(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec().with_delete_fraction(1.0)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec().with_delete_fraction(-0.1)
+
+
+class TestDistributions:
+    def test_uniform_covers_population(self):
+        picker = UniformKeyPicker(np.random.default_rng(1))
+        picks = {picker.pick(10) for _ in range(500)}
+        assert picks == set(range(10))
+
+    def test_zipfian_is_skewed(self):
+        picker = ZipfianKeyPicker(np.random.default_rng(1), theta=0.99)
+        picks = [picker.pick(1000) for _ in range(5000)]
+        top_decile = sum(1 for p in picks if p < 100)
+        assert top_decile > 2000  # far above the uniform expectation of 500
+
+    def test_zipfian_respects_population_bound(self):
+        picker = ZipfianKeyPicker(np.random.default_rng(1))
+        assert all(0 <= picker.pick(7) < 7 for _ in range(200))
+
+    def test_hotspot_concentrates(self):
+        picker = HotspotKeyPicker(
+            np.random.default_rng(1), hot_fraction=0.9, hot_set_fraction=0.1
+        )
+        picks = [picker.pick(1000) for _ in range(5000)]
+        hot = sum(1 for p in picks if p < 100)
+        assert hot > 4000
+
+    def test_empty_population_rejected(self):
+        for picker in (
+            UniformKeyPicker(np.random.default_rng(0)),
+            ZipfianKeyPicker(np.random.default_rng(0)),
+            HotspotKeyPicker(np.random.default_rng(0)),
+        ):
+            with pytest.raises(WorkloadError):
+                picker.pick(0)
+
+    def test_make_key_picker(self):
+        rng = np.random.default_rng(0)
+        assert isinstance(make_key_picker("uniform", rng), UniformKeyPicker)
+        assert isinstance(make_key_picker("zipfian", rng), ZipfianKeyPicker)
+        assert isinstance(make_key_picker("hotspot", rng), HotspotKeyPicker)
+        with pytest.raises(WorkloadError):
+            make_key_picker("gaussian", rng)
+
+    def test_bad_parameters_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(WorkloadError):
+            ZipfianKeyPicker(rng, theta=0)
+        with pytest.raises(WorkloadError):
+            HotspotKeyPicker(rng, hot_fraction=0)
+        with pytest.raises(WorkloadError):
+            HotspotKeyPicker(rng, hot_set_fraction=2.0)
+
+
+class TestGenerator:
+    def test_preload_is_pure_inserts(self):
+        spec = WorkloadSpec(operations=0, preload=100)
+        ops = generate_operations(spec)
+        assert len(ops) == 100
+        assert all(op.kind is OpKind.INSERT for op in ops)
+        assert len({op.key for op in ops}) == 100
+
+    def test_total_operation_count(self):
+        spec = WorkloadSpec(operations=250, preload=50)
+        assert len(generate_operations(spec)) == 300
+
+    def test_determinism(self):
+        spec = WorkloadSpec(operations=300, preload=100, seed=7)
+        a = generate_operations(spec)
+        b = generate_operations(spec)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_operations(WorkloadSpec(operations=300, preload=0, seed=1))
+        b = generate_operations(WorkloadSpec(operations=300, preload=0, seed=2))
+        assert a != b
+
+    def test_mix_approximates_weights(self):
+        spec = WorkloadSpec(
+            operations=4000,
+            preload=500,
+            weights={OpKind.INSERT: 0.5, OpKind.POINT_QUERY: 0.5},
+            seed=3,
+        )
+        gen = WorkloadGenerator(spec)
+        list(gen.preload_operations())
+        kinds = [op.kind for op in gen.mixed_operations()]
+        inserts = kinds.count(OpKind.INSERT)
+        assert 0.4 < inserts / len(kinds) < 0.6
+
+    def test_deletes_retire_keys(self):
+        spec = WorkloadSpec(
+            operations=200,
+            preload=100,
+            weights={OpKind.POINT_DELETE: 1.0, OpKind.INSERT: 0.001},
+            seed=5,
+        )
+        gen = WorkloadGenerator(spec)
+        ops = list(gen.operations())
+        deleted = [op.key for op in ops if op.kind is OpKind.POINT_DELETE]
+        assert len(deleted) == len(set(deleted))  # never delete twice
+
+    def test_point_queries_target_live_keys(self):
+        spec = WorkloadSpec(
+            operations=500,
+            preload=200,
+            weights={OpKind.POINT_QUERY: 0.6, OpKind.POINT_DELETE: 0.4},
+            seed=11,
+        )
+        gen = WorkloadGenerator(spec)
+        live = set()
+        for op in gen.operations():
+            if op.kind is OpKind.INSERT:
+                live.add(op.key)
+            elif op.kind is OpKind.POINT_DELETE:
+                assert op.key in live
+                live.discard(op.key)
+            elif op.kind is OpKind.POINT_QUERY:
+                assert op.key in live
+
+    def test_empty_queries_probe_nonexistent_keys(self):
+        spec = WorkloadSpec(
+            operations=300,
+            preload=100,
+            weights={OpKind.EMPTY_QUERY: 0.5, OpKind.INSERT: 0.5},
+            seed=13,
+        )
+        for op in WorkloadGenerator(spec).operations():
+            if op.kind is OpKind.EMPTY_QUERY:
+                assert op.key % KEY_STRIDE == 1  # off-stride: never inserted
+
+    def test_range_queries_have_bounds(self):
+        spec = WorkloadSpec(
+            operations=100,
+            preload=50,
+            weights={OpKind.RANGE_QUERY: 0.5, OpKind.INSERT: 0.5},
+            seed=17,
+        )
+        for op in WorkloadGenerator(spec).operations():
+            if op.kind is OpKind.RANGE_QUERY:
+                assert op.key_hi > op.key
+
+    def test_live_kinds_degrade_to_insert_when_population_empty(self):
+        spec = WorkloadSpec(
+            operations=50, preload=0, weights={OpKind.UPDATE: 1.0}, seed=19
+        )
+        ops = generate_operations(spec)
+        assert ops[0].kind is OpKind.INSERT
+
+
+class TestRunner:
+    def test_runner_attributes_io_per_kind(self):
+        engine = make_baseline()
+        spec = WorkloadSpec(operations=600, preload=400, seed=23)
+        gen = WorkloadGenerator(spec)
+        result = run_workload(engine, gen.operations())
+        assert result.operations == 1000
+        insert_stats = result.per_kind[OpKind.INSERT]
+        assert insert_stats.count > 0
+        assert insert_stats.pages_written > 0
+        query_stats = result.per_kind.get(OpKind.POINT_QUERY)
+        if query_stats is not None:
+            assert query_stats.results_returned == query_stats.count  # all hits
+
+    def test_empty_queries_return_nothing(self):
+        engine = make_baseline()
+        spec = WorkloadSpec(
+            operations=200,
+            preload=300,
+            weights={OpKind.EMPTY_QUERY: 0.5, OpKind.INSERT: 0.5},
+            seed=29,
+        )
+        result = run_workload(engine, WorkloadGenerator(spec).operations())
+        assert result.per_kind[OpKind.EMPTY_QUERY].results_returned == 0
+
+    def test_secondary_range_delete_op(self):
+        engine = make_baseline()
+        ops = [Operation(OpKind.INSERT, key=k, value=k) for k in range(200)]
+        ops.append(Operation(OpKind.SECONDARY_RANGE_DELETE))
+        result = run_workload(engine, ops, secondary_delete_window=0.5)
+        deleted = result.per_kind[OpKind.SECONDARY_RANGE_DELETE].results_returned
+        assert deleted > 0
+        assert engine.get(0) is None  # oldest insert fell in the window
+
+    def test_modeled_throughput(self):
+        engine = make_baseline()
+        spec = WorkloadSpec(operations=100, preload=100, seed=31)
+        result = run_workload(engine, WorkloadGenerator(spec).operations())
+        assert result.modeled_throughput_ops_per_s() > 0
+        assert result.total_modeled_us > 0
+        assert result.wall_seconds > 0
+
+
+class TestResurrections:
+    def _spec(self, fraction):
+        return WorkloadSpec(
+            operations=600,
+            preload=200,
+            weights={
+                OpKind.INSERT: 0.4,
+                OpKind.POINT_DELETE: 0.4,
+                OpKind.POINT_QUERY: 0.2,
+            },
+            reinsert_fraction=fraction,
+            seed=41,
+        )
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(reinsert_fraction=-0.1)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(reinsert_fraction=1.1)
+
+    def test_zero_fraction_never_reuses_keys(self):
+        ops = generate_operations(self._spec(0.0))
+        inserted = [op.key for op in ops if op.kind is OpKind.INSERT]
+        assert len(inserted) == len(set(inserted))
+
+    def test_positive_fraction_resurrects_deleted_keys(self):
+        ops = generate_operations(self._spec(0.8))
+        deleted: set[int] = set()
+        resurrections = 0
+        for op in ops:
+            if op.kind is OpKind.POINT_DELETE:
+                deleted.add(op.key)
+            elif op.kind is OpKind.INSERT and op.key in deleted:
+                resurrections += 1
+                deleted.discard(op.key)
+        assert resurrections > 0
+
+    def test_resurrections_supersede_tombstones(self):
+        from conftest import make_acheron
+
+        engine = make_acheron(delete_persistence_threshold=10**6)
+        result = run_workload(engine, generate_operations(self._spec(0.8)))
+        assert engine.tracker.superseded_count > 0
+
+    def test_stream_stays_deterministic(self):
+        assert generate_operations(self._spec(0.5)) == generate_operations(self._spec(0.5))
+
+    def test_with_delete_fraction_preserves_reinsert(self):
+        spec = self._spec(0.3).with_delete_fraction(0.1)
+        assert spec.reinsert_fraction == 0.3
+
+
+class TestTraces:
+    def _ops(self):
+        spec = WorkloadSpec(
+            operations=300,
+            preload=100,
+            weights={
+                OpKind.INSERT: 0.4,
+                OpKind.UPDATE: 0.15,
+                OpKind.POINT_DELETE: 0.15,
+                OpKind.POINT_QUERY: 0.15,
+                OpKind.EMPTY_QUERY: 0.05,
+                OpKind.RANGE_QUERY: 0.05,
+                OpKind.SECONDARY_RANGE_DELETE: 0.05,
+            },
+            seed=61,
+        )
+        return generate_operations(spec)
+
+    def test_roundtrip(self, tmp_path):
+        from repro.workload.trace import load_trace, record_trace
+
+        ops = self._ops()
+        path = tmp_path / "ops.trace"
+        assert record_trace(ops, path) == len(ops)
+        assert load_trace(path) == ops
+
+    def test_string_keys_and_values_survive(self, tmp_path):
+        from repro.workload.trace import load_trace, record_trace
+
+        ops = [
+            Operation(OpKind.INSERT, key="user name:1", value="a value with spaces\nand newline"),
+            Operation(OpKind.POINT_QUERY, key="user name:1"),
+            Operation(OpKind.RANGE_QUERY, key="a", key_hi="z"),
+        ]
+        path = tmp_path / "s.trace"
+        record_trace(ops, path)
+        assert load_trace(path) == ops
+
+    def test_empty_trace(self, tmp_path):
+        from repro.workload.trace import load_trace, record_trace
+
+        path = tmp_path / "empty.trace"
+        record_trace([], path)
+        assert load_trace(path) == []
+
+    def test_not_a_trace_rejected(self, tmp_path):
+        from repro.errors import CorruptionError
+        from repro.workload.trace import load_trace
+
+        path = tmp_path / "junk"
+        path.write_text("hello world")
+        with pytest.raises(CorruptionError):
+            load_trace(path)
+
+    def test_truncation_detected(self, tmp_path):
+        from repro.errors import CorruptionError
+        from repro.workload.trace import load_trace, record_trace
+
+        path = tmp_path / "t.trace"
+        record_trace(self._ops(), path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-5]) + "\n")
+        with pytest.raises(CorruptionError):
+            load_trace(path)
+
+    def test_edit_detected(self, tmp_path):
+        from repro.errors import CorruptionError
+        from repro.workload.trace import load_trace, record_trace
+
+        path = tmp_path / "t.trace"
+        record_trace(self._ops(), path)
+        path.write_text(path.read_text().replace("put 0 ", "put 9 ", 1))
+        with pytest.raises(CorruptionError):
+            load_trace(path)
+
+    def test_unsupported_value_type_rejected(self, tmp_path):
+        from repro.workload.trace import record_trace
+
+        with pytest.raises(WorkloadError):
+            record_trace([Operation(OpKind.INSERT, key=1, value=3.14)], tmp_path / "x")
+
+    def test_replay_produces_identical_engine_state(self, tmp_path):
+        from repro.workload.trace import load_trace, record_trace
+
+        ops = self._ops()
+        path = tmp_path / "replay.trace"
+        record_trace(ops, path)
+        live = make_baseline()
+        replayed = make_baseline()
+        run_workload(live, ops)
+        run_workload(replayed, load_trace(path))
+        assert dict(live.scan(-1, 10**12)) == dict(replayed.scan(-1, 10**12))
