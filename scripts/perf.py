@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Run the wall-clock performance suite and archive BENCH_<n>.json.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf.py           # full suite (~50k ops/exp)
+    PYTHONPATH=src python scripts/perf.py --quick   # CI smoke (~6k ops/exp)
+    PYTHONPATH=src python scripts/perf.py --ops 100000 --workers 3
+    PYTHONPATH=src python scripts/perf.py --out /tmp/bench.json
+
+Each experiment times the ingest hot loop twice in the same process --
+once through the pre-optimization cost model, once through the optimized
+batched path -- and asserts the two arms left the engine in an identical
+state (same simulated I/O, flushes, compactions, occupancy).  See
+``repro/bench/perfsuite.py`` and DESIGN.md ("Performance model &
+benchmarking").
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.perfsuite import FULL_INGEST_OPS, render, run_suite  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small op counts for CI smoke runs (result is still archived)",
+    )
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=FULL_INGEST_OPS,
+        help=f"ingest operations per experiment (default {FULL_INGEST_OPS})",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: one per experiment; 0 = run serially)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output path (default: next unused BENCH_<n>.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    if args.ops < 1:
+        parser.error(f"--ops must be >= 1, got {args.ops}")
+    if args.workers is not None and args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
+    if args.out is not None and not args.out.parent.is_dir():
+        parser.error(f"--out directory does not exist: {args.out.parent}")
+
+    payload = run_suite(
+        ingest_ops=args.ops, quick=args.quick, workers=args.workers, out=args.out
+    )
+    print(render(payload))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

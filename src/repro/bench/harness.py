@@ -57,13 +57,26 @@ def make_acheron(
 
 
 def run_mixed_workload(
-    engine: AcheronEngine, spec: WorkloadSpec
+    engine: AcheronEngine, spec: WorkloadSpec, ingest_batch: int | None = None
 ) -> tuple[WorkloadResult, EngineStats]:
-    """Execute one spec (preload + mixed phase) and snapshot the engine."""
+    """Execute one spec (preload + mixed phase) and snapshot the engine.
+
+    ``ingest_batch`` routes consecutive same-kind ingest operations through
+    the engine's batch API (behaviour-preserving; see
+    :func:`~repro.workload.runner.run_workload`).
+    """
     generator = WorkloadGenerator(spec)
-    run_workload(engine, generator.preload_operations(), spec.secondary_delete_window)
+    run_workload(
+        engine,
+        generator.preload_operations(),
+        spec.secondary_delete_window,
+        ingest_batch=ingest_batch,
+    )
     result = run_workload(
-        engine, generator.mixed_operations(), spec.secondary_delete_window
+        engine,
+        generator.mixed_operations(),
+        spec.secondary_delete_window,
+        ingest_batch=ingest_batch,
     )
     return result, engine.stats()
 

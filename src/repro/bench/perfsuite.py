@@ -1,0 +1,320 @@
+"""The wall-clock performance suite: parallel, tracked, self-comparing.
+
+Where ``benchmarks/`` measures *modeled device I/O* (deterministic,
+scale-stable, the paper's currency), this suite measures *wall-clock
+throughput of the engine's hot loops* -- the thing the hot-path overhaul
+optimizes.  Three design points:
+
+**Same-run comparison.**  Every experiment times its ingest loop twice on
+identical operation streams: once through the pre-optimization cost model
+(see :mod:`repro.bench.seedcost`) and once through the optimized path
+(batched ingest, cached statistics, trigger fast path).  Both arms run in
+the same process seconds apart, so the reported speedup is insulated from
+machine-to-machine and run-to-run variance.  After both arms finish, their
+engine states are asserted identical (simulated I/O, flush and compaction
+counts, level occupancy) -- the optimizations must never change semantics.
+
+**Parallelism.**  Experiments are independent, so the suite fans them out
+over a :class:`~concurrent.futures.ProcessPoolExecutor` (one process per
+experiment; wall-clock timing would be corrupted by in-process
+interleaving).
+
+**Tracking.**  Results are archived as ``BENCH_<n>.json`` at the repo root
+(lowest unused ``n``), so the performance trajectory of the repository is
+part of its history: every future change can be compared against the
+numbers committed before it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from random import Random
+from typing import Any
+
+from repro.config import CompactionStyle
+
+#: Archive location for BENCH_<n>.json (the repository root).
+BENCH_DIR = Path(__file__).resolve().parents[3]
+
+#: Default sizes for the full suite ("experiment scale", per the ISSUE: the
+#: tracked ingest loop runs >= 50k mixed operations).
+FULL_INGEST_OPS = 50_000
+QUICK_INGEST_OPS = 6_000
+GET_OPS_FRACTION = 0.4  # point lookups per ingest op
+SCAN_OPS = 300
+SCAN_WIDTH = 64
+INGEST_BATCH = 512
+DELETE_FRACTION = 0.15
+
+
+@dataclass(frozen=True)
+class PerfExperiment:
+    """One engine configuration to push through the three hot loops."""
+
+    name: str
+    engine: str  # "baseline" | "baseline_tiering" | "acheron"
+    seed: int = 7
+
+
+EXPERIMENTS: tuple[PerfExperiment, ...] = (
+    PerfExperiment("baseline_leveling", "baseline", seed=7),
+    PerfExperiment("baseline_tiering", "baseline_tiering", seed=11),
+    PerfExperiment("acheron", "acheron", seed=13),
+)
+
+
+@dataclass
+class PhaseResult:
+    ops: int
+    seconds: float
+    cpu_seconds: float | None = None
+
+    @property
+    def ops_per_s(self) -> float:
+        return self.ops / self.seconds if self.seconds else float("inf")
+
+    def to_dict(self) -> dict[str, Any]:
+        d = {"ops": self.ops, "seconds": round(self.seconds, 4),
+             "ops_per_s": round(self.ops_per_s, 1)}
+        if self.cpu_seconds is not None:
+            d["cpu_seconds"] = round(self.cpu_seconds, 4)
+        return d
+
+
+def _make_engine(kind: str):
+    from repro.bench.harness import make_acheron, make_baseline
+
+    if kind == "baseline":
+        return make_baseline()
+    if kind == "baseline_tiering":
+        return make_baseline(policy=CompactionStyle.TIERING)
+    if kind == "acheron":
+        return make_acheron(delete_persistence_threshold=20_000)
+    raise ValueError(f"unknown engine kind {kind!r}")
+
+
+def _mixed_ops(n: int, seed: int) -> list[tuple]:
+    """A deterministic put/delete stream (deletes target live keys)."""
+    rng = Random(seed)
+    ops: list[tuple] = []
+    live: list[Any] = []
+    for _ in range(n):
+        if live and rng.random() < DELETE_FRACTION:
+            ops.append(("delete", live[rng.randrange(len(live))]))
+        else:
+            key = rng.randrange(n * 2)
+            live.append(key)
+            ops.append(("put", key, f"v{key}"))
+    return ops
+
+
+def _state_fingerprint(engine) -> dict[str, Any]:
+    """Everything that must match between the two comparison arms."""
+    stats = engine.stats()
+    return {
+        "pages_written": stats.io.pages_written,
+        "pages_read": stats.io.pages_read,
+        "flush_count": stats.flush_count,
+        "compaction_count": stats.compaction_count,
+        "tick": stats.tick,
+        "level_entries": [(lvl.index, lvl.entries, lvl.tombstones) for lvl in stats.shape],
+        "counters": stats.counters,
+    }
+
+
+def run_experiment(spec: dict[str, Any]) -> dict[str, Any]:
+    """Worker entry point: one experiment, three timed hot loops.
+
+    Module-level (picklable) so it can cross the process-pool boundary.
+    """
+    from repro.bench.seedcost import seed_cost_model
+
+    name: str = spec["name"]
+    kind: str = spec["engine"]
+    n: int = spec["ingest_ops"]
+    seed: int = spec["seed"]
+    ops = _mixed_ops(n, seed)
+
+    # -- the comparison arms, interleaved -------------------------------
+    # Both arms advance through the op stream in alternating slices so
+    # that, when experiments run concurrently in the process pool, each
+    # arm experiences the same average machine load.  (Running one arm to
+    # completion first would time it under different contention than the
+    # other.)  The slice size is a multiple of INGEST_BATCH, so the
+    # optimized arm's batching is unchanged.  Each arm is timed twice:
+    # wall-clock (throughput as experienced) and process CPU time (work
+    # actually done -- immune to scheduler preemption, which on small or
+    # shared machines otherwise dominates the wall-clock ratio).  The
+    # reported speedup uses CPU time.
+    seed_engine = _make_engine(kind)  # arm 1: pre-change cost model, per-op
+    engine = _make_engine(kind)  # arm 2: optimized path, batched
+    slice_ops = INGEST_BATCH * max(1, n // (INGEST_BATCH * 16))
+    seed_seconds = seed_cpu = 0.0
+    opt_seconds = opt_cpu = 0.0
+    for start in range(0, n, slice_ops):
+        chunk = ops[start : start + slice_ops]
+        with seed_cost_model(seed_engine.tree):
+            t0 = time.perf_counter()
+            c0 = time.process_time()
+            for op in chunk:
+                if op[0] == "put":
+                    seed_engine.put(op[1], op[2])
+                else:
+                    seed_engine.delete(op[1])
+            seed_cpu += time.process_time() - c0
+            seed_seconds += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        for b in range(0, len(chunk), INGEST_BATCH):
+            engine.apply_batch(chunk[b : b + INGEST_BATCH])
+        opt_cpu += time.process_time() - c0
+        opt_seconds += time.perf_counter() - t0
+    seed_ingest = PhaseResult(n, seed_seconds, seed_cpu)
+    ingest = PhaseResult(n, opt_seconds, opt_cpu)
+
+    # -- equivalence: the optimizations must not change semantics -------
+    before = _state_fingerprint(seed_engine)
+    after = _state_fingerprint(engine)
+    if before != after:
+        raise AssertionError(
+            f"{name}: optimized arm diverged from the seed cost model:\n"
+            f"  seed:      {before}\n  optimized: {after}"
+        )
+    engine.tree.check_invariants()
+
+    # -- get phase: point lookups, half present / half absent -----------
+    rng = Random(seed + 1)
+    live_keys = [op[1] for op in ops if op[0] == "put"]
+    n_get = max(1, int(n * GET_OPS_FRACTION))
+    probes = [
+        live_keys[rng.randrange(len(live_keys))] if rng.random() < 0.5
+        else n * 2 + rng.randrange(n)  # guaranteed absent
+        for _ in range(n_get)
+    ]
+    t0 = time.perf_counter()
+    hits = 0
+    sentinel = object()
+    for key in probes:
+        if engine.get(key, default=sentinel) is not sentinel:
+            hits += 1
+    get_phase = PhaseResult(n_get, time.perf_counter() - t0)
+
+    # -- scan phase: fixed-width range scans ----------------------------
+    scans = spec.get("scan_ops", SCAN_OPS)
+    t0 = time.perf_counter()
+    rows = 0
+    for _ in range(scans):
+        lo = rng.randrange(max(1, n * 2 - SCAN_WIDTH))
+        rows += sum(1 for _ in engine.scan(lo, lo + SCAN_WIDTH))
+    scan_phase = PhaseResult(scans, time.perf_counter() - t0)
+
+    return {
+        "experiment": name,
+        "engine": kind,
+        "ingest_ops": n,
+        "phases": {
+            "ingest_seed_cost_model": seed_ingest.to_dict(),
+            "ingest_optimized": ingest.to_dict(),
+            "get": get_phase.to_dict(),
+            "scan": scan_phase.to_dict(),
+        },
+        "ingest_speedup": round(seed_cpu / opt_cpu, 2) if opt_cpu else float("inf"),
+        "ingest_speedup_wall": round(seed_ingest.seconds / ingest.seconds, 2)
+        if ingest.seconds
+        else float("inf"),
+        "get_hits": hits,
+        "scan_rows": rows,
+        "state": after,
+    }
+
+
+def next_bench_path(directory: Path | None = None) -> Path:
+    """The lowest-numbered unused ``BENCH_<n>.json``."""
+    directory = directory or BENCH_DIR
+    n = 1
+    while (directory / f"BENCH_{n}.json").exists():
+        n += 1
+    return directory / f"BENCH_{n}.json"
+
+
+def run_suite(
+    ingest_ops: int = FULL_INGEST_OPS,
+    quick: bool = False,
+    workers: int | None = None,
+    out: Path | None = None,
+) -> dict[str, Any]:
+    """Run every experiment (in parallel) and archive the results."""
+    if quick:
+        ingest_ops = min(ingest_ops, QUICK_INGEST_OPS)
+    specs = [
+        {
+            "name": exp.name,
+            "engine": exp.engine,
+            "seed": exp.seed,
+            "ingest_ops": ingest_ops,
+            "scan_ops": 50 if quick else SCAN_OPS,
+        }
+        for exp in EXPERIMENTS
+    ]
+    if workers is None:
+        # One worker per experiment, but never more than the machine has
+        # cores: oversubscribed workers time-share and that scheduling
+        # noise leaks into the per-arm wall-clock numbers.
+        try:
+            cpus = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            cpus = os.cpu_count() or 1
+        workers = max(1, min(len(specs), cpus))
+    started = time.perf_counter()
+    if workers == 0:  # serial escape hatch (debugging, constrained CI)
+        results = [run_experiment(spec) for spec in specs]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(run_experiment, specs))
+    wall = time.perf_counter() - started
+
+    payload = {
+        "suite": "perfsuite",
+        "quick": quick,
+        "ingest_ops": ingest_ops,
+        "ingest_batch": INGEST_BATCH,
+        "delete_fraction": DELETE_FRACTION,
+        "workers": workers,
+        "wall_seconds": round(wall, 2),
+        "experiments": results,
+        "min_ingest_speedup": min(r["ingest_speedup"] for r in results),
+    }
+    path = out or next_bench_path()
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    payload["path"] = str(path)
+    return payload
+
+
+def render(payload: dict[str, Any]) -> str:
+    """A human-readable summary table of one suite run."""
+    lines = [
+        f"perfsuite ({'quick' if payload['quick'] else 'full'}): "
+        f"{payload['ingest_ops']} ingest ops/experiment, "
+        f"{payload['wall_seconds']}s wall",
+        f"{'experiment':<20} {'seed ops/s':>12} {'opt ops/s':>12} "
+        f"{'speedup':>8} {'get ops/s':>12} {'scan/s':>8}",
+    ]
+    for r in payload["experiments"]:
+        p = r["phases"]
+        lines.append(
+            f"{r['experiment']:<20} "
+            f"{p['ingest_seed_cost_model']['ops_per_s']:>12,.0f} "
+            f"{p['ingest_optimized']['ops_per_s']:>12,.0f} "
+            f"{r['ingest_speedup']:>7.2f}x "
+            f"{p['get']['ops_per_s']:>12,.0f} "
+            f"{p['scan']['ops_per_s']:>8,.0f}"
+        )
+    lines.append(f"min ingest speedup: {payload['min_ingest_speedup']:.2f}x")
+    if "path" in payload:
+        lines.append(f"archived: {payload['path']}")
+    return "\n".join(lines)

@@ -24,7 +24,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.clock import LogicalClock
 from repro.config import LSMConfig, acheron_config, baseline_config
@@ -153,6 +153,20 @@ class AcheronEngine:
     def delete(self, key: Any) -> None:
         """Logically delete ``key``; FADE bounds its physical purge."""
         self.tree.delete(key)
+
+    def put_many(self, items: Iterable[tuple]) -> int:
+        """Batched puts: ``(key, value)`` or ``(key, value, delete_key)``
+        tuples, applied with amortized per-op overhead (see
+        :meth:`LSMTree.put_many`).  Returns the number applied."""
+        return self.tree.put_many(items)
+
+    def apply_batch(self, ops: Iterable[tuple]) -> int:
+        """Apply a mixed ingest batch: ``("put", key, value[, delete_key])``
+        and ``("delete", key)`` tuples.  Behaviourally identical to issuing
+        the operations one by one, with the WAL appends and per-op
+        bookkeeping amortized across the batch (see
+        :meth:`LSMTree.apply_batch`).  Returns the number applied."""
+        return self.tree.apply_batch(ops)
 
     def get(self, key: Any, default: Any = None) -> Any:
         """Point lookup; ``default`` for missing or deleted keys."""

@@ -63,9 +63,15 @@ class FadeScheduler:
         self.config = config
         self.d_th = config.delete_persistence_threshold
         # (deadline, file_id); entries go stale when files are removed --
-        # validated lazily against _live on pop.
+        # validated lazily against _live on pop, and compacted wholesale
+        # when stale entries dominate (see file_removed).
         self._heap: list[tuple[int, int]] = []
         self._live: dict[int, tuple[SSTableFile, int]] = {}
+        #: Heap size right after the last rebuild; compaction only triggers
+        #: once the heap has grown well past it again, so repeated removals
+        #: against an incompressible heap cannot thrash O(n) rebuilds.
+        self._last_compacted_size = 0
+        self.heap_compactions = 0
         self.expiry_compactions = 0
         self.purge_compactions = 0
 
@@ -114,6 +120,32 @@ class FadeScheduler:
 
     def file_removed(self, file_id: int) -> None:
         self._live.pop(file_id, None)
+        self._maybe_compact_heap()
+
+    def _maybe_compact_heap(self) -> None:
+        """Rebuild the deadline heap when dead entries dominate.
+
+        Long-lived workloads remove far more files than are ever tracked at
+        once; lazy deletion alone lets the heap grow without bound.  The
+        rebuild *filters* the existing heap rather than recomputing
+        deadlines from ``_live``: a moved file may legitimately have two
+        pending heap entries (its pre-move deadline is earlier and fires
+        first), and preserving the live-entry multiset keeps pop order --
+        and therefore compaction timing -- bit-identical to lazy deletion.
+        """
+        heap = self._heap
+        size = len(heap)
+        if (
+            size <= 64
+            or size <= 4 * len(self._live)
+            or size <= 2 * self._last_compacted_size
+        ):
+            return
+        live = self._live
+        self._heap = [item for item in heap if item[1] in live]
+        heapq.heapify(self._heap)
+        self._last_compacted_size = len(self._heap)
+        self.heap_compactions += 1
 
     def tracked_file_count(self) -> int:
         return len(self._live)
@@ -151,22 +183,27 @@ class FadeScheduler:
         leveling invariant restored) -- the tree's maintenance loop
         guarantees that by draining the saturation planner first.
         """
-        expired = self._pop_expired(tree.clock.now())
-        if expired is None:
-            return None
-        file, level_index = expired
-        deepest = tree.deepest_nonempty_level()
-        if self.config.policy is CompactionStyle.LEVELING:
-            task = self._plan_leveling(tree, file, level_index, deepest)
-        else:
-            task = self._plan_tiering(tree, file, level_index, deepest)
-        if task is None:
-            return self.plan(tree)  # stale expiry; look for the next one
-        if task.reason is CompactionReason.BOTTOM_PURGE:
-            self.purge_compactions += 1
-        else:
-            self.expiry_compactions += 1
-        return task
+        # Iterative (not recursive) drain: a long run of stale expiries --
+        # e.g. after a full compaction destroyed every tracked file -- must
+        # not grow the Python stack one frame per stale entry.
+        now = tree.clock.now()
+        while True:
+            expired = self._pop_expired(now)
+            if expired is None:
+                return None
+            file, level_index = expired
+            deepest = tree.deepest_nonempty_level()
+            if self.config.policy is CompactionStyle.LEVELING:
+                task = self._plan_leveling(tree, file, level_index, deepest)
+            else:
+                task = self._plan_tiering(tree, file, level_index, deepest)
+            if task is None:
+                continue  # stale expiry; look for the next one
+            if task.reason is CompactionReason.BOTTOM_PURGE:
+                self.purge_compactions += 1
+            else:
+                self.expiry_compactions += 1
+            return task
 
     def _plan_leveling(
         self,

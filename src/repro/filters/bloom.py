@@ -10,13 +10,26 @@ Hashing uses ``blake2b`` split into two 64-bit halves combined with the
 Kirsch-Mitzenmacher double-hashing scheme, so membership answers are
 deterministic across processes (Python's builtin ``hash`` is salted per
 process and would break reproducibility).
+
+The digest is the expensive part of filter construction, and during a file
+build the *same* key may feed both the file-level filter and a page-level
+(KiWi) filter.  :func:`hash_pair` therefore operates on pre-encoded key
+bytes and :meth:`BloomFilter.from_hash_pairs` accepts pre-computed digest
+pairs, so the builder hashes each key exactly once no matter how many
+filters it lands in.
 """
 
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from hashlib import blake2b
 from typing import Any, Iterable
+
+try:  # vectorized filter construction; pure-Python fallback below
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
 
 
 def _key_bytes(key: Any) -> bytes:
@@ -29,6 +42,28 @@ def _key_bytes(key: Any) -> bytes:
         length = max(1, (key.bit_length() + 8) // 8)
         return key.to_bytes(length, "little", signed=True)
     return repr(key).encode("utf-8")
+
+
+def hash_pair(key_bytes: bytes) -> tuple[int, int]:
+    """The (h1, h2) double-hashing pair for pre-encoded key bytes."""
+    digest = blake2b(key_bytes, digest_size=16).digest()
+    h1 = int.from_bytes(digest[:8], "little")
+    h2 = int.from_bytes(digest[8:], "little") | 1  # odd => full-cycle stride
+    return h1, h2
+
+
+@lru_cache(maxsize=1 << 18)
+def key_hash_pair(key: Any) -> tuple[int, int]:
+    """Memoized :func:`hash_pair` keyed on the key object itself.
+
+    An LSM engine hashes the same key many times over its life: once per
+    filter probe and once per compaction that rewrites the entry (write
+    amplification means an entry is re-filed ~W times).  The digest is
+    pure, so a bounded memo turns all but the first into dict hits.
+    Requires a hashable key; callers fall back to :func:`hash_pair` on
+    ``TypeError`` for exotic key types.
+    """
+    return hash_pair(_key_bytes(key))
 
 
 class BloomFilter:
@@ -61,25 +96,84 @@ class BloomFilter:
     @classmethod
     def build(cls, keys: Iterable[Any], bits_per_key: float) -> "BloomFilter":
         """Build a filter sized for ``keys`` and populate it."""
-        key_list = list(keys)
+        key_list = keys if isinstance(keys, (list, tuple)) else list(keys)
         bloom = cls(len(key_list), bits_per_key)
-        for key in key_list:
-            bloom._add(key)
+        if not bloom.num_bits:
+            return bloom
+        try:
+            pairs = [key_hash_pair(key) for key in key_list]
+        except TypeError:  # unhashable key type: hash without the memo
+            pairs = [hash_pair(_key_bytes(key)) for key in key_list]
+        bloom._set_pairs(pairs)
         return bloom
 
+    @classmethod
+    def from_hash_pairs(
+        cls, pairs: list[tuple[int, int]], bits_per_key: float
+    ) -> "BloomFilter":
+        """Build from pre-computed :func:`hash_pair` digests (one per key).
+
+        Bit-identical to :meth:`build` over the corresponding keys; used by
+        the file builder to share one digest per entry between the
+        file-level and page-level filters.
+        """
+        bloom = cls(len(pairs), bits_per_key)
+        if not bloom.num_bits:
+            return bloom
+        bloom._set_pairs(pairs)
+        return bloom
+
+    def _set_pairs(self, pairs: list[tuple[int, int]]) -> None:
+        # The construction inner loop -- filter builds run once per file
+        # per compaction and dominate the CPU profile of a write-heavy
+        # workload.  The probe sequence is (h1 + i*h2) % m; reducing h1
+        # and h2 modulo m first keeps every intermediate below
+        # num_hashes * m, so the arithmetic fits comfortably in int64 and
+        # the whole batch vectorizes through numpy with *exactly* the same
+        # bit positions as the scalar form (no unsigned wraparound).
+        num_bits = self.num_bits
+        num_hashes = self.num_hashes
+        if (
+            _np is not None
+            and len(pairs) >= 16
+            and num_bits * num_hashes < (1 << 62)
+        ):
+            r1 = _np.fromiter(
+                (p[0] % num_bits for p in pairs), dtype=_np.int64, count=len(pairs)
+            )
+            r2 = _np.fromiter(
+                (p[1] % num_bits for p in pairs), dtype=_np.int64, count=len(pairs)
+            )
+            steps = _np.arange(num_hashes, dtype=_np.int64)
+            idx = (r1[:, None] + steps * r2[:, None]) % num_bits
+            flags = _np.zeros(len(self._bits) * 8, dtype=_np.uint8)
+            flags[idx.ravel()] = 1
+            packed = _np.packbits(flags, bitorder="little")
+            merged = _np.frombuffer(bytes(self._bits), dtype=_np.uint8) | packed
+            self._bits[:] = merged.tobytes()
+            return
+        bits = self._bits
+        probes = range(num_hashes)
+        for h1, h2 in pairs:
+            h = h1
+            for _ in probes:
+                bit = h % num_bits
+                bits[bit >> 3] |= 1 << (bit & 7)
+                h += h2
+
     def _hash_pair(self, key: Any) -> tuple[int, int]:
-        digest = blake2b(_key_bytes(key), digest_size=16).digest()
-        h1 = int.from_bytes(digest[:8], "little")
-        h2 = int.from_bytes(digest[8:], "little") | 1  # odd => full-cycle stride
-        return h1, h2
+        return hash_pair(_key_bytes(key))
+
+    def add_hash(self, h1: int, h2: int) -> None:
+        """Set the bits for one pre-hashed key."""
+        if not self.num_bits:
+            return
+        self._set_pairs([(h1, h2)])
 
     def _add(self, key: Any) -> None:
         if not self.num_bits:
             return
-        h1, h2 = self._hash_pair(key)
-        for i in range(self.num_hashes):
-            bit = (h1 + i * h2) % self.num_bits
-            self._bits[bit >> 3] |= 1 << (bit & 7)
+        self.add_hash(*hash_pair(_key_bytes(key)))
 
     # ------------------------------------------------------------------
     # queries
@@ -91,13 +185,19 @@ class BloomFilter:
         answers True (every lookup must probe the file).
         """
         self.probes += 1
-        if not self.num_bits:
+        num_bits = self.num_bits
+        if not num_bits:
             return True
-        h1, h2 = self._hash_pair(key)
-        for i in range(self.num_hashes):
-            bit = (h1 + i * h2) % self.num_bits
-            if not self._bits[bit >> 3] & (1 << (bit & 7)):
+        try:
+            h, h2 = key_hash_pair(key)
+        except TypeError:  # unhashable key type: hash without the memo
+            h, h2 = hash_pair(_key_bytes(key))
+        bits = self._bits
+        for _ in range(self.num_hashes):
+            bit = h % num_bits
+            if not bits[bit >> 3] & (1 << (bit & 7)):
                 return False
+            h += h2
         return True
 
     @property

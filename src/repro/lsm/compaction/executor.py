@@ -19,11 +19,10 @@ The executor is also where the delete-persistence lifecycle is observed:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import chain
 from typing import TYPE_CHECKING, Iterable
 
-from repro.lsm.entry import Entry
-from repro.lsm.iterator import merge_resolve
+from repro.lsm.entry import Entry, EntryKind
+from repro.lsm.iterator import merge_resolve_list
 from repro.lsm.run import Run, build_files
 from repro.lsm.compaction.task import CompactionTask, OutputPlacement
 from repro.storage.disk import CATEGORY_COMPACTION
@@ -64,26 +63,40 @@ def execute_task(task: CompactionTask, tree: "LSMTree") -> CompactionEvent:
 
     # -- merge, observing the tombstone lifecycle -----------------------
     superseded = 0
+    tombstone_kind = EntryKind.TOMBSTONE
 
     def on_shadowed(loser: Entry, winner: Entry) -> None:
         nonlocal superseded
-        if loser.is_tombstone:
+        if loser.kind is tombstone_kind:
             superseded += 1
             if listener is not None:
                 listener.tombstone_superseded(loser, now)
 
-    sources: list[Iterable[Entry]] = [
-        chain.from_iterable(f.iter_all_entries() for f in inp.files) for inp in task.inputs
-    ]
-    out_entries: list[Entry] = []
-    dropped = 0
-    for entry in merge_resolve(sources, on_shadowed):
-        if task.drop_tombstones and entry.is_tombstone:
-            dropped += 1
-            if listener is not None:
-                listener.tombstone_persisted(entry, now)
+    # Each source is materialized as one flat list: compaction has already
+    # paid for every input page, and flat lists iterate far faster through
+    # the merge than a tower of per-tile generators.
+    sources: list[Iterable[Entry]] = []
+    for inp in task.inputs:
+        if len(inp.files) == 1:
+            sources.append(inp.files[0].all_entries())
         else:
-            out_entries.append(entry)
+            flat: list[Entry] = []
+            for f in inp.files:
+                flat.extend(f.all_entries())
+            sources.append(flat)
+    resolved = merge_resolve_list(sources, on_shadowed)
+    dropped = 0
+    if task.drop_tombstones:
+        out_entries: list[Entry] = []
+        for entry in resolved:
+            if entry.kind is tombstone_kind:
+                dropped += 1
+                if listener is not None:
+                    listener.tombstone_persisted(entry, now)
+            else:
+                out_entries.append(entry)
+    else:
+        out_entries = resolved
 
     # -- build and charge the output -------------------------------------
     new_files = (

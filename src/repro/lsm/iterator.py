@@ -41,8 +41,28 @@ def merge_resolve(
     if len(sources) == 1:
         yield from sources[0]
         return
+    if len(sources) == 2:
+        # Nearly every compaction merges exactly two streams (the moved
+        # file and its overlap, or a flush and the level-1 run), so the
+        # general heap -- with its per-entry tuple key -- is bypassed for
+        # a direct two-pointer merge.
+        yield from _merge_resolve_2(sources[0], sources[1], on_shadowed)
+        return
 
-    merged = heapq.merge(*sources, key=lambda e: (e.key, -e.seqno))
+    merged: Iterable[Entry]
+    if all(type(s) is list for s in sources):
+        # Compaction hands over materialized lists: concatenating and
+        # timsorting beats a Python-level k-way heap merge (the comparison
+        # loop runs in C and exploits the pre-sorted runs).  ``(key,
+        # -seqno)`` pairs are unique, so the result is exactly the heap
+        # merge's order.
+        flat: list[Entry] = []
+        for s in sources:
+            flat.extend(s)
+        flat.sort(key=lambda e: (e.key, -e.seqno))
+        merged = flat
+    else:
+        merged = heapq.merge(*sources, key=lambda e: (e.key, -e.seqno))
     current: Entry | None = None
     for entry in merged:
         if current is None or entry.key != current.key:
@@ -55,6 +75,85 @@ def merge_resolve(
                 on_shadowed(entry, current)
     if current is not None:
         yield current
+
+
+def merge_resolve_list(
+    sources: list[Iterable[Entry]],
+    on_shadowed: ShadowCallback | None = None,
+) -> list[Entry]:
+    """:func:`merge_resolve`, materialized.
+
+    Compactions consume the whole resolved stream anyway, so giving them a
+    list skips the generator protocol's per-entry ``next`` dispatch.  The
+    winners and the ``on_shadowed`` callback order are identical to
+    :func:`merge_resolve`.
+    """
+    if not sources:
+        return []
+    if len(sources) == 1:
+        s = sources[0]
+        return s if type(s) is list else list(s)
+    if len(sources) == 2:
+        return list(_merge_resolve_2(sources[0], sources[1], on_shadowed))
+    flat: list[Entry] = []
+    for s in sources:
+        flat.extend(s)
+    flat.sort(key=lambda e: (e.key, -e.seqno))
+    out: list[Entry] = []
+    append = out.append
+    current: Entry | None = None
+    for entry in flat:
+        if current is None or entry.key != current.key:
+            if current is not None:
+                append(current)
+            current = entry
+        elif on_shadowed is not None:
+            on_shadowed(entry, current)
+    if current is not None:
+        append(current)
+    return out
+
+
+def _merge_resolve_2(
+    source_a: Iterable[Entry],
+    source_b: Iterable[Entry],
+    on_shadowed: ShadowCallback | None,
+) -> Iterator[Entry]:
+    """Two-source :func:`merge_resolve`, without the heap.
+
+    Keys are unique within each source, so a key can collide at most once
+    across the two streams; after emitting the smaller key it can never
+    reappear, which makes the straight two-pointer walk safe.
+    """
+    ia, ib = iter(source_a), iter(source_b)
+    ea = next(ia, None)
+    eb = next(ib, None)
+    while ea is not None and eb is not None:
+        ka = ea.key
+        kb = eb.key
+        if ka < kb:
+            yield ea
+            ea = next(ia, None)
+        elif kb < ka:
+            yield eb
+            eb = next(ib, None)
+        else:
+            # Two versions of one key: the larger seqno wins.
+            if ea.seqno > eb.seqno:
+                winner, loser = ea, eb
+            else:
+                winner, loser = eb, ea
+            if on_shadowed is not None:
+                on_shadowed(loser, winner)
+            yield winner
+            ea = next(ia, None)
+            eb = next(ib, None)
+    if ea is not None:
+        yield ea
+        yield from ia
+    elif eb is not None:
+        yield eb
+        yield from ib
 
 
 def merge_resolve_desc(

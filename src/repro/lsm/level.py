@@ -5,11 +5,20 @@ Point lookups probe runs in that order and stop at the first hit, which is
 what makes the ordering load-bearing.  Leveling keeps at most one run per
 level (two only transiently, between a flush/merge landing and the planner
 collapsing them); tiering accumulates up to ``size_ratio`` runs.
+
+Accounting is **incremental**: every mutation adjusts running totals, so
+``entry_count`` / ``tombstone_count`` / ``page_count`` are O(1) attribute
+reads.  The compaction planner and FADE consult them on every ingest;
+re-deriving them by walking runs and files (the seed behaviour) made
+trigger evaluation the most expensive part of the write path.  Runs are
+immutable (every structural change installs a new :class:`Run`), which is
+what makes the running totals safe.  ``check_invariants`` on the tree
+asserts cache coherence against :meth:`recompute_counts`.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.lsm.run import Run, SSTableFile
 
@@ -17,36 +26,72 @@ from repro.lsm.run import Run, SSTableFile
 class Level:
     """One on-disk level (1-based index; the memtable is 'level 0')."""
 
-    __slots__ = ("index", "runs")
+    __slots__ = (
+        "index",
+        "runs",
+        "entry_count",
+        "tombstone_count",
+        "page_count",
+        "observer",
+    )
 
-    def __init__(self, index: int) -> None:
+    def __init__(
+        self, index: int, observer: Callable[[], None] | None = None
+    ) -> None:
         if index < 1:
             raise ValueError(f"on-disk levels are 1-based, got {index}")
         self.index = index
         self.runs: list[Run] = []
+        self.entry_count = 0
+        self.tombstone_count = 0
+        self.page_count = 0
+        #: Called after every structural mutation; the tree uses it to
+        #: invalidate its deepest-level cache and mark maintenance dirty.
+        self.observer = observer
 
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
     def add_newest_run(self, run: Run) -> None:
         self.runs.insert(0, run)
+        self._account(run, 1)
 
     def add_oldest_run(self, run: Run) -> None:
         self.runs.append(run)
+        self._account(run, 1)
 
     def remove_run(self, run: Run) -> None:
         self.runs.remove(run)
+        self._account(run, -1)
 
     def replace_run(self, old: Run, new: Run | None) -> None:
         """Swap ``old`` for ``new`` in place (or drop it when new is None)."""
         idx = self.runs.index(old)
         if new is None:
             del self.runs[idx]
+            self._account(old, -1)
         else:
             self.runs[idx] = new
+            self.entry_count += new.entry_count - old.entry_count
+            self.tombstone_count += new.tombstone_count - old.tombstone_count
+            self.page_count += new.page_count - old.page_count
+            if self.observer is not None:
+                self.observer()
 
     def clear(self) -> None:
         self.runs.clear()
+        self.entry_count = 0
+        self.tombstone_count = 0
+        self.page_count = 0
+        if self.observer is not None:
+            self.observer()
+
+    def _account(self, run: Run, sign: int) -> None:
+        self.entry_count += sign * run.entry_count
+        self.tombstone_count += sign * run.tombstone_count
+        self.page_count += sign * run.page_count
+        if self.observer is not None:
+            self.observer()
 
     # ------------------------------------------------------------------
     # accounting
@@ -56,20 +101,22 @@ class Level:
         return len(self.runs)
 
     @property
-    def entry_count(self) -> int:
-        return sum(r.entry_count for r in self.runs)
-
-    @property
-    def tombstone_count(self) -> int:
-        return sum(r.tombstone_count for r in self.runs)
-
-    @property
-    def page_count(self) -> int:
-        return sum(r.page_count for r in self.runs)
-
-    @property
     def is_empty(self) -> bool:
         return not self.runs
+
+    def recompute_counts(self) -> tuple[int, int, int]:
+        """(entries, tombstones, pages) re-derived from the files.
+
+        The ground truth the cached totals must match; used by invariant
+        checks and by the perf suite's legacy (pre-cache) cost model.
+        """
+        entries = tombstones = pages = 0
+        for run in self.runs:
+            for file in run.files:
+                entries += file.entry_count
+                tombstones += file.tombstone_count
+                pages += file.page_count
+        return entries, tombstones, pages
 
     def iter_files(self) -> Iterator[SSTableFile]:
         for run in self.runs:

@@ -37,16 +37,22 @@ class Memtable:
     # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
-    def add(self, entry: Entry) -> None:
-        """Insert ``entry``, replacing any older version of the same key."""
-        old = self._map.get(entry.key)
+    def add(self, entry: Entry) -> Entry | None:
+        """Insert ``entry``, replacing any older version of the same key.
+
+        Returns the displaced entry (which may be a tombstone -- the
+        caller reports superseded deletes to the lifecycle listener), or
+        None when the key was not buffered.  One skip-list traversal
+        serves the lookup and the insert; this path runs on every write.
+        """
+        old = self._map.insert(entry.key, entry)
         if old is not None and old.is_tombstone:
             self._tombstones -= 1
-        self._map.insert(entry.key, entry)
         if entry.is_tombstone:
             self._tombstones += 1
             if self.first_tombstone_time is None:
                 self.first_tombstone_time = entry.write_time
+        return old
 
     # ------------------------------------------------------------------
     # read path

@@ -21,7 +21,7 @@ import heapq
 from typing import Any, Iterator
 
 from repro.config import LSMConfig
-from repro.filters.bloom import BloomFilter
+from repro.filters.bloom import BloomFilter, _key_bytes, hash_pair, key_hash_pair
 from repro.filters.fence import FenceIndex
 from repro.lsm.entry import Entry
 from repro.lsm.page import DeleteTile, Page, weave_tile
@@ -130,9 +130,28 @@ class SSTableFile:
             for i in range(0, len(entries), tile_span)
         ]
         bits = config.bloom_bits_for_level(level)
-        bloom = BloomFilter.build((e.key for e in entries), bits)
-        if config.kiwi_page_filters and config.pages_per_tile > 1:
-            attach_page_filters(tiles, bits)
+        want_page_filters = config.kiwi_page_filters and config.pages_per_tile > 1
+        if bits <= 0:
+            bloom = BloomFilter(len(entries), bits)
+            return cls(file_id, tiles, bloom, created_at)
+        try:
+            pairs = [key_hash_pair(e.key) for e in entries]
+        except TypeError:  # unhashable key type: hash without the memo
+            pairs = [hash_pair(_key_bytes(e.key)) for e in entries]
+        bloom = BloomFilter.from_hash_pairs(pairs, bits)
+        if want_page_filters:
+            # The digests feed both the file-level filter and the per-page
+            # (KiWi) filters.  The weave reorders the same Entry objects
+            # into pages, so identity is a safe join key even for
+            # non-hashable key types.
+            pair_of = {id(e): p for e, p in zip(entries, pairs)}
+            for tile in tiles:
+                if len(tile.pages) <= 1:
+                    continue  # a single candidate page gains nothing
+                for page in tile.pages:
+                    page.bloom = BloomFilter.from_hash_pairs(
+                        [pair_of[id(e)] for e in page.entries], bits
+                    )
         return cls(file_id, tiles, bloom, created_at)
 
     @classmethod
@@ -237,14 +256,25 @@ class SSTableFile:
                 if entry.key <= hi:
                     yield entry
 
-    def iter_all_entries(self) -> Iterator[Entry]:
-        """All entries in sort-key order, *without* charging I/O.
+    def all_entries(self) -> list[Entry]:
+        """All entries in sort-key order as a list, *without* charging I/O.
 
         Compaction charges its inputs as one bulk sequential read
         (``page_count`` pages) before calling this; see the executor.
+        Single-tile files (and single-page tiles) return internal lists
+        directly -- callers must not mutate the result.
         """
-        for tile in self.tiles:
-            yield from tile.iter_entries_sorted()
+        tiles = self.tiles
+        if len(tiles) == 1:
+            return tiles[0].entries_sorted()
+        out: list[Entry] = []
+        for tile in tiles:
+            out.extend(tile.entries_sorted())
+        return out
+
+    def iter_all_entries(self) -> Iterator[Entry]:
+        """Iterator form of :meth:`all_entries` (kept for read paths)."""
+        return iter(self.all_entries())
 
     def check_invariants(self) -> None:
         """Structural self-check used by tests (AssertionError on failure)."""
@@ -279,14 +309,18 @@ def attach_page_filters(tiles: list[DeleteTile], bits_per_key: float) -> None:
 
 
 def _oldest_tombstone_time(tiles: list[DeleteTile]) -> int | None:
+    """Oldest tombstone ``write_time`` across ``tiles``.
+
+    Each page caches its own oldest tombstone (computed in the same pass
+    that counts tombstones at page construction), so this is O(pages) with
+    no per-entry work -- file builds and rebuilds never rescan entries.
+    """
     oldest: int | None = None
     for tile in tiles:
         for page in tile.pages:
-            if not page.tombstone_count:
-                continue
-            for entry in page.entries:
-                if entry.is_tombstone and (oldest is None or entry.write_time < oldest):
-                    oldest = entry.write_time
+            page_oldest = page.oldest_tombstone_time
+            if page_oldest is not None and (oldest is None or page_oldest < oldest):
+                oldest = page_oldest
     return oldest
 
 
@@ -330,9 +364,16 @@ class FileIdAllocator:
 
 
 class Run:
-    """A sort-key-partitioned sequence of non-overlapping files."""
+    """A sort-key-partitioned sequence of non-overlapping files.
 
-    __slots__ = ("files", "file_fence")
+    Files are immutable and the file list is fixed at construction (every
+    structural change builds a new :class:`Run`), so the aggregate counts
+    are computed once here and served as plain attributes -- the planner
+    and FADE consult them on every ingest, and re-summing per operation
+    was the dominant cost of the write path.
+    """
+
+    __slots__ = ("files", "file_fence", "entry_count", "tombstone_count", "page_count")
 
     def __init__(self, files: list[SSTableFile]) -> None:
         if not files:
@@ -346,21 +387,9 @@ class Run:
                 )
         self.files = ordered
         self.file_fence = FenceIndex.over(ordered, "min_key", "max_key")
-
-    # ------------------------------------------------------------------
-    # accounting
-    # ------------------------------------------------------------------
-    @property
-    def entry_count(self) -> int:
-        return sum(f.entry_count for f in self.files)
-
-    @property
-    def tombstone_count(self) -> int:
-        return sum(f.tombstone_count for f in self.files)
-
-    @property
-    def page_count(self) -> int:
-        return sum(f.page_count for f in self.files)
+        self.entry_count = sum(f.entry_count for f in ordered)
+        self.tombstone_count = sum(f.tombstone_count for f in ordered)
+        self.page_count = sum(f.page_count for f in ordered)
 
     @property
     def min_key(self) -> Any:

@@ -46,8 +46,12 @@ class SkipList:
     # internals
     # ------------------------------------------------------------------
     def _random_level(self) -> int:
+        # getrandbits(2) == 0 is the same 1/4 coin as randrange(4) but
+        # skips the Python-level rejection-sampling layer of randrange --
+        # this runs on every insert, i.e. on every engine write.
         level = 1
-        while level < _MAX_LEVEL and self._rng.randrange(_P_INV) == 0:
+        getrandbits = self._rng.getrandbits
+        while level < _MAX_LEVEL and getrandbits(2) == 0:
             level += 1
         return level
 
@@ -66,13 +70,21 @@ class SkipList:
     # ------------------------------------------------------------------
     # mutating API
     # ------------------------------------------------------------------
-    def insert(self, key: Any, value: Any) -> bool:
-        """Insert or replace ``key``.  Returns True when the key was new."""
+    def insert(self, key: Any, value: Any) -> Any:
+        """Insert or replace ``key``.
+
+        Returns the value the key previously held, or ``None`` when the
+        key is new (a stored ``None`` is indistinguishable from absence in
+        the return value; the engine only stores entries).  Returning the
+        displaced value lets the memtable detect replaced tombstones in
+        the same traversal that performs the insert.
+        """
         update = self._find_predecessors(key)
         candidate = update[0].forward[0]
         if candidate is not None and candidate.key == key:
+            old = candidate.value
             candidate.value = value
-            return False
+            return old
 
         level = self._random_level()
         if level > self._level:
@@ -82,7 +94,7 @@ class SkipList:
             node.forward[lvl] = update[lvl].forward[lvl]
             update[lvl].forward[lvl] = node
         self._size += 1
-        return True
+        return None
 
     def remove(self, key: Any) -> bool:
         """Physically remove ``key``.  Returns True when it was present."""

@@ -25,7 +25,7 @@ operation (put or delete).  Reads do not advance time; call
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.clock import LogicalClock
 from repro.config import LSMConfig
@@ -84,6 +84,18 @@ class LSMTree:
         }
         self._levels: list[Level] = []
         self._seqno = 0
+        #: Cache of :meth:`deepest_nonempty_level`, invalidated whenever a
+        #: level's run list changes (levels call back via their observer).
+        self._deepest_cache: int | None = None
+        #: True when the level structure may have changed since the last
+        #: quiescent maintenance pass.  While clean, ``maintain()`` skips
+        #: the planner entirely (the saturation triggers are functions of
+        #: structure alone, so an unchanged tree cannot need work).
+        self._maintenance_dirty = True
+        #: Escape hatch for the perf suite: set False to force every
+        #: ``maintain()`` call through the full planner evaluation,
+        #: reproducing the pre-cache write-path cost for comparison runs.
+        self.maintenance_fast_path = True
         self._planner = SaturationPlanner(config)
         self._fade = None
         if config.fade_enabled:
@@ -208,18 +220,131 @@ class LSMTree:
             self.listener.tombstone_registered(entry, now)
         self._ingest(entry)
 
+    def put_many(self, items: Iterable[tuple]) -> int:
+        """Batched :meth:`put`: ``items`` are ``(key, value)`` or
+        ``(key, value, delete_key)`` tuples; returns how many were applied.
+
+        Semantically identical to issuing the puts one by one -- same final
+        tree shape, counters, compaction log, and simulated I/O -- but the
+        per-operation overhead (WAL appends, open/writable checks, call
+        layering) is amortized across the batch.  See :meth:`apply_batch`
+        for durability semantics.
+        """
+        return self.apply_batch(("put", *item) for item in items)
+
+    def apply_batch(self, ops: Iterable[tuple]) -> int:
+        """Apply a batch of ingest operations; returns how many ran.
+
+        Each op is ``("put", key, value)``, ``("put", key, value,
+        delete_key)``, or ``("delete", key)``.  Flush and maintenance
+        triggers are evaluated after every operation exactly as in the
+        per-op path (both are O(1) checks), so batching never changes
+        engine behaviour -- the amortization is in WAL appends (buffered
+        and written in one call; entries that flush within the batch are
+        durable via their SSTables and never touch the WAL at all) and in
+        skipped per-op bookkeeping.
+
+        Durability note: in durable mode the batch is acknowledged when
+        this method returns; a crash mid-batch may lose the tail of the
+        batch (per-op ``put`` narrows that window to one operation).
+        """
+        self._check_open()
+        self._check_writable()
+        wal = self._wal
+        pending: list[Entry] = []
+        memtable = self.memtable
+        listener = self.listener
+        clock = self.clock
+        counters = self.counters
+        config = self.config
+        fade = self._fade
+        fast = self.maintenance_fast_path
+        make_put = Entry.put
+        make_tombstone = Entry.tombstone
+        clock_now = clock.now
+        clock_tick = clock.tick
+        memtable_add = memtable.add
+        # ``_flush`` drains the skip list in place (never rebinds it), so
+        # the fill check can read it directly instead of going through the
+        # ``is_full`` property on every operation.
+        mt_map = memtable._map
+        capacity = memtable.capacity
+        put_bytes = config.entry_bytes(is_tombstone=False)
+        tombstone_bytes = config.entry_bytes(is_tombstone=True)
+        puts = deletes = ingested = 0
+        count = 0
+        try:
+            for op in ops:
+                kind = op[0]
+                now = clock_now()
+                seqno = self._seqno + 1
+                self._seqno = seqno
+                if kind == "put":
+                    entry = make_put(
+                        op[1],
+                        op[2],
+                        seqno,
+                        now,
+                        op[3] if len(op) > 3 else None,
+                    )
+                    puts += 1
+                    ingested += put_bytes
+                elif kind == "delete":
+                    entry = make_tombstone(op[1], seqno, now)
+                    deletes += 1
+                    ingested += tombstone_bytes
+                    if listener is not None:
+                        listener.tombstone_registered(entry, now)
+                else:
+                    raise ValueError(f"unknown batch op kind {kind!r}")
+                if wal is not None:
+                    pending.append(entry)
+                displaced = memtable_add(entry)
+                if displaced is not None and displaced.is_tombstone and listener is not None:
+                    listener.tombstone_superseded(displaced, now)
+                clock_tick()
+                count += 1
+                # Inline _maybe_flush: same O(1) checks, but entries that
+                # flush here are persisted by the flush itself, so their
+                # buffered WAL records are dropped unwritten.
+                if len(mt_map) >= capacity:
+                    pending.clear()
+                    self._flush()
+                elif fade is not None and memtable.first_tombstone_time is not None:
+                    deadline = fade.buffer_deadline(
+                        memtable.first_tombstone_time, self.deepest_nonempty_level()
+                    )
+                    if clock_now() >= deadline:
+                        pending.clear()
+                        self._flush()
+                # Inline maintain()'s fast path: when nothing structural
+                # changed and no expiry is due, maintain() would return
+                # without planning -- skip even the call.
+                if (
+                    not fast
+                    or self._maintenance_dirty
+                    or (fade is not None and self._fade_deadline_due())
+                ):
+                    self.maintain()
+        finally:
+            counters["puts"] += puts
+            counters["deletes"] += deletes
+            counters["ingested_bytes"] += ingested
+            if wal is not None and pending:
+                wal.append_many(pending)
+        return count
+
     def _next_seqno(self) -> int:
         self._seqno += 1
         return self._seqno
 
     def _ingest(self, entry: Entry) -> None:
         self._check_writable()
-        displaced = self.memtable.get(entry.key)
-        if displaced is not None and displaced.is_tombstone and self.listener is not None:
-            self.listener.tombstone_superseded(displaced, self.clock.now())
         if self._wal is not None:
             self._wal.append(entry)
-        self.memtable.add(entry)
+        displaced = self.memtable.add(entry)
+        if displaced is not None and displaced.is_tombstone and self.listener is not None:
+            self.listener.tombstone_superseded(displaced, self.clock.now())
         self.clock.tick()
         self._maybe_flush()
         self.maintain()
@@ -271,8 +396,21 @@ class LSMTree:
         against a structurally quiescent tree; expiry tasks then run until
         no deadline is due.  All work is synchronous and instantaneous in
         simulated time (the clock only moves on ingestion).
+
+        Cheap-trigger fast path: the saturation planner is a pure function
+        of the level structure, so if nothing structural changed since the
+        last quiescent pass (flush, compaction, secondary delete) and no
+        FADE deadline has come due, the full planner evaluation is skipped
+        -- an O(1) flag check plus an O(1) heap peek instead of a walk over
+        every level.  This is what makes per-operation maintenance free.
         """
         self._check_open()
+        if (
+            self.maintenance_fast_path
+            and not self._maintenance_dirty
+            and not self._fade_deadline_due()
+        ):
+            return 0
         executed = 0
         while True:
             task = self._planner.plan(self)
@@ -283,9 +421,19 @@ class LSMTree:
             event = execute_task(task, self)
             self.compaction_log.append(event)
             executed += 1
+        # Quiescent: no saturation trigger fires and no expiry is due, so
+        # the next maintain() may skip planning until structure changes.
+        self._maintenance_dirty = False
         if executed:
             self._persist_manifest()
         return executed
+
+    def _fade_deadline_due(self) -> bool:
+        """True when the earliest FADE deadline is at or before now (O(1))."""
+        if self._fade is None:
+            return False
+        deadline = self._fade.next_deadline()
+        return deadline is not None and deadline <= self.clock.now()
 
     def full_compaction(self) -> CompactionEvent | None:
         """Merge the entire tree into a single bottom run, purging deletes.
@@ -386,19 +534,35 @@ class LSMTree:
         if index < 1:
             raise ValueError(f"on-disk levels are 1-based, got {index}")
         while len(self._levels) < index:
-            self._levels.append(Level(len(self._levels) + 1))
+            self._levels.append(
+                Level(len(self._levels) + 1, observer=self._on_structure_change)
+            )
         return self._levels[index - 1]
+
+    def _on_structure_change(self) -> None:
+        """A level's run list changed: invalidate structure-derived caches."""
+        self._deepest_cache = None
+        self._maintenance_dirty = True
 
     def iter_levels(self) -> Iterator[Level]:
         """Existing levels, shallow to deep (some may be empty)."""
         return iter(self._levels)
 
     def deepest_nonempty_level(self) -> int:
-        """Index of the deepest level holding data, or 0 when none do."""
-        for level in reversed(self._levels):
-            if not level.is_empty:
-                return level.index
-        return 0
+        """Index of the deepest level holding data, or 0 when none do.
+
+        O(1) between structural changes: the scan result is cached and
+        invalidated by the level observer on any run-list mutation.
+        """
+        cached = self._deepest_cache
+        if cached is None:
+            cached = 0
+            for level in reversed(self._levels):
+                if level.runs:
+                    cached = level.index
+                    break
+            self._deepest_cache = cached
+        return cached
 
     @property
     def entry_count_on_disk(self) -> int:
@@ -532,9 +696,31 @@ class LSMTree:
     def check_invariants(self) -> None:
         """Deep structural self-check (tests; AssertionError on failure)."""
         for level in self._levels:
+            # Cache coherence: the incremental counters must equal a fresh
+            # recomputation from the (immutable) files at all times.
+            entries, tombstones, pages = level.recompute_counts()
+            assert level.entry_count == entries, (
+                f"L{level.index} cached entry_count {level.entry_count} != {entries}"
+            )
+            assert level.tombstone_count == tombstones, (
+                f"L{level.index} cached tombstone_count "
+                f"{level.tombstone_count} != {tombstones}"
+            )
+            assert level.page_count == pages, (
+                f"L{level.index} cached page_count {level.page_count} != {pages}"
+            )
             for run in level.runs:
+                assert run.entry_count == sum(f.entry_count for f in run.files)
+                assert run.tombstone_count == sum(f.tombstone_count for f in run.files)
+                assert run.page_count == sum(f.page_count for f in run.files)
                 for file in run.files:
                     file.check_invariants()
+        fresh_deepest = max(
+            (level.index for level in self._levels if level.runs), default=0
+        )
+        assert self.deepest_nonempty_level() == fresh_deepest, (
+            f"cached deepest level {self.deepest_nonempty_level()} != {fresh_deepest}"
+        )
         # Per-key version ordering: shallower copies must be newer.
         best_seqno: dict[Any, int] = {}
         for entry in self.memtable:

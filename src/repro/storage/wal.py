@@ -53,6 +53,26 @@ class WriteAheadLog:
             os.fsync(self._fh.fileno())
         self.records_appended += 1
 
+    def append_many(self, entries: list[Entry]) -> None:
+        """Append a batch of entries with one write, flush, and (optional)
+        fsync -- the record framing is identical to per-entry appends, so
+        replay cannot tell the difference."""
+        if not entries:
+            return
+        if self._fh.closed:
+            raise WALError(f"WAL {self.path} is closed")
+        buffer = bytearray()
+        for entry in entries:
+            payload = bytearray()
+            encode_entry(entry, payload)
+            buffer += _frame.pack(len(payload), zlib.crc32(payload))
+            buffer += payload
+        self._fh.write(buffer)
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+        self.records_appended += len(entries)
+
     def truncate(self) -> None:
         """Discard all records (called after the memtable is persisted)."""
         if self._fh.closed:

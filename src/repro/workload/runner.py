@@ -61,34 +61,100 @@ class WorkloadResult:
         return self.operations / total_s if total_s else float("inf")
 
 
+#: Operation kinds that the engine's batch API can absorb.
+_BATCHABLE = frozenset({OpKind.INSERT, OpKind.UPDATE, OpKind.POINT_DELETE})
+
+
 def run_workload(
     engine: "AcheronEngine",
     operations: Iterable[Operation],
     secondary_delete_window: float = 0.05,
+    ingest_batch: int | None = None,
 ) -> WorkloadResult:
     """Execute ``operations`` against ``engine`` with per-kind accounting.
 
     ``secondary_delete_window``: a SECONDARY_RANGE_DELETE op targets the
     oldest this-fraction of the elapsed time domain (resolved against the
     engine clock at execution, matching the "purge old data" use case).
+
+    ``ingest_batch``: when set (>= 2), consecutive operations of the same
+    ingest kind (insert/update/point-delete) are grouped into batches of at
+    most this size and applied through :meth:`AcheronEngine.apply_batch`.
+    The engine guarantees batch application is behaviourally identical to
+    per-op application, so results (including simulated I/O) are unchanged;
+    only the Python-level overhead drops.  Per-kind attribution is exact
+    because each batch is homogeneous in kind.
     """
     result = WorkloadResult()
     stats = engine.disk.stats
     started = time.perf_counter()
-    for op in operations:
+    if ingest_batch is not None and ingest_batch >= 2:
+        _run_batched(engine, operations, secondary_delete_window, ingest_batch, result)
+    else:
+        for op in operations:
+            _run_one(engine, op, secondary_delete_window, result)
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+def _run_one(
+    engine: "AcheronEngine",
+    op: Operation,
+    window: float,
+    result: WorkloadResult,
+) -> None:
+    stats = engine.disk.stats
+    before_read = stats.pages_read
+    before_written = stats.pages_written
+    before_us = stats.modeled_us
+    returned = _apply(engine, op, window)
+    agg = result.kind(op.kind)
+    agg.count += 1
+    agg.pages_read += stats.pages_read - before_read
+    agg.pages_written += stats.pages_written - before_written
+    agg.modeled_us += stats.modeled_us - before_us
+    agg.results_returned += returned
+    result.operations += 1
+
+
+def _run_batched(
+    engine: "AcheronEngine",
+    operations: Iterable[Operation],
+    window: float,
+    batch_size: int,
+    result: WorkloadResult,
+) -> None:
+    pending: list[Operation] = []
+
+    def drain() -> None:
+        if not pending:
+            return
+        kind = pending[0].kind
+        stats = engine.disk.stats
         before_read = stats.pages_read
         before_written = stats.pages_written
         before_us = stats.modeled_us
-        returned = _apply(engine, op, secondary_delete_window)
-        agg = result.kind(op.kind)
-        agg.count += 1
+        if kind is OpKind.POINT_DELETE:
+            engine.apply_batch(("delete", op.key) for op in pending)
+        else:
+            engine.put_many((op.key, op.value) for op in pending)
+        agg = result.kind(kind)
+        agg.count += len(pending)
         agg.pages_read += stats.pages_read - before_read
         agg.pages_written += stats.pages_written - before_written
         agg.modeled_us += stats.modeled_us - before_us
-        agg.results_returned += returned
-        result.operations += 1
-    result.wall_seconds = time.perf_counter() - started
-    return result
+        result.operations += len(pending)
+        pending.clear()
+
+    for op in operations:
+        if op.kind in _BATCHABLE:
+            if pending and (pending[0].kind is not op.kind or len(pending) >= batch_size):
+                drain()
+            pending.append(op)
+            continue
+        drain()
+        _run_one(engine, op, window, result)
+    drain()
 
 
 def _apply(engine: "AcheronEngine", op: Operation, window: float) -> int:

@@ -19,7 +19,7 @@ class TestBasics:
 
     def test_insert_and_get(self):
         sl = SkipList()
-        assert sl.insert(5, "five") is True
+        assert sl.insert(5, "five") is None
         assert sl.get(5) == "five"
         assert 5 in sl
         assert len(sl) == 1
@@ -27,7 +27,7 @@ class TestBasics:
     def test_insert_replaces_in_place(self):
         sl = SkipList()
         sl.insert(5, "old")
-        assert sl.insert(5, "new") is False
+        assert sl.insert(5, "new") == "old"
         assert sl.get(5) == "new"
         assert len(sl) == 1
 
