@@ -9,6 +9,9 @@ Five subcommands mirror the ways the demonstration was driven:
   ops are issued) and print its dashboards;
 * ``verify``   -- run the store doctor against a durable directory; exit
   status 1 when corruption is found;
+* ``scrub``    -- checksum every SSTable and validate the manifest's
+  integrity envelope (the periodic media-scrubber pass); exit status 1
+  when any checksum fails;
 * ``shell``    -- the hands-on mode: an interactive prompt over one
   engine (put/get/del/purge/dashboards), reading stdin;
 * ``record``   -- materialize a generated workload into a checksummed
@@ -27,7 +30,7 @@ from repro.config import CompactionStyle
 from repro.core.engine import AcheronEngine
 from repro.demo.inspector import TreeInspector
 from repro.demo.scenarios import run_side_by_side
-from repro.tools.doctor import diagnose_store
+from repro.tools.doctor import diagnose_store, scrub_store
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.runner import run_workload
 from repro.workload.spec import WorkloadSpec
@@ -77,6 +80,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     verify = sub.add_parser("verify", help="run the store doctor (exit 1 on corruption)")
     verify.add_argument("directory")
+
+    scrub = sub.add_parser(
+        "scrub", help="checksum all sstables + validate the manifest (exit 1 on corruption)"
+    )
+    scrub.add_argument("directory")
 
     shell = sub.add_parser("shell", help="interactive engine shell (reads stdin)")
     shell.add_argument("--engine", choices=["baseline", "acheron"], default="acheron")
@@ -181,6 +189,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.healthy else 1
 
 
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    report = scrub_store(args.directory)
+    print(report.render())
+    return 0 if report.healthy else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit status."""
     args = _build_parser().parse_args(argv)
@@ -189,6 +203,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "workload": _cmd_workload,
         "inspect": _cmd_inspect,
         "verify": _cmd_verify,
+        "scrub": _cmd_scrub,
         "shell": _cmd_shell,
         "record": _cmd_record,
     }

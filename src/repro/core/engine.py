@@ -93,6 +93,9 @@ class AcheronEngine:
         clock: LogicalClock | None = None,
         track_persistence: bool = True,
         read_only: bool = False,
+        wal_sync: bool = False,
+        faults: Any = None,
+        degraded_ok: bool = False,
     ) -> None:
         if config is None and directory is not None:
             # A durable store is self-describing: prefer its recorded
@@ -110,7 +113,13 @@ class AcheronEngine:
         )
         if directory is not None:
             self.tree = LSMTree.open(
-                self.config, directory, listener=self.tracker, read_only=read_only
+                self.config,
+                directory,
+                listener=self.tracker,
+                wal_sync=wal_sync,
+                read_only=read_only,
+                faults=faults,
+                degraded_ok=degraded_ok,
             )
         else:
             if read_only:
@@ -274,6 +283,15 @@ class AcheronEngine:
             "tombstones_on_disk": amp.tombstones_on_disk,
             "logically_dead_bytes_on_disk": dead_bytes,
         }
+
+    @property
+    def degraded(self) -> bool:
+        """True when recovery skipped corrupt files (read-only salvage)."""
+        return self.tree.degraded
+
+    def verify_invariants(self) -> None:
+        """Integrity audit of the live tree (see :meth:`LSMTree.verify_invariants`)."""
+        self.tree.verify_invariants()
 
     @property
     def disk(self) -> Any:

@@ -122,6 +122,8 @@ def kiwi_range_delete(tree: "LSMTree", lo: int, hi: int) -> SecondaryDeleteRepor
                 level.replace_run(run, Run(new_files) if new_files else None)
 
     tree._persist_manifest()  # noqa: SLF001 - core module, by design
+    if report.memtable_entries_deleted:
+        tree._sync_wal_with_memtable()  # noqa: SLF001 - core module, by design
     report.io = tree.disk.delta_since(before)
     return report
 
@@ -240,5 +242,7 @@ def full_rewrite_delete(tree: "LSMTree", lo: int, hi: int) -> SecondaryDeleteRep
                 level.replace_run(run, None)
 
     tree._persist_manifest()  # noqa: SLF001 - core module, by design
+    if report.memtable_entries_deleted:
+        tree._sync_wal_with_memtable()  # noqa: SLF001 - core module, by design
     report.io = tree.disk.delta_since(before)
     return report

@@ -120,6 +120,15 @@ class PersistenceTracker:
         """Age of every unpersisted delete (the privacy-exposure view)."""
         return sorted(now - born for born in self._pending.values())
 
+    def pending_items(self) -> list[tuple[Any, int, int]]:
+        """Every unpersisted delete as ``(key, seqno, write_time)``.
+
+        The crash-matrix harness uses this to assert that tombstone birth
+        times -- and therefore their ``D_th`` clocks -- are rebuilt
+        exactly across a restart, never reset to the reopen tick.
+        """
+        return [(key, seqno, born) for (key, seqno), born in self._pending.items()]
+
     def latency_percentile(self, fraction: float) -> int | None:
         """The ``fraction``-quantile of persisted latencies (0 < f <= 1)."""
         if not self.latencies:

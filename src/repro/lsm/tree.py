@@ -29,7 +29,13 @@ from typing import Any, Iterable, Iterator
 
 from repro.clock import LogicalClock
 from repro.config import LSMConfig
-from repro.errors import ConfigError, EngineClosedError
+from repro.errors import (
+    ConfigError,
+    CorruptionError,
+    EngineClosedError,
+    InvariantViolationError,
+    StorageError,
+)
 from repro.lsm.entry import Entry
 from repro.lsm.iterator import scan_merge
 from repro.lsm.level import Level
@@ -47,6 +53,7 @@ from repro.lsm.compaction.task import (
 from repro.filters.bloom import BloomFilter
 from repro.storage.cache import BlockCache
 from repro.storage.disk import CATEGORY_FLUSH, SimulatedDisk
+from repro.storage.faults import FaultInjector
 from repro.storage.filestore import FileStore
 from repro.storage.wal import WriteAheadLog
 
@@ -105,11 +112,28 @@ class LSMTree:
         self._store = store
         self._read_only = read_only
         self._wal = (
-            WriteAheadLog(store.wal_path, sync=wal_sync)
+            WriteAheadLog(store.wal_path, sync=wal_sync, faults=store.faults)
             if store is not None and not read_only
             else None
         )
         self._closed = False
+        #: SSTable file ids detached from the tree but not yet physically
+        #: deleted.  Physical deletion is deferred until the next manifest
+        #: publication: deleting an input file before the manifest stops
+        #: referencing it would make a crash in between unrecoverable.
+        self._doomed_files: list[int] = []
+        #: High-water sequence number of entries durable in *runs* (i.e.
+        #: flushed).  Distinct from ``_seqno``, which also counts entries
+        #: living only in the memtable+WAL: the WAL replay filter must
+        #: compare against the flushed mark, or a manifest published by a
+        #: compaction (with a non-empty memtable) would make recovery skip
+        #: acknowledged buffered writes.
+        self._flushed_seqno = 0
+        #: Recovery bookkeeping (populated by :meth:`open`).
+        self.degraded = False
+        self.recovery_errors: list[str] = []
+        self.recovery_log: list[str] = []
+        self._degraded_ok = False
 
     # ==================================================================
     # construction from disk
@@ -122,6 +146,8 @@ class LSMTree:
         listener: Any = None,
         wal_sync: bool = False,
         read_only: bool = False,
+        faults: FaultInjector | None = None,
+        degraded_ok: bool = False,
     ) -> "LSMTree":
         """Open (or create) a durable tree rooted at ``directory``.
 
@@ -135,11 +161,32 @@ class LSMTree:
         touched (no WAL handle, no flush on close, no manifest writes)
         and every mutating operation raises.
 
-        Recovery order: manifest -> files -> WAL replay into the memtable.
-        Tombstones replayed from the WAL are re-registered with the
-        listener so persistence tracking survives a restart.
+        Recovery sequence (each step ordered after the previous):
+
+        1. sweep ``*.tmp`` orphans left by interrupted publications;
+        2. load and verify the manifest (epoch + checksum);
+        3. load every referenced SSTable, rebuilding FADE deadline and
+           oldest-tombstone metadata from the recovered runs;
+        4. garbage-collect SSTables the manifest does not reference
+           (outputs of a flush/compaction that crashed before publish);
+        5. replay the WAL into the memtable, *skipping* records at or
+           below the manifest's seqno high-water mark (duplicates from a
+           crash between manifest publish and WAL rotation);
+        6. re-register every recovered tombstone (on disk and in the WAL)
+           with the lifecycle listener, preserving original write times
+           so persistence ages survive the restart;
+        7. run :meth:`verify_invariants` over the recovered tree.
+
+        ``degraded_ok=True`` turns unrecoverable SSTable corruption into
+        a *degraded read-only* open instead of an exception: broken files
+        are skipped (recorded in ``tree.recovery_errors``), the WAL is
+        not opened for writing, and every mutating operation raises.
+
+        ``faults`` attaches a :class:`FaultInjector` to the store and WAL
+        so tests can interrupt any durable transition.
         """
-        store = FileStore(directory)
+        store = FileStore(directory, faults=faults)
+        swept = store.clean_temp_files() if not read_only else []
         if config is None:
             manifest = store.read_manifest()
             if manifest is None or "config" not in manifest:
@@ -151,28 +198,98 @@ class LSMTree:
         tree = cls(
             config, listener=listener, store=store, wal_sync=wal_sync, read_only=read_only
         )
+        tree._degraded_ok = degraded_ok
+        if swept:
+            tree.recovery_log.append(f"removed {len(swept)} orphan temp file(s)")
         manifest = store.read_manifest()
+        manifest_seqno = 0
         if manifest is not None:
             tree._restore_from_manifest(manifest)
-        for entry in WriteAheadLog.replay(store.wal_path):
-            tree.memtable.add(entry)
-            tree._seqno = max(tree._seqno, entry.seqno)
-            tree.clock.advance_to(entry.write_time + 1)
-            if entry.is_tombstone and tree.listener is not None:
-                tree.listener.tombstone_registered(entry, tree.clock.now())
+            # Filter replay against the *flushed* high-water mark, not the
+            # global one: a compaction publishes a manifest whose `seqno`
+            # covers buffered entries that exist only in the WAL.
+            manifest_seqno = manifest.get("flushed_seqno", manifest["seqno"])
+        if tree.recovery_errors:
+            # Unrecoverable corruption, caller opted into salvage mode:
+            # serve what is readable, refuse every mutation.
+            tree.degraded = True
+            tree._read_only = True
+            if tree._wal is not None:
+                tree._wal.close()
+                tree._wal = None
+        if manifest is not None and not tree._read_only:
+            live = {
+                fid
+                for run_lists in manifest["levels"]
+                for file_ids in run_lists
+                for fid in file_ids
+            }
+            orphans = store.garbage_collect(live)
+            if orphans:
+                tree.recovery_log.append(
+                    f"garbage-collected {len(orphans)} unreferenced sstable(s): {orphans}"
+                )
+        # Tombstones already persisted in recovered runs: re-register so
+        # the persistence tracker's pending set (and its ages, anchored on
+        # each entry's write_time) survives the restart.
+        if tree.listener is not None:
+            now = tree.clock.now()
+            for level in tree.iter_levels():
+                for run in level.runs:
+                    for file in run.files:
+                        for entry in file.iter_all_entries():
+                            if entry.is_tombstone:
+                                tree.listener.tombstone_registered(entry, now)
+        skipped = 0
+        try:
+            for entry in WriteAheadLog.replay(store.wal_path):
+                if entry.seqno <= manifest_seqno:
+                    skipped += 1  # already durable via the manifest's flushed runs
+                    continue
+                tree.memtable.add(entry)
+                tree._seqno = max(tree._seqno, entry.seqno)
+                tree.clock.advance_to(entry.write_time + 1)
+                if entry.is_tombstone and tree.listener is not None:
+                    tree.listener.tombstone_registered(entry, tree.clock.now())
+        except CorruptionError as exc:
+            if not degraded_ok:
+                raise
+            tree.recovery_errors.append(f"WAL: {exc}")
+            tree.degraded = True
+            tree._read_only = True
+            if tree._wal is not None:
+                tree._wal.close()
+                tree._wal = None
+        if skipped:
+            tree.recovery_log.append(
+                f"skipped {skipped} WAL record(s) at or below flushed seqno "
+                f"{manifest_seqno}"
+            )
+        tree.verify_invariants()
         return tree
 
     def _restore_from_manifest(self, manifest: dict) -> None:
         self._seqno = manifest["seqno"]
+        self._flushed_seqno = manifest.get("flushed_seqno", manifest["seqno"])
         self.clock.advance_to(manifest["clock"])
         self.flush_count = manifest.get("flush_count", 0)
         for level_offset, run_lists in enumerate(manifest["levels"]):
             level = self.level(level_offset + 1)
             for file_ids in run_lists:  # stored newest-first
-                files = [self._load_file(fid, level.index) for fid in file_ids]
-                level.add_oldest_run(Run(files))
-                for file in files:
-                    self._register_file(file, level.index)
+                files: list[SSTableFile] = []
+                for fid in file_ids:
+                    try:
+                        files.append(self._load_file(fid, level.index))
+                    except (CorruptionError, StorageError) as exc:
+                        if not self._degraded_ok:
+                            raise
+                        self.recovery_errors.append(
+                            f"sstable {fid} (L{level.index}): {exc}"
+                        )
+                if files:
+                    level.add_oldest_run(Run(files))
+                    for file in files:
+                        self._register_file(file, level.index)
         self.file_ids.advance_past(manifest["next_file_id"] - 1)
 
     def _load_file(self, file_id: int, level: int = 1) -> SSTableFile:
@@ -374,6 +491,7 @@ class LSMTree:
         entries = self.memtable.drain()
         if not entries:
             return
+        self._flushed_seqno = max(self._flushed_seqno, max(e.seqno for e in entries))
         now = self.clock.now()
         files = build_files(entries, self.config, self.file_ids, now)
         self.disk.write_pages(sum(f.page_count for f in files), CATEGORY_FLUSH)
@@ -382,9 +500,13 @@ class LSMTree:
             self._register_file(file, 1)
             self._persist_file(file)
         self.flush_count += 1
+        # Write-ordering protocol: the WAL may only be rotated once the
+        # flushed entries are durable through the *published* manifest.
+        # Rotating first would leave a crash window in which the entries
+        # exist neither in the WAL nor in any manifest-referenced run.
+        self._persist_manifest()
         if self._wal is not None:
             self._wal.truncate()
-        self._persist_manifest()
 
     # ==================================================================
     # maintenance (compaction loop)
@@ -587,7 +709,11 @@ class LSMTree:
         if self._fade is not None:
             self._fade.file_removed(file.file_id)
         if self._store is not None and not self._read_only:
-            self._store.delete_sstable(file.file_id)
+            # Defer the physical unlink until the next manifest publish:
+            # the current manifest still references this file, and it must
+            # stay readable for recovery until a manifest without it is
+            # durable on disk.
+            self._doomed_files.append(file.file_id)
 
     def on_file_moved(self, file: SSTableFile, from_level: int, to_level: int) -> None:
         """A trivial move: same file object, new depth.
@@ -620,11 +746,32 @@ class LSMTree:
                 "levels": levels,
                 "next_file_id": self.file_ids.peek(),
                 "seqno": self._seqno,
+                "flushed_seqno": self._flushed_seqno,
                 "clock": self.clock.now(),
                 "flush_count": self.flush_count,
                 "config": self.config.to_dict(),
             }
         )
+        # The new manifest no longer references the doomed files; their
+        # physical deletion is now safe (and crash-idempotent: a crash
+        # mid-loop leaves unreferenced files that startup GC removes).
+        if self._doomed_files:
+            doomed, self._doomed_files = self._doomed_files, []
+            for file_id in doomed:
+                self._store.delete_sstable(file_id)
+
+    def _sync_wal_with_memtable(self) -> None:
+        """Atomically rewrite the WAL to hold exactly the buffered entries.
+
+        Called after an operation purges entries from the memtable without
+        flushing it (secondary range deletes): replaying the old log would
+        resurrect the purged values.  Ordered *after* the manifest publish
+        so a crash in between merely un-acks the purge (the old log and
+        the old buffered values come back together).
+        """
+        if self._wal is None:
+            return
+        self._wal.rewrite(list(self.memtable))
 
     # ==================================================================
     # lifecycle & utilities
@@ -692,6 +839,69 @@ class LSMTree:
     def fade(self) -> Any:
         """The FADE scheduler, or None for a baseline tree."""
         return self._fade
+
+    def verify_invariants(self) -> None:
+        """Recovery-time integrity check over the whole tree.
+
+        Raises :class:`~repro.errors.InvariantViolationError` when the
+        recovered structure is inconsistent: duplicate file ids, runs
+        whose files overlap (level ordering broken), cached entry /
+        tombstone / page accounting that disagrees with the actual files,
+        or sequence numbers / write times beyond the recovered high-water
+        marks.  Run by :meth:`open` on every recovery, and available to
+        callers as a cheap post-hoc audit.  Unlike
+        :meth:`check_invariants` (an exhaustive assert-based test helper)
+        this never uses ``assert``, so it works under ``python -O``.
+        """
+        seen_ids: set[int] = set()
+        max_seqno = 0
+        max_write_time = 0
+        for level in self._levels:
+            entries, tombstones, pages = level.recompute_counts()
+            if (level.entry_count, level.tombstone_count, level.page_count) != (
+                entries,
+                tombstones,
+                pages,
+            ):
+                raise InvariantViolationError(
+                    f"L{level.index} accounting mismatch: cached "
+                    f"({level.entry_count}, {level.tombstone_count}, "
+                    f"{level.page_count}) != actual ({entries}, {tombstones}, {pages})"
+                )
+            for run in level.runs:
+                ordered = sorted(run.files, key=lambda f: f.min_key)
+                for left, right in zip(ordered, ordered[1:]):
+                    if right.min_key <= left.max_key:
+                        raise InvariantViolationError(
+                            f"L{level.index}: files {left.file_id} and "
+                            f"{right.file_id} overlap within one run"
+                        )
+                for file in run.files:
+                    if file.file_id in seen_ids:
+                        raise InvariantViolationError(
+                            f"file id {file.file_id} appears twice in the tree"
+                        )
+                    seen_ids.add(file.file_id)
+                    for entry in file.iter_all_entries():
+                        if entry.seqno > max_seqno:
+                            max_seqno = entry.seqno
+                        if entry.write_time > max_write_time:
+                            max_write_time = entry.write_time
+        for entry in self.memtable:
+            if entry.seqno > max_seqno:
+                max_seqno = entry.seqno
+            if entry.write_time > max_write_time:
+                max_write_time = entry.write_time
+        if max_seqno > self._seqno:
+            raise InvariantViolationError(
+                f"entry seqno {max_seqno} exceeds the recovered high-water "
+                f"mark {self._seqno}"
+            )
+        if max_write_time > self.clock.now():
+            raise InvariantViolationError(
+                f"entry write_time {max_write_time} is in the future "
+                f"(clock at {self.clock.now()})"
+            )
 
     def check_invariants(self) -> None:
         """Deep structural self-check (tests; AssertionError on failure)."""

@@ -12,7 +12,16 @@ an engine opened on an existing directory recovers its exact state.
 
 from repro.storage.cache import BlockCache
 from repro.storage.disk import IOStats, SimulatedDisk
+from repro.storage.faults import FaultInjector, SimulatedCrash
 from repro.storage.filestore import FileStore
 from repro.storage.wal import WriteAheadLog
 
-__all__ = ["BlockCache", "IOStats", "SimulatedDisk", "FileStore", "WriteAheadLog"]
+__all__ = [
+    "BlockCache",
+    "IOStats",
+    "SimulatedDisk",
+    "FaultInjector",
+    "SimulatedCrash",
+    "FileStore",
+    "WriteAheadLog",
+]

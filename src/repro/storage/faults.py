@@ -1,0 +1,300 @@
+"""Deterministic fault injection for the durable storage path.
+
+Every durable transition in the engine -- writing an SSTable, publishing
+the manifest, appending to or rotating the WAL, deleting a dead file --
+passes through a named **fault point**.  A :class:`FaultInjector` can arm
+a fault at any point, so tests (and the crash-matrix harness) can crash,
+corrupt, or starve the engine at exactly the byte where a real system
+would have been interrupted, and then assert that recovery holds.
+
+Fault kinds
+-----------
+
+``crash``
+    Raise :class:`SimulatedCrash` *before* the action happens: the
+    process "dies" with nothing from this step on disk.
+``torn``
+    For data-bearing points: persist only the first ``at_byte`` bytes of
+    the payload, then raise :class:`SimulatedCrash` -- the classic torn
+    write of a power cut mid-``write()``.
+``bitflip``
+    Flip one bit of the payload and let the operation "succeed": silent
+    media corruption, to be caught later by checksums (``doctor scrub``).
+``io_error`` / ``enospc``
+    Raise a *transient* :class:`OSError` (``EIO`` / ``ENOSPC``) the first
+    ``times`` times the point fires, then let it succeed -- exercising the
+    bounded retry-with-backoff in the storage layer.
+``fsync_drop``
+    Silently skip the fsync at an fsync point (a lying disk / ignored
+    flush).  The simulated crash model cannot lose page-cache contents,
+    so this primarily asserts the engine never *depends* on an fsync for
+    logical correctness, only for real-disk durability.
+
+All behaviour is deterministic: the only randomness (the bit chosen by
+``bitflip`` when no byte index is given) comes from the injector's seed.
+
+:class:`SimulatedCrash` deliberately does **not** derive from
+:class:`~repro.errors.AcheronError`: production ``except AcheronError``
+handlers must never swallow a simulated crash.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import time
+from dataclasses import dataclass
+
+
+class SimulatedCrash(Exception):
+    """The process 'died' at a fault point; everything after is lost."""
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at fault point {point!r}")
+        self.point = point
+
+
+#: Bounded retry for transient I/O faults: attempts and backoff schedule.
+RETRY_ATTEMPTS = 5
+RETRY_BASE_DELAY = 0.002
+RETRY_MAX_DELAY = 0.05
+
+
+def retry_transient(action, what: str):
+    """Run ``action`` with bounded retry-with-backoff on :class:`OSError`.
+
+    :class:`SimulatedCrash` is never retried -- a crash is a crash.
+    Exhaustion raises :class:`~repro.errors.StorageError` chained to the
+    last error, so callers see one stable exception type for a device
+    that stays broken.
+    """
+    from repro.errors import StorageError  # local import: errors is leaf-free
+
+    delay = RETRY_BASE_DELAY
+    last: OSError | None = None
+    for attempt in range(RETRY_ATTEMPTS):
+        try:
+            return action()
+        except SimulatedCrash:
+            raise
+        except OSError as exc:
+            last = exc
+            if attempt + 1 < RETRY_ATTEMPTS:
+                time.sleep(delay)
+                delay = min(delay * 2, RETRY_MAX_DELAY)
+    raise StorageError(f"{what} failed after {RETRY_ATTEMPTS} attempts: {last}") from last
+
+
+#: Registry of every fault point the storage layer declares, name ->
+#: human description.  Populated at import time by :func:`fault_point`;
+#: the crash-matrix harness iterates this to get exhaustive coverage.
+FAULT_POINTS: dict[str, str] = {}
+
+
+def fault_point(name: str, description: str) -> str:
+    """Register (idempotently) and return a fault-point name."""
+    FAULT_POINTS.setdefault(name, description)
+    return name
+
+
+# ---------------------------------------------------------------------------
+# the storage layer's fault points (one per durable transition)
+# ---------------------------------------------------------------------------
+SSTABLE_WRITE = fault_point("sstable.write", "writing an SSTable's temp-file bytes")
+SSTABLE_FSYNC = fault_point("sstable.fsync", "fsync of the SSTable temp file")
+SSTABLE_RENAME = fault_point("sstable.rename", "publishing rename of an SSTable")
+SSTABLE_DIRSYNC = fault_point("sstable.dirsync", "directory fsync after SSTable rename")
+SSTABLE_DELETE = fault_point("sstable.delete", "unlinking a dead SSTable")
+MANIFEST_WRITE = fault_point("manifest.write", "writing the manifest's temp-file bytes")
+MANIFEST_FSYNC = fault_point("manifest.fsync", "fsync of the manifest temp file")
+MANIFEST_RENAME = fault_point("manifest.rename", "publishing rename of the manifest")
+MANIFEST_DIRSYNC = fault_point("manifest.dirsync", "directory fsync after manifest rename")
+WAL_APPEND = fault_point("wal.append", "appending a record batch to the WAL")
+WAL_FSYNC = fault_point("wal.fsync", "fsync of the WAL after an append")
+WAL_ROTATE_WRITE = fault_point("wal.rotate.write", "writing the fresh WAL during rotation")
+WAL_ROTATE_RENAME = fault_point("wal.rotate.rename", "renaming the fresh WAL into place")
+WAL_ROTATE_DIRSYNC = fault_point("wal.rotate.dirsync", "directory fsync after WAL rotation")
+
+#: Points whose payload is a byte string (``torn`` / ``bitflip`` apply).
+DATA_POINTS = frozenset(
+    {SSTABLE_WRITE, MANIFEST_WRITE, WAL_APPEND, WAL_ROTATE_WRITE}
+)
+#: Points that are an fsync (``fsync_drop`` applies).
+FSYNC_POINTS = frozenset(
+    {SSTABLE_FSYNC, SSTABLE_DIRSYNC, MANIFEST_FSYNC, MANIFEST_DIRSYNC,
+     WAL_FSYNC, WAL_ROTATE_DIRSYNC}
+)
+
+CRASH = "crash"
+TORN = "torn"
+BITFLIP = "bitflip"
+IO_ERROR = "io_error"
+ENOSPC = "enospc"
+FSYNC_DROP = "fsync_drop"
+
+FAULT_KINDS = (CRASH, TORN, BITFLIP, IO_ERROR, ENOSPC, FSYNC_DROP)
+
+
+def kinds_for_point(point: str) -> tuple[str, ...]:
+    """The fault kinds that are meaningful at ``point``."""
+    kinds = [CRASH, IO_ERROR, ENOSPC]
+    if point in DATA_POINTS:
+        kinds += [TORN, BITFLIP]
+    if point in FSYNC_POINTS:
+        kinds.append(FSYNC_DROP)
+    return tuple(kinds)
+
+
+@dataclass
+class _ArmedFault:
+    kind: str
+    #: Fire on the Nth visit to the point (0 = first).
+    after: int = 0
+    #: For transient kinds: how many visits raise before the fault clears.
+    times: int = 1
+    #: For ``torn``: byte offset to truncate at (None = half the payload).
+    at_byte: int | None = None
+    #: For ``bitflip``: byte index to corrupt (None = seeded choice).
+    byte_index: int | None = None
+    visits: int = 0
+    remaining: int = 1
+
+    def __post_init__(self) -> None:
+        self.remaining = self.times
+
+
+class FaultInjector:
+    """Arms and fires faults at named points (see module docstring).
+
+    One injector is shared by a :class:`~repro.storage.filestore.FileStore`
+    and its :class:`~repro.storage.wal.WriteAheadLog`; pass it to
+    ``LSMTree.open`` / ``AcheronEngine`` via the ``faults`` parameter.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._armed: dict[str, _ArmedFault] = {}
+        #: point -> number of times code reached it (armed or not).
+        self.visits: dict[str, int] = {}
+        #: point -> number of times an armed fault actually fired.
+        self.fired: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def arm(
+        self,
+        point: str,
+        kind: str,
+        *,
+        after: int = 0,
+        times: int = 1,
+        at_byte: int | None = None,
+        byte_index: int | None = None,
+    ) -> None:
+        """Arm one fault of ``kind`` at ``point`` (replacing any previous)."""
+        if point not in FAULT_POINTS:
+            raise ValueError(f"unknown fault point {point!r}")
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self._armed[point] = _ArmedFault(
+            kind=kind, after=after, times=times, at_byte=at_byte, byte_index=byte_index
+        )
+
+    def disarm(self, point: str | None = None) -> None:
+        """Disarm one point, or every point when ``point`` is None."""
+        if point is None:
+            self._armed.clear()
+        else:
+            self._armed.pop(point, None)
+
+    def armed_kind(self, point: str) -> str | None:
+        fault = self._armed.get(point)
+        return fault.kind if fault is not None else None
+
+    # ------------------------------------------------------------------
+    # firing (called by the instrumented storage layer)
+    # ------------------------------------------------------------------
+    def _due(self, point: str) -> _ArmedFault | None:
+        """Visit ``point``; return the armed fault if it should act now."""
+        self.visits[point] = self.visits.get(point, 0) + 1
+        fault = self._armed.get(point)
+        if fault is None:
+            return None
+        fault.visits += 1
+        if fault.visits <= fault.after:
+            return None
+        return fault
+
+    def _record(self, point: str) -> None:
+        self.fired[point] = self.fired.get(point, 0) + 1
+
+    def fire(self, point: str) -> None:
+        """Raise at ``point`` if a crash/transient fault is due.
+
+        Called *before* the step's side effect: a ``crash`` here means
+        nothing from this step reached the device.
+        """
+        fault = self._due(point)
+        if fault is None:
+            return
+        if fault.kind == CRASH:
+            self._record(point)
+            raise SimulatedCrash(point)
+        if fault.kind in (IO_ERROR, ENOSPC):
+            if fault.remaining <= 0:
+                return
+            fault.remaining -= 1
+            self._record(point)
+            code = errno.ENOSPC if fault.kind == ENOSPC else errno.EIO
+            raise OSError(code, f"injected {fault.kind} at {point}")
+        # torn / bitflip / fsync_drop act through mangle()/allows_fsync().
+
+    def mangle(self, point: str, data: bytes) -> tuple[bytes, bool]:
+        """Apply a data fault to ``data`` at a data-bearing point.
+
+        Returns ``(payload_to_write, crash_after_write)``: the caller
+        must persist the returned payload and, when the flag is set,
+        raise :class:`SimulatedCrash` *after* the partial write -- that
+        ordering is what makes the write torn rather than absent.
+        """
+        fault = self._armed.get(point)
+        if fault is None or fault.kind not in (TORN, BITFLIP):
+            return data, False
+        # fire() already counted this visit; mirror its `after` window.
+        if fault.visits <= fault.after:
+            return data, False
+        if fault.kind == TORN:
+            self._record(point)
+            cut = fault.at_byte if fault.at_byte is not None else max(1, len(data) // 2)
+            return data[: min(cut, len(data))], True
+        # bitflip: silent corruption, the operation itself succeeds.
+        if not data:
+            return data, False
+        self._record(point)
+        index = (
+            fault.byte_index
+            if fault.byte_index is not None
+            else self._rng.randrange(len(data))
+        )
+        index = min(index, len(data) - 1)
+        flipped = bytearray(data)
+        flipped[index] ^= 1 << self._rng.randrange(8)
+        self._armed.pop(point, None)  # one flip, not one per retry
+        return bytes(flipped), False
+
+    def allows_fsync(self, point: str) -> bool:
+        """False when an ``fsync_drop`` fault swallows this fsync."""
+        fault = self._armed.get(point)
+        if fault is None or fault.kind != FSYNC_DROP:
+            return True
+        self._record(point)
+        return False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def fired_count(self, point: str | None = None) -> int:
+        if point is not None:
+            return self.fired.get(point, 0)
+        return sum(self.fired.values())

@@ -1,0 +1,12 @@
+"""Test harnesses that exercise the engine adversarially.
+
+Currently home to the crash matrix (:mod:`repro.testing.crashmatrix`):
+every registered storage fault point crossed with every engine operation,
+each combination crashed, recovered, and verified.  Importable as a
+library (the pytest suite runs a slice of it) and runnable standalone via
+``scripts/crash_matrix.py``.
+"""
+
+from repro.testing.crashmatrix import MatrixResult, iter_combos, run_crash_matrix
+
+__all__ = ["MatrixResult", "iter_combos", "run_crash_matrix"]

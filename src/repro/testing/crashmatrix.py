@@ -1,0 +1,609 @@
+"""The crash matrix: every fault point x every operation, crashed and verified.
+
+For each combination of a registered storage fault point (see
+:mod:`repro.storage.faults`), a fault kind meaningful at that point, and an
+engine operation (``ingest``, ``flush``, ``compaction``, ``range_delete``,
+``restart``), one isolated engine is seeded with a known workload, the
+fault is armed, the operation runs until it either completes or "crashes"
+(the injector raises at exactly the interrupted byte), the process's state
+is abandoned exactly as a power cut would leave it, and the store is
+reopened from disk.  Recovery must then satisfy the durability contract:
+
+* **zero acknowledged-write loss** -- every put/delete that returned before
+  the crash is observable after recovery;
+* **no resurrection** -- no acknowledged delete's key comes back, and no
+  key ever reads a value older than its last acknowledged write;
+* **tombstone ages preserved** -- every pending tombstone the recovered
+  persistence tracker reports was born at the tick the delete was issued
+  (never re-aged to the reopen tick), and the FADE scheduler's deadline
+  heap is rebuilt with every on-disk tombstone-bearing file tracked and
+  its earliest deadline within ``D_th`` of the oldest tombstone;
+* **clean structure** -- ``verify_invariants`` passes and the store doctor
+  finds the directory healthy both before and after recovery.
+
+The operation that was *in flight* when the crash hit is the only
+uncertainty allowed: its key(s) may show either the pre-op or the post-op
+state (both are legal outcomes of a crash mid-operation), but never
+anything else.
+
+Per-kind contracts refine the above: ``crash``/``torn`` faults follow the
+full recovery contract; ``io_error``/``enospc`` are armed transiently
+(fewer occurrences than the retry budget) and the operation must complete
+as if nothing happened; ``fsync_drop`` must have no observable effect (the
+engine may not depend on an fsync for logical correctness); ``bitflip``
+must be *detected* -- by the strict reopen or by ``doctor scrub`` -- and
+never silently served.  ``bitflip`` runs only at the SSTable and manifest
+write points: a flipped byte in a WAL tail is indistinguishable from a
+torn append by design (replay treats both as a tail to discard), which the
+unit tests cover directly.
+
+Determinism: each combo derives its injector seed from the matrix seed and
+the combo index, so a failing combo replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.config import acheron_config
+from repro.core.engine import AcheronEngine
+from repro.errors import CorruptionError, InvariantViolationError, StorageError
+from repro.storage import faults as fp
+from repro.storage.faults import FaultInjector, SimulatedCrash, kinds_for_point
+from repro.tools.doctor import diagnose_store, scrub_store
+
+#: Exceptions that count as "the process died here" for the matrix.
+CRASH_EXCEPTIONS = (SimulatedCrash, StorageError, OSError)
+
+OPERATIONS = ("ingest", "flush", "compaction", "range_delete", "restart")
+
+#: Points where a bit flip lands in a file that checksums must protect.
+BITFLIP_POINTS = (fp.SSTABLE_WRITE, fp.MANIFEST_WRITE)
+
+#: The matrix engine: tiny layout so a ~200-op workload spans several
+#: levels, ``wal_sync=True`` so every fsync-class fault point is reached.
+D_TH = 5_000
+
+
+def _matrix_config():
+    return acheron_config(
+        delete_persistence_threshold=D_TH,
+        pages_per_tile=2,
+        memtable_entries=32,
+        entries_per_page=8,
+        size_ratio=3,
+    )
+
+
+def _open_engine(
+    directory: str, faults: FaultInjector | None = None, degraded_ok: bool = False
+) -> AcheronEngine:
+    return AcheronEngine(
+        _matrix_config(),
+        directory=directory,
+        wal_sync=True,
+        faults=faults,
+        degraded_ok=degraded_ok,
+    )
+
+
+def _key(i: int) -> str:
+    return f"k{i:04d}"
+
+
+def _value(i: int, version: int) -> str:
+    # Unique per (key, version): resurrection of any older value is
+    # distinguishable from the acknowledged one.
+    return f"{_key(i)}:v{version}"
+
+
+# ---------------------------------------------------------------------------
+# the acknowledged-state model
+# ---------------------------------------------------------------------------
+class AckModel:
+    """What the engine has acknowledged, from the client's point of view.
+
+    ``live`` maps key -> ``(value, delete_key_tick)`` for acknowledged
+    puts; ``deleted`` holds keys whose last acknowledged operation was a
+    point delete; ``issued_delete_ticks`` records the write tick of every
+    tombstone ever issued (acknowledged *or* in flight at the crash --
+    a crashed delete's tombstone may legitimately be durable).  The
+    single in-flight operation at crash time contributes ``uncertain``
+    (key -> tuple of acceptable observed values) or ``range_uncertain``
+    (a delete-key window whose members may be present or absent).
+    """
+
+    def __init__(self) -> None:
+        self.live: dict[str, tuple[str, int]] = {}
+        self.deleted: set[str] = set()
+        self.issued_delete_ticks: set[int] = set()
+        self.uncertain: dict[str, tuple[Any, ...]] = {}
+        self.range_uncertain: tuple[int, int] | None = None
+
+    def view(self, key: str) -> str | None:
+        """The committed value of ``key`` (None = absent/deleted)."""
+        state = self.live.get(key)
+        return state[0] if state is not None else None
+
+    def commit_put(self, key: str, value: str, tick: int) -> None:
+        self.live[key] = (value, tick)
+        self.deleted.discard(key)
+        self.uncertain.pop(key, None)
+
+    def commit_delete(self, key: str, tick: int) -> None:
+        self.live.pop(key, None)
+        self.deleted.add(key)
+        self.uncertain.pop(key, None)
+
+    def commit_range_delete(self, lo: int, hi: int) -> None:
+        for key in [k for k, (_, dk) in self.live.items() if lo <= dk <= hi]:
+            del self.live[key]
+            # A secondary delete drops values physically; unlike a point
+            # delete it leaves no tombstone, so the key is simply absent.
+            self.deleted.add(key)
+
+    def acceptable(self, key: str) -> tuple[Any, ...]:
+        """Every value a recovered ``get(key)`` may legally return."""
+        if key in self.uncertain:
+            return self.uncertain[key]
+        state = self.live.get(key)
+        if state is not None:
+            value, dk = state
+            if self.range_uncertain is not None:
+                lo, hi = self.range_uncertain
+                if lo <= dk <= hi:
+                    return (value, None)
+            return (value,)
+        return (None,)
+
+
+class Driver:
+    """Issues operations and commits them to the model only when acked."""
+
+    def __init__(self, engine: AcheronEngine, model: AckModel) -> None:
+        self.engine = engine
+        self.model = model
+
+    def put(self, key: str, value: str) -> None:
+        tick = self.engine.clock.now()
+        prev = self.model.view(key)
+        try:
+            self.engine.put(key, value)
+        except BaseException:
+            self.model.uncertain[key] = (value, prev)
+            raise
+        self.model.commit_put(key, value, tick)
+
+    def delete(self, key: str) -> None:
+        tick = self.engine.clock.now()
+        prev = self.model.view(key)
+        # The tombstone may become durable even if the op never returns.
+        self.model.issued_delete_ticks.add(tick)
+        try:
+            self.engine.delete(key)
+        except BaseException:
+            self.model.uncertain[key] = (None, prev)
+            raise
+        self.model.commit_delete(key, tick)
+
+    def delete_range(self, lo: int, hi: int) -> None:
+        try:
+            self.engine.delete_range(lo, hi)
+        except BaseException:
+            self.model.range_uncertain = (lo, hi)
+            raise
+        self.model.commit_range_delete(lo, hi)
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+@dataclass
+class _Ctx:
+    directory: str
+    injector: FaultInjector
+    model: AckModel
+    engine: AcheronEngine
+    driver: Driver
+
+
+def _seed_phase(ctx: _Ctx) -> None:
+    """Build known state before the fault is armed (injector quiescent):
+    several flushed runs, tombstones both on disk and buffered, a few
+    overwrites superseding earlier deletes."""
+    d = ctx.driver
+    for i in range(96):
+        d.put(_key(i), _value(i, 0))
+    for i in range(0, 96, 6):
+        d.delete(_key(i))
+    ctx.engine.flush()  # tombstones reach disk; FADE tracks their files
+    for i in range(96, 120):
+        d.put(_key(i), _value(i, 1))
+    for i in range(3, 48, 9):
+        d.delete(_key(i))
+    for i in range(1, 96, 7):
+        d.put(_key(i), _value(i, 2))
+
+
+def _scenario_ingest(ctx: _Ctx) -> None:
+    for i in range(48):
+        if i % 4 == 3:
+            ctx.driver.delete(_key(50 + i))
+        else:
+            ctx.driver.put(_key(200 + i), _value(200 + i, 0))
+
+
+def _scenario_flush(ctx: _Ctx) -> None:
+    for i in range(4):
+        ctx.driver.put(_key(300 + i), _value(300 + i, 0))
+    ctx.driver.delete(_key(2))
+    ctx.driver.delete(_key(301))
+    ctx.engine.flush()
+
+
+def _scenario_compaction(ctx: _Ctx) -> None:
+    ctx.engine.compact_all()
+
+
+def _scenario_range_delete(ctx: _Ctx) -> None:
+    # The window spans both flushed runs and buffered entries, so the
+    # KiWi page drops *and* the WAL-rewrite path are both exercised.
+    ctx.driver.delete_range(8, 120)
+
+
+def _scenario_restart(ctx: _Ctx) -> None:
+    ctx.driver.put(_key(400), _value(400, 0))
+    ctx.driver.put(_key(401), _value(401, 0))
+    ctx.engine.close()
+    # Reopen with the fault still armed: shutdown already ran under it,
+    # now recovery itself (temp sweep, GC, replay) must survive it too.
+    ctx.engine = _open_engine(ctx.directory, faults=ctx.injector)
+
+
+_SCENARIOS: dict[str, Callable[[_Ctx], None]] = {
+    "ingest": _scenario_ingest,
+    "flush": _scenario_flush,
+    "compaction": _scenario_compaction,
+    "range_delete": _scenario_range_delete,
+    "restart": _scenario_restart,
+}
+
+
+# ---------------------------------------------------------------------------
+# combo enumeration
+# ---------------------------------------------------------------------------
+def iter_combos(quick: bool = False) -> Iterator[tuple[str, str, str]]:
+    """Yield every ``(operation, fault_point, kind)`` the matrix covers.
+
+    ``quick`` drops the ``enospc`` and ``fsync_drop`` kinds (each is
+    behaviourally a twin of a retained kind: ``enospc`` of ``io_error``,
+    ``fsync_drop`` of a no-op) -- the CI configuration.
+    """
+    for operation in OPERATIONS:
+        for point in fp.FAULT_POINTS:
+            for kind in kinds_for_point(point):
+                if kind == fp.BITFLIP and point not in BITFLIP_POINTS:
+                    continue
+                if quick and kind in (fp.ENOSPC, fp.FSYNC_DROP):
+                    continue
+                yield operation, point, kind
+
+
+# ---------------------------------------------------------------------------
+# running one combo
+# ---------------------------------------------------------------------------
+@dataclass
+class ComboResult:
+    operation: str
+    point: str
+    kind: str
+    #: The armed fault actually acted (fired/mangled) at least once.
+    triggered: bool = False
+    #: The scenario (or shutdown) raised a crash-class exception.
+    crashed: bool = False
+    errors: list[str] = field(default_factory=list)
+    #: Kept on failure for replay/debugging; None when cleaned up.
+    directory: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def label(self) -> str:
+        return f"{self.operation} x {self.point} x {self.kind}"
+
+
+def _abandon(engine: AcheronEngine) -> None:
+    """Simulate process death: drop OS handles without flushing anything."""
+    tree = engine.tree
+    wal = getattr(tree, "_wal", None)
+    if wal is not None:
+        try:
+            wal._fh.close()  # noqa: SLF001 - raw handle close, no flush logic
+        except Exception:
+            pass
+    tree._closed = True  # noqa: SLF001 - defensive: the object is dead
+
+
+def run_combo(operation: str, point: str, kind: str, seed: int, base_dir: str) -> ComboResult:
+    result = ComboResult(operation=operation, point=point, kind=kind)
+    workdir = tempfile.mkdtemp(prefix=f"{operation}-{kind}-", dir=base_dir)
+    result.directory = workdir
+    injector = FaultInjector(seed=seed)
+    model = AckModel()
+    engine = _open_engine(workdir, faults=injector)
+    ctx = _Ctx(
+        directory=workdir, injector=injector, model=model, engine=engine,
+        driver=Driver(engine, model),
+    )
+    _seed_phase(ctx)
+
+    arm_kwargs: dict[str, int] = {}
+    if kind in (fp.IO_ERROR, fp.ENOSPC):
+        # Transient: fewer occurrences than the retry budget, so the
+        # operation must ride it out and complete.
+        arm_kwargs["times"] = min(2, fp.RETRY_ATTEMPTS - 1)
+    injector.arm(point, kind, **arm_kwargs)
+
+    try:
+        _SCENARIOS[operation](ctx)
+    except CRASH_EXCEPTIONS:
+        result.crashed = True
+    if not result.crashed:
+        if kind == fp.BITFLIP and injector.fired_count(point):
+            # Die here rather than close cleanly: a clean shutdown could
+            # rewrite the corrupted file and hide the flip from the scrub.
+            _abandon(ctx.engine)
+        else:
+            try:
+                ctx.engine.close()
+            except CRASH_EXCEPTIONS:
+                result.crashed = True
+    if result.crashed:
+        _abandon(ctx.engine)
+    result.triggered = injector.fired_count(point) > 0
+
+    if kind in (fp.IO_ERROR, fp.ENOSPC) and result.crashed:
+        result.errors.append(
+            "transient fault escaped the bounded retry (operation should have completed)"
+        )
+    if kind == fp.FSYNC_DROP and result.crashed:
+        result.errors.append("a dropped fsync must have no observable effect")
+
+    if kind == fp.BITFLIP and result.triggered:
+        result.errors.extend(_verify_bitflip(workdir, model))
+    else:
+        result.errors.extend(_verify_recovery(workdir, model))
+
+    if result.ok:
+        shutil.rmtree(workdir, ignore_errors=True)
+        result.directory = None
+    return result
+
+
+# ---------------------------------------------------------------------------
+# verification
+# ---------------------------------------------------------------------------
+def _verify_data(engine: AcheronEngine, model: AckModel, errors: list[str]) -> None:
+    for key in sorted(model.live):
+        observed = engine.get(key)
+        allowed = model.acceptable(key)
+        if observed not in allowed:
+            errors.append(
+                f"acknowledged write lost or wrong: get({key!r}) = {observed!r}, "
+                f"expected one of {allowed!r}"
+            )
+    for key in sorted(model.deleted):
+        if key in model.uncertain:
+            observed = engine.get(key)
+            if observed not in model.uncertain[key]:
+                errors.append(
+                    f"in-flight op on deleted key {key!r} recovered to {observed!r}, "
+                    f"expected one of {model.uncertain[key]!r}"
+                )
+        else:
+            observed = engine.get(key)
+            if observed is not None:
+                errors.append(f"deleted key {key!r} resurrected as {observed!r}")
+    for key, allowed in model.uncertain.items():
+        if key not in model.live and key not in model.deleted:
+            observed = engine.get(key)
+            if observed not in allowed:
+                errors.append(
+                    f"in-flight key {key!r} recovered to {observed!r}, "
+                    f"expected one of {allowed!r}"
+                )
+
+
+def _verify_tombstone_metadata(
+    engine: AcheronEngine, model: AckModel, errors: list[str]
+) -> None:
+    tracker = engine.tracker
+    assert tracker is not None
+    for key, seqno, born in tracker.pending_items():
+        if born not in model.issued_delete_ticks:
+            errors.append(
+                f"pending tombstone ({key!r}, seqno {seqno}) reports birth tick "
+                f"{born}, which is not a tick any delete was issued at -- "
+                "its age was not preserved across the restart"
+            )
+    tree = engine.tree
+    tomb_files = [
+        file
+        for level in tree.iter_levels()
+        for run in level.runs
+        for file in run.files
+        if file.oldest_tombstone_time is not None
+    ]
+    fade = tree.fade
+    if fade is not None and tomb_files:
+        if fade.tracked_file_count() != len(tomb_files):
+            errors.append(
+                f"FADE tracks {fade.tracked_file_count()} file(s) but "
+                f"{len(tomb_files)} on-disk file(s) carry tombstones"
+            )
+        deadline = fade.next_deadline()
+        bound = min(f.oldest_tombstone_time for f in tomb_files) + D_TH
+        if deadline is None or deadline > bound:
+            errors.append(
+                f"FADE next deadline {deadline} exceeds D_th bound {bound} "
+                "after recovery (deadline heap not rebuilt correctly)"
+            )
+
+
+def _verify_recovery(directory: str, model: AckModel) -> list[str]:
+    """Reopen the crashed store cleanly and check the full contract."""
+    errors: list[str] = []
+    report = diagnose_store(directory)
+    if not report.healthy:
+        errors.append(f"crashed store fails diagnosis before recovery: {report.errors}")
+    try:
+        engine = _open_engine(directory)
+    except Exception as exc:  # noqa: BLE001 - any failure to reopen is a finding
+        errors.append(f"recovery open failed: {type(exc).__name__}: {exc}")
+        return errors
+    try:
+        if engine.degraded:
+            errors.append(f"recovery degraded unexpectedly: {engine.tree.recovery_errors}")
+        _verify_data(engine, model, errors)
+        _verify_tombstone_metadata(engine, model, errors)
+        try:
+            engine.verify_invariants()
+        except InvariantViolationError as exc:
+            errors.append(f"recovered tree fails invariants: {exc}")
+    finally:
+        try:
+            engine.close()
+        except Exception as exc:  # noqa: BLE001
+            errors.append(f"close after recovery failed: {type(exc).__name__}: {exc}")
+    for name, check in (("diagnose", diagnose_store), ("scrub", scrub_store)):
+        post = check(directory)
+        if not post.healthy:
+            errors.append(f"store fails {name} after recovery: {post.errors}")
+    return errors
+
+
+def _verify_bitflip(directory: str, model: AckModel) -> list[str]:
+    """A flipped bit must be detected (scrub or strict open), never served."""
+    errors: list[str] = []
+    scrub = scrub_store(directory)
+    try:
+        engine = _open_engine(directory)
+    except CorruptionError:
+        # Detected loudly at recovery -- the scrub must agree.
+        if scrub.healthy:
+            errors.append("strict open detected corruption but `doctor scrub` did not")
+        # Salvage mode must either refuse too (manifest flip) or serve
+        # only plausible values, read-only.
+        try:
+            salvage = _open_engine(directory, degraded_ok=True)
+        except CorruptionError:
+            return errors  # manifest flip: nothing to salvage, still detected
+        try:
+            if not salvage.degraded:
+                errors.append("degraded_ok open of a corrupt store is not degraded")
+            for key in sorted(model.live):
+                observed = salvage.get(key)
+                if observed is not None and not str(observed).startswith(f"{key}:"):
+                    errors.append(
+                        f"degraded read of {key!r} served foreign value {observed!r}"
+                    )
+        finally:
+            salvage.close()
+        return errors
+    # Strict open succeeded: the flipped file is no longer referenced
+    # (e.g. compacted away before the crash).  Nothing corrupt may be
+    # served -- the full recovery contract applies.
+    try:
+        _verify_data(engine, model, errors)
+        _verify_tombstone_metadata(engine, model, errors)
+    finally:
+        engine.close()
+    post = scrub_store(directory)
+    if not post.healthy:
+        errors.append(
+            f"store serves reads yet fails scrub after recovery: {post.errors}"
+        )
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# the matrix
+# ---------------------------------------------------------------------------
+@dataclass
+class MatrixResult:
+    seed: int
+    quick: bool
+    results: list[ComboResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> list[ComboResult]:
+        return [r for r in self.results if not r.ok]
+
+    def triggered_count(self) -> int:
+        return sum(1 for r in self.results if r.triggered)
+
+    def summary(self) -> str:
+        by_kind: dict[str, list[ComboResult]] = {}
+        for r in self.results:
+            by_kind.setdefault(r.kind, []).append(r)
+        lines = [
+            f"crash matrix: {len(self.results)} combos "
+            f"({self.triggered_count()} triggered a fault, "
+            f"{sum(1 for r in self.results if r.crashed)} crashed), seed={self.seed}"
+            + (", quick" if self.quick else "")
+        ]
+        for kind in sorted(by_kind):
+            rs = by_kind[kind]
+            bad = sum(1 for r in rs if not r.ok)
+            status = "ok" if not bad else f"{bad} FAILED"
+            lines.append(
+                f"  {kind:<10} {len(rs):>3} combos, "
+                f"{sum(1 for r in rs if r.triggered):>3} triggered -- {status}"
+            )
+        for r in self.failures:
+            lines.append(f"  FAIL {r.label()}" + (f" [kept: {r.directory}]" if r.directory else ""))
+            for err in r.errors:
+                lines.append(f"       - {err}")
+        lines.append("  => " + ("PASS" if self.passed else "FAIL"))
+        return "\n".join(lines)
+
+
+def run_crash_matrix(
+    seed: int = 0,
+    quick: bool = False,
+    operations: tuple[str, ...] | None = None,
+    progress: Callable[[int, int, ComboResult], None] | None = None,
+) -> MatrixResult:
+    """Run the full matrix; see the module docstring for the contract.
+
+    ``operations`` restricts the scenario axis (the pytest suite runs a
+    slice per operation); ``progress(done, total, result)`` is invoked
+    after each combo for live reporting.
+    """
+    combos = [
+        c for c in iter_combos(quick=quick)
+        if operations is None or c[0] in operations
+    ]
+    matrix = MatrixResult(seed=seed, quick=quick)
+    base = tempfile.mkdtemp(prefix="crashmatrix-")
+    try:
+        for index, (operation, point, kind) in enumerate(combos):
+            combo_seed = seed * 1_000_003 + index
+            result = run_combo(operation, point, kind, combo_seed, base)
+            matrix.results.append(result)
+            if progress is not None:
+                progress(index + 1, len(combos), result)
+    finally:
+        # Failures pin their workdir; everything else is already gone.
+        if not any(Path(base).iterdir()):
+            shutil.rmtree(base, ignore_errors=True)
+    return matrix

@@ -13,8 +13,16 @@ and verifies, without mutating anything:
    are newer);
 6. the WAL replays (a torn tail is normal; interior corruption is not).
 
+``scrub_store(path)`` is the cheaper, checksum-first sibling: it verifies
+the whole-file checksum of **every** SSTable on disk (referenced or not),
+validates the manifest's integrity envelope (epoch + CRC), and replays the
+WAL -- without decoding entries or checking cross-file invariants.  It is
+what a periodic background scrubber would run: a bit-flipped file is
+*reported*, never silently served.
+
 The result is a :class:`DoctorReport` -- render it with ``.render()`` or
-check ``.healthy``.  Used by ``python -m repro.cli verify``.
+check ``.healthy``.  Used by ``python -m repro.cli verify`` / ``scrub``
+and directly via ``python -m repro.tools.doctor <diagnose|scrub> DIR``.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.config import LSMConfig
-from repro.errors import AcheronError, ConfigError, CorruptionError
+from repro.errors import AcheronError, ConfigError, CorruptionError, StorageError
 from repro.lsm.page import DeleteTile, Page
 from repro.lsm.run import SSTableFile
 from repro.storage.filestore import FileStore
@@ -227,3 +235,92 @@ class _NullBloom:
 
     def might_contain(self, key: Any) -> bool:  # pragma: no cover - trivial
         return True
+
+
+# ---------------------------------------------------------------------------
+# scrub: checksum-first media verification
+# ---------------------------------------------------------------------------
+def scrub_store(directory: str | Path) -> DoctorReport:
+    """Checksum every SSTable on disk and validate the manifest.
+
+    Read-only.  Unlike :func:`diagnose_store` this walks *all* files in
+    the directory (a corrupt orphan is still worth reporting: it may be
+    the only copy of a crashed flush) and verifies the embedded
+    whole-file checksums rather than decoding entries.
+    """
+    report = DoctorReport(directory=str(directory))
+    store = FileStore(directory)
+
+    referenced: set[int] = set()
+    try:
+        manifest = store.read_manifest()
+    except CorruptionError as exc:
+        report.error(f"manifest fails verification: {exc}")
+        manifest = None
+    else:
+        if manifest is None:
+            report.error("no manifest: not an initialized store")
+        else:
+            epoch = store.manifest_epoch
+            report.passed(
+                "manifest checksum valid"
+                + (f" (epoch {epoch})" if epoch is not None else " (no epoch: pre-epoch store)")
+            )
+            report.stats["manifest_epoch"] = epoch
+            referenced = {
+                fid
+                for run_lists in manifest.get("levels", [])
+                for file_ids in run_lists
+                for fid in file_ids
+            }
+
+    checksums: dict[int, int] = {}
+    bad = 0
+    for file_id in store.list_sstable_ids():
+        label = "referenced" if file_id in referenced else "orphan"
+        try:
+            checksums[file_id] = store.checksum_sstable(file_id)
+        except (CorruptionError, StorageError) as exc:
+            bad += 1
+            report.error(f"sstable {file_id} ({label}): {exc}")
+    if not bad:
+        report.passed(f"all {len(checksums)} sstable checksums verify")
+    for file_id in sorted(referenced):
+        if not store.sstable_path(file_id).exists():
+            report.error(f"sstable {file_id} referenced by the manifest is missing")
+    report.stats["sstables_scrubbed"] = len(checksums)
+    report.stats["sstable_checksums"] = {str(k): v for k, v in sorted(checksums.items())}
+
+    try:
+        entries = list(WriteAheadLog.replay(store.wal_path))
+    except CorruptionError as exc:
+        report.error(f"WAL corrupt before its tail: {exc}")
+    else:
+        report.passed(f"WAL replays ({len(entries)} buffered entries)")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.tools.doctor <diagnose|scrub> DIRECTORY``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.doctor",
+        description="offline integrity checking for durable store directories",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    diag = sub.add_parser("diagnose", help="full structural diagnosis")
+    diag.add_argument("directory")
+    scrub = sub.add_parser("scrub", help="checksum every sstable + validate the manifest")
+    scrub.add_argument("directory")
+    args = parser.parse_args(argv)
+    runner = diagnose_store if args.command == "diagnose" else scrub_store
+    report = runner(args.directory)
+    print(report.render())
+    return 0 if report.healthy else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    import sys
+
+    sys.exit(main())

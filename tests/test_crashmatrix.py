@@ -1,0 +1,59 @@
+"""A pytest-sized slice of the crash matrix, plus harness self-checks.
+
+The full matrix (every fault point x every operation x every kind) lives
+behind ``scripts/crash_matrix.py``; here we run one quick operation per
+test so a plain ``pytest`` run still exercises crash-recovery end to end,
+and we pin the combinatorics so registry growth cannot silently shrink
+coverage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import faults as fp
+from repro.testing.crashmatrix import (
+    BITFLIP_POINTS,
+    OPERATIONS,
+    iter_combos,
+    run_crash_matrix,
+)
+
+
+class TestComboEnumeration:
+    def test_every_fault_point_appears(self):
+        combos = list(iter_combos(quick=False))
+        points = {point for _, point, _ in combos}
+        assert points == set(fp.FAULT_POINTS)
+
+    def test_every_operation_appears(self):
+        combos = list(iter_combos(quick=False))
+        ops = {op for op, _, _ in combos}
+        assert ops == set(OPERATIONS)
+
+    def test_bitflips_restricted_to_data_writes(self):
+        combos = list(iter_combos(quick=False))
+        flip_points = {p for _, p, k in combos if k == fp.BITFLIP}
+        assert flip_points == set(BITFLIP_POINTS)
+
+    def test_quick_mode_drops_only_the_slow_twins(self):
+        full = set(iter_combos(quick=False))
+        quick = set(iter_combos(quick=True))
+        assert quick < full
+        dropped_kinds = {k for _, _, k in full - quick}
+        assert dropped_kinds == {fp.ENOSPC, fp.FSYNC_DROP}
+
+
+@pytest.mark.parametrize("operation", OPERATIONS)
+def test_quick_matrix_operation(operation, tmp_path):
+    matrix = run_crash_matrix(seed=3, quick=True, operations=(operation,))
+    assert matrix.passed, matrix.summary()
+    # The matrix is only meaningful if faults actually fire.
+    assert matrix.triggered_count() > 0
+
+
+def test_matrix_is_deterministic_per_seed(tmp_path):
+    first = run_crash_matrix(seed=11, quick=True, operations=("flush",))
+    second = run_crash_matrix(seed=11, quick=True, operations=("flush",))
+    assert [r.label() for r in first.results] == [r.label() for r in second.results]
+    assert [r.triggered for r in first.results] == [r.triggered for r in second.results]

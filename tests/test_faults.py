@@ -1,0 +1,289 @@
+"""Tests for the fault-injection layer and the storage code under fire:
+the injector's own semantics, then FileStore/WAL behaviour at each
+armed transition (crash-atomic publication, bounded retry, torn writes)."""
+
+import pytest
+
+from repro.errors import CorruptionError, StorageError
+from repro.lsm.entry import Entry
+from repro.storage import faults as fp
+from repro.storage.faults import FaultInjector, SimulatedCrash, retry_transient
+from repro.storage.filestore import FileStore
+from repro.storage.wal import WriteAheadLog
+
+
+def entries(n, start_seqno=1):
+    return [Entry.put(f"k{i}", f"v{i}", start_seqno + i, i, i) for i in range(n)]
+
+
+class TestInjectorSemantics:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector().arm("no.such.point", fp.CRASH)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector().arm(fp.WAL_APPEND, "meteor")
+
+    def test_crash_fires_once_per_visit(self):
+        inj = FaultInjector()
+        inj.arm(fp.WAL_APPEND, fp.CRASH)
+        with pytest.raises(SimulatedCrash) as exc:
+            inj.fire(fp.WAL_APPEND)
+        assert exc.value.point == fp.WAL_APPEND
+        assert inj.fired_count(fp.WAL_APPEND) == 1
+
+    def test_after_delays_the_fault(self):
+        inj = FaultInjector()
+        inj.arm(fp.WAL_APPEND, fp.CRASH, after=2)
+        inj.fire(fp.WAL_APPEND)  # visit 1: quiet
+        inj.fire(fp.WAL_APPEND)  # visit 2: quiet
+        with pytest.raises(SimulatedCrash):
+            inj.fire(fp.WAL_APPEND)
+
+    def test_transient_clears_after_times(self):
+        inj = FaultInjector()
+        inj.arm(fp.MANIFEST_RENAME, fp.IO_ERROR, times=2)
+        for _ in range(2):
+            with pytest.raises(OSError):
+                inj.fire(fp.MANIFEST_RENAME)
+        inj.fire(fp.MANIFEST_RENAME)  # third visit: the device recovered
+
+    def test_enospc_carries_the_errno(self):
+        import errno
+
+        inj = FaultInjector()
+        inj.arm(fp.SSTABLE_WRITE, fp.ENOSPC)
+        with pytest.raises(OSError) as exc:
+            inj.fire(fp.SSTABLE_WRITE)
+        assert exc.value.errno == errno.ENOSPC
+
+    def test_torn_truncates_and_requests_crash(self):
+        inj = FaultInjector()
+        inj.arm(fp.WAL_APPEND, fp.TORN, at_byte=3)
+        inj.fire(fp.WAL_APPEND)  # the instrumented site always fires first
+        payload, crash_after = inj.mangle(fp.WAL_APPEND, b"0123456789")
+        assert payload == b"012"
+        assert crash_after
+
+    def test_bitflip_changes_exactly_one_bit_and_disarms(self):
+        inj = FaultInjector(seed=7)
+        inj.arm(fp.SSTABLE_WRITE, fp.BITFLIP)
+        data = bytes(range(64))
+        inj.fire(fp.SSTABLE_WRITE)
+        flipped, crash_after = inj.mangle(fp.SSTABLE_WRITE, data)
+        assert not crash_after
+        diff = [(a ^ b) for a, b in zip(data, flipped)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+        # One flip only: a retry must not re-corrupt (or un-corrupt).
+        inj.fire(fp.SSTABLE_WRITE)
+        again, _ = inj.mangle(fp.SSTABLE_WRITE, data)
+        assert again == data
+
+    def test_bitflip_deterministic_under_seed(self):
+        outs = []
+        for _ in range(2):
+            inj = FaultInjector(seed=99)
+            inj.arm(fp.SSTABLE_WRITE, fp.BITFLIP)
+            inj.fire(fp.SSTABLE_WRITE)
+            outs.append(inj.mangle(fp.SSTABLE_WRITE, bytes(range(32)))[0])
+        assert outs[0] == outs[1]
+
+    def test_fsync_drop_denies_fsync(self):
+        inj = FaultInjector()
+        inj.arm(fp.WAL_FSYNC, fp.FSYNC_DROP)
+        assert not inj.allows_fsync(fp.WAL_FSYNC)
+        assert inj.allows_fsync(fp.MANIFEST_FSYNC)  # other points untouched
+
+    def test_registry_covers_every_declared_point(self):
+        # Every constant used by the storage layer must be registered.
+        for point in (
+            fp.SSTABLE_WRITE, fp.SSTABLE_FSYNC, fp.SSTABLE_RENAME,
+            fp.SSTABLE_DIRSYNC, fp.SSTABLE_DELETE, fp.MANIFEST_WRITE,
+            fp.MANIFEST_FSYNC, fp.MANIFEST_RENAME, fp.MANIFEST_DIRSYNC,
+            fp.WAL_APPEND, fp.WAL_FSYNC, fp.WAL_ROTATE_WRITE,
+            fp.WAL_ROTATE_RENAME, fp.WAL_ROTATE_DIRSYNC,
+        ):
+            assert point in fp.FAULT_POINTS
+            kinds = fp.kinds_for_point(point)
+            assert kinds and fp.CRASH in kinds
+
+
+class TestRetryTransient:
+    def test_returns_value_on_success(self):
+        assert retry_transient(lambda: 42, "answer") == 42
+
+    def test_retries_through_transient_oserror(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        assert retry_transient(flaky, "flaky device") == "ok"
+        assert calls["n"] == 3
+
+    def test_exhaustion_raises_storage_error(self):
+        def broken():
+            raise OSError("still dead")
+
+        with pytest.raises(StorageError, match="after"):
+            retry_transient(broken, "dead device")
+
+    def test_simulated_crash_is_never_retried(self):
+        calls = {"n": 0}
+
+        def crashing():
+            calls["n"] += 1
+            raise SimulatedCrash(fp.WAL_APPEND)
+
+        with pytest.raises(SimulatedCrash):
+            retry_transient(crashing, "crashing device")
+        assert calls["n"] == 1
+
+
+class TestFileStoreUnderFaults:
+    def manifest(self, seqno=5):
+        return {"levels": [], "next_file_id": 1, "seqno": seqno, "clock": 10}
+
+    def test_crash_before_rename_keeps_old_manifest(self, tmp_path):
+        inj = FaultInjector()
+        store = FileStore(tmp_path, faults=inj)
+        store.write_manifest(self.manifest(seqno=1))
+        inj.arm(fp.MANIFEST_RENAME, fp.CRASH)
+        with pytest.raises(SimulatedCrash):
+            store.write_manifest(self.manifest(seqno=2))
+        # The old manifest survives intact; the attempt left only a temp.
+        fresh = FileStore(tmp_path)
+        assert fresh.read_manifest()["seqno"] == 1
+        assert fresh.temp_files()
+
+    def test_torn_manifest_write_never_published(self, tmp_path):
+        inj = FaultInjector()
+        store = FileStore(tmp_path, faults=inj)
+        store.write_manifest(self.manifest(seqno=1))
+        inj.arm(fp.MANIFEST_WRITE, fp.TORN)
+        with pytest.raises(SimulatedCrash):
+            store.write_manifest(self.manifest(seqno=2))
+        assert FileStore(tmp_path).read_manifest()["seqno"] == 1
+
+    def test_crash_before_sstable_rename_leaves_no_sstable(self, tmp_path):
+        inj = FaultInjector()
+        store = FileStore(tmp_path, faults=inj)
+        inj.arm(fp.SSTABLE_RENAME, fp.CRASH)
+        with pytest.raises(SimulatedCrash):
+            store.write_sstable(7, [[[]]], {})
+        assert store.list_sstable_ids() == []
+        swept = FileStore(tmp_path).clean_temp_files()
+        assert swept  # startup removes the orphan temp
+        assert FileStore(tmp_path).temp_files() == []
+
+    def test_transient_io_error_is_retried_to_success(self, tmp_path):
+        inj = FaultInjector()
+        store = FileStore(tmp_path, faults=inj)
+        inj.arm(fp.MANIFEST_RENAME, fp.IO_ERROR, times=2)
+        store.write_manifest(self.manifest(seqno=3))  # must not raise
+        assert FileStore(tmp_path).read_manifest()["seqno"] == 3
+        assert inj.fired_count(fp.MANIFEST_RENAME) == 2
+
+    def test_persistent_io_error_exhausts_to_storage_error(self, tmp_path):
+        inj = FaultInjector()
+        store = FileStore(tmp_path, faults=inj)
+        inj.arm(fp.MANIFEST_RENAME, fp.IO_ERROR, times=10_000)
+        with pytest.raises(StorageError, match="attempts"):
+            store.write_manifest(self.manifest())
+
+    def test_bitflipped_sstable_fails_checksum_on_read(self, tmp_path):
+        inj = FaultInjector(seed=3)
+        store = FileStore(tmp_path, faults=inj)
+        inj.arm(fp.SSTABLE_WRITE, fp.BITFLIP)
+        store.write_sstable(1, [[[]]], {"created_at": 0})
+        fresh = FileStore(tmp_path)
+        with pytest.raises(CorruptionError):
+            fresh.read_sstable(1)
+        with pytest.raises(CorruptionError):
+            fresh.checksum_sstable(1)
+
+    def test_fsync_drop_is_logically_invisible(self, tmp_path):
+        inj = FaultInjector()
+        store = FileStore(tmp_path, faults=inj)
+        inj.arm(fp.MANIFEST_FSYNC, fp.FSYNC_DROP)
+        store.write_manifest(self.manifest(seqno=9))
+        assert FileStore(tmp_path).read_manifest()["seqno"] == 9
+
+    def test_crash_on_delete_leaves_file_for_gc(self, tmp_path):
+        inj = FaultInjector()
+        store = FileStore(tmp_path, faults=inj)
+        store.write_sstable(4, [[[]]], {})
+        inj.arm(fp.SSTABLE_DELETE, fp.CRASH)
+        with pytest.raises(SimulatedCrash):
+            store.delete_sstable(4)
+        assert 4 in FileStore(tmp_path).list_sstable_ids()
+        FileStore(tmp_path).garbage_collect(live_file_ids=set())
+        assert FileStore(tmp_path).list_sstable_ids() == []
+
+
+class TestWalUnderFaults:
+    def test_torn_append_loses_only_the_torn_record(self, tmp_path):
+        inj = FaultInjector()
+        wal = WriteAheadLog(tmp_path / "wal.log", faults=inj)
+        batch = entries(5)
+        for e in batch[:4]:
+            wal.append(e)
+        inj.arm(fp.WAL_APPEND, fp.TORN, at_byte=6)
+        with pytest.raises(SimulatedCrash):
+            wal.append(batch[4])
+        wal.close()
+        survived = list(WriteAheadLog.replay(tmp_path / "wal.log"))
+        assert [e.key for e in survived] == [e.key for e in batch[:4]]
+
+    def test_crash_during_rotation_keeps_old_or_new_never_mixed(self, tmp_path):
+        inj = FaultInjector()
+        wal = WriteAheadLog(tmp_path / "wal.log", sync=True, faults=inj)
+        for e in entries(6):
+            wal.append(e)
+        inj.arm(fp.WAL_ROTATE_RENAME, fp.CRASH)
+        with pytest.raises(SimulatedCrash):
+            wal.truncate()
+        wal.close()
+        # Rename never happened: the full old log is still in place.
+        survived = list(WriteAheadLog.replay(tmp_path / "wal.log"))
+        assert len(survived) == 6
+
+    def test_rotation_completes_after_transient_error(self, tmp_path):
+        inj = FaultInjector()
+        wal = WriteAheadLog(tmp_path / "wal.log", faults=inj)
+        for e in entries(3):
+            wal.append(e)
+        inj.arm(fp.WAL_ROTATE_RENAME, fp.IO_ERROR, times=2)
+        wal.truncate()
+        wal.append(entries(1, start_seqno=50)[0])
+        wal.close()
+        survived = list(WriteAheadLog.replay(tmp_path / "wal.log"))
+        assert len(survived) == 1  # old records gone, post-rotation append kept
+        assert wal.rotations == 1
+
+    def test_rewrite_replaces_contents_atomically(self, tmp_path):
+        inj = FaultInjector()
+        wal = WriteAheadLog(tmp_path / "wal.log", faults=inj)
+        for e in entries(8):
+            wal.append(e)
+        keep = entries(3, start_seqno=100)
+        wal.rewrite(keep)
+        wal.close()
+        survived = list(WriteAheadLog.replay(tmp_path / "wal.log"))
+        assert [e.seqno for e in survived] == [100, 101, 102]
+
+    def test_torn_rewrite_keeps_the_old_log(self, tmp_path):
+        inj = FaultInjector()
+        wal = WriteAheadLog(tmp_path / "wal.log", faults=inj)
+        for e in entries(8):
+            wal.append(e)
+        inj.arm(fp.WAL_ROTATE_WRITE, fp.TORN, at_byte=4)
+        with pytest.raises(SimulatedCrash):
+            wal.rewrite(entries(3, start_seqno=100))
+        wal.close()
+        survived = list(WriteAheadLog.replay(tmp_path / "wal.log"))
+        assert len(survived) == 8  # the complete old log, not a torn new one
