@@ -19,12 +19,18 @@ benchmarking").
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.bench.perfsuite import FULL_INGEST_OPS, render, run_suite  # noqa: E402
+from repro.bench.perfsuite import (  # noqa: E402
+    FULL_INGEST_OPS,
+    check_read_regression,
+    render,
+    run_suite,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -52,6 +58,20 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="output path (default: next unused BENCH_<n>.json at the repo root)",
     )
+    parser.add_argument(
+        "--check-reads",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="archived BENCH_<n>.json to guard read speedups against; "
+        "exits 1 if get/scan/mixed speedup regresses past the tolerance",
+    )
+    parser.add_argument(
+        "--read-tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional speedup drop for --check-reads (default 0.2)",
+    )
     args = parser.parse_args(argv)
     if args.ops < 1:
         parser.error(f"--ops must be >= 1, got {args.ops}")
@@ -59,11 +79,26 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--workers must be >= 0, got {args.workers}")
     if args.out is not None and not args.out.parent.is_dir():
         parser.error(f"--out directory does not exist: {args.out.parent}")
+    if args.check_reads is not None and not args.check_reads.is_file():
+        parser.error(f"--check-reads baseline does not exist: {args.check_reads}")
+    if not 0.0 <= args.read_tolerance < 1.0:
+        parser.error(f"--read-tolerance must be in [0, 1), got {args.read_tolerance}")
 
     payload = run_suite(
         ingest_ops=args.ops, quick=args.quick, workers=args.workers, out=args.out
     )
     print(render(payload))
+    if args.check_reads is not None:
+        baseline = json.loads(args.check_reads.read_text())
+        failures = check_read_regression(
+            payload, baseline, tolerance=args.read_tolerance
+        )
+        if failures:
+            print(f"read regression vs {args.check_reads}:")
+            for failure in failures:
+                print(f"  FAIL {failure}")
+            return 1
+        print(f"read speedups within {args.read_tolerance:.0%} of {args.check_reads}")
     return 0
 
 

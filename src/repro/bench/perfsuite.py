@@ -27,6 +27,7 @@ numbers committed before it.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
@@ -50,6 +51,13 @@ SCAN_OPS = 300
 SCAN_WIDTH = 64
 INGEST_BATCH = 512
 DELETE_FRACTION = 0.15
+
+#: Read-phase shape.  The optimized arm attaches a sharded block cache of
+#: this many pages (the seed arm keeps the BENCH_1-era disabled cache);
+#: the mixed phase interleaves point gets with narrow limited scans.
+READ_CACHE_PAGES = 1024
+MIXED_GET_FRACTION = 0.85
+MIXED_SCAN_LIMIT = 16
 
 
 @dataclass(frozen=True)
@@ -187,7 +195,27 @@ def run_experiment(spec: dict[str, Any]) -> dict[str, Any]:
         )
     engine.tree.check_invariants()
 
-    # -- get phase: point lookups, half present / half absent -----------
+    # Both arms' engines (~1M objects) survive to the end of the
+    # experiment, so any gen-2 collection that lands inside a timed read
+    # loop crawls the whole heap and charges a multi-ms pause to whichever
+    # arm triggered it.  Freeze the settled graph once so the timed loops
+    # only pay for their own garbage (unfrozen before returning).
+    gc.collect()
+    gc.freeze()
+
+    # -- read phases: seed-vs-optimized on identical query streams ------
+    # The probe keys and scan bounds are drawn with exactly the same rng
+    # sequence as earlier archives (Random(seed+1): probes first, then
+    # scan bounds), so absolute ops/s stay comparable across BENCH_<n>.
+    # Like ingest, every read phase is timed twice: once through the
+    # seed read model (fresh reader per call, no run pruning, per-run
+    # range_entries towers; see seedcost) on the seed arm's equivalent
+    # tree with its BENCH_1-era disabled cache, and once through the
+    # overhauled path with its sharded admission cache attached cold.
+    from repro.bench.seedcost import seed_read_model
+    from repro.lsm.run import PageReader
+    from repro.storage.cache import BlockCache
+
     rng = Random(seed + 1)
     live_keys = [op[1] for op in ops if op[0] == "put"]
     n_get = max(1, int(n * GET_OPS_FRACTION))
@@ -196,23 +224,98 @@ def run_experiment(spec: dict[str, Any]) -> dict[str, Any]:
         else n * 2 + rng.randrange(n)  # guaranteed absent
         for _ in range(n_get)
     ]
-    t0 = time.perf_counter()
-    hits = 0
-    sentinel = object()
-    for key in probes:
-        if engine.get(key, default=sentinel) is not sentinel:
-            hits += 1
-    get_phase = PhaseResult(n_get, time.perf_counter() - t0)
-
-    # -- scan phase: fixed-width range scans ----------------------------
     scans = spec.get("scan_ops", SCAN_OPS)
-    t0 = time.perf_counter()
-    rows = 0
-    for _ in range(scans):
-        lo = rng.randrange(max(1, n * 2 - SCAN_WIDTH))
-        rows += sum(1 for _ in engine.scan(lo, lo + SCAN_WIDTH))
-    scan_phase = PhaseResult(scans, time.perf_counter() - t0)
+    scan_los = [rng.randrange(max(1, n * 2 - SCAN_WIDTH)) for _ in range(scans)]
+    # Quick runs repeat each timed read loop so the per-arm CPU time is
+    # large enough to gate on (tens of ms would be all scheduler noise).
+    # Full runs keep repeats=1 so ops/s stays comparable across archives.
+    repeats = spec.get("read_repeats", 1)
+    mixed_rng = Random(seed + 3)
+    mixed: list[tuple] = []
+    for _ in range(max(1, n_get // 2)):
+        if mixed_rng.random() < MIXED_GET_FRACTION:
+            if mixed_rng.random() < 0.5:
+                mixed.append(("get", live_keys[mixed_rng.randrange(len(live_keys))]))
+            else:
+                mixed.append(("get", n * 2 + mixed_rng.randrange(n)))
+        else:
+            lo = mixed_rng.randrange(max(1, n * 2 - SCAN_WIDTH))
+            mixed.append(("scan", lo, lo + SCAN_WIDTH))
+    sentinel = object()
 
+    def get_loop(eng) -> tuple[int, PhaseResult]:
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        hits = 0
+        for _ in range(repeats):
+            for key in probes:
+                if eng.get(key, default=sentinel) is not sentinel:
+                    hits += 1
+        cpu = time.process_time() - c0
+        return hits, PhaseResult(n_get * repeats, time.perf_counter() - t0, cpu)
+
+    def scan_loop(eng) -> tuple[int, PhaseResult]:
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        rows = 0
+        for _ in range(repeats):
+            for lo in scan_los:
+                rows += sum(1 for _ in eng.scan(lo, lo + SCAN_WIDTH))
+        cpu = time.process_time() - c0
+        return rows, PhaseResult(scans * repeats, time.perf_counter() - t0, cpu)
+
+    def mixed_loop(eng) -> tuple[int, PhaseResult]:
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        found = 0
+        for _ in range(repeats):
+            for op in mixed:
+                if op[0] == "get":
+                    if eng.get(op[1], default=sentinel) is not sentinel:
+                        found += 1
+                else:
+                    found += sum(
+                        1 for _ in eng.scan(op[1], op[2], limit=MIXED_SCAN_LIMIT)
+                    )
+        cpu = time.process_time() - c0
+        return found, PhaseResult(len(mixed) * repeats, time.perf_counter() - t0, cpu)
+
+    with seed_read_model():
+        seed_hits, seed_get = get_loop(seed_engine)
+        seed_rows, seed_scan = scan_loop(seed_engine)
+        seed_found, seed_mixed = mixed_loop(seed_engine)
+
+    tree = engine.tree
+    tree.cache = BlockCache(READ_CACHE_PAGES)
+    tree._reader = PageReader(tree.disk, tree.cache)
+    hits, get_phase = get_loop(engine)
+    rows, scan_phase = scan_loop(engine)
+    found, mixed_phase = mixed_loop(engine)
+
+    # -- equivalence: identical queries must return identical results ---
+    # Untimed full re-run of both arms (the timed loops above only count,
+    # so the measurement stays shaped like earlier archives).
+    with seed_read_model():
+        expect_gets = [seed_engine.get(k, default=sentinel) for k in probes]
+        expect_scans = [
+            list(seed_engine.scan(lo, lo + SCAN_WIDTH)) for lo in scan_los
+        ]
+    if expect_gets != [engine.get(k, default=sentinel) for k in probes] or (
+        expect_scans != [list(engine.scan(lo, lo + SCAN_WIDTH)) for lo in scan_los]
+    ):
+        raise AssertionError(f"{name}: the read overhaul changed query results")
+    if (seed_hits, seed_rows, seed_found) != (hits, rows, found):
+        raise AssertionError(
+            f"{name}: read arms disagree: seed ({seed_hits}, {seed_rows}, "
+            f"{seed_found}) vs optimized ({hits}, {rows}, {found})"
+        )
+
+    def speedup(seed_phase: PhaseResult, opt_phase: PhaseResult) -> float:
+        if not opt_phase.cpu_seconds:
+            return float("inf")
+        return round(seed_phase.cpu_seconds / opt_phase.cpu_seconds, 2)
+
+    gc.unfreeze()
     return {
         "experiment": name,
         "engine": kind,
@@ -220,15 +323,25 @@ def run_experiment(spec: dict[str, Any]) -> dict[str, Any]:
         "phases": {
             "ingest_seed_cost_model": seed_ingest.to_dict(),
             "ingest_optimized": ingest.to_dict(),
+            "get_seed_read_model": seed_get.to_dict(),
             "get": get_phase.to_dict(),
+            "scan_seed_read_model": seed_scan.to_dict(),
             "scan": scan_phase.to_dict(),
+            "mixed_seed_read_model": seed_mixed.to_dict(),
+            "mixed": mixed_phase.to_dict(),
         },
         "ingest_speedup": round(seed_cpu / opt_cpu, 2) if opt_cpu else float("inf"),
         "ingest_speedup_wall": round(seed_ingest.seconds / ingest.seconds, 2)
         if ingest.seconds
         else float("inf"),
+        "get_speedup": speedup(seed_get, get_phase),
+        "scan_speedup": speedup(seed_scan, scan_phase),
+        "mixed_speedup": speedup(seed_mixed, mixed_phase),
         "get_hits": hits,
         "scan_rows": rows,
+        "mixed_found": found,
+        "cache": tree.cache.stats(),
+        "read_path": tree.read_stats()["levels"],
         "state": after,
     }
 
@@ -258,6 +371,7 @@ def run_suite(
             "seed": exp.seed,
             "ingest_ops": ingest_ops,
             "scan_ops": 50 if quick else SCAN_OPS,
+            "read_repeats": 5 if quick else 1,
         }
         for exp in EXPERIMENTS
     ]
@@ -288,6 +402,9 @@ def run_suite(
         "wall_seconds": round(wall, 2),
         "experiments": results,
         "min_ingest_speedup": min(r["ingest_speedup"] for r in results),
+        "min_get_speedup": min(r["get_speedup"] for r in results),
+        "min_scan_speedup": min(r["scan_speedup"] for r in results),
+        "min_mixed_speedup": min(r["mixed_speedup"] for r in results),
     }
     path = out or next_bench_path()
     path.write_text(json.dumps(payload, indent=1) + "\n")
@@ -301,20 +418,66 @@ def render(payload: dict[str, Any]) -> str:
         f"perfsuite ({'quick' if payload['quick'] else 'full'}): "
         f"{payload['ingest_ops']} ingest ops/experiment, "
         f"{payload['wall_seconds']}s wall",
-        f"{'experiment':<20} {'seed ops/s':>12} {'opt ops/s':>12} "
-        f"{'speedup':>8} {'get ops/s':>12} {'scan/s':>8}",
+        f"{'experiment':<20} {'ingest/s':>10} {'ing-x':>6} "
+        f"{'get/s':>10} {'get-x':>6} {'scan/s':>8} {'scan-x':>7} "
+        f"{'mixed-x':>8} {'cache-hit':>10}",
     ]
     for r in payload["experiments"]:
         p = r["phases"]
         lines.append(
             f"{r['experiment']:<20} "
-            f"{p['ingest_seed_cost_model']['ops_per_s']:>12,.0f} "
-            f"{p['ingest_optimized']['ops_per_s']:>12,.0f} "
-            f"{r['ingest_speedup']:>7.2f}x "
-            f"{p['get']['ops_per_s']:>12,.0f} "
-            f"{p['scan']['ops_per_s']:>8,.0f}"
+            f"{p['ingest_optimized']['ops_per_s']:>10,.0f} "
+            f"{r['ingest_speedup']:>5.2f}x "
+            f"{p['get']['ops_per_s']:>10,.0f} "
+            f"{r['get_speedup']:>5.2f}x "
+            f"{p['scan']['ops_per_s']:>8,.0f} "
+            f"{r['scan_speedup']:>6.2f}x "
+            f"{r['mixed_speedup']:>7.2f}x "
+            f"{r['cache']['hit_rate']:>10.2%}"
         )
-    lines.append(f"min ingest speedup: {payload['min_ingest_speedup']:.2f}x")
+    lines.append(
+        f"min speedups: ingest {payload['min_ingest_speedup']:.2f}x, "
+        f"get {payload['min_get_speedup']:.2f}x, "
+        f"scan {payload['min_scan_speedup']:.2f}x, "
+        f"mixed {payload['min_mixed_speedup']:.2f}x"
+    )
     if "path" in payload:
         lines.append(f"archived: {payload['path']}")
     return "\n".join(lines)
+
+
+#: Speedup metrics guarded by :func:`check_read_regression`.
+READ_SPEEDUP_KEYS = ("get_speedup", "scan_speedup", "mixed_speedup")
+
+
+def check_read_regression(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float = 0.2,
+) -> list[str]:
+    """Compare read *speedups* of a fresh run against an archived one.
+
+    Speedups (seed-model CPU time / optimized CPU time, measured in the
+    same process seconds apart) are machine-independent, so a quick CI run
+    on shared hardware can be held against a full archive from a developer
+    machine.  Raw ops/s are deliberately not compared.  Returns a list of
+    human-readable failure strings (empty means no regression).  Metrics
+    absent from the baseline archive (e.g. pre-overhaul BENCH files) are
+    skipped.
+    """
+    failures: list[str] = []
+    base_by_name = {r["experiment"]: r for r in baseline.get("experiments", [])}
+    for result in current.get("experiments", []):
+        base = base_by_name.get(result["experiment"])
+        if base is None:
+            continue
+        for key in READ_SPEEDUP_KEYS:
+            if key not in base or key not in result:
+                continue
+            floor = base[key] * (1.0 - tolerance)
+            if result[key] < floor:
+                failures.append(
+                    f"{result['experiment']}: {key} {result[key]:.2f}x fell below "
+                    f"{floor:.2f}x ({(1 - tolerance):.0%} of archived {base[key]:.2f}x)"
+                )
+    return failures

@@ -37,7 +37,9 @@ imports it.
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left
 from contextlib import contextmanager
+from functools import lru_cache
 from hashlib import blake2b
 from itertools import chain
 from typing import TYPE_CHECKING, Iterable, Iterator
@@ -49,6 +51,7 @@ from repro.lsm.compaction.executor import CompactionEvent, _execute_trivial_move
 from repro.lsm.compaction.planner import SaturationPlanner
 from repro.lsm.compaction.task import CompactionTask, OutputPlacement
 from repro.lsm.entry import Entry
+from repro.lsm.iterator import scan_merge
 from repro.lsm.memtable import Memtable
 from repro.lsm.page import DeleteTile, Page
 from repro.lsm.run import Run, SSTableFile, build_files
@@ -310,6 +313,136 @@ def _seed_tree_ingest(self: "LSMTree", entry: Entry) -> None:
     self.clock.tick()
     self._maybe_flush()
     self.maintain()
+
+
+# ----------------------------------------------------------------------
+# Read path: the pre-overhaul lookup and scan (BENCH_1 conditions)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=1 << 18)
+def _seed_key_hash_pair(key) -> tuple[int, int]:
+    """The pre-overhaul digest memo (``functools.lru_cache``, not a dict)."""
+    return _seed_hash_pair(key)
+
+
+def _seed_read_might_contain(self: BloomFilter, key) -> bool:
+    """The pre-overhaul probe: memoized pair + inline loop, per *probe*."""
+    self.probes += 1
+    num_bits = self.num_bits
+    if not num_bits:
+        return True
+    try:
+        h, h2 = _seed_key_hash_pair(key)
+    except TypeError:
+        h, h2 = _seed_hash_pair(key)
+    bits = self._bits
+    for _ in range(self.num_hashes):
+        bit = h % num_bits
+        if not bits[bit >> 3] & (1 << (bit & 7)):
+            return False
+        h += h2
+    return True
+
+
+def _seed_page_get(self: Page, key) -> Entry | None:
+    """Per-comparison lambda-key bisect (no cached key list)."""
+    entries = self.entries
+    idx = bisect_left(entries, key, key=lambda e: e.key)
+    if idx < len(entries) and entries[idx].key == key:
+        return entries[idx]
+    return None
+
+
+def _seed_file_get(self: SSTableFile, key, reader, pinned: bool = False) -> Entry | None:
+    """Candidate-list enumeration with no single-page fast path."""
+    tile_idx = self.tile_fence.locate(key)
+    if tile_idx is None:
+        return None
+    tile = self.tiles[tile_idx]
+    for page_idx in tile.candidate_page_indexes(key):
+        candidate = tile.pages[page_idx]
+        if candidate.bloom is not None and not candidate.bloom.might_contain(key):
+            continue
+        page = reader.read_page(self, tile_idx, page_idx)
+        entry = _seed_page_get(page, key)
+        if entry is not None:
+            return entry
+    return None
+
+
+def _seed_tree_get_entry(self: "LSMTree", key) -> Entry | None:
+    """A fresh PageReader per call; every run probed, no span precheck."""
+    entry = self.memtable.get(key)
+    if entry is not None:
+        return entry
+    reader = _run_mod.PageReader(self.disk, self.cache)
+    for level in self.iter_levels():
+        for run in level.runs:  # newest first
+            found = run.get(key, reader)
+            if found is not None:
+                return found
+    return None
+
+
+def _seed_tree_scan(self: "LSMTree", lo, hi, limit=None, reverse=False):
+    """One per-run generator tower over ``range_entries`` + ``scan_merge``.
+
+    Every page of every overlapping tile is charged as its own device
+    request, shadowed versions flow through the merge before being
+    dropped, and no run is pruned up front -- the pre-overhaul scan.
+    """
+    self._check_open()
+    self.counters["scans"] += 1
+    reader = _run_mod.PageReader(self.disk, self.cache)
+    buffered = list(self.memtable.range(lo, hi))
+    if reverse:
+        buffered.reverse()
+    sources = [buffered]
+    for level in self.iter_levels():
+        for run in level.runs:
+            if reverse:
+                sources.append(run.range_entries_desc(lo, hi, reader))
+            else:
+                sources.append(run.range_entries(lo, hi, reader))
+    for entry in scan_merge(sources, limit=limit, reverse=reverse):
+        yield entry.key, entry.value
+
+
+@contextmanager
+def seed_read_model():
+    """Run the enclosed block with the pre-overhaul read path.
+
+    Replicates the read-side cost structure as of BENCH_1: a fresh
+    :class:`PageReader` allocated per lookup/scan, every run of every
+    level probed through ``Run.get`` with no run-span precheck, the Bloom
+    pair memoized behind an ``lru_cache`` wrapper, per-page binary search
+    through a per-comparison ``key=`` lambda, and scans built as per-run
+    ``range_entries`` generator towers merged by ``scan_merge``.
+    Semantics are identical to the overhauled path (asserted by the perf
+    suite); only the cost structure differs.  Patches are process-global;
+    benchmark arms run sequentially within one worker.
+    """
+    saved = (
+        _tree_mod.LSMTree._get_entry,
+        _tree_mod.LSMTree.scan,
+        SSTableFile.get,
+        Page.get,
+        BloomFilter.might_contain,
+    )
+    _tree_mod.LSMTree._get_entry = _seed_tree_get_entry
+    _tree_mod.LSMTree.scan = _seed_tree_scan
+    SSTableFile.get = _seed_file_get
+    Page.get = _seed_page_get
+    BloomFilter.might_contain = _seed_read_might_contain
+    try:
+        yield
+    finally:
+        (
+            _tree_mod.LSMTree._get_entry,
+            _tree_mod.LSMTree.scan,
+            SSTableFile.get,
+            Page.get,
+            BloomFilter.might_contain,
+        ) = saved
 
 
 # ----------------------------------------------------------------------

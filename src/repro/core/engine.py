@@ -54,6 +54,10 @@ class EngineStats:
     compaction_count: int
     cache_hit_rate: float
     tick: int
+    #: The block cache's full stats section plus the per-level read-path
+    #: pruning counters (see :meth:`LSMTree.read_stats`).
+    cache: dict = None  # type: ignore[assignment]
+    read_path: list = None  # type: ignore[assignment]
 
     def to_dict(self) -> dict:
         """JSON-safe snapshot (for logging, dashboards, bench archives)."""
@@ -79,6 +83,8 @@ class EngineStats:
                 "flush_count": self.flush_count,
                 "compaction_count": self.compaction_count,
                 "cache_hit_rate": self.cache_hit_rate,
+                "cache": dict(self.cache) if self.cache else {},
+                "read_path": list(self.read_path) if self.read_path else [],
             }
         )
 
@@ -242,6 +248,9 @@ class AcheronEngine:
         """One consistent snapshot of every evaluation metric."""
         now = self.tree.clock.now()
         tracker = self.tracker or PersistenceTracker()
+        # read_stats() mirrors the cache totals into tree.counters, so it
+        # must run before the counters snapshot is taken.
+        read_stats = self.tree.read_stats()
         return EngineStats(
             io=self.tree.disk.snapshot(),
             amplification=measure_amplification(self.tree),
@@ -252,6 +261,8 @@ class AcheronEngine:
             compaction_count=len(self.tree.compaction_log),
             cache_hit_rate=self.tree.cache.hit_rate,
             tick=now,
+            cache=read_stats["cache"],
+            read_path=read_stats["levels"],
         )
 
     def persistence_stats(self) -> PersistenceStats:

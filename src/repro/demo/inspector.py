@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.metrics.amplification import measure_amplification
+from repro.metrics.readpath import format_cache, format_read_path
 from repro.metrics.reporting import format_table
 from repro.metrics.shape import tree_shape
 
@@ -95,14 +96,26 @@ class TreeInspector:
         amp = measure_amplification(self.engine.tree)
         rows = [["read:" + cat, pages] for cat, pages in sorted(stats.reads_by_category.items())]
         rows += [["write:" + cat, pages] for cat, pages in sorted(stats.writes_by_category.items())]
+        cache = self.engine.tree.cache
         rows += [
             ["modeled ms", stats.modeled_us / 1000.0],
             ["write amplification", amp.write_amplification],
             ["space amplification", amp.space_amplification],
             ["pages/lookup", amp.pages_read_per_lookup],
-            ["cache hit rate", self.engine.tree.cache.hit_rate],
+            ["cache hit rate", cache.hit_rate],
+            ["cache hits", cache.hits],
+            ["cache misses", cache.misses],
+            ["cache evictions", cache.evictions],
         ]
         return format_table(["device I/O", "value"], rows, title=f"[{self.name}] I/O")
+
+    def cache_table(self) -> str:
+        """The block cache's full stats section."""
+        return format_cache(self.engine.tree, name=self.name)
+
+    def read_path_table(self) -> str:
+        """Per-level lookup pruning counters (probe/skip/serve)."""
+        return format_read_path(self.engine.tree, name=self.name)
 
     def compaction_history(self, last: int = 10) -> str:
         """The most recent compactions, newest last."""
@@ -134,6 +147,8 @@ class TreeInspector:
                 self.levels_table(),
                 self.persistence_table(),
                 self.io_table(),
+                self.cache_table(),
+                self.read_path_table(),
                 self.compaction_history(),
             ]
         )

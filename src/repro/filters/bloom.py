@@ -22,7 +22,6 @@ filters it lands in.
 from __future__ import annotations
 
 import math
-from functools import lru_cache
 from hashlib import blake2b
 from typing import Any, Iterable
 
@@ -52,7 +51,15 @@ def hash_pair(key_bytes: bytes) -> tuple[int, int]:
     return h1, h2
 
 
-@lru_cache(maxsize=1 << 18)
+#: Bounded digest memo behind :func:`key_hash_pair`.  A plain dict beats
+#: ``functools.lru_cache`` on the hit path (no wrapper call, no lock, no
+#: recency bookkeeping) and the read path probes it once per *lookup*, so
+#: the saved fraction compounds.  Pure function of the key -> a wholesale
+#: clear on overflow is always safe.
+_PAIR_MEMO: dict[Any, tuple[int, int]] = {}
+_PAIR_MEMO_MAX = 1 << 18
+
+
 def key_hash_pair(key: Any) -> tuple[int, int]:
     """Memoized :func:`hash_pair` keyed on the key object itself.
 
@@ -63,7 +70,12 @@ def key_hash_pair(key: Any) -> tuple[int, int]:
     Requires a hashable key; callers fall back to :func:`hash_pair` on
     ``TypeError`` for exotic key types.
     """
-    return hash_pair(_key_bytes(key))
+    pair = _PAIR_MEMO.get(key)
+    if pair is None:
+        if len(_PAIR_MEMO) >= _PAIR_MEMO_MAX:
+            _PAIR_MEMO.clear()
+        pair = _PAIR_MEMO[key] = hash_pair(_key_bytes(key))
+    return pair
 
 
 class BloomFilter:
@@ -184,14 +196,23 @@ class BloomFilter:
         With ``bits_per_key == 0`` the filter is disabled and always
         answers True (every lookup must probe the file).
         """
-        self.probes += 1
-        num_bits = self.num_bits
-        if not num_bits:
-            return True
         try:
             h, h2 = key_hash_pair(key)
         except TypeError:  # unhashable key type: hash without the memo
             h, h2 = hash_pair(_key_bytes(key))
+        return self.might_contain_hashed(h, h2)
+
+    def might_contain_hashed(self, h: int, h2: int) -> bool:
+        """:meth:`might_contain` for a pre-computed :func:`hash_pair`.
+
+        The point-lookup hot path hashes the key once per *lookup* and
+        probes every run's filter with the same pair, so the digest (and
+        its memo probe) is not repeated per level.
+        """
+        self.probes += 1
+        num_bits = self.num_bits
+        if not num_bits:
+            return True
         bits = self._bits
         for _ in range(self.num_hashes):
             bit = h % num_bits

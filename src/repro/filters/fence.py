@@ -19,9 +19,15 @@ from typing import Any, Sequence
 
 
 class FenceIndex:
-    """Binary-searchable (min, max) bounds over disjoint sorted extents."""
+    """Binary-searchable (min, max) bounds over disjoint sorted extents.
 
-    __slots__ = ("_mins", "_maxes")
+    ``mins`` and ``maxes`` are exposed as plain attributes (no property
+    dispatch): the read hot paths bind them once and run C-level bisects
+    directly.  They are logically immutable -- callers must never mutate
+    them (every structural change builds a new index).
+    """
+
+    __slots__ = ("mins", "maxes")
 
     def __init__(self, mins: Sequence[Any], maxes: Sequence[Any]) -> None:
         if len(mins) != len(maxes):
@@ -35,8 +41,8 @@ class FenceIndex:
                     f"fence extents must be disjoint and sorted; extent {i} "
                     f"starts at {mins[i]!r} <= previous max {maxes[i - 1]!r}"
                 )
-        self._mins = list(mins)
-        self._maxes = list(maxes)
+        self.mins = list(mins)
+        self.maxes = list(maxes)
 
     @classmethod
     def over(cls, extents: Sequence[Any], min_attr: str, max_attr: str) -> "FenceIndex":
@@ -47,27 +53,27 @@ class FenceIndex:
         )
 
     def __len__(self) -> int:
-        return len(self._mins)
+        return len(self.mins)
 
     def locate(self, key: Any) -> int | None:
         """Index of the unique extent whose [min, max] contains ``key``."""
-        if not self._mins:
+        if not self.mins:
             return None
-        idx = bisect_right(self._mins, key) - 1
+        idx = bisect_right(self.mins, key) - 1
         if idx < 0:
             return None
-        return idx if key <= self._maxes[idx] else None
+        return idx if key <= self.maxes[idx] else None
 
     def overlapping(self, lo: Any, hi: Any) -> range:
         """Indexes of every extent intersecting ``[lo, hi]`` (may be empty)."""
-        if lo > hi or not self._mins:
+        if lo > hi or not self.mins:
             return range(0)
-        first = bisect_left(self._maxes, lo)  # first extent with max >= lo
-        last = bisect_right(self._mins, hi)  # one past the last with min <= hi
+        first = bisect_left(self.maxes, lo)  # first extent with max >= lo
+        last = bisect_right(self.mins, hi)  # one past the last with min <= hi
         return range(first, last) if first < last else range(0)
 
     def min_bound(self) -> Any:
-        return self._mins[0] if self._mins else None
+        return self.mins[0] if self.mins else None
 
     def max_bound(self) -> Any:
-        return self._maxes[-1] if self._maxes else None
+        return self.maxes[-1] if self.maxes else None

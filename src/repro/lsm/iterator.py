@@ -19,10 +19,13 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Iterable, Iterator
 
-from repro.lsm.entry import Entry
+from repro.lsm.entry import Entry, EntryKind
 
 #: Callback fired with (loser, winner) whenever a version is shadowed.
 ShadowCallback = Callable[[Entry, Entry], None]
+
+_TOMBSTONE = EntryKind.TOMBSTONE
+_MISSING = object()
 
 
 def merge_resolve(
@@ -212,6 +215,136 @@ def scan_merge(
         produced += 1
         if limit is not None and produced >= limit:
             return
+
+
+def scan_fused(
+    block_sources: list[Iterable[list[Entry]]],
+    limit: int | None = None,
+    reverse: bool = False,
+) -> Iterator[Entry]:
+    """The fused range scan: a k-way merge over *blocks* of entries.
+
+    Each source yields sorted **lists** of in-range entries (one per tile
+    or memtable slice; see :meth:`Run.scan_blocks`), ordered and
+    unique-keyed within the source, ascending -- or descending when
+    ``reverse``.  Fusing the merge over list cursors instead of per-entry
+    generators removes a Python frame resumption per entry, and resolving
+    versions inline (newest ``seqno`` wins, winning tombstones and
+    shadowed versions skipped without materializing) collapses the old
+    ``merge_resolve`` -> ``visible_entries`` -> limit pipeline into one
+    loop with a hard early-exit on ``limit``.
+
+    Sources may yield empty blocks; they are skipped.
+    """
+    produced = 0
+    if len(block_sources) == 1:
+        # One source means unique keys and no cross-source shadowing:
+        # the merge degenerates to a tombstone filter.
+        for block in block_sources[0]:
+            for entry in block:
+                if entry.kind is not _TOMBSTONE:
+                    yield entry
+                    produced += 1
+                    if produced == limit:
+                        return
+        return
+    if reverse:
+        yield from _scan_fused_desc(block_sources, limit)
+        return
+
+    # Ascending: a heap of list cursors keyed by (key, -seqno) so the
+    # newest version of each key surfaces first; stale versions of the
+    # same key are skipped by comparing against the last resolved key.
+    heap = []
+    for si, source in enumerate(block_sources):
+        it = iter(source)
+        block = next(it, None)
+        while block is not None and not block:
+            block = next(it, None)
+        if block is None:
+            continue
+        entry = block[0]
+        heap.append((entry.key, -entry.seqno, si, 0, block, it))
+    heapq.heapify(heap)
+    heapreplace = heapq.heapreplace
+    heappop = heapq.heappop
+    last_key = _MISSING
+    while heap:
+        key, _negseq, si, idx, block, it = heap[0]
+        if key != last_key:
+            last_key = key
+            entry = block[idx]
+            if entry.kind is not _TOMBSTONE:
+                yield entry
+                produced += 1
+                if produced == limit:
+                    return
+        idx += 1
+        if idx < len(block):
+            entry = block[idx]
+            heapreplace(heap, (entry.key, -entry.seqno, si, idx, block, it))
+        else:
+            block = next(it, None)
+            while block is not None and not block:
+                block = next(it, None)
+            if block is None:
+                heappop(heap)
+            else:
+                entry = block[0]
+                heapreplace(heap, (entry.key, -entry.seqno, si, 0, block, it))
+
+
+def _scan_fused_desc(
+    block_sources: list[Iterable[list[Entry]]],
+    limit: int | None,
+) -> Iterator[Entry]:
+    """Descending :func:`scan_fused` core.
+
+    ``heapq`` is min-only, so instead of wrapping every key in a
+    reverse-comparing proxy the descending merge selects the max-key
+    cursor linearly each step -- O(sources) per entry, and the source
+    count (active runs + memtable) is small by construction.
+    """
+    cursors = []  # mutable [block, idx, iterator] triples
+    for source in block_sources:
+        it = iter(source)
+        block = next(it, None)
+        while block is not None and not block:
+            block = next(it, None)
+        if block is not None:
+            cursors.append([block, 0, it])
+    produced = 0
+    last_key = _MISSING
+    while cursors:
+        best = None
+        best_key = best_seq = None
+        for cur in cursors:
+            entry = cur[0][cur[1]]
+            key = entry.key
+            if (
+                best is None
+                or key > best_key
+                or (key == best_key and entry.seqno > best_seq)
+            ):
+                best, best_key, best_seq = cur, key, entry.seqno
+        entry = best[0][best[1]]
+        if best_key != last_key:
+            last_key = best_key
+            if entry.kind is not _TOMBSTONE:
+                yield entry
+                produced += 1
+                if produced == limit:
+                    return
+        best[1] += 1
+        if best[1] >= len(best[0]):
+            block = next(best[2], None)
+            while block is not None and not block:
+                block = next(best[2], None)
+            if block is None:
+                cursors.remove(best)
+            else:
+                best[0] = block
+                best[1] = 0
 
 
 class CountingIterator:

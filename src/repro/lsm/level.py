@@ -33,6 +33,12 @@ class Level:
         "tombstone_count",
         "page_count",
         "observer",
+        "lookup_probes",
+        "lookup_skips_range",
+        "lookup_skips_bloom",
+        "lookup_serves",
+        "lookup_cache_direct",
+        "scan_runs_pruned",
     )
 
     def __init__(
@@ -48,6 +54,16 @@ class Level:
         #: Called after every structural mutation; the tree uses it to
         #: invalidate its deepest-level cache and mark maintenance dirty.
         self.observer = observer
+        # Read-path pruning counters (maintained by LSMTree._get_entry /
+        # scan): how often this level's runs were probed vs skipped
+        # without I/O, and how many lookups it answered.  Surfaced via
+        # ``tree.read_stats()`` and the inspector's read-path table.
+        self.lookup_probes = 0
+        self.lookup_skips_range = 0
+        self.lookup_skips_bloom = 0
+        self.lookup_serves = 0
+        self.lookup_cache_direct = 0
+        self.scan_runs_pruned = 0
 
     # ------------------------------------------------------------------
     # mutation

@@ -44,6 +44,7 @@ class Page:
         "tombstone_count",
         "oldest_tombstone_time",
         "bloom",
+        "_keys",
     )
 
     def __init__(self, entries: list[Entry]) -> None:
@@ -74,16 +75,35 @@ class Page:
         #: Optional per-page Bloom filter (KiWi point-read mitigation);
         #: attached by the file builder when ``kiwi_page_filters`` is on.
         self.bloom = None
+        #: Lazily built sort-key list (see :attr:`keys`).
+        self._keys = None
 
     def __len__(self) -> int:
         return len(self.entries)
 
+    @property
+    def keys(self) -> list[Any]:
+        """The page's sort keys as a plain list, built once on first use.
+
+        Entries are immutable once paged, so the list never goes stale.
+        Binary searches over it run entirely in C (no per-comparison
+        ``key=`` lambda), which is what makes cached point lookups and
+        scan slicing cheap; building it lazily keeps compaction-only pages
+        from paying for a list they never search.
+        """
+        keys = self._keys
+        if keys is None:
+            keys = self._keys = [e.key for e in self.entries]
+        return keys
+
     def get(self, key: Any) -> Entry | None:
         """Binary-search this page for ``key`` (keys are unique in a file)."""
-        entries = self.entries
-        idx = bisect_left(entries, key, key=lambda e: e.key)
-        if idx < len(entries) and entries[idx].key == key:
-            return entries[idx]
+        keys = self._keys
+        if keys is None:
+            keys = self.keys
+        idx = bisect_left(keys, key)
+        if idx < len(keys) and keys[idx] == key:
+            return self.entries[idx]
         return None
 
     def covers_key(self, key: Any) -> bool:
@@ -110,7 +130,15 @@ class DeleteTile:
     span all its pages; they are what the file-level fence pointers index.
     """
 
-    __slots__ = ("pages", "min_key", "max_key", "min_delete_key", "max_delete_key")
+    __slots__ = (
+        "pages",
+        "min_key",
+        "max_key",
+        "min_delete_key",
+        "max_delete_key",
+        "_sorted",
+        "_sorted_keys",
+    )
 
     def __init__(self, pages: list[Page]) -> None:
         if not pages:
@@ -120,6 +148,8 @@ class DeleteTile:
         self.max_key = max(p.max_key for p in pages)
         self.min_delete_key = min(p.min_delete_key for p in pages)
         self.max_delete_key = max(p.max_delete_key for p in pages)
+        self._sorted = None
+        self._sorted_keys = None
 
     def __len__(self) -> int:
         return len(self.pages)
@@ -151,15 +181,39 @@ class DeleteTile:
         (individually sorted) pages -- and much faster, since timsort both
         runs in C and exploits the pre-sorted runs.  With a single page the
         page's own entry list is returned; callers must not mutate it.
+
+        The merge result is cached: tiles are immutable once built, and a
+        scan-heavy workload re-slices the same hot tiles over and over.
         """
+        merged = self._sorted
+        if merged is not None:
+            return merged
         pages = self.pages
         if len(pages) == 1:
-            return pages[0].entries
-        merged: list[Entry] = []
-        for page in pages:
-            merged.extend(page.entries)
-        merged.sort(key=_BY_KEY)
+            merged = pages[0].entries
+        else:
+            merged = []
+            for page in pages:
+                merged.extend(page.entries)
+            merged.sort(key=_BY_KEY)
+        self._sorted = merged
         return merged
+
+    def sorted_keys(self) -> list[Any]:
+        """Sort keys of :meth:`entries_sorted`, cached (see :attr:`Page.keys`).
+
+        Range scans bisect this list to slice a tile's in-range span
+        without touching entry attributes per comparison.
+        """
+        keys = self._sorted_keys
+        if keys is None:
+            pages = self.pages
+            if len(pages) == 1:
+                keys = pages[0].keys
+            else:
+                keys = [e.key for e in self.entries_sorted()]
+            self._sorted_keys = keys
+        return keys
 
     def iter_entries_sorted(self) -> Iterator[Entry]:
         """Iterator form of :meth:`entries_sorted` (kept for read paths)."""

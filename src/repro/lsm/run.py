@@ -18,6 +18,7 @@ touch the device directly, so I/O accounting is airtight.
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left, bisect_right
 from typing import Any, Iterator
 
 from repro.config import LSMConfig
@@ -44,16 +45,51 @@ class PageReader:
         self.cache = cache
         self.category = category
 
-    def read_page(self, file: "SSTableFile", tile_idx: int, page_idx: int) -> Page:
-        """Fetch one page, charging the device only on a cache miss."""
+    def read_page(
+        self,
+        file: "SSTableFile",
+        tile_idx: int,
+        page_idx: int,
+        pinned: bool = False,
+    ) -> Page:
+        """Fetch one page, charging the device only on a cache miss.
+
+        ``pinned`` marks the page as preferentially retained by the cache
+        (the tree pins level-1 pages -- the hottest, most-churned data).
+        """
         flat = file.flat_page_index(tile_idx, page_idx)
         cached = self.cache.get(file.file_id, flat)
         if cached is not None:
             return cached
         self.disk.read_pages(1, self.category)
         page = file.tiles[tile_idx].pages[page_idx]
-        self.cache.put(file.file_id, flat, page)
+        self.cache.put(file.file_id, flat, page, pinned)
         return page
+
+    def read_tile(
+        self, file: "SSTableFile", tile_idx: int, pinned: bool = False
+    ) -> list[Page]:
+        """Fetch every page of a tile, batching the misses into one request.
+
+        A range scan must read the whole tile anyway (the weave means any
+        page may hold in-range keys), and the pages are physically
+        contiguous -- so the misses are charged as *one* sequential device
+        request of N pages instead of N point requests.  This is the scan
+        path's prefetch: by the time the merge consumes the tile, every
+        page is resident.
+        """
+        cache = self.cache
+        file_id = file.file_id
+        pages = file.tiles[tile_idx].pages
+        base = file.flat_page_index(tile_idx, 0)
+        missing = 0
+        for page_idx, page in enumerate(pages):
+            if cache.get(file_id, base + page_idx) is None:
+                missing += 1
+                cache.put(file_id, base + page_idx, page, pinned)
+        if missing:
+            self.disk.read_pages(missing, self.category)
+        return pages
 
 
 class SSTableFile:
@@ -187,22 +223,37 @@ class SSTableFile:
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
-    def get(self, key: Any, reader: PageReader) -> Entry | None:
+    def get(
+        self,
+        key: Any,
+        reader: PageReader,
+        pinned: bool = False,
+        tile_idx: int | None = None,
+    ) -> Entry | None:
         """Point lookup: fence -> candidate pages -> binary search.
 
         The file-level Bloom filter is the *caller's* job (the run
         consults it before descending); per-page filters, when present,
-        prune candidate pages here before any I/O.
+        prune candidate pages here before any I/O.  A single-page tile
+        (the classical ``h == 1`` layout) skips the candidate enumeration:
+        the tile fence already proved the key can only live in that page.
+        ``tile_idx`` lets a caller that already located the tile (the
+        tree's cache-first probe) skip the second fence search.
         """
-        tile_idx = self.tile_fence.locate(key)
+        if tile_idx is None:
+            tile_idx = self.tile_fence.locate(key)
         if tile_idx is None:
             return None
         tile = self.tiles[tile_idx]
-        for page_idx in tile.candidate_page_indexes(key):
-            candidate = tile.pages[page_idx]
+        pages = tile.pages
+        if len(pages) == 1:
+            return reader.read_page(self, tile_idx, 0, pinned).get(key)
+        for page_idx, candidate in enumerate(pages):
+            if not candidate.covers_key(key):
+                continue
             if candidate.bloom is not None and not candidate.bloom.might_contain(key):
                 continue
-            page = reader.read_page(self, tile_idx, page_idx)
+            page = reader.read_page(self, tile_idx, page_idx, pinned)
             entry = page.get(key)
             if entry is not None:
                 return entry
@@ -424,6 +475,71 @@ class Run:
         """Descending-order entries of the run restricted to ``[lo, hi]``."""
         for idx in reversed(self.file_fence.overlapping(lo, hi)):
             yield from self.files[idx].range_entries_desc(lo, hi, reader)
+
+    def scan_blocks(
+        self, lo: Any, hi: Any, reader: PageReader, reverse: bool = False
+    ) -> Iterator[list[Entry]]:
+        """In-range entries as one sorted list ("block") per overlapping tile.
+
+        This is the fused scan's per-run source.  Files and tiles outside
+        ``[lo, hi]`` are pruned by fence pointers without I/O; each
+        surviving tile is prefetched in one batched request
+        (:meth:`PageReader.read_tile`), then its cached sort-key list is
+        bisected to slice exactly the in-range span.  Blocks arrive in
+        global sort-key order (descending when ``reverse``); consumers
+        must not mutate them -- a full-tile block may alias the tile's
+        internal entry list.
+        """
+        # The fence spans are inlined (same arithmetic as
+        # FenceIndex.overlapping) and single-page tiles skip the read_tile
+        # wrapper: this runs once per surviving run per scan, and the
+        # per-source setup cost is what bounds short-scan throughput.
+        if lo > hi:  # empty interval: prefetch nothing
+            return
+        files = self.files
+        ffence = self.file_fence
+        first = bisect_left(ffence.maxes, lo)
+        last = bisect_right(ffence.mins, hi)
+        if first >= last:
+            return
+        cache = reader.cache
+        disk_read = reader.disk.read_pages
+        category = reader.category
+        file_span = range(first, last)
+        for idx in reversed(file_span) if reverse else file_span:
+            file = files[idx]
+            tfence = file.tile_fence
+            tfirst = bisect_left(tfence.maxes, lo)
+            tlast = bisect_right(tfence.mins, hi)
+            if tfirst >= tlast:
+                continue
+            tiles = file.tiles
+            file_id = file.file_id
+            offsets = file._tile_page_offsets
+            tile_span = range(tfirst, tlast)
+            for tile_idx in reversed(tile_span) if reverse else tile_span:
+                tile = tiles[tile_idx]
+                pages = tile.pages
+                if len(pages) == 1:  # classical layout: tile == page
+                    flat = offsets[tile_idx]
+                    if cache.get(file_id, flat) is None:
+                        disk_read(1, category)
+                        cache.put(file_id, flat, pages[0])
+                else:
+                    reader.read_tile(file, tile_idx)
+                keys = tile.sorted_keys()
+                start = bisect_left(keys, lo)
+                stop = bisect_right(keys, hi)
+                if start >= stop:
+                    continue
+                entries = tile.entries_sorted()
+                if start == 0 and stop == len(keys):
+                    block = entries[::-1] if reverse else entries
+                else:
+                    block = entries[start:stop]
+                    if reverse:
+                        block.reverse()
+                yield block
 
     def overlapping_files(self, lo: Any, hi: Any) -> list[SSTableFile]:
         return [self.files[i] for i in self.file_fence.overlapping(lo, hi)]

@@ -41,6 +41,11 @@ class SkipList:
         self._head = _Node(None, None, _MAX_LEVEL)
         self._level = 1
         self._size = 0
+        #: Hash sidecar for point probes.  The skip list stays the source
+        #: of truth for ordered access (flush, scans); the dict makes
+        #: ``get``/``__contains__`` O(1), which matters because every
+        #: engine read probes the memtable before touching any run.
+        self._index: dict[Any, Any] = {}
 
     # ------------------------------------------------------------------
     # internals
@@ -84,6 +89,7 @@ class SkipList:
         if candidate is not None and candidate.key == key:
             old = candidate.value
             candidate.value = value
+            self._index[key] = value
             return old
 
         level = self._random_level()
@@ -94,6 +100,7 @@ class SkipList:
             node.forward[lvl] = update[lvl].forward[lvl]
             update[lvl].forward[lvl] = node
         self._size += 1
+        self._index[key] = value
         return None
 
     def remove(self, key: Any) -> bool:
@@ -108,6 +115,7 @@ class SkipList:
         while self._level > 1 and self._head.forward[self._level - 1] is None:
             self._level -= 1
         self._size -= 1
+        del self._index[key]
         return True
 
     def clear(self) -> None:
@@ -115,25 +123,16 @@ class SkipList:
         self._head = _Node(None, None, _MAX_LEVEL)
         self._level = 1
         self._size = 0
+        self._index.clear()
 
     # ------------------------------------------------------------------
     # read API
     # ------------------------------------------------------------------
     def get(self, key: Any, default: Any = None) -> Any:
-        node = self._head
-        for lvl in range(self._level - 1, -1, -1):
-            nxt = node.forward[lvl]
-            while nxt is not None and nxt.key < key:
-                node = nxt
-                nxt = node.forward[lvl]
-        node = node.forward[0]
-        if node is not None and node.key == key:
-            return node.value
-        return default
+        return self._index.get(key, default)
 
     def __contains__(self, key: Any) -> bool:
-        sentinel = object()
-        return self.get(key, sentinel) is not sentinel
+        return key in self._index
 
     def __len__(self) -> int:
         return self._size
@@ -186,6 +185,9 @@ class SkipList:
             count += 1
             node = node.forward[0]
         assert count == self._size, f"size mismatch: counted {count}, recorded {self._size}"
+        assert len(self._index) == self._size, (
+            f"index desync: {len(self._index)} indexed, {self._size} listed"
+        )
         for lvl in range(1, self._level):
             node = self._head.forward[lvl]
             while node is not None:

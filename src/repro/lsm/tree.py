@@ -25,6 +25,8 @@ operation (put or delete).  Reads do not advance time; call
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from operator import attrgetter
 from typing import Any, Iterable, Iterator
 
 from repro.clock import LogicalClock
@@ -37,7 +39,7 @@ from repro.errors import (
     StorageError,
 )
 from repro.lsm.entry import Entry
-from repro.lsm.iterator import scan_merge
+from repro.lsm.iterator import scan_fused
 from repro.lsm.level import Level
 from repro.lsm.memtable import Memtable
 from repro.lsm.page import DeleteTile, Page
@@ -50,12 +52,15 @@ from repro.lsm.compaction.task import (
     OutputPlacement,
     TaskInput,
 )
-from repro.filters.bloom import BloomFilter
+from repro.filters.bloom import BloomFilter, _key_bytes, hash_pair, key_hash_pair
 from repro.storage.cache import BlockCache
 from repro.storage.disk import CATEGORY_FLUSH, SimulatedDisk
 from repro.storage.faults import FaultInjector
 from repro.storage.filestore import FileStore
 from repro.storage.wal import WriteAheadLog
+
+#: C-implemented row shaper for :meth:`LSMTree.scan`.
+_ENTRY_PAIR = attrgetter("key", "value")
 
 
 class LSMTree:
@@ -78,6 +83,12 @@ class LSMTree:
         self.clock = clock or LogicalClock()
         self.listener = listener
         self.memtable = Memtable(config.memtable_entries)
+        #: One long-lived, cache-aware page reader shared by every lookup
+        #: and scan.  Constructing a reader per call (the seed behaviour)
+        #: cost an allocation per read and, worse, obscured that the block
+        #: cache is shared state -- the reader *is* the read path's handle
+        #: to it.
+        self._reader = PageReader(self.disk, self.cache)
         self.file_ids = FileIdAllocator()
         self.compaction_log: list[CompactionEvent] = []
         self.flush_count = 0
@@ -148,8 +159,13 @@ class LSMTree:
         read_only: bool = False,
         faults: FaultInjector | None = None,
         degraded_ok: bool = False,
+        cache: BlockCache | None = None,
     ) -> "LSMTree":
         """Open (or create) a durable tree rooted at ``directory``.
+
+        ``cache`` lets the caller share a block cache across reopens; any
+        pages belonging to crash-orphaned sstables are invalidated during
+        recovery, so a shared cache never serves stale data.
 
         ``config=None`` loads the configuration recorded in the manifest
         (a durable directory is self-describing); passing a config on an
@@ -196,7 +212,12 @@ class LSMTree:
                 )
             config = LSMConfig.from_dict(manifest["config"])
         tree = cls(
-            config, listener=listener, store=store, wal_sync=wal_sync, read_only=read_only
+            config,
+            cache=cache,
+            listener=listener,
+            store=store,
+            wal_sync=wal_sync,
+            read_only=read_only,
         )
         tree._degraded_ok = degraded_ok
         if swept:
@@ -226,6 +247,14 @@ class LSMTree:
             }
             orphans = store.garbage_collect(live)
             if orphans:
+                # File-id immutability: an orphan's id must never be
+                # reassigned to different content, or a cache entry keyed
+                # by (file_id, page) could silently go stale.  Advance the
+                # allocator past every GC'd id and drop any pages a shared
+                # cache may still hold for them.
+                for fid in orphans:
+                    tree.cache.invalidate_file(fid)
+                tree.file_ids.advance_past(max(orphans))
                 tree.recovery_log.append(
                     f"garbage-collected {len(orphans)} unreferenced sstable(s): {orphans}"
                 )
@@ -608,14 +637,77 @@ class LSMTree:
         return entry is not None and entry.is_put
 
     def _get_entry(self, key: Any) -> Entry | None:
+        """The pruned point lookup (the tentpole of the read overhaul).
+
+        Per run, in cost order: (1) the run's ``[min_key, max_key]`` span
+        and the file/tile fence pointers -- pure in-memory comparisons --
+        skip runs that cannot hold the key; (2) when the fences name a
+        single candidate page and it is already cached, the lookup is
+        answered from it directly (a resident page is cheaper than a
+        filter probe, and exact); (3) otherwise the file's Bloom filter
+        is probed with a hash pair computed at most *once* per lookup
+        (and only when some run survives the range check, so out-of-range
+        probes never pay the digest); (4) only then does the file descend
+        to pages, through the shared cache-aware reader.  Level-1 pages --
+        the hottest, most-churned data -- are inserted pinned.  Every
+        skip/probe is accounted per level (see :meth:`read_stats`).
+        """
         entry = self.memtable.get(key)
         if entry is not None:
             return entry
-        reader = PageReader(self.disk, self.cache)
-        for level in self.iter_levels():
+        hashed = None
+        reader = self._reader
+        cache_get = self.cache.get
+        # With classical single-page tiles every surviving lookup descends
+        # to exactly one fence-named page, so the descent is inlined below
+        # (no file.get / read_page frames on the hottest path).
+        single_page = self.config.pages_per_tile == 1
+        for level in self._levels:
+            pinned = level.index == 1
             for run in level.runs:  # newest first
-                found = run.get(key, reader)
+                files = run.files
+                if key < files[0].min_key or key > files[-1].max_key:
+                    level.lookup_skips_range += 1
+                    continue
+                fence = run.file_fence
+                idx = bisect_right(fence.mins, key) - 1
+                if idx < 0 or key > fence.maxes[idx]:
+                    level.lookup_skips_range += 1
+                    continue
+                file = files[idx]
+                if hashed is None:
+                    try:
+                        hashed = key_hash_pair(key)
+                    except TypeError:  # unhashable key: digest directly
+                        hashed = hash_pair(_key_bytes(key))
+                if not file.bloom.might_contain_hashed(hashed[0], hashed[1]):
+                    level.lookup_skips_bloom += 1
+                    continue
+                level.lookup_probes += 1
+                if single_page:
+                    tile_fence = file.tile_fence
+                    tidx = bisect_right(tile_fence.mins, key) - 1
+                    if tidx < 0 or key > tile_fence.maxes[tidx]:
+                        continue  # filter false positive, key between tiles
+                    pages = file.tiles[tidx].pages
+                    if len(pages) != 1:  # layout drift (recovered file)
+                        found = file.get(key, reader, pinned, tidx)
+                    else:
+                        # One page per tile => the flat page index IS the
+                        # tile index.  Same accounting as read_page, with
+                        # no wrapper frames.
+                        page = cache_get(file.file_id, tidx)
+                        if page is None:
+                            self.disk.read_pages(1, reader.category)
+                            page = pages[0]
+                            self.cache.put(file.file_id, tidx, page, pinned)
+                        else:
+                            level.lookup_cache_direct += 1
+                        found = page.get(key)
+                else:
+                    found = file.get(key, reader, pinned)
                 if found is not None:
+                    level.lookup_serves += 1
                     return found
         return None
 
@@ -631,22 +723,63 @@ class LSMTree:
         Ascending by default; ``reverse=True`` walks from ``hi`` down to
         ``lo`` (``limit`` then takes the topmost keys).  Lazy: page reads
         are charged as the iterator is consumed.
+
+        The fused path: runs whose key span misses ``[lo, hi]`` are pruned
+        up front without I/O (at call time), each surviving run streams
+        per-tile blocks with batched prefetching (:meth:`Run.scan_blocks`),
+        and :func:`scan_fused` merges the blocks, skipping
+        tombstone-shadowed keys without materializing them and
+        early-exiting on ``limit``.  The returned iterator is a C-level
+        ``map`` over the fused merge -- no per-row Python frame here.
         """
         self._check_open()
         self.counters["scans"] += 1
-        reader = PageReader(self.disk, self.cache)
+        if limit is not None and limit <= 0:
+            return iter(())  # LIMIT 0: empty, not "unlimited"
+        reader = self._reader
         buffered = list(self.memtable.range(lo, hi))
         if reverse:
             buffered.reverse()
-        sources = [buffered]
-        for level in self.iter_levels():
+        sources: list = []
+        if buffered:
+            sources.append((buffered,))
+        for level in self._levels:
             for run in level.runs:
-                if reverse:
-                    sources.append(run.range_entries_desc(lo, hi, reader))
-                else:
-                    sources.append(run.range_entries(lo, hi, reader))
-        for entry in scan_merge(sources, limit=limit, reverse=reverse):
-            yield entry.key, entry.value
+                if run.max_key < lo or run.min_key > hi:
+                    level.scan_runs_pruned += 1
+                    continue
+                sources.append(run.scan_blocks(lo, hi, reader, reverse))
+        if not sources:
+            return iter(())
+        return map(_ENTRY_PAIR, scan_fused(sources, limit=limit, reverse=reverse))
+
+    def read_stats(self) -> dict[str, Any]:
+        """Read-path observability: cache stats + per-level pruning counters.
+
+        Mirrors the cache's hit/miss/eviction totals into
+        ``tree.counters`` (so any counters dump carries them) and returns
+        the full picture: the ``cache`` section plus one row per level
+        with probe/skip/serve counts -- how often fence pointers and Bloom
+        filters saved page I/O.
+        """
+        cache_stats = self.cache.stats()
+        counters = self.counters
+        counters["cache_hits"] = cache_stats["hits"]
+        counters["cache_misses"] = cache_stats["misses"]
+        counters["cache_evictions"] = cache_stats["evictions"]
+        levels = [
+            {
+                "level": level.index,
+                "lookup_probes": level.lookup_probes,
+                "lookup_skips_range": level.lookup_skips_range,
+                "lookup_skips_bloom": level.lookup_skips_bloom,
+                "lookup_serves": level.lookup_serves,
+                "lookup_cache_direct": level.lookup_cache_direct,
+                "scan_runs_pruned": level.scan_runs_pruned,
+            }
+            for level in self._levels
+        ]
+        return {"cache": cache_stats, "levels": levels}
 
     # ==================================================================
     # structure accessors

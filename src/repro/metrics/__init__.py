@@ -13,6 +13,7 @@ from repro.metrics.amplification import (
     space_amplification,
     write_amplification,
 )
+from repro.metrics.readpath import format_cache, format_read_path, read_path_report
 from repro.metrics.reporting import format_table, print_table, sparkline
 from repro.metrics.shape import LevelSummary, tree_shape
 from repro.metrics.timeline import Timeline, TimelineSampler
@@ -23,10 +24,13 @@ __all__ = [
     "Timeline",
     "TimelineSampler",
     "bytes_on_disk",
+    "format_cache",
+    "format_read_path",
     "format_table",
     "live_bytes_on_disk",
     "measure_amplification",
     "read_cost_breakdown",
+    "read_path_report",
     "print_table",
     "space_amplification",
     "sparkline",

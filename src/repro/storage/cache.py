@@ -1,89 +1,312 @@
-"""A shared LRU block cache.
+"""The sharded block cache: LRU-with-admission, fully instrumented.
 
 The cache sits between the read path and the :class:`SimulatedDisk`: a hit
 serves the page without charging the device; a miss charges a read and
-installs the page.  Keys are ``(file_id, page_index)``.  Compaction removing
-a file must call :meth:`invalidate_file` so stale pages can never be served
--- the unit tests assert this.
+installs the page.  Keys are ``(file_id, page_index)`` and file ids are
+**immutable** -- a file id is never reassigned to different content (the
+tree advances its allocator past crash orphans on recovery), so a cached
+page can only ever go stale through explicit :meth:`invalidate_file` calls,
+which every structural change (compaction, secondary delete, recovery GC)
+issues.
 
-The T2 memory-sensitivity experiment sweeps this cache's capacity.
+Three properties distinguish this cache from a plain LRU:
+
+**Sharding.**  Capacity is split across power-of-two shards selected by the
+key's hash.  Each shard is an independent LRU, so the recency bookkeeping
+and eviction scans stay small even for large capacities, and a future
+multi-threaded reader would contend on one shard, not one lock.  Small
+caches (< ``_SHARD_THRESHOLD`` pages) keep a single shard so eviction order
+stays exactly LRU -- the T2 memory-sensitivity sweep depends on that.
+
+**Admission.**  When a shard is full, a newcomer must *earn* its slot: its
+observed miss frequency is compared against the eviction victim's (a
+TinyLFU-style filter, tracked per shard with periodic halving so old
+popularity decays).  One-touch pages from a long sequential scan therefore
+cannot wash out a working set that misses repeatedly.  Frequencies tie in
+the cold-start case (everything seen once), where admission degrades to
+plain LRU.
+
+**Pinning.**  Pages inserted with ``pinned=True`` (the tree pins level-1
+pages -- the hottest, most-churned data) are passed over by the eviction
+scan while any unpinned victim exists.  Filter and fence blocks never enter
+the cache at all: they are always-resident in-memory metadata, the
+degenerate case of pinning.
+
+Stats (hits, misses, evictions, rejected admissions, invalidations, bytes)
+are aggregated across shards and surfaced through ``repro.metrics`` and the
+demo inspector.  The T2 memory-sensitivity experiment sweeps ``capacity``.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
+
+#: Below this capacity the cache keeps a single shard, preserving exact
+#: global LRU order (tests and the T2 sweep rely on it for small caches).
+_SHARD_THRESHOLD = 512
+
+#: Default shard count for large caches (power of two).
+_DEFAULT_SHARDS = 8
+
+#: A shard's frequency filter is halved after this many recordings per
+#: cached slot, so admission popularity decays instead of accruing forever.
+_FREQ_SAMPLE_FACTOR = 16
+
+
+def _default_sizer(page: Any) -> int:
+    """Bytes estimate when the caller supplies none: one unit per entry."""
+    try:
+        return len(page)
+    except TypeError:
+        return 1
+
+
+class _Shard:
+    """One LRU segment: an OrderedDict of key -> [page, pinned, size]."""
+
+    __slots__ = (
+        "capacity",
+        "pages",
+        "freq",
+        "freq_recordings",
+        "freq_sample",
+        "bytes",
+        "hits",
+        "misses",
+        "evictions",
+        "rejected",
+        "invalidations",
+    )
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.pages: OrderedDict[tuple[Hashable, int], list] = OrderedDict()
+        self.freq: dict[tuple[Hashable, int], int] = {}
+        self.freq_recordings = 0
+        self.freq_sample = max(64, capacity * _FREQ_SAMPLE_FACTOR)
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rejected = 0
+        self.invalidations = 0
+
+    def record_freq(self, key: tuple[Hashable, int]) -> int:
+        """Count one miss for ``key``; returns its updated frequency."""
+        freq = self.freq
+        count = freq.get(key, 0) + 1
+        freq[key] = count
+        self.freq_recordings += 1
+        if self.freq_recordings >= self.freq_sample:
+            # Age the filter: halve every count, drop the zeros.  Keeps the
+            # dict bounded and lets yesterday's hot keys cool off.
+            self.freq = {k: c >> 1 for k, c in freq.items() if c > 1}
+            self.freq_recordings = 0
+        return count
+
+    def find_victim(self) -> tuple[Hashable, int] | None:
+        """The least-recently-used unpinned key (LRU pinned as last resort)."""
+        first_pinned = None
+        for key, entry in self.pages.items():  # iterates LRU -> MRU
+            if not entry[1]:
+                return key
+            if first_pinned is None:
+                first_pinned = key
+        return first_pinned
+
+    def evict(self, key: tuple[Hashable, int]) -> None:
+        entry = self.pages.pop(key)
+        self.bytes -= entry[2]
+        self.evictions += 1
 
 
 class BlockCache:
-    """Fixed-capacity LRU of decoded pages.
+    """A sharded, capacity-bounded page cache (see module docstring).
 
     ``capacity`` is in pages; ``0`` disables caching (every lookup misses
     and nothing is stored), which lets callers keep a single code path.
+    ``shards`` overrides the shard count (rounded to a power of two);
+    ``sizer`` maps a page to its byte estimate for the ``bytes`` stat.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        shards: int | None = None,
+        sizer: Callable[[Any], int] | None = None,
+    ) -> None:
         if capacity < 0:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
-        self._pages: OrderedDict[tuple[Hashable, int], Any] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        if shards is None:
+            shards = _DEFAULT_SHARDS if capacity >= _SHARD_THRESHOLD else 1
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        nshards = 1
+        while nshards < min(shards, max(1, capacity)):
+            nshards *= 2
+        self._mask = nshards - 1
+        base, extra = divmod(capacity, nshards) if capacity else (0, 0)
+        self._shards = [
+            _Shard(base + (1 if i < extra else 0)) for i in range(nshards)
+        ]
+        self._sizer = sizer or _default_sizer
 
     # ------------------------------------------------------------------
     # core operations
     # ------------------------------------------------------------------
     def get(self, file_id: Hashable, page_index: int) -> Any | None:
         """Return the cached page or None; updates recency and hit stats."""
-        if self.capacity == 0:
-            self.misses += 1
-            return None
         key = (file_id, page_index)
-        page = self._pages.get(key)
-        if page is None:
-            self.misses += 1
+        shard = self._shards[hash(key) & self._mask]
+        entry = shard.pages.get(key)
+        if entry is None:
+            shard.misses += 1
+            if self.capacity:
+                shard.record_freq(key)
             return None
-        self._pages.move_to_end(key)
-        self.hits += 1
-        return page
+        shard.pages.move_to_end(key)
+        shard.hits += 1
+        return entry[0]
 
-    def put(self, file_id: Hashable, page_index: int, page: Any) -> None:
-        """Install a page, evicting the least-recently-used as needed."""
+    def put(
+        self,
+        file_id: Hashable,
+        page_index: int,
+        page: Any,
+        pinned: bool = False,
+    ) -> bool:
+        """Install a page; returns False when admission rejected it.
+
+        Pinned pages bypass admission.  An existing entry is refreshed in
+        place (value, size, recency; a pinned insert keeps a page pinned).
+        """
         if self.capacity == 0:
-            return
+            return False
         key = (file_id, page_index)
-        if key in self._pages:
-            self._pages.move_to_end(key)
-            self._pages[key] = page
-            return
-        self._pages[key] = page
-        while len(self._pages) > self.capacity:
-            self._pages.popitem(last=False)
+        shard = self._shards[hash(key) & self._mask]
+        pages = shard.pages
+        size = self._sizer(page)
+        entry = pages.get(key)
+        if entry is not None:
+            shard.bytes += size - entry[2]
+            entry[0] = page
+            entry[1] = entry[1] or pinned
+            entry[2] = size
+            pages.move_to_end(key)
+            return True
+        while len(pages) >= shard.capacity:
+            victim = shard.find_victim()
+            if victim is None:  # capacity 0 shard: nothing fits
+                shard.rejected += 1
+                return False
+            if not pinned and shard.freq.get(key, 1) < shard.freq.get(victim, 1):
+                # The newcomer is colder than what it would displace.
+                shard.rejected += 1
+                return False
+            shard.evict(victim)
+        pages[key] = [page, pinned, size]
+        shard.bytes += size
+        return True
 
     def invalidate_file(self, file_id: Hashable) -> int:
         """Drop every page of ``file_id``; returns how many were dropped."""
-        doomed = [key for key in self._pages if key[0] == file_id]
-        for key in doomed:
-            del self._pages[key]
-        return len(doomed)
+        dropped = 0
+        for shard in self._shards:
+            doomed = [key for key in shard.pages if key[0] == file_id]
+            for key in doomed:
+                entry = shard.pages.pop(key)
+                shard.bytes -= entry[2]
+                shard.freq.pop(key, None)
+            shard.invalidations += len(doomed)
+            dropped += len(doomed)
+        return dropped
 
     def clear(self) -> None:
-        self._pages.clear()
+        """Drop every cached page (stats are preserved; see reset_stats)."""
+        for shard in self._shards:
+            shard.pages.clear()
+            shard.freq.clear()
+            shard.freq_recordings = 0
+            shard.bytes = 0
 
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._pages)
+        return sum(len(shard.pages) for shard in self._shards)
 
     def __contains__(self, key: tuple[Hashable, int]) -> bool:
-        return key in self._pages
+        return key in self._shards[hash(key) & self._mask].pages
+
+    def __iter__(self):
+        """All cached keys (inspection / coherence tests only)."""
+        for shard in self._shards:
+            yield from shard.pages
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def hits(self) -> int:
+        return sum(shard.hits for shard in self._shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(shard.misses for shard in self._shards)
+
+    @property
+    def evictions(self) -> int:
+        return sum(shard.evictions for shard in self._shards)
+
+    @property
+    def rejected_admissions(self) -> int:
+        return sum(shard.rejected for shard in self._shards)
+
+    @property
+    def invalidations(self) -> int:
+        return sum(shard.invalidations for shard in self._shards)
+
+    @property
+    def bytes_cached(self) -> int:
+        return sum(shard.bytes for shard in self._shards)
+
+    @property
+    def pinned_count(self) -> int:
+        return sum(
+            1 for shard in self._shards for entry in shard.pages.values() if entry[1]
+        )
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        hits = self.hits
+        total = hits + self.misses
+        return hits / total if total else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        """One JSON-safe snapshot of every counter (the ``cache`` section)."""
+        hits = self.hits
+        misses = self.misses
+        return {
+            "capacity_pages": self.capacity,
+            "shards": len(self._shards),
+            "cached_pages": len(self),
+            "pinned_pages": self.pinned_count,
+            "bytes": self.bytes_cached,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "evictions": self.evictions,
+            "rejected_admissions": self.rejected_admissions,
+            "invalidations": self.invalidations,
+        }
 
     def reset_stats(self) -> None:
-        self.hits = 0
-        self.misses = 0
+        for shard in self._shards:
+            shard.hits = 0
+            shard.misses = 0
+            shard.evictions = 0
+            shard.rejected = 0
+            shard.invalidations = 0

@@ -238,6 +238,56 @@ class _NullBloom:
 
 
 # ---------------------------------------------------------------------------
+# live read-path examination
+# ---------------------------------------------------------------------------
+def examine_read_path(tree: Any, name: str = "tree") -> DoctorReport:
+    """Read-path health of a *live* tree: cache + pruning effectiveness.
+
+    The offline checks above verify durable bytes; this one verifies the
+    read path is doing its job at runtime.  It surfaces the cache section
+    and per-level pruning counters in ``report.stats`` and warns on the
+    symptoms of a misconfigured read path: a sized cache that never hits,
+    an eviction storm (more evictions than hits -- capacity too small for
+    the working set), and Bloom filters that never skip a probed run.
+    Advisory only: warnings never mark the report unhealthy.
+    """
+    from repro.metrics.readpath import read_path_report
+
+    report = DoctorReport(directory=name)
+    snapshot = read_path_report(tree)
+    cache = snapshot["cache"]
+    report.stats["cache"] = cache
+    report.stats["read_path"] = snapshot["levels"]
+    report.stats["lookup_prune_rate"] = snapshot["lookup_prune_rate"]
+
+    lookups = cache["hits"] + cache["misses"]
+    if cache["capacity_pages"] == 0:
+        report.warn("block cache disabled (capacity 0): every read pays device I/O")
+    elif lookups and cache["hit_rate"] == 0.0:
+        report.warn(f"cache never hit across {lookups} lookups")
+    else:
+        report.passed(
+            f"cache serving (hit rate {cache['hit_rate']:.1%} over {lookups} lookups)"
+        )
+    if cache["evictions"] > cache["hits"] and cache["evictions"] > 0:
+        report.warn(
+            f"eviction storm: {cache['evictions']} evictions vs {cache['hits']} "
+            "hits (capacity likely below the working set)"
+        )
+    probes = snapshot["lookup_run_probes"]
+    skips = snapshot["lookup_run_skips"]
+    if probes + skips:
+        report.passed(
+            f"pruning active: {skips} of {probes + skips} run visits skipped "
+            "without I/O"
+        )
+        bloom_skips = sum(r["lookup_skips_bloom"] for r in snapshot["levels"])
+        if probes and not bloom_skips:
+            report.warn("bloom filters never skipped a run (bits_per_key too low?)")
+    return report
+
+
+# ---------------------------------------------------------------------------
 # scrub: checksum-first media verification
 # ---------------------------------------------------------------------------
 def scrub_store(directory: str | Path) -> DoctorReport:

@@ -141,6 +141,123 @@ class TestBlockCache:
         assert ("f", 0) in cache
         assert ("f", 1) not in cache
 
+    def test_small_cache_keeps_single_shard(self):
+        # Exact global LRU order below the shard threshold (T2 relies on it).
+        assert BlockCache(4).shard_count == 1
+        assert BlockCache(511).shard_count == 1
+
+    def test_large_cache_shards_capacity(self):
+        cache = BlockCache(1024)
+        assert cache.shard_count == 8
+        assert sum(s.capacity for s in cache._shards) == 1024
+
+    def test_shard_override_rounds_to_power_of_two(self):
+        assert BlockCache(100, shards=3).shard_count == 4
+        assert BlockCache(100, shards=1).shard_count == 1
+
+    def test_sharded_capacity_is_respected(self):
+        cache = BlockCache(1024, shards=8)
+        for i in range(5000):
+            cache.put("f", i, i)
+        assert len(cache) <= 1024
+
+    def test_admission_rejects_cold_newcomer(self):
+        cache = BlockCache(2)
+        # The frequency filter only observes *misses*, so make the future
+        # residents hot before admitting them.
+        for _ in range(3):
+            cache.get("f", 0)
+            cache.get("f", 1)
+        cache.put("f", 0, "a")
+        cache.put("f", 1, "b")
+        # A one-touch newcomer (never missed) cannot displace them...
+        assert not cache.put("f", 2, "cold")
+        assert cache.rejected_admissions == 1
+        assert ("f", 0) in cache and ("f", 1) in cache
+        # ...until it has demonstrably missed more often than the victim.
+        for _ in range(4):
+            cache.get("f", 2)
+        assert cache.put("f", 2, "earned")
+        assert ("f", 2) in cache
+        assert len(cache) == 2
+
+    def test_pinned_pages_survive_eviction_pressure(self):
+        cache = BlockCache(4, shards=1)
+        cache.put("f", 0, "pinned", pinned=True)
+        for i in range(1, 20):
+            cache.put("f", i, f"p{i}")
+        assert cache.get("f", 0) == "pinned"
+        assert cache.pinned_count == 1
+
+    def test_pinned_evicted_only_as_last_resort(self):
+        cache = BlockCache(2, shards=1)
+        cache.put("f", 0, "a", pinned=True)
+        cache.put("f", 1, "b", pinned=True)
+        # Give the newcomer a higher observed frequency than the victims.
+        for _ in range(3):
+            cache.get("f", 2)
+        assert cache.put("f", 2, "c")  # all-pinned shard: LRU pinned goes
+        assert ("f", 0) not in cache
+        assert ("f", 1) in cache
+
+    def test_put_existing_can_upgrade_to_pinned(self):
+        cache = BlockCache(4)
+        cache.put("f", 0, "a")
+        cache.put("f", 0, "a", pinned=True)
+        assert cache.pinned_count == 1
+
+    def test_bytes_tracked_with_custom_sizer(self):
+        cache = BlockCache(4, sizer=lambda page: len(page) * 10)
+        cache.put("f", 0, "abc")
+        cache.put("f", 1, "z")
+        assert cache.bytes_cached == 40
+        cache.put("f", 0, "ab")  # refresh shrinks the estimate
+        assert cache.bytes_cached == 30
+        cache.invalidate_file("f")
+        assert cache.bytes_cached == 0
+
+    def test_invalidate_counts_and_drops_frequency(self):
+        cache = BlockCache(4, shards=1)
+        cache.get("f", 0)  # records a miss frequency
+        cache.put("f", 0, "a")
+        assert cache.invalidate_file("f") == 1
+        assert cache.invalidations == 1
+        assert cache._shards[0].freq == {}
+
+    def test_clear_drops_pages_but_preserves_stats(self):
+        cache = BlockCache(4)
+        cache.put("f", 0, "a")
+        cache.get("f", 0)
+        cache.get("f", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_iter_yields_all_keys(self):
+        cache = BlockCache(1024)
+        keys = {("f", i) for i in range(40)}
+        for _, i in keys:
+            cache.put("f", i, i)
+        assert set(cache) == keys
+
+    def test_stats_snapshot_shape(self):
+        cache = BlockCache(8)
+        cache.put("f", 0, "a", pinned=True)
+        cache.get("f", 0)
+        cache.get("f", 1)
+        stats = cache.stats()
+        assert stats["capacity_pages"] == 8
+        assert stats["shards"] == 1
+        assert stats["cached_pages"] == 1
+        assert stats["pinned_pages"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert {"bytes", "evictions", "rejected_admissions", "invalidations"} <= set(
+            stats
+        )
+
 
 def tile(*page_keys):
     """Build a tile as nested entry lists from per-page key tuples."""
