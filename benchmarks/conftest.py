@@ -12,6 +12,18 @@ Run with ``pytest benchmarks/ --benchmark-only``.
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def serial_write_path(monkeypatch):
+    """Benchmarks always run the serial (inline) write path.
+
+    The archived tables under ``results/`` are bit-for-bit reproducible
+    only with deterministic scheduling; a ``REPRO_WORKERS`` value leaking
+    in from the environment (e.g. the concurrent CI job) must not change
+    them.
+    """
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+
+
 @pytest.fixture
 def shape_check():
     """Collect shape assertions and report them together.

@@ -63,8 +63,9 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=None,
         metavar="BASELINE",
-        help="archived BENCH_<n>.json to guard read speedups against; "
-        "exits 1 if get/scan/mixed speedup regresses past the tolerance",
+        help="archived BENCH_<n>.json to guard speedups against; exits 1 if a "
+        "get/scan/mixed read speedup or the serial ingest speedup regresses "
+        "past the tolerance",
     )
     parser.add_argument(
         "--read-tolerance",

@@ -346,6 +346,172 @@ def run_experiment(spec: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+#: Worker counts the concurrent-ingest phase sweeps (1 == the serial arm).
+CONCURRENT_WORKER_SWEEP = (1, 2, 4)
+
+
+def run_concurrent_experiment(spec: dict[str, Any]) -> dict[str, Any]:
+    """The ``ingest-concurrent`` phase: serial vs multi-writer ingest.
+
+    Replays the same leveling workload once per worker count in
+    ``CONCURRENT_WORKER_SWEEP``.  The serial arm (workers=1) uses the
+    inline write path; concurrent arms open the engine with that many
+    background workers and replay through writer threads sharded by key
+    hash (per-key stream order preserved, so final contents must match
+    the serial arm byte for byte -- asserted via a full-scan digest).
+
+    Arms advance through the op stream in interleaved slices (same
+    rationale as :func:`run_experiment`) and are timed three ways:
+
+    ``ack``
+        Wall/CPU until the last writer returns.  Background flushes and
+        compactions may still be draining.
+
+    ``drained``
+        Wall/CPU including ``write_barrier()`` -- every arm fully at
+        rest, apples-to-apples with the serial arm.
+
+    ``device``
+        Modeled device microseconds (the suite's deterministic,
+        machine-independent currency).  This is where the concurrent
+        write path's architectural win lands: batched flushes merge K
+        memtables into one level-1 run, halving write amplification,
+        and on a device-bound LSM ingest throughput tracks device time.
+    """
+    import hashlib
+    import threading
+
+    from repro.bench.harness import make_baseline
+
+    n: int = spec["ingest_ops"]
+    seed: int = spec["seed"]
+    sweep = tuple(spec.get("worker_sweep", CONCURRENT_WORKER_SWEEP))
+    ops = _mixed_ops(n, seed)
+    chunks = [ops[i : i + INGEST_BATCH] for i in range(0, len(ops), INGEST_BATCH)]
+    engines = {w: make_baseline(workers=w) for w in sweep}
+    wall = {w: 0.0 for w in sweep}
+    cpu = {w: 0.0 for w in sweep}
+
+    def ingest_chunk(engine, chunk: list[tuple], writers: int) -> None:
+        if writers == 1 or engine.tree.write_path is None:
+            engine.apply_batch(chunk)
+            return
+        shards: list[list[tuple]] = [[] for _ in range(writers)]
+        for op in chunk:
+            shards[hash(op[1]) % writers].append(op)
+        errors: list[BaseException] = []
+
+        def writer(shard: list[tuple]) -> None:
+            try:
+                engine.apply_batch(shard)
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(shard,), name=f"perf-writer-{i}")
+            for i, shard in enumerate(shards)
+            if shard
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+
+    # Coarser slices than run_experiment (4 rounds, not 16): a slice must
+    # rotate well more than flush_batch_target memtables or the flusher's
+    # hold-out expires in the inter-slice idle gap and batching -- the
+    # very thing this phase measures -- degrades to near-serial behavior.
+    slice_chunks = max(1, len(chunks) // 4)
+    for start in range(0, len(chunks), slice_chunks):
+        for w in sweep:
+            engine = engines[w]
+            t0 = time.perf_counter()
+            c0 = time.process_time()
+            for chunk in chunks[start : start + slice_chunks]:
+                ingest_chunk(engine, chunk, w)
+            cpu[w] += time.process_time() - c0
+            wall[w] += time.perf_counter() - t0
+
+    arms: dict[str, dict[str, Any]] = {}
+    digests: dict[int, str] = {}
+    for w in sweep:
+        engine = engines[w]
+        ack_wall, ack_cpu = wall[w], cpu[w]
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        engine.tree.write_barrier()
+        drained_wall = ack_wall + (time.perf_counter() - t0)
+        drained_cpu = ack_cpu + (time.process_time() - c0)
+        digest = hashlib.sha256()
+        rows = 0
+        for key, value in engine.scan(0, n * 2):
+            digest.update(repr((key, value)).encode())
+            rows += 1
+        digests[w] = digest.hexdigest()
+        engine.tree.check_invariants()
+        io = engine.disk.stats
+        write_stats = engine.tree.write_stats()
+        arms[f"workers_{w}"] = {
+            "workers": w,
+            "ack": PhaseResult(n, ack_wall, ack_cpu).to_dict(),
+            "drained": PhaseResult(n, drained_wall, drained_cpu).to_dict(),
+            "device_us": round(io.modeled_us, 1),
+            "device_ops_per_s": round(n / (io.modeled_us / 1e6), 1),
+            "pages_written": io.pages_written,
+            "pages_read": io.pages_read,
+            "rows": rows,
+            "contents_sha256": digests[w],
+            "flush_jobs": write_stats.get("flush_jobs"),
+            "compaction_jobs": write_stats.get("compaction_jobs"),
+            "soft_delays": write_stats.get("soft_delays", 0),
+            "hard_stalls": write_stats.get("hard_stalls", 0),
+        }
+        engine.close()
+
+    # -- equivalence: every arm must converge to the serial contents ----
+    serial_digest = digests[sweep[0]]
+    for w in sweep[1:]:
+        if digests[w] != serial_digest:
+            raise AssertionError(
+                f"ingest_concurrent: workers={w} final contents diverged "
+                f"from serial ({digests[w][:16]} != {serial_digest[:16]})"
+            )
+
+    serial = arms[f"workers_{sweep[0]}"]
+    for name, arm in arms.items():
+        arm["device_speedup"] = round(serial["device_us"] / arm["device_us"], 2)
+        arm["ack_speedup_wall"] = (
+            round(serial["ack"]["seconds"] / arm["ack"]["seconds"], 2)
+            if arm["ack"]["seconds"]
+            else float("inf")
+        )
+        arm["drained_speedup_cpu"] = (
+            round(serial["drained"]["cpu_seconds"] / arm["drained"]["cpu_seconds"], 2)
+            if arm["drained"]["cpu_seconds"]
+            else float("inf")
+        )
+    top = arms[f"workers_{sweep[-1]}"]
+    return {
+        "experiment": "ingest_concurrent",
+        "engine": "baseline",
+        "ingest_ops": n,
+        "worker_sweep": list(sweep),
+        "arms": arms,
+        "contents_identical": True,
+        "concurrent_ingest_speedup": top["device_speedup"],
+        "concurrent_ack_speedup_wall": top["ack_speedup_wall"],
+    }
+
+
+def _run_spec(spec: dict[str, Any]) -> dict[str, Any]:
+    """Process-pool dispatch point (module-level, picklable)."""
+    if spec.get("mode") == "concurrent":
+        return run_concurrent_experiment(spec)
+    return run_experiment(spec)
+
+
 def next_bench_path(directory: Path | None = None) -> Path:
     """The lowest-numbered unused ``BENCH_<n>.json``."""
     directory = directory or BENCH_DIR
@@ -364,7 +530,7 @@ def run_suite(
     """Run every experiment (in parallel) and archive the results."""
     if quick:
         ingest_ops = min(ingest_ops, QUICK_INGEST_OPS)
-    specs = [
+    specs: list[dict[str, Any]] = [
         {
             "name": exp.name,
             "engine": exp.engine,
@@ -375,6 +541,15 @@ def run_suite(
         }
         for exp in EXPERIMENTS
     ]
+    specs.append(
+        {
+            "name": "ingest_concurrent",
+            "mode": "concurrent",
+            "seed": 7,
+            "ingest_ops": ingest_ops,
+            "worker_sweep": list(CONCURRENT_WORKER_SWEEP),
+        }
+    )
     if workers is None:
         # One worker per experiment, but never more than the machine has
         # cores: oversubscribed workers time-share and that scheduling
@@ -386,12 +561,16 @@ def run_suite(
         workers = max(1, min(len(specs), cpus))
     started = time.perf_counter()
     if workers == 0:  # serial escape hatch (debugging, constrained CI)
-        results = [run_experiment(spec) for spec in specs]
+        results = [_run_spec(spec) for spec in specs]
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(run_experiment, specs))
+            results = list(pool.map(_run_spec, specs))
     wall = time.perf_counter() - started
 
+    serial_results = [r for r in results if "ingest_speedup" in r]
+    concurrent = next(
+        (r for r in results if r["experiment"] == "ingest_concurrent"), None
+    )
     payload = {
         "suite": "perfsuite",
         "quick": quick,
@@ -401,11 +580,13 @@ def run_suite(
         "workers": workers,
         "wall_seconds": round(wall, 2),
         "experiments": results,
-        "min_ingest_speedup": min(r["ingest_speedup"] for r in results),
-        "min_get_speedup": min(r["get_speedup"] for r in results),
-        "min_scan_speedup": min(r["scan_speedup"] for r in results),
-        "min_mixed_speedup": min(r["mixed_speedup"] for r in results),
+        "min_ingest_speedup": min(r["ingest_speedup"] for r in serial_results),
+        "min_get_speedup": min(r["get_speedup"] for r in serial_results),
+        "min_scan_speedup": min(r["scan_speedup"] for r in serial_results),
+        "min_mixed_speedup": min(r["mixed_speedup"] for r in serial_results),
     }
+    if concurrent is not None:
+        payload["concurrent_ingest_speedup"] = concurrent["concurrent_ingest_speedup"]
     path = out or next_bench_path()
     path.write_text(json.dumps(payload, indent=1) + "\n")
     payload["path"] = str(path)
@@ -423,6 +604,8 @@ def render(payload: dict[str, Any]) -> str:
         f"{'mixed-x':>8} {'cache-hit':>10}",
     ]
     for r in payload["experiments"]:
+        if r["experiment"] == "ingest_concurrent":
+            continue
         p = r["phases"]
         lines.append(
             f"{r['experiment']:<20} "
@@ -435,11 +618,35 @@ def render(payload: dict[str, Any]) -> str:
             f"{r['mixed_speedup']:>7.2f}x "
             f"{r['cache']['hit_rate']:>10.2%}"
         )
+    concurrent = next(
+        (r for r in payload["experiments"] if r["experiment"] == "ingest_concurrent"),
+        None,
+    )
+    if concurrent is not None:
+        lines.append(
+            f"{'ingest-concurrent':<20} {'workers':>8} {'ack/s':>10} "
+            f"{'ack-x':>6} {'device/s':>10} {'dev-x':>6} {'pages-w':>8} {'stalls':>7}"
+        )
+        for arm in concurrent["arms"].values():
+            lines.append(
+                f"{'':<20} {arm['workers']:>8} "
+                f"{arm['ack']['ops_per_s']:>10,.0f} "
+                f"{arm['ack_speedup_wall']:>5.2f}x "
+                f"{arm['device_ops_per_s']:>10,.0f} "
+                f"{arm['device_speedup']:>5.2f}x "
+                f"{arm['pages_written']:>8,} "
+                f"{arm['hard_stalls']:>7}"
+            )
     lines.append(
         f"min speedups: ingest {payload['min_ingest_speedup']:.2f}x, "
         f"get {payload['min_get_speedup']:.2f}x, "
         f"scan {payload['min_scan_speedup']:.2f}x, "
         f"mixed {payload['min_mixed_speedup']:.2f}x"
+        + (
+            f", concurrent-ingest {payload['concurrent_ingest_speedup']:.2f}x"
+            if "concurrent_ingest_speedup" in payload
+            else ""
+        )
     )
     if "path" in payload:
         lines.append(f"archived: {payload['path']}")
@@ -449,21 +656,26 @@ def render(payload: dict[str, Any]) -> str:
 #: Speedup metrics guarded by :func:`check_read_regression`.
 READ_SPEEDUP_KEYS = ("get_speedup", "scan_speedup", "mixed_speedup")
 
+#: All gated speedups: the read trio plus the serial ingest speedup
+#: (seed cost model vs the batched write path, CPU time in-process).
+GATED_SPEEDUP_KEYS = READ_SPEEDUP_KEYS + ("ingest_speedup",)
+
 
 def check_read_regression(
     current: dict[str, Any],
     baseline: dict[str, Any],
     tolerance: float = 0.2,
 ) -> list[str]:
-    """Compare read *speedups* of a fresh run against an archived one.
+    """Compare gated *speedups* of a fresh run against an archived one.
 
     Speedups (seed-model CPU time / optimized CPU time, measured in the
     same process seconds apart) are machine-independent, so a quick CI run
     on shared hardware can be held against a full archive from a developer
-    machine.  Raw ops/s are deliberately not compared.  Returns a list of
-    human-readable failure strings (empty means no regression).  Metrics
-    absent from the baseline archive (e.g. pre-overhaul BENCH files) are
-    skipped.
+    machine.  Raw ops/s are deliberately not compared.  Guards the read
+    trio and the serial ingest speedup (:data:`GATED_SPEEDUP_KEYS`).
+    Returns a list of human-readable failure strings (empty means no
+    regression).  Metrics absent from the baseline archive (e.g.
+    pre-overhaul BENCH files) are skipped.
     """
     failures: list[str] = []
     base_by_name = {r["experiment"]: r for r in baseline.get("experiments", [])}
@@ -471,7 +683,7 @@ def check_read_regression(
         base = base_by_name.get(result["experiment"])
         if base is None:
             continue
-        for key in READ_SPEEDUP_KEYS:
+        for key in GATED_SPEEDUP_KEYS:
             if key not in base or key not in result:
                 continue
             floor = base[key] * (1.0 - tolerance)

@@ -23,6 +23,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
@@ -58,6 +59,9 @@ class EngineStats:
     #: pruning counters (see :meth:`LSMTree.read_stats`).
     cache: dict = None  # type: ignore[assignment]
     read_path: list = None  # type: ignore[assignment]
+    #: Write-path observability (flush/compaction queues, stalls, worker
+    #: throughput); see :meth:`LSMTree.write_stats`.
+    write_path: dict = None  # type: ignore[assignment]
 
     def to_dict(self) -> dict:
         """JSON-safe snapshot (for logging, dashboards, bench archives)."""
@@ -85,6 +89,7 @@ class EngineStats:
                 "cache_hit_rate": self.cache_hit_rate,
                 "cache": dict(self.cache) if self.cache else {},
                 "read_path": list(self.read_path) if self.read_path else [],
+                "write_path": dict(self.write_path) if self.write_path else {},
             }
         )
 
@@ -102,7 +107,18 @@ class AcheronEngine:
         wal_sync: bool = False,
         faults: Any = None,
         degraded_ok: bool = False,
+        workers: int | None = None,
     ) -> None:
+        if workers is None:
+            # Env-driven default so the whole suite can be re-run
+            # concurrently (CI's REPRO_WORKERS=4 job).  Fault-injected
+            # engines stay serial unless the caller opts in explicitly:
+            # the crash matrix's classic rows depend on deterministic
+            # single-threaded fault ordering.
+            if faults is None:
+                workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+            else:
+                workers = 1
         if config is None and directory is not None:
             # A durable store is self-describing: prefer its recorded
             # config over the default when none is given explicitly.
@@ -126,11 +142,14 @@ class AcheronEngine:
                 read_only=read_only,
                 faults=faults,
                 degraded_ok=degraded_ok,
+                workers=workers,
             )
         else:
             if read_only:
                 raise ConfigError("read_only requires a durable directory")
-            self.tree = LSMTree(self.config, clock=clock, listener=self.tracker)
+            self.tree = LSMTree(
+                self.config, clock=clock, listener=self.tracker, workers=workers
+            )
 
     # ------------------------------------------------------------------
     # named constructors (the two engines the demo compares)
@@ -141,6 +160,7 @@ class AcheronEngine:
         delete_persistence_threshold: int = 50_000,
         pages_per_tile: int = 8,
         directory: str | None = None,
+        workers: int | None = None,
         **config_overrides: object,
     ) -> "AcheronEngine":
         """The demonstrated engine: FADE + KiWi enabled."""
@@ -149,14 +169,19 @@ class AcheronEngine:
             pages_per_tile=pages_per_tile,
             **config_overrides,
         )
-        return cls(cfg, directory=directory)
+        return cls(cfg, directory=directory, workers=workers)
 
     @classmethod
     def baseline(
-        cls, directory: str | None = None, **config_overrides: object
+        cls,
+        directory: str | None = None,
+        workers: int | None = None,
+        **config_overrides: object,
     ) -> "AcheronEngine":
         """The state-of-the-art baseline: no persistence guarantee."""
-        return cls(baseline_config(**config_overrides), directory=directory)
+        return cls(
+            baseline_config(**config_overrides), directory=directory, workers=workers
+        )
 
     # ------------------------------------------------------------------
     # data plane
@@ -210,6 +235,12 @@ class AcheronEngine:
         (kiwi when the weave is enabled, full rewrite otherwise -- i.e.
         each engine pays its own paper-accurate cost).
         """
+        wp = self.tree.write_path
+        if wp is not None and not wp.owns_inline():
+            # Secondary deletes rewrite structure with serial code paths;
+            # quiesce the background workers and run inline.
+            with wp.exclusive():
+                return self.delete_range(delete_key_lo, delete_key_hi, method=method)
         if method == "auto":
             method = "kiwi" if self.config.kiwi_enabled else "full_rewrite"
         if method == "kiwi":
@@ -246,6 +277,10 @@ class AcheronEngine:
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
         """One consistent snapshot of every evaluation metric."""
+        # Drain in-flight flushes/compactions first: amplification and
+        # shape walk live structure, and a half-installed level would
+        # make the numbers incoherent.  No-op for serial engines.
+        self.tree.write_barrier()
         now = self.tree.clock.now()
         tracker = self.tracker or PersistenceTracker()
         # read_stats() mirrors the cache totals into tree.counters, so it
@@ -263,6 +298,7 @@ class AcheronEngine:
             tick=now,
             cache=read_stats["cache"],
             read_path=read_stats["levels"],
+            write_path=self.tree.write_stats(),
         )
 
     def persistence_stats(self) -> PersistenceStats:

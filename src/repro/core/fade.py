@@ -159,7 +159,7 @@ class FadeScheduler:
             heapq.heappop(self._heap)
         return None
 
-    def _pop_expired(self, now: int) -> tuple[SSTableFile, int] | None:
+    def _pop_expired(self, now: int) -> tuple[SSTableFile, int, int] | None:
         while self._heap:
             deadline, file_id = self._heap[0]
             entry = self._live.get(file_id)
@@ -170,18 +170,27 @@ class FadeScheduler:
                 return None
             heapq.heappop(self._heap)
             self._live.pop(file_id, None)
-            return entry
+            return (*entry, deadline)
         return None
 
     # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
-    def plan(self, tree: "LSMTree") -> CompactionTask | None:
+    def plan(
+        self, tree: "LSMTree", busy_levels: frozenset[int] = frozenset()
+    ) -> CompactionTask | None:
         """The next expiry-driven task, or None when nothing is due.
 
         Must be called at structural quiescence (no level over capacity,
         leveling invariant restored) -- the tree's maintenance loop
         guarantees that by draining the saturation planner first.
+
+        ``busy_levels`` holds levels reserved by in-flight concurrent
+        compactions.  An expired file whose merge would touch a busy level
+        is pushed back on the heap (its deadline is already due, so it is
+        re-examined as soon as the conflicting job installs); the expiry
+        order among conflict-free files is unchanged, preserving FADE
+        priority.
         """
         # Iterative (not recursive) drain: a long run of stale expiries --
         # e.g. after a full compaction destroyed every tracked file -- must
@@ -191,7 +200,15 @@ class FadeScheduler:
             expired = self._pop_expired(now)
             if expired is None:
                 return None
-            file, level_index = expired
+            file, level_index, deadline = expired
+            if busy_levels and (
+                level_index in busy_levels or level_index + 1 in busy_levels
+            ):
+                # Conflict: restore the entry untouched and stop planning
+                # (a shallower expiry must not jump the queue past it).
+                self._live[file.file_id] = (file, level_index)
+                heapq.heappush(self._heap, (deadline, file.file_id))
+                return None
             deepest = tree.deepest_nonempty_level()
             if self.config.policy is CompactionStyle.LEVELING:
                 task = self._plan_leveling(tree, file, level_index, deepest)

@@ -11,6 +11,7 @@ from typing import TYPE_CHECKING
 
 from repro.metrics.amplification import measure_amplification
 from repro.metrics.readpath import format_cache, format_read_path
+from repro.metrics.writepath import format_write_path
 from repro.metrics.reporting import format_table
 from repro.metrics.shape import tree_shape
 
@@ -117,6 +118,10 @@ class TreeInspector:
         """Per-level lookup pruning counters (probe/skip/serve)."""
         return format_read_path(self.engine.tree, name=self.name)
 
+    def write_path_table(self) -> str:
+        """Flush pipeline, compaction pool, and stall counters."""
+        return format_write_path(self.engine.tree, name=self.name)
+
     def compaction_history(self, last: int = 10) -> str:
         """The most recent compactions, newest last."""
         rows = [
@@ -149,6 +154,7 @@ class TreeInspector:
                 self.io_table(),
                 self.cache_table(),
                 self.read_path_table(),
+                self.write_path_table(),
                 self.compaction_history(),
             ]
         )

@@ -150,12 +150,15 @@ class BloomFilter:
             and len(pairs) >= 16
             and num_bits * num_hashes < (1 << 62)
         ):
-            r1 = _np.fromiter(
-                (p[0] % num_bits for p in pairs), dtype=_np.int64, count=len(pairs)
-            )
-            r2 = _np.fromiter(
-                (p[1] % num_bits for p in pairs), dtype=_np.int64, count=len(pairs)
-            )
+            # One C-level conversion of the pair list, then vectorized
+            # modular reduction.  h1/h2 are 64-bit unsigned; uint64 '%'
+            # matches Python's nonnegative '%' exactly, and the residues
+            # fit int64 (num_bits << 2^62).  From here on every op is a
+            # numpy inner loop that releases the GIL, which is what lets
+            # concurrent compaction workers overlap filter construction.
+            raw = _np.array(pairs, dtype=_np.uint64)
+            r1 = (raw[:, 0] % _np.uint64(num_bits)).astype(_np.int64)
+            r2 = (raw[:, 1] % _np.uint64(num_bits)).astype(_np.int64)
             steps = _np.arange(num_hashes, dtype=_np.int64)
             idx = (r1[:, None] + steps * r2[:, None]) % num_bits
             flags = _np.zeros(len(self._bits) * 8, dtype=_np.uint8)

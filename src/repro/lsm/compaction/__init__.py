@@ -10,7 +10,13 @@ and produce the same :class:`CompactionTask` objects, so a single executor
 serves every strategy.
 """
 
-from repro.lsm.compaction.executor import CompactionEvent, execute_task
+from repro.lsm.compaction.executor import (
+    CompactionEvent,
+    MergedOutput,
+    execute_task,
+    install_task,
+    merge_task,
+)
 from repro.lsm.compaction.planner import SaturationPlanner
 from repro.lsm.compaction.task import CompactionReason, CompactionTask, TaskInput
 
@@ -18,7 +24,10 @@ __all__ = [
     "CompactionEvent",
     "CompactionReason",
     "CompactionTask",
+    "MergedOutput",
     "SaturationPlanner",
     "TaskInput",
     "execute_task",
+    "install_task",
+    "merge_task",
 ]

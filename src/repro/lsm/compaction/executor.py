@@ -14,6 +14,20 @@ The executor is also where the delete-persistence lifecycle is observed:
 * a winning tombstone dropped at the bottommost level is reported
   **persisted** -- this is the event whose latency the paper bounds with
   ``D_th``.
+
+Execution is split into two phases so the concurrent write path
+(:mod:`repro.lsm.writepath`) can run the expensive half off the structure
+lock:
+
+* :func:`merge_task` -- reads inputs, resolves versions, builds the output
+  files, and charges the device.  It touches no level structure, so any
+  number of merges over *disjoint* levels may run concurrently.
+* :func:`install_task` -- detaches the consumed files and splices the
+  output into the levels.  It mutates shared structure and must run under
+  the tree's install lock (trivially satisfied in serial mode).
+
+:func:`execute_task` composes the two and is bit-identical to the old
+single-phase executor; the serial engine keeps calling it unchanged.
 """
 
 from __future__ import annotations
@@ -23,12 +37,13 @@ from typing import TYPE_CHECKING, Iterable
 
 from repro.lsm.entry import Entry, EntryKind
 from repro.lsm.iterator import merge_resolve_list
-from repro.lsm.run import Run, build_files
+from repro.lsm.run import Run, SSTableFile, build_files
 from repro.lsm.compaction.task import CompactionTask, OutputPlacement
 from repro.storage.disk import CATEGORY_COMPACTION
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.lsm.tree import LSMTree
+    from repro.core.tracker import DeleteLifecycleListener
 
 
 @dataclass(frozen=True)
@@ -48,13 +63,43 @@ class CompactionEvent:
     tick: int
 
 
+@dataclass
+class MergedOutput:
+    """The result of :func:`merge_task`, awaiting :func:`install_task`."""
+
+    new_files: list[SSTableFile]
+    entries_out: int
+    tombstones_dropped: int
+    tombstones_superseded: int
+    pages_read: int
+    pages_written: int
+    tick: int
+
+
 def execute_task(task: CompactionTask, tree: "LSMTree") -> CompactionEvent:
     """Run ``task`` against ``tree`` and return what happened."""
-    now = tree.clock.now()
-    listener = tree.listener
-
     if task.trivial_move:
-        return _execute_trivial_move(task, tree, now)
+        return _execute_trivial_move(task, tree, tree.clock.now())
+    merged = merge_task(task, tree)
+    return install_task(task, tree, merged)
+
+
+def merge_task(
+    task: CompactionTask,
+    tree: "LSMTree",
+    listener: "DeleteLifecycleListener | None" = None,
+    now: int | None = None,
+) -> MergedOutput:
+    """Phase 1: read, merge, and build output files (no structure access).
+
+    ``listener`` overrides ``tree.listener`` (the concurrent executor
+    passes a lock-wrapped listener so tracker state stays consistent when
+    several merges report lifecycle events at once).
+    """
+    if now is None:
+        now = tree.clock.now()
+    if listener is None:
+        listener = tree.listener
 
     # -- charge the sequential read of every input page -----------------
     pages_read = task.input_pages
@@ -108,6 +153,27 @@ def execute_task(task: CompactionTask, tree: "LSMTree") -> CompactionEvent:
     if pages_written:
         tree.disk.write_pages(pages_written, CATEGORY_COMPACTION)
 
+    return MergedOutput(
+        new_files=new_files,
+        entries_out=len(out_entries),
+        tombstones_dropped=dropped,
+        tombstones_superseded=superseded,
+        pages_read=pages_read,
+        pages_written=pages_written,
+        tick=now,
+    )
+
+
+def install_task(
+    task: CompactionTask, tree: "LSMTree", merged: MergedOutput
+) -> CompactionEvent:
+    """Phase 2: splice the merge output into the level structure.
+
+    Mutates levels, the block cache, and the FADE/tracker registries --
+    callers in concurrent mode must hold the tree's install lock.
+    """
+    new_files = merged.new_files
+
     # -- detach consumed files -------------------------------------------
     for inp in task.inputs:
         level = tree.level(inp.level_index)
@@ -139,13 +205,13 @@ def execute_task(task: CompactionTask, tree: "LSMTree") -> CompactionEvent:
         source_level=task.source_level,
         target_level=task.target_level,
         entries_in=task.input_entries,
-        entries_out=len(out_entries),
-        tombstones_dropped=dropped,
-        tombstones_superseded=superseded,
-        pages_read=pages_read,
-        pages_written=pages_written,
+        entries_out=merged.entries_out,
+        tombstones_dropped=merged.tombstones_dropped,
+        tombstones_superseded=merged.tombstones_superseded,
+        pages_read=merged.pages_read,
+        pages_written=merged.pages_written,
         output_file_ids=tuple(f.file_id for f in new_files),
-        tick=now,
+        tick=merged.tick,
     )
     return event
 

@@ -70,24 +70,39 @@ class SaturationPlanner:
     # ------------------------------------------------------------------
     # entry point
     # ------------------------------------------------------------------
-    def plan(self, tree: "LSMTree") -> CompactionTask | None:
-        """The next task the baseline strategy requires, or None."""
+    def plan(
+        self, tree: "LSMTree", busy_levels: frozenset[int] = frozenset()
+    ) -> CompactionTask | None:
+        """The next task the baseline strategy requires, or None.
+
+        ``busy_levels`` holds levels reserved by in-flight concurrent
+        compactions; any candidate task touching one is skipped so the
+        scheduler only ever dispatches level-disjoint jobs.  The empty
+        default makes serial planning bit-identical to the single-threaded
+        planner.
+        """
         if self.config.policy is CompactionStyle.LEVELING:
-            return self._plan_leveling(tree)
+            return self._plan_leveling(tree, busy_levels)
         if self.config.policy is CompactionStyle.LAZY_LEVELING:
-            return self._plan_lazy_leveling(tree)
-        return self._plan_tiering(tree)
+            return self._plan_lazy_leveling(tree, busy_levels)
+        return self._plan_tiering(tree, busy_levels)
 
     # ------------------------------------------------------------------
     # leveling
     # ------------------------------------------------------------------
-    def _plan_leveling(self, tree: "LSMTree") -> CompactionTask | None:
+    def _plan_leveling(
+        self, tree: "LSMTree", busy: frozenset[int] = frozenset()
+    ) -> CompactionTask | None:
         # First restore the one-run-per-level invariant (flush landing).
         for level in tree.iter_levels():
+            if busy and level.index in busy:
+                continue
             if level.run_count > 1:
                 return self._collapse_level(tree, level)
         # Then resolve capacity overflows top-down.
         for level in tree.iter_levels():
+            if busy and (level.index in busy or level.index + 1 in busy):
+                continue
             if level.is_empty:
                 continue
             if self._level_entries(level) > self.config.level_capacity_entries(level.index):
@@ -211,35 +226,48 @@ class SaturationPlanner:
     # ------------------------------------------------------------------
     # lazy leveling (Dostoevsky): tiering everywhere, leveling at the last
     # ------------------------------------------------------------------
-    def _plan_lazy_leveling(self, tree: "LSMTree") -> CompactionTask | None:
+    def _plan_lazy_leveling(
+        self, tree: "LSMTree", busy: frozenset[int] = frozenset()
+    ) -> CompactionTask | None:
         last = tree.deepest_nonempty_level()
         if last == 0:
             return None
+        last_busy = bool(busy) and (last in busy or last + 1 in busy)
         last_level = tree.level(last)
-        # 1. The last level must be one leveled run.
-        if last_level.run_count > 1:
-            return self._collapse_level(tree, last_level)
-        # 2. An outgrown last run is pushed down as-is: a trivial move (no
-        #    merge -- nothing exists below it), creating the next level.
-        (last_run,) = last_level.runs
-        if self._run_entries(last_run) > self.config.level_capacity_entries(last):
-            return CompactionTask(
-                reason=CompactionReason.RELOCATION,
-                inputs=[TaskInput(last, last_run, list(last_run.files))],
-                target_level=last + 1,
-                placement=OutputPlacement.NEW_RUN,
-                trivial_move=True,
-                notes=f"relocate last run L{last}->L{last + 1}",
-            )
+        if not last_busy:
+            # 1. The last level must be one leveled run.
+            if last_level.run_count > 1:
+                return self._collapse_level(tree, last_level)
+            # 2. An outgrown last run is pushed down as-is: a trivial move
+            #    (no merge -- nothing exists below it), creating the next
+            #    level.
+            (last_run,) = last_level.runs
+            if self._run_entries(last_run) > self.config.level_capacity_entries(last):
+                return CompactionTask(
+                    reason=CompactionReason.RELOCATION,
+                    inputs=[TaskInput(last, last_run, list(last_run.files))],
+                    target_level=last + 1,
+                    placement=OutputPlacement.NEW_RUN,
+                    trivial_move=True,
+                    notes=f"relocate last run L{last}->L{last + 1}",
+                )
         # 3. Tier levels above the last merge on run count; a merge landing
         #    *on* the last level absorbs the last run (leveling behaviour).
         for level in tree.iter_levels():
             if level.index >= last or level.run_count < self.config.size_ratio:
                 continue
-            inputs = [TaskInput(level.index, run, list(run.files)) for run in level.runs]
             next_index = level.index + 1
+            if busy and (level.index in busy or next_index in busy):
+                continue
+            if next_index == last and last_level.run_count != 1:
+                # The last level is mid-install (a concurrent job owns it
+                # or it briefly holds several runs); wait for step 1.
+                continue
+            inputs = [TaskInput(level.index, run, list(run.files)) for run in level.runs]
             if next_index == last:
-                inputs.append(TaskInput(last, last_run, list(last_run.files)))
+                inputs.append(
+                    TaskInput(last, last_level.runs[0], list(last_level.runs[0].files))
+                )
             drop = (
                 next_index >= last
                 and self.config.drop_tombstones_at_bottom
@@ -257,8 +285,12 @@ class SaturationPlanner:
     # ------------------------------------------------------------------
     # tiering
     # ------------------------------------------------------------------
-    def _plan_tiering(self, tree: "LSMTree") -> CompactionTask | None:
+    def _plan_tiering(
+        self, tree: "LSMTree", busy: frozenset[int] = frozenset()
+    ) -> CompactionTask | None:
         for level in tree.iter_levels():
+            if busy and (level.index in busy or level.index + 1 in busy):
+                continue
             if level.run_count >= self.config.size_ratio:
                 return self.tier_merge_task(tree, level)
         return None

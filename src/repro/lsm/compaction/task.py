@@ -110,6 +110,18 @@ class CompactionTask:
         return min(inp.level_index for inp in self.inputs)
 
     @property
+    def involved_levels(self) -> frozenset[int]:
+        """Every level this task reads from or writes to.
+
+        The concurrent scheduler reserves this whole set before
+        dispatching, so two in-flight jobs never share a level and a new
+        plan never reasons about a level that is mid-mutation.
+        """
+        levels = {inp.level_index for inp in self.inputs}
+        levels.add(self.target_level)
+        return frozenset(levels)
+
+    @property
     def input_pages(self) -> int:
         return sum(inp.page_count for inp in self.inputs)
 

@@ -47,7 +47,12 @@ class Entry:
     entry after creation.
     """
 
-    __slots__ = ("key", "seqno", "kind", "value", "delete_key", "write_time")
+    #: ``bloom_pair`` caches the entry's Bloom digest pair (a pure
+    #: function of ``key``) the first time a file build computes it.
+    #: Write amplification re-files every entry ~W times, and the cache
+    #: turns all but the first build's digest into an attribute read.
+    #: Left unset until then (reading it raises ``AttributeError``).
+    __slots__ = ("key", "seqno", "kind", "value", "delete_key", "write_time", "bloom_pair")
 
     def __init__(
         self,

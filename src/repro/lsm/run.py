@@ -171,9 +171,21 @@ class SSTableFile:
             bloom = BloomFilter(len(entries), bits)
             return cls(file_id, tiles, bloom, created_at)
         try:
-            pairs = [key_hash_pair(e.key) for e in entries]
-        except TypeError:  # unhashable key type: hash without the memo
-            pairs = [hash_pair(_key_bytes(e.key)) for e in entries]
+            # Fast path: every entry has been through a build before and
+            # carries its cached digest pair (see Entry.bloom_pair).
+            pairs = [e.bloom_pair for e in entries]
+        except AttributeError:
+            pairs = []
+            for e in entries:
+                try:
+                    pair = e.bloom_pair
+                except AttributeError:
+                    try:
+                        pair = key_hash_pair(e.key)
+                    except TypeError:  # unhashable key: hash without the memo
+                        pair = hash_pair(_key_bytes(e.key))
+                    e.bloom_pair = pair
+                pairs.append(pair)
         bloom = BloomFilter.from_hash_pairs(pairs, bits)
         if want_page_filters:
             # The digests feed both the file-level filter and the per-page
@@ -394,17 +406,35 @@ def build_files(
 
 
 class FileIdAllocator:
-    """Monotonic file-id source (persisted via the manifest)."""
+    """Monotonic file-id source (persisted via the manifest).
 
-    __slots__ = ("_next",)
+    ``make_thread_safe`` arms an internal lock so concurrent flush and
+    compaction workers never mint the same id; serial trees skip the lock
+    entirely (``self._lock is None`` costs one attribute test).
+    """
+
+    __slots__ = ("_next", "_lock")
 
     def __init__(self, start: int = 1) -> None:
         self._next = start
+        self._lock = None
+
+    def make_thread_safe(self) -> None:
+        if self._lock is None:
+            import threading
+
+            self._lock = threading.Lock()
 
     def __call__(self) -> int:
-        value = self._next
-        self._next += 1
-        return value
+        lock = self._lock
+        if lock is None:
+            value = self._next
+            self._next += 1
+            return value
+        with lock:
+            value = self._next
+            self._next += 1
+            return value
 
     def peek(self) -> int:
         return self._next

@@ -76,6 +76,7 @@ class LSMTree:
         store: FileStore | None = None,
         wal_sync: bool = False,
         read_only: bool = False,
+        workers: int = 1,
     ) -> None:
         self.config = config
         self.disk = disk or SimulatedDisk(config.disk)
@@ -145,6 +146,13 @@ class LSMTree:
         self.recovery_errors: list[str] = []
         self.recovery_log: list[str] = []
         self._degraded_ok = False
+        #: The concurrent write-path controller, or None in serial mode.
+        #: ``workers`` is a runtime-only knob (never recorded in the
+        #: manifest): with the default of 1 every code path below is the
+        #: untouched serial one, bit-for-bit.
+        self._wp = None
+        if workers > 1 and not read_only:
+            self._start_write_path(workers)
 
     # ==================================================================
     # construction from disk
@@ -160,6 +168,7 @@ class LSMTree:
         faults: FaultInjector | None = None,
         degraded_ok: bool = False,
         cache: BlockCache | None = None,
+        workers: int = 1,
     ) -> "LSMTree":
         """Open (or create) a durable tree rooted at ``directory``.
 
@@ -295,6 +304,10 @@ class LSMTree:
                 f"{manifest_seqno}"
             )
         tree.verify_invariants()
+        # Concurrency starts only after recovery is fully settled: every
+        # step above runs on the untouched serial code paths.
+        if workers > 1 and not tree._read_only and not tree.degraded:
+            tree._start_write_path(workers)
         return tree
 
     def _restore_from_manifest(self, manifest: dict) -> None:
@@ -344,6 +357,11 @@ class LSMTree:
         (defaults to the current tick, i.e. an insertion timestamp).
         """
         self._check_open()
+        wp = self._wp
+        if wp is not None and not wp.owns_inline():
+            self._check_writable()
+            wp.apply_batch((("put", key, value, delete_key),))
+            return
         now = self.clock.now()
         entry = Entry.put(key, value, self._next_seqno(), now, delete_key)
         self.counters["puts"] += 1
@@ -358,6 +376,11 @@ class LSMTree:
         ``D_th`` ticks.
         """
         self._check_open()
+        wp = self._wp
+        if wp is not None and not wp.owns_inline():
+            self._check_writable()
+            wp.apply_batch((("delete", key),))
+            return
         now = self.clock.now()
         entry = Entry.tombstone(key, self._next_seqno(), now)
         self.counters["deletes"] += 1
@@ -396,6 +419,9 @@ class LSMTree:
         """
         self._check_open()
         self._check_writable()
+        wp = self._wp
+        if wp is not None and not wp.owns_inline():
+            return wp.apply_batch(ops)
         wal = self._wal
         pending: list[Entry] = []
         memtable = self.memtable
@@ -509,9 +535,19 @@ class LSMTree:
                 self._flush()
 
     def flush(self) -> None:
-        """Force the memtable to disk (no-op when empty)."""
+        """Force the memtable to disk (no-op when empty).
+
+        In concurrent mode this is a full pipeline drain: the active
+        memtable rotates, the frozen queue and every in-flight compaction
+        complete, and the WAL rotates -- the only point (besides close)
+        where it safely can.
+        """
         self._check_open()
         self._check_writable()
+        wp = self._wp
+        if wp is not None and not wp.owns_inline():
+            wp.flush()
+            return
         if not self.memtable.is_empty:
             self._flush()
             self.maintain()
@@ -554,8 +590,17 @@ class LSMTree:
         FADE deadline has come due, the full planner evaluation is skipped
         -- an O(1) flag check plus an O(1) heap peek instead of a walk over
         every level.  This is what makes per-operation maintenance free.
+
+        In concurrent mode maintenance is continuous (the pump runs after
+        every install), so this degrades to a barrier: wait until the
+        background machinery is quiescent, then report 0 (the work is
+        attributed to the workers, not to this call).
         """
         self._check_open()
+        wp = self._wp
+        if wp is not None and not wp.owns_inline():
+            wp.barrier()
+            return 0
         if (
             self.maintenance_fast_path
             and not self._maintenance_dirty
@@ -595,6 +640,10 @@ class LSMTree:
         """
         self._check_open()
         self._check_writable()
+        wp = self._wp
+        if wp is not None and not wp.owns_inline():
+            with wp.exclusive():
+                return self.full_compaction()
         self.flush()
         inputs = [
             TaskInput(level.index, run, list(run.files))
@@ -651,7 +700,15 @@ class LSMTree:
         to pages, through the shared cache-aware reader.  Level-1 pages --
         the hottest, most-churned data -- are inserted pinned.  Every
         skip/probe is accounted per level (see :meth:`read_stats`).
+
+        Concurrent mode routes through the controller's published
+        snapshot (active memtable -> frozen queue -> versioned levels);
+        the two-instruction guard below is the read path's entire
+        concurrency cost in serial mode.
         """
+        wp = self._wp
+        if wp is not None:
+            return wp.get_entry(key)
         entry = self.memtable.get(key)
         if entry is not None:
             return entry
@@ -736,6 +793,9 @@ class LSMTree:
         self.counters["scans"] += 1
         if limit is not None and limit <= 0:
             return iter(())  # LIMIT 0: empty, not "unlimited"
+        wp = self._wp
+        if wp is not None:
+            return wp.scan(lo, hi, limit=limit, reverse=reverse)
         reader = self._reader
         buffered = list(self.memtable.range(lo, hi))
         if reverse:
@@ -921,6 +981,10 @@ class LSMTree:
         """
         self._check_open()
         self._check_writable()
+        wp = self._wp
+        if wp is not None and not wp.owns_inline():
+            wp.advance_time(ticks)
+            return
         if ticks < 0:
             raise ValueError(f"cannot advance time backwards ({ticks})")
         target = self.clock.now() + ticks
@@ -944,8 +1008,25 @@ class LSMTree:
             self.maintain()
 
     def close(self) -> None:
-        """Flush state to disk (durable mode) and refuse further use."""
+        """Flush state to disk (durable mode) and refuse further use.
+
+        In concurrent mode the controller drains and stops its workers
+        first; a pending background error (e.g. an injected crash inside
+        a worker) is re-raised here, after the WAL handle is closed and
+        the tree is marked closed, exactly as a crash inside a serial
+        close would surface.
+        """
         if self._closed:
+            return
+        wp = self._wp
+        if wp is not None and not wp.owns_inline():
+            self._wp = None
+            try:
+                wp.close()
+            finally:
+                if self._wal is not None:
+                    self._wal.close()
+                self._closed = True
             return
         if self._store is not None and not self._read_only and not self.memtable.is_empty:
             self._flush()
@@ -973,6 +1054,60 @@ class LSMTree:
         """The FADE scheduler, or None for a baseline tree."""
         return self._fade
 
+    # ==================================================================
+    # concurrent write path
+    # ==================================================================
+    def _start_write_path(self, workers: int) -> None:
+        """Attach and start the background flush/compaction controller."""
+        from repro.lsm.writepath import WritePathController
+
+        self._wp = WritePathController(self, workers)
+        self._wp.start()
+
+    @property
+    def write_path(self) -> Any:
+        """The concurrent write-path controller, or None in serial mode."""
+        return self._wp
+
+    def write_barrier(self) -> None:
+        """Wait for all background flushes and compactions (no-op serially)."""
+        wp = self._wp
+        if wp is not None and not wp.owns_inline():
+            wp.barrier()
+
+    def write_stats(self) -> dict[str, Any]:
+        """Write-path observability (see :mod:`repro.metrics.writepath`).
+
+        Serial trees report the inline equivalents (every flush and
+        compaction ran on the caller's thread; there is no queue and
+        there are no stalls), so dashboards render identically in both
+        modes.
+        """
+        wp = self._wp
+        if wp is not None:
+            return wp.report()
+        return {
+            "mode": "serial",
+            "workers": 1,
+            "rotations": self.flush_count,
+            "queue_depth": 0,
+            "queue_peak": 0,
+            "flush_jobs": self.flush_count,
+            "flush_memtables": self.flush_count,
+            "flush_entries": 0,
+            "flush_wall_ms": 0.0,
+            "flush_max_ms": 0.0,
+            "compaction_jobs": len(self.compaction_log),
+            "compaction_inflight": 0,
+            "compaction_inflight_peak": 0,
+            "compaction_wall_ms": 0.0,
+            "compaction_max_ms": 0.0,
+            "soft_delays": 0,
+            "hard_stalls": 0,
+            "stall_seconds": 0.0,
+            "pages_written_by_worker": {},
+        }
+
     def verify_invariants(self) -> None:
         """Recovery-time integrity check over the whole tree.
 
@@ -985,7 +1120,14 @@ class LSMTree:
         callers as a cheap post-hoc audit.  Unlike
         :meth:`check_invariants` (an exhaustive assert-based test helper)
         this never uses ``assert``, so it works under ``python -O``.
+
+        In concurrent mode the background machinery is drained first so
+        the walk sees a quiescent structure (entries parked in frozen
+        memtables are flushed by the drain and audited as usual).
         """
+        wp = self._wp
+        if wp is not None and not wp.owns_inline():
+            wp.barrier()
         seen_ids: set[int] = set()
         max_seqno = 0
         max_write_time = 0

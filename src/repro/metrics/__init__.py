@@ -17,6 +17,7 @@ from repro.metrics.readpath import format_cache, format_read_path, read_path_rep
 from repro.metrics.reporting import format_table, print_table, sparkline
 from repro.metrics.shape import LevelSummary, tree_shape
 from repro.metrics.timeline import Timeline, TimelineSampler
+from repro.metrics.writepath import format_workers, format_write_path, write_path_report
 
 __all__ = [
     "AmplificationReport",
@@ -27,6 +28,8 @@ __all__ = [
     "format_cache",
     "format_read_path",
     "format_table",
+    "format_workers",
+    "format_write_path",
     "live_bytes_on_disk",
     "measure_amplification",
     "read_cost_breakdown",
@@ -36,4 +39,5 @@ __all__ = [
     "sparkline",
     "tree_shape",
     "write_amplification",
+    "write_path_report",
 ]

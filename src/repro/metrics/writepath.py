@@ -1,0 +1,104 @@
+"""Write-path observability: flush pipeline, compaction pool, stalls.
+
+The concurrent write path moved flushes and compactions off the writer's
+thread (:mod:`repro.lsm.writepath`); this module turns the controller's
+raw counters (:meth:`LSMTree.write_stats`) into JSON-safe reports and
+rendered tables, the mirror of :mod:`repro.metrics.readpath` for the
+ingest side.  Experiments use it to show *where* ingest time went -- how
+often the memtable rotated, how many memtables each background flush
+absorbed, how deep the job queue ran, and how long writers sat in soft
+delays or hard stalls.
+
+Serial trees report the inline equivalents (no queue, no stalls), so the
+same table renders for both modes and a serial/concurrent comparison is a
+diff of two identical layouts.
+
+Read-only over the tree; computing a report never charges the simulated
+disk.  Note that in concurrent mode :meth:`LSMTree.write_stats` reads
+live counters without quiescing the workers -- numbers are coherent
+per-field but may be mid-job; call :meth:`LSMTree.write_barrier` first
+for an at-rest snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.metrics.reporting import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lsm.tree import LSMTree
+
+
+def write_path_report(tree: "LSMTree") -> dict[str, Any]:
+    """JSON-safe write-path snapshot plus derived aggregates.
+
+    Adds to the raw controller counters:
+
+    ``flush_batching``
+        Mean memtables absorbed per background flush job (> 1.0 means
+        the pipeline coalesced rotations while a flush was running --
+        the main source of concurrent ingest speedup).
+    ``mean_flush_ms`` / ``mean_compaction_ms``
+        Mean wall-clock per background job.
+    ``stalled``
+        Whether backpressure ever engaged (soft or hard).
+    """
+    report = tree.write_stats()
+    flush_jobs = report["flush_jobs"]
+    compaction_jobs = report["compaction_jobs"]
+    report["flush_batching"] = (
+        report["flush_memtables"] / flush_jobs if flush_jobs else 0.0
+    )
+    report["mean_flush_ms"] = (
+        report["flush_wall_ms"] / flush_jobs if flush_jobs else 0.0
+    )
+    report["mean_compaction_ms"] = (
+        report["compaction_wall_ms"] / compaction_jobs if compaction_jobs else 0.0
+    )
+    report["stalled"] = bool(report["soft_delays"] or report["hard_stalls"])
+    return report
+
+
+def format_write_path(tree: "LSMTree", name: str = "tree") -> str:
+    """The write-path report as an aligned two-column table."""
+    report = write_path_report(tree)
+    rows = [
+        ["mode", report["mode"]],
+        ["workers", report["workers"]],
+        ["memtable rotations", report["rotations"]],
+        ["flush queue depth (now/peak)", f"{report['queue_depth']}/{report['queue_peak']}"],
+        ["flush jobs", report["flush_jobs"]],
+        ["memtables per flush", f"{report['flush_batching']:.2f}"],
+        ["entries flushed", report["flush_entries"]],
+        ["mean flush (ms)", f"{report['mean_flush_ms']:.3f}"],
+        ["compaction jobs", report["compaction_jobs"]],
+        ["compactions in flight (now/peak)",
+         f"{report['compaction_inflight']}/{report['compaction_inflight_peak']}"],
+        ["mean compaction (ms)", f"{report['mean_compaction_ms']:.3f}"],
+        ["soft delays", report["soft_delays"]],
+        ["hard stalls", report["hard_stalls"]],
+        ["stall time (s)", f"{report['stall_seconds']:.4f}"],
+    ]
+    return format_table(
+        ["write path", "value"],
+        rows,
+        title=f"[{name}] write path ({report['mode']})",
+    )
+
+
+def format_workers(tree: "LSMTree", name: str = "tree") -> str:
+    """Pages written per background worker thread, as a table.
+
+    Serial trees have no workers; the table renders a single ``(inline)``
+    row so callers need not special-case the mode.
+    """
+    report = tree.write_stats()
+    by_worker = report["pages_written_by_worker"]
+    if by_worker:
+        rows = [[worker, pages] for worker, pages in sorted(by_worker.items())]
+    else:
+        rows = [["(inline)", tree.disk.stats.pages_written]]
+    return format_table(
+        ["worker", "pages written"], rows, title=f"[{name}] worker throughput"
+    )

@@ -12,11 +12,13 @@ issues.
 Three properties distinguish this cache from a plain LRU:
 
 **Sharding.**  Capacity is split across power-of-two shards selected by the
-key's hash.  Each shard is an independent LRU, so the recency bookkeeping
-and eviction scans stay small even for large capacities, and a future
-multi-threaded reader would contend on one shard, not one lock.  Small
-caches (< ``_SHARD_THRESHOLD`` pages) keep a single shard so eviction order
-stays exactly LRU -- the T2 memory-sensitivity sweep depends on that.
+key's hash.  Each shard is an independent LRU behind its own lock, so the
+recency bookkeeping and eviction scans stay small even for large
+capacities, and concurrent readers (or the background write path
+invalidating files mid-read) contend on one shard, not one global lock.
+Small caches (< ``_SHARD_THRESHOLD`` pages) keep a single shard so
+eviction order stays exactly LRU -- the T2 memory-sensitivity sweep
+depends on that.
 
 **Admission.**  When a shard is full, a newcomer must *earn* its slot: its
 observed miss frequency is compared against the eviction victim's (a
@@ -39,6 +41,7 @@ demo inspector.  The T2 memory-sensitivity experiment sweeps ``capacity``.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
@@ -67,6 +70,7 @@ class _Shard:
 
     __slots__ = (
         "capacity",
+        "lock",
         "pages",
         "freq",
         "freq_recordings",
@@ -81,6 +85,7 @@ class _Shard:
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
+        self.lock = threading.Lock()
         self.pages: OrderedDict[tuple[Hashable, int], list] = OrderedDict()
         self.freq: dict[tuple[Hashable, int], int] = {}
         self.freq_recordings = 0
@@ -160,15 +165,16 @@ class BlockCache:
         """Return the cached page or None; updates recency and hit stats."""
         key = (file_id, page_index)
         shard = self._shards[hash(key) & self._mask]
-        entry = shard.pages.get(key)
-        if entry is None:
-            shard.misses += 1
-            if self.capacity:
-                shard.record_freq(key)
-            return None
-        shard.pages.move_to_end(key)
-        shard.hits += 1
-        return entry[0]
+        with shard.lock:
+            entry = shard.pages.get(key)
+            if entry is None:
+                shard.misses += 1
+                if self.capacity:
+                    shard.record_freq(key)
+                return None
+            shard.pages.move_to_end(key)
+            shard.hits += 1
+            return entry[0]
 
     def put(
         self,
@@ -186,50 +192,53 @@ class BlockCache:
             return False
         key = (file_id, page_index)
         shard = self._shards[hash(key) & self._mask]
-        pages = shard.pages
         size = self._sizer(page)
-        entry = pages.get(key)
-        if entry is not None:
-            shard.bytes += size - entry[2]
-            entry[0] = page
-            entry[1] = entry[1] or pinned
-            entry[2] = size
-            pages.move_to_end(key)
+        with shard.lock:
+            pages = shard.pages
+            entry = pages.get(key)
+            if entry is not None:
+                shard.bytes += size - entry[2]
+                entry[0] = page
+                entry[1] = entry[1] or pinned
+                entry[2] = size
+                pages.move_to_end(key)
+                return True
+            while len(pages) >= shard.capacity:
+                victim = shard.find_victim()
+                if victim is None:  # capacity 0 shard: nothing fits
+                    shard.rejected += 1
+                    return False
+                if not pinned and shard.freq.get(key, 1) < shard.freq.get(victim, 1):
+                    # The newcomer is colder than what it would displace.
+                    shard.rejected += 1
+                    return False
+                shard.evict(victim)
+            pages[key] = [page, pinned, size]
+            shard.bytes += size
             return True
-        while len(pages) >= shard.capacity:
-            victim = shard.find_victim()
-            if victim is None:  # capacity 0 shard: nothing fits
-                shard.rejected += 1
-                return False
-            if not pinned and shard.freq.get(key, 1) < shard.freq.get(victim, 1):
-                # The newcomer is colder than what it would displace.
-                shard.rejected += 1
-                return False
-            shard.evict(victim)
-        pages[key] = [page, pinned, size]
-        shard.bytes += size
-        return True
 
     def invalidate_file(self, file_id: Hashable) -> int:
         """Drop every page of ``file_id``; returns how many were dropped."""
         dropped = 0
         for shard in self._shards:
-            doomed = [key for key in shard.pages if key[0] == file_id]
-            for key in doomed:
-                entry = shard.pages.pop(key)
-                shard.bytes -= entry[2]
-                shard.freq.pop(key, None)
-            shard.invalidations += len(doomed)
-            dropped += len(doomed)
+            with shard.lock:
+                doomed = [key for key in shard.pages if key[0] == file_id]
+                for key in doomed:
+                    entry = shard.pages.pop(key)
+                    shard.bytes -= entry[2]
+                    shard.freq.pop(key, None)
+                shard.invalidations += len(doomed)
+                dropped += len(doomed)
         return dropped
 
     def clear(self) -> None:
         """Drop every cached page (stats are preserved; see reset_stats)."""
         for shard in self._shards:
-            shard.pages.clear()
-            shard.freq.clear()
-            shard.freq_recordings = 0
-            shard.bytes = 0
+            with shard.lock:
+                shard.pages.clear()
+                shard.freq.clear()
+                shard.freq_recordings = 0
+                shard.bytes = 0
 
     # ------------------------------------------------------------------
     # inspection
@@ -243,7 +252,9 @@ class BlockCache:
     def __iter__(self):
         """All cached keys (inspection / coherence tests only)."""
         for shard in self._shards:
-            yield from shard.pages
+            with shard.lock:
+                keys = list(shard.pages)
+            yield from keys
 
     @property
     def shard_count(self) -> int:
@@ -275,9 +286,11 @@ class BlockCache:
 
     @property
     def pinned_count(self) -> int:
-        return sum(
-            1 for shard in self._shards for entry in shard.pages.values() if entry[1]
-        )
+        count = 0
+        for shard in self._shards:
+            with shard.lock:
+                count += sum(1 for entry in shard.pages.values() if entry[1])
+        return count
 
     @property
     def hit_rate(self) -> float:

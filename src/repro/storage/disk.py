@@ -95,6 +95,19 @@ class SimulatedDisk:
     def __init__(self, model: DiskModel | None = None) -> None:
         self.model = model or DiskModel()
         self._stats = IOStats()
+        self._lock = None
+
+    def make_thread_safe(self) -> None:
+        """Arm a counter lock for concurrent flush/compaction workers.
+
+        Serial trees never call this, so the hot charging paths keep a
+        single ``is None`` test and no lock traffic (the read path's
+        per-miss charge is benchmark-gated).
+        """
+        if self._lock is None:
+            import threading
+
+            self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # charging
@@ -106,6 +119,17 @@ class SimulatedDisk:
         if count == 0:
             return 0.0
         cost = self.model.request_overhead_us + count * self.model.read_page_us
+        lock = self._lock
+        if lock is not None:
+            with lock:
+                stats = self._stats
+                stats.pages_read += count
+                stats.read_requests += 1
+                stats.modeled_us += cost
+                stats.reads_by_category[category] = (
+                    stats.reads_by_category.get(category, 0) + count
+                )
+            return cost
         stats = self._stats
         stats.pages_read += count
         stats.read_requests += 1
@@ -120,6 +144,17 @@ class SimulatedDisk:
         if count == 0:
             return 0.0
         cost = self.model.request_overhead_us + count * self.model.write_page_us
+        lock = self._lock
+        if lock is not None:
+            with lock:
+                stats = self._stats
+                stats.pages_written += count
+                stats.write_requests += 1
+                stats.modeled_us += cost
+                stats.writes_by_category[category] = (
+                    stats.writes_by_category.get(category, 0) + count
+                )
+            return cost
         stats = self._stats
         stats.pages_written += count
         stats.write_requests += 1

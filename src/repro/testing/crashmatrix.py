@@ -59,7 +59,16 @@ from repro.tools.doctor import diagnose_store, scrub_store
 #: Exceptions that count as "the process died here" for the matrix.
 CRASH_EXCEPTIONS = (SimulatedCrash, StorageError, OSError)
 
-OPERATIONS = ("ingest", "flush", "compaction", "range_delete", "restart")
+#: ``concurrent`` is the multi-worker row: the engine opens with two
+#: background workers, so flush/compaction fault points fire on *worker
+#: threads* and must surface as a background error on the next
+#: acknowledged operation (the RocksDB ``bg_error`` discipline) -- then
+#: recover exactly like a serial crash.  Appended last so the classic
+#: rows keep their combo indices (and therefore their derived seeds).
+OPERATIONS = ("ingest", "flush", "compaction", "range_delete", "restart", "concurrent")
+
+#: Worker count for the ``concurrent`` operation's engine.
+CONCURRENT_WORKERS = 2
 
 #: Points where a bit flip lands in a file that checksums must protect.
 BITFLIP_POINTS = (fp.SSTABLE_WRITE, fp.MANIFEST_WRITE)
@@ -80,7 +89,10 @@ def _matrix_config():
 
 
 def _open_engine(
-    directory: str, faults: FaultInjector | None = None, degraded_ok: bool = False
+    directory: str,
+    faults: FaultInjector | None = None,
+    degraded_ok: bool = False,
+    workers: int | None = None,
 ) -> AcheronEngine:
     return AcheronEngine(
         _matrix_config(),
@@ -88,6 +100,7 @@ def _open_engine(
         wal_sync=True,
         faults=faults,
         degraded_ok=degraded_ok,
+        workers=workers,
     )
 
 
@@ -264,12 +277,28 @@ def _scenario_restart(ctx: _Ctx) -> None:
     ctx.engine = _open_engine(ctx.directory, faults=ctx.injector)
 
 
+def _scenario_concurrent(ctx: _Ctx) -> None:
+    # The engine for this row runs with background workers (see
+    # run_combo): every write below is acked into the WAL on the calling
+    # thread, while flushes and compactions execute on worker threads.
+    # An armed fault therefore fires *inside a worker*; the controller
+    # must record it and re-raise it on the next acknowledged operation
+    # or at the closing barrier, never swallow it.
+    for i in range(160):
+        if i % 5 == 4:
+            ctx.driver.delete(_key(i % 120))
+        else:
+            ctx.driver.put(_key(500 + i), _value(500 + i, 0))
+    ctx.engine.flush()  # barrier: surfaces any pending background error
+
+
 _SCENARIOS: dict[str, Callable[[_Ctx], None]] = {
     "ingest": _scenario_ingest,
     "flush": _scenario_flush,
     "compaction": _scenario_compaction,
     "range_delete": _scenario_range_delete,
     "restart": _scenario_restart,
+    "concurrent": _scenario_concurrent,
 }
 
 
@@ -320,6 +349,14 @@ class ComboResult:
 def _abandon(engine: AcheronEngine) -> None:
     """Simulate process death: drop OS handles without flushing anything."""
     tree = engine.tree
+    wp = tree.write_path
+    if wp is not None:
+        # Stop the background workers *without* draining or surfacing
+        # errors -- a power cut does not wait for compactions to finish.
+        try:
+            wp.abort()
+        except Exception:
+            pass
     wal = getattr(tree, "_wal", None)
     if wal is not None:
         try:
@@ -335,7 +372,11 @@ def run_combo(operation: str, point: str, kind: str, seed: int, base_dir: str) -
     result.directory = workdir
     injector = FaultInjector(seed=seed)
     model = AckModel()
-    engine = _open_engine(workdir, faults=injector)
+    engine = _open_engine(
+        workdir,
+        faults=injector,
+        workers=CONCURRENT_WORKERS if operation == "concurrent" else None,
+    )
     ctx = _Ctx(
         directory=workdir, injector=injector, model=model, engine=engine,
         driver=Driver(engine, model),

@@ -1,5 +1,15 @@
 """Operational tooling: the store doctor and the command-line interface."""
 
-from repro.tools.doctor import DoctorReport, diagnose_store
+from repro.tools.doctor import (
+    DoctorReport,
+    diagnose_store,
+    examine_read_path,
+    examine_write_path,
+)
 
-__all__ = ["DoctorReport", "diagnose_store"]
+__all__ = [
+    "DoctorReport",
+    "diagnose_store",
+    "examine_read_path",
+    "examine_write_path",
+]

@@ -288,6 +288,68 @@ def examine_read_path(tree: Any, name: str = "tree") -> DoctorReport:
 
 
 # ---------------------------------------------------------------------------
+# live write-path examination
+# ---------------------------------------------------------------------------
+def examine_write_path(tree: Any, name: str = "tree") -> DoctorReport:
+    """Write-path health of a *live* tree: pipeline and backpressure.
+
+    The mirror of :func:`examine_read_path` for the ingest side.  It
+    surfaces the flush/compaction pipeline report in ``report.stats``
+    and warns on the symptoms of a misconfigured write path: writers
+    spending measurable time in hard stalls (the background pool cannot
+    keep up -- too few workers or the memtable too small), and a flush
+    pipeline that never batches (workers adding coordination cost
+    without absorbing any rotations).  Advisory only: warnings never
+    mark the report unhealthy.
+    """
+    from repro.metrics.writepath import write_path_report
+
+    report = DoctorReport(directory=name)
+    snapshot = write_path_report(tree)
+    report.stats["write_path"] = snapshot
+
+    mode = snapshot["mode"]
+    if mode == "serial":
+        report.passed(
+            f"serial write path ({snapshot['flush_jobs']} inline flushes, "
+            f"{snapshot['compaction_jobs']} inline compactions)"
+        )
+        return report
+
+    report.passed(
+        f"concurrent write path: {snapshot['workers']} workers, "
+        f"{snapshot['flush_jobs']} flush jobs over {snapshot['rotations']} "
+        f"rotations, {snapshot['compaction_jobs']} compaction jobs"
+    )
+    if snapshot["hard_stalls"]:
+        report.warn(
+            f"writers hard-stalled {snapshot['hard_stalls']} times "
+            f"({snapshot['stall_seconds']:.3f}s total): background pool "
+            "cannot keep up (raise workers or memtable_entries)"
+        )
+    elif snapshot["soft_delays"]:
+        report.passed(
+            f"backpressure stayed soft ({snapshot['soft_delays']} delays, "
+            f"{snapshot['stall_seconds']:.3f}s)"
+        )
+    if snapshot["flush_jobs"] and snapshot["flush_batching"] <= 1.0 and snapshot[
+        "rotations"
+    ] > snapshot["flush_jobs"]:
+        report.warn(
+            "flush pipeline never batched (1 memtable per job): rotations "
+            "are outpacing a flusher that never falls behind enough to "
+            "coalesce -- concurrency is buying latency only"
+        )
+    inflight = snapshot["compaction_inflight"]
+    if inflight:
+        report.warn(
+            f"{inflight} compaction jobs still in flight (call write_barrier() "
+            "before examining if an at-rest view was intended)"
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
 # scrub: checksum-first media verification
 # ---------------------------------------------------------------------------
 def scrub_store(directory: str | Path) -> DoctorReport:

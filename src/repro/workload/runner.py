@@ -70,6 +70,7 @@ def run_workload(
     operations: Iterable[Operation],
     secondary_delete_window: float = 0.05,
     ingest_batch: int | None = None,
+    writers: int | None = None,
 ) -> WorkloadResult:
     """Execute ``operations`` against ``engine`` with per-kind accounting.
 
@@ -84,11 +85,21 @@ def run_workload(
     per-op application, so results (including simulated I/O) are unchanged;
     only the Python-level overhead drops.  Per-kind attribution is exact
     because each batch is homogeneous in kind.
+
+    ``writers``: when set (>= 2), consecutive *ingest* operations (any mix
+    of insert/update/point-delete) are replayed by this many concurrent
+    writer threads, sharded by key hash so every key's operations stay on
+    one thread in stream order -- final engine contents match the serial
+    replay exactly.  Non-ingest operations act as barriers (the pool
+    drains, the op runs on the calling thread).  Meant for engines opened
+    with ``workers > 1``; see :func:`_run_multi` for the I/O attribution
+    caveat.  Takes precedence over ``ingest_batch``.
     """
     result = WorkloadResult()
-    stats = engine.disk.stats
     started = time.perf_counter()
-    if ingest_batch is not None and ingest_batch >= 2:
+    if writers is not None and writers >= 2:
+        _run_multi(engine, operations, secondary_delete_window, writers, result)
+    elif ingest_batch is not None and ingest_batch >= 2:
         _run_batched(engine, operations, secondary_delete_window, ingest_batch, result)
     else:
         for op in operations:
@@ -150,6 +161,111 @@ def _run_batched(
         if op.kind in _BATCHABLE:
             if pending and (pending[0].kind is not op.kind or len(pending) >= batch_size):
                 drain()
+            pending.append(op)
+            continue
+        drain()
+        _run_one(engine, op, window, result)
+    drain()
+
+
+def _run_multi(
+    engine: "AcheronEngine",
+    operations: Iterable[Operation],
+    window: float,
+    writers: int,
+    result: WorkloadResult,
+) -> None:
+    """Replay with ``writers`` concurrent ingest threads.
+
+    Consecutive ingest operations form a chunk; each chunk is sharded by
+    key hash across ``writers`` threads, so all operations on one key
+    stay on one thread in stream order and last-writer-wins outcomes
+    match the serial replay exactly.  Non-ingest operations are
+    barriers: the pool joins, the op runs on the calling thread, then
+    the next chunk begins.
+
+    I/O attribution is *pooled per chunk*: with background flushes and
+    compactions overlapping many writers there is no per-op device
+    delta to read, so the chunk's total delta is split across its
+    operation kinds in proportion to their counts (modeled microseconds
+    exactly; pages by largest-remainder so totals still reconcile).
+    Throughput derived from these numbers is *ack* throughput -- the
+    engine may still be draining background work when the replay ends;
+    callers wanting at-rest figures should follow with
+    ``engine.tree.write_barrier()`` and measure the extra wall time.
+    """
+    import threading
+
+    pending: list[Operation] = []
+
+    def drain() -> None:
+        if not pending:
+            return
+        shards: list[list[tuple]] = [[] for _ in range(writers)]
+        counts: dict[OpKind, int] = {}
+        for op in pending:
+            if op.kind is OpKind.POINT_DELETE:
+                shards[hash(op.key) % writers].append(("delete", op.key))
+            else:
+                shards[hash(op.key) % writers].append(("put", op.key, op.value))
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        stats = engine.disk.stats
+        before_read = stats.pages_read
+        before_written = stats.pages_written
+        before_us = stats.modeled_us
+        errors: list[BaseException] = []
+
+        def writer(ops: list[tuple]) -> None:
+            try:
+                engine.apply_batch(ops)
+            except BaseException as exc:  # surfaced to the caller below
+                errors.append(exc)
+
+        if engine.tree.write_path is None:
+            # Serial tree: its write path is not thread-safe, so apply
+            # the shards sequentially.  Per-key order still holds (each
+            # key lives in exactly one shard), so final contents match.
+            for shard in shards:
+                if shard:
+                    engine.apply_batch(shard)
+        else:
+            threads = [
+                threading.Thread(target=writer, args=(shard,), name=f"repro-writer-{i}")
+                for i, shard in enumerate(shards)
+                if shard
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if errors:
+                raise errors[0]
+        delta_read = stats.pages_read - before_read
+        delta_written = stats.pages_written - before_written
+        delta_us = stats.modeled_us - before_us
+        total = len(pending)
+        remaining_read, remaining_written = delta_read, delta_written
+        kinds = sorted(counts, key=lambda k: counts[k])
+        for i, kind in enumerate(kinds):
+            share = counts[kind]
+            agg = result.kind(kind)
+            agg.count += share
+            agg.modeled_us += delta_us * (share / total)
+            if i == len(kinds) - 1:  # largest kind absorbs the remainder
+                agg.pages_read += remaining_read
+                agg.pages_written += remaining_written
+            else:
+                part_read = delta_read * share // total
+                part_written = delta_written * share // total
+                agg.pages_read += part_read
+                agg.pages_written += part_written
+                remaining_read -= part_read
+                remaining_written -= part_written
+        result.operations += total
+        pending.clear()
+
+    for op in operations:
+        if op.kind in _BATCHABLE:
             pending.append(op)
             continue
         drain()

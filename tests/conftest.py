@@ -18,6 +18,21 @@ TINY = {
 
 
 @pytest.fixture
+def serial_write_path(monkeypatch):
+    """Pin engines created in the test to the serial inline write path.
+
+    For tests that assert *schedules* rather than contents — exact
+    per-operation I/O attribution, flush counts, or level shapes at an
+    observation point.  The background write path (a ``REPRO_WORKERS``
+    value leaking in from the environment, e.g. the concurrent CI job)
+    legitimately changes those: flushes land later and batched, halving
+    write amplification.  Request via
+    ``@pytest.mark.usefixtures("serial_write_path")``.
+    """
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+
+
+@pytest.fixture
 def tiny_config() -> LSMConfig:
     return baseline_config(**TINY)
 

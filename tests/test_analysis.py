@@ -9,6 +9,15 @@ from repro.config import CompactionStyle, acheron_config, baseline_config
 from conftest import TINY, make_baseline
 
 
+@pytest.fixture(autouse=True)
+def serial_write_path(monkeypatch):
+    # The cost model predicts the serial flush/compaction schedule;
+    # batched background flushes (REPRO_WORKERS from the environment)
+    # legitimately halve measured write amplification and shift level
+    # shapes, so agreement tests must measure the serial engine.
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+
+
 def model(**overrides):
     params = dict(TINY)
     params.update(overrides)

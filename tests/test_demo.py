@@ -1,5 +1,7 @@
 """Tests for the demo layer: inspector rendering and scripted scenarios."""
 
+import pytest
+
 from repro.demo.inspector import TreeInspector
 from repro.demo.scenarios import DemoScenario, run_side_by_side
 from repro.workload.spec import OpKind, WorkloadSpec
@@ -7,6 +9,7 @@ from repro.workload.spec import OpKind, WorkloadSpec
 from conftest import TINY, make_acheron, make_baseline
 
 
+@pytest.mark.usefixtures("serial_write_path")  # renders schedule-exact level shapes
 class TestInspector:
     def _inspector(self):
         engine = make_acheron(delete_persistence_threshold=2000)

@@ -76,6 +76,7 @@ class TestFacade:
         reopened.close()
 
 
+@pytest.mark.usefixtures("serial_write_path")  # asserts schedule-exact counters
 class TestStats:
     def test_stats_structure(self):
         engine = make_acheron()

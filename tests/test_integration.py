@@ -128,6 +128,7 @@ class TestCrossEngineEquivalence:
         )
 
 
+@pytest.mark.usefixtures("serial_write_path")  # claim shapes are defined on the serial schedule
 class TestPaperClaimsAtTestScale:
     """Qualitative shape of the headline claims, small scale."""
 

@@ -20,6 +20,7 @@ def load_timestamped(engine, count=600):
     return keys
 
 
+@pytest.mark.usefixtures("serial_write_path")  # asserts schedule-exact counters
 class TestKiwiRangeDelete:
     def test_deletes_exactly_the_matching_values(self):
         engine = make_acheron(pages_per_tile=4)

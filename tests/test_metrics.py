@@ -16,6 +16,7 @@ from repro.metrics.shape import tree_shape
 from conftest import make_baseline
 
 
+@pytest.mark.usefixtures("serial_write_path")  # asserts schedule-exact counters
 class TestAmplification:
     def test_write_amp_zero_before_ingest(self):
         assert write_amplification(make_baseline().tree) == 0.0
@@ -97,6 +98,7 @@ class TestAmplification:
         assert breakdown.get("query", 0) >= 0
 
 
+@pytest.mark.usefixtures("serial_write_path")  # asserts schedule-exact counters
 class TestShape:
     def test_shape_rows_match_levels(self):
         engine = make_baseline()

@@ -13,6 +13,7 @@ Three layers of assurance:
   and the cache stats surfaced through ``read_stats`` and the inspector.
 """
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -198,6 +199,7 @@ class TestCacheCoherence:
         reopened.check_invariants()
 
 
+@pytest.mark.usefixtures("serial_write_path")  # asserts schedule-exact counters
 class TestReadCounters:
     def test_pruning_counters_account_for_every_run_visit(self):
         engine = make_baseline(cache_pages=32)

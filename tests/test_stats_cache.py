@@ -15,6 +15,8 @@ the optimizations rest on:
 
 from __future__ import annotations
 
+import pytest
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -174,6 +176,7 @@ class TestBatchEquivalence:
             raise AssertionError("unknown op kind must raise ValueError")
 
 
+@pytest.mark.usefixtures("serial_write_path")  # compares schedule-exact I/O state between arms
 class TestSeedCostModelEquivalence:
     """The benchmark's pre-change replica must match the optimized engine
     observable-for-observable (this is what makes the reported speedup a

@@ -38,6 +38,7 @@ class TestSparkline:
         assert len(chart) == 10
 
 
+@pytest.mark.usefixtures("serial_write_path")  # asserts schedule-exact counters
 class TestTimeline:
     def test_empty_timeline(self):
         timeline = Timeline()

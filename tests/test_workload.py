@@ -214,6 +214,7 @@ class TestGenerator:
         assert ops[0].kind is OpKind.INSERT
 
 
+@pytest.mark.usefixtures("serial_write_path")  # asserts schedule-exact counters
 class TestRunner:
     def test_runner_attributes_io_per_kind(self):
         engine = make_baseline()

@@ -1,0 +1,575 @@
+"""The concurrent write path: pipelined flush, parallel compaction
+executor, backpressure, and the determinism switch.
+
+The contract under test: an engine opened with ``workers >= 2`` must be
+*observationally identical* to the serial engine -- same acknowledged
+contents, same read results during and after background work -- while
+flushes and compactions run on background threads.  ``workers == 1``
+must remain the bit-identical inline path the benchmarks archive.
+"""
+
+from __future__ import annotations
+
+import threading
+from random import Random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import CompactionStyle, acheron_config, baseline_config
+from repro.core.engine import AcheronEngine
+from repro.storage import faults as fp
+from repro.storage.faults import FaultInjector
+from repro.workload.runner import run_workload
+from repro.workload.spec import Operation, OpKind
+
+from conftest import TINY
+
+BIG = 10**9
+
+
+def make_concurrent(workers: int = 2, **overrides) -> AcheronEngine:
+    params = dict(TINY)
+    params.update(overrides)
+    return AcheronEngine(baseline_config(**params), workers=workers)
+
+
+def contents(engine: AcheronEngine) -> list[tuple]:
+    return list(engine.scan(-BIG, BIG))
+
+
+# ---------------------------------------------------------------------------
+# satellite (a): reads during an in-flight flush see the frozen queue
+# ---------------------------------------------------------------------------
+class TestFrozenVisibility:
+    def test_gets_and_scans_see_frozen_memtables(self):
+        engine = make_concurrent(workers=2)
+        wp = engine.tree.write_path
+        wp.hold_flushes = True  # pin every flush in flight
+        try:
+            n = TINY["memtable_entries"] * 3
+            for k in range(n):
+                engine.put(k, f"v{k}")
+            # Rotations happened but nothing was flushed: part of the
+            # acknowledged data lives only in the frozen queue.
+            assert len(wp.frozen) >= 2
+            assert engine.tree.flush_count == 0
+            for k in range(n):
+                assert engine.get(k) == f"v{k}"
+            assert contents(engine) == [(k, f"v{k}") for k in range(n)]
+        finally:
+            wp.hold_flushes = False
+        engine.flush()
+        assert not wp.frozen
+        assert contents(engine) == [(k, f"v{k}") for k in range(n)]
+        engine.close()
+
+    def test_deletes_in_frozen_queue_shadow_published_runs(self):
+        engine = make_concurrent(workers=2)
+        wp = engine.tree.write_path
+        n = TINY["memtable_entries"]
+        for k in range(n):
+            engine.put(k, "old")
+        engine.flush()  # "old" versions now in published runs
+        wp.hold_flushes = True
+        try:
+            for k in range(0, n, 2):
+                engine.delete(k)
+            for k in range(1, n, 2):
+                engine.put(k, "new")
+            # Force the mixed memtable into the frozen queue.
+            for k in range(n, 2 * n):
+                engine.put(k, "fill")
+            assert len(wp.frozen) >= 1
+            for k in range(0, n, 2):
+                assert engine.get(k) is None
+            for k in range(1, n, 2):
+                assert engine.get(k) == "new"
+            observed = dict(engine.scan(0, n - 1))
+            assert all(k % 2 == 1 for k in observed)
+        finally:
+            wp.hold_flushes = False
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# serial/concurrent equivalence across policies
+# ---------------------------------------------------------------------------
+def _mixed_stream(n: int, seed: int) -> list[tuple]:
+    rng = Random(seed)
+    ops: list[tuple] = []
+    for i in range(n):
+        r = rng.random()
+        if r < 0.2 and i:
+            ops.append(("delete", rng.randrange(n)))
+        else:
+            ops.append(("put", rng.randrange(n), f"v{i}"))
+    return ops
+
+
+def _engine_for(policy: str, workers: int) -> AcheronEngine:
+    if policy == "acheron":
+        cfg = acheron_config(
+            delete_persistence_threshold=1_000, pages_per_tile=4, **TINY
+        )
+    elif policy == "tiering":
+        cfg = baseline_config(policy=CompactionStyle.TIERING, **TINY)
+    else:
+        cfg = baseline_config(**TINY)
+    return AcheronEngine(cfg, workers=workers)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("policy", ["leveling", "tiering", "acheron"])
+    def test_concurrent_contents_match_serial(self, policy):
+        ops = _mixed_stream(1_500, seed=29)
+        results = {}
+        for workers in (1, 3):
+            engine = _engine_for(policy, workers)
+            for i, op in enumerate(ops):
+                if op[0] == "put":
+                    engine.put(op[1], op[2])
+                else:
+                    engine.delete(op[1])
+                if i % 400 == 399:
+                    engine.flush()
+            engine.compact_all()
+            engine.verify_invariants()
+            results[workers] = contents(engine)
+            engine.close()
+        assert results[3] == results[1]
+
+    def test_exclusive_operations_run_amid_workers(self):
+        # delete_range and full compaction quiesce the pool (exclusive
+        # inline mode) and must behave exactly like the serial engine.
+        serial = _engine_for("acheron", 1)
+        concurrent = _engine_for("acheron", 2)
+        outcomes = []
+        for engine in (serial, concurrent):
+            for k in range(300):
+                engine.put(k, f"v{k}")
+            engine.flush()
+            report = engine.delete_range(0, engine.clock.now() // 2)
+            engine.compact_all()
+            outcomes.append((report.entries_deleted, contents(engine)))
+            engine.verify_invariants()
+            engine.close()
+        assert outcomes[0] == outcomes[1]
+
+
+# ---------------------------------------------------------------------------
+# satellite (d): property-based linearizability vs a model dict
+# ---------------------------------------------------------------------------
+op_strategy = st.tuples(
+    st.integers(0, 3), st.integers(0, 96), st.integers(0, 10_000)
+)
+
+
+class TestLinearizability:
+    @given(ops=st.lists(op_strategy, max_size=400))
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_reads_match_model_while_background_work_runs(self, ops):
+        # Single acknowledged stream (so the model is exact) with
+        # background flushes/compactions racing every read: rotations
+        # happen mid-stream and gets/scans must never miss or resurrect.
+        engine = make_concurrent(workers=2, memtable_entries=32)
+        model: dict = {}
+        try:
+            for code, key, payload in ops:
+                if code == 0:
+                    engine.put(key, payload)
+                    model[key] = payload
+                elif code == 1:
+                    engine.delete(key)
+                    model.pop(key, None)
+                elif code == 2:
+                    assert engine.get(key) == model.get(key)
+                else:
+                    lo, hi = key, key + (payload % 32)
+                    expected = sorted(
+                        (k, v) for k, v in model.items() if lo <= k <= hi
+                    )
+                    assert list(engine.scan(lo, hi)) == expected
+            engine.tree.write_barrier()
+            assert dict(contents(engine)) == model
+            engine.verify_invariants()
+        finally:
+            engine.close()
+
+    def test_concurrent_writers_converge_to_last_writer_wins(self):
+        writers, versions, keys = 3, 40, 24
+        engine = make_concurrent(workers=2, memtable_entries=32)
+        errors: list[BaseException] = []
+
+        def writer(idx: int) -> None:
+            try:
+                for version in range(versions):
+                    for key in range(idx, keys, writers):
+                        engine.put(key, (key, version))
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        def reader() -> None:
+            # Per-key monotonicity: with one writer per key, observed
+            # versions may only move forward.
+            seen: dict[int, int] = {}
+            try:
+                for _ in range(200):
+                    for key in range(keys):
+                        value = engine.get(key)
+                        if value is None:
+                            continue
+                        _, version = value
+                        assert version >= seen.get(key, -1), (
+                            f"key {key} went backwards: {version} after {seen[key]}"
+                        )
+                        seen[key] = version
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(writers)
+        ] + [threading.Thread(target=reader)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors[0]
+        engine.tree.write_barrier()
+        assert dict(contents(engine)) == {
+            k: (k, versions - 1) for k in range(keys)
+        }
+        engine.verify_invariants()
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# backpressure
+# ---------------------------------------------------------------------------
+class TestBackpressure:
+    def test_soft_delay_engages_and_is_counted(self):
+        engine = make_concurrent(workers=2)
+        wp = engine.tree.write_path
+        wp.soft_queue_depth = 0  # every rotation trips the soft threshold
+        for k in range(TINY["memtable_entries"] * 4):
+            engine.put(k, k)
+        assert wp.stats.soft_delays >= 1
+        assert wp.stats.stall_seconds > 0
+        from repro.metrics.writepath import write_path_report
+
+        assert write_path_report(engine.tree)["stalled"] is True
+        engine.close()
+
+    def test_hard_stall_blocks_then_progresses(self):
+        engine = make_concurrent(workers=2)
+        wp = engine.tree.write_path
+        wp.max_frozen = 1
+        wp.flush_batch_wait = 0.0
+        n = TINY["memtable_entries"] * 6
+        for k in range(n):
+            engine.put(k, f"v{k}")
+        assert wp.stats.hard_stalls >= 1
+        # Stalls bound the queue without losing anything.
+        engine.tree.write_barrier()
+        assert contents(engine) == [(k, f"v{k}") for k in range(n)]
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# the determinism switch
+# ---------------------------------------------------------------------------
+class TestDeterminismSwitch:
+    def test_workers_1_is_the_inline_path(self):
+        engine = make_concurrent(workers=1)
+        assert engine.tree.write_path is None
+        assert engine.tree.write_stats()["mode"] == "serial"
+        engine.close()
+
+    def test_env_default_enables_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        engine = AcheronEngine.baseline(**TINY)
+        wp = engine.tree.write_path
+        assert wp is not None and wp.workers == 3
+        engine.close()
+
+    def test_tight_persistence_threshold_caps_flush_batching(self):
+        # A tombstone makes no D_th progress in the frozen queue, so a
+        # tight threshold must defeat the batching hold-out...
+        tight = AcheronEngine.acheron(
+            delete_persistence_threshold=800, pages_per_tile=4, workers=4, **TINY
+        )
+        assert tight.tree.write_path.flush_batch_target == 1
+        tight.close()
+        # ...while a production-scale threshold leaves it untouched.
+        loose = AcheronEngine.acheron(
+            delete_persistence_threshold=50_000, pages_per_tile=4, workers=4, **TINY
+        )
+        assert loose.tree.write_path.flush_batch_target == 8
+        loose.close()
+
+    def test_fault_injected_engines_default_to_serial(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        engine = AcheronEngine(
+            baseline_config(**TINY),
+            directory=str(tmp_path / "db"),
+            wal_sync=True,
+            faults=FaultInjector(seed=1),
+        )
+        assert engine.tree.write_path is None
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# satellite (d): a fault firing inside a worker thread
+# ---------------------------------------------------------------------------
+class TestWorkerFault:
+    def test_background_fault_surfaces_and_recovery_is_clean(self, tmp_path):
+        directory = str(tmp_path / "db")
+        injector = FaultInjector(seed=5)
+        config = baseline_config(**TINY)
+        engine = AcheronEngine(
+            config,
+            directory=directory,
+            wal_sync=True,
+            faults=injector,
+            workers=2,
+        )
+        injector.arm(fp.SSTABLE_WRITE, fp.CRASH)
+        acked: dict[int, str] = {}
+        with pytest.raises(Exception):
+            for i in range(4_000):
+                engine.put(i, f"v{i}")
+                acked[i] = f"v{i}"
+            engine.flush()  # backstop: a barrier surfaces any bg error
+        # The fault fired on a background thread, not the caller's.
+        assert injector.fired_count(fp.SSTABLE_WRITE) > 0
+        wp = engine.tree.write_path
+        assert wp is not None and wp._error is not None
+        wp.abort()  # simulate process death
+        engine.tree._closed = True
+
+        reopened = AcheronEngine(config, directory=directory, wal_sync=True)
+        try:
+            for key, value in acked.items():
+                assert reopened.get(key) == value, f"acked write {key} lost"
+            reopened.verify_invariants()
+        finally:
+            reopened.close()
+
+
+# ---------------------------------------------------------------------------
+# multi-writer workload replay
+# ---------------------------------------------------------------------------
+class TestMultiWriterReplay:
+    def _operations(self, n: int, seed: int) -> list[Operation]:
+        rng = Random(seed)
+        ops = []
+        for i in range(n):
+            r = rng.random()
+            if r < 0.15 and i:
+                ops.append(Operation(OpKind.POINT_DELETE, key=rng.randrange(n)))
+            elif r < 0.2:
+                ops.append(Operation(OpKind.POINT_QUERY, key=rng.randrange(n)))
+            else:
+                ops.append(
+                    Operation(OpKind.INSERT, key=rng.randrange(n), value=f"v{i}")
+                )
+        return ops
+
+    def test_sharded_replay_matches_serial(self):
+        ops = self._operations(1_200, seed=17)
+        final = {}
+        for workers in (1, 3):
+            engine = make_concurrent(workers=workers)
+            result = run_workload(
+                engine, ops, writers=workers if workers > 1 else None
+            )
+            assert result.operations == len(ops)
+            engine.tree.write_barrier()
+            final[workers] = contents(engine)
+            engine.close()
+        assert final[3] == final[1]
+
+    def test_io_attribution_reconciles(self):
+        ops = self._operations(800, seed=23)
+        engine = make_concurrent(workers=2)
+        result = run_workload(engine, ops, writers=2)
+        total_written = sum(s.pages_written for s in result.per_kind.values())
+        total_read = sum(s.pages_read for s in result.per_kind.values())
+        stats = engine.disk.stats
+        # Pooled attribution must reconcile exactly with the device
+        # counters accumulated during the replay (largest-remainder split).
+        assert total_written <= stats.pages_written
+        assert total_read <= stats.pages_read
+        assert result.kind(OpKind.INSERT).count > 0
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# satellite (b): metrics, doctor, inspector
+# ---------------------------------------------------------------------------
+class TestObservability:
+    def _worked_engine(self, workers: int) -> AcheronEngine:
+        engine = make_concurrent(workers=workers)
+        for k in range(TINY["memtable_entries"] * 4):
+            engine.put(k, k)
+        engine.flush()
+        return engine
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_report_and_tables_render_both_modes(self, workers):
+        from repro.metrics.writepath import (
+            format_workers,
+            format_write_path,
+            write_path_report,
+        )
+
+        engine = self._worked_engine(workers)
+        report = write_path_report(engine.tree)
+        expected_mode = "serial" if workers == 1 else "concurrent"
+        assert report["mode"] == expected_mode
+        assert report["flush_jobs"] >= 1
+        assert report["flush_batching"] >= (0.0 if workers == 1 else 1.0)
+        table = format_write_path(engine.tree, name="t")
+        assert "write path" in table and expected_mode in table
+        workers_table = format_workers(engine.tree, name="t")
+        assert ("(inline)" in workers_table) == (workers == 1)
+        engine.close()
+
+    def test_engine_stats_include_write_path(self):
+        engine = self._worked_engine(2)
+        payload = engine.stats().to_dict()
+        assert payload["write_path"]["mode"] == "concurrent"
+        assert payload["write_path"]["flush_jobs"] >= 1
+        engine.close()
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_doctor_examines_write_path(self, workers):
+        from repro.tools import examine_write_path
+
+        engine = self._worked_engine(workers)
+        report = examine_write_path(engine.tree, name="t")
+        assert report.healthy
+        assert report.stats["write_path"]["mode"] == (
+            "serial" if workers == 1 else "concurrent"
+        )
+        engine.close()
+
+    def test_inspector_dashboard_has_write_path_table(self):
+        from repro.demo.inspector import TreeInspector
+
+        engine = self._worked_engine(2)
+        dashboard = TreeInspector(engine).dashboard()
+        assert "write path" in dashboard
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# block-cache thread safety (readers race background invalidations)
+# ---------------------------------------------------------------------------
+class TestCacheThreadSafety:
+    def test_concurrent_get_put_invalidate(self):
+        # Regression: find_victim used to iterate a shard's OrderedDict
+        # while a compaction worker invalidated pages of a merged-away
+        # file ("OrderedDict mutated during iteration").
+        from repro.storage.cache import BlockCache
+
+        cache = BlockCache(capacity=32)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def churn(tid: int) -> None:
+            rng = Random(tid)
+            try:
+                while not stop.is_set():
+                    file_id = rng.randrange(8)
+                    page = rng.randrange(64)
+                    roll = rng.random()
+                    if roll < 0.45:
+                        cache.put(file_id, page, b"x" * 8, pinned=roll < 0.05)
+                    elif roll < 0.9:
+                        cache.get(file_id, page)
+                    else:
+                        cache.invalidate_file(file_id)
+            except BaseException as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(1.0)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors, errors[0]
+        assert len(cache) <= 32
+
+    def test_reads_with_cache_race_background_compactions(self):
+        engine = make_concurrent(workers=2, cache_pages=32)
+        rng = Random(11)
+        model: dict = {}
+        for i in range(3_000):
+            roll = rng.random()
+            key = rng.randrange(400)
+            if roll < 0.55:
+                engine.put(key, i)
+                model[key] = i
+            elif roll < 0.75:
+                engine.delete(key)
+                model.pop(key, None)
+            else:
+                assert engine.get(key) == model.get(key)
+        engine.tree.write_barrier()
+        assert dict(contents(engine)) == model
+        engine.verify_invariants()
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# lifecycle
+# ---------------------------------------------------------------------------
+class TestLifecycle:
+    def test_close_drains_and_close_is_idempotent(self, tmp_path):
+        engine = AcheronEngine(
+            baseline_config(**TINY), directory=str(tmp_path / "db"), workers=2
+        )
+        n = TINY["memtable_entries"] * 3
+        for k in range(n):
+            engine.put(k, f"v{k}")
+        engine.close()
+        engine.close()
+        reopened = AcheronEngine(
+            baseline_config(**TINY), directory=str(tmp_path / "db")
+        )
+        try:
+            assert contents(reopened) == [(k, f"v{k}") for k in range(n)]
+        finally:
+            reopened.close()
+
+    def test_durable_concurrent_reopen_roundtrip(self, tmp_path):
+        directory = str(tmp_path / "db")
+        engine = AcheronEngine(
+            baseline_config(**TINY), directory=directory, workers=2
+        )
+        for k in range(500):
+            engine.put(k, f"a{k}")
+        for k in range(0, 500, 5):
+            engine.delete(k)
+        engine.close()
+        reopened = AcheronEngine(
+            baseline_config(**TINY), directory=directory, workers=2
+        )
+        try:
+            for k in range(500):
+                expected = None if k % 5 == 0 else f"a{k}"
+                assert reopened.get(k) == expected
+            reopened.verify_invariants()
+        finally:
+            reopened.close()
