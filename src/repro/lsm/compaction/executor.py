@@ -179,9 +179,15 @@ def install_task(
         level = tree.level(inp.level_index)
         consumed = {f.file_id for f in inp.files}
         remaining = [f for f in inp.run.files if f.file_id not in consumed]
-        level.replace_run(inp.run, Run(remaining) if remaining else None)
+        # Invalidate (and permanently retire, see BlockCache) the inputs'
+        # cached pages *before* detaching them from the level: a lock-free
+        # observer then never sees a file that is gone from the structure
+        # but still present in the cache, and a reader holding a stale
+        # published snapshot cannot re-insert the dead pages afterwards.
         for file in inp.files:
             tree.cache.invalidate_file(file.file_id)
+        level.replace_run(inp.run, Run(remaining) if remaining else None)
+        for file in inp.files:
             tree.on_file_removed(file, inp.level_index)
 
     # -- install the output ------------------------------------------------

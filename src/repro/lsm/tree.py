@@ -1020,10 +1020,15 @@ class LSMTree:
             return
         wp = self._wp
         if wp is not None and not wp.owns_inline():
-            self._wp = None
             try:
                 wp.close()
             finally:
+                # Clear the controller only after its workers have
+                # stopped: a reader racing with close keeps taking the
+                # published-snapshot path while the drain is still
+                # installing flushes/compactions, instead of iterating
+                # half-installed levels through the serial body.
+                self._wp = None
                 if self._wal is not None:
                     self._wal.close()
                 self._closed = True

@@ -57,6 +57,7 @@ from operator import attrgetter
 from time import perf_counter, sleep
 from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
+from repro.filters.bloom import _key_bytes, hash_pair, key_hash_pair
 from repro.lsm.compaction import execute_task, install_task, merge_task
 from repro.lsm.entry import Entry, EntryKind
 from repro.lsm.iterator import scan_fused
@@ -450,7 +451,14 @@ class WritePathController:
     # read path (no locks; immutable snapshots)
     # ==================================================================
     def get_entry(self, key: Any) -> Entry | None:
-        """Point lookup over active memtable -> frozen queue -> snapshot."""
+        """Point lookup over active memtable -> frozen queue -> snapshot.
+
+        The on-disk descent mirrors :meth:`LSMTree.get_entry` exactly
+        (range fences -> Bloom probe with one hash pair per lookup ->
+        cache-first single-page fast path) so modeled page reads and the
+        per-level skip/probe accounting agree between serial and
+        concurrent mode on identical workloads.
+        """
         tree = self.tree
         entry = tree.memtable.get(key)
         if entry is not None:
@@ -460,6 +468,9 @@ class WritePathController:
             if entry is not None:
                 return entry
         reader = tree._reader
+        hashed = None
+        cache_get = tree.cache.get
+        single_page = tree.config.pages_per_tile == 1
         for level, runs in self.published:
             pinned = level.index == 1
             for run in runs:  # newest first
@@ -473,8 +484,34 @@ class WritePathController:
                     level.lookup_skips_range += 1
                     continue
                 file = files[idx]
+                if hashed is None:
+                    try:
+                        hashed = key_hash_pair(key)
+                    except TypeError:  # unhashable key: digest directly
+                        hashed = hash_pair(_key_bytes(key))
+                if not file.bloom.might_contain_hashed(hashed[0], hashed[1]):
+                    level.lookup_skips_bloom += 1
+                    continue
                 level.lookup_probes += 1
-                found = file.get(key, reader, pinned)
+                if single_page:
+                    tile_fence = file.tile_fence
+                    tidx = bisect_right(tile_fence.mins, key) - 1
+                    if tidx < 0 or key > tile_fence.maxes[tidx]:
+                        continue  # filter false positive, key between tiles
+                    pages = file.tiles[tidx].pages
+                    if len(pages) != 1:  # layout drift (recovered file)
+                        found = file.get(key, reader, pinned, tidx)
+                    else:
+                        page = cache_get(file.file_id, tidx)
+                        if page is None:
+                            tree.disk.read_pages(1, reader.category)
+                            page = pages[0]
+                            tree.cache.put(file.file_id, tidx, page, pinned)
+                        else:
+                            level.lookup_cache_direct += 1
+                        found = page.get(key)
+                else:
+                    found = file.get(key, reader, pinned)
                 if found is not None:
                     level.lookup_serves += 1
                     return found
@@ -751,10 +788,16 @@ class WritePathController:
         if flushed_seqno > tree._flushed_seqno:
             tree._flushed_seqno = flushed_seqno
         tree._persist_manifest()
-        # Run installed and manifest durable: the flushed memtables can
-        # leave the read path (they are the oldest suffix of the queue).
-        self.frozen = self.frozen[: len(self.frozen) - len(batch)]
+        # Publish the new snapshot *before* trimming the frozen queue.
+        # Readers load memtable -> frozen -> published in that order, so
+        # this order guarantees every flushed entry is visible in at
+        # least one of the two at every instant; trimming first opens a
+        # window where an acknowledged write is in neither.  The
+        # transient double-sighting (frozen + new level-1 run) is
+        # harmless for the same reason _rotate's handoff is: frozen is
+        # consulted first on lookups, and scans resolve by seqno.
         self._republish()
+        self.frozen = self.frozen[: len(self.frozen) - len(batch)]
 
     # ==================================================================
     # compaction scheduler

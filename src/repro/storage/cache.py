@@ -7,7 +7,12 @@ installs the page.  Keys are ``(file_id, page_index)`` and file ids are
 tree advances its allocator past crash orphans on recovery), so a cached
 page can only ever go stale through explicit :meth:`invalidate_file` calls,
 which every structural change (compaction, secondary delete, recovery GC)
-issues.
+issues.  Invalidation is therefore *sticky*: an invalidated file id is
+retired forever, and later :meth:`put` calls for it are refused.  This is
+what keeps the cache coherent under the concurrent write path -- a reader
+holding a stale published snapshot may still probe a file that compaction
+just retired, and without retirement its re-insert would resurrect dead
+pages after the install's invalidation sweep.
 
 Three properties distinguish this cache from a plain LRU:
 
@@ -157,6 +162,11 @@ class BlockCache:
             _Shard(base + (1 if i < extra else 0)) for i in range(nshards)
         ]
         self._sizer = sizer or _default_sizer
+        #: File ids whose pages have been invalidated.  Ids are never
+        #: reused, so retirement is permanent and the set only grows by
+        #: one small int per dead file.  Reads are GIL-atomic; writers
+        #: add before sweeping the shards (see invalidate_file).
+        self._retired: set[Hashable] = set()
 
     # ------------------------------------------------------------------
     # core operations
@@ -187,13 +197,19 @@ class BlockCache:
 
         Pinned pages bypass admission.  An existing entry is refreshed in
         place (value, size, recency; a pinned insert keeps a page pinned).
+        A retired file id (see :meth:`invalidate_file`) is always refused.
         """
-        if self.capacity == 0:
+        if self.capacity == 0 or file_id in self._retired:
             return False
         key = (file_id, page_index)
         shard = self._shards[hash(key) & self._mask]
         size = self._sizer(page)
         with shard.lock:
+            # Re-check under the shard lock: invalidate_file adds to the
+            # retired set *before* sweeping, so an insert racing with the
+            # sweep cannot slip a dead page back in.
+            if file_id in self._retired:
+                return False
             pages = shard.pages
             entry = pages.get(key)
             if entry is not None:
@@ -218,7 +234,13 @@ class BlockCache:
             return True
 
     def invalidate_file(self, file_id: Hashable) -> int:
-        """Drop every page of ``file_id``; returns how many were dropped."""
+        """Drop every page of ``file_id``; returns how many were dropped.
+
+        Also retires the id permanently: file ids are never reused, so an
+        invalidated file is dead and future :meth:`put` calls for it are
+        refused (stale-snapshot readers cannot resurrect its pages).
+        """
+        self._retired.add(file_id)
         dropped = 0
         for shard in self._shards:
             with shard.lock:

@@ -158,6 +158,11 @@ class TestCacheCoherence:
             if k % 150 == 0:
                 engine.get(k % 700)  # keep the cache populated
                 list(engine.scan(k % 500, k % 500 + 40))
+                # Quiesce background installs (no-op serially): live files
+                # and cached pages can only be compared at rest -- between
+                # an install's level mutation and its invalidation sweep
+                # the raw structure is legitimately mid-change.
+                tree.write_barrier()
                 live = {
                     f.file_id
                     for level in tree.iter_levels()
