@@ -48,6 +48,7 @@ from repro.errors import (
     WorkloadError,
 )
 from repro.lsm.tree import LSMTree
+from repro.shard import PartitionMap, ShardedEngine
 
 __version__ = "1.0.0"
 
@@ -68,11 +69,13 @@ __all__ = [
     "LSMConfig",
     "LSMTree",
     "LogicalClock",
+    "PartitionMap",
     "PersistenceStats",
     "PersistenceTracker",
     "PurgeRecord",
     "RetentionPolicy",
     "SecondaryDeleteReport",
+    "ShardedEngine",
     "StorageError",
     "WALError",
     "WorkloadError",

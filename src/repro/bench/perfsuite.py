@@ -505,10 +505,188 @@ def run_concurrent_experiment(spec: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+#: Shard counts the sharded-engine phase sweeps (1 == the single-shard arm).
+SHARD_SWEEP = (1, 2, 4)
+
+
+def run_sharded_experiment(spec: dict[str, Any]) -> dict[str, Any]:
+    """The ``ingest_sharded``/``mixed_sharded`` phases: shard-count sweep.
+
+    Replays the same mixed workload once per shard count in
+    :data:`SHARD_SWEEP` against an in-memory
+    :class:`~repro.shard.engine.ShardedEngine` (shards=1 is the reference
+    arm -- a router in front of a single tree).  Two timed phases per arm:
+
+    ``ingest_sharded``
+        Batched ingest through the router (``apply_batch`` groups each
+        chunk by shard).  Reported as ack wall/CPU, drained (through
+        ``write_barrier``), and modeled device time -- the deterministic
+        currency.  ``device_ratio`` records each arm's device time
+        relative to the single-shard arm: N independent trees are each
+        1/N the size, so they develop fewer levels and compact less --
+        the sweep documents that partitioning dividend (and its price,
+        ``size_skew``, which the rebalancer bounds).
+
+    ``mixed_sharded``
+        Point gets plus narrow limited scans (the scans are cross-shard:
+        the router k-way-merges per-shard fused iterators).
+
+    After both phases every arm's full logical contents are digested and
+    the N>1 digests must equal the shards=1 digest -- range partitioning
+    must never change *what* the engine stores, only *where*.  (The mixed
+    stream contains no clock-relative secondary deletes, so the digest is
+    shard-count-invariant by construction.)
+    """
+    import hashlib
+
+    from repro.bench.harness import EXPERIMENT_SCALE
+    from repro.config import baseline_config
+    from repro.shard import ShardedEngine
+
+    n: int = spec["ingest_ops"]
+    seed: int = spec["seed"]
+    sweep = tuple(spec.get("shard_sweep", SHARD_SWEEP))
+    repeats = spec.get("read_repeats", 1)
+    ops = _mixed_ops(n, seed)
+    chunks = [ops[i : i + INGEST_BATCH] for i in range(0, len(ops), INGEST_BATCH)]
+    engines = {
+        s: ShardedEngine(
+            baseline_config(**EXPERIMENT_SCALE),
+            shards=s,
+            key_space=(0, n * 2),
+        )
+        for s in sweep
+    }
+    wall = {s: 0.0 for s in sweep}
+    cpu = {s: 0.0 for s in sweep}
+
+    # Interleaved slices, same rationale as run_experiment: arms timed
+    # under the same average machine load.
+    slice_chunks = max(1, len(chunks) // 4)
+    for start in range(0, len(chunks), slice_chunks):
+        for s in sweep:
+            engine = engines[s]
+            t0 = time.perf_counter()
+            c0 = time.process_time()
+            for chunk in chunks[start : start + slice_chunks]:
+                engine.apply_batch(chunk)
+            cpu[s] += time.process_time() - c0
+            wall[s] += time.perf_counter() - t0
+
+    # -- mixed read phase (gets + cross-shard limited scans) ------------
+    mixed_rng = Random(seed + 3)
+    live_keys = [op[1] for op in ops if op[0] == "put"]
+    mixed: list[tuple] = []
+    for _ in range(max(1, int(n * GET_OPS_FRACTION) // 2)):
+        if mixed_rng.random() < MIXED_GET_FRACTION:
+            if mixed_rng.random() < 0.5:
+                mixed.append(("get", live_keys[mixed_rng.randrange(len(live_keys))]))
+            else:
+                mixed.append(("get", n * 2 + mixed_rng.randrange(n)))
+        else:
+            lo = mixed_rng.randrange(max(1, n * 2 - SCAN_WIDTH))
+            mixed.append(("scan", lo, lo + SCAN_WIDTH))
+    sentinel = object()
+
+    arms: dict[str, dict[str, Any]] = {}
+    digests: dict[int, str] = {}
+    founds: dict[int, int] = {}
+    for s in sweep:
+        engine = engines[s]
+        ack_wall, ack_cpu = wall[s], cpu[s]
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        engine.write_barrier()
+        drained_wall = ack_wall + (time.perf_counter() - t0)
+        drained_cpu = ack_cpu + (time.process_time() - c0)
+
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        found = 0
+        for _ in range(repeats):
+            for op in mixed:
+                if op[0] == "get":
+                    if engine.get(op[1], default=sentinel) is not sentinel:
+                        found += 1
+                else:
+                    found += sum(
+                        1 for _ in engine.scan(op[1], op[2], limit=MIXED_SCAN_LIMIT)
+                    )
+        mixed_phase = PhaseResult(
+            len(mixed) * repeats,
+            time.perf_counter() - t0,
+            time.process_time() - c0,
+        )
+        founds[s] = found
+
+        digest = hashlib.sha256()
+        rows = 0
+        for key, value in engine.scan(0, n * 2):
+            digest.update(repr((key, value)).encode())
+            rows += 1
+        digests[s] = digest.hexdigest()
+        engine.verify_invariants()
+        io = engine.disk.stats
+        stats = engine.stats()
+        sizes = [r["entries_on_disk"] + r["buffered_entries"] for r in stats.shards]
+        arms[f"shards_{s}"] = {
+            "shards": s,
+            "ingest_ack": PhaseResult(n, ack_wall, ack_cpu).to_dict(),
+            "ingest_drained": PhaseResult(n, drained_wall, drained_cpu).to_dict(),
+            "mixed": mixed_phase.to_dict(),
+            "device_us": round(io.modeled_us, 1),
+            "device_ops_per_s": round(n / (io.modeled_us / 1e6), 1),
+            "pages_written": io.pages_written,
+            "pages_read": io.pages_read,
+            "rows": rows,
+            "mixed_found": found,
+            "contents_sha256": digests[s],
+            "flush_count": stats.flush_count,
+            "compaction_count": stats.compaction_count,
+            "size_skew": round(max(sizes) / (sum(sizes) / len(sizes)), 3)
+            if sizes and sum(sizes)
+            else 1.0,
+        }
+        engine.close()
+
+    # -- equivalence: every arm must match the single-shard contents ----
+    reference = digests[sweep[0]]
+    for s in sweep[1:]:
+        if digests[s] != reference:
+            raise AssertionError(
+                f"ingest_sharded: shards={s} final contents diverged from "
+                f"single-shard ({digests[s][:16]} != {reference[:16]})"
+            )
+        if founds[s] != founds[sweep[0]]:
+            raise AssertionError(
+                f"mixed_sharded: shards={s} read results diverged from "
+                f"single-shard ({founds[s]} != {founds[sweep[0]]})"
+            )
+
+    serial = arms[f"shards_{sweep[0]}"]
+    for arm in arms.values():
+        arm["mixed_speedup_cpu"] = (
+            round(serial["mixed"]["cpu_seconds"] / arm["mixed"]["cpu_seconds"], 2)
+            if arm["mixed"]["cpu_seconds"]
+            else float("inf")
+        )
+        arm["device_ratio"] = round(arm["device_us"] / serial["device_us"], 2)
+    return {
+        "experiment": "ingest_sharded",
+        "engine": "baseline",
+        "ingest_ops": n,
+        "shard_sweep": list(sweep),
+        "arms": arms,
+        "contents_identical": True,
+    }
+
+
 def _run_spec(spec: dict[str, Any]) -> dict[str, Any]:
     """Process-pool dispatch point (module-level, picklable)."""
     if spec.get("mode") == "concurrent":
         return run_concurrent_experiment(spec)
+    if spec.get("mode") == "sharded":
+        return run_sharded_experiment(spec)
     return run_experiment(spec)
 
 
@@ -550,6 +728,16 @@ def run_suite(
             "worker_sweep": list(CONCURRENT_WORKER_SWEEP),
         }
     )
+    specs.append(
+        {
+            "name": "ingest_sharded",
+            "mode": "sharded",
+            "seed": 7,
+            "ingest_ops": ingest_ops,
+            "shard_sweep": list(SHARD_SWEEP),
+            "read_repeats": 5 if quick else 1,
+        }
+    )
     if workers is None:
         # One worker per experiment, but never more than the machine has
         # cores: oversubscribed workers time-share and that scheduling
@@ -571,6 +759,9 @@ def run_suite(
     concurrent = next(
         (r for r in results if r["experiment"] == "ingest_concurrent"), None
     )
+    sharded = next(
+        (r for r in results if r["experiment"] == "ingest_sharded"), None
+    )
     payload = {
         "suite": "perfsuite",
         "quick": quick,
@@ -587,6 +778,8 @@ def run_suite(
     }
     if concurrent is not None:
         payload["concurrent_ingest_speedup"] = concurrent["concurrent_ingest_speedup"]
+    if sharded is not None:
+        payload["sharded_contents_identical"] = sharded["contents_identical"]
     path = out or next_bench_path()
     path.write_text(json.dumps(payload, indent=1) + "\n")
     payload["path"] = str(path)
@@ -604,7 +797,7 @@ def render(payload: dict[str, Any]) -> str:
         f"{'mixed-x':>8} {'cache-hit':>10}",
     ]
     for r in payload["experiments"]:
-        if r["experiment"] == "ingest_concurrent":
+        if "ingest_speedup" not in r:  # sweep experiments render below
             continue
         p = r["phases"]
         lines.append(
@@ -636,6 +829,25 @@ def render(payload: dict[str, Any]) -> str:
                 f"{arm['device_speedup']:>5.2f}x "
                 f"{arm['pages_written']:>8,} "
                 f"{arm['hard_stalls']:>7}"
+            )
+    sharded = next(
+        (r for r in payload["experiments"] if r["experiment"] == "ingest_sharded"),
+        None,
+    )
+    if sharded is not None:
+        lines.append(
+            f"{'ingest-sharded':<20} {'shards':>8} {'ack/s':>10} "
+            f"{'mixed/s':>10} {'mix-x':>6} {'dev-ratio':>10} {'skew':>6} {'digest':>10}"
+        )
+        for arm in sharded["arms"].values():
+            lines.append(
+                f"{'':<20} {arm['shards']:>8} "
+                f"{arm['ingest_ack']['ops_per_s']:>10,.0f} "
+                f"{arm['mixed']['ops_per_s']:>10,.0f} "
+                f"{arm['mixed_speedup_cpu']:>5.2f}x "
+                f"{arm['device_ratio']:>9.2f}x "
+                f"{arm['size_skew']:>6.2f} "
+                f"{arm['contents_sha256'][:8]:>10}"
             )
     lines.append(
         f"min speedups: ingest {payload['min_ingest_speedup']:.2f}x, "

@@ -12,10 +12,18 @@ Five subcommands mirror the ways the demonstration was driven:
 * ``scrub``    -- checksum every SSTable and validate the manifest's
   integrity envelope (the periodic media-scrubber pass); exit status 1
   when any checksum fails;
+* ``stats``    -- dump one :class:`EngineStats` snapshot of a durable
+  store; ``--json`` emits the machine-readable form (including the
+  read-path, write-path, cache, and shard sections) for scripting and
+  dashboards;
 * ``shell``    -- the hands-on mode: an interactive prompt over one
   engine (put/get/del/purge/dashboards), reading stdin;
 * ``record``   -- materialize a generated workload into a checksummed
   trace file that ``workload --replay`` (or any other tool) can replay.
+
+``workload`` accepts ``--shards N`` to run against a range-partitioned
+:class:`~repro.shard.engine.ShardedEngine`; ``inspect``/``stats``/
+``verify``/``scrub`` all recognize sharded store roots automatically.
 
 Usage: ``python -m repro.cli <command> --help``.
 """
@@ -26,12 +34,13 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.config import CompactionStyle
+from repro.config import CompactionStyle, acheron_config, baseline_config
 from repro.core.engine import AcheronEngine
-from repro.demo.inspector import TreeInspector
+from repro.demo.inspector import ShardInspector, TreeInspector
 from repro.demo.scenarios import run_side_by_side
+from repro.shard import ShardedEngine, is_sharded_root
 from repro.tools.doctor import diagnose_store, scrub_store
-from repro.workload.generator import WorkloadGenerator
+from repro.workload.generator import KEY_STRIDE, WorkloadGenerator
 from repro.workload.runner import run_workload
 from repro.workload.spec import WorkloadSpec
 
@@ -65,6 +74,10 @@ def _build_parser() -> argparse.ArgumentParser:
     wl.add_argument("--seed", type=int, default=0xACE)
     wl.add_argument("--directory", default=None, help="durable store directory")
     wl.add_argument("--replay", default=None, help="replay a recorded trace instead of generating")
+    wl.add_argument("--shards", type=int, default=1,
+                    help="range-partition across this many shard trees")
+    wl.add_argument("--writers", type=int, default=None,
+                    help="concurrent (shard-affine) writer threads for the replay")
 
     record = sub.add_parser("record", help="write a generated workload to a trace file")
     record.add_argument("trace_path")
@@ -77,6 +90,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     inspect = sub.add_parser("inspect", help="print dashboards of a durable store")
     inspect.add_argument("directory")
+
+    stats = sub.add_parser("stats", help="dump an EngineStats snapshot of a durable store")
+    stats.add_argument("directory")
+    stats.add_argument("--json", action="store_true",
+                       help="machine-readable JSON instead of dashboards")
 
     verify = sub.add_parser("verify", help="run the store doctor (exit 1 on corruption)")
     verify.add_argument("directory")
@@ -121,7 +139,22 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         "entries_per_page": 32,
         "policy": _POLICIES[args.policy],
     }
-    if args.engine == "acheron":
+    if args.shards > 1:
+        if args.engine == "acheron":
+            cfg = acheron_config(
+                delete_persistence_threshold=args.d_th,
+                pages_per_tile=args.pages_per_tile,
+                **scale,
+            )
+        else:
+            cfg = baseline_config(**scale)
+        engine = ShardedEngine(
+            cfg,
+            directory=args.directory,
+            shards=args.shards,
+            key_space=(0, max(args.shards, (args.preload + args.ops) * KEY_STRIDE)),
+        )
+    elif args.engine == "acheron":
         engine = AcheronEngine.acheron(
             delete_persistence_threshold=args.d_th,
             pages_per_tile=args.pages_per_tile,
@@ -134,11 +167,15 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         from repro.workload.trace import load_trace
 
         operations = load_trace(args.replay)
-        result = run_workload(engine, operations)
+        result = run_workload(engine, operations, writers=args.writers)
     else:
         generator = WorkloadGenerator(_spec_from_args(args))
-        result = run_workload(engine, generator.operations())
-    inspector = TreeInspector(engine, name=args.engine)
+        result = run_workload(engine, generator.operations(), writers=args.writers)
+    if args.shards > 1:
+        engine.write_barrier()
+        inspector = ShardInspector(engine, name=args.engine)
+    else:
+        inspector = TreeInspector(engine, name=args.engine)
     print(inspector.dashboard())
     print(
         f"\n{result.operations} ops, {result.wall_seconds:.2f}s wall, "
@@ -157,9 +194,34 @@ def _cmd_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_readonly(directory: str):
+    """Open a durable store read-only, dispatching on its layout."""
+    if is_sharded_root(directory):
+        return ShardedEngine(directory=directory, read_only=True)
+    return AcheronEngine(config=None, directory=directory, read_only=True)
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    engine = AcheronEngine(config=None, directory=args.directory, read_only=True)
-    print(TreeInspector(engine, name=args.directory).dashboard())
+    engine = _open_readonly(args.directory)
+    if isinstance(engine, ShardedEngine):
+        print(ShardInspector(engine, name=args.directory).dashboard(per_shard=True))
+    else:
+        print(TreeInspector(engine, name=args.directory).dashboard())
+    engine.close()
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    engine = _open_readonly(args.directory)
+    stats = engine.stats()
+    if args.json:
+        print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+    elif isinstance(engine, ShardedEngine):
+        print(ShardInspector(engine, name=args.directory).dashboard())
+    else:
+        print(TreeInspector(engine, name=args.directory).dashboard())
     engine.close()
     return 0
 
@@ -202,6 +264,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "demo": _cmd_demo,
         "workload": _cmd_workload,
         "inspect": _cmd_inspect,
+        "stats": _cmd_stats,
         "verify": _cmd_verify,
         "scrub": _cmd_scrub,
         "shell": _cmd_shell,

@@ -62,6 +62,9 @@ class EngineStats:
     #: Write-path observability (flush/compaction queues, stalls, worker
     #: throughput); see :meth:`LSMTree.write_stats`.
     write_path: dict = None  # type: ignore[assignment]
+    #: Per-shard breakdown rows (range, size, FADE/``D_th`` compliance);
+    #: populated only by :class:`~repro.shard.engine.ShardedEngine`.
+    shards: list = None  # type: ignore[assignment]
 
     def to_dict(self) -> dict:
         """JSON-safe snapshot (for logging, dashboards, bench archives)."""
@@ -90,6 +93,7 @@ class EngineStats:
                 "cache": dict(self.cache) if self.cache else {},
                 "read_path": list(self.read_path) if self.read_path else [],
                 "write_path": dict(self.write_path) if self.write_path else {},
+                "shards": list(self.shards) if self.shards else [],
             }
         )
 
@@ -128,6 +132,11 @@ class AcheronEngine:
             if manifest is not None and "config" in manifest:
                 config = LSMConfig.from_dict(manifest["config"])
         self.config = config or acheron_config()
+        #: The fault injector this engine was opened with (None for clean
+        #: opens).  The workload runner consults it: multi-writer replay
+        #: against a fault-injected serial engine is refused, not silently
+        #: degraded.
+        self.faults = faults
         self.tracker = (
             PersistenceTracker(threshold=self.config.delete_persistence_threshold)
             if track_persistence

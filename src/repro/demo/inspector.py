@@ -17,6 +17,7 @@ from repro.metrics.shape import tree_shape
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine import AcheronEngine
+    from repro.shard.engine import ShardedEngine
 
 
 class TreeInspector:
@@ -158,3 +159,87 @@ class TreeInspector:
                 self.compaction_history(),
             ]
         )
+
+
+class ShardInspector:
+    """Renders the shard-global views of a :class:`ShardedEngine`.
+
+    The headline table is :meth:`shards_table` -- one row per shard with
+    its key range, size, and FADE/``D_th`` compliance -- followed by the
+    aggregated persistence dashboard and, on request, every shard's full
+    single-tree dashboard.
+    """
+
+    def __init__(self, engine: "ShardedEngine", name: str = "sharded") -> None:
+        self.engine = engine
+        self.name = name
+
+    def shards_table(self) -> str:
+        """One row per shard: range, size, and D_th compliance."""
+        stats = self.engine.stats()
+        rows = [
+            [
+                r["index"],
+                r["range"],
+                r["entries_on_disk"],
+                r["buffered_entries"],
+                r["tombstones_on_disk"],
+                r["flush_count"],
+                r["compaction_count"],
+                r["deletes_pending"],
+                r["oldest_pending_age"] if r["oldest_pending_age"] is not None else "-",
+                r["violations"],
+                "yes" if r["compliant"] else "NO",
+            ]
+            for r in stats.shards or []
+        ]
+        return format_table(
+            [
+                "shard",
+                "range",
+                "entries",
+                "buf",
+                "tombs",
+                "flushes",
+                "compactions",
+                "pending",
+                "oldest-age",
+                "violations",
+                "D_th ok",
+            ],
+            rows,
+            title=f"[{self.name}] {len(rows)} shards @ tick {self.engine.clock.now()}",
+        )
+
+    def persistence_table(self) -> str:
+        """The shard-global (merged-ledger) persistence dashboard."""
+        stats = self.engine.persistence_stats()
+        rows = [
+            ["registered", stats.registered],
+            ["persisted", stats.persisted],
+            ["superseded", stats.superseded],
+            ["pending (exposure)", stats.pending],
+            ["max latency", stats.max_latency],
+            ["p50 latency", stats.p50_latency],
+            ["p99 latency", stats.p99_latency],
+            ["threshold D_th", stats.threshold],
+            ["violations", stats.violations],
+            ["oldest pending age", stats.oldest_pending_age],
+            ["compliant", "yes" if stats.compliant() else "NO"],
+        ]
+        return format_table(
+            ["delete lifecycle (all shards)", "value"],
+            rows,
+            title=f"[{self.name}] shard-global persistence",
+        )
+
+    def dashboard(self, per_shard: bool = False) -> str:
+        """The shard overview; ``per_shard`` appends every shard's full
+        single-tree dashboard."""
+        sections = [self.shards_table(), self.persistence_table()]
+        if per_shard:
+            for index, shard in enumerate(self.engine.shards):
+                sections.append(
+                    TreeInspector(shard, name=f"{self.name}/shard-{index}").dashboard()
+                )
+        return "\n\n".join(sections)

@@ -1,0 +1,39 @@
+"""Horizontal partitioning: N independent trees behind one router.
+
+See :mod:`repro.shard.engine` for the subsystem overview.
+"""
+
+from repro.shard.engine import (
+    SHARDS_ENV,
+    ShardedEngine,
+    ShardSplitReport,
+    default_shards,
+)
+from repro.shard.handoff import PurgeReport, extract_live_range, purge_key_range
+from repro.shard.manifest import (
+    SHARD_LAYOUT_VERSION,
+    SHARD_MANIFEST_NAME,
+    ShardRootStore,
+    is_sharded_root,
+    shard_dir_name,
+    validate_layout,
+)
+from repro.shard.partition import PartitionMap, describe_range
+
+__all__ = [
+    "SHARDS_ENV",
+    "SHARD_LAYOUT_VERSION",
+    "SHARD_MANIFEST_NAME",
+    "PartitionMap",
+    "PurgeReport",
+    "ShardRootStore",
+    "ShardSplitReport",
+    "ShardedEngine",
+    "default_shards",
+    "describe_range",
+    "extract_live_range",
+    "is_sharded_root",
+    "purge_key_range",
+    "shard_dir_name",
+    "validate_layout",
+]

@@ -1,0 +1,942 @@
+"""The sharded engine: N independent trees behind one router.
+
+:class:`ShardedEngine` range-partitions the keyspace across ``N``
+independent :class:`~repro.core.engine.AcheronEngine` instances -- each
+with its own directory, WAL, block cache, clock, persistence tracker, and
+(PR 4) background write-path workers -- and presents the same data-plane
+API as a single engine:
+
+* **routing** -- ``put``/``delete``/``get``/``contains`` dispatch by the
+  :class:`~repro.shard.partition.PartitionMap`; batches are grouped per
+  shard with per-key order preserved, so sharded contents always equal the
+  single-tree replay of the same stream.
+* **cross-shard scans** -- each overlapping shard contributes its fused
+  scan iterator (:func:`~repro.lsm.iterator.scan_fused` underneath) and a
+  k-way heap merge stitches them, preserving limit early-exit and reverse
+  order.  Shard ranges are disjoint, so the merge degenerates to an
+  ordered chain -- but stays correct mid-rebalance.
+* **secondary range deletes** -- a KiWi delete spans *all* shards (the
+  delete key is orthogonal to the partition key).  In durable mode the
+  fan-out is **all-or-nothing**: an intent record is published to the root
+  manifest before the first shard applies the delete and cleared after the
+  last, and recovery replays a pending intent to completion before serving
+  -- no reader ever observes a half-applied secondary delete across a
+  crash (application is idempotent, so replays are harmless).
+* **per-shard delete persistence** -- ``D_th`` is a per-tree contract
+  (the paper defines it against one tree's compaction cadence), so each
+  shard enforces it with its own FADE scheduler and tracker; the engine
+  aggregates the ledgers into one shard-global
+  :class:`~repro.core.persistence.PersistenceStats` (percentiles computed
+  over the concatenated latency populations, not averaged averages).
+* **rebalancing** -- ``split_shard`` hands the upper half of a skewed
+  shard's range to a fresh shard via a staged, manifest-logged protocol
+  (copy -> flip map -> purge source; see :mod:`repro.shard.handoff`) that
+  the crash matrix drives under fault injection.
+
+Durable layout: a root directory holding ``SHARDS.json`` (see
+:mod:`repro.shard.manifest`) plus one subdirectory per shard, each a
+fully self-describing single-tree store the existing doctor/CLI tooling
+understands.
+
+The default shard count comes from the ``REPRO_SHARDS`` environment
+variable (mirroring ``REPRO_WORKERS``), so the whole test suite can be
+re-run sharded without touching call sites.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, replace
+from heapq import merge as _heap_merge
+from itertools import islice
+from operator import itemgetter
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.config import LSMConfig, acheron_config
+from repro.core.engine import AcheronEngine, EngineStats
+from repro.core.kiwi import SecondaryDeleteReport
+from repro.core.persistence import PersistenceStats
+from repro.errors import (
+    AcheronError,
+    ConfigError,
+    EngineClosedError,
+    InvariantViolationError,
+)
+from repro.metrics.shape import LevelSummary
+from repro.shard.handoff import PurgeReport, extract_live_range, purge_key_range
+from repro.shard.manifest import (
+    SHARD_LAYOUT_VERSION,
+    ShardRootStore,
+    shard_dir_name,
+    validate_layout,
+)
+from repro.shard.partition import PartitionMap, describe_range
+from repro.storage.disk import IOStats
+
+#: Environment default for the shard count (mirrors ``REPRO_WORKERS``).
+SHARDS_ENV = "REPRO_SHARDS"
+
+_SECONDARY_METHODS = ("auto", "kiwi", "full_rewrite")
+_FIRST_OF_PAIR = itemgetter(0)
+
+
+def default_shards() -> int:
+    """The ambient shard count: ``REPRO_SHARDS`` or 1."""
+    return int(os.environ.get(SHARDS_ENV, "1") or "1")
+
+
+# ---------------------------------------------------------------------------
+# aggregate views over the per-shard devices and clocks
+# ---------------------------------------------------------------------------
+def _sum_io(parts: Iterable[IOStats]) -> IOStats:
+    total = IOStats()
+    for part in parts:
+        total.pages_read += part.pages_read
+        total.pages_written += part.pages_written
+        total.read_requests += part.read_requests
+        total.write_requests += part.write_requests
+        total.modeled_us += part.modeled_us
+        for cat, pages in part.reads_by_category.items():
+            total.reads_by_category[cat] = total.reads_by_category.get(cat, 0) + pages
+        for cat, pages in part.writes_by_category.items():
+            total.writes_by_category[cat] = total.writes_by_category.get(cat, 0) + pages
+    return total
+
+
+class _AggregateIOView:
+    """A live, read-only sum of every shard's disk counters.
+
+    The workload runner attributes I/O by reading ``engine.disk.stats``
+    before and after each operation; these properties keep that protocol
+    working against N devices at once.
+    """
+
+    __slots__ = ("_engines",)
+
+    def __init__(self, engines: list[AcheronEngine]) -> None:
+        self._engines = engines
+
+    @property
+    def pages_read(self) -> int:
+        return sum(e.tree.disk.stats.pages_read for e in self._engines)
+
+    @property
+    def pages_written(self) -> int:
+        return sum(e.tree.disk.stats.pages_written for e in self._engines)
+
+    @property
+    def read_requests(self) -> int:
+        return sum(e.tree.disk.stats.read_requests for e in self._engines)
+
+    @property
+    def write_requests(self) -> int:
+        return sum(e.tree.disk.stats.write_requests for e in self._engines)
+
+    @property
+    def modeled_us(self) -> float:
+        return sum(e.tree.disk.stats.modeled_us for e in self._engines)
+
+    @property
+    def total_pages(self) -> int:
+        return self.pages_read + self.pages_written
+
+
+class _AggregateDisk:
+    """Duck-types the :class:`SimulatedDisk` inspection surface."""
+
+    __slots__ = ("_engines", "stats")
+
+    def __init__(self, engines: list[AcheronEngine]) -> None:
+        self._engines = engines
+        self.stats = _AggregateIOView(engines)
+
+    def snapshot(self) -> IOStats:
+        return _sum_io(e.tree.disk.snapshot() for e in self._engines)
+
+    def delta_since(self, snapshot: IOStats) -> IOStats:
+        return self.snapshot().minus(snapshot)
+
+
+class _ShardClock:
+    """The shard-global logical clock: the maximum of the per-shard ticks.
+
+    Each shard advances its own clock per ingested operation; the maximum
+    is the natural "how far has this deployment progressed" tick that
+    workload-level policies (e.g. the secondary-delete window) key on.
+    """
+
+    __slots__ = ("_engines",)
+
+    def __init__(self, engines: list[AcheronEngine]) -> None:
+        self._engines = engines
+
+    def now(self) -> int:
+        return max((e.clock.now() for e in self._engines), default=0)
+
+
+# ---------------------------------------------------------------------------
+# numeric merging of observability dictionaries
+# ---------------------------------------------------------------------------
+#: Derived-ratio keys that must be averaged (or recomputed), never summed.
+_MEAN_KEYS = frozenset(
+    {"hit_rate", "flush_batching", "mean_flush_ms", "mean_compaction_ms"}
+)
+
+
+def _merge_numeric(dicts: list[dict], prefix_subdicts: bool = False) -> dict:
+    """Merge stat dicts: counters sum, ratios average, labels must agree.
+
+    ``pages_written_by_worker``-style sub-dicts get their keys prefixed
+    with the shard index (worker names repeat across shards).
+    """
+    out: dict[str, Any] = {}
+    for index, d in enumerate(dicts):
+        for key, value in d.items():
+            if isinstance(value, bool):
+                out[key] = out.get(key, False) or value
+            elif isinstance(value, (int, float)):
+                out[key] = out.get(key, 0) + value
+            elif isinstance(value, dict) and prefix_subdicts:
+                sub = out.setdefault(key, {})
+                for k, v in value.items():
+                    sub[f"s{index}:{k}"] = v
+            elif key not in out:
+                out[key] = value
+            elif out[key] != value:
+                out[key] = "mixed"
+    for key in _MEAN_KEYS & out.keys():
+        if dicts:
+            out[key] = out[key] / len(dicts)
+    # Exact recomputes where the inputs are present in the merged dict.
+    if "hits" in out and "misses" in out:
+        lookups = out["hits"] + out["misses"]
+        out["hit_rate"] = out["hits"] / lookups if lookups else 0.0
+    return out
+
+
+def _merge_read_path(levels_lists: list[list[dict]]) -> list[dict]:
+    """Merge per-level read-path counter rows across shards by level."""
+    by_level: dict[int, list[dict]] = {}
+    for rows in levels_lists:
+        for row in rows:
+            by_level.setdefault(row["level"], []).append(row)
+    merged = []
+    for level in sorted(by_level):
+        row = _merge_numeric(by_level[level])
+        row["level"] = level
+        merged.append(row)
+    return merged
+
+
+def _merge_shape(shapes: list[list[LevelSummary]]) -> list[LevelSummary]:
+    depth = max((len(s) for s in shapes), default=0)
+    merged: list[LevelSummary] = []
+    for i in range(depth):
+        rows = [s[i] for s in shapes if len(s) > i]
+        ages = [r.oldest_tombstone_age for r in rows if r.oldest_tombstone_age is not None]
+        merged.append(
+            LevelSummary(
+                index=rows[0].index,
+                runs=sum(r.runs for r in rows),
+                files=sum(r.files for r in rows),
+                pages=sum(r.pages for r in rows),
+                entries=sum(r.entries for r in rows),
+                tombstones=sum(r.tombstones for r in rows),
+                capacity=sum(r.capacity for r in rows),
+                oldest_tombstone_age=max(ages) if ages else None,
+            )
+        )
+    return merged
+
+
+def _merge_delete_reports(reports: list[SecondaryDeleteReport]) -> SecondaryDeleteReport:
+    first = reports[0]
+    merged = SecondaryDeleteReport(method=first.method, lo=first.lo, hi=first.hi)
+    for r in reports:
+        merged.files_examined += r.files_examined
+        merged.files_modified += r.files_modified
+        merged.files_emptied += r.files_emptied
+        merged.pages_kept += r.pages_kept
+        merged.pages_dropped += r.pages_dropped
+        merged.pages_rewritten += r.pages_rewritten
+        merged.entries_deleted += r.entries_deleted
+        merged.memtable_entries_deleted += r.memtable_entries_deleted
+    merged.io = _sum_io(r.io for r in reports)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# reports
+# ---------------------------------------------------------------------------
+@dataclass
+class ShardSplitReport:
+    """What one shard split moved and purged."""
+
+    source: int
+    split_key: Any
+    new_shard: int
+    new_directory: str | None
+    entries_moved: int
+    purge: PurgeReport
+
+    def summary(self) -> str:
+        return (
+            f"split shard {self.source} at {self.split_key!r}: moved "
+            f"{self.entries_moved} live entries to shard {self.new_shard}, "
+            f"purged {self.purge.entries_dropped} on-disk + "
+            f"{self.purge.memtable_entries_dropped} buffered entries from the source"
+        )
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+class ShardedEngine:
+    """A range-partitioned multi-tree engine (see module docstring)."""
+
+    def __init__(
+        self,
+        config: LSMConfig | None = None,
+        directory: str | None = None,
+        shards: int | None = None,
+        boundaries: Iterable[Any] | None = None,
+        key_space: tuple[int, int] = (0, 1 << 20),
+        track_persistence: bool = True,
+        read_only: bool = False,
+        wal_sync: bool = False,
+        faults: Any = None,
+        degraded_ok: bool = False,
+        workers: int | None = None,
+    ) -> None:
+        self.faults = faults
+        self._read_only = read_only
+        self._wal_sync = wal_sync
+        self._degraded_ok = degraded_ok
+        self._track_persistence = track_persistence
+        self._workers = workers
+        self._closed = False
+        #: Human-readable descriptions of intents a read-only open could
+        #: not replay (empty for writable opens: they recover first).
+        self.pending_recovery: list[str] = []
+        self.directory = Path(directory) if directory is not None else None
+        self._store: ShardRootStore | None = None
+
+        layout: dict | None = None
+        if self.directory is not None:
+            self._store = ShardRootStore(self.directory, faults=faults)
+            if not read_only:
+                self._store.clean_temp_files()
+            layout = self._store.read_manifest()
+
+        if layout is not None:
+            pmap = validate_layout(layout)
+            if shards is not None and shards != pmap.shards:
+                raise ConfigError(
+                    f"store at {directory} has {pmap.shards} shard(s), "
+                    f"but shards={shards} was requested"
+                )
+            if boundaries is not None and list(boundaries) != pmap.to_list():
+                raise ConfigError(
+                    f"store at {directory} records boundaries {pmap.to_list()!r}, "
+                    f"which differ from the requested {list(boundaries)!r}"
+                )
+            if config is None and "config" in layout:
+                config = LSMConfig.from_dict(layout["config"])
+            dirs = [str(name) for name in layout["shard_dirs"]]
+            next_id = int(layout.get("next_shard_id", len(dirs)))
+        else:
+            if read_only:
+                raise ConfigError("read_only requires an initialized sharded store")
+            if boundaries is not None:
+                pmap = PartitionMap(list(boundaries))
+                if shards is not None and shards != pmap.shards:
+                    raise ConfigError(
+                        f"{len(pmap.boundaries)} boundaries define {pmap.shards} "
+                        f"shard(s), but shards={shards} was requested"
+                    )
+            else:
+                if shards is None:
+                    shards = default_shards()
+                pmap = PartitionMap.uniform(shards, *key_space)
+            dirs = [shard_dir_name(i) for i in range(pmap.shards)]
+            next_id = pmap.shards
+
+        self.config = config or acheron_config()
+        self.partition_map = pmap
+        self._shard_dirs = dirs
+        self._next_shard_id = next_id
+        self.shards: list[AcheronEngine] = [self._open_shard(name) for name in dirs]
+        self.disk = _AggregateDisk(self.shards)
+        self.clock = _ShardClock(self.shards)
+
+        self._pending_fanout = layout.get("pending_fanout") if layout else None
+        self._pending_split = layout.get("pending_split") if layout else None
+        if layout is None:
+            self._publish_layout()
+        elif self._pending_fanout or self._pending_split:
+            if read_only:
+                if self._pending_fanout:
+                    f = self._pending_fanout
+                    self.pending_recovery.append(
+                        f"secondary delete fan-out dkey=[{f['lo']}, {f['hi']}] "
+                        "interrupted (a writable open will replay it)"
+                    )
+                if self._pending_split:
+                    s = self._pending_split
+                    self.pending_recovery.append(
+                        f"shard split of shard {s['source']} at {s['split_key']!r} "
+                        f"interrupted in stage {s['stage']!r} (a writable open "
+                        "will resume it)"
+                    )
+            else:
+                self._recover_intents()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _open_shard(self, name: str) -> AcheronEngine:
+        directory = str(self.directory / name) if self.directory is not None else None
+        return AcheronEngine(
+            self.config,
+            directory=directory,
+            track_persistence=self._track_persistence,
+            read_only=self._read_only,
+            wal_sync=self._wal_sync,
+            faults=self.faults,
+            degraded_ok=self._degraded_ok,
+            workers=self._workers,
+        )
+
+    def _publish_layout(
+        self,
+        pending_fanout: dict | None = None,
+        pending_split: dict | None = None,
+    ) -> None:
+        """Atomically publish the root manifest (no-op in memory mode)."""
+        if self._store is None or self._read_only:
+            return
+        self._store.write_manifest(
+            {
+                "shard_layout": SHARD_LAYOUT_VERSION,
+                "config": self.config.to_dict(),
+                "boundaries": self.partition_map.to_list(),
+                "shard_dirs": list(self._shard_dirs),
+                "next_shard_id": self._next_shard_id,
+                "pending_fanout": pending_fanout,
+                "pending_split": pending_split,
+            }
+        )
+
+    def _recover_intents(self) -> None:
+        """Replay interrupted fan-outs/splits to completion before serving."""
+        fanout = self._pending_fanout
+        if fanout:
+            self._pending_fanout = None
+            for shard in self.shards:
+                shard.delete_range(
+                    fanout["lo"], fanout["hi"], method=fanout.get("method", "auto")
+                )
+            self._publish_layout(pending_split=self._pending_split)
+        split = self._pending_split
+        if split:
+            self._pending_split = None
+            index, split_key = split["source"], split["split_key"]
+            if split["stage"] == "copy":
+                # The map flip never happened: the target (if any bytes
+                # landed) is wiped and the whole split redone from intact
+                # source state.
+                new_map = self.partition_map.split(index, split_key)
+                with self._quiesced(index):
+                    self._split_inline(index, split_key, new_map, split["new_dir"])
+            else:  # stage "purge": the map already flipped; finish the purge
+                with self._quiesced(index):
+                    self._purge_source(self.shards[index], split_key)
+                self._publish_layout()
+
+    @contextmanager
+    def _quiesced(self, index: int):
+        """Run with shard ``index``'s write path drained and held inline."""
+        source = self.shards[index]
+        source.tree.write_barrier()
+        wp = source.tree.write_path
+        ctx = wp.exclusive() if wp is not None and not wp.owns_inline() else nullcontext()
+        with ctx:
+            yield
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineClosedError("operation on a closed ShardedEngine")
+
+    def _check_writable(self) -> None:
+        self._check_open()
+        if self._read_only:
+            raise ConfigError("engine opened read_only; writes are not allowed")
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_index_for(self, key: Any) -> int:
+        return self.partition_map.shard_for(key)
+
+    def shard_for(self, key: Any) -> AcheronEngine:
+        """The shard engine owning ``key``."""
+        return self.shards[self.partition_map.shard_for(key)]
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def put(self, key: Any, value: Any, delete_key: int | None = None) -> None:
+        self._check_open()
+        self.shard_for(key).put(key, value, delete_key=delete_key)
+
+    def delete(self, key: Any) -> None:
+        self._check_open()
+        self.shard_for(key).delete(key)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self._check_open()
+        return self.shard_for(key).get(key, default=default)
+
+    def contains(self, key: Any) -> bool:
+        self._check_open()
+        return self.shard_for(key).contains(key)
+
+    def put_many(self, items: Iterable[tuple]) -> int:
+        """Batched puts, grouped per shard with per-key order preserved."""
+        self._check_open()
+        groups: dict[int, list[tuple]] = {}
+        for item in items:
+            groups.setdefault(self.partition_map.shard_for(item[0]), []).append(item)
+        return sum(self.shards[i].put_many(group) for i, group in groups.items())
+
+    def apply_batch(self, ops: Iterable[tuple]) -> int:
+        """Mixed ingest batch (``("put", k, v[, dk])`` / ``("delete", k)``),
+        grouped per shard with per-key order preserved."""
+        self._check_open()
+        groups: dict[int, list[tuple]] = {}
+        for op in ops:
+            groups.setdefault(self.partition_map.shard_for(op[1]), []).append(op)
+        return sum(self.shards[i].apply_batch(group) for i, group in groups.items())
+
+    def scan(
+        self,
+        lo: Any,
+        hi: Any,
+        limit: int | None = None,
+        reverse: bool = False,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Live pairs with ``lo <= key <= hi`` merged across shards.
+
+        Each overlapping shard contributes its own fused scan (already
+        resolved and tombstone-suppressed); a k-way heap merge stitches
+        them in global key order.  ``limit`` is pushed down per shard
+        *and* applied to the merged stream, so early exit works at both
+        layers; ``reverse`` flips both the per-shard scans and the merge.
+        """
+        self._check_open()
+        indices = list(self.partition_map.overlapping(lo, hi))
+        if reverse:
+            indices.reverse()
+        streams = [
+            self.shards[i].scan(lo, hi, limit=limit, reverse=reverse) for i in indices
+        ]
+        merged = _heap_merge(*streams, key=_FIRST_OF_PAIR, reverse=reverse)
+        return islice(merged, limit) if limit is not None else merged
+
+    def delete_range(
+        self, delete_key_lo: int, delete_key_hi: int, method: str = "auto"
+    ) -> SecondaryDeleteReport:
+        """A secondary range delete fanned out to every shard.
+
+        Durable stores log the fan-out intent in the root manifest before
+        the first shard applies it and clear the intent after the last --
+        a crash in between leaves a durable to-do that recovery replays,
+        so the fan-out is all-or-nothing across restarts.  Arguments are
+        validated *before* the intent is published (a poisoned intent
+        would fail its replay forever).
+        """
+        self._check_writable()
+        if method not in _SECONDARY_METHODS:
+            raise ValueError(f"unknown secondary delete method {method!r}")
+        if delete_key_lo > delete_key_hi:
+            raise AcheronError(
+                f"secondary delete range is empty: [{delete_key_lo}, {delete_key_hi}]"
+            )
+        self._publish_layout(
+            pending_fanout={"lo": delete_key_lo, "hi": delete_key_hi, "method": method}
+        )
+        reports = [
+            shard.delete_range(delete_key_lo, delete_key_hi, method=method)
+            for shard in self.shards
+        ]
+        self._publish_layout()
+        return _merge_delete_reports(reports)
+
+    # ------------------------------------------------------------------
+    # rebalancing
+    # ------------------------------------------------------------------
+    def split_shard(self, index: int, split_key: Any = None) -> ShardSplitReport:
+        """Split shard ``index`` at ``split_key`` (default: its median key).
+
+        The staged protocol (each stage a durable intent in the root
+        manifest, so a crash at any byte resumes cleanly):
+
+        1. **copy** -- publish the intent, then copy every live entry with
+           ``key >= split_key`` (delete keys preserved) into a fresh shard
+           directory and flush it.  The partition map is untouched, so the
+           copy is invisible; a crash wipes the target and redoes it.
+        2. **flip + purge** -- atomically publish the new partition map
+           (the target starts owning its range) together with a ``purge``
+           intent, then run the bounded key-range purge of the source
+           (:func:`~repro.shard.handoff.purge_key_range`) and clear the
+           intent.  The purge is idempotent; a crash mid-purge redoes it
+           on recovery.  Routing is range-based, so leftover source
+           entries are unreachable during the window anyway.
+        """
+        self._check_writable()
+        if not 0 <= index < len(self.shards):
+            raise IndexError(f"shard index {index} out of range 0..{len(self.shards) - 1}")
+        with self._quiesced(index):
+            if split_key is None:
+                split_key = self._median_key(index)
+                if split_key is None:
+                    raise AcheronError(
+                        f"shard {index} holds too few distinct keys to split"
+                    )
+            new_map = self.partition_map.split(index, split_key)  # validates the key
+            return self._split_inline(
+                index, split_key, new_map, shard_dir_name(self._next_shard_id)
+            )
+
+    def _split_inline(
+        self, index: int, split_key: Any, new_map: PartitionMap, new_dir: str
+    ) -> ShardSplitReport:
+        """The split body; the caller holds the source quiesced."""
+        source = self.shards[index]
+        self._publish_layout(
+            pending_split={
+                "stage": "copy",
+                "source": index,
+                "split_key": split_key,
+                "new_dir": new_dir,
+            }
+        )
+        if self.directory is not None:
+            target_path = self.directory / new_dir
+            if target_path.exists():
+                # A re-run after a crash mid-copy: the half-written target
+                # is garbage (nothing routed to it yet); start clean.
+                shutil.rmtree(target_path)
+        target = self._open_shard(new_dir)
+        moved = extract_live_range(source.tree, split_key)
+        if moved:
+            target.put_many(moved)
+        # Make the copy durable through sstables (not just the WAL) before
+        # the map flips: the purge stage must never depend on replaying a
+        # tail the target had no chance to sync.
+        target.flush()
+        target.tree.write_barrier()
+
+        self._next_shard_id += 1
+        self.partition_map = new_map
+        self._shard_dirs.insert(index + 1, new_dir)
+        self.shards.insert(index + 1, target)
+        self._publish_layout(
+            pending_split={
+                "stage": "purge",
+                "source": index,
+                "split_key": split_key,
+                "new_dir": new_dir,
+            }
+        )
+        purge = self._purge_source(source, split_key)
+        self._publish_layout()
+        return ShardSplitReport(
+            source=index,
+            split_key=split_key,
+            new_shard=index + 1,
+            new_directory=new_dir if self.directory is not None else None,
+            entries_moved=len(moved),
+            purge=purge,
+        )
+
+    def _purge_source(self, source: AcheronEngine, split_key: Any) -> PurgeReport:
+        purge = purge_key_range(source.tree, split_key)
+        source.tree._persist_manifest()  # noqa: SLF001 - shard layer, by design
+        source.tree._sync_wal_with_memtable()  # noqa: SLF001 - shard layer, by design
+        return purge
+
+    def _median_key(self, index: int) -> Any:
+        """The median routable key of shard ``index`` (None: unsplittable)."""
+        tree = self.shards[index].tree
+        lo, hi = self.partition_map.shard_range(index)
+        keys = {e.key for e in tree.memtable}
+        for level in tree.iter_levels():
+            for run in level.runs:
+                for entry in run.iter_all_entries():
+                    keys.add(entry.key)
+        candidates = sorted(
+            k for k in keys if (lo is None or k > lo) and (hi is None or k < hi)
+        )
+        return candidates[len(candidates) // 2] if candidates else None
+
+    def rebalance(self, skew_threshold: float = 2.0) -> ShardSplitReport | None:
+        """Split the largest shard when its size exceeds ``skew_threshold``
+        times the mean shard size.  Returns None when balanced (or when the
+        skewed shard has too few distinct keys to split)."""
+        self._check_writable()
+        sizes = [
+            shard.tree.entry_count_on_disk + len(shard.tree.memtable)
+            for shard in self.shards
+        ]
+        total = sum(sizes)
+        if not total:
+            return None
+        mean = total / len(sizes)
+        worst = max(range(len(sizes)), key=sizes.__getitem__)
+        if sizes[worst] <= skew_threshold * mean:
+            return None
+        split_key = self._median_key(worst)
+        if split_key is None:
+            return None
+        return self.split_shard(worst, split_key)
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        self._check_open()
+        for shard in self.shards:
+            shard.flush()
+
+    def compact_all(self) -> None:
+        self._check_open()
+        for shard in self.shards:
+            shard.compact_all()
+
+    def advance_time(self, ticks: int) -> None:
+        self._check_open()
+        for shard in self.shards:
+            shard.advance_time(ticks)
+
+    def write_barrier(self) -> None:
+        for shard in self.shards:
+            shard.tree.write_barrier()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        return any(shard.degraded for shard in self.shards)
+
+    def stats(self) -> EngineStats:
+        """One aggregated snapshot plus a per-shard breakdown section."""
+        self._check_open()
+        per = [shard.stats() for shard in self.shards]  # each barriers itself
+        now = self.clock.now()
+        counters: dict[str, int] = {}
+        for st in per:
+            for key, value in st.counters.items():
+                counters[key] = counters.get(key, 0) + value
+        cache = _merge_numeric([st.cache for st in per])
+        io = _sum_io(st.io for st in per)
+        return EngineStats(
+            io=io,
+            amplification=self._merge_amplification(per),
+            persistence=self._merged_persistence(per),
+            shape=_merge_shape([st.shape for st in per]),
+            counters=counters,
+            flush_count=sum(st.flush_count for st in per),
+            compaction_count=sum(st.compaction_count for st in per),
+            cache_hit_rate=cache.get("hit_rate", 0.0),
+            tick=now,
+            cache=cache,
+            read_path=_merge_read_path([st.read_path for st in per]),
+            write_path=_merge_numeric(
+                [st.write_path for st in per], prefix_subdicts=True
+            ),
+            shards=self._shard_summaries(per),
+        )
+
+    def _merge_amplification(self, per: list[EngineStats]):
+        amps = [st.amplification for st in per]
+        total_bytes = sum(a.bytes_on_disk for a in amps)
+        live_bytes = sum(a.live_bytes for a in amps)
+        written_pages = sum(
+            a.pages_written_flush
+            + a.pages_written_compaction
+            + a.pages_written_secondary_delete
+            for a in amps
+        )
+        ingested = sum(
+            shard.tree.counters["ingested_bytes"] for shard in self.shards
+        )
+        base = amps[0]
+        return replace(
+            base,
+            write_amplification=(
+                written_pages * self.config.page_size_bytes / ingested
+                if ingested
+                else 0.0
+            ),
+            space_amplification=(
+                total_bytes / live_bytes
+                if live_bytes
+                else (float("inf") if total_bytes else 1.0)
+            ),
+            bytes_on_disk=total_bytes,
+            live_bytes=live_bytes,
+            tombstones_on_disk=sum(a.tombstones_on_disk for a in amps),
+            entries_on_disk=sum(a.entries_on_disk for a in amps),
+            pages_written_flush=sum(a.pages_written_flush for a in amps),
+            pages_written_compaction=sum(a.pages_written_compaction for a in amps),
+            pages_written_secondary_delete=sum(
+                a.pages_written_secondary_delete for a in amps
+            ),
+            pages_read_query=sum(a.pages_read_query for a in amps),
+            lookups=sum(a.lookups for a in amps),
+        )
+
+    def _merged_persistence(self, per: list[EngineStats]) -> PersistenceStats:
+        """Shard-global delete persistence: percentiles over the merged
+        latency population (each shard's latencies are durations in its
+        own clock domain, directly comparable)."""
+        stats = [st.persistence for st in per]
+        latencies = sorted(
+            latency
+            for shard in self.shards
+            if shard.tracker is not None
+            for latency in shard.tracker.latencies
+        )
+
+        def percentile(fraction: float) -> int | None:
+            if not latencies:
+                return None
+            index = min(len(latencies) - 1, max(0, round(fraction * len(latencies)) - 1))
+            return latencies[index]
+
+        ages = [s.oldest_pending_age for s in stats if s.oldest_pending_age is not None]
+        thresholds = [s.threshold for s in stats if s.threshold is not None]
+        return PersistenceStats(
+            registered=sum(s.registered for s in stats),
+            persisted=sum(s.persisted for s in stats),
+            superseded=sum(s.superseded for s in stats),
+            pending=sum(s.pending for s in stats),
+            max_latency=latencies[-1] if latencies else None,
+            mean_latency=(sum(latencies) / len(latencies)) if latencies else None,
+            p50_latency=percentile(0.50),
+            p99_latency=percentile(0.99),
+            violations=sum(s.violations for s in stats),
+            oldest_pending_age=max(ages) if ages else None,
+            threshold=min(thresholds) if thresholds else None,
+        )
+
+    def _shard_summaries(self, per: list[EngineStats]) -> list[dict]:
+        """The per-shard FADE/``D_th`` compliance rows (the ``shards``
+        section of :class:`EngineStats`)."""
+        rows = []
+        for index, (shard, st) in enumerate(zip(self.shards, per)):
+            lo, hi = self.partition_map.shard_range(index)
+            p = st.persistence
+            rows.append(
+                {
+                    "index": index,
+                    "directory": self._shard_dirs[index]
+                    if self.directory is not None
+                    else None,
+                    "range": describe_range(lo, hi),
+                    "tick": st.tick,
+                    "entries_on_disk": st.amplification.entries_on_disk,
+                    "tombstones_on_disk": st.amplification.tombstones_on_disk,
+                    "buffered_entries": len(shard.tree.memtable),
+                    "pages_read": st.io.pages_read,
+                    "pages_written": st.io.pages_written,
+                    "flush_count": st.flush_count,
+                    "compaction_count": st.compaction_count,
+                    "deletes_registered": p.registered,
+                    "deletes_pending": p.pending,
+                    "oldest_pending_age": p.oldest_pending_age,
+                    "violations": p.violations,
+                    "d_th": p.threshold,
+                    "compliant": p.compliant(),
+                }
+            )
+        return rows
+
+    def persistence_stats(self) -> PersistenceStats:
+        self._check_open()
+        return self._merged_persistence([shard.stats() for shard in self.shards])
+
+    def compliance_report(self) -> dict:
+        """The shard-global compliance audit: aggregate + per-shard rows."""
+        self._check_open()
+        per = [shard.compliance_report() for shard in self.shards]
+        aggregate = {
+            "tick": self.clock.now(),
+            "guarantee_ticks": self.config.delete_persistence_threshold,
+            "shard_count": len(self.shards),
+            "compliant": all(r["compliant"] for r in per),
+        }
+        for key in (
+            "deletes_registered",
+            "deletes_persisted",
+            "deletes_superseded",
+            "deletes_pending",
+            "deadline_violations",
+            "tombstones_on_disk",
+            "logically_dead_bytes_on_disk",
+        ):
+            aggregate[key] = sum(r[key] for r in per)
+        ages = [
+            r["oldest_pending_age"] for r in per if r["oldest_pending_age"] is not None
+        ]
+        aggregate["oldest_pending_age"] = max(ages) if ages else None
+        aggregate["shards"] = [
+            {"index": i, "range": describe_range(*self.partition_map.shard_range(i)), **r}
+            for i, r in enumerate(per)
+        ]
+        return aggregate
+
+    def verify_invariants(self) -> None:
+        """Per-shard tree invariants plus the routing invariant: every key
+        physically resident in a shard must route to that shard."""
+        self._check_open()
+        for index, shard in enumerate(self.shards):
+            shard.verify_invariants()
+            lo, hi = self.partition_map.shard_range(index)
+            for key in self._resident_key_probes(shard):
+                if (lo is not None and key < lo) or (hi is not None and key >= hi):
+                    raise InvariantViolationError(
+                        f"shard {index} {describe_range(lo, hi)} holds key {key!r} "
+                        "outside its assigned range"
+                    )
+
+    @staticmethod
+    def _resident_key_probes(shard: AcheronEngine) -> Iterator[Any]:
+        """Cheap coverage of a shard's resident key range: every buffered
+        key plus every file's min/max key (interval membership suffices)."""
+        tree = shard.tree
+        for entry in tree.memtable:
+            yield entry.key
+        for level in tree.iter_levels():
+            for run in level.runs:
+                for file in run.files:
+                    yield file.min_key
+                    yield file.max_key

@@ -1,0 +1,163 @@
+"""Bounded key-range extraction and purge: the mechanics of a shard split.
+
+A split hands the upper half of one shard's key range to a fresh shard.
+Two primitives implement it against a *quiesced* tree (the caller holds
+the write path inline -- see ``ShardedEngine.split_shard``):
+
+:func:`extract_live_range`
+    The *copy* side: resolve every visible put with ``key >= split_key``
+    (newest version wins, tombstones suppress) and return it as
+    ``(key, value, delete_key)`` triples ready for ``put_many`` on the
+    target shard.  Delete keys are preserved so KiWi secondary deletes
+    keep classifying the moved entries exactly as before the split.
+    Tombstones are *not* copied: the target receives only live data, so
+    its ``D_th`` ledger starts clean.
+
+:func:`purge_key_range`
+    The *handoff* side: a bounded key-range compaction of the source.
+    Every entry -- put, shadowed version, or tombstone -- with
+    ``key >= split_key`` is dropped; affected runs are rewritten in place
+    (levels preserved), the memtable is trimmed, and dropped tombstones
+    are reported to the lifecycle listener as *persisted*: the entire key
+    range leaves this shard for good, so every older version a tombstone
+    guarded is physically gone from it -- the per-shard ``D_th`` clock
+    stops, it does not migrate.
+
+Both primitives charge simulated I/O in the ``compaction`` category (a
+split *is* a compaction that writes its output elsewhere), and the purge
+follows the same crash discipline as every structural rewrite: files are
+swapped through ``on_file_added``/``on_file_removed`` and the caller
+persists the manifest once at the end, so a crash mid-purge recovers to
+the pre-purge structure and the (idempotent) purge is simply redone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.lsm.iterator import merge_resolve
+from repro.lsm.run import Run, build_files
+from repro.storage.disk import CATEGORY_COMPACTION, IOStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lsm.tree import LSMTree
+
+
+@dataclass
+class PurgeReport:
+    """What one bounded key-range purge removed from the source shard."""
+
+    split_key: Any
+    entries_dropped: int = 0
+    tombstones_dropped: int = 0
+    memtable_entries_dropped: int = 0
+    files_rewritten: int = 0
+    files_emptied: int = 0
+    io: IOStats = field(default_factory=IOStats)
+
+
+def extract_live_range(tree: "LSMTree", split_key: Any) -> list[tuple]:
+    """Resolved live ``(key, value, delete_key)`` triples with ``key >= split_key``.
+
+    Charges one read per page of every file whose key range reaches
+    ``split_key`` (the pages a real engine would stream through the merge).
+    The tree must be quiesced (no frozen memtables in flight).
+    """
+    sources = [[e for e in tree.memtable if e.key >= split_key]]
+    pages_to_read = 0
+    for level in tree.iter_levels():
+        for run in level.runs:
+            for file in run.files:
+                if file.max_key is not None and file.max_key >= split_key:
+                    pages_to_read += file.page_count
+                    sources.append(
+                        [e for e in file.iter_all_entries() if e.key >= split_key]
+                    )
+    if pages_to_read:
+        tree.disk.read_pages(pages_to_read, CATEGORY_COMPACTION)
+    return [
+        (e.key, e.value, e.delete_key)
+        for e in merge_resolve([s for s in sources if s])
+        if e.is_put
+    ]
+
+
+def purge_key_range(tree: "LSMTree", split_key: Any) -> PurgeReport:
+    """Drop every entry with ``key >= split_key`` from ``tree`` (idempotent).
+
+    The caller persists the manifest / WAL afterwards (see module
+    docstring); this function only restructures the in-memory tree and
+    charges I/O.
+    """
+    report = PurgeReport(split_key=split_key)
+    before = tree.disk.snapshot()
+    now = tree.clock.now()
+    listener = tree.listener
+
+    # -- lifecycle: resolve the doomed range once, like a compaction ----
+    # Every version of every key >= split_key leaves this shard, so the
+    # winning tombstone of each doomed key is *persisted* (nothing it
+    # guards survives here) and shadowed tombstones are *superseded* --
+    # exactly the classification a merge of these sources would emit.
+    doomed_sources: list[list] = [[e for e in tree.memtable if e.key >= split_key]]
+    for level in tree.iter_levels():
+        for run in level.runs:
+            if run.max_key is not None and run.max_key >= split_key:
+                doomed_sources.append(
+                    [e for e in run.iter_all_entries() if e.key >= split_key]
+                )
+
+    def on_shadowed(loser: Any, winner: Any) -> None:
+        if loser.is_tombstone:
+            report.tombstones_dropped += 1
+            if listener is not None:
+                listener.tombstone_superseded(loser, now)
+
+    for entry in merge_resolve([s for s in doomed_sources if s], on_shadowed):
+        if entry.is_tombstone:
+            report.tombstones_dropped += 1
+            if listener is not None:
+                listener.tombstone_persisted(entry, now)
+
+    # -- memtable: pure in-memory trim (mirrors the KiWi memtable path) --
+    doomed = [e.key for e in tree.memtable if e.key >= split_key]
+    for key in doomed:
+        tree.memtable._map.remove(key)  # noqa: SLF001 - core module, by design
+    report.memtable_entries_dropped = len(doomed)
+
+    # -- on-disk runs: bounded rewrite of every run reaching the range --
+    for level in tree.iter_levels():
+        for run in list(level.runs):
+            if run.max_key is None or run.max_key < split_key:
+                continue
+            tree.disk.read_pages(run.page_count, CATEGORY_COMPACTION)
+            survivors = []
+            dropped_here = 0
+            for entry in run.iter_all_entries():
+                if entry.key < split_key:
+                    survivors.append(entry)
+                else:
+                    dropped_here += 1
+            if dropped_here == 0:
+                continue
+            report.entries_dropped += dropped_here
+            for file in run.files:
+                tree.cache.invalidate_file(file.file_id)
+                tree.on_file_removed(file, level.index)
+            if survivors:
+                new_files = build_files(
+                    survivors, tree.config, tree.file_ids, now, level=level.index
+                )
+                pages = sum(f.page_count for f in new_files)
+                tree.disk.write_pages(pages, CATEGORY_COMPACTION)
+                report.files_rewritten += len(new_files)
+                for file in new_files:
+                    tree.on_file_added(file, level.index)
+                level.replace_run(run, Run(new_files))
+            else:
+                report.files_emptied += len(run.files)
+                level.replace_run(run, None)
+
+    report.io = tree.disk.delta_since(before)
+    return report

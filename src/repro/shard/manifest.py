@@ -1,0 +1,94 @@
+"""The shard root manifest: topology + in-flight intents, durably.
+
+A sharded store is a root directory holding one subdirectory per shard
+(each an ordinary durable tree the single-tree tooling understands) plus a
+root-level ``SHARDS.json`` recording the topology:
+
+``boundaries`` / ``shard_dirs``
+    The partition map and the index-aligned shard directory names.
+
+``pending_fanout``
+    The intent record of an in-flight cross-shard secondary delete.  It is
+    published *before* the first shard applies the delete and cleared only
+    after the last shard finishes, so a crash anywhere in between leaves a
+    durable to-do that recovery replays to completion -- the fan-out is
+    all-or-nothing as observed by any post-recovery reader.  (Secondary
+    delete application is idempotent, so replaying an already-finished
+    fan-out is harmless.)
+
+``pending_split``
+    The staged intent of an in-flight shard split (see
+    ``ShardedEngine.split_shard`` for the two-stage protocol).
+
+:class:`ShardRootStore` reuses the single-tree :class:`FileStore`
+publication machinery -- fsync-then-rename discipline, the epoch + CRC
+integrity envelope, bounded transient-error retry, and the ``MANIFEST_*``
+fault points -- by overriding only the manifest filename, so the root
+document inherits every durability property (and every crash-matrix
+surface) the per-tree manifests already have.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import CorruptionError
+from repro.shard.partition import PartitionMap
+from repro.storage.filestore import FileStore
+
+#: The root manifest filename; its presence is what marks a directory as a
+#: sharded store root (``doctor``/CLI dispatch on it).
+SHARD_MANIFEST_NAME = "SHARDS.json"
+
+#: Schema version of the root manifest.
+SHARD_LAYOUT_VERSION = 1
+
+
+def shard_dir_name(shard_id: int) -> str:
+    return f"shard-{shard_id:02d}"
+
+
+def is_sharded_root(directory: str | Path) -> bool:
+    """True when ``directory`` is (or was) a sharded store root."""
+    return (Path(directory) / SHARD_MANIFEST_NAME).exists()
+
+
+class ShardRootStore(FileStore):
+    """A :class:`FileStore` whose manifest is the root ``SHARDS.json``.
+
+    Only the manifest machinery is used at the root (shards keep their own
+    sstables and WALs in their subdirectories); inheriting the rest costs
+    nothing and keeps ``clean_temp_files`` sweeping interrupted root
+    publications.
+    """
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / SHARD_MANIFEST_NAME
+
+
+def validate_layout(layout: dict) -> PartitionMap:
+    """Structural validation of a root manifest; returns its partition map.
+
+    Raises :class:`CorruptionError` on a malformed document (the CRC
+    envelope already rules out bit rot, so a failure here means a foreign
+    or half-designed file).
+    """
+    for key in ("shard_layout", "boundaries", "shard_dirs"):
+        if key not in layout:
+            raise CorruptionError(f"shard manifest missing field {key!r}")
+    version = layout["shard_layout"]
+    if not isinstance(version, int) or version > SHARD_LAYOUT_VERSION or version < 1:
+        raise CorruptionError(f"unsupported shard layout version {version!r}")
+    dirs = layout["shard_dirs"]
+    boundaries = layout["boundaries"]
+    if not isinstance(dirs, list) or not dirs:
+        raise CorruptionError("shard manifest lists no shard directories")
+    if not isinstance(boundaries, list) or len(boundaries) != len(dirs) - 1:
+        raise CorruptionError(
+            f"shard manifest has {len(boundaries)} boundaries for "
+            f"{len(dirs)} shards (want shards - 1)"
+        )
+    if len(set(dirs)) != len(dirs):
+        raise CorruptionError("shard manifest repeats a shard directory")
+    return PartitionMap(boundaries)

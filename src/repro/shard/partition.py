@@ -1,0 +1,140 @@
+"""Range partitioning: the map from key to shard.
+
+A :class:`PartitionMap` divides the total key order into ``N`` contiguous,
+disjoint ranges using ``N - 1`` interior *boundary keys*.  Shard ``i`` owns
+the half-open range ``[boundary[i-1], boundary[i])`` with the first shard
+unbounded below and the last unbounded above, so **every** key routes
+somewhere -- there is no "unassigned" key, and routing is a single
+``bisect`` over the (usually tiny) boundary list.
+
+Boundaries are ordinary keys, so anything the engine can sort can be
+partitioned (the durable layer additionally requires boundaries to be
+JSON-serializable, which holds for the int and string keys the workloads
+use).  All keys in one map must be mutually comparable -- mixing ints and
+strings raises ``TypeError`` from the comparison itself, exactly like
+feeding such keys to a single tree would.
+
+Splitting a shard inserts one new boundary strictly inside its range; the
+resulting map is what the rebalancer publishes (see
+:mod:`repro.shard.engine` for the staged handoff protocol).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Iterator, Sequence
+
+from repro.errors import ConfigError
+
+
+class PartitionMap:
+    """An immutable sorted-boundary router over ``len(boundaries) + 1`` shards."""
+
+    __slots__ = ("_boundaries",)
+
+    def __init__(self, boundaries: Sequence[Any] = ()) -> None:
+        bounds = list(boundaries)
+        for left, right in zip(bounds, bounds[1:]):
+            if not left < right:
+                raise ConfigError(
+                    f"partition boundaries must be strictly increasing: "
+                    f"{left!r} !< {right!r}"
+                )
+        self._boundaries = tuple(bounds)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, shards: int, lo: int = 0, hi: int = 1 << 20) -> "PartitionMap":
+        """Evenly spaced integer boundaries for ``shards`` shards over
+        ``[lo, hi)`` -- the default layout for the integer-keyed workloads.
+        Keys outside ``[lo, hi)`` still route (to the edge shards)."""
+        if shards < 1:
+            raise ConfigError(f"shard count must be >= 1, got {shards}")
+        if shards > 1 and hi - lo < shards:
+            raise ConfigError(
+                f"key space [{lo}, {hi}) too small for {shards} shards"
+            )
+        step = (hi - lo) / shards
+        return cls([lo + round(step * i) for i in range(1, shards)])
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return len(self._boundaries) + 1
+
+    @property
+    def boundaries(self) -> tuple:
+        return self._boundaries
+
+    def shard_for(self, key: Any) -> int:
+        """The index of the shard owning ``key`` (total: never misses)."""
+        return bisect_right(self._boundaries, key)
+
+    def shard_range(self, index: int) -> tuple[Any, Any]:
+        """``(lo, hi)`` of shard ``index``: inclusive lo, exclusive hi,
+        ``None`` for an unbounded end."""
+        if not 0 <= index < self.shards:
+            raise IndexError(f"shard index {index} out of range 0..{self.shards - 1}")
+        lo = self._boundaries[index - 1] if index > 0 else None
+        hi = self._boundaries[index] if index < len(self._boundaries) else None
+        return lo, hi
+
+    def overlapping(self, lo: Any, hi: Any) -> Iterator[int]:
+        """Shard indices whose range intersects the inclusive ``[lo, hi]``,
+        in key order (the order a forward cross-shard scan visits them)."""
+        if lo > hi:
+            return iter(())
+        return iter(range(self.shard_for(lo), self.shard_for(hi) + 1))
+
+    # ------------------------------------------------------------------
+    # rebalancing
+    # ------------------------------------------------------------------
+    def split(self, index: int, split_key: Any) -> "PartitionMap":
+        """The map after splitting shard ``index`` at ``split_key``.
+
+        The old shard keeps ``[lo, split_key)``; the new shard (inserted at
+        ``index + 1``) takes ``[split_key, hi)``.  ``split_key`` must lie
+        strictly inside the shard's current range so neither half is empty
+        *by construction*.
+        """
+        lo, hi = self.shard_range(index)
+        if (lo is not None and not lo < split_key) or (
+            hi is not None and not split_key < hi
+        ):
+            raise ConfigError(
+                f"split key {split_key!r} not strictly inside shard {index}'s "
+                f"range [{lo!r}, {hi!r})"
+            )
+        bounds = list(self._boundaries)
+        bounds.insert(index, split_key)
+        return PartitionMap(bounds)
+
+    # ------------------------------------------------------------------
+    # serialization / dunder
+    # ------------------------------------------------------------------
+    def to_list(self) -> list:
+        return list(self._boundaries)
+
+    @classmethod
+    def from_list(cls, boundaries: Sequence[Any]) -> "PartitionMap":
+        return cls(boundaries)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PartitionMap) and self._boundaries == other._boundaries
+
+    def __hash__(self) -> int:
+        return hash(self._boundaries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PartitionMap(boundaries={list(self._boundaries)!r})"
+
+
+def describe_range(lo: Any, hi: Any) -> str:
+    """Human-readable ``[lo, hi)`` with unbounded ends rendered as ``-inf``/``+inf``."""
+    left = "-inf" if lo is None else repr(lo)
+    right = "+inf" if hi is None else repr(hi)
+    return f"[{left}, {right})"

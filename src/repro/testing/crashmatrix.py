@@ -63,9 +63,17 @@ CRASH_EXCEPTIONS = (SimulatedCrash, StorageError, OSError)
 #: background workers, so flush/compaction fault points fire on *worker
 #: threads* and must surface as a background error on the next
 #: acknowledged operation (the RocksDB ``bg_error`` discipline) -- then
-#: recover exactly like a serial crash.  Appended last so the classic
-#: rows keep their combo indices (and therefore their derived seeds).
-OPERATIONS = ("ingest", "flush", "compaction", "range_delete", "restart", "concurrent")
+#: recover exactly like a serial crash.  ``shard_fanout`` and
+#: ``shard_split`` are the sharded rows: a two-shard store crashes mid
+#: cross-shard secondary-delete fan-out (recovery must make it
+#: all-or-nothing via the root-manifest intent) or mid shard split
+#: (recovery must resume the staged copy/purge protocol with zero loss).
+#: New rows are appended last so earlier rows keep their combo indices
+#: (and therefore their derived seeds).
+OPERATIONS = (
+    "ingest", "flush", "compaction", "range_delete", "restart", "concurrent",
+    "shard_fanout", "shard_split",
+)
 
 #: Worker count for the ``concurrent`` operation's engine.
 CONCURRENT_WORKERS = 2
@@ -303,6 +311,226 @@ _SCENARIOS: dict[str, Callable[[_Ctx], None]] = {
 
 
 # ---------------------------------------------------------------------------
+# sharded rows: fan-out atomicity and split recovery under faults
+# ---------------------------------------------------------------------------
+#: The two-shard boundary for the sharded rows: the seed keys k0000..k0119
+#: straddle it, so both shards hold data, tombstones, and delete keys.
+SHARD_BOUNDARY = _key(60)
+
+
+def _open_sharded(directory: str, faults: FaultInjector | None = None):
+    """The matrix's sharded engine: two shards, wal_sync, serial trees
+    (faults force workers=1 per shard, keeping fault ordering exact)."""
+    from repro.shard import ShardedEngine, is_sharded_root
+
+    existing = is_sharded_root(directory)
+    return ShardedEngine(
+        None if existing else _matrix_config(),
+        directory=directory,
+        boundaries=None if existing else [SHARD_BOUNDARY],
+        wal_sync=True,
+        faults=faults,
+    )
+
+
+class _ShardDriver(Driver):
+    """The ack model against a sharded engine: ticks are *per shard* --
+    an entry's write time (and default delete key) comes from the clock
+    of the shard that owns its key, not the global maximum."""
+
+    def put(self, key: str, value: str) -> None:
+        tick = self.engine.shard_for(key).clock.now()
+        prev = self.model.view(key)
+        try:
+            self.engine.put(key, value)
+        except BaseException:
+            self.model.uncertain[key] = (value, prev)
+            raise
+        self.model.commit_put(key, value, tick)
+
+    def delete(self, key: str) -> None:
+        tick = self.engine.shard_for(key).clock.now()
+        prev = self.model.view(key)
+        self.model.issued_delete_ticks.add(tick)
+        try:
+            self.engine.delete(key)
+        except BaseException:
+            self.model.uncertain[key] = (None, prev)
+            raise
+        self.model.commit_delete(key, tick)
+
+
+def _abandon_sharded(engine) -> None:
+    """Process death for a sharded engine: abandon every shard tree."""
+    for shard in engine.shards:
+        _abandon(shard)
+    engine._closed = True  # noqa: SLF001 - defensive: the object is dead
+
+
+def _run_shard_combo(
+    result: ComboResult, operation: str, point: str, kind: str, seed: int, workdir: str
+) -> None:
+    """One sharded combo: seed a two-shard store, arm the fault, crash the
+    cross-shard operation, reopen, and verify the shard-global contract.
+
+    Beyond the single-tree contract, recovery must make the fan-out
+    **all-or-nothing across shards** (the in-flight secondary delete's
+    victims are all gone or all present -- never a half-applied split
+    brain) and a split must preserve every acknowledged write and every
+    shard's ``D_th`` metadata while the staged copy/purge protocol
+    resumes.
+    """
+    injector = FaultInjector(seed=seed)
+    model = AckModel()
+    engine = _open_sharded(workdir, faults=injector)
+    driver = _ShardDriver(engine, model)
+    _seed_shards(driver, engine)
+
+    arm_kwargs: dict[str, int] = {}
+    if kind in (fp.IO_ERROR, fp.ENOSPC):
+        arm_kwargs["times"] = min(2, fp.RETRY_ATTEMPTS - 1)
+    injector.arm(point, kind, **arm_kwargs)
+
+    try:
+        if operation == "shard_fanout":
+            # The window covers first-version delete keys on *both* shards
+            # (shard-0 ticks 8..40 and shard-1 ticks 8..35) but no
+            # overwrite's tick: a secondary delete drops value entries
+            # physically, so a window over an overwrite would -- by the
+            # documented KiWi semantics -- resurface the out-of-window
+            # older version beneath it, which the ack model does not track.
+            driver.delete_range(8, 40)
+        else:
+            engine.split_shard(0)
+    except CRASH_EXCEPTIONS:
+        result.crashed = True
+    if not result.crashed:
+        if kind == fp.BITFLIP and injector.fired_count(point):
+            _abandon_sharded(engine)
+        else:
+            try:
+                engine.close()
+            except CRASH_EXCEPTIONS:
+                result.crashed = True
+    if result.crashed:
+        _abandon_sharded(engine)
+    result.triggered = injector.fired_count(point) > 0
+
+    if kind in (fp.IO_ERROR, fp.ENOSPC) and result.crashed:
+        result.errors.append(
+            "transient fault escaped the bounded retry (operation should have completed)"
+        )
+    if kind == fp.FSYNC_DROP and result.crashed:
+        result.errors.append("a dropped fsync must have no observable effect")
+
+    if kind == fp.BITFLIP and result.triggered:
+        result.errors.extend(_verify_shard_bitflip(workdir, model))
+    else:
+        result.errors.extend(_verify_shard_recovery(workdir, model))
+
+
+def _seed_shards(driver: _ShardDriver, engine) -> None:
+    """The classic seed workload, straddling the shard boundary."""
+    for i in range(96):
+        driver.put(_key(i), _value(i, 0))
+    for i in range(0, 96, 6):
+        driver.delete(_key(i))
+    engine.flush()
+    for i in range(96, 120):
+        driver.put(_key(i), _value(i, 1))
+    for i in range(3, 48, 9):
+        driver.delete(_key(i))
+    for i in range(1, 96, 7):
+        driver.put(_key(i), _value(i, 2))
+
+
+def _verify_fanout_atomicity(engine, model: AckModel, errors: list[str]) -> None:
+    """The in-flight fan-out's victims must be all present or all absent."""
+    assert model.range_uncertain is not None
+    lo, hi = model.range_uncertain
+    members = {
+        key: value
+        for key, (value, dk) in model.live.items()
+        if lo <= dk <= hi and key not in model.uncertain
+    }
+    observed = {key: engine.get(key) for key in sorted(members)}
+    present = [key for key, value in observed.items() if value is not None]
+    absent = [key for key, value in observed.items() if value is None]
+    if present and absent:
+        errors.append(
+            f"half-applied secondary-delete fan-out after recovery: "
+            f"{len(absent)} in-window keys gone but {len(present)} still "
+            f"present (e.g. {present[:3]})"
+        )
+
+
+def _verify_shard_recovery(directory: str, model: AckModel) -> list[str]:
+    """Reopen the crashed sharded store cleanly; full contract + atomicity."""
+    errors: list[str] = []
+    report = diagnose_store(directory)
+    if not report.healthy:
+        errors.append(f"crashed store fails diagnosis before recovery: {report.errors}")
+    try:
+        engine = _open_sharded(directory)
+    except Exception as exc:  # noqa: BLE001 - any failure to reopen is a finding
+        errors.append(f"sharded recovery open failed: {type(exc).__name__}: {exc}")
+        return errors
+    try:
+        if engine.degraded:
+            errors.append("sharded recovery degraded unexpectedly")
+        _verify_data(engine, model, errors)
+        if model.range_uncertain is not None:
+            _verify_fanout_atomicity(engine, model, errors)
+        for index, shard in enumerate(engine.shards):
+            before = len(errors)
+            _verify_tombstone_metadata(shard, model, errors)
+            for slot in range(before, len(errors)):
+                errors[slot] = f"shard {index}: {errors[slot]}"
+        try:
+            engine.verify_invariants()
+        except InvariantViolationError as exc:
+            errors.append(f"recovered sharded store fails invariants: {exc}")
+    finally:
+        try:
+            engine.close()
+        except Exception as exc:  # noqa: BLE001
+            errors.append(f"close after recovery failed: {type(exc).__name__}: {exc}")
+    for name, check in (("diagnose", diagnose_store), ("scrub", scrub_store)):
+        post = check(directory)
+        if not post.healthy:
+            errors.append(f"store fails {name} after recovery: {post.errors}")
+    return errors
+
+
+def _verify_shard_bitflip(directory: str, model: AckModel) -> list[str]:
+    """A flipped bit anywhere -- a shard's files or the root manifest --
+    must be detected by the strict reopen or the (shard-iterating) scrub,
+    never silently served."""
+    errors: list[str] = []
+    scrub = scrub_store(directory)
+    try:
+        engine = _open_sharded(directory)
+    except CorruptionError:
+        if scrub.healthy:
+            errors.append("strict open detected corruption but `doctor scrub` did not")
+        return errors
+    # Strict open succeeded: the flipped bytes are no longer referenced.
+    # Nothing corrupt may be served -- the full contract applies.
+    try:
+        _verify_data(engine, model, errors)
+        if model.range_uncertain is not None:
+            _verify_fanout_atomicity(engine, model, errors)
+    finally:
+        engine.close()
+    post = scrub_store(directory)
+    if not post.healthy:
+        errors.append(
+            f"store serves reads yet fails scrub after recovery: {post.errors}"
+        )
+    return errors
+
+
+# ---------------------------------------------------------------------------
 # combo enumeration
 # ---------------------------------------------------------------------------
 def iter_combos(quick: bool = False) -> Iterator[tuple[str, str, str]]:
@@ -370,6 +598,12 @@ def run_combo(operation: str, point: str, kind: str, seed: int, base_dir: str) -
     result = ComboResult(operation=operation, point=point, kind=kind)
     workdir = tempfile.mkdtemp(prefix=f"{operation}-{kind}-", dir=base_dir)
     result.directory = workdir
+    if operation.startswith("shard_"):
+        _run_shard_combo(result, operation, point, kind, seed, workdir)
+        if result.ok:
+            shutil.rmtree(workdir, ignore_errors=True)
+            result.directory = None
+        return result
     injector = FaultInjector(seed=seed)
     model = AckModel()
     engine = _open_engine(

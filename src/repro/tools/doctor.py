@@ -77,7 +77,17 @@ class DoctorReport:
 
 
 def diagnose_store(directory: str | Path) -> DoctorReport:
-    """Run every integrity check against ``directory`` (read-only)."""
+    """Run every integrity check against ``directory`` (read-only).
+
+    A sharded root (marked by ``SHARDS.json``) is diagnosed shard by
+    shard: the root manifest is validated first, then every shard
+    directory gets the full single-tree diagnosis, findings merged under
+    a ``shard-NN:`` prefix.
+    """
+    from repro.shard.manifest import is_sharded_root
+
+    if is_sharded_root(directory):
+        return _check_sharded(directory, diagnose_store, "diagnose")
     report = DoctorReport(directory=str(directory))
     store = FileStore(directory)
 
@@ -358,8 +368,14 @@ def scrub_store(directory: str | Path) -> DoctorReport:
     Read-only.  Unlike :func:`diagnose_store` this walks *all* files in
     the directory (a corrupt orphan is still worth reporting: it may be
     the only copy of a crashed flush) and verifies the embedded
-    whole-file checksums rather than decoding entries.
+    whole-file checksums rather than decoding entries.  A sharded root
+    iterates every shard directory, so one scrub pass covers the whole
+    deployment.
     """
+    from repro.shard.manifest import is_sharded_root
+
+    if is_sharded_root(directory):
+        return _check_sharded(directory, scrub_store, "scrub")
     report = DoctorReport(directory=str(directory))
     store = FileStore(directory)
 
@@ -409,6 +425,121 @@ def scrub_store(directory: str | Path) -> DoctorReport:
         report.error(f"WAL corrupt before its tail: {exc}")
     else:
         report.passed(f"WAL replays ({len(entries)} buffered entries)")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# sharded stores
+# ---------------------------------------------------------------------------
+def _check_sharded(directory: str | Path, per_shard, verb: str) -> DoctorReport:
+    """Validate a sharded root, then run ``per_shard`` on every shard
+    directory, merging findings under a per-shard prefix."""
+    from repro.shard.manifest import ShardRootStore, validate_layout
+
+    report = DoctorReport(directory=str(directory))
+    store = ShardRootStore(directory)
+    try:
+        layout = store.read_manifest()
+    except CorruptionError as exc:
+        report.error(f"shard manifest fails verification: {exc}")
+        return report
+    if layout is None:  # pragma: no cover - is_sharded_root gates entry
+        report.error("no shard manifest: not an initialized sharded store")
+        return report
+    try:
+        pmap = validate_layout(layout)
+    except CorruptionError as exc:
+        report.error(f"shard manifest malformed: {exc}")
+        return report
+    dirs = [str(name) for name in layout["shard_dirs"]]
+    report.passed(f"shard manifest valid ({pmap.shards} shards)")
+    report.stats["shards"] = pmap.shards
+    if layout.get("pending_fanout"):
+        f = layout["pending_fanout"]
+        report.warn(
+            f"interrupted secondary-delete fan-out dkey=[{f['lo']}, {f['hi']}] "
+            "pending (a writable open will replay it)"
+        )
+    if layout.get("pending_split"):
+        s = layout["pending_split"]
+        report.warn(
+            f"interrupted shard split (stage {s['stage']!r}, shard "
+            f"{s['source']}) pending (a writable open will resume it)"
+        )
+
+    for name in dirs:
+        shard_dir = Path(directory) / name
+        if not shard_dir.is_dir():
+            if layout.get("pending_split") and name == layout["pending_split"].get(
+                "new_dir"
+            ):
+                # Stage-"copy" crash window: the target never became part
+                # of the map, and recovery recreates it from scratch.
+                report.warn(f"{name}: directory missing (mid-copy split target)")
+            else:
+                report.error(f"{name}: shard directory missing")
+            continue
+        sub = per_shard(shard_dir)
+        for message in sub.checks_passed:
+            report.passed(f"{name}: {message}")
+        for message in sub.warnings:
+            report.warn(f"{name}: {message}")
+        for message in sub.errors:
+            report.error(f"{name}: {message}")
+        for key, value in sub.stats.items():
+            report.stats[f"{name}.{key}"] = value
+    report.passed(f"{verb} covered {len(dirs)} shard directories")
+    return report
+
+
+def examine_shards(engine: Any, name: str = "sharded-engine") -> DoctorReport:
+    """Shard-level health of a *live* sharded engine.
+
+    The sharding sibling of :func:`examine_read_path`: it surfaces the
+    per-shard breakdown (range, size, FADE/``D_th`` compliance) in
+    ``report.stats`` and warns on the operational symptoms a shard layer
+    introduces: a ``D_th`` violation on any shard, heavy size skew (the
+    rebalancer's trigger condition persisting), and empty shards.
+    Advisory only, except ``D_th`` violations, which are errors -- they
+    break the paper's headline contract.
+    """
+    report = DoctorReport(directory=name)
+    stats = engine.stats()
+    rows = stats.shards or []
+    report.stats["shards"] = rows
+    if not rows:
+        report.warn("engine reports no shards")
+        return report
+    report.passed(f"{len(rows)} shards reporting")
+
+    violators = [r for r in rows if not r["compliant"]]
+    if violators:
+        for r in violators:
+            report.error(
+                f"shard {r['index']} {r['range']}: D_th violated "
+                f"({r['violations']} violations, oldest pending age "
+                f"{r['oldest_pending_age']})"
+            )
+    else:
+        report.passed("per-shard D_th compliance holds on every shard")
+
+    sizes = [r["entries_on_disk"] + r["buffered_entries"] for r in rows]
+    total = sum(sizes)
+    if total:
+        mean = total / len(sizes)
+        worst = max(range(len(sizes)), key=sizes.__getitem__)
+        skew = sizes[worst] / mean if mean else 0.0
+        report.stats["size_skew"] = round(skew, 2)
+        if skew > 2.0:
+            report.warn(
+                f"size skew {skew:.1f}x: shard {rows[worst]['index']} holds "
+                f"{sizes[worst]} of {total} entries (rebalance() would split it)"
+            )
+        else:
+            report.passed(f"size skew {skew:.1f}x within the 2.0x rebalance threshold")
+        empties = [r["index"] for r, size in zip(rows, sizes) if size == 0]
+        if empties:
+            report.warn(f"empty shard(s): {empties}")
     return report
 
 

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, TYPE_CHECKING
 
+from repro.errors import WorkloadError
 from repro.workload.spec import Operation, OpKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -88,16 +89,35 @@ def run_workload(
 
     ``writers``: when set (>= 2), consecutive *ingest* operations (any mix
     of insert/update/point-delete) are replayed by this many concurrent
-    writer threads, sharded by key hash so every key's operations stay on
-    one thread in stream order -- final engine contents match the serial
-    replay exactly.  Non-ingest operations act as barriers (the pool
+    writer threads, partitioned so every key's operations stay on one
+    thread in stream order -- final engine contents match the serial
+    replay exactly.  Against a :class:`~repro.shard.engine.ShardedEngine`
+    the pool is *shard-affine*: keys route by the engine's partition map
+    (``shard_for(key) % writers``), so each shard tree is only ever
+    touched by one writer thread and the replay is safe even when the
+    per-shard trees run serial write paths.  Single-tree engines shard by
+    key hash instead.  Non-ingest operations act as barriers (the pool
     drains, the op runs on the calling thread).  Meant for engines opened
-    with ``workers > 1``; see :func:`_run_multi` for the I/O attribution
-    caveat.  Takes precedence over ``ingest_batch``.
+    with ``workers > 1`` (or sharded engines); a *serial* single-tree
+    engine is replayed sequentially -- per-key order still holds, so
+    contents are identical, only the concurrency is gone.  Exception:
+    a **fault-injected** engine is refused with :class:`WorkloadError`
+    rather than silently degraded -- fault schedules are visit-ordered,
+    so a silently serial (or thread-racing) replay would fire them at
+    different points than the caller armed them for.  Takes precedence
+    over ``ingest_batch``.
     """
     result = WorkloadResult()
     started = time.perf_counter()
     if writers is not None and writers >= 2:
+        if getattr(engine, "faults", None) is not None:
+            raise WorkloadError(
+                f"run_workload(writers={writers}) refused: the engine is "
+                "fault-injected, and multi-writer replay would reorder "
+                "fault-point visits (or silently fall back to serial on a "
+                "serial tree).  Replay fault-injected engines with "
+                "writers=None."
+            )
         _run_multi(engine, operations, secondary_delete_window, writers, result)
     elif ingest_batch is not None and ingest_batch >= 2:
         _run_batched(engine, operations, secondary_delete_window, ingest_batch, result)
@@ -177,12 +197,13 @@ def _run_multi(
 ) -> None:
     """Replay with ``writers`` concurrent ingest threads.
 
-    Consecutive ingest operations form a chunk; each chunk is sharded by
-    key hash across ``writers`` threads, so all operations on one key
-    stay on one thread in stream order and last-writer-wins outcomes
-    match the serial replay exactly.  Non-ingest operations are
-    barriers: the pool joins, the op runs on the calling thread, then
-    the next chunk begins.
+    Consecutive ingest operations form a chunk; each chunk is partitioned
+    across ``writers`` threads -- shard-affine for sharded engines (the
+    partition map decides, so one shard tree never sees two threads), by
+    key hash otherwise -- so all operations on one key stay on one thread
+    in stream order and last-writer-wins outcomes match the serial replay
+    exactly.  Non-ingest operations are barriers: the pool joins, the op
+    runs on the calling thread, then the next chunk begins.
 
     I/O attribution is *pooled per chunk*: with background flushes and
     compactions overlapping many writers there is no per-op device
@@ -197,6 +218,19 @@ def _run_multi(
     import threading
 
     pending: list[Operation] = []
+    partition_map = getattr(engine, "partition_map", None)
+    if partition_map is not None:
+        route = lambda key: partition_map.shard_for(key) % writers  # noqa: E731
+    else:
+        route = lambda key: hash(key) % writers  # noqa: E731
+    # A serial single-tree write path is not thread-safe; such engines
+    # are replayed sequentially (documented in run_workload).  Sharded
+    # engines always run threaded: shard-affinity guarantees each shard
+    # tree is owned by exactly one thread, serial write path or not.
+    tree = getattr(engine, "tree", None)
+    threaded = partition_map is not None or (
+        tree is not None and tree.write_path is not None
+    )
 
     def drain() -> None:
         if not pending:
@@ -205,9 +239,9 @@ def _run_multi(
         counts: dict[OpKind, int] = {}
         for op in pending:
             if op.kind is OpKind.POINT_DELETE:
-                shards[hash(op.key) % writers].append(("delete", op.key))
+                shards[route(op.key)].append(("delete", op.key))
             else:
-                shards[hash(op.key) % writers].append(("put", op.key, op.value))
+                shards[route(op.key)].append(("put", op.key, op.value))
             counts[op.kind] = counts.get(op.kind, 0) + 1
         stats = engine.disk.stats
         before_read = stats.pages_read
@@ -221,7 +255,7 @@ def _run_multi(
             except BaseException as exc:  # surfaced to the caller below
                 errors.append(exc)
 
-        if engine.tree.write_path is None:
+        if not threaded:
             # Serial tree: its write path is not thread-safe, so apply
             # the shards sequentially.  Per-key order still holds (each
             # key lives in exactly one shard), so final contents match.

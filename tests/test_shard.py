@@ -1,0 +1,622 @@
+"""The sharded engine: partition map, routing, cross-shard scans,
+fan-out atomicity, shard splits, aggregated observability, and the
+doctor/CLI/runner integration.
+
+The contract under test: range partitioning must never change *what* the
+engine stores, only *where* -- every logical-contents assertion compares
+a sharded engine against the single-tree answer -- and the shard-global
+delete fan-out must be all-or-nothing across crashes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import acheron_config, baseline_config
+from repro.core.engine import AcheronEngine
+from repro.errors import AcheronError, ConfigError, WorkloadError
+from repro.shard import (
+    PartitionMap,
+    ShardedEngine,
+    default_shards,
+    describe_range,
+    is_sharded_root,
+    shard_dir_name,
+    validate_layout,
+)
+from repro.storage.faults import FaultInjector
+from repro.tools.doctor import diagnose_store, scrub_store
+from repro.workload.runner import run_workload
+from repro.workload.spec import Operation, OpKind
+
+from conftest import TINY
+
+BIG = 10**9
+KEY_SPACE = (0, 1_000)
+
+
+def make_sharded(shards=2, directory=None, engine="baseline", **overrides):
+    params = dict(TINY)
+    workers = overrides.pop("workers", None)
+    boundaries = overrides.pop("boundaries", None)
+    wal_sync = overrides.pop("wal_sync", False)
+    if engine == "acheron":
+        d_th = overrides.pop("delete_persistence_threshold", 1_000)
+        params.setdefault("pages_per_tile", 4)
+        params.update(overrides)
+        cfg = acheron_config(delete_persistence_threshold=d_th, **params)
+    else:
+        params.update(overrides)
+        cfg = baseline_config(**params)
+    return ShardedEngine(
+        cfg,
+        directory=directory,
+        shards=shards,
+        boundaries=boundaries,
+        key_space=KEY_SPACE,
+        wal_sync=wal_sync,
+    )
+
+
+def contents(engine) -> list[tuple]:
+    return list(engine.scan(-BIG, BIG))
+
+
+# ---------------------------------------------------------------------------
+# the partition map
+# ---------------------------------------------------------------------------
+class TestPartitionMap:
+    def test_uniform_covers_the_keyspace(self):
+        pmap = PartitionMap.uniform(4, lo=0, hi=400)
+        assert pmap.shards == 4
+        assert pmap.to_list() == [100, 200, 300]
+        lo0, hi0 = pmap.shard_range(0)
+        assert lo0 is None and hi0 == 100
+        lo3, hi3 = pmap.shard_range(3)
+        assert lo3 == 300 and hi3 is None
+
+    def test_boundary_key_belongs_to_the_right_shard(self):
+        # Half-open ranges: a boundary is the inclusive lo of the shard
+        # to its right.
+        pmap = PartitionMap([100, 200])
+        assert pmap.shard_for(99) == 0
+        assert pmap.shard_for(100) == 1
+        assert pmap.shard_for(199) == 1
+        assert pmap.shard_for(200) == 2
+
+    def test_single_shard_has_no_boundaries(self):
+        pmap = PartitionMap.uniform(1)
+        assert pmap.to_list() == []
+        assert pmap.shard_for(-BIG) == 0 and pmap.shard_for(BIG) == 0
+
+    def test_overlapping(self):
+        pmap = PartitionMap([100, 200, 300])
+        assert list(pmap.overlapping(0, 50)) == [0]
+        assert list(pmap.overlapping(150, 250)) == [1, 2]
+        assert list(pmap.overlapping(-BIG, BIG)) == [0, 1, 2, 3]
+        assert list(pmap.overlapping(50, 40)) == []  # empty range
+
+    def test_split_inserts_a_boundary(self):
+        pmap = PartitionMap([100])
+        split = pmap.split(0, 40)
+        assert split.to_list() == [40, 100]
+        assert split.shard_for(39) == 0 and split.shard_for(40) == 1
+
+    def test_split_key_must_lie_strictly_inside(self):
+        pmap = PartitionMap([100])
+        with pytest.raises(AcheronError):
+            pmap.split(1, 100)  # == shard 1's lo
+        with pytest.raises(AcheronError):
+            pmap.split(0, 100)  # == shard 0's hi (exclusive)
+
+    def test_roundtrip_and_equality(self):
+        pmap = PartitionMap([7, 11])
+        assert PartitionMap.from_list(pmap.to_list()) == pmap
+        assert hash(PartitionMap([7, 11])) == hash(pmap)
+        assert PartitionMap([7]) != pmap
+
+    def test_describe_range_renders_unbounded_edges(self):
+        assert "-inf" in describe_range(None, 5)
+        assert "+inf" in describe_range(5, None)
+
+
+# ---------------------------------------------------------------------------
+# routing and the data plane
+# ---------------------------------------------------------------------------
+class TestRouting:
+    def test_keys_land_on_their_shard_trees(self):
+        engine = make_sharded(shards=4)
+        for k in range(0, 1_000, 7):
+            engine.put(k, f"v{k}")
+        engine.flush()
+        for k in range(0, 1_000, 7):
+            index = engine.shard_index_for(k)
+            assert engine.partition_map.shard_for(k) == index
+            assert engine.shards[index].get(k) == f"v{k}"
+            # No other shard may hold the key.
+            for j, other in enumerate(engine.shards):
+                if j != index:
+                    assert other.get(k) is None
+        engine.verify_invariants()
+        engine.close()
+
+    def test_point_ops_match_single_tree(self):
+        single = AcheronEngine.baseline(**TINY)
+        sharded = make_sharded(shards=3)
+        for k in range(300):
+            single.put(k, f"v{k}")
+            sharded.put(k, f"v{k}")
+        for k in range(0, 300, 5):
+            single.delete(k)
+            sharded.delete(k)
+        for k in range(320):
+            assert sharded.get(k) == single.get(k)
+            assert sharded.contains(k) == single.contains(k)
+        single.close()
+        sharded.close()
+
+    def test_put_many_and_apply_batch_group_by_shard(self):
+        engine = make_sharded(shards=4)
+        engine.put_many((k, f"v{k}") for k in range(200))
+        engine.apply_batch(
+            [("delete", k) for k in range(0, 200, 4)]
+            + [("put", k, f"w{k}") for k in range(200, 240)]
+        )
+        assert engine.get(4) is None
+        assert engine.get(230) == "w230"
+        assert engine.get(5) == "v5"
+        engine.close()
+
+
+class TestCrossShardScans:
+    def probe(self, shards):
+        engine = make_sharded(shards=shards)
+        keys = [k * 3 % 997 for k in range(400)]
+        for k in keys:
+            engine.put(k, f"v{k}")
+        engine.flush()
+        return engine, sorted(set(keys))
+
+    def test_scan_is_globally_ordered(self):
+        engine, keys = self.probe(4)
+        got = [k for k, _ in engine.scan(0, BIG)]
+        assert got == keys
+        engine.close()
+
+    def test_scan_limit_early_exits(self):
+        engine, keys = self.probe(4)
+        got = list(engine.scan(0, BIG, limit=10))
+        assert [k for k, _ in got] == keys[:10]
+        engine.close()
+
+    def test_scan_reverse(self):
+        engine, keys = self.probe(4)
+        got = [k for k, _ in engine.scan(0, BIG, reverse=True)]
+        assert got == list(reversed(keys))
+        got_limited = [k for k, _ in engine.scan(0, BIG, limit=7, reverse=True)]
+        assert got_limited == list(reversed(keys))[:7]
+        engine.close()
+
+    def test_scan_bounds_only_touch_overlapping_shards(self):
+        engine, keys = self.probe(4)
+        lo, hi = 100, 220
+        expected = [k for k in keys if lo <= k <= hi]
+        assert [k for k, _ in engine.scan(lo, hi)] == expected
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# logical-contents equivalence across shard counts
+# ---------------------------------------------------------------------------
+class TestEquivalence:
+    def mixed_ops(self, n=1_200, seed=17):
+        from random import Random
+
+        rng = Random(seed)
+        ops, live = [], []
+        for _ in range(n):
+            if live and rng.random() < 0.2:
+                ops.append(("delete", live[rng.randrange(len(live))]))
+            else:
+                key = rng.randrange(KEY_SPACE[1])
+                live.append(key)
+                ops.append(("put", key, f"v{key}"))
+        return ops
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_contents_match_single_tree(self, shards):
+        ops = self.mixed_ops()
+        single = AcheronEngine.baseline(**TINY)
+        sharded = make_sharded(shards=shards)
+        for engine in (single, sharded):
+            for op in ops:
+                if op[0] == "put":
+                    engine.put(op[1], op[2])
+                else:
+                    engine.delete(op[1])
+        sharded.write_barrier()
+        assert contents(sharded) == contents(single)
+        sharded.verify_invariants()
+        single.close()
+        sharded.close()
+
+    def test_fanout_matches_single_tree_with_explicit_delete_keys(self):
+        # Per-shard clocks tick independently, so clock-relative delete
+        # keys differ between shard counts; with *explicit* delete keys
+        # the secondary delete must pick identical victims everywhere.
+        single = AcheronEngine.acheron(
+            delete_persistence_threshold=1_000, pages_per_tile=4, **TINY
+        )
+        sharded = make_sharded(shards=4, engine="acheron")
+        for engine in (single, sharded):
+            for k in range(400):
+                engine.put(k, f"v{k}", delete_key=k)
+            engine.flush()
+            engine.delete_range(100, 250)
+        assert contents(sharded) == contents(single)
+        single.close()
+        sharded.close()
+
+
+# ---------------------------------------------------------------------------
+# shard-global delete persistence: the all-or-nothing fan-out
+# ---------------------------------------------------------------------------
+class TestFanout:
+    def seeded(self, tmp_path, shards=2):
+        engine = make_sharded(
+            shards=shards, directory=str(tmp_path / "store"), engine="acheron"
+        )
+        for k in range(400):
+            engine.put(k, f"v{k}", delete_key=k)
+        engine.flush()
+        return engine
+
+    def test_bad_arguments_rejected_before_the_intent_is_published(self, tmp_path):
+        engine = self.seeded(tmp_path)
+        with pytest.raises(ValueError):
+            engine.delete_range(0, 10, method="meteor")
+        with pytest.raises(AcheronError):
+            engine.delete_range(10, 0)
+        layout = json.loads((tmp_path / "store" / "SHARDS.json").read_text())
+        assert not layout.get("pending_fanout")
+        engine.close()
+
+    def test_fanout_clears_its_intent(self, tmp_path):
+        engine = self.seeded(tmp_path)
+        report = engine.delete_range(100, 250)
+        assert report.entries_deleted > 0
+        layout = json.loads((tmp_path / "store" / "SHARDS.json").read_text())
+        assert not layout.get("pending_fanout")
+        for k in range(400):
+            assert engine.get(k) == (None if 100 <= k <= 250 else f"v{k}")
+        engine.close()
+
+    def test_half_applied_fanout_is_finished_on_reopen(self, tmp_path):
+        # Simulate a crash after shard 0 applied the delete but before
+        # the intent cleared: the intent is durable, shard 1 still holds
+        # its window, and recovery must finish the job (idempotently
+        # re-applying on shard 0).
+        engine = self.seeded(tmp_path, shards=2)
+        engine._publish_layout(pending_fanout={"lo": 100, "hi": 250, "method": "auto"})
+        engine.shards[0].delete_range(100, 250)
+        for shard in engine.shards:
+            shard.close()
+        engine._closed = True
+
+        reopened = ShardedEngine(directory=str(tmp_path / "store"))
+        assert reopened.pending_recovery == []
+        for k in range(400):
+            assert reopened.get(k) == (None if 100 <= k <= 250 else f"v{k}")
+        layout = json.loads((tmp_path / "store" / "SHARDS.json").read_text())
+        assert not layout.get("pending_fanout")
+        reopened.verify_invariants()
+        reopened.close()
+
+    def test_read_only_open_reports_unreplayed_intents(self, tmp_path):
+        engine = self.seeded(tmp_path, shards=2)
+        engine._publish_layout(pending_fanout={"lo": 100, "hi": 250, "method": "auto"})
+        for shard in engine.shards:
+            shard.close()
+        engine._closed = True
+
+        ro = ShardedEngine(directory=str(tmp_path / "store"), read_only=True)
+        assert any("fan-out" in note or "delete" in note for note in ro.pending_recovery)
+        ro.close()
+        # A writable open then heals the store.
+        rw = ShardedEngine(directory=str(tmp_path / "store"))
+        assert rw.pending_recovery == []
+        rw.close()
+
+
+# ---------------------------------------------------------------------------
+# shard splits and the rebalancer
+# ---------------------------------------------------------------------------
+class TestSplit:
+    def test_split_preserves_contents_and_reroutes(self):
+        engine = make_sharded(shards=2)
+        for k in range(500):
+            engine.put(k, f"v{k}")
+        engine.flush()
+        before = contents(engine)
+        report = engine.split_shard(0, split_key=120)
+        assert engine.partition_map.shards == 3
+        assert report.entries_moved > 0
+        assert contents(engine) == before
+        assert engine.shard_index_for(119) == 0
+        assert engine.shard_index_for(120) == 1
+        engine.verify_invariants()
+        engine.close()
+
+    def test_split_defaults_to_the_median(self):
+        engine = make_sharded(shards=1)
+        for k in range(300):
+            engine.put(k, f"v{k}")
+        engine.flush()
+        report = engine.split_shard(0)
+        assert report.split_key is not None
+        lo, hi = engine.partition_map.shard_range(0)
+        assert hi == report.split_key
+        engine.verify_invariants()
+        engine.close()
+
+    def test_split_of_an_empty_shard_is_refused(self):
+        engine = make_sharded(shards=2)
+        with pytest.raises(AcheronError):
+            engine.split_shard(0)
+        engine.close()
+
+    def test_durable_split_survives_reopen(self, tmp_path):
+        engine = make_sharded(shards=2, directory=str(tmp_path / "store"))
+        for k in range(500):
+            engine.put(k, f"v{k}")
+        engine.flush()
+        engine.split_shard(0, split_key=120)
+        before = contents(engine)
+        boundaries = engine.partition_map.to_list()
+        engine.close()
+
+        reopened = ShardedEngine(directory=str(tmp_path / "store"))
+        assert reopened.partition_map.to_list() == boundaries
+        assert reopened.partition_map.shards == 3
+        assert contents(reopened) == before
+        reopened.verify_invariants()
+        reopened.close()
+
+    def test_rebalance_splits_only_under_skew(self):
+        # All keys below the boundary: shard 0 carries everything.
+        engine = make_sharded(shards=2, boundaries=[900])
+        for k in range(400):
+            engine.put(k, f"v{k}")
+        engine.flush()
+        report = engine.rebalance(skew_threshold=1.5)
+        assert report is not None and report.source == 0
+        assert engine.partition_map.shards == 3
+        # Balanced now (relative to the threshold): no further split.
+        assert engine.rebalance(skew_threshold=10.0) is None
+        engine.verify_invariants()
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# durable layout, env default, config conflicts
+# ---------------------------------------------------------------------------
+class TestDurability:
+    def test_roundtrip(self, tmp_path):
+        root = tmp_path / "store"
+        engine = make_sharded(shards=3, directory=str(root))
+        for k in range(200):
+            engine.put(k, f"v{k}")
+        before = contents(engine)
+        engine.close()
+        assert is_sharded_root(root)
+        assert (root / shard_dir_name(0)).is_dir()
+
+        reopened = ShardedEngine(directory=str(root))
+        assert reopened.partition_map.shards == 3
+        assert contents(reopened) == before
+        reopened.close()
+
+    def test_layout_conflict_is_a_config_error(self, tmp_path):
+        root = tmp_path / "store"
+        make_sharded(shards=3, directory=str(root)).close()
+        with pytest.raises(ConfigError):
+            ShardedEngine(directory=str(root), shards=2)
+
+    def test_read_only_requires_an_initialized_store(self, tmp_path):
+        with pytest.raises(ConfigError):
+            ShardedEngine(directory=str(tmp_path / "missing"), read_only=True)
+
+    def test_env_default_shards(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "5")
+        assert default_shards() == 5
+        engine = ShardedEngine(baseline_config(**TINY), key_space=KEY_SPACE)
+        assert engine.partition_map.shards == 5
+        engine.close()
+        monkeypatch.delenv("REPRO_SHARDS")
+        assert default_shards() == 1
+
+    def test_validate_layout_rejects_malformed_manifests(self):
+        from repro.errors import CorruptionError
+
+        good = {
+            "shard_layout": 1,
+            "boundaries": [100],
+            "shard_dirs": ["shard-00", "shard-01"],
+        }
+        assert validate_layout(good).shards == 2
+        for breakage in (
+            {"boundaries": [100, 200]},  # count mismatch
+            {"shard_dirs": ["shard-00", "shard-00"]},  # duplicate dirs
+            {"shard_layout": None},
+        ):
+            bad = dict(good)
+            bad.update(breakage)
+            with pytest.raises(CorruptionError):
+                validate_layout(bad)
+
+
+# ---------------------------------------------------------------------------
+# shard-global observability
+# ---------------------------------------------------------------------------
+class TestObservability:
+    def loaded(self, shards=3):
+        engine = make_sharded(shards=shards, engine="acheron")
+        for k in range(600):
+            engine.put(k, f"v{k}", delete_key=k)
+        for k in range(0, 600, 6):
+            engine.delete(k)
+        engine.flush()
+        return engine
+
+    def test_stats_aggregate_and_per_shard_rows(self):
+        engine = self.loaded(shards=3)
+        stats = engine.stats()
+        assert len(stats.shards) == 3
+        per = [s.stats() for s in engine.shards]
+        assert stats.flush_count == sum(p.flush_count for p in per)
+        assert stats.io.pages_written == sum(p.io.pages_written for p in per)
+        assert stats.tick == max(p.tick for p in per)
+        rows = stats.shards
+        assert sum(r["entries_on_disk"] for r in rows) == sum(
+            p.amplification.entries_on_disk for p in per
+        )
+        assert all("range" in r and "compliant" in r for r in rows)
+        assert stats.to_dict()["shards"] == rows
+        engine.close()
+
+    def test_merged_persistence_ledger(self):
+        engine = self.loaded(shards=3)
+        engine.compact_all()
+        merged = engine.persistence_stats()
+        per = [s.persistence_stats() for s in engine.shards]
+        assert merged.registered == sum(p.registered for p in per)
+        assert merged.persisted == sum(p.persisted for p in per)
+        assert merged.pending == sum(p.pending for p in per)
+        assert merged.max_latency == max(
+            (p.max_latency for p in per if p.max_latency is not None), default=None
+        )
+        engine.close()
+
+    def test_compliance_report_covers_every_shard(self):
+        engine = self.loaded(shards=3)
+        report = engine.compliance_report()
+        assert len(report["shards"]) == 3
+        assert report["deletes_registered"] == sum(
+            r["deletes_registered"] for r in report["shards"]
+        )
+        engine.close()
+
+    def test_shard_inspector_renders(self):
+        from repro.demo.inspector import ShardInspector
+
+        engine = self.loaded(shards=3)
+        text = ShardInspector(engine, name="t").dashboard(per_shard=True)
+        assert "3 shards" in text
+        assert "t/shard-2" in text
+        assert "shard-global persistence" in text
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# doctor + CLI integration
+# ---------------------------------------------------------------------------
+class TestDoctorAndCLI:
+    def store(self, tmp_path):
+        root = tmp_path / "store"
+        engine = make_sharded(shards=3, directory=str(root), engine="acheron")
+        for k in range(0, 900, 3):  # spans all three shard ranges
+            engine.put(k, f"v{k}", delete_key=k)
+        engine.flush()
+        engine.delete_range(50, 120)
+        engine.close()
+        return root
+
+    def test_doctor_iterates_all_shard_directories(self, tmp_path):
+        root = self.store(tmp_path)
+        for check in (diagnose_store, scrub_store):
+            report = check(root)
+            assert report.healthy, report.render()
+            text = report.render()
+            for i in range(3):
+                assert shard_dir_name(i) in text
+        # A corrupted shard surfaces with its shard prefix.
+        victim = next((root / shard_dir_name(1)).glob("sst-*"))
+        victim.write_bytes(b"garbage")
+        report = scrub_store(root)
+        assert not report.healthy
+        assert shard_dir_name(1) in "".join(e for e in report.errors)
+
+    def test_cli_stats_json_includes_shards(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = self.store(tmp_path)
+        assert main(["stats", str(root), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["shards"]) == 3
+        assert "read_path" in payload and "cache" in payload
+        assert payload["flush_count"] >= 3
+
+    def test_cli_stats_json_on_single_tree_store(self, tmp_path, capsys):
+        from repro.cli import main
+
+        engine = AcheronEngine.baseline(directory=str(tmp_path / "flat"), **TINY)
+        for k in range(100):
+            engine.put(k, f"v{k}")
+        engine.close()
+        assert main(["stats", str(tmp_path / "flat"), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shards"] == []
+        assert payload["tick"] == 100
+
+    def test_cli_sharded_workload_verify_inspect(self, tmp_path, capsys):
+        from repro.cli import main
+
+        root = tmp_path / "wl"
+        rc = main(
+            ["workload", "--shards", "2", "--ops", "400", "--preload", "200",
+             "--directory", str(root)]
+        )
+        assert rc == 0
+        assert is_sharded_root(root)
+        assert main(["verify", str(root)]) == 0
+        assert main(["inspect", str(root)]) == 0
+        capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# the workload runner against sharded + fault-injected engines
+# ---------------------------------------------------------------------------
+class TestRunnerIntegration:
+    def ingest_ops(self, n=600):
+        ops = []
+        for k in range(n):
+            ops.append(Operation(OpKind.INSERT, key=(k * 7) % KEY_SPACE[1],
+                                 value=f"v{k}"))
+            if k % 5 == 4:
+                ops.append(Operation(OpKind.POINT_DELETE, key=(k * 3) % KEY_SPACE[1]))
+        return ops
+
+    def test_shard_affine_writers_match_serial(self):
+        ops = self.ingest_ops()
+        serial = make_sharded(shards=4)
+        run_workload(serial, ops)
+        threaded = make_sharded(shards=4)
+        result = run_workload(threaded, ops, writers=4)
+        threaded.write_barrier()
+        assert result.operations == len(ops)
+        assert contents(threaded) == contents(serial)
+        serial.close()
+        threaded.close()
+
+    def test_fault_injected_engine_refuses_multi_writer_replay(self):
+        engine = AcheronEngine(
+            baseline_config(**TINY), faults=FaultInjector(seed=1)
+        )
+        with pytest.raises(WorkloadError, match="fault-injected"):
+            run_workload(engine, self.ingest_ops(10), writers=2)
+        # Serial replay of the same engine still works.
+        result = run_workload(engine, self.ingest_ops(10))
+        assert result.operations == len(self.ingest_ops(10))
+        engine.close()

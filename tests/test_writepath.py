@@ -279,6 +279,46 @@ class TestBackpressure:
         assert contents(engine) == [(k, f"v{k}") for k in range(n)]
         engine.close()
 
+    def test_counters_survive_exclusive_range_delete(self, monkeypatch):
+        # A secondary range delete quiesces the pool (exclusive inline
+        # mode) in the middle of backpressured ingest.  The exclusive
+        # section must neither corrupt the stall accounting (counters
+        # going negative) nor leave a token unreturned (a permanent
+        # stall: post-delete ingest would block forever).
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        engine = AcheronEngine.acheron(
+            delete_persistence_threshold=1_000, pages_per_tile=4, **TINY
+        )
+        wp = engine.tree.write_path
+        assert wp is not None and wp.workers == 4
+        wp.soft_queue_depth = 0  # every rotation trips the soft threshold
+        wp.max_frozen = 1  # and the hard stall engages under load
+        wp.flush_batch_wait = 0.0
+        n = TINY["memtable_entries"] * 4
+        for k in range(n):
+            engine.put(k, f"v{k}")
+        report = engine.delete_range(0, engine.clock.now() // 2)
+        assert report.entries_deleted >= 0
+        before = dict(wp.report())
+        # No counter may be negative at any observation point.
+        for key in ("soft_delays", "hard_stalls", "queue_depth", "stall_seconds",
+                    "flush_jobs", "compaction_inflight"):
+            assert before[key] >= 0, f"{key} went negative: {before[key]}"
+        # The pool must still make progress: a second backpressured burst
+        # completes (a leaked stall token would hang this loop).
+        for k in range(n, n * 2):
+            engine.put(k, f"v{k}")
+        engine.tree.write_barrier()
+        after = wp.report()
+        for key in ("soft_delays", "hard_stalls", "stall_seconds"):
+            assert after[key] >= before[key] >= 0
+        assert after["queue_depth"] == 0
+        assert [kv for kv in contents(engine) if kv[0] >= n] == [
+            (k, f"v{k}") for k in range(n, n * 2)
+        ]
+        engine.verify_invariants()
+        engine.close()
+
 
 # ---------------------------------------------------------------------------
 # the determinism switch
