@@ -78,6 +78,10 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="range-partition across this many shard trees")
     wl.add_argument("--writers", type=int, default=None,
                     help="concurrent (shard-affine) writer threads for the replay")
+    wl.add_argument("--method", choices=["eager", "lazy", "auto"], default="auto",
+                    help="secondary range-delete executor: eager file rewrites, "
+                         "lazy O(1) range-tombstone fences, or auto (eager, "
+                         "paper-accurate physical cost)")
 
     record = sub.add_parser("record", help="write a generated workload to a trace file")
     record.add_argument("trace_path")
@@ -167,10 +171,20 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         from repro.workload.trace import load_trace
 
         operations = load_trace(args.replay)
-        result = run_workload(engine, operations, writers=args.writers)
+        result = run_workload(
+            engine,
+            operations,
+            writers=args.writers,
+            secondary_delete_method=args.method,
+        )
     else:
         generator = WorkloadGenerator(_spec_from_args(args))
-        result = run_workload(engine, generator.operations(), writers=args.writers)
+        result = run_workload(
+            engine,
+            generator.operations(),
+            writers=args.writers,
+            secondary_delete_method=args.method,
+        )
     if args.shards > 1:
         engine.write_barrier()
         inspector = ShardInspector(engine, name=args.engine)

@@ -33,6 +33,7 @@ from repro.core.kiwi import (
     SecondaryDeleteReport,
     full_rewrite_delete,
     kiwi_range_delete,
+    lazy_range_delete,
 )
 from repro.core.persistence import PersistenceStats, PersistenceTracker
 from repro.errors import ConfigError
@@ -65,6 +66,10 @@ class EngineStats:
     #: Per-shard breakdown rows (range, size, FADE/``D_th`` compliance);
     #: populated only by :class:`~repro.shard.engine.ShardedEngine`.
     shards: list = None  # type: ignore[assignment]
+    #: Range-tombstone fence row: live count, oldest fence age vs the
+    #: ``D_th`` guarantee, and how much deferred resolution compactions
+    #: have already performed.
+    fences: dict = None  # type: ignore[assignment]
 
     def to_dict(self) -> dict:
         """JSON-safe snapshot (for logging, dashboards, bench archives)."""
@@ -94,6 +99,7 @@ class EngineStats:
                 "read_path": list(self.read_path) if self.read_path else [],
                 "write_path": dict(self.write_path) if self.write_path else {},
                 "shards": list(self.shards) if self.shards else [],
+                "fences": dict(self.fences) if self.fences else {},
             }
         )
 
@@ -239,18 +245,26 @@ class AcheronEngine:
     ) -> SecondaryDeleteReport:
         """Delete every value whose *delete key* lies in the given range.
 
-        ``method`` selects the executor: ``"kiwi"`` (page drops),
-        ``"full_rewrite"`` (the baseline full-tree rewrite), or ``"auto"``
-        (kiwi when the weave is enabled, full rewrite otherwise -- i.e.
-        each engine pays its own paper-accurate cost).
+        ``method`` selects the executor: ``"lazy"`` (persist a
+        range-tombstone fence -- O(1) at call time, resolved by later
+        compactions), ``"kiwi"`` (eager page drops), ``"full_rewrite"``
+        (the baseline full-tree rewrite), ``"eager"`` (kiwi when the
+        weave is enabled, full rewrite otherwise), or ``"auto"`` (the
+        eager resolution -- i.e. each engine pays its own paper-accurate
+        physical cost; lazy stays opt-in so cost-model comparisons remain
+        apples-to-apples).
         """
+        if method == "lazy":
+            # The whole point: no exclusive() quiesce, no file rewrites.
+            # One WAL append + manifest publish under the writer lock.
+            return lazy_range_delete(self.tree, delete_key_lo, delete_key_hi)
         wp = self.tree.write_path
         if wp is not None and not wp.owns_inline():
-            # Secondary deletes rewrite structure with serial code paths;
-            # quiesce the background workers and run inline.
+            # Eager secondary deletes rewrite structure with serial code
+            # paths; quiesce the background workers and run inline.
             with wp.exclusive():
                 return self.delete_range(delete_key_lo, delete_key_hi, method=method)
-        if method == "auto":
+        if method in ("auto", "eager"):
             method = "kiwi" if self.config.kiwi_enabled else "full_rewrite"
         if method == "kiwi":
             return kiwi_range_delete(self.tree, delete_key_lo, delete_key_hi)
@@ -308,7 +322,30 @@ class AcheronEngine:
             cache=read_stats["cache"],
             read_path=read_stats["levels"],
             write_path=self.tree.write_stats(),
+            fences=self.fence_stats(),
         )
+
+    def fence_stats(self) -> dict:
+        """The range-tombstone fence row (count, oldest age vs ``D_th``)."""
+        now = self.tree.clock.now()
+        fences = self.tree.fences
+        d_th = self.config.delete_persistence_threshold
+        oldest_age = (
+            now - min(f.write_time for f in fences) if fences else None
+        )
+        return {
+            "live": len(fences),
+            "oldest_age": oldest_age,
+            "threshold": d_th,
+            "within_threshold": (
+                None
+                if oldest_age is None or not d_th
+                else oldest_age <= d_th
+            ),
+            "entries_resolved_by_compaction": sum(
+                getattr(e, "fence_resolved", 0) for e in self.tree.compaction_log
+            ),
+        }
 
     def persistence_stats(self) -> PersistenceStats:
         tracker = self.tracker or PersistenceTracker()
@@ -326,6 +363,7 @@ class AcheronEngine:
         stats = self.persistence_stats()
         amp = measure_amplification(self.tree)
         dead_bytes = max(0, amp.bytes_on_disk - amp.live_bytes)
+        fence_row = self.fence_stats()
         return {
             "tick": now,
             "guarantee_ticks": self.config.delete_persistence_threshold,
@@ -338,6 +376,12 @@ class AcheronEngine:
             "compliant": stats.compliant(),
             "tombstones_on_disk": amp.tombstones_on_disk,
             "logically_dead_bytes_on_disk": dead_bytes,
+            # Range deletes carry the same D_th promise as point deletes:
+            # a live fence past the threshold means shadowed data is
+            # overstaying its welcome on the device.
+            "range_fences_live": fence_row["live"],
+            "oldest_fence_age": fence_row["oldest_age"],
+            "fences_within_threshold": fence_row["within_threshold"],
         }
 
     @property

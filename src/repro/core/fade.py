@@ -37,6 +37,7 @@ import heapq
 from typing import TYPE_CHECKING
 
 from repro.config import CompactionStyle, LSMConfig
+from repro.lsm.fence import RangeFence, file_shadowable
 from repro.lsm.run import SSTableFile
 from repro.lsm.compaction.task import (
     CompactionReason,
@@ -74,6 +75,14 @@ class FadeScheduler:
         self.heap_compactions = 0
         self.expiry_compactions = 0
         self.purge_compactions = 0
+        # Range-tombstone fences live in their own registry and heap: a
+        # fence is not a file (tracked_file_count and the file heap keep
+        # their exact meaning), and unlike a file expiry a fence deadline
+        # is not consumed by one compaction -- it stays armed until the
+        # tree retires the fence (fence_removed).
+        self._fence_live: dict[int, RangeFence] = {}
+        self._fence_heap: list[tuple[int, int]] = []  # (deadline, fence seqno)
+        self.fence_expiry_compactions = 0
 
     # ------------------------------------------------------------------
     # TTL allocation
@@ -150,8 +159,50 @@ class FadeScheduler:
     def tracked_file_count(self) -> int:
         return len(self._live)
 
+    # ------------------------------------------------------------------
+    # fence registry (called by the tree on fence install/retire)
+    # ------------------------------------------------------------------
+    def fence_added(self, fence: RangeFence, deepest: int) -> None:
+        """Arm the ``D_th`` deadline for a range-tombstone fence.
+
+        A fence is tree-global -- the data it shadows may sit at any
+        depth -- so it carries the full ``D_th`` from its write time
+        rather than a per-level slice: by ``write_time + D_th`` every
+        shadowed entry must be physically gone and the fence retired.
+        """
+        self._fence_live[fence.seqno] = fence
+        heapq.heappush(self._fence_heap, (fence.write_time + self.d_th, fence.seqno))
+
+    def fence_removed(self, seqno: int) -> None:
+        self._fence_live.pop(seqno, None)
+
+    def tracked_fence_count(self) -> int:
+        return len(self._fence_live)
+
+    def next_fence_deadline(self) -> int | None:
+        """Earliest live fence deadline, or None (O(1) amortized)."""
+        while self._fence_heap:
+            deadline, seqno = self._fence_heap[0]
+            if seqno in self._fence_live:
+                return deadline
+            heapq.heappop(self._fence_heap)
+        return None
+
+    def fence_overdue(self, now: int) -> bool:
+        deadline = self.next_fence_deadline()
+        return deadline is not None and deadline <= now
+
     def next_deadline(self) -> int | None:
-        """Earliest live deadline, or None (O(1) amortized)."""
+        """Earliest live deadline -- file or fence -- or None."""
+        file_deadline = self._next_file_deadline()
+        fence_deadline = self.next_fence_deadline()
+        if file_deadline is None:
+            return fence_deadline
+        if fence_deadline is None:
+            return file_deadline
+        return min(file_deadline, fence_deadline)
+
+    def _next_file_deadline(self) -> int | None:
         while self._heap:
             deadline, file_id = self._heap[0]
             if file_id in self._live:
@@ -199,7 +250,8 @@ class FadeScheduler:
         while True:
             expired = self._pop_expired(now)
             if expired is None:
-                return None
+                # No file expiry due: give overdue fences their shot.
+                return self._plan_fences(tree, busy_levels, now)
             file, level_index, deadline = expired
             if busy_levels and (
                 level_index in busy_levels or level_index + 1 in busy_levels
@@ -221,6 +273,71 @@ class FadeScheduler:
             else:
                 self.expiry_compactions += 1
             return task
+
+    def _plan_fences(
+        self,
+        tree: "LSMTree",
+        busy_levels: frozenset[int],
+        now: int,
+    ) -> CompactionTask | None:
+        """The next fence-expiry task, or None.
+
+        An overdue fence makes every run still holding data it shadows
+        high-priority: the *shallowest* shadowable file is compacted (a
+        real merge, never a trivial move -- relocation without rewriting
+        resolves nothing), whose output drops the shadowed entries.  The
+        fence deadline stays armed until the tree retires the fence, so
+        successive maintenance passes drain one shadowable file per task
+        until ``D_th`` holds for the range delete.
+        """
+        if not self._fence_live:
+            return None
+        for fence in sorted(self._fence_live.values(), key=lambda f: f.write_time):
+            if fence.write_time + self.d_th > now:
+                break  # the rest are younger still
+            found = None
+            for level in tree.iter_levels():
+                for run in level.runs:
+                    for file in run.files:
+                        if file_shadowable(file, fence):
+                            found = (file, level.index)
+                            break
+                    if found is not None:
+                        break
+                if found is not None:
+                    break
+            if found is None:
+                # Shadowed data is buffered-only (the tree's maintenance
+                # loop flushes it) or already resolved (the tree retires
+                # the fence); either way no compaction helps here.
+                continue
+            file, level_index = found
+            if busy_levels and (
+                level_index in busy_levels or level_index + 1 in busy_levels
+            ):
+                return None  # re-examined as soon as the conflict installs
+            deepest = tree.deepest_nonempty_level()
+            if self.config.policy is CompactionStyle.LEVELING:
+                task = self._plan_leveling(tree, file, level_index, deepest)
+                if task is not None and task.trivial_move:
+                    task = CompactionTask(
+                        reason=CompactionReason.TTL_EXPIRY,
+                        inputs=task.inputs,
+                        target_level=task.target_level,
+                        placement=task.placement,
+                        drop_tombstones=False,
+                        notes=(
+                            f"fence-expiry rewrite {file.file_id} "
+                            f"L{level_index}->L{task.target_level}"
+                        ),
+                    )
+            else:
+                task = self._plan_tiering(tree, file, level_index, deepest)
+            if task is None:
+                continue
+            self.fence_expiry_compactions += 1
+            return task
+        return None
 
     def _plan_leveling(
         self,

@@ -55,12 +55,26 @@ class SecondaryDeleteReport:
     entries_deleted: int = 0
     memtable_entries_deleted: int = 0
     io: IOStats = field(default_factory=IOStats)
+    #: Sequence number of the fence a ``lazy`` delete installed (None for
+    #: the physical methods).  Lazy reports are *honest about deferral*:
+    #: every counter above stays at its call-time value -- zero pages
+    #: touched, zero entries physically deleted -- because the rewrite
+    #: happens later, inside compactions, where it is charged to
+    #: ``CATEGORY_COMPACTION`` and surfaced per-merge as
+    #: ``CompactionEvent.fence_resolved``.
+    fence_seqno: int | None = None
 
     @property
     def pages_touched_by_io(self) -> int:
         return self.io.total_pages
 
     def summary(self) -> str:
+        if self.method == "lazy":
+            return (
+                f"lazy: fenced dkey=[{self.lo},{self.hi}] (seqno {self.fence_seqno}) -- "
+                f"0 pages touched at call time; resolution deferred to compaction "
+                f"({self.io.modeled_us / 1000.0:.2f} ms modeled)"
+            )
         return (
             f"{self.method}: deleted {self.entries_deleted} entries "
             f"(+{self.memtable_entries_deleted} buffered) over dkey=[{self.lo},{self.hi}] -- "
@@ -195,6 +209,34 @@ def _delete_from_file(
     return SSTableFile.from_tiles(
         tree.file_ids(), new_tiles, file.bloom, file.created_at
     )
+
+
+def lazy_range_delete(tree: "LSMTree", lo: int, hi: int) -> SecondaryDeleteReport:
+    """Delete every value with ``lo <= delete_key <= hi`` in O(1) call time.
+
+    The Acheron move applied to secondary deletes: instead of touching any
+    page, persist a **range-tombstone fence** ``(lo, hi, seqno)`` -- one
+    WAL append plus one manifest publish.  The read path consults the
+    fence immediately (shadowed values stop being served the instant this
+    returns), flushes drop shadowed buffered entries, and compactions
+    physically remove shadowed on-disk entries as a side effect of merges
+    they were doing anyway; FADE escalates any file still shadowed as its
+    fence approaches ``D_th``, so the physical purge is bounded just like
+    point-delete persistence.
+
+    Unlike :func:`kiwi_range_delete`, this needs no ``exclusive()``
+    quiesce in concurrent mode and its cost does not grow with the amount
+    of covered data.  The report is honest about the deferral: zero pages
+    touched, zero entries counted as deleted at call time (see
+    :class:`SecondaryDeleteReport.fence_seqno`).
+    """
+    _check_range(lo, hi)
+    report = SecondaryDeleteReport(method="lazy", lo=lo, hi=hi)
+    before = tree.disk.snapshot()
+    fence = tree.append_range_fence(lo, hi)
+    report.fence_seqno = fence.seqno
+    report.io = tree.disk.delta_since(before)
+    return report
 
 
 def full_rewrite_delete(tree: "LSMTree", lo: int, hi: int) -> SecondaryDeleteReport:

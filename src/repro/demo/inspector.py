@@ -88,6 +88,17 @@ class TreeInspector:
             ["oldest pending age", stats.oldest_pending_age],
             ["compliant", "yes" if stats.compliant() else "NO"],
         ]
+        fences = self.engine.fence_stats()
+        rows += [
+            ["range fences live", fences["live"]],
+            [
+                "oldest fence age (vs D_th)",
+                "-"
+                if fences["oldest_age"] is None
+                else f"{fences['oldest_age']} / {fences['threshold']}",
+            ],
+            ["fence entries resolved", fences["entries_resolved_by_compaction"]],
+        ]
         return format_table(
             ["delete lifecycle", "value"], rows, title=f"[{self.name}] persistence"
         )
@@ -226,6 +237,17 @@ class ShardInspector:
             ["violations", stats.violations],
             ["oldest pending age", stats.oldest_pending_age],
             ["compliant", "yes" if stats.compliant() else "NO"],
+        ]
+        fences = self.engine.fence_stats()
+        rows += [
+            ["range fences live", fences["live"]],
+            [
+                "oldest fence age (vs D_th)",
+                "-"
+                if fences["oldest_age"] is None
+                else f"{fences['oldest_age']} / {fences['threshold']}",
+            ],
+            ["fence entries resolved", fences["entries_resolved_by_compaction"]],
         ]
         return format_table(
             ["delete lifecycle (all shards)", "value"],

@@ -27,7 +27,9 @@ commands:
   get <key>                point lookup
   del <key>                point delete (tracked tombstone)
   scan <lo> <hi> [limit]   range scan
-  purge-older-than <tick>  secondary range delete on insertion time
+  purge-older-than <tick> [eager|lazy|auto]
+                           secondary range delete on insertion time
+                           (lazy: O(1) range-tombstone fence)
   flush                    force the memtable to disk
   compact                  full tree compaction
   wait <ticks>             advance simulated time (lets deadlines fire)
@@ -105,9 +107,12 @@ class DemoShell:
         return "\n".join(f"  {k!r} -> {v!r}" for k, v in rows)
 
     def _cmd_purge(self, args: list[str]) -> str:
-        if len(args) != 1:
-            return "usage: purge-older-than <tick>"
-        report = self.engine.delete_range(0, int(args[0]))
+        if len(args) not in (1, 2):
+            return "usage: purge-older-than <tick> [eager|lazy|auto]"
+        method = args[1] if len(args) == 2 else "auto"
+        if method not in ("eager", "lazy", "auto"):
+            return "usage: purge-older-than <tick> [eager|lazy|auto]"
+        report = self.engine.delete_range(0, int(args[0]), method=method)
         return report.summary()
 
     def _cmd_flush(self, args: list[str]) -> str:

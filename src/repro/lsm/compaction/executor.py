@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 from repro.lsm.entry import Entry, EntryKind
+from repro.lsm.fence import shadow_check
 from repro.lsm.iterator import merge_resolve_list
 from repro.lsm.run import Run, SSTableFile, build_files
 from repro.lsm.compaction.task import CompactionTask, OutputPlacement
@@ -61,6 +62,10 @@ class CompactionEvent:
     pages_written: int
     output_file_ids: tuple[int, ...]
     tick: int
+    #: Entries dropped because a range-tombstone fence shadowed them --
+    #: the deferred physical work of a lazy secondary range delete,
+    #: resolved (and charged) here rather than at call time.
+    fence_resolved: int = 0
 
 
 @dataclass
@@ -74,6 +79,7 @@ class MergedOutput:
     pages_read: int
     pages_written: int
     tick: int
+    fence_resolved: int = 0
 
 
 def execute_task(task: CompactionTask, tree: "LSMTree") -> CompactionEvent:
@@ -129,6 +135,20 @@ def merge_task(
             for f in inp.files:
                 flat.extend(f.all_entries())
             sources.append(flat)
+    # Range-tombstone fences resolve here: shadowed entries are removed
+    # from each input *before* version resolution, exactly as an eager
+    # delete physically removed them from the files -- so an older
+    # out-of-window version in the same merge still wins its key, and
+    # the rewrite cost lands in CATEGORY_COMPACTION where it belongs.
+    fence_resolved = 0
+    fence_drop = shadow_check(tree.fences)
+    if fence_drop is not None:
+        filtered: list[Iterable[Entry]] = []
+        for source in sources:
+            kept = [e for e in source if not fence_drop(e)]
+            fence_resolved += len(source) - len(kept)
+            filtered.append(kept)
+        sources = filtered
     resolved = merge_resolve_list(sources, on_shadowed)
     dropped = 0
     if task.drop_tombstones:
@@ -161,6 +181,7 @@ def merge_task(
         pages_read=pages_read,
         pages_written=pages_written,
         tick=now,
+        fence_resolved=fence_resolved,
     )
 
 
@@ -218,6 +239,7 @@ def install_task(
         pages_written=merged.pages_written,
         output_file_ids=tuple(f.file_id for f in new_files),
         tick=merged.tick,
+        fence_resolved=merged.fence_resolved,
     )
     return event
 

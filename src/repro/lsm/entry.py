@@ -32,10 +32,16 @@ from typing import Any
 
 
 class EntryKind(enum.IntEnum):
-    """Discriminator between values and logical deletes."""
+    """Discriminator between values, logical deletes, and range fences."""
 
     PUT = 0
     TOMBSTONE = 1
+    #: A *range-tombstone fence*: a secondary range delete recorded as data
+    #: rather than applied eagerly.  Shadows every older PUT whose
+    #: ``delete_key`` falls in ``[lo, hi]``; resolved (and eventually
+    #: dropped) during compaction.  Encoded through the ordinary entry
+    #: codec with ``key=None``, ``delete_key=lo``, ``value=hi``.
+    RANGE_FENCE = 2
 
 
 class Entry:
@@ -90,6 +96,18 @@ class Entry:
         """Build a point-delete tombstone for ``key``."""
         return cls(key, seqno, EntryKind.TOMBSTONE, None, None, write_time)
 
+    @classmethod
+    def range_fence(
+        cls, lo: int, hi: int, seqno: int, write_time: int = 0
+    ) -> "Entry":
+        """Build a range-tombstone fence over secondary keys ``[lo, hi]``.
+
+        The fence rides the ordinary entry layout so the WAL codec needs
+        no new record type: ``delete_key`` carries ``lo`` and ``value``
+        carries ``hi``.  ``key`` is None -- a fence names no sort key.
+        """
+        return cls(None, seqno, EntryKind.RANGE_FENCE, hi, lo, write_time)
+
     # ------------------------------------------------------------------
     # predicates & accounting
     # ------------------------------------------------------------------
@@ -101,6 +119,10 @@ class Entry:
     def is_put(self) -> bool:
         return self.kind is EntryKind.PUT
 
+    @property
+    def is_range_fence(self) -> bool:
+        return self.kind is EntryKind.RANGE_FENCE
+
     def shadows(self, other: "Entry") -> bool:
         """True when this entry makes ``other`` obsolete (same key, newer)."""
         return self.key == other.key and self.seqno > other.seqno
@@ -109,6 +131,11 @@ class Entry:
     # dunder protocol
     # ------------------------------------------------------------------
     def __repr__(self) -> str:
+        if self.is_range_fence:
+            return (
+                f"Entry(FENCE dkey=[{self.delete_key}, {self.value}] "
+                f"seq={self.seqno} t={self.write_time})"
+            )
         tag = "DEL" if self.is_tombstone else "PUT"
         return (
             f"Entry({tag} key={self.key!r} seq={self.seqno} "

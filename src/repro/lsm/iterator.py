@@ -221,6 +221,7 @@ def scan_fused(
     block_sources: list[Iterable[list[Entry]]],
     limit: int | None = None,
     reverse: bool = False,
+    drop: Callable[[Entry], bool] | None = None,
 ) -> Iterator[Entry]:
     """The fused range scan: a k-way merge over *blocks* of entries.
 
@@ -234,22 +235,30 @@ def scan_fused(
     ``merge_resolve`` -> ``visible_entries`` -> limit pipeline into one
     loop with a hard early-exit on ``limit``.
 
+    ``drop`` is the range-tombstone fence predicate: an entry for which it
+    returns True is skipped *without* claiming the key in the dedup state,
+    so an older surviving version of the same key still surfaces -- the
+    same exposure an eager delete produces by physically removing the
+    newer version.
+
     Sources may yield empty blocks; they are skipped.
     """
     produced = 0
     if len(block_sources) == 1:
         # One source means unique keys and no cross-source shadowing:
-        # the merge degenerates to a tombstone filter.
+        # the merge degenerates to a tombstone (and fence) filter.
         for block in block_sources[0]:
             for entry in block:
-                if entry.kind is not _TOMBSTONE:
+                if entry.kind is not _TOMBSTONE and not (
+                    drop is not None and drop(entry)
+                ):
                     yield entry
                     produced += 1
                     if produced == limit:
                         return
         return
     if reverse:
-        yield from _scan_fused_desc(block_sources, limit)
+        yield from _scan_fused_desc(block_sources, limit, drop)
         return
 
     # Ascending: a heap of list cursors keyed by (key, -seqno) so the
@@ -272,13 +281,16 @@ def scan_fused(
     while heap:
         key, _negseq, si, idx, block, it = heap[0]
         if key != last_key:
-            last_key = key
             entry = block[idx]
-            if entry.kind is not _TOMBSTONE:
-                yield entry
-                produced += 1
-                if produced == limit:
-                    return
+            if drop is not None and drop(entry):
+                pass  # fence-shadowed: older versions of `key` stay live
+            else:
+                last_key = key
+                if entry.kind is not _TOMBSTONE:
+                    yield entry
+                    produced += 1
+                    if produced == limit:
+                        return
         idx += 1
         if idx < len(block):
             entry = block[idx]
@@ -297,6 +309,7 @@ def scan_fused(
 def _scan_fused_desc(
     block_sources: list[Iterable[list[Entry]]],
     limit: int | None,
+    drop: Callable[[Entry], bool] | None = None,
 ) -> Iterator[Entry]:
     """Descending :func:`scan_fused` core.
 
@@ -329,12 +342,15 @@ def _scan_fused_desc(
                 best, best_key, best_seq = cur, key, entry.seqno
         entry = best[0][best[1]]
         if best_key != last_key:
-            last_key = best_key
-            if entry.kind is not _TOMBSTONE:
-                yield entry
-                produced += 1
-                if produced == limit:
-                    return
+            if drop is not None and drop(entry):
+                pass  # fence-shadowed: older versions of the key stay live
+            else:
+                last_key = best_key
+                if entry.kind is not _TOMBSTONE:
+                    yield entry
+                    produced += 1
+                    if produced == limit:
+                        return
         best[1] += 1
         if best[1] >= len(best[0]):
             block = next(best[2], None)

@@ -36,6 +36,7 @@ class Level:
         "lookup_probes",
         "lookup_skips_range",
         "lookup_skips_bloom",
+        "lookup_skips_fence",
         "lookup_serves",
         "lookup_cache_direct",
         "scan_runs_pruned",
@@ -61,6 +62,9 @@ class Level:
         self.lookup_probes = 0
         self.lookup_skips_range = 0
         self.lookup_skips_bloom = 0
+        #: Lookups that skipped a file's Bloom probe and page descent
+        #: entirely because a range-tombstone fence fully shadows it.
+        self.lookup_skips_fence = 0
         self.lookup_serves = 0
         self.lookup_cache_direct = 0
         self.scan_runs_pruned = 0

@@ -104,10 +104,14 @@ class SSTableFile:
         "tombstone_count",
         "min_key",
         "max_key",
+        "min_delete_key",
+        "max_delete_key",
         "oldest_tombstone_time",
         "created_at",
         "_tile_page_offsets",
         "page_count",
+        "_seqno_bounds",
+        "fence_known_clear",
     )
 
     def __init__(
@@ -128,7 +132,19 @@ class SSTableFile:
         self.tombstone_count = sum(t.tombstone_count for t in tiles)
         self.min_key = tiles[0].min_key
         self.max_key = tiles[-1].max_key
+        # Delete-key (secondary-attribute) span, O(tiles) from tile bounds.
+        # Range-tombstone fences compare their window against this span to
+        # prune whole files without touching entries.
+        self.min_delete_key = min(t.min_delete_key for t in tiles)
+        self.max_delete_key = max(t.max_delete_key for t in tiles)
         self.oldest_tombstone_time = _oldest_tombstone_time(tiles)
+        # Seqno bounds are computed lazily on first use: only fence
+        # shadowing consults them, and an eager per-entry pass here would
+        # tax every flush and compaction whether or not fences exist.
+        self._seqno_bounds: tuple[int, int] | None = None
+        #: Fence seqnos proven (by a full walk) to shadow nothing in this
+        #: file; immutability makes the memo permanent.
+        self.fence_known_clear: set[int] = set()
         offsets = []
         total = 0
         for tile in tiles:
@@ -228,6 +244,38 @@ class SSTableFile:
     def tombstone_density(self) -> float:
         """Fraction of entries that are tombstones (FADE's picking score)."""
         return self.tombstone_count / self.entry_count if self.entry_count else 0.0
+
+    def _compute_seqno_bounds(self) -> tuple[int, int]:
+        lo = hi = None
+        for tile in self.tiles:
+            for page in tile.pages:
+                for entry in page.entries:
+                    s = entry.seqno
+                    if lo is None:
+                        lo = hi = s
+                    elif s < lo:
+                        lo = s
+                    elif s > hi:
+                        hi = s
+        bounds = (lo, hi)
+        self._seqno_bounds = bounds
+        return bounds
+
+    @property
+    def min_seqno(self) -> int:
+        """Smallest seqno in the file (lazy; cached -- files are immutable)."""
+        bounds = self._seqno_bounds
+        if bounds is None:
+            bounds = self._compute_seqno_bounds()
+        return bounds[0]
+
+    @property
+    def max_seqno(self) -> int:
+        """Largest seqno in the file (lazy; cached -- files are immutable)."""
+        bounds = self._seqno_bounds
+        if bounds is None:
+            bounds = self._compute_seqno_bounds()
+        return bounds[1]
 
     def overlaps(self, lo: Any, hi: Any) -> bool:
         return not (self.max_key < lo or self.min_key > hi)

@@ -39,6 +39,12 @@ from repro.errors import (
     StorageError,
 )
 from repro.lsm.entry import Entry
+from repro.lsm.fence import (
+    RangeFence,
+    file_fully_shadowed,
+    file_shadowable,
+    shadow_check,
+)
 from repro.lsm.iterator import scan_fused
 from repro.lsm.level import Level
 from repro.lsm.memtable import Memtable
@@ -134,6 +140,10 @@ class LSMTree:
         #: publication: deleting an input file before the manifest stops
         #: referencing it would make a crash in between unrecoverable.
         self._doomed_files: list[int] = []
+        #: Live range-tombstone fences (lazy secondary range deletes),
+        #: oldest first.  Always rebound as a whole tuple, never mutated,
+        #: so concurrent readers snapshot it with one attribute load.
+        self._fences: tuple[RangeFence, ...] = ()
         #: High-water sequence number of entries durable in *runs* (i.e.
         #: flushed).  Distinct from ``_seqno``, which also counts entries
         #: living only in the memtable+WAL: the WAL replay filter must
@@ -281,6 +291,21 @@ class LSMTree:
         skipped = 0
         try:
             for entry in WriteAheadLog.replay(store.wal_path):
+                if entry.is_range_fence:
+                    # A fence never enters the memtable and is *not*
+                    # filtered by the flushed mark (it is no flushable
+                    # datum); the manifest usually already carries it --
+                    # the WAL copy only closes the crash window between
+                    # fence append and manifest publish.
+                    fence = RangeFence.from_entry(entry)
+                    if all(f.seqno != fence.seqno for f in tree._fences):
+                        tree._install_fence(fence)
+                        tree.recovery_log.append(
+                            f"restored fence seq={fence.seqno} from the WAL"
+                        )
+                    tree._seqno = max(tree._seqno, entry.seqno)
+                    tree.clock.advance_to(entry.write_time + 1)
+                    continue
                 if entry.seqno <= manifest_seqno:
                     skipped += 1  # already durable via the manifest's flushed runs
                     continue
@@ -333,6 +358,8 @@ class LSMTree:
                     for file in files:
                         self._register_file(file, level.index)
         self.file_ids.advance_past(manifest["next_file_id"] - 1)
+        for row in manifest.get("fences", ()):
+            self._install_fence(RangeFence.from_row(row))
 
     def _load_file(self, file_id: int, level: int = 1) -> SSTableFile:
         assert self._store is not None
@@ -557,14 +584,25 @@ class LSMTree:
         if not entries:
             return
         self._flushed_seqno = max(self._flushed_seqno, max(e.seqno for e in entries))
+        # Range-tombstone fences resolve buffered data here: shadowed
+        # values are dropped before they ever reach a file, exactly as an
+        # eager delete purges them from the memtable (the flushed mark
+        # above still covers them, so WAL replay never resurrects them
+        # into a tree whose fences could have retired meanwhile).
+        check = shadow_check(self._fences)
+        if check is not None:
+            entries = [e for e in entries if not check(e)]
         now = self.clock.now()
-        files = build_files(entries, self.config, self.file_ids, now)
-        self.disk.write_pages(sum(f.page_count for f in files), CATEGORY_FLUSH)
-        self.level(1).add_newest_run(Run(files))
-        for file in files:
-            self._register_file(file, 1)
-            self._persist_file(file)
+        if entries:
+            files = build_files(entries, self.config, self.file_ids, now)
+            self.disk.write_pages(sum(f.page_count for f in files), CATEGORY_FLUSH)
+            self.level(1).add_newest_run(Run(files))
+            for file in files:
+                self._register_file(file, 1)
+                self._persist_file(file)
         self.flush_count += 1
+        if self._fences:
+            self._retire_resolved_fences()
         # Write-ordering protocol: the WAL may only be rotated once the
         # flushed entries are durable through the *published* manifest.
         # Rotating first would leave a crash window in which the entries
@@ -608,19 +646,39 @@ class LSMTree:
         ):
             return 0
         executed = 0
+        retired = 0
         while True:
             task = self._planner.plan(self)
             if task is None and self._fade is not None:
                 task = self._fade.plan(self)
             if task is None:
+                if (
+                    self._fences
+                    and self._fade is not None
+                    and self._fade.fence_overdue(self.clock.now())
+                ):
+                    # An overdue fence the compaction planner cannot act
+                    # on: its remaining shadowed data is buffered (the
+                    # flush filter drops it, after which the fence can
+                    # retire) or already gone (retire directly).  Both
+                    # branches strictly shrink the overdue set, so the
+                    # retry terminates.
+                    if not self.memtable.is_empty and self._buffer_shadowable():
+                        self._flush()
+                        continue
+                    if self._retire_resolved_fences():
+                        retired += 1
+                        continue
                 break
             event = execute_task(task, self)
             self.compaction_log.append(event)
             executed += 1
+        if executed and self._fences:
+            retired += self._retire_resolved_fences()
         # Quiescent: no saturation trigger fires and no expiry is due, so
         # the next maintain() may skip planning until structure changes.
         self._maintenance_dirty = False
-        if executed:
+        if executed or retired:
             self._persist_manifest()
         return executed
 
@@ -663,6 +721,8 @@ class LSMTree:
         )
         event = execute_task(task, self)
         self.compaction_log.append(event)
+        if self._fences:
+            self._retire_resolved_fences()
         self._persist_manifest()
         return event
 
@@ -709,9 +769,14 @@ class LSMTree:
         wp = self._wp
         if wp is not None:
             return wp.get_entry(key)
+        fences = self._fences
+        check = shadow_check(fences)
         entry = self.memtable.get(key)
         if entry is not None:
-            return entry
+            if check is None or not check(entry):
+                return entry
+            # Fence-shadowed: the buffered version is deleted, but an
+            # older out-of-window version may survive below -- descend.
         hashed = None
         reader = self._reader
         cache_get = self.cache.get
@@ -732,6 +797,13 @@ class LSMTree:
                     level.lookup_skips_range += 1
                     continue
                 file = files[idx]
+                # Fence check ordered before the Bloom probe and page
+                # descent: a file whose every entry is shadowed by a
+                # range-tombstone fence serves nothing, so the lookup
+                # skips its I/O entirely.
+                if check is not None and file_fully_shadowed(file, fences):
+                    level.lookup_skips_fence += 1
+                    continue
                 if hashed is None:
                     try:
                         hashed = key_hash_pair(key)
@@ -764,6 +836,10 @@ class LSMTree:
                 else:
                     found = file.get(key, reader, pinned)
                 if found is not None:
+                    if check is not None and check(found):
+                        # Shadowed by a fence: keep descending -- an older
+                        # out-of-window version below may still be live.
+                        continue
                     level.lookup_serves += 1
                     return found
         return None
@@ -811,7 +887,15 @@ class LSMTree:
                 sources.append(run.scan_blocks(lo, hi, reader, reverse))
         if not sources:
             return iter(())
-        return map(_ENTRY_PAIR, scan_fused(sources, limit=limit, reverse=reverse))
+        return map(
+            _ENTRY_PAIR,
+            scan_fused(
+                sources,
+                limit=limit,
+                reverse=reverse,
+                drop=shadow_check(self._fences),
+            ),
+        )
 
     def read_stats(self) -> dict[str, Any]:
         """Read-path observability: cache stats + per-level pruning counters.
@@ -833,6 +917,7 @@ class LSMTree:
                 "lookup_probes": level.lookup_probes,
                 "lookup_skips_range": level.lookup_skips_range,
                 "lookup_skips_bloom": level.lookup_skips_bloom,
+                "lookup_skips_fence": level.lookup_skips_fence,
                 "lookup_serves": level.lookup_serves,
                 "lookup_cache_direct": level.lookup_cache_direct,
                 "scan_runs_pruned": level.scan_runs_pruned,
@@ -934,17 +1019,21 @@ class LSMTree:
         levels = [
             [[f.file_id for f in run.files] for run in level.runs] for level in self._levels
         ]
-        self._store.write_manifest(
-            {
-                "levels": levels,
-                "next_file_id": self.file_ids.peek(),
-                "seqno": self._seqno,
-                "flushed_seqno": self._flushed_seqno,
-                "clock": self.clock.now(),
-                "flush_count": self.flush_count,
-                "config": self.config.to_dict(),
-            }
-        )
+        manifest = {
+            "levels": levels,
+            "next_file_id": self.file_ids.peek(),
+            "seqno": self._seqno,
+            "flushed_seqno": self._flushed_seqno,
+            "clock": self.clock.now(),
+            "flush_count": self.flush_count,
+            "config": self.config.to_dict(),
+        }
+        if self._fences:
+            # Back-compat: the key is absent while no fence is live, so
+            # manifests from fence-free trees are byte-identical to old
+            # ones and old manifests restore cleanly.
+            manifest["fences"] = [f.to_row() for f in self._fences]
+        self._store.write_manifest(manifest)
         # The new manifest no longer references the doomed files; their
         # physical deletion is now safe (and crash-idempotent: a crash
         # mid-loop leaves unreferenced files that startup GC removes).
@@ -964,7 +1053,120 @@ class LSMTree:
         """
         if self._wal is None:
             return
-        self._wal.rewrite(list(self.memtable))
+        records = list(self.memtable)
+        # Live fences keep their WAL belt across the rewrite (they are
+        # also in the manifest, but the WAL copy covers the crash window
+        # of the *next* manifest publish).
+        records.extend(f.to_entry() for f in self._fences)
+        self._wal.rewrite(records)
+
+    # ==================================================================
+    # range-tombstone fences (lazy secondary range deletes)
+    # ==================================================================
+    @property
+    def fences(self) -> tuple[RangeFence, ...]:
+        """The live range-tombstone fences (a snapshot; oldest first)."""
+        return self._fences
+
+    def append_range_fence(self, lo: int, hi: int) -> RangeFence:
+        """Durably record a range-tombstone fence over ``[lo, hi]``.
+
+        O(1) in the amount of covered data: one WAL append plus one
+        manifest publish, no file rewrites and no ``exclusive()`` section.
+        In concurrent mode the controller wraps this under its write lock
+        (see :meth:`WritePathController.append_range_fence`); the serial
+        path below is the whole protocol.
+
+        Durability order: WAL first (covers a crash during the manifest
+        write), then the in-memory install, then the manifest (covers
+        every later WAL truncation -- a flush or close may rotate the log
+        at any time, and the fence must survive that).
+        """
+        self._check_open()
+        self._check_writable()
+        wp = self._wp
+        if wp is not None and not wp.owns_inline():
+            return wp.append_range_fence(lo, hi)
+        fence = RangeFence(lo, hi, self._next_seqno(), self.clock.now())
+        if self._wal is not None:
+            self._wal.append(fence.to_entry())
+        self._install_fence(fence)
+        self._persist_manifest()
+        return fence
+
+    def _install_fence(self, fence: RangeFence) -> None:
+        """Attach ``fence`` to the live set (no durability side effects)."""
+        self._fences = self._fences + (fence,)
+        # The read path changed shape even though no run did: force the
+        # next maintenance pass to evaluate (fence resolution may already
+        # be plannable) and drop the structure-derived fast path.
+        self._maintenance_dirty = True
+        if self._fade is not None:
+            self._fade.fence_added(fence, self.deepest_nonempty_level())
+
+    def _buffer_shadowable(self, buffers: Iterable[Iterable[Entry]] = ()) -> bool:
+        """True when the memtable (or ``buffers``) holds a shadowed entry."""
+        check = shadow_check(self._fences)
+        if check is None:
+            return False
+        # Snapshot the sidecar dict, not the skip-list: background
+        # threads audit this while a writer may be inserting, and a
+        # dict-values copy is atomic under the GIL.
+        for entry in list(self.memtable._map._index.values()):
+            if check(entry):
+                return True
+        for buffer in buffers:
+            for entry in buffer:
+                if check(entry):
+                    return True
+        return False
+
+    def _fence_unresolved(
+        self, fence: RangeFence, buffers: Iterable[Iterable[Entry]] = ()
+    ) -> bool:
+        """True while some live entry is still shadowed by ``fence``.
+
+        ``buffers`` lets the concurrent controller include its frozen
+        memtables in the audit.
+        """
+        lo, hi, seq = fence.lo, fence.hi, fence.seqno
+        # Dict snapshot for the same thread-safety reason as
+        # _buffer_shadowable above.
+        for entry in list(self.memtable._map._index.values()):
+            if entry.is_put and entry.seqno < seq and lo <= entry.delete_key <= hi:
+                return True
+        for buffer in buffers:
+            for entry in buffer:
+                if entry.is_put and entry.seqno < seq and lo <= entry.delete_key <= hi:
+                    return True
+        for level in self._levels:
+            for run in level.runs:
+                for file in run.files:
+                    if file_shadowable(file, fence):
+                        return True
+        return False
+
+    def _retire_resolved_fences(
+        self, buffers: Iterable[Iterable[Entry]] = ()
+    ) -> int:
+        """Drop fences no remaining entry is shadowed by; returns how many.
+
+        The caller is responsible for publishing the manifest afterwards
+        (every call site already sits on a publish path).
+        """
+        fences = self._fences
+        if not fences:
+            return 0
+        live = tuple(f for f in fences if self._fence_unresolved(f, buffers))
+        if len(live) == len(fences):
+            return 0
+        self._fences = live
+        if self._fade is not None:
+            kept = {f.seqno for f in live}
+            for fence in fences:
+                if fence.seqno not in kept:
+                    self._fade.fence_removed(fence.seqno)
+        return len(fences) - len(live)
 
     # ==================================================================
     # lifecycle & utilities
@@ -1177,6 +1379,16 @@ class LSMTree:
                 f"entry seqno {max_seqno} exceeds the recovered high-water "
                 f"mark {self._seqno}"
             )
+        for fence in self._fences:
+            if fence.seqno > self._seqno:
+                raise InvariantViolationError(
+                    f"fence seqno {fence.seqno} exceeds the recovered "
+                    f"high-water mark {self._seqno}"
+                )
+            if fence.lo > fence.hi:
+                raise InvariantViolationError(
+                    f"fence window inverted: [{fence.lo}, {fence.hi}]"
+                )
         if max_write_time > self.clock.now():
             raise InvariantViolationError(
                 f"entry write_time {max_write_time} is in the future "

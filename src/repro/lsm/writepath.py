@@ -60,6 +60,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Iterator
 from repro.filters.bloom import _key_bytes, hash_pair, key_hash_pair
 from repro.lsm.compaction import execute_task, install_task, merge_task
 from repro.lsm.entry import Entry, EntryKind
+from repro.lsm.fence import RangeFence, file_fully_shadowed, shadow_check
 from repro.lsm.iterator import scan_fused
 from repro.lsm.memtable import Memtable
 from repro.lsm.run import Run, build_files
@@ -447,6 +448,29 @@ class WritePathController:
                 self._cv.wait(0.05)
         stats.stall_seconds += perf_counter() - started
 
+    def append_range_fence(self, lo: Any, hi: Any) -> RangeFence:
+        """The concurrent twin of the serial fence append: still O(1).
+
+        Unlike eager range deletes, no :meth:`exclusive` quiesce is
+        needed -- the fence is one WAL append plus one manifest rewrite
+        under the writer lock, and becomes visible to lock-free readers
+        the instant ``tree._fences`` is rebound (readers load the fence
+        tuple before any snapshot, so visibility is never late).
+        """
+        self.raise_background_error()
+        tree = self.tree
+        with self.write_lock:
+            fence = RangeFence(lo, hi, tree._seqno + 1, tree.clock.now())
+            tree._seqno = fence.seqno
+            if tree._wal is not None:
+                tree._wal.append(fence.to_entry())
+            with self._cv:
+                tree._install_fence(fence)
+                tree._persist_manifest()
+                self._pump_locked()
+                self._cv.notify_all()
+        return fence
+
     # ==================================================================
     # read path (no locks; immutable snapshots)
     # ==================================================================
@@ -460,13 +484,24 @@ class WritePathController:
         concurrent mode on identical workloads.
         """
         tree = self.tree
+        # The fence snapshot is loaded *before* frozen/published.  Fence
+        # retirement republishes the post-resolution structure before it
+        # drops a fence, so this load order guarantees a reader never
+        # pairs a retired-fence view with a snapshot that still holds the
+        # entries that fence shadowed.
+        fences = tree._fences
+        check = shadow_check(fences)
         entry = tree.memtable.get(key)
         if entry is not None:
-            return entry
+            if check is None or not check(entry):
+                return entry
+            # Fence-shadowed: an older out-of-window version may survive
+            # in the frozen queue or on disk -- keep descending.
         for memtable in self.frozen:
             entry = memtable.get(key)
             if entry is not None:
-                return entry
+                if check is None or not check(entry):
+                    return entry
         reader = tree._reader
         hashed = None
         cache_get = tree.cache.get
@@ -484,6 +519,11 @@ class WritePathController:
                     level.lookup_skips_range += 1
                     continue
                 file = files[idx]
+                if check is not None and file_fully_shadowed(file, fences):
+                    # Every PUT in this file is fence-shadowed: skip the
+                    # Bloom probe and the page descent entirely.
+                    level.lookup_skips_fence += 1
+                    continue
                 if hashed is None:
                     try:
                         hashed = key_hash_pair(key)
@@ -513,6 +553,10 @@ class WritePathController:
                 else:
                     found = file.get(key, reader, pinned)
                 if found is not None:
+                    if check is not None and check(found):
+                        # Shadowed by a fence that outlives this version;
+                        # an older survivor may exist deeper down.
+                        continue
                     level.lookup_serves += 1
                     return found
         return None
@@ -536,6 +580,7 @@ class WritePathController:
         reader = tree._reader
         sources: list = []
         with self.write_lock:
+            fences = tree._fences  # before frozen/published (see get_entry)
             buffered = list(tree.memtable.range(lo, hi))
             frozen = self.frozen
             published = self.published
@@ -557,7 +602,12 @@ class WritePathController:
                 sources.append(run.scan_blocks(lo, hi, reader, reverse))
         if not sources:
             return iter(())
-        return map(_ENTRY_PAIR, scan_fused(sources, limit=limit, reverse=reverse))
+        return map(
+            _ENTRY_PAIR,
+            scan_fused(
+                sources, limit=limit, reverse=reverse, drop=shadow_check(fences)
+            ),
+        )
 
     # ==================================================================
     # quiesce points
@@ -641,6 +691,17 @@ class WritePathController:
                 tree.clock.advance_to(stop)
                 fade_due = tree._fade_deadline_due()
                 if tree.memtable.is_full:
+                    self._rotate()
+                elif (
+                    fade is not None
+                    and tree._fences
+                    and fade.fence_overdue(tree.clock.now())
+                    and tree._buffer_shadowable()
+                ):
+                    # A fence past D_th whose shadowed data still sits in
+                    # the buffer: rotate so the flush filters it out and
+                    # the fence can retire (maintain()'s forced-flush
+                    # branch, concurrent edition).
                     self._rotate()
                 elif fade is not None and tree.memtable.first_tombstone_time is not None:
                     deadline = fade.buffer_deadline(
@@ -772,6 +833,15 @@ class WritePathController:
             default=0,
         )
         entries = sorted(merged.values(), key=_ENTRY_KEY)
+        # Lazy range deletes: drop fence-shadowed entries instead of
+        # writing them out (the flush-time twin of eager's memtable
+        # purge).  flushed_seqno above was computed over *all* drained
+        # entries, so WAL replay still filters them correctly.
+        check = shadow_check(tree._fences)
+        if check is not None:
+            entries = [e for e in entries if not check(e)]
+        if not entries:
+            return [], 0, flushed_seqno
         files = build_files(entries, tree.config, tree.file_ids, now)
         tree.disk.write_pages(sum(f.page_count for f in files), CATEGORY_FLUSH)
         for file in files:
@@ -781,9 +851,10 @@ class WritePathController:
     def _install_flush(self, batch: tuple, files: list, flushed_seqno: int) -> None:
         """Publish the flushed run (``_mu`` held by the caller)."""
         tree = self.tree
-        tree.level(1).add_newest_run(Run(files))
-        for file in files:
-            tree._register_file(file, 1)
+        if files:  # every survivor may have been fence-shadowed
+            tree.level(1).add_newest_run(Run(files))
+            for file in files:
+                tree._register_file(file, 1)
         tree.flush_count += 1
         if flushed_seqno > tree._flushed_seqno:
             tree._flushed_seqno = flushed_seqno
@@ -798,6 +869,15 @@ class WritePathController:
         # consulted first on lookups, and scans resolve by seqno.
         self._republish()
         self.frozen = self.frozen[: len(self.frozen) - len(batch)]
+        # Fence retirement comes *after* the republish + trim: readers
+        # load fences before snapshots, so a fence may only disappear
+        # once no published (or still-frozen) entry needs it.  The audit
+        # includes the remaining frozen memtables -- their sidecar
+        # indexes are plain dicts, safe to snapshot under the GIL.
+        if tree._fences and tree._retire_resolved_fences(
+            [list(mt._map._index.values()) for mt in self.frozen]
+        ):
+            tree._persist_manifest()
 
     # ==================================================================
     # compaction scheduler
@@ -841,6 +921,22 @@ class WritePathController:
         if executed_trivial:
             tree._persist_manifest()
             self._republish()
+        # An overdue fence that no longer shadows anything can't be
+        # planned into a compaction (there is nothing to rewrite) -- when
+        # the pipeline is idle, retire it here so quiescence converges
+        # (the concurrent twin of maintain()'s resolved-fence branch).
+        fade = tree._fade
+        if (
+            tree._fences
+            and fade is not None
+            and not self._reserved
+            and self._active_jobs == 0
+            and fade.fence_overdue(tree.clock.now())
+            and tree._retire_resolved_fences(
+                [list(mt._map._index.values()) for mt in self.frozen]
+            )
+        ):
+            tree._persist_manifest()
 
     def _compaction_loop(self) -> None:
         tree = self.tree
@@ -878,6 +974,14 @@ class WritePathController:
                         tree.compaction_log.append(event)
                         tree._persist_manifest()
                         self._republish()
+                        # Retire-after-republish: see _install_flush.
+                        if tree._fences and tree._retire_resolved_fences(
+                            [
+                                list(mt._map._index.values())
+                                for mt in self.frozen
+                            ]
+                        ):
+                            tree._persist_manifest()
                         wall = perf_counter() - started
                         stats = self.stats
                         stats.compaction_jobs += 1

@@ -34,7 +34,10 @@ def read_path_report(tree: "LSMTree") -> dict[str, Any]:
     levels = report["levels"]
     probes = sum(row["lookup_probes"] for row in levels)
     skips = sum(
-        row["lookup_skips_range"] + row["lookup_skips_bloom"] for row in levels
+        row["lookup_skips_range"]
+        + row["lookup_skips_bloom"]
+        + row["lookup_skips_fence"]
+        for row in levels
     )
     considered = probes + skips
     report["lookup_run_probes"] = probes
@@ -52,6 +55,7 @@ def format_read_path(tree: "LSMTree", name: str = "tree") -> str:
             row["lookup_probes"],
             row["lookup_skips_range"],
             row["lookup_skips_bloom"],
+            row["lookup_skips_fence"],
             row["lookup_cache_direct"],
             row["lookup_serves"],
             row["scan_runs_pruned"],
@@ -64,13 +68,14 @@ def format_read_path(tree: "LSMTree", name: str = "tree") -> str:
             report["lookup_run_probes"],
             sum(r["lookup_skips_range"] for r in report["levels"]),
             sum(r["lookup_skips_bloom"] for r in report["levels"]),
+            sum(r["lookup_skips_fence"] for r in report["levels"]),
             sum(r["lookup_cache_direct"] for r in report["levels"]),
             sum(r["lookup_serves"] for r in report["levels"]),
             sum(r["scan_runs_pruned"] for r in report["levels"]),
         ]
     )
     return format_table(
-        ["level", "probes", "skip:range", "skip:bloom", "cache-direct", "serves", "scan-pruned"],
+        ["level", "probes", "skip:range", "skip:bloom", "skip:fence", "cache-direct", "serves", "scan-pruned"],
         rows,
         title=f"[{name}] read-path pruning (prune rate "
         f"{report['lookup_prune_rate']:.0%})",

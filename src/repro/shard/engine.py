@@ -79,7 +79,7 @@ from repro.storage.disk import IOStats
 #: Environment default for the shard count (mirrors ``REPRO_WORKERS``).
 SHARDS_ENV = "REPRO_SHARDS"
 
-_SECONDARY_METHODS = ("auto", "kiwi", "full_rewrite")
+_SECONDARY_METHODS = ("auto", "kiwi", "full_rewrite", "eager", "lazy")
 _FIRST_OF_PAIR = itemgetter(0)
 
 
@@ -557,6 +557,15 @@ class ShardedEngine:
         so the fan-out is all-or-nothing across restarts.  Arguments are
         validated *before* the intent is published (a poisoned intent
         would fail its replay forever).
+
+        ``method="lazy"`` turns the fan-out from a stop-the-world (each
+        shard quiesced and rewritten under ``exclusive()``) into N O(1)
+        fence appends: the intent records the fence, each shard durably
+        installs it without touching a file, and later per-shard
+        compactions resolve it.  A replayed lazy intent appends a fresh
+        fence per shard; a duplicate fence on an already-fenced shard is
+        harmless (it shadows a subset of what the first one does and
+        retires as soon as it is resolved).
         """
         self._check_writable()
         if method not in _SECONDARY_METHODS:
@@ -773,7 +782,28 @@ class ShardedEngine:
                 [st.write_path for st in per], prefix_subdicts=True
             ),
             shards=self._shard_summaries(per),
+            fences=self._merge_fences([st.fences for st in per]),
         )
+
+    @staticmethod
+    def _merge_fences(rows: list[dict]) -> dict:
+        """Shard-global fence row: counts sum, ages take the worst case."""
+        ages = [r["oldest_age"] for r in rows if r.get("oldest_age") is not None]
+        flags = [
+            r["within_threshold"]
+            for r in rows
+            if r.get("within_threshold") is not None
+        ]
+        thresholds = [r["threshold"] for r in rows if r.get("threshold")]
+        return {
+            "live": sum(r.get("live", 0) for r in rows),
+            "oldest_age": max(ages) if ages else None,
+            "threshold": min(thresholds) if thresholds else 0,
+            "within_threshold": all(flags) if flags else None,
+            "entries_resolved_by_compaction": sum(
+                r.get("entries_resolved_by_compaction", 0) for r in rows
+            ),
+        }
 
     def _merge_amplification(self, per: list[EngineStats]):
         amps = [st.amplification for st in per]
@@ -876,6 +906,8 @@ class ShardedEngine:
                     "violations": p.violations,
                     "d_th": p.threshold,
                     "compliant": p.compliant(),
+                    "range_fences": st.fences["live"] if st.fences else 0,
+                    "oldest_fence_age": st.fences["oldest_age"] if st.fences else None,
                 }
             )
         return rows
@@ -883,6 +915,12 @@ class ShardedEngine:
     def persistence_stats(self) -> PersistenceStats:
         self._check_open()
         return self._merged_persistence([shard.stats() for shard in self.shards])
+
+    def fence_stats(self) -> dict:
+        """Shard-global range-tombstone fence row (see
+        :meth:`AcheronEngine.fence_stats`)."""
+        self._check_open()
+        return self._merge_fences([shard.fence_stats() for shard in self.shards])
 
     def compliance_report(self) -> dict:
         """The shard-global compliance audit: aggregate + per-shard rows."""
@@ -902,12 +940,25 @@ class ShardedEngine:
             "deadline_violations",
             "tombstones_on_disk",
             "logically_dead_bytes_on_disk",
+            "range_fences_live",
         ):
             aggregate[key] = sum(r[key] for r in per)
         ages = [
             r["oldest_pending_age"] for r in per if r["oldest_pending_age"] is not None
         ]
         aggregate["oldest_pending_age"] = max(ages) if ages else None
+        fence_ages = [
+            r["oldest_fence_age"] for r in per if r["oldest_fence_age"] is not None
+        ]
+        aggregate["oldest_fence_age"] = max(fence_ages) if fence_ages else None
+        fence_flags = [
+            r["fences_within_threshold"]
+            for r in per
+            if r["fences_within_threshold"] is not None
+        ]
+        aggregate["fences_within_threshold"] = (
+            all(fence_flags) if fence_flags else None
+        )
         aggregate["shards"] = [
             {"index": i, "range": describe_range(*self.partition_map.shard_range(i)), **r}
             for i, r in enumerate(per)

@@ -68,11 +68,16 @@ CRASH_EXCEPTIONS = (SimulatedCrash, StorageError, OSError)
 #: cross-shard secondary-delete fan-out (recovery must make it
 #: all-or-nothing via the root-manifest intent) or mid shard split
 #: (recovery must resume the staged copy/purge protocol with zero loss).
+#: ``lazy_range_delete`` is the fence row: the same delete window as
+#: ``range_delete`` but issued with ``method="lazy"`` (one WAL append, no
+#: file rewrites), then a flush (fence-filtered build) and a full
+#: compaction (fence resolution + retirement) so every stage of the
+#: fence lifecycle crosses the armed fault point.
 #: New rows are appended last so earlier rows keep their combo indices
 #: (and therefore their derived seeds).
 OPERATIONS = (
     "ingest", "flush", "compaction", "range_delete", "restart", "concurrent",
-    "shard_fanout", "shard_split",
+    "shard_fanout", "shard_split", "lazy_range_delete",
 )
 
 #: Worker count for the ``concurrent`` operation's engine.
@@ -211,9 +216,12 @@ class Driver:
             raise
         self.model.commit_delete(key, tick)
 
-    def delete_range(self, lo: int, hi: int) -> None:
+    def delete_range(self, lo: int, hi: int, method: str = "auto") -> None:
+        # A lazy fence is atomic (one WAL append), so per-key uncertainty
+        # is a conservative superset of its crash states; eager rewrites
+        # genuinely leave per-key partial outcomes.  One model serves both.
         try:
-            self.engine.delete_range(lo, hi)
+            self.engine.delete_range(lo, hi, method=method)
         except BaseException:
             self.model.range_uncertain = (lo, hi)
             raise
@@ -276,6 +284,16 @@ def _scenario_range_delete(ctx: _Ctx) -> None:
     ctx.driver.delete_range(8, 120)
 
 
+def _scenario_lazy_range_delete(ctx: _Ctx) -> None:
+    # Same window as the eager row, issued as an O(1) fence append; then
+    # a flush (fence-filtered memtable build, retirement audit) and a
+    # full compaction (fence-shadow resolution, fence retirement, manifest
+    # republish) so the whole fence lifecycle runs under the armed fault.
+    ctx.driver.delete_range(8, 120, method="lazy")
+    ctx.engine.flush()
+    ctx.engine.compact_all()
+
+
 def _scenario_restart(ctx: _Ctx) -> None:
     ctx.driver.put(_key(400), _value(400, 0))
     ctx.driver.put(_key(401), _value(401, 0))
@@ -307,6 +325,7 @@ _SCENARIOS: dict[str, Callable[[_Ctx], None]] = {
     "range_delete": _scenario_range_delete,
     "restart": _scenario_restart,
     "concurrent": _scenario_concurrent,
+    "lazy_range_delete": _scenario_lazy_range_delete,
 }
 
 

@@ -72,12 +72,18 @@ def run_workload(
     secondary_delete_window: float = 0.05,
     ingest_batch: int | None = None,
     writers: int | None = None,
+    secondary_delete_method: str = "auto",
 ) -> WorkloadResult:
     """Execute ``operations`` against ``engine`` with per-kind accounting.
 
     ``secondary_delete_window``: a SECONDARY_RANGE_DELETE op targets the
     oldest this-fraction of the elapsed time domain (resolved against the
     engine clock at execution, matching the "purge old data" use case).
+
+    ``secondary_delete_method``: forwarded to
+    :meth:`AcheronEngine.delete_range` for every secondary delete --
+    ``"lazy"`` records an O(1) range-tombstone fence instead of
+    rewriting files eagerly.
 
     ``ingest_batch``: when set (>= 2), consecutive operations of the same
     ingest kind (insert/update/point-delete) are grouped into batches of at
@@ -118,12 +124,26 @@ def run_workload(
                 "serial tree).  Replay fault-injected engines with "
                 "writers=None."
             )
-        _run_multi(engine, operations, secondary_delete_window, writers, result)
+        _run_multi(
+            engine,
+            operations,
+            secondary_delete_window,
+            writers,
+            result,
+            secondary_delete_method,
+        )
     elif ingest_batch is not None and ingest_batch >= 2:
-        _run_batched(engine, operations, secondary_delete_window, ingest_batch, result)
+        _run_batched(
+            engine,
+            operations,
+            secondary_delete_window,
+            ingest_batch,
+            result,
+            secondary_delete_method,
+        )
     else:
         for op in operations:
-            _run_one(engine, op, secondary_delete_window, result)
+            _run_one(engine, op, secondary_delete_window, result, secondary_delete_method)
     result.wall_seconds = time.perf_counter() - started
     return result
 
@@ -133,12 +153,13 @@ def _run_one(
     op: Operation,
     window: float,
     result: WorkloadResult,
+    method: str = "auto",
 ) -> None:
     stats = engine.disk.stats
     before_read = stats.pages_read
     before_written = stats.pages_written
     before_us = stats.modeled_us
-    returned = _apply(engine, op, window)
+    returned = _apply(engine, op, window, method)
     agg = result.kind(op.kind)
     agg.count += 1
     agg.pages_read += stats.pages_read - before_read
@@ -154,6 +175,7 @@ def _run_batched(
     window: float,
     batch_size: int,
     result: WorkloadResult,
+    method: str = "auto",
 ) -> None:
     pending: list[Operation] = []
 
@@ -184,7 +206,7 @@ def _run_batched(
             pending.append(op)
             continue
         drain()
-        _run_one(engine, op, window, result)
+        _run_one(engine, op, window, result, method)
     drain()
 
 
@@ -194,6 +216,7 @@ def _run_multi(
     window: float,
     writers: int,
     result: WorkloadResult,
+    method: str = "auto",
 ) -> None:
     """Replay with ``writers`` concurrent ingest threads.
 
@@ -303,11 +326,13 @@ def _run_multi(
             pending.append(op)
             continue
         drain()
-        _run_one(engine, op, window, result)
+        _run_one(engine, op, window, result, method)
     drain()
 
 
-def _apply(engine: "AcheronEngine", op: Operation, window: float) -> int:
+def _apply(
+    engine: "AcheronEngine", op: Operation, window: float, method: str = "auto"
+) -> int:
     """Execute one operation; returns how many results it produced."""
     kind = op.kind
     if kind is OpKind.INSERT or kind is OpKind.UPDATE:
@@ -324,6 +349,6 @@ def _apply(engine: "AcheronEngine", op: Operation, window: float) -> int:
     if kind is OpKind.SECONDARY_RANGE_DELETE:
         now = engine.clock.now()
         hi = max(0, int(now * window))
-        report = engine.delete_range(0, hi)
+        report = engine.delete_range(0, hi, method=method)
         return report.entries_deleted
     raise ValueError(f"unhandled operation kind {kind}")  # pragma: no cover

@@ -134,6 +134,162 @@ class TestSecondaryDeleteProperty:
         classic.tree.check_invariants()
 
 
+class TestLazyFenceProperty:
+    """The lazy fence executor is a drop-in for eager secondary deletes:
+    identical logical contents before *and* after resolution, across
+    compaction policies, worker counts, and shard counts -- and the fence
+    record itself survives both WAL replay and manifest reopen."""
+
+    @given(
+        st.lists(st.integers(0, 200), min_size=1, max_size=200),
+        st.integers(0, 250),
+        st.integers(0, 250),
+        st.sampled_from(
+            [
+                CompactionStyle.LEVELING,
+                CompactionStyle.TIERING,
+                CompactionStyle.LAZY_LEVELING,
+            ]
+        ),
+    )
+    @SETTINGS
+    def test_eager_and_lazy_agree(self, keys, a, b, policy):
+        lo, hi = min(a, b), max(a, b)
+        eager = make_acheron(
+            delete_persistence_threshold=10**6, pages_per_tile=3, policy=policy
+        )
+        lazy = make_acheron(
+            delete_persistence_threshold=10**6, pages_per_tile=3, policy=policy
+        )
+        try:
+            for key in keys:
+                eager.put(key, f"v{key}")
+                lazy.put(key, f"v{key}")
+            eager.delete_range(lo, hi, method="eager")
+            lazy.delete_range(lo, hi, method="lazy")
+            # Unresolved fence vs physical rewrite: same logical contents.
+            assert dict(lazy.scan(-1, 10**9)) == dict(eager.scan(-1, 10**9))
+            # Writes after the fence (higher seqno) must never be shadowed.
+            for key in keys[:10]:
+                eager.put(key, f"w{key}")
+                lazy.put(key, f"w{key}")
+            assert dict(lazy.scan(-1, 10**9)) == dict(eager.scan(-1, 10**9))
+            # Resolution (compaction drops shadowed entries, retires the
+            # fence) must not change contents either.
+            lazy.compact_all()
+            assert dict(lazy.scan(-1, 10**9)) == dict(eager.scan(-1, 10**9))
+            lazy.tree.check_invariants()
+            eager.tree.check_invariants()
+        finally:
+            eager.close()
+            lazy.close()
+
+    @given(
+        st.lists(st.integers(0, 200), min_size=1, max_size=120),
+        st.integers(0, 250),
+        st.integers(0, 250),
+        st.sampled_from([1, 4]),
+        st.sampled_from([1, 4]),
+    )
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_eager_and_lazy_agree_workers_shards(self, keys, a, b, workers, shards):
+        from repro.config import acheron_config
+        from repro.core.engine import AcheronEngine
+        from repro.shard import ShardedEngine
+
+        lo, hi = min(a, b), max(a, b)
+        config = acheron_config(
+            delete_persistence_threshold=10**6,
+            pages_per_tile=3,
+            memtable_entries=64,
+            entries_per_page=8,
+            size_ratio=3,
+        )
+
+        def build():
+            if shards > 1:
+                return ShardedEngine(
+                    config, shards=shards, key_space=(0, 256), workers=workers
+                )
+            return AcheronEngine(config, workers=workers)
+
+        eager, lazy = build(), build()
+        try:
+            for key in keys:
+                eager.put(key, f"v{key}")
+                lazy.put(key, f"v{key}")
+            eager.delete_range(lo, hi, method="eager")
+            lazy.delete_range(lo, hi, method="lazy")
+            assert dict(lazy.scan(-1, 10**9)) == dict(eager.scan(-1, 10**9))
+            lazy.compact_all()
+            assert dict(lazy.scan(-1, 10**9)) == dict(eager.scan(-1, 10**9))
+        finally:
+            eager.close()
+            lazy.close()
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 80), st.integers(0, 10_000)),
+            max_size=120,
+        ),
+        windows=st.lists(
+            st.tuples(st.integers(0, 200), st.integers(0, 60)),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_fence_records_survive_crash_and_reopen(
+        self, tmp_path_factory, ops, windows
+    ):
+        """A fence is one WAL record: a crash-style abandon must replay it,
+        and a clean close must carry it through the manifest."""
+        import shutil
+        from repro.config import acheron_config
+        from repro.lsm.tree import LSMTree
+
+        directory = tmp_path_factory.mktemp("fence-prop")
+        try:
+            config = acheron_config(
+                delete_persistence_threshold=10**6,
+                pages_per_tile=2,
+                memtable_entries=16,
+                entries_per_page=4,
+                size_ratio=3,
+            )
+            tree = LSMTree.open(config, directory)
+            for code, key, payload in ops:
+                if code == 1:
+                    tree.delete(key)
+                else:
+                    tree.put(key, payload)
+            for start, width in windows:
+                tree.append_range_fence(start, start + width)
+            expected = dict(tree.scan(-1, 10**9))
+            recorded = {(f.lo, f.hi, f.seqno) for f in tree.fences}
+
+            # Crash: abandon the handle; reopen replays fences from the WAL.
+            tree._wal.close()
+            tree = LSMTree.open(config, directory)
+            assert dict(tree.scan(-1, 10**9)) == expected
+            assert {(f.lo, f.hi, f.seqno) for f in tree.fences} == recorded
+
+            # Clean close: fences ride the manifest (close may flush and
+            # retire fully-resolved fences, so survivors are a subset).
+            tree.close()
+            tree = LSMTree.open(config, directory)
+            assert dict(tree.scan(-1, 10**9)) == expected
+            assert {(f.lo, f.hi, f.seqno) for f in tree.fences} <= recorded
+            tree.check_invariants()
+            tree.close()
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+
 class TestDurabilityProperty:
     @given(
         ops=st.lists(
