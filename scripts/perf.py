@@ -27,6 +27,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.bench.perfsuite import (  # noqa: E402
     FULL_INGEST_OPS,
+    check_adversarial,
     check_read_regression,
     render,
     run_suite,
@@ -73,6 +74,16 @@ def main(argv: list[str] | None = None) -> int:
         default=0.2,
         help="allowed fractional speedup drop for --check-reads (default 0.2)",
     )
+    parser.add_argument(
+        "--check-adversarial",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="archived BENCH_<n>.json to hold the adversarial phase's "
+        "defended-arm metrics against; exits 1 if a defense envelope "
+        "(FPR ceiling, residency floor, storm share, tombstone age) slips "
+        "past the tolerance or defenses_held is false",
+    )
     args = parser.parse_args(argv)
     if args.ops < 1:
         parser.error(f"--ops must be >= 1, got {args.ops}")
@@ -82,6 +93,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"--out directory does not exist: {args.out.parent}")
     if args.check_reads is not None and not args.check_reads.is_file():
         parser.error(f"--check-reads baseline does not exist: {args.check_reads}")
+    if args.check_adversarial is not None and not args.check_adversarial.is_file():
+        parser.error(
+            f"--check-adversarial baseline does not exist: {args.check_adversarial}"
+        )
     if not 0.0 <= args.read_tolerance < 1.0:
         parser.error(f"--read-tolerance must be in [0, 1), got {args.read_tolerance}")
 
@@ -100,6 +115,20 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  FAIL {failure}")
             return 1
         print(f"read speedups within {args.read_tolerance:.0%} of {args.check_reads}")
+    if args.check_adversarial is not None:
+        baseline = json.loads(args.check_adversarial.read_text())
+        failures = check_adversarial(
+            payload, baseline, tolerance=args.read_tolerance
+        )
+        if failures:
+            print(f"adversarial envelope vs {args.check_adversarial}:")
+            for failure in failures:
+                print(f"  FAIL {failure}")
+            return 1
+        print(
+            f"adversarial defenses within {args.read_tolerance:.0%} of "
+            f"{args.check_adversarial}"
+        )
     return 0
 
 

@@ -857,6 +857,284 @@ def run_delete_heavy_experiment(spec: dict[str, Any]) -> dict[str, Any]:
     return result
 
 
+#: The adversarial phase's attack shapes.  Deliberately *fixed* (not
+#: scaled by --quick): every number below was tuned so the attack
+#: demonstrably hurts the undefended arm, and the whole phase is seeded
+#: and simulator-deterministic, so the degradation factors are exact and
+#: machine-independent -- they can be gated against an archived envelope
+#: the way speedups are.
+ADVERSARIAL_ATTACKS: dict[str, dict[str, Any]] = {
+    "bloom_defeat": {
+        "seed": 3, "preload": 4096, "operations": 4000, "memtable_entries": 512,
+    },
+    "empty_flood": {
+        "seed": 3, "preload": 8192, "operations": 7000,
+        "memtable_entries": 256, "hot": 16, "hot_every": 512, "cache_pages": 32,
+    },
+    "one_hit_flood": {
+        "seed": 3, "preload": 32768, "operations": 7000,
+        "memtable_entries": 256, "hot": 16, "hot_every": 32, "cache_pages": 48,
+    },
+    "hot_shard_storm": {
+        "seed": 5, "preload": 4096, "operations": 12000, "memtable_entries": 256,
+    },
+    "tombstone_churn": {
+        "seed": 5, "preload": 4096, "operations": 8000,
+        "memtable_entries": 256, "d_th": 2000,
+    },
+}
+
+
+def _bloom_fpr(tree) -> float:
+    """Observed filter false-positive rate over the tree's lookups."""
+    levels = tree.read_stats()["levels"]
+    probes = sum(r["lookup_probes"] for r in levels)
+    skips = sum(r["lookup_skips_bloom"] for r in levels)
+    return probes / (probes + skips) if probes + skips else 0.0
+
+
+def _hot_residency(engine, hot_keys) -> float:
+    """Fraction of the hot set served without device reads right now."""
+    before = engine.disk.stats.pages_read
+    for key in hot_keys:
+        engine.get(key)
+    reads = engine.disk.stats.pages_read - before
+    return 1.0 - reads / len(hot_keys)
+
+
+def run_adversarial_experiment(spec: dict[str, Any]) -> dict[str, Any]:
+    """The ``adversarial`` phase: every attack vs defended + undefended.
+
+    For each attack in :data:`ADVERSARIAL_ATTACKS`, the same seeded
+    operation stream (attacks are crafted against the *public* scheme, so
+    the stream is arm-independent) is replayed against an undefended
+    engine and a defended one, and the attack's headline damage metric is
+    reported for both along with the **degradation factor** -- how many
+    times worse the undefended arm fares:
+
+    * ``bloom_defeat`` -- observed filter FPR; defense: salted blooms.
+    * ``empty_flood`` / ``one_hit_flood`` -- hot-set cache residency
+      after the flood; defense: hardened admission (negative-lookup
+      guard / TinyLFU doorkeeper).  The defended arm keeps blooms
+      *unsalted* so the cache defense is exercised, not bypassed.
+    * ``hot_shard_storm`` -- max per-shard share of the storm's writes
+      under the final layout; defense: hot-shard auto-split.
+    * ``tombstone_churn`` -- oldest pending tombstone age; defense:
+      FADE's ``D_th`` deadline (the undefended arm is the baseline
+      engine, which has no persistence deadline at all).
+
+    Every defended arm must beat its undefended counterpart -- asserted
+    here, so a regression fails the suite rather than just shifting a
+    number.  Each attack also reports a benign-baseline figure where one
+    exists (e.g. the FPR of *random* absent-key queries) so "degradation"
+    is anchored to normal operation, not just to the other arm.
+    """
+    from repro.config import CompactionStyle, acheron_config
+    from repro.core.engine import AcheronEngine
+    from repro.shard import AutoSplitConfig, ShardedEngine
+    from repro.workload import build_adversary, hot_set_keys, run_workload
+    from repro.workload.generator import KEY_STRIDE
+
+    attacks = spec.get("attacks") or ADVERSARIAL_ATTACKS
+    results: dict[str, dict[str, Any]] = {}
+    checks: list[str] = []
+
+    # -- bloom_defeat ---------------------------------------------------
+    p = attacks["bloom_defeat"]
+    ops = None
+    arms = {}
+    for arm, salted in (("undefended", False), ("defended", True)):
+        engine = AcheronEngine.acheron(
+            memtable_entries=p["memtable_entries"], size_ratio=16,
+            policy=CompactionStyle.TIERING, bloom_salted=salted,
+        )
+        if ops is None:
+            ops = build_adversary(
+                "bloom_defeat", seed=p["seed"], preload=p["preload"],
+                operations=p["operations"],
+                memtable_entries=p["memtable_entries"],
+                bits_per_key=engine.config.bloom_bits_per_key,
+            )
+        run_workload(engine, ops, ingest_batch=INGEST_BATCH)
+        fpr = _bloom_fpr(engine.tree)
+        # Benign anchor: the same number of *random* absent probes,
+        # measured as a delta over the attack's counters.
+        rng = Random(p["seed"] + 1)
+        benign_probes = sum(r["lookup_probes"] for r in engine.tree.read_stats()["levels"])
+        benign_skips = sum(r["lookup_skips_bloom"] for r in engine.tree.read_stats()["levels"])
+        sentinel = object()
+        for _ in range(p["operations"]):
+            slot = rng.randrange(p["preload"] - 1)
+            engine.get(slot * KEY_STRIDE + 1, default=sentinel)
+        levels = engine.tree.read_stats()["levels"]
+        d_probes = sum(r["lookup_probes"] for r in levels) - benign_probes
+        d_skips = sum(r["lookup_skips_bloom"] for r in levels) - benign_skips
+        benign_fpr = d_probes / (d_probes + d_skips) if d_probes + d_skips else 0.0
+        arms[arm] = {"attack_fpr": round(fpr, 4), "benign_fpr": round(benign_fpr, 4)}
+        engine.close()
+    # A defended FPR of exactly 0 is below the stream's measurement
+    # resolution; floor the ratio at one-false-positive-in-the-run so the
+    # factor reads "at least N x", never a fantasy 1e9.
+    arms["degradation_factor"] = round(
+        arms["undefended"]["attack_fpr"]
+        / max(arms["defended"]["attack_fpr"], 1.0 / p["operations"]),
+        1,
+    )
+    if arms["defended"]["attack_fpr"] > 0.1:
+        checks.append(
+            f"bloom_defeat: defended FPR {arms['defended']['attack_fpr']} "
+            "above the 0.1 bound (salt is not defeating the crafted stream)"
+        )
+    if arms["undefended"]["attack_fpr"] < 0.5:
+        checks.append(
+            "bloom_defeat: undefended FPR "
+            f"{arms['undefended']['attack_fpr']} -- the attack itself has "
+            "gone soft; the crafted keys no longer defeat unsalted filters"
+        )
+    results["bloom_defeat"] = arms
+
+    # -- cache floods ---------------------------------------------------
+    for attack, floor in (("empty_flood", 0.9), ("one_hit_flood", 0.45)):
+        p = attacks[attack]
+        ops = build_adversary(
+            attack, seed=p["seed"], preload=p["preload"],
+            operations=p["operations"], memtable_entries=p["memtable_entries"],
+            hot=p["hot"], hot_every=p["hot_every"],
+        )
+        hot_keys = hot_set_keys(p["preload"], p["hot"])
+        arms = {}
+        for arm, hardened in (("undefended", False), ("defended", True)):
+            engine = AcheronEngine.acheron(
+                memtable_entries=p["memtable_entries"],
+                cache_pages=p["cache_pages"], cache_hardened=hardened,
+            )
+            run_workload(engine, ops, ingest_batch=INGEST_BATCH)
+            cache = engine.tree.cache.stats()
+            arms[arm] = {
+                "hot_residency": round(_hot_residency(engine, hot_keys), 4),
+                "cache_hit_rate": round(cache["hit_rate"], 4),
+                "doorkeeper_rejections": cache["doorkeeper_rejections"],
+                "negative_guard_drops": cache["negative_guard_drops"],
+                "evictions": cache["evictions"],
+            }
+            engine.close()
+        defended = arms["defended"]["hot_residency"]
+        undefended = arms["undefended"]["hot_residency"]
+        arms["residency_advantage"] = round(defended - undefended, 4)
+        if defended < floor:
+            checks.append(
+                f"{attack}: defended hot-set residency {defended} below "
+                f"the {floor} floor"
+            )
+        if defended <= undefended:
+            checks.append(
+                f"{attack}: defended residency {defended} does not beat "
+                f"undefended {undefended}"
+            )
+        results[attack] = arms
+
+    # -- hot_shard_storm ------------------------------------------------
+    p = attacks["hot_shard_storm"]
+    ops = build_adversary(
+        "hot_shard_storm", seed=p["seed"], preload=p["preload"],
+        operations=p["operations"],
+    )
+    storm_keys = [op.key for op in ops[p["preload"]:]]
+    arms = {}
+    for arm, auto in (("undefended", None), ("defended", AutoSplitConfig(
+            window_ops=1024, hysteresis=3, cooldown_ops=4096))):
+        engine = ShardedEngine(
+            config=acheron_config(memtable_entries=p["memtable_entries"]),
+            shards=4, key_space=(0, p["preload"] * KEY_STRIDE),
+            auto_split=auto,
+        )
+        run_workload(engine, ops, ingest_batch=INGEST_BATCH)
+        pmap = engine.partition_map
+        per_shard: dict[int, int] = {}
+        for key in storm_keys:
+            idx = pmap.shard_for(key)
+            per_shard[idx] = per_shard.get(idx, 0) + 1
+        share = max(per_shard.values()) / len(storm_keys)
+        counters = engine.stats().counters
+        arms[arm] = {
+            "final_shards": len(engine.shards),
+            "max_storm_write_share": round(share, 4),
+            "auto_splits": counters.get("auto_splits", 0),
+            "auto_split_refusals": counters.get("auto_split_refusals", 0),
+            "events": engine.auto_split_events,
+        }
+        engine.close()
+    arms["degradation_factor"] = round(
+        arms["undefended"]["max_storm_write_share"]
+        / max(arms["defended"]["max_storm_write_share"], 1e-9), 2
+    )
+    if arms["defended"]["auto_splits"] < 1:
+        checks.append("hot_shard_storm: no auto-split fired within the run")
+    if (arms["defended"]["max_storm_write_share"]
+            >= arms["undefended"]["max_storm_write_share"]):
+        checks.append(
+            "hot_shard_storm: auto-split did not reduce the hot shard's "
+            "write share"
+        )
+    results["hot_shard_storm"] = arms
+
+    # -- tombstone_churn ------------------------------------------------
+    p = attacks["tombstone_churn"]
+    ops = build_adversary(
+        "tombstone_churn", seed=p["seed"], preload=p["preload"],
+        operations=p["operations"],
+    )
+    arms = {}
+    for arm, ctor in (
+        ("undefended", lambda: AcheronEngine.baseline(
+            memtable_entries=p["memtable_entries"])),
+        ("defended", lambda: AcheronEngine.acheron(
+            delete_persistence_threshold=p["d_th"],
+            memtable_entries=p["memtable_entries"])),
+    ):
+        engine = ctor()
+        run_workload(engine, ops, ingest_batch=INGEST_BATCH)
+        rep = engine.compliance_report()
+        arms[arm] = {
+            "oldest_pending_age": rep["oldest_pending_age"],
+            "deadline_violations": rep["deadline_violations"],
+            "tombstones_on_disk": rep["tombstones_on_disk"],
+            "logically_dead_bytes_on_disk": rep["logically_dead_bytes_on_disk"],
+            "deletes_pending": rep["deletes_pending"],
+            "compliant": rep["compliant"],
+        }
+        engine.close()
+    arms["degradation_factor"] = round(
+        (arms["undefended"]["oldest_pending_age"] or 0)
+        / max(arms["defended"]["oldest_pending_age"] or 1, 1), 1
+    )
+    if arms["defended"]["deadline_violations"]:
+        checks.append("tombstone_churn: FADE arm violated its deadline")
+    if (arms["defended"]["oldest_pending_age"] or 0) > p["d_th"]:
+        checks.append(
+            f"tombstone_churn: oldest pending tombstone age "
+            f"{arms['defended']['oldest_pending_age']} exceeds D_th {p['d_th']}"
+        )
+    if (arms["undefended"]["oldest_pending_age"] or 0) <= (
+            arms["defended"]["oldest_pending_age"] or 0):
+        checks.append(
+            "tombstone_churn: baseline arm no longer shows tombstone aging "
+            "-- the attack has gone soft"
+        )
+    results["tombstone_churn"] = arms
+
+    if checks:
+        raise AssertionError(
+            "adversarial phase: defenses did not hold:\n  " + "\n  ".join(checks)
+        )
+    return {
+        "experiment": "adversarial",
+        "engine": "defended_vs_undefended",
+        "attacks": results,
+        "defenses_held": True,
+    }
+
+
 def _run_spec(spec: dict[str, Any]) -> dict[str, Any]:
     """Process-pool dispatch point (module-level, picklable)."""
     if spec.get("mode") == "concurrent":
@@ -865,6 +1143,8 @@ def _run_spec(spec: dict[str, Any]) -> dict[str, Any]:
         return run_sharded_experiment(spec)
     if spec.get("mode") == "delete_heavy":
         return run_delete_heavy_experiment(spec)
+    if spec.get("mode") == "adversarial":
+        return run_adversarial_experiment(spec)
     return run_experiment(spec)
 
 
@@ -925,6 +1205,12 @@ def run_suite(
             "arms": [list(a) for a in DELETE_HEAVY_ARMS],
         }
     )
+    # Appended LAST so every earlier spec keeps its historical position:
+    # experiments are independent seeded processes, so the benign phases
+    # of this archive stay digest-equivalent to the previous one.  The
+    # attack shapes are fixed (not --quick-scaled); see
+    # ADVERSARIAL_ATTACKS.
+    specs.append({"name": "adversarial", "mode": "adversarial"})
     if workers is None:
         # One worker per experiment, but never more than the machine has
         # cores: oversubscribed workers time-share and that scheduling
@@ -952,6 +1238,9 @@ def run_suite(
     delete_heavy = next(
         (r for r in results if r["experiment"] == "delete_heavy"), None
     )
+    adversarial = next(
+        (r for r in results if r["experiment"] == "adversarial"), None
+    )
     payload = {
         "suite": "perfsuite",
         "quick": quick,
@@ -975,6 +1264,13 @@ def run_suite(
         payload["delete_call_io_reduction"] = delete_heavy["delete_call_io_reduction"]
         if "device_speedup_w4" in delete_heavy:
             payload["delete_heavy_device_speedup_w4"] = delete_heavy["device_speedup_w4"]
+    if adversarial is not None:
+        payload["adversarial_defenses_held"] = adversarial["defenses_held"]
+        payload["adversarial_degradation_factors"] = {
+            name: arms["degradation_factor"]
+            for name, arms in adversarial["attacks"].items()
+            if "degradation_factor" in arms
+        }
     path = out or next_bench_path()
     path.write_text(json.dumps(payload, indent=1) + "\n")
     payload["path"] = str(path)
@@ -1072,6 +1368,33 @@ def render(payload: dict[str, Any]) -> str:
                 else ""
             )
         )
+    adversarial = next(
+        (r for r in payload["experiments"] if r["experiment"] == "adversarial"),
+        None,
+    )
+    if adversarial is not None:
+        lines.append(
+            f"{'adversarial':<20} {'attack':>16} {'undefended':>12} "
+            f"{'defended':>10} {'degradation':>12}"
+        )
+        metric_of = {
+            "bloom_defeat": ("attack_fpr", "FPR"),
+            "empty_flood": ("hot_residency", "residency"),
+            "one_hit_flood": ("hot_residency", "residency"),
+            "hot_shard_storm": ("max_storm_write_share", "write share"),
+            "tombstone_churn": ("oldest_pending_age", "tomb age"),
+        }
+        for name, arms in adversarial["attacks"].items():
+            key, label = metric_of[name]
+            degradation = arms.get("degradation_factor")
+            lines.append(
+                f"{'':<20} {name:>16} "
+                f"{arms['undefended'][key]:>12} "
+                f"{arms['defended'][key]:>10} "
+                + (f"{degradation:>11.1f}x" if degradation is not None
+                   else f"{'-':>12}")
+                + f"  ({label})"
+            )
     lines.append(
         f"min speedups: ingest {payload['min_ingest_speedup']:.2f}x, "
         f"get {payload['min_get_speedup']:.2f}x, "
@@ -1146,5 +1469,79 @@ def check_read_regression(
                 failures.append(
                     f"{result['experiment']}: {key} {result[key]:.2f}x fell below "
                     f"{floor:.2f}x ({(1 - tolerance):.0%} of archived {base[key]:.2f}x)"
+                )
+    return failures
+
+
+#: Per-attack defended-arm envelope bounds for :func:`check_adversarial`:
+#: (metric key, direction, slack) -- "max" means the fresh defended value
+#: must not exceed the archived envelope value (scaled by the tolerance),
+#: "min" means it must not fall below it.  ``slack`` is an absolute
+#: allowance added on top, so a metric archived at exactly 0 (e.g. a
+#: defended FPR below measurement resolution) does not turn the bound
+#: into "any nonzero value fails".
+ADVERSARIAL_ENVELOPE: dict[str, tuple[str, str, float]] = {
+    "bloom_defeat": ("attack_fpr", "max", 0.02),
+    "empty_flood": ("hot_residency", "min", 0.0),
+    "one_hit_flood": ("hot_residency", "min", 0.0),
+    "hot_shard_storm": ("max_storm_write_share", "max", 0.05),
+    "tombstone_churn": ("oldest_pending_age", "max", 0.0),
+}
+
+
+def check_adversarial(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float = 0.2,
+) -> list[str]:
+    """Hold a fresh adversarial phase against an archived envelope.
+
+    The phase's attack streams are seeded and the engines simulator-
+    deterministic, so the defended-arm metrics are machine-independent --
+    unlike wall-clock speedups they should barely move at all; the
+    tolerance only absorbs deliberate retunings of cache or filter
+    defaults.  For each attack in :data:`ADVERSARIAL_ENVELOPE`, the fresh
+    *defended* metric must stay within ``tolerance`` of the archived
+    defended value (above it for floors like residency, below it for
+    ceilings like FPR).  ``defenses_held`` must also still be True --
+    though a run where it is not raises inside the phase itself.
+    Returns human-readable failure strings (empty means the envelope
+    held).  Baselines predating the phase are skipped entirely.
+    """
+    failures: list[str] = []
+    base = next(
+        (r for r in baseline.get("experiments", [])
+         if r.get("experiment") == "adversarial"),
+        None,
+    )
+    fresh = next(
+        (r for r in current.get("experiments", [])
+         if r.get("experiment") == "adversarial"),
+        None,
+    )
+    if base is None or fresh is None:
+        return failures
+    if not fresh.get("defenses_held"):
+        failures.append("adversarial: defenses_held is False")
+    for attack, (key, direction, slack) in ADVERSARIAL_ENVELOPE.items():
+        base_arm = base.get("attacks", {}).get(attack, {}).get("defended", {})
+        fresh_arm = fresh.get("attacks", {}).get(attack, {}).get("defended", {})
+        if key not in base_arm or key not in fresh_arm:
+            continue
+        archived = base_arm[key] or 0
+        value = fresh_arm[key] or 0
+        if direction == "max":
+            bound = archived * (1.0 + tolerance) + slack
+            if value > bound:
+                failures.append(
+                    f"adversarial/{attack}: defended {key} {value} exceeds "
+                    f"{bound:.4f} ({(1 + tolerance):.0%} of archived {archived})"
+                )
+        else:
+            bound = archived * (1.0 - tolerance)
+            if value < bound:
+                failures.append(
+                    f"adversarial/{attack}: defended {key} {value} fell below "
+                    f"{bound:.4f} ({(1 - tolerance):.0%} of archived {archived})"
                 )
     return failures

@@ -153,7 +153,12 @@ def _seed_sstable_build(
     config,
     created_at: int,
     level: int = 1,
+    salt: bytes | None = None,
 ) -> SSTableFile:
+    # The seed replica only ever runs on unsalted benchmark engines; the
+    # parameter exists so optimized call sites can pass salt=None through.
+    if salt is not None:
+        raise ValueError("the seed cost model does not support salted blooms")
     if not entries:
         raise ValueError("cannot build an empty file")
     tile_span = config.entries_per_page * config.pages_per_tile

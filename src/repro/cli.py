@@ -24,6 +24,10 @@ Five subcommands mirror the ways the demonstration was driven:
 ``workload`` accepts ``--shards N`` to run against a range-partitioned
 :class:`~repro.shard.engine.ShardedEngine`; ``inspect``/``stats``/
 ``verify``/``scrub`` all recognize sharded store roots automatically.
+``workload --adversary <name>`` swaps the generated stream for one of the
+seeded attack workloads in :mod:`repro.workload.adversarial`, and
+``--defended`` turns on the hardened counter-measures (salted blooms,
+flood-proof cache admission, hot-shard auto-split under ``--shards``).
 
 Usage: ``python -m repro.cli <command> --help``.
 """
@@ -40,6 +44,7 @@ from repro.demo.inspector import ShardInspector, TreeInspector
 from repro.demo.scenarios import run_side_by_side
 from repro.shard import ShardedEngine, is_sharded_root
 from repro.tools.doctor import diagnose_store, scrub_store
+from repro.workload.adversarial import ADVERSARIES, build_adversary
 from repro.workload.generator import KEY_STRIDE, WorkloadGenerator
 from repro.workload.runner import run_workload
 from repro.workload.spec import WorkloadSpec
@@ -82,6 +87,13 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="secondary range-delete executor: eager file rewrites, "
                          "lazy O(1) range-tombstone fences, or auto (eager, "
                          "paper-accurate physical cost)")
+    wl.add_argument("--adversary", choices=sorted(ADVERSARIES), default=None,
+                    help="replace the generated stream with a seeded attack "
+                         "workload (see repro.workload.adversarial)")
+    wl.add_argument("--defended", action="store_true",
+                    help="enable the hardened defenses: salted blooms, "
+                         "flood-proof cache admission, and (with --shards) "
+                         "hot-shard auto-split")
 
     record = sub.add_parser("record", help="write a generated workload to a trace file")
     record.add_argument("trace_path")
@@ -143,6 +155,9 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         "entries_per_page": 32,
         "policy": _POLICIES[args.policy],
     }
+    if args.defended:
+        scale["bloom_salted"] = True
+        scale["cache_hardened"] = True
     if args.shards > 1:
         if args.engine == "acheron":
             cfg = acheron_config(
@@ -152,11 +167,17 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             )
         else:
             cfg = baseline_config(**scale)
+        auto_split = None
+        if args.defended:
+            from repro.shard import AutoSplitConfig
+
+            auto_split = AutoSplitConfig(window_ops=1024, cooldown_ops=4096)
         engine = ShardedEngine(
             cfg,
             directory=args.directory,
             shards=args.shards,
             key_space=(0, max(args.shards, (args.preload + args.ops) * KEY_STRIDE)),
+            auto_split=auto_split,
         )
     elif args.engine == "acheron":
         engine = AcheronEngine.acheron(
@@ -171,6 +192,25 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         from repro.workload.trace import load_trace
 
         operations = load_trace(args.replay)
+        result = run_workload(
+            engine,
+            operations,
+            writers=args.writers,
+            secondary_delete_method=args.method,
+        )
+    elif args.adversary:
+        # Crafted streams must mirror the engine's build parameters
+        # (memtable batching and filter sizing) to land their hits.
+        knobs = {}
+        if args.adversary in ("bloom_defeat", "empty_flood"):
+            knobs["memtable_entries"] = scale["memtable_entries"]
+        operations = build_adversary(
+            args.adversary,
+            seed=args.seed,
+            preload=args.preload,
+            operations=args.ops,
+            **knobs,
+        )
         result = run_workload(
             engine,
             operations,

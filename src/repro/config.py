@@ -176,7 +176,21 @@ class LSMConfig:
     #: skipped without I/O -- the paper's mitigation for the weave's
     #: point-read penalty, at roughly double the filter memory.
     kiwi_page_filters: bool = False
+    #: Key the bloom digests with a secret per-tree random salt (generated
+    #: at create, persisted in the manifest).  Off by default: unsalted
+    #: trees keep the historical deterministic digests, so every archived
+    #: benchmark and durable store stays bit-identical.  Salted trees
+    #: defeat offline-crafted false-positive key streams (an adversary
+    #: cannot evaluate the keyed hash without the salt).
+    bloom_salted: bool = False
     cache_pages: int = 0
+    #: Hardened block-cache admission: a TinyLFU doorkeeper (one-hit
+    #: wonders never touch the frequency sketch, so floods cannot decay
+    #: the hot set's frequencies) plus a negative-lookup guard (pages that
+    #: only entered the cache to answer a bloom false positive are dropped
+    #: once the miss is confirmed).  Off by default -- the unhardened
+    #: cache keeps its exact historical admission decisions.
+    cache_hardened: bool = False
 
     # --- compaction shape ---
     granularity: CompactionGranularity = CompactionGranularity.FILE
@@ -307,7 +321,9 @@ class LSMConfig:
             "bloom_bits_per_key": self.bloom_bits_per_key,
             "bloom_allocation": self.bloom_allocation,
             "kiwi_page_filters": self.kiwi_page_filters,
+            "bloom_salted": self.bloom_salted,
             "cache_pages": self.cache_pages,
+            "cache_hardened": self.cache_hardened,
             "delete_persistence_threshold": self.delete_persistence_threshold,
             "file_pick": self.file_pick.value,
             "drop_tombstones_at_bottom": self.drop_tombstones_at_bottom,

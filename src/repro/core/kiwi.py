@@ -196,6 +196,7 @@ def _delete_from_file(
                     rebuilt.bloom = BloomFilter.build(
                         (e.key for e in survivors),
                         tree.config.bloom_bits_per_key,
+                        salt=tree.bloom_salt,
                     )
                 new_pages.append(rebuilt)
             else:
@@ -271,7 +272,12 @@ def full_rewrite_delete(tree: "LSMTree", lo: int, hi: int) -> SecondaryDeleteRep
                 tree.on_file_removed(file, level.index)
             if survivors:
                 new_files = build_files(
-                    survivors, tree.config, tree.file_ids, tree.clock.now(), level=level.index
+                    survivors,
+                    tree.config,
+                    tree.file_ids,
+                    tree.clock.now(),
+                    level=level.index,
+                    salt=tree.bloom_salt,
                 )
                 pages = sum(f.page_count for f in new_files)
                 tree.disk.write_pages(pages, CATEGORY_SECONDARY_DELETE)

@@ -126,6 +126,28 @@ class TreeInspector:
         """The block cache's full stats section."""
         return format_cache(self.engine.tree, name=self.name)
 
+    def attack_surface_table(self) -> str:
+        """Which adversarial defenses are armed, and what they caught.
+
+        One row per defense class in :mod:`repro.workload.adversarial`:
+        bloom salting (vs crafted absent-key streams) and cache-admission
+        hardening (vs one-hit and empty-point floods), with the counters
+        each defense increments when it fires.
+        """
+        tree = self.engine.tree
+        cache = tree.cache.stats()
+        salt = tree.bloom_salt
+        rows = [
+            ["bloom salting", "armed" if salt is not None else "OFF"],
+            ["bloom salt bytes", len(salt) if salt is not None else "-"],
+            ["cache admission hardening", "armed" if cache["hardened"] else "OFF"],
+            ["doorkeeper rejections", cache["doorkeeper_rejections"]],
+            ["negative-lookup drops", cache["negative_guard_drops"]],
+        ]
+        return format_table(
+            ["defense", "value"], rows, title=f"[{self.name}] attack surface"
+        )
+
     def read_path_table(self) -> str:
         """Per-level lookup pruning counters (probe/skip/serve)."""
         return format_read_path(self.engine.tree, name=self.name)
@@ -165,6 +187,7 @@ class TreeInspector:
                 self.persistence_table(),
                 self.io_table(),
                 self.cache_table(),
+                self.attack_surface_table(),
                 self.read_path_table(),
                 self.write_path_table(),
                 self.compaction_history(),
@@ -255,10 +278,51 @@ class ShardInspector:
             title=f"[{self.name}] shard-global persistence",
         )
 
+    def attack_surface_table(self) -> str:
+        """Shard-global adversarial posture, including auto-split.
+
+        Aggregates the per-tree defenses over every shard and adds the
+        shard layer's own counter-measure: the hot-shard auto-split
+        controller and the split/refusal events it has fired.
+        """
+        trees = [shard.tree for shard in self.engine.shards]
+        caches = [t.cache.stats() for t in trees]
+        salts = {t.bloom_salt for t in trees if t.bloom_salt is not None}
+        all_salted = all(t.bloom_salt is not None for t in trees)
+        events = self.engine.auto_split_events
+        splits = sum(1 for e in events if e["event"] == "split")
+        armed = getattr(self.engine, "_autosplit", None) is not None
+        rows = [
+            [
+                "bloom salting",
+                f"armed ({len(salts)} key(s))" if all_salted else "OFF",
+            ],
+            [
+                "cache admission hardening",
+                "armed" if all(c["hardened"] for c in caches) else "OFF",
+            ],
+            [
+                "doorkeeper rejections",
+                sum(c["doorkeeper_rejections"] for c in caches),
+            ],
+            [
+                "negative-lookup drops",
+                sum(c["negative_guard_drops"] for c in caches),
+            ],
+            ["hot-shard auto-split", "armed" if armed else "OFF"],
+            ["auto-splits fired", splits],
+            ["auto-split refusals", len(events) - splits],
+        ]
+        return format_table(
+            ["defense (all shards)", "value"],
+            rows,
+            title=f"[{self.name}] attack surface",
+        )
+
     def dashboard(self, per_shard: bool = False) -> str:
         """The shard overview; ``per_shard`` appends every shard's full
         single-tree dashboard."""
-        sections = [self.shards_table(), self.persistence_table()]
+        sections = [self.shards_table(), self.persistence_table(), self.attack_surface_table()]
         if per_shard:
             for index, shard in enumerate(self.engine.shards):
                 sections.append(

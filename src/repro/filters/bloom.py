@@ -22,6 +22,7 @@ filters it lands in.
 from __future__ import annotations
 
 import math
+import os
 from hashlib import blake2b
 from typing import Any, Iterable
 
@@ -43,12 +44,31 @@ def _key_bytes(key: Any) -> bytes:
     return repr(key).encode("utf-8")
 
 
-def hash_pair(key_bytes: bytes) -> tuple[int, int]:
-    """The (h1, h2) double-hashing pair for pre-encoded key bytes."""
-    digest = blake2b(key_bytes, digest_size=16).digest()
+def hash_pair(key_bytes: bytes, salt: bytes | None = None) -> tuple[int, int]:
+    """The (h1, h2) double-hashing pair for pre-encoded key bytes.
+
+    ``salt`` keys the digest (blake2b's native MAC mode): a filter built
+    with a secret per-tree salt answers probes through a hash function an
+    adversary cannot evaluate offline, so bloom-defeating key streams
+    crafted against the public scheme degrade to the baseline FP rate.
+    ``salt=None`` is bit-identical to the historical unsalted digest.
+    """
+    if salt is None:
+        digest = blake2b(key_bytes, digest_size=16).digest()
+    else:
+        digest = blake2b(key_bytes, digest_size=16, key=salt).digest()
     h1 = int.from_bytes(digest[:8], "little")
     h2 = int.from_bytes(digest[8:], "little") | 1  # odd => full-cycle stride
     return h1, h2
+
+
+#: Salt length for :func:`generate_salt` (blake2b accepts keys <= 64 bytes).
+SALT_BYTES = 16
+
+
+def generate_salt() -> bytes:
+    """A fresh per-tree bloom salt (cryptographically random)."""
+    return os.urandom(SALT_BYTES)
 
 
 #: Bounded digest memo behind :func:`key_hash_pair`.  A plain dict beats
@@ -59,8 +79,14 @@ def hash_pair(key_bytes: bytes) -> tuple[int, int]:
 _PAIR_MEMO: dict[Any, tuple[int, int]] = {}
 _PAIR_MEMO_MAX = 1 << 18
 
+#: Per-salt digest memos for salted trees (salt -> key -> pair).  Each
+#: salt's memo is bounded like :data:`_PAIR_MEMO`; the outer map is tiny
+#: (one entry per live salted tree in the process) but bounded anyway.
+_SALTED_MEMOS: dict[bytes, dict[Any, tuple[int, int]]] = {}
+_SALTED_MEMOS_MAX = 64
 
-def key_hash_pair(key: Any) -> tuple[int, int]:
+
+def key_hash_pair(key: Any, salt: bytes | None = None) -> tuple[int, int]:
     """Memoized :func:`hash_pair` keyed on the key object itself.
 
     An LSM engine hashes the same key many times over its life: once per
@@ -68,13 +94,22 @@ def key_hash_pair(key: Any) -> tuple[int, int]:
     amplification means an entry is re-filed ~W times).  The digest is
     pure, so a bounded memo turns all but the first into dict hits.
     Requires a hashable key; callers fall back to :func:`hash_pair` on
-    ``TypeError`` for exotic key types.
+    ``TypeError`` for exotic key types.  Salted trees get their own memo
+    per salt -- pairs from different salts must never alias.
     """
-    pair = _PAIR_MEMO.get(key)
+    if salt is None:
+        memo = _PAIR_MEMO
+    else:
+        memo = _SALTED_MEMOS.get(salt)
+        if memo is None:
+            if len(_SALTED_MEMOS) >= _SALTED_MEMOS_MAX:
+                _SALTED_MEMOS.clear()
+            memo = _SALTED_MEMOS[salt] = {}
+    pair = memo.get(key)
     if pair is None:
-        if len(_PAIR_MEMO) >= _PAIR_MEMO_MAX:
-            _PAIR_MEMO.clear()
-        pair = _PAIR_MEMO[key] = hash_pair(_key_bytes(key))
+        if len(memo) >= _PAIR_MEMO_MAX:
+            memo.clear()
+        pair = memo[key] = hash_pair(_key_bytes(key), salt)
     return pair
 
 
@@ -86,13 +121,23 @@ class BloomFilter:
     per-SSTable filters during compaction.
     """
 
-    __slots__ = ("num_bits", "num_hashes", "_bits", "probes", "false_positive_budget")
+    __slots__ = (
+        "num_bits",
+        "num_hashes",
+        "_bits",
+        "probes",
+        "false_positive_budget",
+        "salt",
+    )
 
-    def __init__(self, num_keys: int, bits_per_key: float) -> None:
+    def __init__(
+        self, num_keys: int, bits_per_key: float, salt: bytes | None = None
+    ) -> None:
         if num_keys < 0:
             raise ValueError(f"num_keys must be >= 0, got {num_keys}")
         if bits_per_key < 0:
             raise ValueError(f"bits_per_key must be >= 0, got {bits_per_key}")
+        self.salt = salt
         self.num_bits = max(8, int(num_keys * bits_per_key)) if bits_per_key > 0 else 0
         # k* = (m/n) ln 2 minimizes the false positive rate.  An enabled
         # filter always probes at least one bit so that a filter built
@@ -106,30 +151,37 @@ class BloomFilter:
     # construction
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, keys: Iterable[Any], bits_per_key: float) -> "BloomFilter":
+    def build(
+        cls, keys: Iterable[Any], bits_per_key: float, salt: bytes | None = None
+    ) -> "BloomFilter":
         """Build a filter sized for ``keys`` and populate it."""
         key_list = keys if isinstance(keys, (list, tuple)) else list(keys)
-        bloom = cls(len(key_list), bits_per_key)
+        bloom = cls(len(key_list), bits_per_key, salt=salt)
         if not bloom.num_bits:
             return bloom
         try:
-            pairs = [key_hash_pair(key) for key in key_list]
+            pairs = [key_hash_pair(key, salt) for key in key_list]
         except TypeError:  # unhashable key type: hash without the memo
-            pairs = [hash_pair(_key_bytes(key)) for key in key_list]
+            pairs = [hash_pair(_key_bytes(key), salt) for key in key_list]
         bloom._set_pairs(pairs)
         return bloom
 
     @classmethod
     def from_hash_pairs(
-        cls, pairs: list[tuple[int, int]], bits_per_key: float
+        cls,
+        pairs: list[tuple[int, int]],
+        bits_per_key: float,
+        salt: bytes | None = None,
     ) -> "BloomFilter":
         """Build from pre-computed :func:`hash_pair` digests (one per key).
 
         Bit-identical to :meth:`build` over the corresponding keys; used by
         the file builder to share one digest per entry between the
-        file-level and page-level filters.
+        file-level and page-level filters.  ``salt`` must match the salt
+        the pairs were hashed with -- it is recorded so that
+        :meth:`might_contain` probes through the same keyed digest.
         """
-        bloom = cls(len(pairs), bits_per_key)
+        bloom = cls(len(pairs), bits_per_key, salt=salt)
         if not bloom.num_bits:
             return bloom
         bloom._set_pairs(pairs)
@@ -177,7 +229,7 @@ class BloomFilter:
                 h += h2
 
     def _hash_pair(self, key: Any) -> tuple[int, int]:
-        return hash_pair(_key_bytes(key))
+        return hash_pair(_key_bytes(key), self.salt)
 
     def add_hash(self, h1: int, h2: int) -> None:
         """Set the bits for one pre-hashed key."""
@@ -188,7 +240,7 @@ class BloomFilter:
     def _add(self, key: Any) -> None:
         if not self.num_bits:
             return
-        self.add_hash(*hash_pair(_key_bytes(key)))
+        self.add_hash(*hash_pair(_key_bytes(key), self.salt))
 
     # ------------------------------------------------------------------
     # queries
@@ -200,9 +252,9 @@ class BloomFilter:
         answers True (every lookup must probe the file).
         """
         try:
-            h, h2 = key_hash_pair(key)
+            h, h2 = key_hash_pair(key, self.salt)
         except TypeError:  # unhashable key type: hash without the memo
-            h, h2 = hash_pair(_key_bytes(key))
+            h, h2 = hash_pair(_key_bytes(key), self.salt)
         return self.might_contain_hashed(h, h2)
 
     def might_contain_hashed(self, h: int, h2: int) -> bool:

@@ -165,7 +165,14 @@ def merge_task(
 
     # -- build and charge the output -------------------------------------
     new_files = (
-        build_files(out_entries, tree.config, tree.file_ids, now, level=task.target_level)
+        build_files(
+            out_entries,
+            tree.config,
+            tree.file_ids,
+            now,
+            level=task.target_level,
+            salt=tree.bloom_salt,
+        )
         if out_entries
         else []
     )

@@ -66,6 +66,29 @@ class PageReader:
         self.cache.put(file.file_id, flat, page, pinned)
         return page
 
+    def read_page_admitting(
+        self,
+        file: "SSTableFile",
+        tile_idx: int,
+        page_idx: int,
+        pinned: bool = False,
+    ) -> tuple[Page, int | None]:
+        """Like :meth:`read_page`, but also reports a fresh admission.
+
+        Returns ``(page, flat_index)`` on a cache miss and ``(page, None)``
+        on a hit, so a negative point lookup can hand the freshly admitted
+        page back to the hardened cache's negative-lookup guard (a page
+        that was *already* resident earned its slot and is never dropped).
+        """
+        flat = file.flat_page_index(tile_idx, page_idx)
+        cached = self.cache.get(file.file_id, flat)
+        if cached is not None:
+            return cached, None
+        self.disk.read_pages(1, self.category)
+        page = file.tiles[tile_idx].pages[page_idx]
+        self.cache.put(file.file_id, flat, page, pinned)
+        return page, flat
+
     def read_tile(
         self, file: "SSTableFile", tile_idx: int, pinned: bool = False
     ) -> list[Page]:
@@ -164,11 +187,14 @@ class SSTableFile:
         config: LSMConfig,
         created_at: int,
         level: int = 1,
+        salt: bytes | None = None,
     ) -> "SSTableFile":
         """Build one file from sort-key-ordered, unique-key entries.
 
         ``level`` is where the file will be installed; under the Monkey
         allocation it determines the Bloom filter's memory budget.
+        ``salt`` keys the filter digests (salted trees pass their per-tree
+        salt; see :func:`repro.filters.bloom.hash_pair`).
         """
         if not entries:
             raise ValueError("cannot build an empty file")
@@ -184,25 +210,36 @@ class SSTableFile:
         bits = config.bloom_bits_for_level(level)
         want_page_filters = config.kiwi_page_filters and config.pages_per_tile > 1
         if bits <= 0:
-            bloom = BloomFilter(len(entries), bits)
+            bloom = BloomFilter(len(entries), bits, salt=salt)
             return cls(file_id, tiles, bloom, created_at)
-        try:
-            # Fast path: every entry has been through a build before and
-            # carries its cached digest pair (see Entry.bloom_pair).
-            pairs = [e.bloom_pair for e in entries]
-        except AttributeError:
-            pairs = []
-            for e in entries:
-                try:
-                    pair = e.bloom_pair
-                except AttributeError:
+        if salt is not None:
+            # Salted digests are never cached on the Entry: bloom_pair is
+            # salt-unaware, and entries migrate between trees (shard
+            # splits) whose salts differ -- a stale cached pair would be a
+            # silent false negative.  The per-salt memo in key_hash_pair
+            # amortizes the recompute instead.
+            try:
+                pairs = [key_hash_pair(e.key, salt) for e in entries]
+            except TypeError:  # unhashable key: hash without the memo
+                pairs = [hash_pair(_key_bytes(e.key), salt) for e in entries]
+        else:
+            try:
+                # Fast path: every entry has been through a build before and
+                # carries its cached digest pair (see Entry.bloom_pair).
+                pairs = [e.bloom_pair for e in entries]
+            except AttributeError:
+                pairs = []
+                for e in entries:
                     try:
-                        pair = key_hash_pair(e.key)
-                    except TypeError:  # unhashable key: hash without the memo
-                        pair = hash_pair(_key_bytes(e.key))
-                    e.bloom_pair = pair
-                pairs.append(pair)
-        bloom = BloomFilter.from_hash_pairs(pairs, bits)
+                        pair = e.bloom_pair
+                    except AttributeError:
+                        try:
+                            pair = key_hash_pair(e.key)
+                        except TypeError:  # unhashable key: hash without the memo
+                            pair = hash_pair(_key_bytes(e.key))
+                        e.bloom_pair = pair
+                    pairs.append(pair)
+        bloom = BloomFilter.from_hash_pairs(pairs, bits, salt=salt)
         if want_page_filters:
             # The digests feed both the file-level filter and the per-page
             # (KiWi) filters.  The weave reorders the same Entry objects
@@ -214,7 +251,7 @@ class SSTableFile:
                     continue  # a single candidate page gains nothing
                 for page in tile.pages:
                     page.bloom = BloomFilter.from_hash_pairs(
-                        [pair_of[id(e)] for e in page.entries], bits
+                        [pair_of[id(e)] for e in page.entries], bits, salt=salt
                     )
         return cls(file_id, tiles, bloom, created_at)
 
@@ -306,18 +343,46 @@ class SSTableFile:
             return None
         tile = self.tiles[tile_idx]
         pages = tile.pages
+        if not reader.cache.hardened:
+            if len(pages) == 1:
+                return reader.read_page(self, tile_idx, 0, pinned).get(key)
+            for page_idx, candidate in enumerate(pages):
+                if not candidate.covers_key(key):
+                    continue
+                if candidate.bloom is not None and not candidate.bloom.might_contain(key):
+                    continue
+                page = reader.read_page(self, tile_idx, page_idx, pinned)
+                entry = page.get(key)
+                if entry is not None:
+                    return entry
+            return None
+        # Hardened cache: track fresh admissions so that when the lookup
+        # turns out negative (a filter false positive paid page I/O for
+        # nothing) the pages admitted on its behalf can be handed to the
+        # negative-lookup guard instead of displacing the hot set.
+        admitted: list[int] = []
+        entry = None
         if len(pages) == 1:
-            return reader.read_page(self, tile_idx, 0, pinned).get(key)
-        for page_idx, candidate in enumerate(pages):
-            if not candidate.covers_key(key):
-                continue
-            if candidate.bloom is not None and not candidate.bloom.might_contain(key):
-                continue
-            page = reader.read_page(self, tile_idx, page_idx, pinned)
+            page, flat = reader.read_page_admitting(self, tile_idx, 0, pinned)
+            if flat is not None:
+                admitted.append(flat)
             entry = page.get(key)
-            if entry is not None:
-                return entry
-        return None
+        else:
+            for page_idx, candidate in enumerate(pages):
+                if not candidate.covers_key(key):
+                    continue
+                if candidate.bloom is not None and not candidate.bloom.might_contain(key):
+                    continue
+                page, flat = reader.read_page_admitting(self, tile_idx, page_idx, pinned)
+                if flat is not None:
+                    admitted.append(flat)
+                entry = page.get(key)
+                if entry is not None:
+                    break
+        if entry is None:
+            for flat in admitted:
+                reader.cache.note_negative(self.file_id, flat)
+        return entry
 
     def range_entries(self, lo: Any, hi: Any, reader: PageReader) -> Iterator[Entry]:
         """Entries with ``lo <= key <= hi`` in sort-key order.
@@ -410,13 +475,17 @@ class SSTableFile:
         )
 
 
-def attach_page_filters(tiles: list[DeleteTile], bits_per_key: float) -> None:
+def attach_page_filters(
+    tiles: list[DeleteTile], bits_per_key: float, salt: bytes | None = None
+) -> None:
     """Equip every page of ``tiles`` with its own Bloom filter."""
     for tile in tiles:
         if len(tile.pages) <= 1:
             continue  # a single candidate page gains nothing from a filter
         for page in tile.pages:
-            page.bloom = BloomFilter.build((e.key for e in page.entries), bits_per_key)
+            page.bloom = BloomFilter.build(
+                (e.key for e in page.entries), bits_per_key, salt=salt
+            )
 
 
 def _oldest_tombstone_time(tiles: list[DeleteTile]) -> int | None:
@@ -441,6 +510,7 @@ def build_files(
     next_file_id: "FileIdAllocator",
     created_at: int,
     level: int = 1,
+    salt: bytes | None = None,
 ) -> list["SSTableFile"]:
     """Partition sorted entries into files of at most ``file_entry_limit``."""
     limit = config.file_entry_limit
@@ -448,7 +518,9 @@ def build_files(
     for start in range(0, len(entries), limit):
         chunk = entries[start : start + limit]
         files.append(
-            SSTableFile.build(next_file_id(), chunk, config, created_at, level=level)
+            SSTableFile.build(
+                next_file_id(), chunk, config, created_at, level=level, salt=salt
+            )
         )
     return files
 

@@ -58,7 +58,13 @@ from repro.lsm.compaction.task import (
     OutputPlacement,
     TaskInput,
 )
-from repro.filters.bloom import BloomFilter, _key_bytes, hash_pair, key_hash_pair
+from repro.filters.bloom import (
+    BloomFilter,
+    _key_bytes,
+    generate_salt,
+    hash_pair,
+    key_hash_pair,
+)
 from repro.storage.cache import BlockCache
 from repro.storage.disk import CATEGORY_FLUSH, SimulatedDisk
 from repro.storage.faults import FaultInjector
@@ -86,7 +92,17 @@ class LSMTree:
     ) -> None:
         self.config = config
         self.disk = disk or SimulatedDisk(config.disk)
-        self.cache = cache or BlockCache(config.cache_pages)
+        self.cache = cache or BlockCache(
+            config.cache_pages, hardened=config.cache_hardened
+        )
+        #: Per-tree bloom salt (None on unsalted trees).  Generated fresh
+        #: at create when the config opts in; :meth:`_restore_from_manifest`
+        #: overrides with the persisted salt on reopen so every filter
+        #: rebuilt from recovered files probes through the original keyed
+        #: digest.
+        self.bloom_salt: bytes | None = (
+            generate_salt() if config.bloom_salted else None
+        )
         self.clock = clock or LogicalClock()
         self.listener = listener
         self.memtable = Memtable(config.memtable_entries)
@@ -336,6 +352,14 @@ class LSMTree:
         return tree
 
     def _restore_from_manifest(self, manifest: dict) -> None:
+        # Salt before any file load: the filters rebuilt below must probe
+        # through the same keyed digest the tree will use for lookups.  A
+        # manifest without the key (pre-salt store, or salting just turned
+        # on) keeps the salt chosen at construction time, so an upgraded
+        # tree simply rebuilds every recovered filter under its new salt.
+        salt_hex = manifest.get("bloom_salt")
+        if salt_hex:
+            self.bloom_salt = bytes.fromhex(salt_hex)
         self._seqno = manifest["seqno"]
         self._flushed_seqno = manifest.get("flushed_seqno", manifest["seqno"])
         self.clock.advance_to(manifest["clock"])
@@ -367,11 +391,11 @@ class LSMTree:
         tiles = [DeleteTile([Page(page) for page in pages]) for pages in tile_entries]
         keys = [e.key for tile in tiles for page in tile.pages for e in page.entries]
         bits = self.config.bloom_bits_for_level(level)
-        bloom = BloomFilter.build(keys, bits)
+        bloom = BloomFilter.build(keys, bits, salt=self.bloom_salt)
         if self.config.kiwi_page_filters and self.config.pages_per_tile > 1:
             from repro.lsm.run import attach_page_filters
 
-            attach_page_filters(tiles, bits)
+            attach_page_filters(tiles, bits, salt=self.bloom_salt)
         return SSTableFile(file_id, tiles, bloom, meta.get("created_at", 0))
 
     # ==================================================================
@@ -594,7 +618,9 @@ class LSMTree:
             entries = [e for e in entries if not check(e)]
         now = self.clock.now()
         if entries:
-            files = build_files(entries, self.config, self.file_ids, now)
+            files = build_files(
+                entries, self.config, self.file_ids, now, salt=self.bloom_salt
+            )
             self.disk.write_pages(sum(f.page_count for f in files), CATEGORY_FLUSH)
             self.level(1).add_newest_run(Run(files))
             for file in files:
@@ -806,9 +832,9 @@ class LSMTree:
                     continue
                 if hashed is None:
                     try:
-                        hashed = key_hash_pair(key)
+                        hashed = key_hash_pair(key, self.bloom_salt)
                     except TypeError:  # unhashable key: digest directly
-                        hashed = hash_pair(_key_bytes(key))
+                        hashed = hash_pair(_key_bytes(key), self.bloom_salt)
                 if not file.bloom.might_contain_hashed(hashed[0], hashed[1]):
                     level.lookup_skips_bloom += 1
                     continue
@@ -830,9 +856,17 @@ class LSMTree:
                             self.disk.read_pages(1, reader.category)
                             page = pages[0]
                             self.cache.put(file.file_id, tidx, page, pinned)
+                            found = page.get(key)
+                            if found is None:
+                                # Negative-lookup guard (hardened caches
+                                # only): this page was admitted solely to
+                                # answer a bloom false positive -- drop it
+                                # before a flood of such misses evicts the
+                                # hot set.  No-op when hardening is off.
+                                self.cache.note_negative(file.file_id, tidx)
                         else:
                             level.lookup_cache_direct += 1
-                        found = page.get(key)
+                            found = page.get(key)
                 else:
                     found = file.get(key, reader, pinned)
                 if found is not None:
@@ -1033,6 +1067,10 @@ class LSMTree:
             # manifests from fence-free trees are byte-identical to old
             # ones and old manifests restore cleanly.
             manifest["fences"] = [f.to_row() for f in self._fences]
+        if self.bloom_salt is not None:
+            # Same back-compat idiom: unsalted trees write manifests
+            # byte-identical to pre-salt ones.
+            manifest["bloom_salt"] = self.bloom_salt.hex()
         self._store.write_manifest(manifest)
         # The new manifest no longer references the doomed files; their
         # physical deletion is now safe (and crash-idempotent: a crash

@@ -526,9 +526,9 @@ class WritePathController:
                     continue
                 if hashed is None:
                     try:
-                        hashed = key_hash_pair(key)
+                        hashed = key_hash_pair(key, tree.bloom_salt)
                     except TypeError:  # unhashable key: digest directly
-                        hashed = hash_pair(_key_bytes(key))
+                        hashed = hash_pair(_key_bytes(key), tree.bloom_salt)
                 if not file.bloom.might_contain_hashed(hashed[0], hashed[1]):
                     level.lookup_skips_bloom += 1
                     continue
@@ -842,7 +842,9 @@ class WritePathController:
             entries = [e for e in entries if not check(e)]
         if not entries:
             return [], 0, flushed_seqno
-        files = build_files(entries, tree.config, tree.file_ids, now)
+        files = build_files(
+            entries, tree.config, tree.file_ids, now, salt=tree.bloom_salt
+        )
         tree.disk.write_pages(sum(f.page_count for f in files), CATEGORY_FLUSH)
         for file in files:
             tree._persist_file(file)

@@ -97,6 +97,9 @@ def format_cache(tree: "LSMTree", name: str = "tree") -> str:
         ["evictions", stats["evictions"]],
         ["rejected admissions", stats["rejected_admissions"]],
         ["invalidations", stats["invalidations"]],
+        ["hardened", stats.get("hardened", False)],
+        ["doorkeeper rejections", stats.get("doorkeeper_rejections", 0)],
+        ["negative-guard drops", stats.get("negative_guard_drops", 0)],
     ]
     return format_table(
         ["block cache", "value"], rows, title=f"[{name}] cache"

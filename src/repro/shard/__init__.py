@@ -3,6 +3,7 @@
 See :mod:`repro.shard.engine` for the subsystem overview.
 """
 
+from repro.shard.autosplit import AutoSplitConfig, AutoSplitController
 from repro.shard.engine import (
     SHARDS_ENV,
     ShardedEngine,
@@ -24,6 +25,8 @@ __all__ = [
     "SHARDS_ENV",
     "SHARD_LAYOUT_VERSION",
     "SHARD_MANIFEST_NAME",
+    "AutoSplitConfig",
+    "AutoSplitController",
     "PartitionMap",
     "PurgeReport",
     "ShardRootStore",

@@ -1,0 +1,174 @@
+"""Hot-shard auto-split: turn a write storm into a split, not a stall.
+
+A range-partitioned deployment has a worst case the benign rebalancer
+(:meth:`ShardedEngine.rebalance`, size-based) reacts to only after the
+damage is done: an adversary -- or just a skewed tenant -- concentrates
+*writes* on one shard, saturating its flush/compaction pipeline (PR 4's
+backpressure then stalls every writer routed there) long before the shard
+is large enough to look skewed by size.
+
+The controller here watches the live signals instead:
+
+* **write rate** -- every routed write is counted per shard; each
+  ``window_ops`` writes the window is scored and reset;
+* **queue depth** -- the PR 4 backpressure signal
+  (``tree.write_stats()["queue_depth"]``): a shard whose flush queue is
+  backed up counts as hot at half the share bar, because the storm is
+  already outrunning its pipeline.
+
+A shard that stays hot for ``hysteresis`` *consecutive* windows -- the
+same shard every time -- triggers a split, after which ``cooldown_ops``
+routed writes must pass before another may fire.  Hysteresis is what
+makes the controller stable under alternating hot spots: a workload that
+ping-pongs between two shards resets the streak on every flip and never
+splits (splitting would not help -- neither shard is persistently hot).
+
+The split itself is the existing staged, crash-recoverable protocol
+(:meth:`ShardedEngine.split_shard`); the controller only decides *when*
+and *which*.  Every decision (and every refusal, e.g. a one-key shard
+that cannot split) is recorded in :attr:`AutoSplitController.events` for
+the inspector's attack-surface section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class AutoSplitConfig:
+    """Tuning knobs for the hot-shard auto-split controller."""
+
+    #: Fraction of a window's routed writes one shard must absorb to be hot.
+    hot_share: float = 0.6
+    #: Routed writes per evaluation window.
+    window_ops: int = 4096
+    #: Windows with fewer total writes than this are ignored (a trickle
+    #: concentrated on one shard is not a storm).
+    min_window_ops: int = 256
+    #: Consecutive hot windows (same shard) required to trigger a split.
+    hysteresis: int = 3
+    #: Flush-queue depth at which a shard counts hot at half the share bar.
+    queue_hot_depth: int = 4
+    #: Routed writes after a split before another may trigger.
+    cooldown_ops: int = 16384
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hot_share <= 1.0:
+            raise ValueError(f"hot_share must be in (0, 1], got {self.hot_share}")
+        if self.window_ops < 1:
+            raise ValueError(f"window_ops must be >= 1, got {self.window_ops}")
+        if self.hysteresis < 1:
+            raise ValueError(f"hysteresis must be >= 1, got {self.hysteresis}")
+
+
+class AutoSplitController:
+    """Per-window hot-shard scoring with hysteresis and cooldown."""
+
+    def __init__(self, config: AutoSplitConfig | None = None) -> None:
+        self.config = config or AutoSplitConfig()
+        #: Routed writes this window, keyed by shard index.
+        self.window_counts: dict[int, int] = {}
+        self._window_total = 0
+        #: The shard hot in every window of the current streak, or None.
+        self.hot_shard: int | None = None
+        self.hot_streak = 0
+        #: Routed writes remaining before the cooldown lifts (0 = armed).
+        self.cooldown_remaining = 0
+        #: Every decision: triggered splits and refusals, JSON-safe rows.
+        self.events: list[dict[str, Any]] = []
+        self.windows_evaluated = 0
+
+    # ------------------------------------------------------------------
+    # signal intake
+    # ------------------------------------------------------------------
+    def note_writes(self, index: int, count: int = 1) -> bool:
+        """Count ``count`` routed writes for shard ``index``.
+
+        Returns True when a window boundary was crossed -- the caller
+        should then ask :meth:`evaluate` for a verdict (the two steps are
+        split so the engine can gather queue depths only when needed).
+        """
+        self.window_counts[index] = self.window_counts.get(index, 0) + count
+        self._window_total += count
+        if self.cooldown_remaining:
+            self.cooldown_remaining = max(0, self.cooldown_remaining - count)
+        return self._window_total >= self.config.window_ops
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def evaluate(self, queue_depths: dict[int, int] | None = None) -> int | None:
+        """Score the closed window; return a shard index to split, or None.
+
+        ``queue_depths`` maps shard index -> live flush-queue depth (the
+        PR 4 backpressure counter); a backed-up shard is held to half the
+        share bar.  The window counters are reset either way.
+        """
+        cfg = self.config
+        counts, self.window_counts = self.window_counts, {}
+        total, self._window_total = self._window_total, 0
+        self.windows_evaluated += 1
+        if total < cfg.min_window_ops or not counts:
+            # Too little signal to call anything hot; a genuine storm
+            # refills the window immediately, so the streak survives.
+            return None
+        worst = max(counts, key=counts.get)
+        share = counts[worst] / total
+        depth = (queue_depths or {}).get(worst, 0)
+        bar = cfg.hot_share / 2 if depth >= cfg.queue_hot_depth else cfg.hot_share
+        if share < bar:
+            self.hot_shard = None
+            self.hot_streak = 0
+            return None
+        if worst == self.hot_shard:
+            self.hot_streak += 1
+        else:
+            # A different shard is hot now: the streak restarts.  This is
+            # the hysteresis that keeps alternating hot spots from ever
+            # triggering (neither shard is *persistently* hot).
+            self.hot_shard = worst
+            self.hot_streak = 1
+        if self.hot_streak < cfg.hysteresis or self.cooldown_remaining:
+            return None
+        return worst
+
+    # ------------------------------------------------------------------
+    # outcomes
+    # ------------------------------------------------------------------
+    def record_split(self, index: int, tick: int, share: float | None = None) -> None:
+        """A split fired for shard ``index``: log it, reset, start cooldown."""
+        self.events.append(
+            {
+                "event": "split",
+                "shard": index,
+                "tick": tick,
+                "streak": self.hot_streak,
+                "share": share,
+            }
+        )
+        self._reset_after_decision()
+
+    def record_refusal(self, index: int, tick: int, reason: str) -> None:
+        """A triggered split could not run (e.g. too few distinct keys)."""
+        self.events.append(
+            {"event": "refused", "shard": index, "tick": tick, "reason": reason}
+        )
+        # Cooldown applies to refusals too, or an unsplittable hot shard
+        # would re-trigger on every following window.
+        self._reset_after_decision()
+
+    def _reset_after_decision(self) -> None:
+        self.hot_shard = None
+        self.hot_streak = 0
+        self.cooldown_remaining = self.config.cooldown_ops
+        # Shard indices shift after a split (the new shard is inserted at
+        # source+1), so any in-window counts keyed by old indices are
+        # meaningless -- drop them.
+        self.window_counts.clear()
+        self._window_total = 0
+
+    @property
+    def split_count(self) -> int:
+        return sum(1 for e in self.events if e["event"] == "split")

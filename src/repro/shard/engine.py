@@ -66,6 +66,7 @@ from repro.errors import (
     InvariantViolationError,
 )
 from repro.metrics.shape import LevelSummary
+from repro.shard.autosplit import AutoSplitConfig, AutoSplitController
 from repro.shard.handoff import PurgeReport, extract_live_range, purge_key_range
 from repro.shard.manifest import (
     SHARD_LAYOUT_VERSION,
@@ -310,9 +311,20 @@ class ShardedEngine:
         faults: Any = None,
         degraded_ok: bool = False,
         workers: int | None = None,
+        auto_split: "AutoSplitConfig | bool | None" = None,
     ) -> None:
         self.faults = faults
         self._read_only = read_only
+        #: Hot-shard auto-split (see :mod:`repro.shard.autosplit`).  Off
+        #: by default; ``True`` arms the default config.  The controller
+        #: only *decides* -- the split it fires is the ordinary staged,
+        #: crash-recoverable :meth:`split_shard`.
+        if auto_split and read_only:
+            raise ConfigError("auto_split requires a writable engine")
+        self._autosplit: AutoSplitController | None = None
+        if auto_split:
+            cfg = auto_split if isinstance(auto_split, AutoSplitConfig) else None
+            self._autosplit = AutoSplitController(cfg)
         self._wal_sync = wal_sync
         self._degraded_ok = degraded_ok
         self._track_persistence = track_persistence
@@ -490,11 +502,17 @@ class ShardedEngine:
     # ------------------------------------------------------------------
     def put(self, key: Any, value: Any, delete_key: int | None = None) -> None:
         self._check_open()
-        self.shard_for(key).put(key, value, delete_key=delete_key)
+        index = self.partition_map.shard_for(key)
+        self.shards[index].put(key, value, delete_key=delete_key)
+        if self._autosplit is not None:
+            self._note_writes(index, 1)
 
     def delete(self, key: Any) -> None:
         self._check_open()
-        self.shard_for(key).delete(key)
+        index = self.partition_map.shard_for(key)
+        self.shards[index].delete(key)
+        if self._autosplit is not None:
+            self._note_writes(index, 1)
 
     def get(self, key: Any, default: Any = None) -> Any:
         self._check_open()
@@ -510,7 +528,14 @@ class ShardedEngine:
         groups: dict[int, list[tuple]] = {}
         for item in items:
             groups.setdefault(self.partition_map.shard_for(item[0]), []).append(item)
-        return sum(self.shards[i].put_many(group) for i, group in groups.items())
+        # Apply every group before feeding the auto-split controller: a
+        # split mid-batch would renumber the shards under the remaining
+        # (pre-split-indexed) groups.
+        applied = sum(self.shards[i].put_many(group) for i, group in groups.items())
+        if self._autosplit is not None:
+            for i, group in groups.items():
+                self._note_writes(i, len(group))
+        return applied
 
     def apply_batch(self, ops: Iterable[tuple]) -> int:
         """Mixed ingest batch (``("put", k, v[, dk])`` / ``("delete", k)``),
@@ -519,7 +544,11 @@ class ShardedEngine:
         groups: dict[int, list[tuple]] = {}
         for op in ops:
             groups.setdefault(self.partition_map.shard_for(op[1]), []).append(op)
-        return sum(self.shards[i].apply_batch(group) for i, group in groups.items())
+        applied = sum(self.shards[i].apply_batch(group) for i, group in groups.items())
+        if self._autosplit is not None:
+            for i, group in groups.items():
+                self._note_writes(i, len(group))
+        return applied
 
     def scan(
         self,
@@ -692,6 +721,35 @@ class ShardedEngine:
         )
         return candidates[len(candidates) // 2] if candidates else None
 
+    def _note_writes(self, index: int, count: int) -> None:
+        """Feed routed writes to the auto-split controller; act on verdicts."""
+        ctl = self._autosplit
+        if ctl is None or not ctl.note_writes(index, count):
+            return
+        # Window boundary: gather the live backpressure signal (PR 4's
+        # flush-queue depth; identically 0 for serial shards) and score.
+        depths = {
+            i: shard.tree.write_stats().get("queue_depth", 0)
+            for i, shard in enumerate(self.shards)
+        }
+        target = ctl.evaluate(depths)
+        if target is None:
+            return
+        tick = self.clock.now()
+        try:
+            self.split_shard(target)
+        except AcheronError as exc:
+            # An unsplittable hot shard (e.g. a single-key storm): log the
+            # refusal; the controller's cooldown stops an immediate retry.
+            ctl.record_refusal(target, tick, str(exc))
+        else:
+            ctl.record_split(target, tick)
+
+    @property
+    def auto_split_events(self) -> list[dict]:
+        """Auto-split decision log (empty when the controller is off)."""
+        return list(self._autosplit.events) if self._autosplit is not None else []
+
     def rebalance(self, skew_threshold: float = 2.0) -> ShardSplitReport | None:
         """Split the largest shard when its size exceeds ``skew_threshold``
         times the mean shard size.  Returns None when balanced (or when the
@@ -764,6 +822,13 @@ class ShardedEngine:
         for st in per:
             for key, value in st.counters.items():
                 counters[key] = counters.get(key, 0) + value
+        if self._autosplit is not None:
+            # Only present when the controller is armed, so stats from
+            # undefended runs stay byte-identical to earlier releases.
+            counters["auto_splits"] = self._autosplit.split_count
+            counters["auto_split_refusals"] = (
+                len(self._autosplit.events) - self._autosplit.split_count
+            )
         cache = _merge_numeric([st.cache for st in per])
         io = _sum_io(st.io for st in per)
         return EngineStats(

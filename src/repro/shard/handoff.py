@@ -147,7 +147,8 @@ def purge_key_range(tree: "LSMTree", split_key: Any) -> PurgeReport:
                 tree.on_file_removed(file, level.index)
             if survivors:
                 new_files = build_files(
-                    survivors, tree.config, tree.file_ids, now, level=level.index
+                    survivors, tree.config, tree.file_ids, now,
+                    level=level.index, salt=tree.bloom_salt,
                 )
                 pages = sum(f.page_count for f in new_files)
                 tree.disk.write_pages(pages, CATEGORY_COMPACTION)

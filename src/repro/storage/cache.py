@@ -86,9 +86,13 @@ class _Shard:
         "evictions",
         "rejected",
         "invalidations",
+        "doorkeeper",
+        "doorkeeper_limit",
+        "doorkeeper_rejections",
+        "negative_drops",
     )
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, hardened: bool = False) -> None:
         self.capacity = capacity
         self.lock = threading.Lock()
         self.pages: OrderedDict[tuple[Hashable, int], list] = OrderedDict()
@@ -101,9 +105,39 @@ class _Shard:
         self.evictions = 0
         self.rejected = 0
         self.invalidations = 0
+        #: TinyLFU doorkeeper (hardened mode only, else None): the set of
+        #: keys seen missing exactly once.  A first miss lands here instead
+        #: of in the frequency filter, so a flood of one-hit wonders can
+        #: neither accrue admission credit nor drive the halving decay that
+        #: would cool the resident hot set.  Cleared on every halving and
+        #: when it outgrows its bound -- deliberately sized near the
+        #: capacity (the classic W-TinyLFU shape): a flood cycling more
+        #: distinct keys than ~2x capacity keeps resetting the doorkeeper
+        #: before any flood key's second touch, so the flood never
+        #: graduates into the frequency filter no matter how often its
+        #: keys recur, while a genuinely cacheable working set (smaller
+        #: than the bound) graduates on its second touch as usual.
+        self.doorkeeper: set[tuple[Hashable, int]] | None = (
+            set() if hardened else None
+        )
+        self.doorkeeper_limit = max(64, capacity * 2)
+        self.doorkeeper_rejections = 0
+        self.negative_drops = 0
 
     def record_freq(self, key: tuple[Hashable, int]) -> int:
-        """Count one miss for ``key``; returns its updated frequency."""
+        """Count one access for ``key``; returns its admission estimate.
+
+        Unhardened shards record misses only (the historical behaviour).
+        Hardened shards route a key's *first* miss into the doorkeeper --
+        no frequency credit, no decay pressure -- so only keys seen at
+        least twice ever touch the filter.
+        """
+        doorkeeper = self.doorkeeper
+        if doorkeeper is not None and key not in doorkeeper and key not in self.freq:
+            if len(doorkeeper) >= self.doorkeeper_limit:
+                doorkeeper.clear()
+            doorkeeper.add(key)
+            return 1
         freq = self.freq
         count = freq.get(key, 0) + 1
         freq[key] = count
@@ -113,6 +147,16 @@ class _Shard:
             # dict bounded and lets yesterday's hot keys cool off.
             self.freq = {k: c >> 1 for k, c in freq.items() if c > 1}
             self.freq_recordings = 0
+            if doorkeeper is not None:
+                doorkeeper.clear()
+        return count
+
+    def estimate(self, key: tuple[Hashable, int]) -> int:
+        """Admission estimate: filter count plus the doorkeeper bit."""
+        count = self.freq.get(key, 0)
+        doorkeeper = self.doorkeeper
+        if doorkeeper is not None and key in doorkeeper:
+            count += 1
         return count
 
     def find_victim(self) -> tuple[Hashable, int] | None:
@@ -138,6 +182,13 @@ class BlockCache:
     and nothing is stored), which lets callers keep a single code path.
     ``shards`` overrides the shard count (rounded to a power of two);
     ``sizer`` maps a page to its byte estimate for the ``bytes`` stat.
+
+    ``hardened=True`` arms the adversarial defenses: a TinyLFU doorkeeper
+    (one-hit wonders earn no admission credit and cannot decay the
+    resident hot set's frequencies -- hits then also count as accesses, so
+    hot pages keep their credit) and the negative-lookup guard (see
+    :meth:`note_negative`).  Off by default; the unhardened paths are
+    bit-identical to the historical cache.
     """
 
     def __init__(
@@ -145,10 +196,12 @@ class BlockCache:
         capacity: int,
         shards: int | None = None,
         sizer: Callable[[Any], int] | None = None,
+        hardened: bool = False,
     ) -> None:
         if capacity < 0:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
+        self.hardened = hardened
         if shards is None:
             shards = _DEFAULT_SHARDS if capacity >= _SHARD_THRESHOLD else 1
         if shards < 1:
@@ -159,7 +212,8 @@ class BlockCache:
         self._mask = nshards - 1
         base, extra = divmod(capacity, nshards) if capacity else (0, 0)
         self._shards = [
-            _Shard(base + (1 if i < extra else 0)) for i in range(nshards)
+            _Shard(base + (1 if i < extra else 0), hardened=hardened)
+            for i in range(nshards)
         ]
         self._sizer = sizer or _default_sizer
         #: File ids whose pages have been invalidated.  Ids are never
@@ -184,6 +238,11 @@ class BlockCache:
                 return None
             shard.pages.move_to_end(key)
             shard.hits += 1
+            if shard.doorkeeper is not None:
+                # Hardened: hits are accesses too, so a resident hot page
+                # keeps (and renews) its admission credit instead of
+                # looking cold just because it stopped missing.
+                shard.record_freq(key)
             return entry[0]
 
     def put(
@@ -219,19 +278,55 @@ class BlockCache:
                 entry[2] = size
                 pages.move_to_end(key)
                 return True
+            hardened = shard.doorkeeper is not None
             while len(pages) >= shard.capacity:
                 victim = shard.find_victim()
                 if victim is None:  # capacity 0 shard: nothing fits
                     shard.rejected += 1
                     return False
-                if not pinned and shard.freq.get(key, 1) < shard.freq.get(victim, 1):
-                    # The newcomer is colder than what it would displace.
-                    shard.rejected += 1
-                    return False
+                if not pinned:
+                    if hardened:
+                        if shard.estimate(key) < shard.estimate(victim):
+                            # The newcomer is colder than what it would
+                            # displace; a doorkeeper-only newcomer (never
+                            # seen twice) is the signature of a one-hit-
+                            # wonder flood.
+                            shard.rejected += 1
+                            if key not in shard.freq:
+                                shard.doorkeeper_rejections += 1
+                            return False
+                    elif shard.freq.get(key, 1) < shard.freq.get(victim, 1):
+                        # The newcomer is colder than what it would displace.
+                        shard.rejected += 1
+                        return False
                 shard.evict(victim)
             pages[key] = [page, pinned, size]
             shard.bytes += size
             return True
+
+    def note_negative(self, file_id: Hashable, page_index: int) -> bool:
+        """Drop a page just admitted to answer a *negative* lookup.
+
+        The read path calls this when a page it cached on a miss turned
+        out not to hold the probed key -- i.e. the page read was caused by
+        a bloom false positive.  An empty-point-query flood manufactures
+        exactly such reads; without the guard each one evicts a genuinely
+        hot page to cache a page nobody asked for.  Hardened caches drop
+        the page (unpinned entries only) and count the drop; unhardened
+        caches do nothing, preserving historical behaviour bit for bit.
+        """
+        if not self.hardened:
+            return False
+        key = (file_id, page_index)
+        shard = self._shards[hash(key) & self._mask]
+        with shard.lock:
+            entry = shard.pages.get(key)
+            if entry is None or entry[1]:  # absent, or pinned (level 1)
+                return False
+            shard.pages.pop(key)
+            shard.bytes -= entry[2]
+            shard.negative_drops += 1
+        return True
 
     def invalidate_file(self, file_id: Hashable) -> int:
         """Drop every page of ``file_id``; returns how many were dropped.
@@ -303,6 +398,14 @@ class BlockCache:
         return sum(shard.invalidations for shard in self._shards)
 
     @property
+    def doorkeeper_rejections(self) -> int:
+        return sum(shard.doorkeeper_rejections for shard in self._shards)
+
+    @property
+    def negative_guard_drops(self) -> int:
+        return sum(shard.negative_drops for shard in self._shards)
+
+    @property
     def bytes_cached(self) -> int:
         return sum(shard.bytes for shard in self._shards)
 
@@ -336,6 +439,12 @@ class BlockCache:
             "evictions": self.evictions,
             "rejected_admissions": self.rejected_admissions,
             "invalidations": self.invalidations,
+            # Hardening counters are always present (zero when the
+            # defenses are off) so JSON round-trips and cross-shard stat
+            # merges never branch on the mode.
+            "hardened": self.hardened,
+            "doorkeeper_rejections": self.doorkeeper_rejections,
+            "negative_guard_drops": self.negative_guard_drops,
         }
 
     def reset_stats(self) -> None:
@@ -345,3 +454,5 @@ class BlockCache:
             shard.evictions = 0
             shard.rejected = 0
             shard.invalidations = 0
+            shard.doorkeeper_rejections = 0
+            shard.negative_drops = 0

@@ -92,12 +92,17 @@ D_TH = 5_000
 
 
 def _matrix_config():
+    # bloom_salted exercises the keyed-filter path (salt generation,
+    # manifest persistence, rebuild-under-salt on recovery) through every
+    # crash point in the matrix; the restart row additionally asserts the
+    # salt round-trips bit-exact.
     return acheron_config(
         delete_persistence_threshold=D_TH,
         pages_per_tile=2,
         memtable_entries=32,
         entries_per_page=8,
         size_ratio=3,
+        bloom_salted=True,
     )
 
 
@@ -295,12 +300,22 @@ def _scenario_lazy_range_delete(ctx: _Ctx) -> None:
 
 
 def _scenario_restart(ctx: _Ctx) -> None:
+    salt_before = ctx.engine.tree.bloom_salt
     ctx.driver.put(_key(400), _value(400, 0))
     ctx.driver.put(_key(401), _value(401, 0))
     ctx.engine.close()
     # Reopen with the fault still armed: shutdown already ran under it,
     # now recovery itself (temp sweep, GC, replay) must survive it too.
     ctx.engine = _open_engine(ctx.directory, faults=ctx.injector)
+    # The bloom salt is a persisted secret: a reopen that survived the
+    # fault must probe recovered filters through the *original* keyed
+    # digest, not a freshly generated one.
+    salt_after = ctx.engine.tree.bloom_salt
+    if salt_after != salt_before:
+        raise AssertionError(
+            "bloom salt did not round-trip across restart: "
+            f"{salt_before!r} -> {salt_after!r}"
+        )
 
 
 def _scenario_concurrent(ctx: _Ctx) -> None:

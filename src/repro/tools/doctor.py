@@ -118,13 +118,51 @@ def _check_manifest(store: FileStore, report: DoctorReport) -> dict | None:
             return None
     if "config" in manifest:
         try:
-            LSMConfig.from_dict(manifest["config"])
+            config = LSMConfig.from_dict(manifest["config"])
             report.passed("recorded config valid")
         except ConfigError as exc:
             report.error(f"recorded config invalid: {exc}")
+        else:
+            _check_bloom_salt(config, manifest, report)
     else:
         report.warn("manifest records no config (pre-1.0 store)")
     return manifest
+
+
+def _check_bloom_salt(
+    config: LSMConfig, manifest: dict, report: DoctorReport
+) -> None:
+    """Verify the persisted bloom salt matches the recorded config.
+
+    A salted store that loses its salt silently rebuilds every filter
+    under a fresh key on reopen -- correct, but it discards the very
+    secret the defense depends on, so the doctor surfaces it.
+    """
+    salt_hex = manifest.get("bloom_salt")
+    if config.bloom_salted:
+        if not salt_hex:
+            report.warn(
+                "config opts into salted blooms but the manifest records no "
+                "bloom_salt (reopen will rekey every filter)"
+            )
+            return
+        try:
+            salt = bytes.fromhex(salt_hex)
+        except (TypeError, ValueError):
+            report.error(f"bloom_salt is not valid hex: {salt_hex!r}")
+            return
+        if len(salt) < 8:
+            report.warn(
+                f"bloom_salt is only {len(salt)} bytes (crafted-key "
+                "resistance wants >= 8)"
+            )
+        else:
+            report.passed(f"bloom salt persisted ({len(salt)} bytes)")
+    elif salt_hex:
+        report.warn(
+            "manifest records a bloom_salt but the config has salting off "
+            "(stale key from a previously defended store)"
+        )
 
 
 def _check_sstables(
@@ -298,6 +336,80 @@ def examine_read_path(tree: Any, name: str = "tree") -> DoctorReport:
 
 
 # ---------------------------------------------------------------------------
+# live attack-surface examination
+# ---------------------------------------------------------------------------
+def examine_attack_surface(engine: Any, name: str = "engine") -> DoctorReport:
+    """Adversarial posture of a *live* engine: which defenses are armed.
+
+    The robustness sibling of :func:`examine_read_path`.  It reports, per
+    defense, whether the engine is exposed to the attack classes in
+    :mod:`repro.workload.adversarial`: unsalted blooms (bloom-defeating
+    key streams can be crafted offline), unhardened cache admission
+    (one-hit-wonder and empty-point floods evict the working set), and --
+    for sharded engines -- a disabled auto-split controller (write storms
+    pin one shard's flush queue).  Advisory only: an undefended engine is
+    a configuration choice, not corruption, so warnings never mark the
+    report unhealthy.
+    """
+    report = DoctorReport(directory=name)
+    trees = (
+        [shard.tree for shard in engine.shards]
+        if hasattr(engine, "shards")
+        else [engine.tree]
+    )
+
+    salted = [t.bloom_salt is not None for t in trees]
+    if all(salted):
+        salts = {t.bloom_salt for t in trees}
+        report.passed(
+            f"bloom filters salted ({len(salts)} distinct key(s) across "
+            f"{len(trees)} tree(s))"
+        )
+        if len(trees) > 1 and len(salts) == 1:
+            report.warn(
+                "every shard shares one bloom salt: a key leaked from one "
+                "shard defeats all of them"
+            )
+    else:
+        report.warn(
+            "bloom filters unsalted: absent-key streams defeating them can "
+            "be crafted offline (set bloom_salted=True)"
+        )
+
+    cache_stats = [t.cache.stats() for t in trees]
+    report.stats["cache"] = cache_stats[0] if len(cache_stats) == 1 else cache_stats
+    if all(s["hardened"] for s in cache_stats):
+        dk = sum(s["doorkeeper_rejections"] for s in cache_stats)
+        neg = sum(s["negative_guard_drops"] for s in cache_stats)
+        report.passed(
+            f"cache admission hardened ({dk} doorkeeper rejections, "
+            f"{neg} negative-lookup drops)"
+        )
+    else:
+        report.warn(
+            "cache admission unhardened: one-hit floods evict the working "
+            "set unchecked (set cache_hardened=True)"
+        )
+
+    if hasattr(engine, "auto_split_events"):
+        events = engine.auto_split_events
+        report.stats["auto_split_events"] = events
+        if getattr(engine, "_autosplit", None) is None:
+            report.warn(
+                "hot-shard auto-split disabled: a write storm concentrates "
+                "on one shard until a manual rebalance (pass auto_split=...)"
+            )
+        else:
+            splits = sum(1 for e in events if e["event"] == "split")
+            refusals = len(events) - splits
+            report.passed(
+                f"hot-shard auto-split armed ({splits} splits, "
+                f"{refusals} refusals so far)"
+            )
+    return report
+
+
+# ---------------------------------------------------------------------------
 # live write-path examination
 # ---------------------------------------------------------------------------
 def examine_write_path(tree: Any, name: str = "tree") -> DoctorReport:
@@ -395,6 +507,13 @@ def scrub_store(directory: str | Path) -> DoctorReport:
                 + (f" (epoch {epoch})" if epoch is not None else " (no epoch: pre-epoch store)")
             )
             report.stats["manifest_epoch"] = epoch
+            if "config" in manifest:
+                try:
+                    _check_bloom_salt(
+                        LSMConfig.from_dict(manifest["config"]), manifest, report
+                    )
+                except ConfigError:
+                    pass  # diagnose reports invalid configs; scrub is media-only
             referenced = {
                 fid
                 for run_lists in manifest.get("levels", [])

@@ -7,6 +7,13 @@ Zipfian key popularity.  :mod:`repro.workload.runner` applies a stream to
 an engine while attributing device I/O to each operation kind.
 """
 
+from repro.workload.adversarial import (
+    ADVERSARIES,
+    HOT_SET_SLOTS,
+    build_adversary,
+    craft_bloom_defeating_keys,
+    hot_set_keys,
+)
 from repro.workload.distributions import (
     HotspotKeyPicker,
     UniformKeyPicker,
@@ -19,6 +26,8 @@ from repro.workload.runner import OpKindStats, WorkloadResult, run_workload
 from repro.workload.trace import load_trace, record_trace
 
 __all__ = [
+    "ADVERSARIES",
+    "HOT_SET_SLOTS",
     "HotspotKeyPicker",
     "OpKind",
     "OpKindStats",
@@ -28,7 +37,10 @@ __all__ = [
     "WorkloadResult",
     "WorkloadSpec",
     "ZipfianKeyPicker",
+    "build_adversary",
+    "craft_bloom_defeating_keys",
     "generate_operations",
+    "hot_set_keys",
     "load_trace",
     "record_trace",
     "make_key_picker",

@@ -1,0 +1,353 @@
+"""Adversarial workloads and the defenses they are aimed at.
+
+Each attack in :mod:`repro.workload.adversarial` has a matching defense,
+and each pair gets both sides tested here:
+
+* **bloom defeat vs salting** -- a crafted absent-key stream saturates an
+  unsalted filter by construction (FPR 1.0) but probes a *salted* filter
+  as if it were random noise, so its FPR stays at the design rate;
+* **one-hit flood vs the doorkeeper** -- a stream of never-repeated pages
+  washes an unhardened cache's working set out; the hardened cache keeps
+  the hot set resident because one-hit wonders earn no admission credit;
+* **empty-point flood vs the negative guard** -- pages admitted only to
+  answer a bloom false positive are dropped again in hardened mode;
+* **write storm vs auto-split** -- the controller fires on a persistently
+  hot shard but never on alternating hot spots (hysteresis) and not
+  again inside the cooldown;
+* **salt persistence** -- the salt is a durable secret: it must survive a
+  close/reopen bit-exact, and the doctor must verify it is on disk.
+
+The end-to-end degradation numbers (defended vs undefended engines under
+each full attack) live in the perfsuite's ``adversarial`` phase; these
+tests pin the mechanisms at unit scale so a regression names the broken
+part.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from conftest import make_acheron
+from repro.errors import WorkloadError
+from repro.filters.bloom import BloomFilter, generate_salt
+from repro.shard.autosplit import AutoSplitConfig, AutoSplitController
+from repro.storage.cache import BlockCache
+from repro.workload.adversarial import (
+    ADVERSARIES,
+    build_adversary,
+    craft_bloom_defeating_keys,
+    hot_set_keys,
+)
+from repro.workload.generator import KEY_STRIDE
+from repro.workload.spec import OpKind
+
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# salted blooms vs crafted key streams
+# ---------------------------------------------------------------------------
+class TestSaltedBloomFPR:
+    @given(seed=st.integers(0, 2**32 - 1), nkeys=st.integers(128, 512))
+    @SETTINGS
+    def test_crafted_stream_fpr_bounded_under_salt(self, seed, nkeys):
+        """Keys crafted to saturate an unsalted filter (FPR 1.0 by
+        construction) must probe a salted twin at the design false-positive
+        rate (~0.8% at 10 bits/key; we allow 8% for small samples)."""
+        rng = random.Random(seed)
+        keys = [i * KEY_STRIDE for i in range(nkeys)]
+        unsalted = BloomFilter.build(keys, 10.0)
+        # An attacker is not confined to the stored key range: any absent
+        # key that false-positives the replicated filter will do, so draw
+        # from a wide pool until 100 distinct hits are found.
+        crafted: set[int] = set()
+        for _ in range(200_000):
+            if len(crafted) == 100:
+                break
+            candidate = rng.randrange(1, nkeys * KEY_STRIDE * 1000)
+            if candidate % KEY_STRIDE and unsalted.might_contain(candidate):
+                crafted.add(candidate)
+        assert len(crafted) == 100, "filter too sparse to craft against"
+        # By construction every crafted key false-positives unsalted.
+        assert all(unsalted.might_contain(k) for k in crafted)
+        salted = BloomFilter.build(keys, 10.0, salt=generate_salt())
+        fp = sum(1 for k in crafted if salted.might_contain(k))
+        assert fp / len(crafted) <= 0.08
+
+    def test_crafter_defeats_chunked_filters(self):
+        """The attack generator's per-memtable-chunk simulation crafts
+        keys that pass the unsalted per-chunk filters it rebuilt."""
+        rng = random.Random(7)
+        crafted = craft_bloom_defeating_keys(
+            rng, preload=1024, memtable_entries=256, bits_per_key=10.0
+        )
+        assert crafted, "no keys crafted"
+        # Replay the attacker's own simulation: every crafted key must
+        # false-positive at least one chunk filter.
+        chunks = [range(lo, lo + 256) for lo in range(0, 1024, 256)]
+        sims = [
+            BloomFilter.build([s * KEY_STRIDE for s in chunk], 10.0)
+            for chunk in chunks
+        ]
+        for key in crafted[:50]:
+            assert key % KEY_STRIDE != 0  # absent by construction
+            assert any(sim.might_contain(key) for sim in sims)
+
+    def test_salt_never_probes_bloom_pair_path(self):
+        """Salted filters must not share hash state with unsalted ones."""
+        keys = list(range(0, 512, 4))
+        salted = BloomFilter.build(keys, 10.0, salt=b"\x01" * 16)
+        resalted = BloomFilter.build(keys, 10.0, salt=b"\x02" * 16)
+        # Different salts set different bit patterns for the same keys.
+        assert salted.might_contain(keys[0]) and resalted.might_contain(keys[0])
+        assert bytes(salted._bits) != bytes(resalted._bits)
+
+
+# ---------------------------------------------------------------------------
+# cache-admission hardening vs floods
+# ---------------------------------------------------------------------------
+def _establish_hot(cache: BlockCache, hot: int) -> None:
+    """Install ``hot`` pages and touch them twice (admission credit)."""
+    for i in range(hot):
+        cache.get("hot", i)
+        cache.put("hot", i, f"page{i}")
+    for i in range(hot):
+        assert cache.get("hot", i) is not None
+
+
+def _flood_hit_rate(cache: BlockCache, hot: int, flood: int) -> float:
+    """One-hit flood with a periodic hot probe; returns hot hit rate."""
+    hits = probes = 0
+    for k in range(flood):
+        cache.get("flood", k)
+        cache.put("flood", k, f"flood{k}")
+        if k % 10 == 9:
+            probes += 1
+            hits += cache.get("hot", k % hot) is not None
+    return hits / probes
+
+
+class TestHardenedAdmission:
+    def test_hot_set_survives_one_hit_flood(self):
+        hardened = BlockCache(32, hardened=True)
+        _establish_hot(hardened, 8)
+        assert _flood_hit_rate(hardened, hot=8, flood=2000) >= 0.9
+        assert hardened.doorkeeper_rejections > 0
+
+    def test_unhardened_cache_is_washed_out(self):
+        """The control: without the doorkeeper the same flood evicts the
+        hot set (this is the attack the defense exists for)."""
+        plain = BlockCache(32, hardened=False)
+        _establish_hot(plain, 8)
+        assert _flood_hit_rate(plain, hot=8, flood=2000) <= 0.5
+        assert plain.doorkeeper_rejections == 0
+
+    def test_negative_guard_drops_fp_pages(self):
+        cache = BlockCache(16, hardened=True)
+        cache.put("f", 3, "page")
+        assert cache.note_negative("f", 3) is True
+        assert cache.get("f", 3) is None  # dropped
+        assert cache.negative_guard_drops == 1
+
+    def test_negative_guard_spares_pinned_and_noops_unhardened(self):
+        cache = BlockCache(16, hardened=True)
+        cache.put("f", 1, "page", pinned=True)
+        assert cache.note_negative("f", 1) is False
+        assert cache.get("f", 1) is not None
+        plain = BlockCache(16, hardened=False)
+        plain.put("f", 2, "page")
+        assert plain.note_negative("f", 2) is False
+        assert plain.get("f", 2) is not None
+        assert plain.negative_guard_drops == 0
+
+
+# ---------------------------------------------------------------------------
+# auto-split hysteresis and cooldown
+# ---------------------------------------------------------------------------
+def _hot_window(ctl: AutoSplitController, shard: int, ops: int) -> int | None:
+    """Route one whole window of writes at ``shard``; return the verdict."""
+    boundary = False
+    for _ in range(ops):
+        boundary = ctl.note_writes(shard)
+    assert boundary
+    return ctl.evaluate()
+
+
+class TestAutoSplitHysteresis:
+    CFG = AutoSplitConfig(
+        window_ops=64, min_window_ops=16, hysteresis=3, cooldown_ops=256
+    )
+
+    def test_alternating_hot_shards_never_split(self):
+        """Ping-ponging hot spots reset the streak on every flip: no
+        oscillating split/merge storms, ever."""
+        ctl = AutoSplitController(self.CFG)
+        for window in range(40):
+            assert _hot_window(ctl, window % 2, 64) is None
+        assert ctl.events == []
+
+    def test_persistent_hot_shard_splits_after_hysteresis(self):
+        ctl = AutoSplitController(self.CFG)
+        assert _hot_window(ctl, 1, 64) is None
+        assert _hot_window(ctl, 1, 64) is None
+        assert _hot_window(ctl, 1, 64) == 1
+
+    def test_cooldown_blocks_refire(self):
+        ctl = AutoSplitController(self.CFG)
+        for _ in range(2):
+            _hot_window(ctl, 0, 64)
+        assert _hot_window(ctl, 0, 64) == 0
+        ctl.record_split(0, tick=100)
+        # Cooldown (256 ops = 4 windows) holds even under a persistent
+        # storm; the streak keeps building underneath, so the storm may
+        # refire at the first boundary after expiry -- but not before.
+        fired = [_hot_window(ctl, 0, 64) for _ in range(3)]
+        assert fired == [None, None, None]
+        assert _hot_window(ctl, 0, 64) == 0
+
+    def test_refusal_also_cools_down(self):
+        ctl = AutoSplitController(self.CFG)
+        for _ in range(3):
+            _hot_window(ctl, 2, 64)
+        ctl.record_refusal(2, tick=50, reason="single-key shard")
+        assert ctl.cooldown_remaining == self.CFG.cooldown_ops
+        assert [e["event"] for e in ctl.events] == ["refused"]
+
+
+# ---------------------------------------------------------------------------
+# salt durability
+# ---------------------------------------------------------------------------
+class TestSaltPersistence:
+    def test_salt_round_trips_across_reopen(self, tmp_path):
+        from repro.core.engine import AcheronEngine
+
+        directory = str(tmp_path / "store")
+        engine = AcheronEngine.acheron(
+            directory=directory,
+            bloom_salted=True,
+            memtable_entries=64,
+            entries_per_page=8,
+        )
+        for k in range(200):
+            engine.put(k * 4, f"v{k}")
+        salt = engine.tree.bloom_salt
+        assert salt is not None and len(salt) >= 8
+        engine.close()
+
+        reopened = AcheronEngine.acheron(
+            directory=directory,
+            bloom_salted=True,
+            memtable_entries=64,
+            entries_per_page=8,
+        )
+        assert reopened.tree.bloom_salt == salt
+        # Recovered filters answer through the persisted salt: present
+        # keys hit, absent keys (non-stride) are overwhelmingly pruned.
+        assert reopened.get(4) == "v1"
+        assert reopened.get(5, default=None) is None
+        reopened.close()
+
+    def test_doctor_verifies_persisted_salt(self, tmp_path):
+        from repro.core.engine import AcheronEngine
+        from repro.tools.doctor import diagnose_store
+
+        directory = str(tmp_path / "store")
+        engine = AcheronEngine.acheron(
+            directory=directory,
+            bloom_salted=True,
+            memtable_entries=64,
+            entries_per_page=8,
+        )
+        for k in range(100):
+            engine.put(k, f"v{k}")
+        engine.close()
+        report = diagnose_store(directory)
+        assert report.healthy
+        assert any("bloom salt persisted" in c for c in report.checks_passed)
+
+    def test_unsalted_store_stays_byte_compatible(self, tmp_path):
+        """Default (unsalted) manifests must not carry the salt key."""
+        from repro.core.engine import AcheronEngine
+        from repro.storage.filestore import FileStore
+
+        directory = str(tmp_path / "store")
+        engine = AcheronEngine.acheron(
+            directory=directory, memtable_entries=64, entries_per_page=8
+        )
+        for k in range(100):
+            engine.put(k, f"v{k}")
+        engine.close()
+        manifest = FileStore(directory).read_manifest()
+        assert "bloom_salt" not in manifest
+
+
+# ---------------------------------------------------------------------------
+# attack stream generators
+# ---------------------------------------------------------------------------
+class TestAdversaryStreams:
+    def test_unknown_adversary_raises(self):
+        with pytest.raises(WorkloadError):
+            build_adversary("meltdown")
+
+    @pytest.mark.parametrize("name", sorted(ADVERSARIES))
+    def test_streams_are_seeded_and_shaped(self, name):
+        ops = build_adversary(name, seed=11, preload=512, operations=400)
+        again = build_adversary(name, seed=11, preload=512, operations=400)
+        assert [(o.kind, o.key) for o in ops] == [
+            (o.kind, o.key) for o in again
+        ], "same seed must reproduce the stream"
+        assert all(o.kind == OpKind.INSERT for o in ops[:512])
+        assert len(ops) >= 512 + 400
+
+    def test_hot_set_keys_span_distinct_pages(self):
+        keys = hot_set_keys(4096)
+        slots = [k // KEY_STRIDE for k in keys]
+        # Evenly spread: no two hot keys within one 64-entry page.
+        assert len(keys) == len(set(s // 64 for s in slots))
+
+    def test_bloom_defeat_queries_are_absent_keys(self):
+        ops = build_adversary(
+            "bloom_defeat", seed=3, preload=512, operations=200,
+            memtable_entries=128,
+        )
+        attack = ops[512:]
+        assert all(o.kind == OpKind.EMPTY_QUERY for o in attack)
+        assert all(o.key % KEY_STRIDE != 0 for o in attack)
+
+
+# ---------------------------------------------------------------------------
+# stats plumbing round-trip
+# ---------------------------------------------------------------------------
+class TestHardenedStatsRoundTrip:
+    def test_new_counters_survive_json(self):
+        engine = make_acheron(cache_pages=16, cache_hardened=True)
+        for k in range(300):
+            engine.put(k, f"v{k}")
+        for k in range(300):
+            engine.get(k)
+        stats = engine.stats()
+        payload = json.loads(json.dumps(stats.to_dict()))
+        cache = payload["cache"]
+        assert cache["hardened"] is True
+        assert cache["doorkeeper_rejections"] >= 0
+        assert cache["negative_guard_drops"] >= 0
+        assert cache == engine.tree.cache.stats()
+
+    def test_counters_present_and_zero_when_unhardened(self):
+        engine = make_acheron(cache_pages=16)
+        for k in range(100):
+            engine.put(k, f"v{k}")
+        cache = engine.tree.cache.stats()
+        assert cache["hardened"] is False
+        assert cache["doorkeeper_rejections"] == 0
+        assert cache["negative_guard_drops"] == 0
