@@ -28,6 +28,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 from repro.bench.perfsuite import (  # noqa: E402
     FULL_INGEST_OPS,
     check_adversarial,
+    check_memory,
     check_read_regression,
     render,
     run_suite,
@@ -84,6 +85,16 @@ def main(argv: list[str] | None = None) -> int:
         "(FPR ceiling, residency floor, storm share, tombstone age) slips "
         "past the tolerance or defenses_held is false",
     )
+    parser.add_argument(
+        "--check-memory",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="archived BENCH_<n>.json to hold the memory_skew phase against; "
+        "exits 1 if the adaptive arm no longer beats the static arm in "
+        "modeled I/O and p99 lookup cost, or the win shrinks past the "
+        "tolerance relative to the archive",
+    )
     args = parser.parse_args(argv)
     if args.ops < 1:
         parser.error(f"--ops must be >= 1, got {args.ops}")
@@ -97,6 +108,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(
             f"--check-adversarial baseline does not exist: {args.check_adversarial}"
         )
+    if args.check_memory is not None and not args.check_memory.is_file():
+        parser.error(f"--check-memory baseline does not exist: {args.check_memory}")
     if not 0.0 <= args.read_tolerance < 1.0:
         parser.error(f"--read-tolerance must be in [0, 1), got {args.read_tolerance}")
 
@@ -128,6 +141,18 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"adversarial defenses within {args.read_tolerance:.0%} of "
             f"{args.check_adversarial}"
+        )
+    if args.check_memory is not None:
+        baseline = json.loads(args.check_memory.read_text())
+        failures = check_memory(payload, baseline, tolerance=args.read_tolerance)
+        if failures:
+            print(f"memory governor envelope vs {args.check_memory}:")
+            for failure in failures:
+                print(f"  FAIL {failure}")
+            return 1
+        print(
+            f"memory governor win holds within {args.read_tolerance:.0%} of "
+            f"{args.check_memory}"
         )
     return 0
 

@@ -48,6 +48,7 @@ from repro.errors import (
     WorkloadError,
 )
 from repro.lsm.tree import LSMTree
+from repro.memory import MemoryBudget, MemoryGovernor, MemoryGovernorConfig
 from repro.shard import PartitionMap, ShardedEngine
 
 __version__ = "1.0.0"
@@ -69,6 +70,9 @@ __all__ = [
     "LSMConfig",
     "LSMTree",
     "LogicalClock",
+    "MemoryBudget",
+    "MemoryGovernor",
+    "MemoryGovernorConfig",
     "PartitionMap",
     "PersistenceStats",
     "PersistenceTracker",

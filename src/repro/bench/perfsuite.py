@@ -1135,6 +1135,201 @@ def run_adversarial_experiment(spec: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+#: The memory-skew phase's shape: a 4-shard store where shard 0 (the hot
+#: shard) receives MEMORY_SKEW_HOT_FRACTION of all traffic.  The hot read
+#: working set (MEMORY_SKEW_HOT_KEYS entries) is 2x one shard's static
+#: cache (MEMORY_SKEW_CACHE_PAGES pages of ``entries_per_page`` entries),
+#: so a uniform budget split thrashes the hot cache while three cold
+#: caches sit idle -- exactly the imbalance the governor arbitrates away.
+#: The governed pool (4 shards' pages plus whatever the write/read split
+#: donates) comfortably covers the hot set, so the adaptive arm's probe
+#: misses drop below the p99 quantile while the static arm keeps paying
+#: a page read per tail lookup.
+MEMORY_SKEW_SHARDS = 4
+MEMORY_SKEW_KEY_SPACE = 16_384
+MEMORY_SKEW_HOT_KEYS = 2_048
+MEMORY_SKEW_CACHE_PAGES = 32
+MEMORY_SKEW_HOT_FRACTION = 0.8
+MEMORY_SKEW_ROUND_WRITES = 512
+MEMORY_SKEW_ROUND_READS = 416
+MEMORY_SKEW_PROBE_READS = 2_048
+
+
+def run_memory_skew_experiment(spec: dict[str, Any]) -> dict[str, Any]:
+    """The ``memory_skew`` phase: adaptive vs static memory budgets.
+
+    Replays one seeded hot/cold-skewed stream twice against a four-shard
+    :class:`~repro.shard.engine.ShardedEngine`: the **static** arm keeps
+    the config's uniform per-shard write-buffer/cache split
+    (``memory_governor=None``), the **adaptive** arm runs the
+    :class:`~repro.memory.MemoryGovernor`, which reallocates the same
+    fixed global budget toward the hot shard at window boundaries.  Each
+    round interleaves writes (80% to shard 0) with reads over the hot
+    working set, so the governor sees the miss pressure it arbitrates on.
+
+    Two deterministic, machine-independent currencies are compared:
+
+    * ``io_reduction`` -- total modeled device time, static / adaptive
+      (> 1 means the governor saved real modeled I/O);
+    * ``p99_lookup_delta_us`` -- the p99 per-get modeled cost over a
+      post-convergence probe stream, static minus adaptive (> 0 means
+      tail lookups got cheaper).
+
+    Both arms' full logical contents are digested and must be identical:
+    budget arbitration may move memory, never data.
+    """
+    import hashlib
+
+    from repro.bench.harness import EXPERIMENT_SCALE
+    from repro.config import baseline_config
+    from repro.memory import MemoryGovernorConfig
+    from repro.shard import ShardedEngine
+
+    n: int = spec["ingest_ops"]
+    seed: int = spec["seed"]
+    rounds = max(4, min(n, FULL_INGEST_OPS) // MEMORY_SKEW_ROUND_WRITES)
+    config = baseline_config(cache_pages=MEMORY_SKEW_CACHE_PAGES, **EXPERIMENT_SCALE)
+    governor = MemoryGovernorConfig(
+        window_ops=MEMORY_SKEW_ROUND_WRITES,
+        min_window_ops=256,
+        min_cache_pages=2,
+        min_memtable_entries=128,
+    )
+
+    # -- one seeded script, replayed verbatim by both arms --------------
+    rng = Random(seed)
+    cold_lo = MEMORY_SKEW_KEY_SPACE // MEMORY_SKEW_SHARDS
+    cold_span = MEMORY_SKEW_KEY_SPACE - cold_lo
+    script: list[tuple[list[tuple], list[int]]] = []
+    live_cold: list[int] = []
+    for _ in range(rounds):
+        writes: list[tuple] = []
+        for _ in range(MEMORY_SKEW_ROUND_WRITES):
+            if rng.random() < MEMORY_SKEW_HOT_FRACTION:
+                key = rng.randrange(MEMORY_SKEW_HOT_KEYS)
+                writes.append(("put", key, f"v{key}"))
+            elif live_cold and rng.random() < DELETE_FRACTION:
+                writes.append(("delete", live_cold[rng.randrange(len(live_cold))]))
+            else:
+                key = cold_lo + rng.randrange(cold_span)
+                live_cold.append(key)
+                writes.append(("put", key, f"v{key}"))
+        reads = [
+            rng.randrange(MEMORY_SKEW_HOT_KEYS)
+            for _ in range(MEMORY_SKEW_ROUND_READS - 32)
+        ] + [cold_lo + rng.randrange(cold_span) for _ in range(32)]
+        script.append((writes, reads))
+    probe = [
+        rng.randrange(MEMORY_SKEW_HOT_KEYS) for _ in range(MEMORY_SKEW_PROBE_READS)
+    ]
+
+    sentinel = object()
+    arms: dict[str, dict[str, Any]] = {}
+    for arm_name, governor_cfg in (("static", None), ("adaptive", governor)):
+        engine = ShardedEngine(
+            config,
+            shards=MEMORY_SKEW_SHARDS,
+            key_space=(0, MEMORY_SKEW_KEY_SPACE),
+            memory_governor=governor_cfg,
+        )
+        io = engine.disk.stats  # live view: per-get deltas below
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        for writes, reads in script:
+            for op in writes:
+                if op[0] == "put":
+                    engine.put(op[1], op[2])
+                else:
+                    engine.delete(op[1])
+            for key in reads:
+                engine.get(key, default=sentinel)
+        engine.write_barrier()
+        replay = PhaseResult(
+            rounds * (MEMORY_SKEW_ROUND_WRITES + MEMORY_SKEW_ROUND_READS),
+            time.perf_counter() - t0,
+            time.process_time() - c0,
+        )
+
+        # -- post-convergence probe: per-get modeled lookup cost --------
+        costs: list[float] = []
+        found = 0
+        for key in probe:
+            before = io.modeled_us
+            if engine.get(key, default=sentinel) is not sentinel:
+                found += 1
+            costs.append(io.modeled_us - before)
+        costs.sort()
+        p99 = costs[min(len(costs) - 1, int(len(costs) * 0.99))]
+
+        digest = hashlib.sha256()
+        rows = 0
+        for key, value in engine.scan(0, MEMORY_SKEW_KEY_SPACE):
+            digest.update(repr((key, value)).encode())
+            rows += 1
+        engine.verify_invariants()
+        hits = sum(s.tree.cache.hits for s in engine.shards)
+        misses = sum(s.tree.cache.misses for s in engine.shards)
+        hot = engine.shards[0].tree
+        stats = engine.stats()
+        arms[arm_name] = {
+            "replay": replay.to_dict(),
+            "device_us": round(io.modeled_us, 1),
+            "pages_read": io.pages_read,
+            "pages_written": io.pages_written,
+            "cache_hit_rate": round(hits / max(1, hits + misses), 4),
+            "p99_lookup_us": round(p99, 3),
+            "mean_lookup_us": round(sum(costs) / len(costs), 3),
+            "probe_found": found,
+            "rows": rows,
+            "hot_cache_pages": hot.cache.capacity,
+            "hot_memtable_budget": hot.memtable_budget,
+            "flush_count": stats.flush_count,
+            "compaction_count": stats.compaction_count,
+            "contents_sha256": digest.hexdigest(),
+        }
+        if governor_cfg is not None:
+            gov = stats.memory or {}
+            arms[arm_name]["governor"] = {
+                key: gov.get(key)
+                for key in (
+                    "windows_evaluated",
+                    "decisions",
+                    "cache_resizes",
+                    "memtable_resizes",
+                    "pool_shifts",
+                )
+            }
+        engine.close()
+
+    # -- equivalence: arbitration moves memory, never data --------------
+    if arms["adaptive"]["contents_sha256"] != arms["static"]["contents_sha256"]:
+        raise AssertionError(
+            "memory_skew: adaptive arm's final contents diverged from static "
+            f"({arms['adaptive']['contents_sha256'][:16]} != "
+            f"{arms['static']['contents_sha256'][:16]})"
+        )
+    if arms["adaptive"]["probe_found"] != arms["static"]["probe_found"]:
+        raise AssertionError(
+            "memory_skew: adaptive arm's probe results diverged from static "
+            f"({arms['adaptive']['probe_found']} != {arms['static']['probe_found']})"
+        )
+    static, adaptive = arms["static"], arms["adaptive"]
+    io_reduction = round(static["device_us"] / max(adaptive["device_us"], 1e-9), 3)
+    p99_delta = round(static["p99_lookup_us"] - adaptive["p99_lookup_us"], 3)
+    return {
+        "experiment": "memory_skew",
+        "engine": "adaptive_vs_static",
+        "ingest_ops": rounds * MEMORY_SKEW_ROUND_WRITES,
+        "rounds": rounds,
+        "hot_fraction": MEMORY_SKEW_HOT_FRACTION,
+        "arms": arms,
+        "contents_identical": True,
+        "io_reduction": io_reduction,
+        "p99_lookup_delta_us": p99_delta,
+        "adaptive_beats_static": io_reduction > 1.0 and p99_delta > 0,
+    }
+
+
 def _run_spec(spec: dict[str, Any]) -> dict[str, Any]:
     """Process-pool dispatch point (module-level, picklable)."""
     if spec.get("mode") == "concurrent":
@@ -1145,6 +1340,8 @@ def _run_spec(spec: dict[str, Any]) -> dict[str, Any]:
         return run_delete_heavy_experiment(spec)
     if spec.get("mode") == "adversarial":
         return run_adversarial_experiment(spec)
+    if spec.get("mode") == "memory_skew":
+        return run_memory_skew_experiment(spec)
     return run_experiment(spec)
 
 
@@ -1211,6 +1408,17 @@ def run_suite(
     # attack shapes are fixed (not --quick-scaled); see
     # ADVERSARIAL_ATTACKS.
     specs.append({"name": "adversarial", "mode": "adversarial"})
+    # Same append-last discipline: the memory-skew phase rides after the
+    # adversarial block so every earlier spec keeps its position and the
+    # benign phases stay digest-equivalent to the previous archive.
+    specs.append(
+        {
+            "name": "memory_skew",
+            "mode": "memory_skew",
+            "seed": 11,
+            "ingest_ops": ingest_ops,
+        }
+    )
     if workers is None:
         # One worker per experiment, but never more than the machine has
         # cores: oversubscribed workers time-share and that scheduling
@@ -1240,6 +1448,9 @@ def run_suite(
     )
     adversarial = next(
         (r for r in results if r["experiment"] == "adversarial"), None
+    )
+    memory_skew = next(
+        (r for r in results if r["experiment"] == "memory_skew"), None
     )
     payload = {
         "suite": "perfsuite",
@@ -1271,6 +1482,10 @@ def run_suite(
             for name, arms in adversarial["attacks"].items()
             if "degradation_factor" in arms
         }
+    if memory_skew is not None:
+        payload["memory_skew_contents_identical"] = memory_skew["contents_identical"]
+        payload["memory_io_reduction"] = memory_skew["io_reduction"]
+        payload["memory_p99_lookup_delta_us"] = memory_skew["p99_lookup_delta_us"]
     path = out or next_bench_path()
     path.write_text(json.dumps(payload, indent=1) + "\n")
     payload["path"] = str(path)
@@ -1395,6 +1610,30 @@ def render(payload: dict[str, Any]) -> str:
                    else f"{'-':>12}")
                 + f"  ({label})"
             )
+    memory_skew = next(
+        (r for r in payload["experiments"] if r["experiment"] == "memory_skew"),
+        None,
+    )
+    if memory_skew is not None:
+        lines.append(
+            f"{'memory-skew':<20} {'arm':>10} {'device-us':>12} {'hit-rate':>9} "
+            f"{'p99-get-us':>11} {'hot-pages':>10} {'hot-buf':>8} {'digest':>10}"
+        )
+        for name, arm in memory_skew["arms"].items():
+            lines.append(
+                f"{'':<20} {name:>10} "
+                f"{arm['device_us']:>12,.0f} "
+                f"{arm['cache_hit_rate']:>9.2%} "
+                f"{arm['p99_lookup_us']:>11.1f} "
+                f"{arm['hot_cache_pages']:>10} "
+                f"{arm['hot_memtable_budget']:>8} "
+                f"{arm['contents_sha256'][:8]:>10}"
+            )
+        lines.append(
+            f"{'':<20} adaptive modeled-I/O reduction "
+            f"{memory_skew['io_reduction']:.2f}x, p99 lookup delta "
+            f"{memory_skew['p99_lookup_delta_us']:.1f}us"
+        )
     lines.append(
         f"min speedups: ingest {payload['min_ingest_speedup']:.2f}x, "
         f"get {payload['min_get_speedup']:.2f}x, "
@@ -1544,4 +1783,70 @@ def check_adversarial(
                     f"adversarial/{attack}: defended {key} {value} fell below "
                     f"{bound:.4f} ({(1 - tolerance):.0%} of archived {archived})"
                 )
+    return failures
+
+
+#: Floor metrics for :func:`check_memory`: metric key -> absolute floor.
+#: The phase's currencies are modeled (deterministic), so the absolute
+#: bounds are the contract itself: the adaptive arm must *beat* static in
+#: total modeled I/O (ratio > 1) and in p99 lookup cost (delta > 0).
+MEMORY_ENVELOPE: dict[str, float] = {
+    "io_reduction": 1.0,
+    "p99_lookup_delta_us": 0.0,
+}
+
+
+def check_memory(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float = 0.2,
+) -> list[str]:
+    """Hold a fresh ``memory_skew`` phase against its contract + archive.
+
+    Two layers.  **Absolute** (:data:`MEMORY_ENVELOPE`): the adaptive arm
+    must strictly beat the static arm in total modeled device I/O and in
+    p99 per-lookup modeled cost, and both arms' contents must be
+    identical -- these hold against *any* baseline because the metrics
+    are simulator-deterministic.  **Relative**: if the archive also ran
+    the phase, the fresh wins must stay within ``tolerance`` of the
+    archived ones (a governor retuning that quietly halves the dividend
+    fails CI).  Returns human-readable failure strings (empty means the
+    governor's win held).  A current run without the phase fails loudly;
+    baselines predating the phase skip only the relative layer.
+    """
+    failures: list[str] = []
+    fresh = next(
+        (r for r in current.get("experiments", [])
+         if r.get("experiment") == "memory_skew"),
+        None,
+    )
+    if fresh is None:
+        return ["memory_skew: phase missing from the current run"]
+    if not fresh.get("contents_identical"):
+        failures.append("memory_skew: arms' contents are not identical")
+    for key, floor in MEMORY_ENVELOPE.items():
+        value = fresh.get(key, 0)
+        if value <= floor:
+            failures.append(
+                f"memory_skew: {key} {value} does not clear the absolute "
+                f"floor {floor} (the adaptive arm no longer beats static)"
+            )
+    base = next(
+        (r for r in baseline.get("experiments", [])
+         if r.get("experiment") == "memory_skew"),
+        None,
+    )
+    if base is None:
+        return failures
+    for key in MEMORY_ENVELOPE:
+        archived = base.get(key)
+        value = fresh.get(key)
+        if archived is None or value is None:
+            continue
+        bound = archived * (1.0 - tolerance)
+        if value < bound:
+            failures.append(
+                f"memory_skew: {key} {value} fell below {bound:.3f} "
+                f"({(1 - tolerance):.0%} of archived {archived})"
+            )
     return failures

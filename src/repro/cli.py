@@ -94,6 +94,14 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="enable the hardened defenses: salted blooms, "
                          "flood-proof cache admission, and (with --shards) "
                          "hot-shard auto-split")
+    wl.add_argument("--memory-budget", type=int, default=None, metavar="PAGES",
+                    help="per-shard block-cache budget in pages (the global "
+                         "pool is shards x this; default: the engine preset)")
+    wl.add_argument("--memory-governor", action="store_true",
+                    help="arm the adaptive memory governor (requires "
+                         "--shards > 1): live write-buffer/block-cache "
+                         "arbitration across shards from observed write "
+                         "rate, hit rate, and tombstone density")
 
     record = sub.add_parser("record", help="write a generated workload to a trace file")
     record.add_argument("trace_path")
@@ -158,6 +166,14 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     if args.defended:
         scale["bloom_salted"] = True
         scale["cache_hardened"] = True
+    if args.memory_budget is not None:
+        if args.memory_budget < 0:
+            print("--memory-budget must be >= 0", file=sys.stderr)
+            return 2
+        scale["cache_pages"] = args.memory_budget
+    if args.memory_governor and args.shards <= 1:
+        print("--memory-governor requires --shards > 1", file=sys.stderr)
+        return 2
     if args.shards > 1:
         if args.engine == "acheron":
             cfg = acheron_config(
@@ -172,12 +188,18 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             from repro.shard import AutoSplitConfig
 
             auto_split = AutoSplitConfig(window_ops=1024, cooldown_ops=4096)
+        memory_governor = None
+        if args.memory_governor:
+            from repro.shard import MemoryGovernorConfig
+
+            memory_governor = MemoryGovernorConfig(window_ops=1024)
         engine = ShardedEngine(
             cfg,
             directory=args.directory,
             shards=args.shards,
             key_space=(0, max(args.shards, (args.preload + args.ops) * KEY_STRIDE)),
             auto_split=auto_split,
+            memory_governor=memory_governor,
         )
     elif args.engine == "acheron":
         engine = AcheronEngine.acheron(

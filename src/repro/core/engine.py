@@ -70,6 +70,10 @@ class EngineStats:
     #: ``D_th`` guarantee, and how much deferred resolution compactions
     #: have already performed.
     fences: dict = None  # type: ignore[assignment]
+    #: Adaptive memory governor section (per-shard budgets, decision and
+    #: resize counters, recent events); populated only when a
+    #: :class:`~repro.shard.engine.ShardedEngine` arms the governor.
+    memory: dict = None  # type: ignore[assignment]
 
     def to_dict(self) -> dict:
         """JSON-safe snapshot (for logging, dashboards, bench archives)."""
@@ -100,6 +104,7 @@ class EngineStats:
                 "write_path": dict(self.write_path) if self.write_path else {},
                 "shards": list(self.shards) if self.shards else [],
                 "fences": dict(self.fences) if self.fences else {},
+                "memory": dict(self.memory) if self.memory else {},
             }
         )
 

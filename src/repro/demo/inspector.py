@@ -319,10 +319,67 @@ class ShardInspector:
             title=f"[{self.name}] attack surface",
         )
 
+    def memory_table(self) -> str:
+        """Per-shard memory budgets plus the governor's activity counters.
+
+        One row per shard with its live write-buffer soft limit and fill,
+        block-cache allocation and residency, hit rate, and how many
+        times its cache has been live-resized.  When the adaptive memory
+        governor is armed a second table summarizes its decisions; when
+        off, the budgets shown are simply the static config constants.
+        """
+        engine = self.engine
+        governor = getattr(engine, "_governor", None)
+        rows = []
+        for i, shard in enumerate(engine.shards):
+            tree = shard.tree
+            cache = tree.cache
+            rows.append(
+                [
+                    i,
+                    tree.memtable_budget,
+                    len(tree.memtable),
+                    cache.capacity,
+                    len(cache),
+                    f"{cache.hit_rate:.2%}",
+                    cache.resizes,
+                ]
+            )
+        mode = "armed" if governor is not None else "OFF (static config budgets)"
+        table = format_table(
+            ["shard", "buf-budget", "buf-fill", "cache-pages", "cached",
+             "hit-rate", "resizes"],
+            rows,
+            title=f"[{self.name}] memory budgets -- governor {mode}",
+        )
+        if governor is None:
+            return table
+        summary = governor.summary()
+        budget = summary.get("budget", {})
+        activity = format_table(
+            ["memory governor", "value"],
+            [
+                ["windows evaluated", summary["windows_evaluated"]],
+                ["decisions applied", summary["decisions"]],
+                ["cache resizes", summary["cache_resizes"]],
+                ["buffer resizes", summary["memtable_resizes"]],
+                ["write/read pool shifts", summary["pool_shifts"]],
+                [
+                    "units used / total",
+                    f"{budget.get('used_units', 0)} / "
+                    f"{budget.get('total_units', 0)}",
+                ],
+            ],
+            title=f"[{self.name}] governor activity",
+        )
+        return f"{table}\n\n{activity}"
+
     def dashboard(self, per_shard: bool = False) -> str:
         """The shard overview; ``per_shard`` appends every shard's full
         single-tree dashboard."""
         sections = [self.shards_table(), self.persistence_table(), self.attack_surface_table()]
+        if getattr(self.engine, "_governor", None) is not None:
+            sections.append(self.memory_table())
         if per_shard:
             for index, shard in enumerate(self.engine.shards):
                 sections.append(

@@ -105,6 +105,12 @@ class LSMTree:
         )
         self.clock = clock or LogicalClock()
         self.listener = listener
+        #: Live write-buffer soft limit (entries).  Advisory governor
+        #: state, never persisted: the per-op flush trigger and the
+        #: concurrent write path's rotation both size against this, so
+        #: the memory governor can shrink or grow a buffer at runtime;
+        #: every reopen starts back at ``config.memtable_entries``.
+        self.memtable_budget = config.memtable_entries
         self.memtable = Memtable(config.memtable_entries)
         #: One long-lived, cache-aware page reader shared by every lookup
         #: and scan.  Constructing a reader per call (the seed behaviour)
@@ -533,6 +539,10 @@ class LSMTree:
                 if len(mt_map) >= capacity:
                     pending.clear()
                     self._flush()
+                    # The flush drains in place, but the governor may have
+                    # retargeted the soft limit mid-batch -- re-read it so
+                    # the next fill check sees the live budget.
+                    capacity = memtable.capacity
                 elif fade is not None and memtable.first_tombstone_time is not None:
                     deadline = fade.buffer_deadline(
                         memtable.first_tombstone_time, self.deepest_nonempty_level()
@@ -540,6 +550,7 @@ class LSMTree:
                     if clock_now() >= deadline:
                         pending.clear()
                         self._flush()
+                        capacity = memtable.capacity
                 # Inline maintain()'s fast path: when nothing structural
                 # changed and no expiry is due, maintain() would return
                 # without planning -- skip even the call.
@@ -584,6 +595,23 @@ class LSMTree:
             )
             if self.clock.now() >= deadline:
                 self._flush()
+
+    def set_memtable_budget(self, entries: int) -> None:
+        """Retarget the live write-buffer soft limit (advisory).
+
+        Takes effect immediately on the active memtable -- a shrink below
+        the current fill simply makes the next per-op flush check fire,
+        draining through the normal path (inline serially; rotation into
+        the frozen queue under workers>0, whose protocol is untouched) --
+        and on every memtable created afterwards
+        (:meth:`~repro.lsm.writepath.WritePathController._rotate` sizes
+        replacements from this budget).  Never persisted: reopen resets
+        to ``config.memtable_entries``.
+        """
+        if entries < 1:
+            raise ValueError(f"memtable budget must be >= 1, got {entries}")
+        self.memtable_budget = entries
+        self.memtable.capacity = entries
 
     def flush(self) -> None:
         """Force the memtable to disk (no-op when empty).

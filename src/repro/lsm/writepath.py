@@ -395,6 +395,10 @@ class WritePathController:
                         memtable = tree.memtable
                         memtable_add = memtable.add
                         mt_map = memtable._map
+                        # Re-hoist the fill bound: the rotation may have
+                        # installed a memtable sized from a retargeted
+                        # governor budget (no-op when the governor is off).
+                        capacity = memtable.capacity
             finally:
                 counters["puts"] += puts
                 counters["deletes"] += deletes
@@ -423,7 +427,11 @@ class WritePathController:
             if depth > stats.queue_peak:
                 stats.queue_peak = depth
             self._cv.notify_all()
-        tree.memtable = Memtable(tree.config.memtable_entries)
+        # Replacements are sized from the live soft limit (equal to
+        # config.memtable_entries unless the memory governor retargeted
+        # it), so a budget change lands at the next rotation without ever
+        # touching the frozen-queue protocol.
+        tree.memtable = Memtable(tree.memtable_budget)
 
     def _throttle(self) -> None:
         """Backpressure after a rotation (write_lock held by the caller)."""

@@ -1,0 +1,536 @@
+"""Adaptive memory governor: live write-buffer/block-cache arbitration.
+
+Every shard of a :class:`~repro.shard.engine.ShardedEngine` is built with
+the same frozen budgets -- ``memtable_entries`` write-buffer slots and
+``cache_pages`` block-cache pages -- so a skewed workload wastes memory on
+cold shards while hot shards flush early and thrash their caches: the
+static-partitioning pathology the memory-walls line of work attacks
+(*Breaking Down Memory Walls*, PAPERS.md).  This module supplies the two
+pieces that fix it without touching the durability story:
+
+:class:`MemoryBudget`
+    A ledger of per-shard allocations drawn from a **fixed global pool**
+    measured in entry units (one cache page is worth ``entries_per_page``
+    entries, the natural exchange rate -- that is what a page holds).  The
+    ledger is advisory runtime state: it is never persisted, never enters
+    the manifest, and every reopen rebuilds allocations from the config
+    defaults.  Its single hard invariant, enforced on every mutation and
+    property-tested, is that the allocations never exceed the pool.
+
+:class:`MemoryGovernor`
+    A per-window controller (same cadence and shape as PR 7's
+    :class:`~repro.shard.autosplit.AutoSplitController`) that reads
+    observed per-shard signals -- window write counts, cache hit rates,
+    memtable fill, tombstone density from the FADE tracker -- and
+    reallocates the pool along two axes with a marginal-benefit model:
+
+    * **across the write/read split**: both sides are priced in modeled
+      page I/O per entry unit -- an extra cache page converts misses to
+      hits (one page read saved each), an extra buffer entry spaces
+      flushes out (~``write_amplification`` page writes per
+      ``entries_per_page`` entries through the flush + compaction
+      cascade).  Units flow toward the higher marginal benefit, a
+      bounded fraction of the donor pool per window; shrinking a
+      *working* cache is priced by the hits it would stop serving, so a
+      converged (low-miss) cache is not raided.
+    * **across shards**: within each pool, targets are proportional to
+      each shard's marginal score.  For the cache that is the misses its
+      pages could still convert -- weighted by the hit rate the shard
+      demonstrates (uncacheable miss streams attract no pages) and
+      discounted by tombstone density (a tombstone-dense shard earns less
+      read benefit per cached page, the Lethe-style delete-awareness
+      signal) -- plus the hits its current pages already serve, so a
+      converged cache holds its allocation instead of having its own
+      success raided.  For the write buffers it is flush frequency.
+      Allocations move a damped ``step_fraction`` of the gap per window,
+      so decisions converge instead of oscillating.
+
+    Decisions are *applied* by the engine through live seams --
+    :meth:`BlockCache.resize` and the tree's memtable soft limit -- both
+    of which tolerate the concurrent write path: the cache re-shards
+    under lock-free readers, and a shrunk memtable budget simply makes
+    the per-op flush trigger fire earlier (the workers>0 frozen-queue
+    protocol is untouched; the governor never rotates a memtable
+    itself).
+
+The governor is default-off and bit-identical when off: nothing in this
+module is imported on the hot path unless armed.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["MemoryBudget", "MemoryGovernor", "MemoryGovernorConfig"]
+
+
+@dataclass(frozen=True)
+class MemoryGovernorConfig:
+    """Tuning knobs for the adaptive memory governor."""
+
+    #: Routed writes per evaluation window (the PR 7 auto-split cadence).
+    window_ops: int = 4096
+    #: Windows with fewer total writes than this are skipped entirely (a
+    #: trickle carries too little signal to rebalance on).
+    min_window_ops: int = 256
+    #: Fraction of the (target - current) gap applied per window.  The
+    #: damping that makes repeated decisions converge on a skew instead of
+    #: slamming allocations back and forth.
+    step_fraction: float = 0.5
+    #: Max fraction of the donor pool's units crossing the write/read
+    #: split in one window.
+    pool_shift_fraction: float = 0.1
+    #: Per-shard floors.  Clamped at bind time to the config defaults (a
+    #: floor above the starting allocation would mean growing everything).
+    #: ``min_memtable_entries`` is further clamped to >= 1 -- a memtable
+    #: must hold at least one entry.
+    min_cache_pages: int = 0
+    min_memtable_entries: int = 16
+    #: Max discount applied to a shard's read-benefit score at tombstone
+    #: density 1.0 (Lethe-style delete-awareness: cached pages of
+    #: tombstone-dense data serve fewer live reads).
+    tombstone_discount: float = 0.5
+    #: Weight on the write pool's marginal benefit: every buffered entry
+    #: eventually costs ~``write_amplification`` page-writes per
+    #: ``entries_per_page`` entries (flush + the compaction cascade), so a
+    #: flush averted is worth this many page I/Os relative to the one page
+    #: read a converted cache miss saves.
+    write_amplification: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.window_ops < 1:
+            raise ValueError(f"window_ops must be >= 1, got {self.window_ops}")
+        if self.min_window_ops < 0:
+            raise ValueError(
+                f"min_window_ops must be >= 0, got {self.min_window_ops}"
+            )
+        if not 0.0 < self.step_fraction <= 1.0:
+            raise ValueError(
+                f"step_fraction must be in (0, 1], got {self.step_fraction}"
+            )
+        if not 0.0 <= self.pool_shift_fraction <= 1.0:
+            raise ValueError(
+                f"pool_shift_fraction must be in [0, 1], got "
+                f"{self.pool_shift_fraction}"
+            )
+        if self.min_cache_pages < 0:
+            raise ValueError(
+                f"min_cache_pages must be >= 0, got {self.min_cache_pages}"
+            )
+        if self.min_memtable_entries < 1:
+            raise ValueError(
+                f"min_memtable_entries must be >= 1, got "
+                f"{self.min_memtable_entries}"
+            )
+        if not 0.0 <= self.tombstone_discount <= 1.0:
+            raise ValueError(
+                f"tombstone_discount must be in [0, 1], got "
+                f"{self.tombstone_discount}"
+            )
+        if self.write_amplification <= 0.0:
+            raise ValueError(
+                f"write_amplification must be > 0, got "
+                f"{self.write_amplification}"
+            )
+
+
+class MemoryBudget:
+    """Per-shard allocations over a fixed global pool of entry units.
+
+    Built from the frozen config fields: each of ``shards`` shards starts
+    at exactly ``config.memtable_entries`` buffer slots and
+    ``config.cache_pages`` cache pages, so an unarmed engine and a
+    freshly-armed one begin identical.  The pool total is frozen at
+    construction; every reallocation must keep
+
+        ``sum(memtable_entries) + sum(cache_pages) * entries_per_page
+        <= total_units``
+
+    which :meth:`check` enforces and the hypothesis suite hammers.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        memtable_entries: int,
+        cache_pages: int,
+        entries_per_page: int,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if memtable_entries < 1:
+            raise ValueError(
+                f"memtable_entries must be >= 1, got {memtable_entries}"
+            )
+        if cache_pages < 0:
+            raise ValueError(f"cache_pages must be >= 0, got {cache_pages}")
+        self.entries_per_page = max(1, entries_per_page)
+        self.default_memtable_entries = memtable_entries
+        self.default_cache_pages = cache_pages
+        self.memtable_entries = [memtable_entries] * shards
+        self.cache_pages = [cache_pages] * shards
+        self.total_units = shards * (
+            memtable_entries + cache_pages * self.entries_per_page
+        )
+
+    @classmethod
+    def from_config(cls, config: Any, shards: int) -> "MemoryBudget":
+        """The ledger an engine's frozen config implies for ``shards``."""
+        return cls(
+            shards,
+            config.memtable_entries,
+            config.cache_pages,
+            config.entries_per_page,
+        )
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.memtable_entries)
+
+    def used_units(self) -> int:
+        return sum(self.memtable_entries) + sum(self.cache_pages) * (
+            self.entries_per_page
+        )
+
+    def remaining_units(self) -> int:
+        return self.total_units - self.used_units()
+
+    def check(self) -> None:
+        """Raise if the allocations violate the pool invariant."""
+        used = self.used_units()
+        if used > self.total_units:
+            raise AssertionError(
+                f"memory budget overcommitted: {used} units allocated of "
+                f"{self.total_units}"
+            )
+        if any(e < 1 for e in self.memtable_entries):
+            raise AssertionError(
+                f"memtable budget below 1 entry: {self.memtable_entries}"
+            )
+        if any(p < 0 for p in self.cache_pages):
+            raise AssertionError(f"negative cache budget: {self.cache_pages}")
+
+    def set(self, index: int, memtable_entries: int, cache_pages: int) -> None:
+        """Assign one shard's allocations; enforces the pool invariant."""
+        self.memtable_entries[index] = memtable_entries
+        self.cache_pages[index] = cache_pages
+        self.check()
+
+    def rebind(self, allocations: list[tuple[int, int]]) -> None:
+        """Re-sync the ledger to live per-shard (entries, pages) state.
+
+        Used when the shard count changes under the governor (an auto
+        split replaces one shard with two built at config defaults): the
+        pool total is recomputed from the config defaults at the new
+        count, so the invariant stays meaningful.
+        """
+        self.memtable_entries = [entries for entries, _ in allocations]
+        self.cache_pages = [pages for _, pages in allocations]
+        self.total_units = len(allocations) * (
+            self.default_memtable_entries
+            + self.default_cache_pages * self.entries_per_page
+        )
+        # Live state may transiently exceed the implied pool (fresh
+        # config-default shards beside governor-grown ones); shave the
+        # largest cache allocations first -- advisory, cheapest to undo.
+        while self.used_units() > self.total_units:
+            worst = max(range(len(self.cache_pages)), key=self.cache_pages.__getitem__)
+            if self.cache_pages[worst] > 0:
+                self.cache_pages[worst] -= 1
+                continue
+            worst = max(
+                range(len(self.memtable_entries)),
+                key=self.memtable_entries.__getitem__,
+            )
+            self.memtable_entries[worst] -= 1
+        self.check()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "total_units": self.total_units,
+            "used_units": self.used_units(),
+            "entries_per_page": self.entries_per_page,
+            "memtable_entries": list(self.memtable_entries),
+            "cache_pages": list(self.cache_pages),
+        }
+
+
+class MemoryGovernor:
+    """Per-window marginal-benefit reallocation of a :class:`MemoryBudget`.
+
+    The engine feeds routed writes through :meth:`note_writes` (exactly
+    the auto-split intake) and, when a window closes, gathers per-shard
+    signals and calls :meth:`evaluate`, then applies the returned
+    decisions through the live seams.  All controller state is advisory
+    and process-local; a crash or reopen simply starts from the config
+    defaults again.
+    """
+
+    def __init__(
+        self,
+        config: MemoryGovernorConfig | None = None,
+        budget: MemoryBudget | None = None,
+    ) -> None:
+        self.config = config or MemoryGovernorConfig()
+        self.budget = budget
+        self.window_counts: dict[int, int] = {}
+        self._window_total = 0
+        #: Cumulative (hits, misses) per shard at the last evaluation, so
+        #: window deltas are computed here and the engine can pass plain
+        #: cache-stat snapshots.
+        self._last_reads: dict[int, tuple[int, int]] = {}
+        #: Every applied decision, JSON-safe rows for the inspector.
+        self.events: list[dict[str, Any]] = []
+        self.windows_evaluated = 0
+        self.decisions = 0
+        self.cache_resizes = 0
+        self.memtable_resizes = 0
+        self.pool_shifts = 0
+        self._lock = threading.Lock()
+
+    def bind(self, budget: MemoryBudget) -> None:
+        self.budget = budget
+
+    # ------------------------------------------------------------------
+    # signal intake
+    # ------------------------------------------------------------------
+    def note_writes(self, index: int, count: int = 1) -> bool:
+        """Count routed writes; True when a window boundary was crossed."""
+        self.window_counts[index] = self.window_counts.get(index, 0) + count
+        self._window_total += count
+        return self._window_total >= self.config.window_ops
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, signals: dict[int, dict[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Score the closed window; return per-shard resize decisions.
+
+        ``signals`` maps shard index to observed state: cumulative cache
+        ``hits``/``misses`` (deltas are taken against the previous
+        window here), ``memtable_fill`` in [0, 1], and
+        ``tombstone_density`` in [0, 1] (buffered tombstone share, FADE's
+        delete-pressure signal).  Returns rows of
+        ``{"shard", "memtable_entries", "cache_pages"}`` -- the new
+        allocations for every shard whose budget changed.  The ledger is
+        updated before returning, so the caller only has to push the
+        numbers into the live seams.
+        """
+        with self._lock:
+            return self._evaluate_locked(signals)
+
+    def _evaluate_locked(
+        self, signals: dict[int, dict[str, Any]]
+    ) -> list[dict[str, Any]]:
+        cfg = self.config
+        budget = self.budget
+        counts, self.window_counts = self.window_counts, {}
+        total, self._window_total = self._window_total, 0
+        self.windows_evaluated += 1
+        if budget is None or total < cfg.min_window_ops:
+            return []
+        nshards = budget.shard_count
+        epp = budget.entries_per_page
+
+        writes = [counts.get(i, 0) for i in range(nshards)]
+        reads = [0] * nshards
+        hits = [0] * nshards
+        misses = [0] * nshards
+        tombs = [0.0] * nshards
+        for i in range(nshards):
+            sig = signals.get(i, {})
+            hits_now = int(sig.get("hits", 0))
+            misses_now = int(sig.get("misses", 0))
+            last_h, last_m = self._last_reads.get(i, (0, 0))
+            dh = max(0, hits_now - last_h)
+            dm = max(0, misses_now - last_m)
+            self._last_reads[i] = (hits_now, misses_now)
+            reads[i] = dh + dm
+            hits[i] = dh
+            misses[i] = dm
+            tombs[i] = min(1.0, max(0.0, float(sig.get("tombstone_density", 0.0))))
+
+        # Marginal scores.  Cache: a shard's claim on pages is the misses
+        # an extra page could still convert to hits -- weighted by the hit
+        # rate its current pages demonstrate (Laplace-smoothed so a cold
+        # cache is not starved before it has evidence), because misses on
+        # an uncacheable stream (uniform random reads over a span far
+        # wider than any plausible cache) convert nothing no matter how
+        # many pages they attract -- PLUS the hits its current pages
+        # already serve.  The retention term is the per-shard analogue of
+        # the pool-level ``cache_hold`` below: without it a cache that
+        # reaches full coverage kills its own miss score and is raided by
+        # the proportional apportionment, oscillating forever just under
+        # convergence.  Tombstone-dense shards earn less read benefit per
+        # cached page (the Lethe-style delete-awareness signal), so their
+        # miss pressure is discounted.  Write buffer: flush frequency
+        # writes/entries -- the shards flushing most often gain the most
+        # amortization per extra entry.
+        convertible = [
+            misses[i]
+            * (1.0 - cfg.tombstone_discount * tombs[i])
+            * ((hits[i] + 1.0) / (reads[i] + 2.0))
+            for i in range(nshards)
+        ]
+        cache_score = [convertible[i] + hits[i] for i in range(nshards)]
+        write_score = [
+            writes[i] / max(1, budget.memtable_entries[i]) for i in range(nshards)
+        ]
+
+        floor_entries = max(1, min(cfg.min_memtable_entries,
+                                   budget.default_memtable_entries))
+        floor_pages = min(cfg.min_cache_pages, budget.default_cache_pages)
+
+        pool_entries = sum(budget.memtable_entries)
+        pool_pages = sum(budget.cache_pages)
+
+        # -- write/read split: shift units toward the higher marginal
+        # benefit per entry unit of modeled page I/O.  Growing the cache
+        # converts the window's *convertible* misses to hits (one page
+        # *read* saved each -- uncacheable miss streams already weighted
+        # out above); growing the write buffers spaces flushes out (each
+        # buffered
+        # entry eventually costs ~write_amplification page-writes per
+        # entries_per_page entries through the flush + compaction
+        # cascade).  Shrinking a *working* cache is priced by the hits it
+        # would stop serving, not by its misses -- the asymmetry that
+        # keeps a converged cache from being raided the moment its miss
+        # rate (by then low, because it converged) dips below the write
+        # score.
+        total_misses = sum(convertible)
+        total_hits = sum(hits)
+        total_writes = sum(writes)
+        cache_gain = total_misses / max(1, pool_pages * epp)
+        cache_hold = total_hits / max(1, pool_pages * epp)
+        write_gain = (
+            cfg.write_amplification * total_writes / max(1, pool_entries * epp)
+        )
+        if cfg.pool_shift_fraction > 0.0:
+            if cache_gain > write_gain * 1.25:
+                # Reads are starved relative to the write buffers: convert
+                # buffer entries into cache pages.
+                donatable = max(0, pool_entries - nshards * floor_entries)
+                shift_pages = min(
+                    int(cfg.pool_shift_fraction * pool_entries) // epp,
+                    donatable // epp,
+                )
+                if shift_pages > 0:
+                    pool_entries -= shift_pages * epp
+                    pool_pages += shift_pages
+                    self.pool_shifts += 1
+            elif write_gain > max(cache_gain, cache_hold) * 1.25:
+                donatable = max(0, pool_pages - nshards * floor_pages)
+                shift_pages = min(
+                    max(1, int(cfg.pool_shift_fraction * pool_pages)), donatable
+                )
+                if shift_pages > 0:
+                    pool_pages -= shift_pages
+                    pool_entries += shift_pages * epp
+                    self.pool_shifts += 1
+
+        new_pages = self._apportion(
+            budget.cache_pages, cache_score, pool_pages, floor_pages
+        )
+        new_entries = self._apportion(
+            budget.memtable_entries, write_score, pool_entries, floor_entries
+        )
+
+        decisions: list[dict[str, Any]] = []
+        for i in range(nshards):
+            if (
+                new_pages[i] == budget.cache_pages[i]
+                and new_entries[i] == budget.memtable_entries[i]
+            ):
+                continue
+            if new_pages[i] != budget.cache_pages[i]:
+                self.cache_resizes += 1
+            if new_entries[i] != budget.memtable_entries[i]:
+                self.memtable_resizes += 1
+            decisions.append(
+                {
+                    "shard": i,
+                    "memtable_entries": new_entries[i],
+                    "cache_pages": new_pages[i],
+                }
+            )
+        budget.memtable_entries = new_entries
+        budget.cache_pages = new_pages
+        budget.check()
+        if decisions:
+            self.decisions += 1
+            self.events.append(
+                {
+                    "event": "reallocate",
+                    "window": self.windows_evaluated,
+                    "window_writes": total,
+                    "shards": [d["shard"] for d in decisions],
+                    "memtable_entries": list(new_entries),
+                    "cache_pages": list(new_pages),
+                }
+            )
+        return decisions
+
+    def _apportion(
+        self,
+        current: list[int],
+        scores: list[float],
+        pool: int,
+        floor: int,
+    ) -> list[int]:
+        """Damped move from ``current`` toward score-proportional targets.
+
+        Targets are ``floor + headroom * score/sum(scores)``; each shard
+        moves ``step_fraction`` of its gap, clamped to its floor, and
+        rounding overshoot is shaved from the largest allocations so the
+        result never exceeds ``pool`` (it may undershoot -- the invariant
+        is one-sided).
+        """
+        n = len(current)
+        if pool < n * floor:
+            # The pool cannot cover the floors (tiny configs): leave the
+            # current allocations alone rather than violate either bound.
+            return list(current)
+        weight = sum(scores)
+        step = self.config.step_fraction
+        if weight <= 0.0:
+            # No signal this window: keep the current proportions -- but a
+            # pool shift may have shrunk this pool, so the shave below must
+            # still run or the two pools together overcommit the budget.
+            out = [max(floor, c) for c in current]
+        else:
+            headroom = pool - n * floor
+            out = []
+            for i in range(n):
+                target = floor + headroom * (scores[i] / weight)
+                moved = current[i] + step * (target - current[i])
+                out.append(max(floor, int(round(moved))))
+        excess = sum(out) - pool
+        while excess > 0:
+            above = [i for i in range(n) if out[i] > floor]
+            if not above:
+                break
+            worst = max(above, key=out.__getitem__)
+            shave = min(excess, out[worst] - floor)
+            out[worst] -= shave
+            excess -= shave
+        return out
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """JSON-safe snapshot for ``EngineStats.memory`` / the inspector."""
+        budget = self.budget
+        return {
+            "windows_evaluated": self.windows_evaluated,
+            "decisions": self.decisions,
+            "cache_resizes": self.cache_resizes,
+            "memtable_resizes": self.memtable_resizes,
+            "pool_shifts": self.pool_shifts,
+            "budget": budget.to_dict() if budget is not None else {},
+            "events": list(self.events[-16:]),
+        }

@@ -3,6 +3,7 @@
 See :mod:`repro.shard.engine` for the subsystem overview.
 """
 
+from repro.memory import MemoryBudget, MemoryGovernor, MemoryGovernorConfig
 from repro.shard.autosplit import AutoSplitConfig, AutoSplitController
 from repro.shard.engine import (
     SHARDS_ENV,
@@ -27,6 +28,9 @@ __all__ = [
     "SHARD_MANIFEST_NAME",
     "AutoSplitConfig",
     "AutoSplitController",
+    "MemoryBudget",
+    "MemoryGovernor",
+    "MemoryGovernorConfig",
     "PartitionMap",
     "PurgeReport",
     "ShardRootStore",

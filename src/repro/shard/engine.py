@@ -65,6 +65,7 @@ from repro.errors import (
     EngineClosedError,
     InvariantViolationError,
 )
+from repro.memory import MemoryBudget, MemoryGovernor, MemoryGovernorConfig
 from repro.metrics.shape import LevelSummary
 from repro.shard.autosplit import AutoSplitConfig, AutoSplitController
 from repro.shard.handoff import PurgeReport, extract_live_range, purge_key_range
@@ -312,6 +313,7 @@ class ShardedEngine:
         degraded_ok: bool = False,
         workers: int | None = None,
         auto_split: "AutoSplitConfig | bool | None" = None,
+        memory_governor: "MemoryGovernorConfig | bool | None" = None,
     ) -> None:
         self.faults = faults
         self._read_only = read_only
@@ -325,6 +327,23 @@ class ShardedEngine:
         if auto_split:
             cfg = auto_split if isinstance(auto_split, AutoSplitConfig) else None
             self._autosplit = AutoSplitController(cfg)
+        #: Adaptive memory governor (see :mod:`repro.memory`).  Off by
+        #: default and bit-identical when off; ``True`` arms the default
+        #: config.  Budgets are advisory runtime state -- never persisted,
+        #: reset to the config defaults on every open -- so arming it
+        #: changes *when* flushes and evictions happen, never what the
+        #: engine stores.  The ledger is bound after the shards open,
+        #: once the recovered shard count is known.
+        if memory_governor and read_only:
+            raise ConfigError("memory_governor requires a writable engine")
+        self._governor: MemoryGovernor | None = None
+        if memory_governor:
+            cfg = (
+                memory_governor
+                if isinstance(memory_governor, MemoryGovernorConfig)
+                else None
+            )
+            self._governor = MemoryGovernor(cfg)
         self._wal_sync = wal_sync
         self._degraded_ok = degraded_ok
         self._track_persistence = track_persistence
@@ -383,6 +402,8 @@ class ShardedEngine:
         self.shards: list[AcheronEngine] = [self._open_shard(name) for name in dirs]
         self.disk = _AggregateDisk(self.shards)
         self.clock = _ShardClock(self.shards)
+        if self._governor is not None:
+            self._governor.bind(MemoryBudget.from_config(self.config, len(dirs)))
 
         self._pending_fanout = layout.get("pending_fanout") if layout else None
         self._pending_split = layout.get("pending_split") if layout else None
@@ -506,6 +527,8 @@ class ShardedEngine:
         self.shards[index].put(key, value, delete_key=delete_key)
         if self._autosplit is not None:
             self._note_writes(index, 1)
+        if self._governor is not None:
+            self._note_memory(index, 1)
 
     def delete(self, key: Any) -> None:
         self._check_open()
@@ -513,6 +536,8 @@ class ShardedEngine:
         self.shards[index].delete(key)
         if self._autosplit is not None:
             self._note_writes(index, 1)
+        if self._governor is not None:
+            self._note_memory(index, 1)
 
     def get(self, key: Any, default: Any = None) -> Any:
         self._check_open()
@@ -535,6 +560,9 @@ class ShardedEngine:
         if self._autosplit is not None:
             for i, group in groups.items():
                 self._note_writes(i, len(group))
+        if self._governor is not None:
+            for i, group in groups.items():
+                self._note_memory(i, len(group))
         return applied
 
     def apply_batch(self, ops: Iterable[tuple]) -> int:
@@ -548,6 +576,9 @@ class ShardedEngine:
         if self._autosplit is not None:
             for i, group in groups.items():
                 self._note_writes(i, len(group))
+        if self._governor is not None:
+            for i, group in groups.items():
+                self._note_memory(i, len(group))
         return applied
 
     def scan(
@@ -750,6 +781,57 @@ class ShardedEngine:
         """Auto-split decision log (empty when the controller is off)."""
         return list(self._autosplit.events) if self._autosplit is not None else []
 
+    def _note_memory(self, index: int, count: int) -> None:
+        """Feed routed writes to the memory governor; apply its decisions."""
+        gov = self._governor
+        if gov is None or not gov.note_writes(index, count):
+            return
+        # Window boundary: re-sync the ledger if a split (auto or manual)
+        # changed the topology since the last decision, then gather the
+        # observed per-shard signals and let the controller score them.
+        budget = gov.budget
+        if budget is not None and budget.shard_count != len(self.shards):
+            budget.rebind(
+                [
+                    (shard.tree.memtable_budget, shard.tree.cache.capacity)
+                    for shard in self.shards
+                ]
+            )
+        signals: dict[int, dict] = {}
+        for i, shard in enumerate(self.shards):
+            tree = shard.tree
+            memtable = tree.memtable
+            buffered = len(memtable)
+            density = memtable.tombstone_count / buffered if buffered else 0.0
+            fade = tree._fade  # noqa: SLF001 - shard layer, by design
+            if fade is not None:
+                # FADE's delete-pressure view: the share of on-disk files
+                # still carrying live tombstone deadlines.
+                nfiles = sum(
+                    len(run.files)
+                    for level in tree.iter_levels()
+                    for run in level.runs
+                )
+                if nfiles:
+                    density = max(density, fade.tracked_file_count() / nfiles)
+            signals[i] = {
+                "hits": tree.cache.hits,
+                "misses": tree.cache.misses,
+                "memtable_fill": buffered / max(1, memtable.capacity),
+                "tombstone_density": density,
+            }
+        for decision in gov.evaluate(signals):
+            tree = self.shards[decision["shard"]].tree
+            if decision["cache_pages"] != tree.cache.capacity:
+                tree.cache.resize(decision["cache_pages"])
+            if decision["memtable_entries"] != tree.memtable_budget:
+                tree.set_memtable_budget(decision["memtable_entries"])
+
+    @property
+    def memory_events(self) -> list[dict]:
+        """Memory-governor decision log (empty when the governor is off)."""
+        return list(self._governor.events) if self._governor is not None else []
+
     def rebalance(self, skew_threshold: float = 2.0) -> ShardSplitReport | None:
         """Split the largest shard when its size exceeds ``skew_threshold``
         times the mean shard size.  Returns None when balanced (or when the
@@ -848,6 +930,9 @@ class ShardedEngine:
             ),
             shards=self._shard_summaries(per),
             fences=self._merge_fences([st.fences for st in per]),
+            # Only populated when the governor is armed, so stats from
+            # ungoverned runs stay byte-identical to earlier releases.
+            memory=self._governor.summary() if self._governor is not None else None,
         )
 
     @staticmethod

@@ -221,6 +221,10 @@ class BlockCache:
         #: one small int per dead file.  Reads are GIL-atomic; writers
         #: add before sweeping the shards (see invalidate_file).
         self._retired: set[Hashable] = set()
+        #: Serializes live resizes (the memory governor may run from any
+        #: caller thread); counts completed ones for observability.
+        self._resize_lock = threading.Lock()
+        self.resizes = 0
 
     # ------------------------------------------------------------------
     # core operations
@@ -347,6 +351,115 @@ class BlockCache:
                 shard.invalidations += len(doomed)
                 dropped += len(doomed)
         return dropped
+
+    def resize(self, capacity: int) -> int:
+        """Retarget the cache to ``capacity`` pages, live; returns drops.
+
+        The shard layout is *recomputed* with the same rule as
+        ``__init__`` -- a cache resized across ``_SHARD_THRESHOLD`` picks
+        up the layout its new size would have been built with instead of
+        keeping a stale split.  Resident pages migrate oldest-first
+        (interleaved across the old shards), so inserting them in order
+        rebuilds each new shard's LRU recency and, when shrinking, the
+        coldest pages are the ones squeezed out.  Admission-filter counts
+        and the doorkeeper follow their keys; cumulative counters are
+        folded into the new shard 0 so every aggregate stat stays
+        monotonic across a resize.
+
+        Safe under concurrent lock-free readers without a global lock:
+        ``get``/``put`` evaluate ``self._shards[...] & self._mask`` by
+        loading ``_shards`` *before* ``_mask``, so the two attributes are
+        published in whichever order keeps any interleaved (shards, mask)
+        pair in bounds -- mask first when the shard count shrinks (an old
+        array indexed by the new, smaller mask), array first when it
+        grows (a new array indexed by the old, smaller mask).  A racing
+        ``put`` into a just-retired old shard is lost, which for a cache
+        is a benign miss later.  Pages of files invalidated mid-migration
+        are re-swept after publication, preserving sticky retirement.
+        """
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        with self._resize_lock:
+            if capacity == self.capacity:
+                return 0
+            shards = _DEFAULT_SHARDS if capacity >= _SHARD_THRESHOLD else 1
+            nshards = 1
+            while nshards < min(shards, max(1, capacity)):
+                nshards *= 2
+            new_mask = nshards - 1
+            base, extra = divmod(capacity, nshards) if capacity else (0, 0)
+            new_shards = [
+                _Shard(base + (1 if i < extra else 0), hardened=self.hardened)
+                for i in range(nshards)
+            ]
+            old_shards = self._shards
+            carry = new_shards[0]
+            snapshots: list[list[tuple[tuple[Hashable, int], list]]] = []
+            for old in old_shards:
+                with old.lock:
+                    snapshots.append([(k, list(v)) for k, v in old.pages.items()])
+                    for key, count in old.freq.items():
+                        target = new_shards[hash(key) & new_mask]
+                        target.freq[key] = target.freq.get(key, 0) + count
+                    if old.doorkeeper:
+                        for key in old.doorkeeper:
+                            target = new_shards[hash(key) & new_mask]
+                            dk = target.doorkeeper
+                            if dk is not None and len(dk) < target.doorkeeper_limit:
+                                dk.add(key)
+                    carry.hits += old.hits
+                    carry.misses += old.misses
+                    carry.evictions += old.evictions
+                    carry.rejected += old.rejected
+                    carry.invalidations += old.invalidations
+                    carry.doorkeeper_rejections += old.doorkeeper_rejections
+                    carry.negative_drops += old.negative_drops
+            dropped = 0
+            # Oldest-first interleave: position 0 of every old shard, then
+            # position 1, ...  Later (more recent) inserts evict earlier
+            # (older) ones, so recency survives the re-shard.
+            depth = max((len(s) for s in snapshots), default=0)
+            for pos in range(depth):
+                for snap in snapshots:
+                    if pos >= len(snap):
+                        continue
+                    key, entry = snap[pos]
+                    if key[0] in self._retired:
+                        dropped += 1
+                        continue
+                    target = new_shards[hash(key) & new_mask]
+                    while len(target.pages) >= target.capacity:
+                        victim = target.find_victim()
+                        if victim is None:
+                            break
+                        target.evict(victim)
+                        dropped += 1
+                    if len(target.pages) >= target.capacity:  # capacity 0
+                        dropped += 1
+                        continue
+                    target.pages[key] = entry
+                    target.bytes += entry[2]
+            if capacity > self.capacity:
+                self._shards = new_shards
+                self._mask = new_mask
+            else:
+                self._mask = new_mask
+                self._shards = new_shards
+            self.capacity = capacity
+            # Re-sweep: a file invalidated while we migrated had its add
+            # to _retired published before its sweep; our copies may have
+            # dodged that sweep, so drop them now that we're published.
+            for shard in new_shards:
+                with shard.lock:
+                    doomed = [k for k in shard.pages if k[0] in self._retired]
+                    for key in doomed:
+                        entry = shard.pages.pop(key)
+                        shard.bytes -= entry[2]
+                        shard.freq.pop(key, None)
+                        shard.invalidations += 1
+                        dropped += 1
+            self.resizes += 1
+            return dropped
 
     def clear(self) -> None:
         """Drop every cached page (stats are preserved; see reset_stats)."""

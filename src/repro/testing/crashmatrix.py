@@ -73,11 +73,17 @@ CRASH_EXCEPTIONS = (SimulatedCrash, StorageError, OSError)
 #: file rewrites), then a flush (fence-filtered build) and a full
 #: compaction (fence resolution + retirement) so every stage of the
 #: fence lifecycle crosses the armed fault point.
+#: ``governor_resize`` is the memory-governor row: the write buffer and
+#: block cache are forcibly retargeted (both directions, across the
+#: cache's internal shard threshold) with ingest and flushes in between,
+#: so every fault point fires adjacent to a live resize.  Budgets are
+#: advisory and never persisted -- recovery must come back at the
+#: *config* defaults, which ``_verify_budget_reset`` asserts.
 #: New rows are appended last so earlier rows keep their combo indices
 #: (and therefore their derived seeds).
 OPERATIONS = (
     "ingest", "flush", "compaction", "range_delete", "restart", "concurrent",
-    "shard_fanout", "shard_split", "lazy_range_delete",
+    "shard_fanout", "shard_split", "lazy_range_delete", "governor_resize",
 )
 
 #: Worker count for the ``concurrent`` operation's engine.
@@ -333,6 +339,28 @@ def _scenario_concurrent(ctx: _Ctx) -> None:
     ctx.engine.flush()  # barrier: surfaces any pending background error
 
 
+def _scenario_governor_resize(ctx: _Ctx) -> None:
+    # A governor decision is two live-resize seams -- ``BlockCache.resize``
+    # and the memtable soft limit -- followed by ordinary traffic.  The
+    # resizes themselves touch no disk, so the armed fault fires in the
+    # ingest/flush that brackets them; wherever the crash lands, the
+    # retargets must neither corrupt in-flight state nor persist.
+    tree = ctx.engine.tree
+    tree.cache.resize(600)  # grow across the cache's internal shard threshold
+    tree.set_memtable_budget(8)  # shrink: the next fill check flushes early
+    for i in range(24):
+        ctx.driver.put(_key(600 + i), _value(600 + i, 0))
+    ctx.driver.delete(_key(4))
+    ctx.engine.flush()
+    for i in range(1, 96, 5):
+        ctx.engine.get(_key(i))  # warm the cache so the shrink migrates pages
+    tree.cache.resize(2)  # shrink back to a single shard, evicting down
+    tree.set_memtable_budget(64)  # grow past the config default
+    for i in range(24, 40):
+        ctx.driver.put(_key(600 + i), _value(600 + i, 0))
+    ctx.engine.flush()
+
+
 _SCENARIOS: dict[str, Callable[[_Ctx], None]] = {
     "ingest": _scenario_ingest,
     "flush": _scenario_flush,
@@ -341,6 +369,7 @@ _SCENARIOS: dict[str, Callable[[_Ctx], None]] = {
     "restart": _scenario_restart,
     "concurrent": _scenario_concurrent,
     "lazy_range_delete": _scenario_lazy_range_delete,
+    "governor_resize": _scenario_governor_resize,
 }
 
 
@@ -687,6 +716,8 @@ def run_combo(operation: str, point: str, kind: str, seed: int, base_dir: str) -
         result.errors.extend(_verify_bitflip(workdir, model))
     else:
         result.errors.extend(_verify_recovery(workdir, model))
+        if operation == "governor_resize":
+            result.errors.extend(_verify_budget_reset(workdir))
 
     if result.ok:
         shutil.rmtree(workdir, ignore_errors=True)
@@ -762,6 +793,36 @@ def _verify_tombstone_metadata(
                 f"FADE next deadline {deadline} exceeds D_th bound {bound} "
                 "after recovery (deadline heap not rebuilt correctly)"
             )
+
+
+def _verify_budget_reset(directory: str) -> list[str]:
+    """Memory budgets are advisory, never persisted: however the governor
+    (here, the scenario standing in for it) had retargeted the write
+    buffer and cache before the crash, a recovered tree must come back at
+    the *config* sizes."""
+    errors: list[str] = []
+    config = _matrix_config()
+    engine = _open_engine(directory)
+    try:
+        tree = engine.tree
+        if tree.memtable_budget != config.memtable_entries:
+            errors.append(
+                f"recovered memtable budget {tree.memtable_budget} != config "
+                f"default {config.memtable_entries} (a live retarget persisted)"
+            )
+        if tree.memtable.capacity != config.memtable_entries:
+            errors.append(
+                f"recovered memtable capacity {tree.memtable.capacity} != config "
+                f"default {config.memtable_entries} (a live retarget persisted)"
+            )
+        if tree.cache.capacity != config.cache_pages:
+            errors.append(
+                f"recovered cache capacity {tree.cache.capacity} != config "
+                f"default {config.cache_pages} (a live resize persisted)"
+            )
+    finally:
+        engine.close()
+    return errors
 
 
 def _verify_recovery(directory: str, model: AckModel) -> list[str]:

@@ -410,6 +410,109 @@ def examine_attack_surface(engine: Any, name: str = "engine") -> DoctorReport:
 
 
 # ---------------------------------------------------------------------------
+# live memory examination
+# ---------------------------------------------------------------------------
+def examine_memory(engine: Any, name: str = "engine") -> DoctorReport:
+    """Memory posture of a *live* engine: budgets, seams, governor state.
+
+    Verifies the invariants the adaptive memory governor relies on --
+    per-shard allocations within the global pool, write-buffer budgets
+    >= 1 entry, and each block cache's shard layout matching what its
+    *current* capacity implies (a resize across the shard threshold must
+    re-shard, not keep the build-time split).  Advisory beyond those
+    invariants: an ungoverned engine (static config budgets) is a
+    configuration choice, so it only warns.
+    """
+    from repro.storage.cache import _DEFAULT_SHARDS, _SHARD_THRESHOLD
+
+    report = DoctorReport(directory=name)
+    trees = (
+        [shard.tree for shard in engine.shards]
+        if hasattr(engine, "shards")
+        else [engine.tree]
+    )
+
+    bad_layout = []
+    for i, tree in enumerate(trees):
+        cache = tree.cache
+        want = _DEFAULT_SHARDS if cache.capacity >= _SHARD_THRESHOLD else 1
+        expected = 1
+        while expected < min(want, max(1, cache.capacity)):
+            expected *= 2
+        if cache.shard_count != expected:
+            bad_layout.append(
+                f"shard {i}: cache capacity {cache.capacity} implies "
+                f"{expected} shard(s), has {cache.shard_count}"
+            )
+    if bad_layout:
+        for line in bad_layout:
+            report.error(f"stale cache shard layout -- {line}")
+    else:
+        report.passed(
+            f"cache shard layouts match their live capacities "
+            f"({len(trees)} tree(s))"
+        )
+
+    if any(t.memtable_budget < 1 for t in trees):
+        report.error("write-buffer budget below 1 entry")
+    else:
+        report.passed("write-buffer budgets >= 1 entry")
+
+    report.stats["budgets"] = [
+        {
+            "memtable_entries": t.memtable_budget,
+            "cache_pages": t.cache.capacity,
+            "cache_resizes": t.cache.resizes,
+        }
+        for t in trees
+    ]
+
+    governor = getattr(engine, "_governor", None)
+    if governor is None:
+        report.warn(
+            "memory governor disabled: budgets are the static config "
+            "constants; a skewed workload starves hot shards "
+            "(pass memory_governor=...)"
+        )
+        return report
+    summary = governor.summary()
+    report.stats["governor"] = summary
+    budget = governor.budget
+    if budget is not None:
+        try:
+            budget.check()
+        except AssertionError as exc:
+            report.error(f"memory budget invariant violated: {exc}")
+        else:
+            report.passed(
+                f"global budget honored ({budget.used_units()} of "
+                f"{budget.total_units} units allocated)"
+            )
+        drift = [
+            i
+            for i, tree in enumerate(trees)
+            if i < budget.shard_count
+            and (
+                tree.memtable_budget != budget.memtable_entries[i]
+                or tree.cache.capacity != budget.cache_pages[i]
+            )
+        ]
+        if drift:
+            report.warn(
+                f"ledger/live drift on shard(s) {drift}: allocations were "
+                "changed outside the governor (or a decision is mid-apply)"
+            )
+        else:
+            report.passed("ledger matches live allocations on every shard")
+    report.passed(
+        f"memory governor armed ({summary['windows_evaluated']} windows, "
+        f"{summary['decisions']} decisions, {summary['cache_resizes']} cache + "
+        f"{summary['memtable_resizes']} buffer resizes)"
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
 # live write-path examination
 # ---------------------------------------------------------------------------
 def examine_write_path(tree: Any, name: str = "tree") -> DoctorReport:
