@@ -29,6 +29,7 @@ from repro.bench.perfsuite import (  # noqa: E402
     FULL_INGEST_OPS,
     check_adversarial,
     check_memory,
+    check_policy,
     check_read_regression,
     render,
     run_suite,
@@ -95,6 +96,16 @@ def main(argv: list[str] | None = None) -> int:
         "modeled I/O and p99 lookup cost, or the win shrinks past the "
         "tolerance relative to the archive",
     )
+    parser.add_argument(
+        "--check-policy",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="archived BENCH_<n>.json to hold the policy_drift phase against; "
+        "exits 1 if the tuned arm no longer beats every static policy in "
+        "modeled I/O, leaves the per-third slack, stops switching, or the "
+        "win shrinks past the tolerance relative to the archive",
+    )
     args = parser.parse_args(argv)
     if args.ops < 1:
         parser.error(f"--ops must be >= 1, got {args.ops}")
@@ -110,6 +121,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.check_memory is not None and not args.check_memory.is_file():
         parser.error(f"--check-memory baseline does not exist: {args.check_memory}")
+    if args.check_policy is not None and not args.check_policy.is_file():
+        parser.error(f"--check-policy baseline does not exist: {args.check_policy}")
     if not 0.0 <= args.read_tolerance < 1.0:
         parser.error(f"--read-tolerance must be in [0, 1), got {args.read_tolerance}")
 
@@ -153,6 +166,18 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"memory governor win holds within {args.read_tolerance:.0%} of "
             f"{args.check_memory}"
+        )
+    if args.check_policy is not None:
+        baseline = json.loads(args.check_policy.read_text())
+        failures = check_policy(payload, baseline, tolerance=args.read_tolerance)
+        if failures:
+            print(f"policy tuner envelope vs {args.check_policy}:")
+            for failure in failures:
+                print(f"  FAIL {failure}")
+            return 1
+        print(
+            f"policy tuner win holds within {args.read_tolerance:.0%} of "
+            f"{args.check_policy}"
         )
     return 0
 

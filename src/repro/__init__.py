@@ -47,6 +47,11 @@ from repro.errors import (
     WALError,
     WorkloadError,
 )
+from repro.lsm.compaction.tuner import (
+    CompactionTuner,
+    PolicyCostModel,
+    PolicyTunerConfig,
+)
 from repro.lsm.tree import LSMTree
 from repro.memory import MemoryBudget, MemoryGovernor, MemoryGovernorConfig
 from repro.shard import PartitionMap, ShardedEngine
@@ -59,6 +64,7 @@ __all__ = [
     "AutoTickClock",
     "CompactionError",
     "CompactionStyle",
+    "CompactionTuner",
     "CostModel",
     "ConfigError",
     "CorruptionError",
@@ -76,6 +82,8 @@ __all__ = [
     "PartitionMap",
     "PersistenceStats",
     "PersistenceTracker",
+    "PolicyCostModel",
+    "PolicyTunerConfig",
     "PurgeRecord",
     "RetentionPolicy",
     "SecondaryDeleteReport",

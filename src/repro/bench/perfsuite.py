@@ -1330,6 +1330,247 @@ def run_memory_skew_experiment(spec: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+#: The policy-drift phase's shape: a 2-shard store replaying one seeded
+#: stream whose mix drifts across thirds -- write-heavy, then read/scan-
+#: heavy, then delete-heavy mixed -- so no single static compaction
+#: policy is right for the whole run.  The engine is deliberately small
+#: (tiny memtable, few cache pages) so flushes and compactions happen
+#: often enough that policy choice dominates the modeled I/O even at
+#: ``--quick`` scale.
+POLICY_DRIFT_SHARDS = 2
+POLICY_DRIFT_KEY_SPACE = 4_096
+POLICY_DRIFT_SCAN_SPAN = 128
+POLICY_DRIFT_MEMTABLE = 32
+#: A wide size ratio is what makes the drift *matter*: with T runs per
+#: tiered level before a merge fires, tiering/lazy arms carry 4-6 live
+#: runs into the scan third while leveling holds one residue run per
+#: level -- at narrow ratios (T=3) the shapes collapse together and the
+#: three policies price within noise of each other.
+POLICY_DRIFT_SIZE_RATIO = 6
+#: Per-third allowance for the tuned arm vs the *best* static policy of
+#: that third.  The tuned arm adapts with a lag (hysteresis windows) and
+#: pays the tiering->leveling transition collapse inside the third where
+#: the drift happens -- costs a clairvoyant static arm never pays -- so
+#: the per-third contract is "within this slack of the best static",
+#: while the full-run contract stays strict (beat *every* static arm).
+POLICY_DRIFT_THIRD_SLACK = 0.15
+
+
+def run_policy_drift_experiment(spec: dict[str, Any]) -> dict[str, Any]:
+    """The ``policy_drift`` phase: self-tuned vs static compaction policies.
+
+    Replays one seeded drifting stream four times against a two-shard
+    :class:`~repro.shard.engine.ShardedEngine`: three **static** arms
+    pin each :class:`~repro.config.CompactionStyle` for the whole run,
+    the **tuned** arm starts at leveling with the
+    :class:`~repro.lsm.compaction.tuner.CompactionTuner` armed and must
+    follow the drift by switching policies live.  The stream's thirds:
+
+    1. **write-heavy** -- 90% puts / 10% deletes: leveling pays its full
+       write amplification, tiering is the right answer;
+    2. **scan-heavy** -- 55% range scans, 35% point gets, 10% puts: a
+       scan merges *every* sorted run it overlaps (blooms cannot deflect
+       a range), so run count is the whole bill and leveling is the
+       right answer -- the tuned arm must pay the tiering->leveling
+       collapse here and still come out ahead.  The put trickle is the
+       point: it keeps flushes coming so the stacking policies go on
+       accumulating runs mid-third instead of coasting on whatever
+       shape the write phase happened to leave behind;
+    3. **delete-heavy** -- 50% deletes / 45% puts / 5% gets: a tombstone
+       is a write and pays the policy's write amplification, so the mix
+       swings back to tiering.
+
+    The currency is total modeled device time (simulator-deterministic,
+    machine-independent), reported per third and whole-run.  Headlines:
+    ``policy_io_reduction`` (best static total / tuned total, > 1 means
+    the tuner beat even a clairvoyant static choice) and ``thirds_ok``
+    (the tuned arm stayed within :data:`POLICY_DRIFT_THIRD_SLACK` of the
+    best static arm in *every* third).  All four arms' full logical
+    contents are digested and must be identical: policy moves compaction
+    work, never data.
+    """
+    import hashlib
+
+    from repro.config import CompactionStyle, baseline_config
+    from repro.lsm.compaction.tuner import PolicyTunerConfig
+    from repro.shard import ShardedEngine
+
+    n: int = spec["ingest_ops"]
+    seed: int = spec["seed"]
+    per_third = max(600, min(n, FULL_INGEST_OPS) // 3)
+    # Scale the working set with the op budget so every ``--ops`` runs in
+    # the same update-rate regime.  With a fixed key space a long run
+    # key-caps the bottom level: the tree stops growing down while the
+    # residue levels stay capacity-full, and the scan third's winner
+    # flips on that shape artifact rather than on the drift itself.
+    key_space = max(POLICY_DRIFT_KEY_SPACE, 1024 * round(per_third / 1024))
+    config = baseline_config(
+        memtable_entries=POLICY_DRIFT_MEMTABLE,
+        entries_per_page=8,
+        size_ratio=POLICY_DRIFT_SIZE_RATIO,
+        cache_pages=4,
+    )
+    tuner = PolicyTunerConfig(
+        window_ops=64, min_window_ops=16, hysteresis=2, cooldown_windows=2
+    )
+
+    # -- one seeded script, replayed verbatim by all four arms -----------
+    rng = Random(seed)
+    written: list[int] = []
+    version = 0
+
+    def put_op() -> tuple:
+        nonlocal version
+        key = rng.randrange(key_space)
+        written.append(key)
+        version += 1
+        return ("put", key, f"v{version}")
+
+    thirds: list[list[tuple]] = []
+    write_heavy = []
+    for _ in range(per_third):
+        if written and rng.random() < 0.10:
+            write_heavy.append(("delete", written[rng.randrange(len(written))], None))
+        else:
+            write_heavy.append(put_op())
+    thirds.append(write_heavy)
+    scan_heavy = []
+    for _ in range(per_third):
+        roll = rng.random()
+        if roll < 0.10:
+            scan_heavy.append(put_op())
+        elif roll < 0.65:
+            lo = rng.randrange(key_space - POLICY_DRIFT_SCAN_SPAN)
+            scan_heavy.append(("scan", lo, None))
+        else:
+            scan_heavy.append(("get", written[rng.randrange(len(written))], None))
+    thirds.append(scan_heavy)
+    delete_heavy = []
+    for _ in range(per_third):
+        roll = rng.random()
+        if roll < 0.45:
+            delete_heavy.append(put_op())
+        elif roll < 0.95:
+            delete_heavy.append(("delete", written[rng.randrange(len(written))], None))
+        else:
+            delete_heavy.append(("get", written[rng.randrange(len(written))], None))
+    thirds.append(delete_heavy)
+
+    sentinel = object()
+    arms: dict[str, dict[str, Any]] = {}
+    for arm_name, start_policy, tuner_cfg in (
+        ("leveling", CompactionStyle.LEVELING, None),
+        ("tiering", CompactionStyle.TIERING, None),
+        ("lazy_leveling", CompactionStyle.LAZY_LEVELING, None),
+        ("tuned", CompactionStyle.LEVELING, tuner),
+    ):
+        engine = ShardedEngine(
+            config.with_updates(policy=start_policy),
+            shards=POLICY_DRIFT_SHARDS,
+            key_space=(0, key_space),
+            # Explicit False pins the static arms static even under an
+            # ambient REPRO_POLICY_TUNER=1 (the CI tuner-armed job).
+            policy_tuner=tuner_cfg if tuner_cfg is not None else False,
+        )
+        io = engine.disk.stats  # live view: per-third deltas below
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        per_third_us: list[float] = []
+        for script in thirds:
+            before = io.modeled_us
+            for op, key, value in script:
+                if op == "put":
+                    engine.put(key, value)
+                elif op == "delete":
+                    engine.delete(key)
+                elif op == "get":
+                    engine.get(key, default=sentinel)
+                else:  # scan: consume the merged stream
+                    for _ in engine.scan(key, key + POLICY_DRIFT_SCAN_SPAN):
+                        pass
+            per_third_us.append(round(io.modeled_us - before, 1))
+        engine.write_barrier()
+        replay = PhaseResult(
+            3 * per_third, time.perf_counter() - t0, time.process_time() - c0
+        )
+
+        digest = hashlib.sha256()
+        rows = 0
+        for key, value in engine.scan(0, key_space):
+            digest.update(repr((key, value)).encode())
+            rows += 1
+        engine.verify_invariants()
+        stats = engine.stats()
+        arms[arm_name] = {
+            "replay": replay.to_dict(),
+            "device_us": round(io.modeled_us, 1),
+            "per_third_us": per_third_us,
+            "pages_read": io.pages_read,
+            "pages_written": io.pages_written,
+            "flush_count": stats.flush_count,
+            "compaction_count": stats.compaction_count,
+            "rows": rows,
+            "final_policies": [p.value for p in engine.shard_policies],
+            "contents_sha256": digest.hexdigest(),
+        }
+        if tuner_cfg is not None:
+            summary = stats.policy or {}
+            arms[arm_name]["switches"] = summary.get("switches", 0)
+            arms[arm_name]["windows_evaluated"] = summary.get(
+                "windows_evaluated", 0
+            )
+            arms[arm_name]["events"] = [
+                {k: e[k] for k in ("window", "shard", "from", "to")}
+                for e in engine.policy_events
+                if e.get("event") == "switch"
+            ]
+        engine.close()
+
+    # -- equivalence: policy moves compaction work, never data -----------
+    statics = ("leveling", "tiering", "lazy_leveling")
+    for name in statics + ("tuned",):
+        if arms[name]["contents_sha256"] != arms["leveling"]["contents_sha256"]:
+            raise AssertionError(
+                f"policy_drift: {name} arm's final contents diverged from "
+                f"leveling ({arms[name]['contents_sha256'][:16]} != "
+                f"{arms['leveling']['contents_sha256'][:16]})"
+            )
+    if not arms["tuned"]["switches"]:
+        raise AssertionError(
+            "policy_drift: the tuned arm never switched policy -- the drift "
+            "is no longer strong enough to exercise the tuner"
+        )
+
+    tuned_total = arms["tuned"]["device_us"]
+    best_static_total = min(arms[name]["device_us"] for name in statics)
+    io_reduction = round(best_static_total / max(tuned_total, 1e-9), 3)
+    best_per_third = [
+        min(arms[name]["per_third_us"][i] for name in statics) for i in range(3)
+    ]
+    thirds_ok = all(
+        arms["tuned"]["per_third_us"][i]
+        <= best_per_third[i] * (1.0 + POLICY_DRIFT_THIRD_SLACK)
+        for i in range(3)
+    )
+    return {
+        "experiment": "policy_drift",
+        "engine": "tuned_vs_static_policies",
+        "ingest_ops": 3 * per_third,
+        "per_third_ops": per_third,
+        "key_space": key_space,
+        "third_slack": POLICY_DRIFT_THIRD_SLACK,
+        "arms": arms,
+        "contents_identical": True,
+        "best_static": min(statics, key=lambda name: arms[name]["device_us"]),
+        "best_static_per_third_us": best_per_third,
+        "policy_io_reduction": io_reduction,
+        "thirds_ok": thirds_ok,
+        "tuned_beats_every_static": all(
+            tuned_total < arms[name]["device_us"] for name in statics
+        ),
+    }
+
+
 def _run_spec(spec: dict[str, Any]) -> dict[str, Any]:
     """Process-pool dispatch point (module-level, picklable)."""
     if spec.get("mode") == "concurrent":
@@ -1342,6 +1583,8 @@ def _run_spec(spec: dict[str, Any]) -> dict[str, Any]:
         return run_adversarial_experiment(spec)
     if spec.get("mode") == "memory_skew":
         return run_memory_skew_experiment(spec)
+    if spec.get("mode") == "policy_drift":
+        return run_policy_drift_experiment(spec)
     return run_experiment(spec)
 
 
@@ -1419,6 +1662,17 @@ def run_suite(
             "ingest_ops": ingest_ops,
         }
     )
+    # Append-last again: the policy-drift phase rides after memory_skew
+    # so every earlier spec keeps its position and the benign phases stay
+    # digest-equivalent to the previous archive.
+    specs.append(
+        {
+            "name": "policy_drift",
+            "mode": "policy_drift",
+            "seed": 13,
+            "ingest_ops": ingest_ops,
+        }
+    )
     if workers is None:
         # One worker per experiment, but never more than the machine has
         # cores: oversubscribed workers time-share and that scheduling
@@ -1451,6 +1705,9 @@ def run_suite(
     )
     memory_skew = next(
         (r for r in results if r["experiment"] == "memory_skew"), None
+    )
+    policy_drift = next(
+        (r for r in results if r["experiment"] == "policy_drift"), None
     )
     payload = {
         "suite": "perfsuite",
@@ -1486,6 +1743,10 @@ def run_suite(
         payload["memory_skew_contents_identical"] = memory_skew["contents_identical"]
         payload["memory_io_reduction"] = memory_skew["io_reduction"]
         payload["memory_p99_lookup_delta_us"] = memory_skew["p99_lookup_delta_us"]
+    if policy_drift is not None:
+        payload["policy_drift_contents_identical"] = policy_drift["contents_identical"]
+        payload["policy_io_reduction"] = policy_drift["policy_io_reduction"]
+        payload["policy_thirds_ok"] = policy_drift["thirds_ok"]
     path = out or next_bench_path()
     path.write_text(json.dumps(payload, indent=1) + "\n")
     payload["path"] = str(path)
@@ -1633,6 +1894,33 @@ def render(payload: dict[str, Any]) -> str:
             f"{'':<20} adaptive modeled-I/O reduction "
             f"{memory_skew['io_reduction']:.2f}x, p99 lookup delta "
             f"{memory_skew['p99_lookup_delta_us']:.1f}us"
+        )
+    policy_drift = next(
+        (r for r in payload["experiments"] if r["experiment"] == "policy_drift"),
+        None,
+    )
+    if policy_drift is not None:
+        lines.append(
+            f"{'policy-drift':<20} {'arm':>14} {'device-us':>12} {'t1-us':>10} "
+            f"{'t2-us':>10} {'t3-us':>10} {'final':>18} {'digest':>10}"
+        )
+        for name, arm in policy_drift["arms"].items():
+            t1, t2, t3 = arm["per_third_us"]
+            final = "/".join(
+                p[:4] for p in arm["final_policies"]
+            )
+            lines.append(
+                f"{'':<20} {name:>14} "
+                f"{arm['device_us']:>12,.0f} "
+                f"{t1:>10,.0f} {t2:>10,.0f} {t3:>10,.0f} "
+                f"{final:>18} "
+                f"{arm['contents_sha256'][:8]:>10}"
+            )
+        lines.append(
+            f"{'':<20} tuned vs best static ({policy_drift['best_static']}) "
+            f"{policy_drift['policy_io_reduction']:.2f}x, "
+            f"{policy_drift['arms']['tuned']['switches']} switches, thirds "
+            + ("ok" if policy_drift["thirds_ok"] else "OVER SLACK")
         )
     lines.append(
         f"min speedups: ingest {payload['min_ingest_speedup']:.2f}x, "
@@ -1847,6 +2135,84 @@ def check_memory(
         if value < bound:
             failures.append(
                 f"memory_skew: {key} {value} fell below {bound:.3f} "
+                f"({(1 - tolerance):.0%} of archived {archived})"
+            )
+    return failures
+
+
+#: Floor metrics for :func:`check_policy`: metric key -> absolute floor.
+#: Like :data:`MEMORY_ENVELOPE` the currency is modeled (deterministic),
+#: so the absolute bound is the contract itself: the tuned arm must beat
+#: even the best clairvoyant static policy over the full drifting run
+#: (ratio > 1).
+POLICY_ENVELOPE: dict[str, float] = {
+    "policy_io_reduction": 1.0,
+}
+
+
+def check_policy(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float = 0.2,
+) -> list[str]:
+    """Hold a fresh ``policy_drift`` phase against its contract + archive.
+
+    Two layers, mirroring :func:`check_memory`.  **Absolute**
+    (:data:`POLICY_ENVELOPE`): the tuned arm must strictly beat every
+    static policy on the full drifting run, stay within the per-third
+    slack of the best static arm in every third (``thirds_ok``), have
+    actually switched at least once, and all four arms' contents must be
+    identical -- these hold against *any* baseline because the metrics
+    are simulator-deterministic.  **Relative**: if the archive also ran
+    the phase, the fresh win must stay within ``tolerance`` of the
+    archived one (a cost-model retuning that quietly erodes the dividend
+    fails CI).  Returns human-readable failure strings (empty means the
+    tuner's win held).  A current run without the phase fails loudly;
+    baselines predating the phase skip only the relative layer.
+    """
+    failures: list[str] = []
+    fresh = next(
+        (r for r in current.get("experiments", [])
+         if r.get("experiment") == "policy_drift"),
+        None,
+    )
+    if fresh is None:
+        return ["policy_drift: phase missing from the current run"]
+    if not fresh.get("contents_identical"):
+        failures.append("policy_drift: arms' contents are not identical")
+    if not fresh.get("thirds_ok"):
+        tuned = fresh.get("arms", {}).get("tuned", {}).get("per_third_us")
+        best = fresh.get("best_static_per_third_us")
+        failures.append(
+            f"policy_drift: tuned arm exceeded the per-third slack "
+            f"(tuned {tuned} vs best static {best})"
+        )
+    if not fresh.get("arms", {}).get("tuned", {}).get("switches"):
+        failures.append("policy_drift: the tuned arm never switched policy")
+    for key, floor in POLICY_ENVELOPE.items():
+        value = fresh.get(key, 0)
+        if value <= floor:
+            failures.append(
+                f"policy_drift: {key} {value} does not clear the absolute "
+                f"floor {floor} (the tuned arm no longer beats every static "
+                "policy)"
+            )
+    base = next(
+        (r for r in baseline.get("experiments", [])
+         if r.get("experiment") == "policy_drift"),
+        None,
+    )
+    if base is None:
+        return failures
+    for key in POLICY_ENVELOPE:
+        archived = base.get(key)
+        value = fresh.get(key)
+        if archived is None or value is None:
+            continue
+        bound = archived * (1.0 - tolerance)
+        if value < bound:
+            failures.append(
+                f"policy_drift: {key} {value} fell below {bound:.3f} "
                 f"({(1 - tolerance):.0%} of archived {archived})"
             )
     return failures

@@ -102,6 +102,16 @@ def _build_parser() -> argparse.ArgumentParser:
                          "--shards > 1): live write-buffer/block-cache "
                          "arbitration across shards from observed write "
                          "rate, hit rate, and tombstone density")
+    wl.add_argument("--policy-tuner", action="store_true",
+                    help="arm the self-tuning compaction governor "
+                         "(requires --shards > 1): per-shard live policy "
+                         "switching from the observed read/write/delete/"
+                         "scan mix, behind hysteresis")
+    wl.add_argument("--shard-policies", default=None, metavar="IDX=POLICY,...",
+                    help="per-shard compaction policy overrides for "
+                         "heterogeneous manual layouts (requires "
+                         "--shards > 1), e.g. 0=tiering,2=lazy_leveling; "
+                         "unlisted shards keep --policy")
 
     record = sub.add_parser("record", help="write a generated workload to a trace file")
     record.add_argument("trace_path")
@@ -174,6 +184,25 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     if args.memory_governor and args.shards <= 1:
         print("--memory-governor requires --shards > 1", file=sys.stderr)
         return 2
+    if args.policy_tuner and args.shards <= 1:
+        print("--policy-tuner requires --shards > 1", file=sys.stderr)
+        return 2
+    shard_policies = None
+    if args.shard_policies:
+        if args.shards <= 1:
+            print("--shard-policies requires --shards > 1", file=sys.stderr)
+            return 2
+        shard_policies = {}
+        for item in args.shard_policies.split(","):
+            index, sep, policy = item.partition("=")
+            if not sep or policy not in _POLICIES or not index.strip().isdigit():
+                print(
+                    f"--shard-policies entry {item!r} is not IDX=POLICY "
+                    f"(policies: {', '.join(sorted(_POLICIES))})",
+                    file=sys.stderr,
+                )
+                return 2
+            shard_policies[int(index)] = _POLICIES[policy]
     if args.shards > 1:
         if args.engine == "acheron":
             cfg = acheron_config(
@@ -193,6 +222,11 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             from repro.shard import MemoryGovernorConfig
 
             memory_governor = MemoryGovernorConfig(window_ops=1024)
+        policy_tuner = None
+        if args.policy_tuner:
+            from repro.shard import PolicyTunerConfig
+
+            policy_tuner = PolicyTunerConfig(window_ops=1024)
         engine = ShardedEngine(
             cfg,
             directory=args.directory,
@@ -200,6 +234,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             key_space=(0, max(args.shards, (args.preload + args.ops) * KEY_STRIDE)),
             auto_split=auto_split,
             memory_governor=memory_governor,
+            shard_policies=shard_policies,
+            policy_tuner=policy_tuner,
         )
     elif args.engine == "acheron":
         engine = AcheronEngine.acheron(

@@ -74,6 +74,10 @@ class EngineStats:
     #: resize counters, recent events); populated only when a
     #: :class:`~repro.shard.engine.ShardedEngine` arms the governor.
     memory: dict = None  # type: ignore[assignment]
+    #: Self-tuning compaction section (windows evaluated, live switches,
+    #: recent decisions); populated only when a
+    #: :class:`~repro.shard.engine.ShardedEngine` arms the policy tuner.
+    policy: dict = None  # type: ignore[assignment]
 
     def to_dict(self) -> dict:
         """JSON-safe snapshot (for logging, dashboards, bench archives)."""
@@ -105,6 +109,7 @@ class EngineStats:
                 "shards": list(self.shards) if self.shards else [],
                 "fences": dict(self.fences) if self.fences else {},
                 "memory": dict(self.memory) if self.memory else {},
+                "policy": dict(self.policy) if self.policy else {},
             }
         )
 
@@ -282,6 +287,23 @@ class AcheronEngine:
     # ------------------------------------------------------------------
     def flush(self) -> None:
         self.tree.flush()
+
+    @property
+    def policy(self) -> Any:
+        """The live compaction policy (a :class:`CompactionStyle`)."""
+        return self.tree.config.policy
+
+    def set_policy(self, style: Any) -> bool:
+        """Switch the live compaction policy; True when it changed.
+
+        Delegates to :meth:`LSMTree.set_policy` (safe under background
+        workers, durable through the manifest) and re-syncs the facade's
+        config reference with the tree's rebound one.
+        """
+        changed = self.tree.set_policy(style)
+        if changed:
+            self.config = self.tree.config
+        return changed
 
     def compact_all(self) -> None:
         """Force a full tree merge (the baseline's delete-forcing tool)."""

@@ -209,12 +209,21 @@ class ShardInspector:
         self.name = name
 
     def shards_table(self) -> str:
-        """One row per shard: range, size, and D_th compliance."""
+        """One row per shard: range, size, policy, and D_th compliance.
+
+        The ``policy`` column shows each shard's *current* compaction
+        policy plus, in parentheses, how many live switches the shard
+        has undergone this process -- ``tiering(2)`` reads "tiering now,
+        switched twice".  Heterogeneous columns are how an operator
+        spots the tuner (or explicit ``--shard-policies`` overrides)
+        diverging shards from the root config.
+        """
         stats = self.engine.stats()
         rows = [
             [
                 r["index"],
                 r["range"],
+                f"{r['policy']}({r['policy_switches']})",
                 r["entries_on_disk"],
                 r["buffered_entries"],
                 r["tombstones_on_disk"],
@@ -231,6 +240,7 @@ class ShardInspector:
             [
                 "shard",
                 "range",
+                "policy",
                 "entries",
                 "buf",
                 "tombs",
@@ -374,12 +384,59 @@ class ShardInspector:
         )
         return f"{table}\n\n{activity}"
 
+    def policy_table(self) -> str:
+        """Per-shard compaction policies plus the tuner's activity.
+
+        One row per shard with its current policy and live-switch count;
+        when the policy tuner is armed a second table summarizes the
+        windows it evaluated and the most recent switch decisions it
+        made (with the modeled per-policy costs that drove them).  When
+        off, the policies shown are the static config / override values.
+        """
+        engine = self.engine
+        tuner = getattr(engine, "_tuner", None)
+        rows = [
+            [i, shard.tree.config.policy.value, shard.tree.policy_switches]
+            for i, shard in enumerate(engine.shards)
+        ]
+        mode = "armed" if tuner is not None else "OFF (static policies)"
+        table = format_table(
+            ["shard", "policy", "switches"],
+            rows,
+            title=f"[{self.name}] compaction policies -- tuner {mode}",
+        )
+        if tuner is None:
+            return table
+        summary = tuner.summary()
+        recent = [
+            [
+                e["window"],
+                e["shard"],
+                f"{e['from']}->{e['to']}",
+                e["window_ops"],
+            ]
+            for e in summary["events"]
+            if e.get("event") == "switch"
+        ]
+        activity = format_table(
+            ["window", "shard", "switch", "ops"],
+            recent,
+            title=(
+                f"[{self.name}] tuner activity -- "
+                f"{summary['windows_evaluated']} windows, "
+                f"{summary['switches']} switches"
+            ),
+        )
+        return f"{table}\n\n{activity}"
+
     def dashboard(self, per_shard: bool = False) -> str:
         """The shard overview; ``per_shard`` appends every shard's full
         single-tree dashboard."""
         sections = [self.shards_table(), self.persistence_table(), self.attack_surface_table()]
         if getattr(self.engine, "_governor", None) is not None:
             sections.append(self.memory_table())
+        if getattr(self.engine, "_tuner", None) is not None:
+            sections.append(self.policy_table())
         if per_shard:
             for index, shard in enumerate(self.engine.shards):
                 sections.append(

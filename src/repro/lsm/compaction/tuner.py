@@ -1,0 +1,354 @@
+"""Self-tuning compaction: the per-shard policy governor.
+
+Every tree ships with one static :class:`~repro.config.CompactionStyle`
+chosen blind at open time, yet the policy lattice has no all-weather
+winner -- leveling pays ``O(L*T)`` write amplification to keep one run
+per level (cheap reads/scans), tiering pays ``O(L)`` writes but
+accumulates ``O(L*T)`` runs (expensive reads), and lazy leveling splits
+the difference (*Constructing and Analyzing the LSM Compaction Design
+Space*, PAPERS.md).  This module supplies the controller that picks the
+policy **per shard, online**, from the observed operation mix:
+
+:class:`PolicyCostModel`
+    Prices one observed window of operations under each candidate policy
+    in **modeled page I/O**, using the closed-form write-amplification
+    and run-count expressions of the design-space analysis evaluated at
+    the shard's *observed* depth.  Pure and stateless: the unit tests
+    pin its preference directions (write-heavy -> tiering, read/scan
+    heavy -> leveling, mixed -> lazy leveling in between).
+
+:class:`CompactionTuner`
+    A per-window controller (the PR 7 auto-split / PR 8 memory governor
+    cadence, evaluated on the router thread) that scores each shard's
+    window, and -- behind hysteresis (a challenger must win
+    ``hysteresis`` consecutive windows by at least ``min_advantage``)
+    plus a post-switch cooldown, so it never oscillates -- emits policy
+    switch decisions.  The engine applies them through the live
+    :meth:`~repro.lsm.tree.LSMTree.set_policy` seam: leveling ->
+    tiering/lazy takes effect at the next plan, tiering -> leveling
+    drains through ordinary run-consolidation compactions (FADE priority
+    and fence resolution preserved, no ``exclusive()`` quiesce).
+
+Delete-awareness (Lethe, PAPERS.md): tombstones are priced beyond their
+write cost -- a run-heavy layout holds more superseded-but-unmerged
+versions, so FADE's forced merges drain deletes through more files.  The
+``delete_drain_weight`` knob scales that term.
+
+The tuner is default-off and bit-identical when off: nothing here is
+imported on the hot path unless armed, and the policy a tree was opened
+with is never touched.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.config import CompactionStyle
+
+__all__ = ["CompactionTuner", "PolicyCostModel", "PolicyTunerConfig"]
+
+#: Candidate policies, scored in this (stable) order.
+POLICIES = (
+    CompactionStyle.LEVELING,
+    CompactionStyle.TIERING,
+    CompactionStyle.LAZY_LEVELING,
+)
+
+
+@dataclass(frozen=True)
+class PolicyTunerConfig:
+    """Tuning knobs for the self-tuning compaction governor."""
+
+    #: Routed operations (writes + deletes + reads + scans) per evaluation
+    #: window (the PR 7 / PR 8 controller cadence).
+    window_ops: int = 4096
+    #: Windows with fewer total operations than this are skipped (a
+    #: trickle carries too little signal to retune on).
+    min_window_ops: int = 256
+    #: Consecutive windows a challenger policy must win before the switch
+    #: fires.  The no-oscillation contract: one anomalous window can
+    #: never flip a shard.
+    hysteresis: int = 2
+    #: Windows a shard sits out after a switch before it may be scored
+    #: again (the transition compactions themselves perturb the mix).
+    cooldown_windows: int = 2
+    #: Minimum fractional modeled-I/O advantage a challenger must show
+    #: over the incumbent, every window of the streak.
+    min_advantage: float = 0.05
+    #: Expected extra page probes per additional sorted run on a point
+    #: lookup (blooms deflect most probes; fence pruning the rest).
+    read_probe_factor: float = 0.25
+    #: Modeled pages a range scan touches per sorted run it must merge.
+    scan_page_span: float = 4.0
+    #: Weight on the delete-drain term: extra modeled page I/O per
+    #: tombstone per sorted run FADE's forced merges must drain through.
+    #: Kept small: a tombstone is first of all a *write* (it pays the
+    #: policy's full write amplification, already priced above), and the
+    #: drain refinement must never outweigh that -- a delete-heavy mix
+    #: is a write-heavy mix with a FADE accent, not a read-heavy one.
+    delete_drain_weight: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.window_ops < 1:
+            raise ValueError(f"window_ops must be >= 1, got {self.window_ops}")
+        if self.min_window_ops < 0:
+            raise ValueError(
+                f"min_window_ops must be >= 0, got {self.min_window_ops}"
+            )
+        if self.hysteresis < 1:
+            raise ValueError(f"hysteresis must be >= 1, got {self.hysteresis}")
+        if self.cooldown_windows < 0:
+            raise ValueError(
+                f"cooldown_windows must be >= 0, got {self.cooldown_windows}"
+            )
+        if self.min_advantage < 0.0:
+            raise ValueError(
+                f"min_advantage must be >= 0, got {self.min_advantage}"
+            )
+        if self.read_probe_factor < 0.0:
+            raise ValueError(
+                f"read_probe_factor must be >= 0, got {self.read_probe_factor}"
+            )
+        if self.scan_page_span <= 0.0:
+            raise ValueError(
+                f"scan_page_span must be > 0, got {self.scan_page_span}"
+            )
+        if self.delete_drain_weight < 0.0:
+            raise ValueError(
+                f"delete_drain_weight must be >= 0, got {self.delete_drain_weight}"
+            )
+
+
+class PolicyCostModel:
+    """Closed-form modeled page I/O of one window under each policy.
+
+    The design-space expressions, evaluated at the shard's observed
+    depth ``L`` and the config's size ratio ``T`` / entries-per-page:
+
+    ========== ============================ =========================
+    policy     write amp (merges/entry)     expected sorted runs
+    ========== ============================ =========================
+    leveling   ``L * (T+1)/2``              ``L``
+    tiering    ``L``                        ``L * (T+1)/2``
+    lazy       ``(L-1) + (T+1)/2``          ``(L-1) * (T+1)/2 + 1``
+    ========== ============================ =========================
+
+    (Lazy leveling tiers the upper levels and levels the last -- hence
+    one merge cascade minus the repeated last-level rewrites, and one
+    run at the bottom.)  Costs per operation class:
+
+    * **write/delete ingestion**: write amp divided by entries per page
+      (each entry is rewritten ``amp`` times, ``epp`` entries per page);
+    * **point read**: ``1 + read_probe_factor * (runs - 1)`` pages (the
+      first run is a hit; every extra run risks a bloom-filtered probe);
+    * **scan**: ``scan_page_span`` pages per run (every run contributes
+      a cursor to the fused merge);
+    * **delete drain**: ``delete_drain_weight * runs / L`` extra pages
+      per tombstone (FADE's forced merges push tombstones through every
+      run on their level-by-level descent -- the Lethe term).
+    """
+
+    def __init__(self, config: PolicyTunerConfig) -> None:
+        self.config = config
+
+    @staticmethod
+    def write_amplification(policy: CompactionStyle, depth: int, size_ratio: int) -> float:
+        level_cost = (size_ratio + 1) / 2.0
+        if policy is CompactionStyle.LEVELING:
+            return depth * level_cost
+        if policy is CompactionStyle.TIERING:
+            return float(depth)
+        return (depth - 1) + level_cost  # lazy leveling
+
+    @staticmethod
+    def expected_runs(policy: CompactionStyle, depth: int, size_ratio: int) -> float:
+        runs_per_level = (size_ratio + 1) / 2.0
+        if policy is CompactionStyle.LEVELING:
+            return float(depth)
+        if policy is CompactionStyle.TIERING:
+            return depth * runs_per_level
+        return (depth - 1) * runs_per_level + 1.0  # lazy leveling
+
+    def cost(
+        self,
+        policy: CompactionStyle,
+        counts: dict[str, int],
+        depth: int,
+        size_ratio: int,
+        entries_per_page: int,
+    ) -> float:
+        """Modeled page I/O of one observed window under ``policy``."""
+        cfg = self.config
+        depth = max(1, depth)
+        epp = max(1, entries_per_page)
+        writes = counts.get("write", 0)
+        deletes = counts.get("delete", 0)
+        reads = counts.get("read", 0)
+        scans = counts.get("scan", 0)
+        amp = self.write_amplification(policy, depth, size_ratio)
+        runs = self.expected_runs(policy, depth, size_ratio)
+        ingest_cost = (writes + deletes) * amp / epp
+        read_cost = reads * (1.0 + cfg.read_probe_factor * (runs - 1.0))
+        scan_cost = scans * cfg.scan_page_span * runs
+        drain_cost = deletes * cfg.delete_drain_weight * runs / depth
+        return ingest_cost + read_cost + scan_cost + drain_cost
+
+    def costs(
+        self,
+        counts: dict[str, int],
+        depth: int,
+        size_ratio: int,
+        entries_per_page: int,
+    ) -> dict[CompactionStyle, float]:
+        """Every candidate's modeled window cost (stable policy order)."""
+        return {
+            policy: self.cost(policy, counts, depth, size_ratio, entries_per_page)
+            for policy in POLICIES
+        }
+
+
+class CompactionTuner:
+    """Per-window policy selection over a sharded (or single) engine.
+
+    The engine feeds routed operations through :meth:`note_ops` (exactly
+    the auto-split/governor intake, extended with the read/scan classes)
+    and, when a window closes, gathers per-shard signals and calls
+    :meth:`evaluate`, then applies the returned decisions through the
+    live ``set_policy`` seam.  All controller state is advisory and
+    process-local; the *applied* policy is durable tree state (it enters
+    the manifest), so a reopened store keeps its tuned layout while the
+    streak/cooldown bookkeeping starts fresh.
+    """
+
+    def __init__(self, config: PolicyTunerConfig | None = None) -> None:
+        self.config = config or PolicyTunerConfig()
+        self.model = PolicyCostModel(self.config)
+        #: Per-shard per-class window counts: index -> {"write": n, ...}.
+        self.window_counts: dict[int, dict[str, int]] = {}
+        self._window_total = 0
+        #: Per-shard challenger streaks: index -> (policy, wins so far).
+        self._streaks: dict[int, tuple[CompactionStyle, int]] = {}
+        #: Per-shard cooldown (windows remaining before scoring resumes).
+        self._cooldowns: dict[int, int] = {}
+        #: Every applied decision, JSON-safe rows for the inspector.
+        self.events: list[dict[str, Any]] = []
+        self.windows_evaluated = 0
+        self.switch_count = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # signal intake
+    # ------------------------------------------------------------------
+    def note_ops(self, index: int, kind: str, count: int = 1) -> bool:
+        """Count routed ops of ``kind`` ("write"/"delete"/"read"/"scan");
+        True when a window boundary was crossed."""
+        shard = self.window_counts.setdefault(index, {})
+        shard[kind] = shard.get(kind, 0) + count
+        self._window_total += count
+        return self._window_total >= self.config.window_ops
+
+    def reset_topology(self) -> None:
+        """Drop per-shard controller state after a split renumbers shards.
+
+        Window counts, streaks, and cooldowns are all indexed by shard
+        position; a topology change invalidates the indexing, so the
+        conservative move is to start the window over (one window of
+        signal is cheap; a misattributed streak is not).
+        """
+        with self._lock:
+            self.window_counts = {}
+            self._window_total = 0
+            self._streaks = {}
+            self._cooldowns = {}
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, signals: dict[int, dict[str, Any]], tick: int = 0
+    ) -> list[dict[str, Any]]:
+        """Score the closed window; return per-shard switch decisions.
+
+        ``signals`` maps shard index to observed state: the current
+        ``policy`` (:class:`CompactionStyle`), the observed ``depth``
+        (deepest non-empty level), and the config's ``size_ratio`` and
+        ``entries_per_page``.  Returns rows of ``{"shard", "policy"}``
+        for every shard whose hysteresis streak completed this window;
+        the caller pushes them into the live ``set_policy`` seams.
+        """
+        with self._lock:
+            return self._evaluate_locked(signals, tick)
+
+    def _evaluate_locked(
+        self, signals: dict[int, dict[str, Any]], tick: int
+    ) -> list[dict[str, Any]]:
+        cfg = self.config
+        counts, self.window_counts = self.window_counts, {}
+        total, self._window_total = self._window_total, 0
+        if total < cfg.min_window_ops:
+            # A trickle window carries no signal: don't count it as
+            # evaluated, don't touch streaks or cooldowns.
+            return []
+        self.windows_evaluated += 1
+        decisions: list[dict[str, Any]] = []
+        for index, sig in sorted(signals.items()):
+            window = counts.get(index)
+            if not window:
+                continue
+            cooldown = self._cooldowns.get(index, 0)
+            if cooldown > 0:
+                self._cooldowns[index] = cooldown - 1
+                continue
+            current = sig["policy"]
+            scores = self.model.costs(
+                window,
+                int(sig.get("depth", 1)),
+                int(sig.get("size_ratio", 4)),
+                int(sig.get("entries_per_page", 32)),
+            )
+            best = min(POLICIES, key=lambda p: (scores[p], p is not current))
+            incumbent_cost = scores[current]
+            if (
+                best is current
+                or incumbent_cost <= 0.0
+                or scores[best] > incumbent_cost * (1.0 - cfg.min_advantage)
+            ):
+                # No challenger with a convincing margin: the streak (if
+                # any) is broken -- hysteresis demands *consecutive* wins.
+                self._streaks.pop(index, None)
+                continue
+            prev_policy, wins = self._streaks.get(index, (best, 0))
+            wins = wins + 1 if prev_policy is best else 1
+            if wins < cfg.hysteresis:
+                self._streaks[index] = (best, wins)
+                continue
+            self._streaks.pop(index, None)
+            self._cooldowns[index] = cfg.cooldown_windows
+            self.switch_count += 1
+            decisions.append({"shard": index, "policy": best})
+            self.events.append(
+                {
+                    "event": "switch",
+                    "window": self.windows_evaluated,
+                    "tick": tick,
+                    "shard": index,
+                    "from": current.value,
+                    "to": best.value,
+                    "window_ops": dict(window),
+                    "modeled_cost": {p.value: round(scores[p], 2) for p in POLICIES},
+                }
+            )
+        return decisions
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """JSON-safe snapshot for ``EngineStats.policy`` / the inspector."""
+        return {
+            "windows_evaluated": self.windows_evaluated,
+            "switches": self.switch_count,
+            "events": list(self.events[-16:]),
+        }

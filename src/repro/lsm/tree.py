@@ -30,7 +30,7 @@ from operator import attrgetter
 from typing import Any, Iterable, Iterator
 
 from repro.clock import LogicalClock
-from repro.config import LSMConfig
+from repro.config import CompactionStyle, LSMConfig
 from repro.errors import (
     ConfigError,
     CorruptionError,
@@ -144,6 +144,12 @@ class LSMTree:
         #: reproducing the pre-cache write-path cost for comparison runs.
         self.maintenance_fast_path = True
         self._planner = SaturationPlanner(config)
+        #: Live policy-switch bookkeeping (the self-tuning compaction
+        #: seam, :meth:`set_policy`).  The *applied* policy is durable
+        #: config state -- every switch republishes the manifest -- but
+        #: these counters are process-local observability.
+        self.policy_switches = 0
+        self.last_policy_switch_tick: int | None = None
         self._fade = None
         if config.fade_enabled:
             from repro.core.fade import FadeScheduler  # avoid import cycle
@@ -612,6 +618,66 @@ class LSMTree:
             raise ValueError(f"memtable budget must be >= 1, got {entries}")
         self.memtable_budget = entries
         self.memtable.capacity = entries
+
+    @property
+    def policy(self) -> CompactionStyle:
+        """The live compaction policy (mutable via :meth:`set_policy`)."""
+        return self.config.policy
+
+    def set_policy(self, style: CompactionStyle) -> bool:
+        """Switch the live compaction policy; True when it changed.
+
+        The self-tuning seam: leveling -> tiering/lazy-leveling simply
+        relaxes the triggers and takes effect at the next plan, while
+        tiering -> leveling leaves multi-run levels the new policy must
+        consolidate -- the planner's ordinary ``LEVEL_COLLAPSE`` path
+        schedules those merges through the normal executor (FADE
+        priority and fence resolution preserved), so no ``exclusive()``
+        drain is needed in either direction.
+
+        Unlike the advisory memory budgets, the applied policy is
+        **durable tree state**: the switch rewrites the manifest's
+        recorded config, so a reopened store keeps its tuned policy.
+        """
+        self._check_open()
+        self._check_writable()
+        if not isinstance(style, CompactionStyle):
+            raise ConfigError(
+                f"set_policy expects a CompactionStyle, got {style!r}"
+            )
+        wp = self._wp
+        if wp is not None and not wp.owns_inline():
+            return wp.set_policy(style)
+        changed = self._apply_policy_switch(style)
+        if changed:
+            # Serial mode consolidates inline: drain any transition
+            # compactions (tiering -> leveling run collapses) right away.
+            self.maintain()
+        return changed
+
+    def _apply_policy_switch(self, style: CompactionStyle) -> bool:
+        """Rebind the live config to ``style`` and persist it (no-op when
+        already current).  The caller holds whatever exclusion the mode
+        requires: nothing serially, the writer lock + ``_cv`` in
+        concurrent mode (all planning happens under ``_cv``)."""
+        if style is self.config.policy:
+            return False
+        new_config = self.config.with_updates(policy=style)
+        self.config = new_config
+        self._planner.config = new_config
+        if self._fade is not None:
+            # FADE reads the policy lazily at plan time and caches D_th
+            # separately, so rebinding its config is the entire hand-off
+            # -- deadlines, the tracked-file heap, and the delete
+            # guarantee are untouched by a policy switch.
+            self._fade.config = new_config
+        self.policy_switches += 1
+        self.last_policy_switch_tick = self.clock.now()
+        # The planner's triggers changed shape even though no run did:
+        # force the next maintenance pass to evaluate.
+        self._maintenance_dirty = True
+        self._persist_manifest()
+        return True
 
     def flush(self) -> None:
         """Force the memtable to disk (no-op when empty).

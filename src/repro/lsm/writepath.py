@@ -479,6 +479,28 @@ class WritePathController:
                 self._cv.notify_all()
         return fence
 
+    def set_policy(self, style: Any) -> bool:
+        """The concurrent twin of the serial policy switch.
+
+        No :meth:`exclusive` quiesce: the switch rebinds the tree's
+        config (old and new differ only in ``policy``, so a racing
+        reader or in-flight job sees a coherent object either way) and
+        republishes the manifest under the writer lock + ``_cv`` -- the
+        same exclusion every plan runs under, so the next ``_pump_locked``
+        below already plans with the new triggers.  Transition
+        compactions (tiering -> leveling run collapses) flow through the
+        ordinary background executor with FADE priority preserved.
+        """
+        self.raise_background_error()
+        tree = self.tree
+        with self.write_lock:
+            with self._cv:
+                changed = tree._apply_policy_switch(style)
+                if changed:
+                    self._pump_locked()
+                    self._cv.notify_all()
+        return changed
+
     # ==================================================================
     # read path (no locks; immutable snapshots)
     # ==================================================================

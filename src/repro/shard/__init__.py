@@ -3,12 +3,19 @@
 See :mod:`repro.shard.engine` for the subsystem overview.
 """
 
+from repro.lsm.compaction.tuner import (
+    CompactionTuner,
+    PolicyCostModel,
+    PolicyTunerConfig,
+)
 from repro.memory import MemoryBudget, MemoryGovernor, MemoryGovernorConfig
 from repro.shard.autosplit import AutoSplitConfig, AutoSplitController
 from repro.shard.engine import (
+    POLICY_TUNER_ENV,
     SHARDS_ENV,
     ShardedEngine,
     ShardSplitReport,
+    default_policy_tuner,
     default_shards,
 )
 from repro.shard.handoff import PurgeReport, extract_live_range, purge_key_range
@@ -23,19 +30,24 @@ from repro.shard.manifest import (
 from repro.shard.partition import PartitionMap, describe_range
 
 __all__ = [
+    "POLICY_TUNER_ENV",
     "SHARDS_ENV",
     "SHARD_LAYOUT_VERSION",
     "SHARD_MANIFEST_NAME",
     "AutoSplitConfig",
     "AutoSplitController",
+    "CompactionTuner",
     "MemoryBudget",
     "MemoryGovernor",
     "MemoryGovernorConfig",
     "PartitionMap",
+    "PolicyCostModel",
+    "PolicyTunerConfig",
     "PurgeReport",
     "ShardRootStore",
     "ShardSplitReport",
     "ShardedEngine",
+    "default_policy_tuner",
     "default_shards",
     "describe_range",
     "extract_live_range",

@@ -40,7 +40,10 @@ understands.
 
 The default shard count comes from the ``REPRO_SHARDS`` environment
 variable (mirroring ``REPRO_WORKERS``), so the whole test suite can be
-re-run sharded without touching call sites.
+re-run sharded without touching call sites.  ``REPRO_POLICY_TUNER=1``
+likewise arms the default self-tuning compaction governor on every
+writable open that didn't choose explicitly (pass
+``policy_tuner=False`` to pin a store static regardless).
 """
 
 from __future__ import annotations
@@ -55,7 +58,7 @@ from operator import itemgetter
 from pathlib import Path
 from typing import Any, Iterable, Iterator
 
-from repro.config import LSMConfig, acheron_config
+from repro.config import CompactionStyle, LSMConfig, acheron_config
 from repro.core.engine import AcheronEngine, EngineStats
 from repro.core.kiwi import SecondaryDeleteReport
 from repro.core.persistence import PersistenceStats
@@ -65,6 +68,7 @@ from repro.errors import (
     EngineClosedError,
     InvariantViolationError,
 )
+from repro.lsm.compaction.tuner import CompactionTuner, PolicyTunerConfig
 from repro.memory import MemoryBudget, MemoryGovernor, MemoryGovernorConfig
 from repro.metrics.shape import LevelSummary
 from repro.shard.autosplit import AutoSplitConfig, AutoSplitController
@@ -80,6 +84,11 @@ from repro.storage.disk import IOStats
 
 #: Environment default for the shard count (mirrors ``REPRO_WORKERS``).
 SHARDS_ENV = "REPRO_SHARDS"
+#: Environment default for the self-tuning compaction governor: a truthy
+#: value arms the default :class:`PolicyTunerConfig` on every writable
+#: open that left ``policy_tuner`` unset, so the whole test suite can be
+#: re-run tuner-armed without touching call sites.
+POLICY_TUNER_ENV = "REPRO_POLICY_TUNER"
 
 _SECONDARY_METHODS = ("auto", "kiwi", "full_rewrite", "eager", "lazy")
 _FIRST_OF_PAIR = itemgetter(0)
@@ -88,6 +97,24 @@ _FIRST_OF_PAIR = itemgetter(0)
 def default_shards() -> int:
     """The ambient shard count: ``REPRO_SHARDS`` or 1."""
     return int(os.environ.get(SHARDS_ENV, "1") or "1")
+
+
+def default_policy_tuner() -> bool:
+    """The ambient tuner arming: ``REPRO_POLICY_TUNER`` truthy, or off."""
+    return os.environ.get(POLICY_TUNER_ENV, "") not in ("", "0")
+
+
+def _coerce_style(value: Any) -> CompactionStyle:
+    """Accept a :class:`CompactionStyle` or its string value."""
+    if isinstance(value, CompactionStyle):
+        return value
+    try:
+        return CompactionStyle(value)
+    except (ValueError, TypeError):
+        raise ConfigError(
+            f"not a compaction policy: {value!r} (expected one of "
+            f"{sorted(s.value for s in CompactionStyle)})"
+        ) from None
 
 
 # ---------------------------------------------------------------------------
@@ -314,6 +341,8 @@ class ShardedEngine:
         workers: int | None = None,
         auto_split: "AutoSplitConfig | bool | None" = None,
         memory_governor: "MemoryGovernorConfig | bool | None" = None,
+        shard_policies: "dict[int, Any] | Iterable[Any] | None" = None,
+        policy_tuner: "PolicyTunerConfig | bool | None" = None,
     ) -> None:
         self.faults = faults
         self._read_only = read_only
@@ -344,6 +373,26 @@ class ShardedEngine:
                 else None
             )
             self._governor = MemoryGovernor(cfg)
+        #: Self-tuning compaction (see :mod:`repro.lsm.compaction.tuner`).
+        #: Off by default and bit-identical when off; ``True`` arms the
+        #: default config.  Unlike the advisory memory budgets, an applied
+        #: policy switch is *durable*: the root manifest records the
+        #: per-shard policies and every shard's own manifest is rewritten
+        #: by its ``set_policy``, so a reopened store keeps its tuned
+        #: layout (with the streak/cooldown bookkeeping starting fresh).
+        if policy_tuner is None and not read_only:
+            # Ambient arming (REPRO_POLICY_TUNER) applies only where an
+            # explicit ``policy_tuner=True`` would be legal; read-only
+            # opens stay untouched rather than erroring.
+            policy_tuner = default_policy_tuner()
+        if policy_tuner and read_only:
+            raise ConfigError("policy_tuner requires a writable engine")
+        self._tuner: CompactionTuner | None = None
+        if policy_tuner:
+            cfg = (
+                policy_tuner if isinstance(policy_tuner, PolicyTunerConfig) else None
+            )
+            self._tuner = CompactionTuner(cfg)
         self._wal_sync = wal_sync
         self._degraded_ok = degraded_ok
         self._track_persistence = track_persistence
@@ -399,7 +448,18 @@ class ShardedEngine:
         self.partition_map = pmap
         self._shard_dirs = dirs
         self._next_shard_id = next_id
-        self.shards: list[AcheronEngine] = [self._open_shard(name) for name in dirs]
+        #: Per-shard compaction policies, parallel to ``_shard_dirs``.
+        #: Defaults to the root config's policy for every shard; recorded
+        #: layouts restore their saved map, and an explicit
+        #: ``shard_policies`` argument overrides both (the same precedence
+        #: an explicit ``config`` has over the recorded one).
+        self._shard_policies = self._init_shard_policies(
+            shard_policies, layout, len(dirs)
+        )
+        self.shards: list[AcheronEngine] = [
+            self._open_shard(name, policy=self._shard_policies[i])
+            for i, name in enumerate(dirs)
+        ]
         self.disk = _AggregateDisk(self.shards)
         self.clock = _ShardClock(self.shards)
         if self._governor is not None:
@@ -430,10 +490,53 @@ class ShardedEngine:
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
-    def _open_shard(self, name: str) -> AcheronEngine:
+    def _init_shard_policies(
+        self,
+        overrides: "dict[int, Any] | Iterable[Any] | None",
+        layout: dict | None,
+        count: int,
+    ) -> list[CompactionStyle]:
+        """Resolve the per-shard policy list (see ``_shard_policies``)."""
+        policies = [self.config.policy] * count
+        recorded = (layout or {}).get("shard_policies")
+        if recorded is not None:
+            if len(recorded) != count:
+                raise ConfigError(
+                    f"layout records {len(recorded)} shard policies for "
+                    f"{count} shard(s)"
+                )
+            policies = [_coerce_style(value) for value in recorded]
+        if overrides is None:
+            return policies
+        if isinstance(overrides, dict):
+            for index, value in overrides.items():
+                if not 0 <= index < count:
+                    raise ConfigError(
+                        f"shard_policies index {index} out of range 0..{count - 1}"
+                    )
+                policies[index] = _coerce_style(value)
+            return policies
+        explicit = [_coerce_style(value) for value in overrides]
+        if len(explicit) != count:
+            raise ConfigError(
+                f"shard_policies lists {len(explicit)} policies for "
+                f"{count} shard(s)"
+            )
+        return explicit
+
+    def _open_shard(
+        self, name: str, policy: CompactionStyle | None = None
+    ) -> AcheronEngine:
         directory = str(self.directory / name) if self.directory is not None else None
+        config = self.config
+        if policy is not None and policy is not config.policy:
+            # The per-shard override rides the existing explicit-config
+            # precedence: it beats whatever policy the shard's own
+            # manifest recorded, which is what makes the root-first
+            # durable-switch ordering crash-safe (see _apply_policy).
+            config = config.with_updates(policy=policy)
         return AcheronEngine(
-            self.config,
+            config,
             directory=directory,
             track_persistence=self._track_persistence,
             read_only=self._read_only,
@@ -451,17 +554,22 @@ class ShardedEngine:
         """Atomically publish the root manifest (no-op in memory mode)."""
         if self._store is None or self._read_only:
             return
-        self._store.write_manifest(
-            {
-                "shard_layout": SHARD_LAYOUT_VERSION,
-                "config": self.config.to_dict(),
-                "boundaries": self.partition_map.to_list(),
-                "shard_dirs": list(self._shard_dirs),
-                "next_shard_id": self._next_shard_id,
-                "pending_fanout": pending_fanout,
-                "pending_split": pending_split,
-            }
-        )
+        manifest = {
+            "shard_layout": SHARD_LAYOUT_VERSION,
+            "config": self.config.to_dict(),
+            "boundaries": self.partition_map.to_list(),
+            "shard_dirs": list(self._shard_dirs),
+            "next_shard_id": self._next_shard_id,
+            "pending_fanout": pending_fanout,
+            "pending_split": pending_split,
+        }
+        if any(p is not self.config.policy for p in self._shard_policies):
+            # Back-compat: the key is absent while every shard runs the
+            # root config's policy, so homogeneous layouts stay
+            # byte-identical to pre-tuner ones and old layouts restore
+            # cleanly.
+            manifest["shard_policies"] = [p.value for p in self._shard_policies]
+        self._store.write_manifest(manifest)
 
     def _recover_intents(self) -> None:
         """Replay interrupted fan-outs/splits to completion before serving."""
@@ -529,6 +637,8 @@ class ShardedEngine:
             self._note_writes(index, 1)
         if self._governor is not None:
             self._note_memory(index, 1)
+        if self._tuner is not None:
+            self._note_policy(index, "write", 1)
 
     def delete(self, key: Any) -> None:
         self._check_open()
@@ -538,14 +648,24 @@ class ShardedEngine:
             self._note_writes(index, 1)
         if self._governor is not None:
             self._note_memory(index, 1)
+        if self._tuner is not None:
+            self._note_policy(index, "delete", 1)
 
     def get(self, key: Any, default: Any = None) -> Any:
         self._check_open()
-        return self.shard_for(key).get(key, default=default)
+        index = self.partition_map.shard_for(key)
+        value = self.shards[index].get(key, default=default)
+        if self._tuner is not None:
+            self._note_policy(index, "read", 1)
+        return value
 
     def contains(self, key: Any) -> bool:
         self._check_open()
-        return self.shard_for(key).contains(key)
+        index = self.partition_map.shard_for(key)
+        found = self.shards[index].contains(key)
+        if self._tuner is not None:
+            self._note_policy(index, "read", 1)
+        return found
 
     def put_many(self, items: Iterable[tuple]) -> int:
         """Batched puts, grouped per shard with per-key order preserved."""
@@ -563,6 +683,9 @@ class ShardedEngine:
         if self._governor is not None:
             for i, group in groups.items():
                 self._note_memory(i, len(group))
+        if self._tuner is not None:
+            for i, group in groups.items():
+                self._note_policy(i, "write", len(group))
         return applied
 
     def apply_batch(self, ops: Iterable[tuple]) -> int:
@@ -579,6 +702,13 @@ class ShardedEngine:
         if self._governor is not None:
             for i, group in groups.items():
                 self._note_memory(i, len(group))
+        if self._tuner is not None:
+            for i, group in groups.items():
+                deletes = sum(1 for op in group if op[0] == "delete")
+                if deletes:
+                    self._note_policy(i, "delete", deletes)
+                if len(group) - deletes:
+                    self._note_policy(i, "write", len(group) - deletes)
         return applied
 
     def scan(
@@ -600,6 +730,12 @@ class ShardedEngine:
         indices = list(self.partition_map.overlapping(lo, hi))
         if reverse:
             indices.reverse()
+        if self._tuner is not None:
+            # Fed at issue time, not consumption: the tuner prices the
+            # *request* mix, and noting after a lazy iterator drains
+            # would tangle controller work into read loops.
+            for i in indices:
+                self._note_policy(i, "scan", 1)
         streams = [
             self.shards[i].scan(lo, hi, limit=limit, reverse=reverse) for i in indices
         ]
@@ -699,7 +835,9 @@ class ShardedEngine:
                 # A re-run after a crash mid-copy: the half-written target
                 # is garbage (nothing routed to it yet); start clean.
                 shutil.rmtree(target_path)
-        target = self._open_shard(new_dir)
+        # The target inherits the source's (possibly tuned) policy: a
+        # split halves a shard's range, not its workload character.
+        target = self._open_shard(new_dir, policy=self._shard_policies[index])
         moved = extract_live_range(source.tree, split_key)
         if moved:
             target.put_many(moved)
@@ -713,6 +851,11 @@ class ShardedEngine:
         self.partition_map = new_map
         self._shard_dirs.insert(index + 1, new_dir)
         self.shards.insert(index + 1, target)
+        self._shard_policies.insert(index + 1, self._shard_policies[index])
+        if self._tuner is not None:
+            # Window counts, streaks, and cooldowns are indexed by shard
+            # position; the insert just renumbered everything after it.
+            self._tuner.reset_topology()
         self._publish_layout(
             pending_split={
                 "stage": "purge",
@@ -832,6 +975,81 @@ class ShardedEngine:
         """Memory-governor decision log (empty when the governor is off)."""
         return list(self._governor.events) if self._governor is not None else []
 
+    def _note_policy(self, index: int, kind: str, count: int = 1) -> None:
+        """Feed routed ops to the policy tuner; apply its switch verdicts."""
+        tuner = self._tuner
+        if tuner is None or not tuner.note_ops(index, kind, count):
+            return
+        # Window boundary: gather each shard's live policy and observed
+        # layout depth (the cost model's only tree-shape input) and let
+        # the controller score the closed window.
+        signals: dict[int, dict] = {}
+        for i, shard in enumerate(self.shards):
+            tree = shard.tree
+            signals[i] = {
+                "policy": tree.config.policy,
+                "depth": max(1, tree.deepest_nonempty_level()),
+                "size_ratio": tree.config.size_ratio,
+                "entries_per_page": tree.config.entries_per_page,
+            }
+        tick = self.clock.now()
+        for decision in tuner.evaluate(signals, tick):
+            self._apply_policy(decision["shard"], decision["policy"])
+
+    def _apply_policy(self, index: int, style: CompactionStyle) -> None:
+        """Durably switch shard ``index`` to ``style``.
+
+        Root first, shard second: ``_open_shard`` passes the root-recorded
+        policy as an explicit config override, so a crash between the two
+        publishes recovers onto the *new* policy either way -- the switch
+        is atomic at the root manifest.  The shard-side
+        :meth:`AcheronEngine.set_policy` is live-safe under background
+        workers and schedules any transition compactions itself.
+        """
+        if self._shard_policies[index] is style:
+            return
+        self._shard_policies[index] = style
+        self._publish_layout(
+            pending_fanout=self._pending_fanout, pending_split=self._pending_split
+        )
+        self.shards[index].set_policy(style)
+
+    @property
+    def shard_policies(self) -> list[CompactionStyle]:
+        """The live per-shard compaction policies (a snapshot)."""
+        return list(self._shard_policies)
+
+    @property
+    def policy_events(self) -> list[dict]:
+        """Policy-tuner decision log (empty when the tuner is off)."""
+        return list(self._tuner.events) if self._tuner is not None else []
+
+    def set_shard_policy(self, index: int, style: Any) -> bool:
+        """Manually switch one shard's compaction policy; True on change.
+
+        The same durable, live-safe path the tuner's decisions take --
+        usable without arming the tuner (heterogeneous manual layouts).
+        """
+        self._check_writable()
+        if not 0 <= index < len(self.shards):
+            raise IndexError(
+                f"shard index {index} out of range 0..{len(self.shards) - 1}"
+            )
+        style = _coerce_style(style)
+        if self._shard_policies[index] is style:
+            return False
+        self._apply_policy(index, style)
+        return True
+
+    def set_policy(self, style: Any) -> int:
+        """Switch every shard to ``style``; returns how many changed."""
+        self._check_writable()
+        style = _coerce_style(style)
+        return sum(
+            1 for index in range(len(self.shards))
+            if self.set_shard_policy(index, style)
+        )
+
     def rebalance(self, skew_threshold: float = 2.0) -> ShardSplitReport | None:
         """Split the largest shard when its size exceeds ``skew_threshold``
         times the mean shard size.  Returns None when balanced (or when the
@@ -911,6 +1129,9 @@ class ShardedEngine:
             counters["auto_split_refusals"] = (
                 len(self._autosplit.events) - self._autosplit.split_count
             )
+        if self._tuner is not None:
+            # Same armed-only idiom as the governor and auto-split rows.
+            counters["policy_switches"] = self._tuner.switch_count
         cache = _merge_numeric([st.cache for st in per])
         io = _sum_io(st.io for st in per)
         return EngineStats(
@@ -933,6 +1154,8 @@ class ShardedEngine:
             # Only populated when the governor is armed, so stats from
             # ungoverned runs stay byte-identical to earlier releases.
             memory=self._governor.summary() if self._governor is not None else None,
+            # Same contract for the policy tuner.
+            policy=self._tuner.summary() if self._tuner is not None else None,
         )
 
     @staticmethod
@@ -1058,6 +1281,8 @@ class ShardedEngine:
                     "compliant": p.compliant(),
                     "range_fences": st.fences["live"] if st.fences else 0,
                     "oldest_fence_age": st.fences["oldest_age"] if st.fences else None,
+                    "policy": shard.tree.config.policy.value,
+                    "policy_switches": shard.tree.policy_switches,
                 }
             )
         return rows

@@ -49,7 +49,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
-from repro.config import acheron_config
+from repro.config import CompactionStyle, acheron_config
 from repro.core.engine import AcheronEngine
 from repro.errors import CorruptionError, InvariantViolationError, StorageError
 from repro.storage import faults as fp
@@ -79,11 +79,21 @@ CRASH_EXCEPTIONS = (SimulatedCrash, StorageError, OSError)
 #: so every fault point fires adjacent to a live resize.  Budgets are
 #: advisory and never persisted -- recovery must come back at the
 #: *config* defaults, which ``_verify_budget_reset`` asserts.
+#: ``policy_switch`` is the compaction-tuner row: the engine opens under
+#: **tiering**, the seed leaves multi-run levels, and the scenario flips
+#: the live tree to **leveling** -- a manifest write (the new policy is
+#: durable config state) plus the ``LEVEL_COLLAPSE`` drain compactions --
+#: with ingest and flushes bracketing it so every fault point fires
+#: adjacent to the switch.  Unlike memory budgets the policy *is*
+#: persisted: recovery must land on exactly the pre-switch or the
+#: post-switch policy (never anything else) with ``D_th`` intact, which
+#: ``_verify_policy_recovery`` asserts via a config-free reopen.
 #: New rows are appended last so earlier rows keep their combo indices
 #: (and therefore their derived seeds).
 OPERATIONS = (
     "ingest", "flush", "compaction", "range_delete", "restart", "concurrent",
     "shard_fanout", "shard_split", "lazy_range_delete", "governor_resize",
+    "policy_switch",
 )
 
 #: Worker count for the ``concurrent`` operation's engine.
@@ -117,9 +127,21 @@ def _open_engine(
     faults: FaultInjector | None = None,
     degraded_ok: bool = False,
     workers: int | None = None,
+    policy: CompactionStyle | None = None,
+    recorded: bool = False,
 ) -> AcheronEngine:
+    # ``policy`` overrides the matrix config's compaction policy (the
+    # policy_switch row seeds under tiering); ``recorded`` passes no
+    # config at all, so the open recovers under whatever config the
+    # manifest recorded -- required when a live policy switch may or may
+    # not have committed before the crash, since an explicit config
+    # would override (and on the next manifest write, stomp) the
+    # recorded policy.
+    config = None if recorded else _matrix_config()
+    if policy is not None:
+        config = _matrix_config().with_updates(policy=policy)
     return AcheronEngine(
-        _matrix_config(),
+        config,
         directory=directory,
         wal_sync=True,
         faults=faults,
@@ -361,6 +383,26 @@ def _scenario_governor_resize(ctx: _Ctx) -> None:
     ctx.engine.flush()
 
 
+def _scenario_policy_switch(ctx: _Ctx) -> None:
+    # The engine for this row opened under tiering (see run_combo), so
+    # the seed phase left multi-run levels behind.  Deepen the layout a
+    # little more, then flip the live tree to leveling: the switch is a
+    # manifest write (policy is durable config state) immediately
+    # followed by the LEVEL_COLLAPSE drain compactions that consolidate
+    # every multi-run level -- both under the armed fault.  Traffic and
+    # a flush afterwards catch the fault points a quiesced switch
+    # would miss.
+    for i in range(24):
+        ctx.driver.put(_key(700 + i), _value(700 + i, 0))
+    ctx.driver.delete(_key(7))
+    ctx.engine.flush()
+    ctx.engine.set_policy(CompactionStyle.LEVELING)
+    for i in range(24, 40):
+        ctx.driver.put(_key(700 + i), _value(700 + i, 0))
+    ctx.driver.delete(_key(11))
+    ctx.engine.flush()
+
+
 _SCENARIOS: dict[str, Callable[[_Ctx], None]] = {
     "ingest": _scenario_ingest,
     "flush": _scenario_flush,
@@ -370,6 +412,7 @@ _SCENARIOS: dict[str, Callable[[_Ctx], None]] = {
     "concurrent": _scenario_concurrent,
     "lazy_range_delete": _scenario_lazy_range_delete,
     "governor_resize": _scenario_governor_resize,
+    "policy_switch": _scenario_policy_switch,
 }
 
 
@@ -673,6 +716,7 @@ def run_combo(operation: str, point: str, kind: str, seed: int, base_dir: str) -
         workdir,
         faults=injector,
         workers=CONCURRENT_WORKERS if operation == "concurrent" else None,
+        policy=CompactionStyle.TIERING if operation == "policy_switch" else None,
     )
     ctx = _Ctx(
         directory=workdir, injector=injector, model=model, engine=engine,
@@ -715,9 +759,19 @@ def run_combo(operation: str, point: str, kind: str, seed: int, base_dir: str) -
     if kind == fp.BITFLIP and result.triggered:
         result.errors.extend(_verify_bitflip(workdir, model))
     else:
-        result.errors.extend(_verify_recovery(workdir, model))
+        # The policy_switch row recovers under the *recorded* config: the
+        # crash raced a durable policy change, so forcing the matrix
+        # config (leveling) would override -- and on the next manifest
+        # write, stomp -- whichever policy actually committed.
+        result.errors.extend(
+            _verify_recovery(
+                workdir, model, recorded=(operation == "policy_switch")
+            )
+        )
         if operation == "governor_resize":
             result.errors.extend(_verify_budget_reset(workdir))
+        if operation == "policy_switch":
+            result.errors.extend(_verify_policy_recovery(workdir))
 
     if result.ok:
         shutil.rmtree(workdir, ignore_errors=True)
@@ -825,14 +879,42 @@ def _verify_budget_reset(directory: str) -> list[str]:
     return errors
 
 
-def _verify_recovery(directory: str, model: AckModel) -> list[str]:
+def _verify_policy_recovery(directory: str) -> list[str]:
+    """The compaction policy is durable config state: a crash racing a
+    live tiering->leveling switch must recover to exactly one of the two
+    (the manifest write is atomic -- whichever version is referenced
+    wins), never a third value, and the unrelated config -- ``D_th``
+    above all -- must ride along untouched."""
+    errors: list[str] = []
+    engine = _open_engine(directory, recorded=True)
+    try:
+        policy = engine.tree.config.policy
+        if policy not in (CompactionStyle.TIERING, CompactionStyle.LEVELING):
+            errors.append(
+                f"recovered policy {policy!r} is neither the pre-switch "
+                "tiering nor the post-switch leveling"
+            )
+        recovered_dth = engine.tree.config.delete_persistence_threshold
+        if recovered_dth != D_TH:
+            errors.append(
+                f"recovered D_th {recovered_dth} != {D_TH}: the policy "
+                "switch rewrote unrelated config"
+            )
+    finally:
+        engine.close()
+    return errors
+
+
+def _verify_recovery(
+    directory: str, model: AckModel, recorded: bool = False
+) -> list[str]:
     """Reopen the crashed store cleanly and check the full contract."""
     errors: list[str] = []
     report = diagnose_store(directory)
     if not report.healthy:
         errors.append(f"crashed store fails diagnosis before recovery: {report.errors}")
     try:
-        engine = _open_engine(directory)
+        engine = _open_engine(directory, recorded=recorded)
     except Exception as exc:  # noqa: BLE001 - any failure to reopen is a finding
         errors.append(f"recovery open failed: {type(exc).__name__}: {exc}")
         return errors

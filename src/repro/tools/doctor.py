@@ -513,6 +513,95 @@ def examine_memory(engine: Any, name: str = "engine") -> DoctorReport:
 
 
 # ---------------------------------------------------------------------------
+# live compaction-policy examination
+# ---------------------------------------------------------------------------
+def examine_policy(engine: Any, name: str = "engine", window_ops: int = 4096) -> DoctorReport:
+    """Compaction-policy posture of a *live* engine: layout vs policy.
+
+    The policy sibling of :func:`examine_memory`.  A live policy switch
+    from tiering to leveling does not rewrite the tree eagerly -- the
+    multi-run levels the old policy left behind drain through ordinary
+    ``LEVEL_COLLAPSE`` compactions.  That transition should complete
+    within roughly one tuner window of operations; a tree that still
+    has multi-run levels under a leveling policy *longer* than that is
+    stuck mid-transition (maintenance starved, or a switch applied to a
+    read-mostly shard that never triggers compaction).  Advisory only:
+    warnings never mark the report unhealthy, because a lingering
+    transition is a performance smell, not a correctness violation.
+    """
+    from repro.config import CompactionStyle
+    from repro.metrics.shape import tree_shape
+
+    report = DoctorReport(directory=name)
+    trees = (
+        [shard.tree for shard in engine.shards]
+        if hasattr(engine, "shards")
+        else [engine.tree]
+    )
+
+    report.stats["policies"] = [
+        {
+            "policy": t.config.policy.value,
+            "switches": t.policy_switches,
+            "last_switch_tick": t.last_policy_switch_tick,
+        }
+        for t in trees
+    ]
+
+    lingering = []
+    transitioning = 0
+    for i, tree in enumerate(trees):
+        if tree.config.policy is not CompactionStyle.LEVELING:
+            continue
+        multi = [s.index for s in tree_shape(tree) if s.runs > 1]
+        if not multi:
+            continue
+        transitioning += 1
+        age = (
+            None
+            if tree.last_policy_switch_tick is None
+            else tree.clock.now() - tree.last_policy_switch_tick
+        )
+        if age is None or age > window_ops:
+            since = "no switch recorded" if age is None else f"{age} ticks ago"
+            lingering.append(
+                f"shard {i}: leveling policy but level(s) {multi} hold "
+                f"multiple runs (switched {since})"
+            )
+    if lingering:
+        for line in lingering:
+            report.warn(
+                f"stuck mid-transition -- {line}; compaction is not "
+                "draining the tiered layout (run maintain()/compact_all())"
+            )
+    elif transitioning:
+        report.passed(
+            f"{transitioning} tree(s) mid tiering->leveling transition, "
+            f"all within the {window_ops}-op window"
+        )
+    else:
+        report.passed(
+            f"every tree's layout matches its policy ({len(trees)} tree(s))"
+        )
+
+    tuner = getattr(engine, "_tuner", None)
+    if tuner is None:
+        report.warn(
+            "policy tuner disabled: compaction policies are the static "
+            "config/override constants; a drifting workload keeps paying "
+            "the wrong policy's I/O (pass policy_tuner=...)"
+        )
+        return report
+    summary = tuner.summary()
+    report.stats["tuner"] = summary
+    report.passed(
+        f"policy tuner armed ({summary['windows_evaluated']} windows, "
+        f"{summary['switches']} switches)"
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
 # live write-path examination
 # ---------------------------------------------------------------------------
 def examine_write_path(tree: Any, name: str = "tree") -> DoctorReport:
