@@ -31,6 +31,7 @@ from repro.bench.perfsuite import (  # noqa: E402
     check_memory,
     check_policy,
     check_read_regression,
+    check_server,
     render,
     run_suite,
 )
@@ -106,6 +107,15 @@ def main(argv: list[str] | None = None) -> int:
         "modeled I/O, leaves the per-third slack, stops switching, or the "
         "win shrinks past the tolerance relative to the archive",
     )
+    parser.add_argument(
+        "--check-server",
+        action="store_true",
+        help="hold the served phase to the wire-protocol contract; exits 1 "
+        "if any client arm's contents or modeled device time diverge from "
+        "the embedded replay, or the storm arm fails to shed (or sheds an "
+        "acknowledged write).  Takes no baseline: every guarded property "
+        "is an exact invariant",
+    )
     args = parser.parse_args(argv)
     if args.ops < 1:
         parser.error(f"--ops must be >= 1, got {args.ops}")
@@ -178,6 +188,17 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"policy tuner win holds within {args.read_tolerance:.0%} of "
             f"{args.check_policy}"
+        )
+    if args.check_server:
+        failures = check_server(payload)
+        if failures:
+            print("served-engine contract:")
+            for failure in failures:
+                print(f"  FAIL {failure}")
+            return 1
+        print(
+            "served-engine contract holds: digests and modeled device time "
+            "match embedded; storm shed without losing acked writes"
         )
     return 0
 

@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""CI smoke for the served engine: a real server process, real clients.
+
+Where ``tests/test_server.py`` runs the server in-process (threads in
+the pytest interpreter), this script exercises the full deployment
+shape CI cares about:
+
+1. spawn ``python -m repro.cli serve`` as a **subprocess** on an
+   ephemeral port and wait for its readiness line;
+2. replay a seeded mixed workload over the wire with N pipelined
+   clients (default 8) via the same ``run_workload(connect=...)``
+   machinery ``repro workload --connect`` uses;
+3. replay the identical stream against an **embedded** engine and
+   assert the two final contents digests are equal -- the served path
+   must not lose, duplicate, or reorder a single write;
+4. drive one actual ``repro workload --connect`` CLI invocation (an
+   adversary stream, so attack replay over the wire is covered too);
+5. tear the server down cleanly (SIGTERM, then SIGKILL past the
+   timeout) and fail loudly if it did not exit.
+
+Usage::
+
+    PYTHONPATH=src python scripts/server_smoke.py            # defaults
+    PYTHONPATH=src python scripts/server_smoke.py --clients 8 --ops 4000
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.config import acheron_config  # noqa: E402
+from repro.server import EngineClient  # noqa: E402
+from repro.shard import ShardedEngine  # noqa: E402
+from repro.workload.generator import generate_operations  # noqa: E402
+from repro.workload.runner import run_workload  # noqa: E402
+from repro.workload.spec import OpKind, WorkloadSpec  # noqa: E402
+
+READY_PATTERN = re.compile(r"^serving .* at (\S+:\d+) \(\d+ shard\(s\)\)")
+
+
+def build_stream(ops: int, seed: int):
+    return generate_operations(
+        WorkloadSpec(
+            operations=ops,
+            preload=ops // 2,
+            seed=seed,
+            weights={
+                OpKind.INSERT: 0.40,
+                OpKind.UPDATE: 0.22,
+                OpKind.POINT_DELETE: 0.10,
+                OpKind.POINT_QUERY: 0.15,
+                OpKind.EMPTY_QUERY: 0.04,
+                OpKind.RANGE_QUERY: 0.04,
+                OpKind.SECONDARY_RANGE_DELETE: 0.05,
+            },
+        )
+    )
+
+
+def contents_digest(scannable, hi: int) -> str:
+    digest = hashlib.sha256()
+    for key, value in scannable.scan(0, hi):
+        digest.update(repr((key, value)).encode())
+    return digest.hexdigest()
+
+
+def wait_for_ready(proc: subprocess.Popen, deadline: float) -> str:
+    """Read the serve subprocess's stdout until the readiness line."""
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"server exited before becoming ready (rc={proc.poll()})"
+            )
+        sys.stdout.write(f"  [serve] {line}")
+        match = READY_PATTERN.match(line.strip())
+        if match:
+            return match.group(1)
+    raise SystemExit("server did not print its readiness line in time")
+
+
+def shutdown(proc: subprocess.Popen, timeout: float) -> int:
+    """SIGTERM -> wait -> SIGKILL.  Returns the exit code."""
+    if proc.poll() is not None:
+        return proc.returncode
+    proc.send_signal(signal.SIGTERM)
+    try:
+        return proc.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        print(f"  server ignored SIGTERM for {timeout}s; killing", flush=True)
+        proc.kill()
+        proc.wait(timeout=10)
+        return -9
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=4_000)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0xCAFE)
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="seconds to wait for readiness and again for clean teardown",
+    )
+    args = parser.parse_args(argv)
+
+    stream = build_stream(args.ops, args.seed)
+    key_space = 4 * (args.ops // 2 + args.ops) + 64
+
+    # -- embedded reference arm ------------------------------------------
+    config = acheron_config(memtable_entries=512, entries_per_page=32)
+    embedded = ShardedEngine(
+        config, shards=args.shards, key_space=(0, key_space)
+    )
+    run_workload(embedded, stream)
+    expected = contents_digest(embedded, key_space)
+    embedded.close()
+    print(f"embedded replay: {args.ops} ops, digest {expected[:16]}")
+
+    env = dict(os.environ, PYTHONUNBUFFERED="1")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(Path(__file__).resolve().parents[1] / "src"),
+                    env.get("PYTHONPATH")) if p
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-server-smoke-") as scratch:
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                str(Path(scratch) / "store"),
+                "--port",
+                "0",
+                "--shards",
+                str(args.shards),
+                "--key-space",
+                str(key_space),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            address = wait_for_ready(
+                proc, deadline=time.monotonic() + args.timeout
+            )
+            print(f"server ready at {address}")
+
+            # -- served arm: same stream, N pipelined clients ------------
+            result = run_workload(
+                None, stream, connect=address, clients=args.clients
+            )
+            assert result.served is not None
+            with EngineClient(address) as client:
+                served_digest = contents_digest(client, key_space)
+                report = client.stats()["server"]
+            print(
+                f"served replay: {result.operations} ops over "
+                f"{args.clients} clients in {result.wall_seconds:.2f}s "
+                f"(sheds {result.served['sheds_seen']}, "
+                f"reconnects {result.served['reconnects']}, "
+                f"server accepted {report['accepted']})"
+            )
+            if served_digest != expected:
+                print(
+                    f"FAIL digest mismatch: served {served_digest[:16]} != "
+                    f"embedded {expected[:16]}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"digest equivalence holds ({served_digest[:16]})")
+
+            # -- the actual CLI, adversary stream over the wire ----------
+            cli = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "workload",
+                    "--connect",
+                    address,
+                    "--clients",
+                    str(args.clients),
+                    "--adversary",
+                    "hot_shard_storm",
+                    "--ops",
+                    str(min(args.ops, 2_048)),
+                    "--preload",
+                    "1024",
+                ],
+                env=env,
+                timeout=args.timeout * 4,
+                capture_output=True,
+                text=True,
+            )
+            if cli.returncode != 0:
+                print(
+                    "FAIL `repro workload --connect --adversary "
+                    f"hot_shard_storm` exited {cli.returncode}:\n{cli.stdout}"
+                    f"\n{cli.stderr}",
+                    file=sys.stderr,
+                )
+                return 1
+            print("CLI adversary replay over the wire: ok")
+        finally:
+            rc = shutdown(proc, args.timeout)
+            print(f"server exited with {rc}")
+    if rc != 0:
+        print(f"FAIL server did not exit cleanly (rc={rc})", file=sys.stderr)
+        return 1
+    print("server smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

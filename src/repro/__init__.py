@@ -54,6 +54,13 @@ from repro.lsm.compaction.tuner import (
 )
 from repro.lsm.tree import LSMTree
 from repro.memory import MemoryBudget, MemoryGovernor, MemoryGovernorConfig
+from repro.server import (
+    AdmissionConfig,
+    EngineClient,
+    EngineServer,
+    ServerConfig,
+    ServerError,
+)
 from repro.shard import PartitionMap, ShardedEngine
 
 __version__ = "1.0.0"
@@ -61,6 +68,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AcheronEngine",
     "AcheronError",
+    "AdmissionConfig",
     "AutoTickClock",
     "CompactionError",
     "CompactionStyle",
@@ -69,7 +77,9 @@ __all__ = [
     "ConfigError",
     "CorruptionError",
     "DiskModel",
+    "EngineClient",
     "EngineClosedError",
+    "EngineServer",
     "EngineStats",
     "FilePickPolicy",
     "InvariantViolationError",
@@ -87,6 +97,8 @@ __all__ = [
     "PurgeRecord",
     "RetentionPolicy",
     "SecondaryDeleteReport",
+    "ServerConfig",
+    "ServerError",
     "ShardedEngine",
     "StorageError",
     "WALError",

@@ -1571,6 +1571,247 @@ def run_policy_drift_experiment(spec: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+#: Shape of the ``served`` phase: shard count behind the server, the
+#: client-concurrency sweep (the ISSUE's acceptance bar is the 8-client
+#: arm), and the fixed storm shape for the shedding arm.  The storm is
+#: not ``--quick``-scaled, mirroring ADVERSARIAL_ATTACKS: an admission
+#: envelope measured against a shrunken attack is not the same envelope.
+SERVED_SHARDS = 4
+SERVED_CLIENT_SWEEP = (1, 4, 8)
+SERVED_STORM_PRELOAD = 2_048
+SERVED_STORM_OPS = 4_096
+
+
+def _latency_percentiles(samples: list[float]) -> dict[str, float]:
+    """p50/p95/p99 of ``samples`` (nearest-rank on the sorted list)."""
+    if not samples:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    ordered = sorted(samples)
+    last = len(ordered) - 1
+    return {
+        f"p{q}": round(ordered[min(last, int(len(ordered) * q / 100))], 1)
+        for q in (50, 95, 99)
+    }
+
+
+def run_served_experiment(spec: dict[str, Any]) -> dict[str, Any]:
+    """The ``served`` phase: the wire-protocol server vs embedded replay.
+
+    One seeded mixed stream (inserts, updates, point deletes, point and
+    range queries, secondary range deletes) is replayed four times over a
+    four-shard :class:`~repro.shard.engine.ShardedEngine`:
+
+    * **embedded** -- in-process :func:`~repro.workload.runner.run_workload`,
+      the reference arm;
+    * **1/4/8 clients** -- the same stream through a live
+      :class:`~repro.server.EngineServer` over loopback TCP, pipelined
+      across that many pooled connections.
+
+    Two invariants are asserted here (and re-checked by
+    :func:`check_server` in CI):
+
+    * **contents parity** -- every served arm's final logical contents
+      digest equals the embedded arm's (the master/executor split and
+      the client's shed-retry protocol preserve per-key order);
+    * **modeled parity** -- every served arm's total *modeled* device
+      time equals the embedded arm's, because attribution is exact (each
+      response carries the modeled microseconds its request cost) and
+      shard-affine routing preserves per-shard op order.  The wire adds
+      wall-clock overhead, never modeled device work.
+
+    A fifth **storm** arm replays the PR7 ``hot_shard_storm`` attack
+    against deliberately tight admission limits: shedding must engage
+    (``shed_total > 0``), and the final contents must *still* digest-
+    equal an embedded replay of the same storm -- structured retry never
+    loses an acknowledged write.
+
+    Reported per client arm: wall-clock throughput and per-request
+    latency percentiles (p50/p95/p99) in both wall and modeled
+    microseconds, plus the client's shed/reconnect counters and the
+    server's admission report.
+    """
+    import hashlib
+
+    from repro.config import acheron_config
+    from repro.server import AdmissionConfig, EngineServer, ServerConfig
+    from repro.shard import ShardedEngine
+    from repro.workload.adversarial import build_adversary
+    from repro.workload.generator import generate_operations
+    from repro.workload.runner import run_workload
+    from repro.workload.spec import OpKind, WorkloadSpec
+
+    n: int = spec["ingest_ops"]
+    seed: int = spec["seed"]
+    operations_n = max(1_000, min(n, FULL_INGEST_OPS))
+    preload = operations_n // 2
+    stream = generate_operations(
+        WorkloadSpec(
+            operations=operations_n,
+            preload=preload,
+            seed=seed,
+            weights={
+                OpKind.INSERT: 0.40,
+                OpKind.UPDATE: 0.22,
+                OpKind.POINT_DELETE: 0.10,
+                OpKind.POINT_QUERY: 0.15,
+                OpKind.EMPTY_QUERY: 0.04,
+                OpKind.RANGE_QUERY: 0.04,
+                OpKind.SECONDARY_RANGE_DELETE: 0.05,
+            },
+        )
+    )
+    # Workload keys are strided small integers, so the partition map must
+    # cover the stream's actual footprint or every op lands in shard 0.
+    key_space = (0, 4 * (preload + operations_n) + 64)
+    config = acheron_config(memtable_entries=512, entries_per_page=32)
+
+    def contents_digest(engine) -> str:
+        digest = hashlib.sha256()
+        for key, value in engine.scan(key_space[0], key_space[1]):
+            digest.update(repr((key, value)).encode())
+        return digest.hexdigest()
+
+    def replay_embedded(operations) -> dict[str, Any]:
+        engine = ShardedEngine(config, shards=SERVED_SHARDS, key_space=key_space)
+        t0 = time.perf_counter()
+        c0 = time.process_time()
+        result = run_workload(engine, operations)
+        phase = PhaseResult(
+            result.operations, time.perf_counter() - t0, time.process_time() - c0
+        )
+        arm = {
+            "replay": phase.to_dict(),
+            "modeled_us": round(result.total_modeled_us, 1),
+            "contents_sha256": contents_digest(engine),
+        }
+        engine.close()
+        return arm
+
+    def replay_served(
+        operations, clients: int, admission: AdmissionConfig | None = None
+    ) -> dict[str, Any]:
+        engine = ShardedEngine(config, shards=SERVED_SHARDS, key_space=key_space)
+        server_config = (
+            ServerConfig(port=0, admission=admission)
+            if admission is not None
+            else ServerConfig(port=0)
+        )
+        server = EngineServer(engine, server_config).start()
+        try:
+            t0 = time.perf_counter()
+            c0 = time.process_time()
+            result = run_workload(
+                None, operations, connect=server.address, clients=clients
+            )
+            phase = PhaseResult(
+                result.operations,
+                time.perf_counter() - t0,
+                time.process_time() - c0,
+            )
+            report = server.server_report()
+            return {
+                "clients": clients,
+                "replay": phase.to_dict(),
+                "modeled_us": round(result.total_modeled_us, 1),
+                "wall_latency_us": _latency_percentiles(
+                    result.served["latencies_us"]
+                ),
+                "modeled_latency_us": _latency_percentiles(
+                    result.served["modeled_latencies_us"]
+                ),
+                "sheds_seen": result.served["sheds_seen"],
+                "reconnects": result.served["reconnects"],
+                "server": {
+                    key: report[key]
+                    for key in (
+                        "accepted",
+                        "completed",
+                        "shed_total",
+                        "pipeline_aborts",
+                        "barrier_ops",
+                        "scatter_batches",
+                        "hot_windows",
+                    )
+                },
+                "contents_sha256": contents_digest(engine),
+            }
+        finally:
+            server.stop(close_engine=True)
+
+    embedded = replay_embedded(stream)
+    arms = {
+        str(clients): replay_served(stream, clients)
+        for clients in SERVED_CLIENT_SWEEP
+    }
+
+    for name, arm in arms.items():
+        if arm["contents_sha256"] != embedded["contents_sha256"]:
+            raise AssertionError(
+                f"served: {name}-client arm's contents diverged from the "
+                f"embedded replay ({arm['contents_sha256'][:16]} != "
+                f"{embedded['contents_sha256'][:16]})"
+            )
+    modeled_parity = all(
+        abs(arm["modeled_us"] - embedded["modeled_us"]) < 1.0
+        for arm in arms.values()
+    )
+
+    # -- storm arm: shedding engages, acked writes survive ---------------
+    storm = build_adversary(
+        "hot_shard_storm",
+        seed=seed,
+        preload=SERVED_STORM_PRELOAD,
+        operations=SERVED_STORM_OPS,
+    )
+    storm_embedded = replay_embedded(storm)
+    # Tight enough that the storm's hot shard trips the hot-tightened
+    # queue cap (16/2 = 8), loose enough that each 64-deep pipeline
+    # round still lands a batch of requests -- a hot cap of 4 or less
+    # degenerates into tens of thousands of mostly-shed retry rounds
+    # and the arm spends minutes shedding instead of measuring.
+    storm_served = replay_served(
+        storm,
+        clients=2,
+        admission=AdmissionConfig(
+            max_queue_depth=16,
+            hot_tighten=2,
+            hot_window_ops=128,
+            hot_share=0.5,
+            retry_after_ms=1.0,
+        ),
+    )
+    storm_served["contents_identical"] = (
+        storm_served["contents_sha256"] == storm_embedded["contents_sha256"]
+    )
+    if not storm_served["contents_identical"]:
+        raise AssertionError(
+            "served: the storm arm lost or reordered an acknowledged write "
+            "under shedding"
+        )
+
+    best = max(arms.values(), key=lambda arm: arm["replay"]["ops_per_s"])
+    return {
+        "experiment": "served",
+        "engine": "served_vs_embedded",
+        "shards": SERVED_SHARDS,
+        "ops": operations_n,
+        "key_space": list(key_space),
+        "embedded": embedded,
+        "arms": arms,
+        "storm": storm_served,
+        "storm_embedded_modeled_us": storm_embedded["modeled_us"],
+        "contents_identical": True,
+        "modeled_parity": modeled_parity,
+        "shedding_engaged": storm_served["server"]["shed_total"] > 0,
+        "best_clients": best["clients"],
+        "served_wall_ratio": round(
+            best["replay"]["seconds"]
+            / max(embedded["replay"]["seconds"], 1e-9),
+            3,
+        ),
+    }
+
+
 def _run_spec(spec: dict[str, Any]) -> dict[str, Any]:
     """Process-pool dispatch point (module-level, picklable)."""
     if spec.get("mode") == "concurrent":
@@ -1585,6 +1826,8 @@ def _run_spec(spec: dict[str, Any]) -> dict[str, Any]:
         return run_memory_skew_experiment(spec)
     if spec.get("mode") == "policy_drift":
         return run_policy_drift_experiment(spec)
+    if spec.get("mode") == "served":
+        return run_served_experiment(spec)
     return run_experiment(spec)
 
 
@@ -1673,6 +1916,18 @@ def run_suite(
             "ingest_ops": ingest_ops,
         }
     )
+    # Append-last once more: the served phase (wire protocol vs embedded)
+    # rides after policy_drift so every earlier spec keeps its position
+    # and the benign phases stay digest-equivalent to the previous
+    # archive.
+    specs.append(
+        {
+            "name": "served",
+            "mode": "served",
+            "seed": 17,
+            "ingest_ops": ingest_ops,
+        }
+    )
     if workers is None:
         # One worker per experiment, but never more than the machine has
         # cores: oversubscribed workers time-share and that scheduling
@@ -1709,6 +1964,7 @@ def run_suite(
     policy_drift = next(
         (r for r in results if r["experiment"] == "policy_drift"), None
     )
+    served = next((r for r in results if r["experiment"] == "served"), None)
     payload = {
         "suite": "perfsuite",
         "quick": quick,
@@ -1747,6 +2003,10 @@ def run_suite(
         payload["policy_drift_contents_identical"] = policy_drift["contents_identical"]
         payload["policy_io_reduction"] = policy_drift["policy_io_reduction"]
         payload["policy_thirds_ok"] = policy_drift["thirds_ok"]
+    if served is not None:
+        payload["served_contents_identical"] = served["contents_identical"]
+        payload["served_modeled_parity"] = served["modeled_parity"]
+        payload["served_shedding_engaged"] = served["shedding_engaged"]
     path = out or next_bench_path()
     path.write_text(json.dumps(payload, indent=1) + "\n")
     payload["path"] = str(path)
@@ -1921,6 +2181,40 @@ def render(payload: dict[str, Any]) -> str:
             f"{policy_drift['policy_io_reduction']:.2f}x, "
             f"{policy_drift['arms']['tuned']['switches']} switches, thirds "
             + ("ok" if policy_drift["thirds_ok"] else "OVER SLACK")
+        )
+    served = next(
+        (r for r in payload["experiments"] if r["experiment"] == "served"),
+        None,
+    )
+    if served is not None:
+        lines.append(
+            f"{'served':<20} {'clients':>8} {'ops/s':>10} {'p50-us':>9} "
+            f"{'p95-us':>9} {'p99-us':>9} {'sheds':>7} {'digest':>10}"
+        )
+        lines.append(
+            f"{'':<20} {'embedded':>8} "
+            f"{served['embedded']['replay']['ops_per_s']:>10,.0f} "
+            f"{'-':>9} {'-':>9} {'-':>9} {'-':>7} "
+            f"{served['embedded']['contents_sha256'][:8]:>10}"
+        )
+        for arm in served["arms"].values():
+            wall = arm["wall_latency_us"]
+            lines.append(
+                f"{'':<20} {arm['clients']:>8} "
+                f"{arm['replay']['ops_per_s']:>10,.0f} "
+                f"{wall['p50']:>9,.0f} {wall['p95']:>9,.0f} "
+                f"{wall['p99']:>9,.0f} "
+                f"{arm['sheds_seen']:>7} "
+                f"{arm['contents_sha256'][:8]:>10}"
+            )
+        storm = served["storm"]
+        lines.append(
+            f"{'':<20} storm: shed {storm['server']['shed_total']} "
+            f"(aborts {storm['server']['pipeline_aborts']}, client retries "
+            f"{storm['sheds_seen']}), contents "
+            + ("identical" if storm["contents_identical"] else "DIVERGED")
+            + f"; modeled parity "
+            + ("ok" if served["modeled_parity"] else "BROKEN")
         )
     lines.append(
         f"min speedups: ingest {payload['min_ingest_speedup']:.2f}x, "
@@ -2215,4 +2509,59 @@ def check_policy(
                 f"policy_drift: {key} {value} fell below {bound:.3f} "
                 f"({(1 - tolerance):.0%} of archived {archived})"
             )
+    return failures
+
+
+def check_server(current: dict[str, Any]) -> list[str]:
+    """Hold a fresh ``served`` phase to the wire-protocol contract.
+
+    Unlike the read/memory/policy gates this one takes no archive
+    baseline: every guarded property is an exact invariant, not a
+    tolerance-banded speedup, so there is nothing meaningful to compare
+    across machines.  The contract:
+
+    * every client arm's final contents digest equals the embedded
+      replay's (the acceptance criterion's "digest equivalence with >= 8
+      concurrent pipelined clients" -- the 8-client arm is in the sweep);
+    * every client arm's total modeled device time equals the embedded
+      replay's (exact attribution; the wire never adds modeled work);
+    * the storm arm engaged admission control (``shed_total > 0`` -- a
+      storm that no longer sheds means the thresholds rotted) and still
+      digest-matched its embedded replay (no acknowledged write lost).
+
+    Returns human-readable failure strings (empty means the served
+    engine's contract held).  A current run without the phase fails
+    loudly.
+    """
+    failures: list[str] = []
+    fresh = next(
+        (r for r in current.get("experiments", [])
+         if r.get("experiment") == "served"),
+        None,
+    )
+    if fresh is None:
+        return ["served: phase missing from the current run"]
+    embedded_digest = fresh.get("embedded", {}).get("contents_sha256")
+    for name, arm in fresh.get("arms", {}).items():
+        if arm.get("contents_sha256") != embedded_digest:
+            failures.append(
+                f"served: {name}-client arm's contents diverged from the "
+                "embedded replay"
+            )
+    if not fresh.get("modeled_parity"):
+        failures.append(
+            "served: a client arm's total modeled device time diverged "
+            "from the embedded replay (attribution is no longer exact)"
+        )
+    storm = fresh.get("storm", {})
+    if not storm.get("server", {}).get("shed_total"):
+        failures.append(
+            "served: the storm arm never shed -- admission control did "
+            "not engage under hot_shard_storm"
+        )
+    if not storm.get("contents_identical"):
+        failures.append(
+            "served: the storm arm lost or reordered an acknowledged "
+            "write under shedding"
+        )
     return failures

@@ -19,7 +19,11 @@ Five subcommands mirror the ways the demonstration was driven:
 * ``shell``    -- the hands-on mode: an interactive prompt over one
   engine (put/get/del/purge/dashboards), reading stdin;
 * ``record``   -- materialize a generated workload into a checksummed
-  trace file that ``workload --replay`` (or any other tool) can replay.
+  trace file that ``workload --replay`` (or any other tool) can replay;
+* ``serve``    -- serve a durable store over TCP (the master/executor
+  server in :mod:`repro.server.core`); pair with
+  ``workload --connect HOST:PORT --clients N`` to replay any workload
+  (including ``--adversary``) over the wire.
 
 ``workload`` accepts ``--shards N`` to run against a range-partitioned
 :class:`~repro.shard.engine.ShardedEngine`; ``inspect``/``stats``/
@@ -112,6 +116,32 @@ def _build_parser() -> argparse.ArgumentParser:
                          "heterogeneous manual layouts (requires "
                          "--shards > 1), e.g. 0=tiering,2=lazy_leveling; "
                          "unlisted shards keep --policy")
+    wl.add_argument("--connect", default=None, metavar="HOST:PORT",
+                    help="replay against a live `repro serve` endpoint "
+                         "instead of an embedded engine; engine-local "
+                         "flags are refused (the server owns the engine)")
+    wl.add_argument("--clients", type=int, default=None, metavar="N",
+                    help="concurrent pipelined client connections for "
+                         "--connect (default 1)")
+
+    serve = sub.add_parser(
+        "serve", help="serve a durable store over TCP (master/executor workers)"
+    )
+    serve.add_argument("directory", help="durable store root (created if missing)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral; the bound address is printed)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="executor workers (default: one per shard, max 8)")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="shard count when creating a new store "
+                            "(existing stores keep their recorded layout)")
+    serve.add_argument("--key-space", type=int, default=None, metavar="HI",
+                       help="upper key bound for the uniform shard "
+                            "boundaries of a NEW store; size it to the "
+                            "workload's footprint ((preload+ops) x key "
+                            "stride 4) or traffic piles into shard 0 "
+                            "(default: 1<<20)")
 
     record = sub.add_parser("record", help="write a generated workload to a trace file")
     record.add_argument("trace_path")
@@ -167,7 +197,137 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``workload`` flags that configure the *embedded* engine and therefore
+#: cannot apply when ``--connect`` hands the engine to a remote server:
+#: (flag, detector for "the user set it to a non-default value").
+_ENGINE_LOCAL_FLAGS = [
+    ("--directory", lambda a: a.directory is not None),
+    ("--shards", lambda a: a.shards != 1),
+    ("--writers", lambda a: a.writers is not None),
+    ("--engine", lambda a: a.engine != "acheron"),
+    ("--policy", lambda a: a.policy != "leveling"),
+    ("--d-th", lambda a: a.d_th != 10_000),
+    ("--pages-per-tile", lambda a: a.pages_per_tile != 8),
+    ("--defended", lambda a: a.defended),
+    ("--memory-budget", lambda a: a.memory_budget is not None),
+    ("--memory-governor", lambda a: a.memory_governor),
+    ("--policy-tuner", lambda a: a.policy_tuner),
+    ("--shard-policies", lambda a: a.shard_policies is not None),
+]
+
+
+def _cmd_workload_connect(args: argparse.Namespace) -> int:
+    """The ``workload --connect`` arm: replay over the wire."""
+    offending = [flag for flag, is_set in _ENGINE_LOCAL_FLAGS if is_set(args)]
+    if offending:
+        print(
+            f"--connect replays against a remote server, which owns its own "
+            f"engine; these engine-local flag(s) cannot apply there: "
+            f"{', '.join(offending)}.  Configure the engine on the "
+            f"`repro serve` side instead.",
+            file=sys.stderr,
+        )
+        return 2
+    if args.clients is not None and args.clients < 1:
+        print("--clients must be >= 1", file=sys.stderr)
+        return 2
+    if args.replay:
+        from repro.workload.trace import load_trace
+
+        operations = load_trace(args.replay)
+    elif args.adversary:
+        # Mirror the embedded arm's build parameters (`repro serve`
+        # builds its stores at the same 512-entry memtable scale).
+        knobs = {}
+        if args.adversary in ("bloom_defeat", "empty_flood"):
+            knobs["memtable_entries"] = 512
+        operations = build_adversary(
+            args.adversary,
+            seed=args.seed,
+            preload=args.preload,
+            operations=args.ops,
+            **knobs,
+        )
+    else:
+        operations = WorkloadGenerator(_spec_from_args(args)).operations()
+    result = run_workload(
+        None,
+        operations,
+        connect=args.connect,
+        clients=args.clients,
+        secondary_delete_method=args.method,
+    )
+    from repro.metrics.server import format_server_load
+    from repro.server.client import EngineClient
+
+    with EngineClient(args.connect, pool_size=1) as client:
+        remote = client.stats()
+    print(format_server_load(remote.get("server", {}), name=args.connect))
+    served = result.served or {}
+    latencies = sorted(served.get("latencies_us", []))
+
+    def pct(p: float) -> float:
+        return latencies[min(len(latencies) - 1, int(p * len(latencies)))] if latencies else 0.0
+
+    print(
+        f"\n{result.operations} ops over the wire, {result.wall_seconds:.2f}s wall, "
+        f"{served.get('clients', 1)} client(s), "
+        f"{result.modeled_throughput_ops_per_s():,.0f} modeled ops/s"
+    )
+    print(
+        f"wall latency p50/p95/p99 (us): "
+        f"{pct(0.50):,.0f} / {pct(0.95):,.0f} / {pct(0.99):,.0f}; "
+        f"sheds seen {served.get('sheds_seen', 0)}, "
+        f"reconnects {served.get('reconnects', 0)}"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.server import EngineServer, ServerConfig
+
+    if is_sharded_root(args.directory):
+        if args.shards is not None or args.key_space is not None:
+            print(
+                f"{args.directory} is an existing sharded store; its recorded "
+                f"layout decides the shard count and boundaries "
+                f"(drop --shards/--key-space)",
+                file=sys.stderr,
+            )
+            return 2
+        engine = ShardedEngine(directory=args.directory)
+    else:
+        engine = ShardedEngine(
+            acheron_config(memtable_entries=512, entries_per_page=32),
+            directory=args.directory,
+            shards=args.shards,
+            key_space=(0, args.key_space if args.key_space else 1 << 20),
+        )
+    server = EngineServer(
+        engine,
+        ServerConfig(host=args.host, port=args.port, workers=args.workers),
+    ).start()
+    # The parseable readiness line CI and scripts wait for.
+    print(f"serving {args.directory} at {server.address} "
+          f"({len(engine.shards)} shard(s))", flush=True)
+    done = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda *_: done.set())
+    done.wait()
+    print("shutting down", flush=True)
+    server.stop(close_engine=True)
+    return 0
+
+
 def _cmd_workload(args: argparse.Namespace) -> int:
+    if args.connect:
+        return _cmd_workload_connect(args)
+    if args.clients is not None:
+        print("--clients requires --connect", file=sys.stderr)
+        return 2
     scale = {
         "memtable_entries": 512,
         "entries_per_page": 32,
@@ -381,6 +541,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "scrub": _cmd_scrub,
         "shell": _cmd_shell,
         "record": _cmd_record,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

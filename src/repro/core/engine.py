@@ -78,6 +78,10 @@ class EngineStats:
     #: recent decisions); populated only when a
     #: :class:`~repro.shard.engine.ShardedEngine` arms the policy tuner.
     policy: dict = None  # type: ignore[assignment]
+    #: Served-engine section (admission/shedding/throughput counters);
+    #: populated only by :meth:`~repro.server.core.EngineServer.stats`
+    #: and the wire ``STATS`` op.
+    server: dict = None  # type: ignore[assignment]
 
     def to_dict(self) -> dict:
         """JSON-safe snapshot (for logging, dashboards, bench archives)."""
@@ -110,6 +114,7 @@ class EngineStats:
                 "fences": dict(self.fences) if self.fences else {},
                 "memory": dict(self.memory) if self.memory else {},
                 "policy": dict(self.policy) if self.policy else {},
+                "server": dict(self.server) if self.server else {},
             }
         )
 

@@ -20,12 +20,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.shard.engine import ShardedEngine
 
 
-class TreeInspector:
-    """Renders per-level, persistence, and I/O views of one engine."""
+def _format_server(server, name: str) -> str:
+    """Render the admission table for an EngineServer or a report dict."""
+    from repro.metrics.server import format_server_load
 
-    def __init__(self, engine: "AcheronEngine", name: str = "engine") -> None:
+    if server is None:
+        raise ValueError("inspector was built without a server")
+    report = server.server_report() if hasattr(server, "server_report") else server
+    return format_server_load(report, name=name)
+
+
+class TreeInspector:
+    """Renders per-level, persistence, and I/O views of one engine.
+
+    ``server``: when the engine is being served
+    (:class:`~repro.server.core.EngineServer`, or a captured
+    ``server_report()`` dict), :meth:`dashboard` appends the admission/
+    shedding table so the front door shows up next to the tree views.
+    """
+
+    def __init__(
+        self, engine: "AcheronEngine", name: str = "engine", server=None
+    ) -> None:
         self.engine = engine
         self.name = name
+        self.server = server
 
     # ------------------------------------------------------------------
     # individual views
@@ -180,19 +199,25 @@ class TreeInspector:
     # ------------------------------------------------------------------
     # the full dashboard
     # ------------------------------------------------------------------
+    def server_table(self) -> str:
+        """The served-engine admission table (see
+        :func:`repro.metrics.server.format_server_load`)."""
+        return _format_server(self.server, self.name)
+
     def dashboard(self) -> str:
-        return "\n\n".join(
-            [
-                self.levels_table(),
-                self.persistence_table(),
-                self.io_table(),
-                self.cache_table(),
-                self.attack_surface_table(),
-                self.read_path_table(),
-                self.write_path_table(),
-                self.compaction_history(),
-            ]
-        )
+        sections = [
+            self.levels_table(),
+            self.persistence_table(),
+            self.io_table(),
+            self.cache_table(),
+            self.attack_surface_table(),
+            self.read_path_table(),
+            self.write_path_table(),
+            self.compaction_history(),
+        ]
+        if self.server is not None:
+            sections.append(self.server_table())
+        return "\n\n".join(sections)
 
 
 class ShardInspector:
@@ -204,9 +229,14 @@ class ShardInspector:
     single-tree dashboard.
     """
 
-    def __init__(self, engine: "ShardedEngine", name: str = "sharded") -> None:
+    def __init__(
+        self, engine: "ShardedEngine", name: str = "sharded", server=None
+    ) -> None:
         self.engine = engine
         self.name = name
+        #: Optional EngineServer (or server_report() dict) to render the
+        #: admission table for; see :meth:`server_table`.
+        self.server = server
 
     def shards_table(self) -> str:
         """One row per shard: range, size, policy, and D_th compliance.
@@ -429,6 +459,11 @@ class ShardInspector:
         )
         return f"{table}\n\n{activity}"
 
+    def server_table(self) -> str:
+        """The served-engine admission table (see
+        :func:`repro.metrics.server.format_server_load`)."""
+        return _format_server(self.server, self.name)
+
     def dashboard(self, per_shard: bool = False) -> str:
         """The shard overview; ``per_shard`` appends every shard's full
         single-tree dashboard."""
@@ -437,6 +472,8 @@ class ShardInspector:
             sections.append(self.memory_table())
         if getattr(self.engine, "_tuner", None) is not None:
             sections.append(self.policy_table())
+        if self.server is not None:
+            sections.append(self.server_table())
         if per_shard:
             for index, shard in enumerate(self.engine.shards):
                 sections.append(

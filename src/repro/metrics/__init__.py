@@ -15,6 +15,7 @@ from repro.metrics.amplification import (
 )
 from repro.metrics.readpath import format_cache, format_read_path, read_path_report
 from repro.metrics.reporting import format_table, print_table, sparkline
+from repro.metrics.server import format_server_load, server_load_report
 from repro.metrics.shape import LevelSummary, tree_shape
 from repro.metrics.timeline import Timeline, TimelineSampler
 from repro.metrics.writepath import format_workers, format_write_path, write_path_report
@@ -27,6 +28,7 @@ __all__ = [
     "bytes_on_disk",
     "format_cache",
     "format_read_path",
+    "format_server_load",
     "format_table",
     "format_workers",
     "format_write_path",
@@ -35,6 +37,7 @@ __all__ = [
     "read_cost_breakdown",
     "read_path_report",
     "print_table",
+    "server_load_report",
     "space_amplification",
     "sparkline",
     "tree_shape",

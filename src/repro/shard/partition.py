@@ -90,6 +90,21 @@ class PartitionMap:
             return iter(())
         return iter(range(self.shard_for(lo), self.shard_for(hi) + 1))
 
+    def executor_map(self, workers: int) -> list[int]:
+        """Worker index owning each shard under a ``workers``-wide pool.
+
+        The fixed round-robin assignment (``shard i -> worker i % W``)
+        the served engine and the shard-affine replay pool both use: it
+        is stable across calls (ownership never migrates while a topology
+        holds), covers every shard, and gives each worker a contiguous
+        stride of the key order when ``W`` divides the shard count.  One
+        shard maps to exactly one worker, which is what makes
+        per-shard state single-writer without cross-worker locking.
+        """
+        if workers < 1:
+            raise ConfigError(f"worker count must be >= 1, got {workers}")
+        return [index % workers for index in range(self.shards)]
+
     # ------------------------------------------------------------------
     # rebalancing
     # ------------------------------------------------------------------

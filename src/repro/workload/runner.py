@@ -47,6 +47,10 @@ class WorkloadResult:
     per_kind: dict[OpKind, OpKindStats] = field(default_factory=dict)
     operations: int = 0
     wall_seconds: float = 0.0
+    #: Served-mode extras (``run_workload(connect=...)`` only): client
+    #: count, per-request wall latencies in microseconds, and the
+    #: client-side shed/reconnect counters.  None for embedded replays.
+    served: dict | None = None
 
     def kind(self, kind: OpKind) -> OpKindStats:
         return self.per_kind.setdefault(kind, OpKindStats())
@@ -73,6 +77,8 @@ def run_workload(
     ingest_batch: int | None = None,
     writers: int | None = None,
     secondary_delete_method: str = "auto",
+    connect: str | None = None,
+    clients: int | None = None,
 ) -> WorkloadResult:
     """Execute ``operations`` against ``engine`` with per-kind accounting.
 
@@ -112,9 +118,41 @@ def run_workload(
     so a silently serial (or thread-racing) replay would fire them at
     different points than the caller armed them for.  Takes precedence
     over ``ingest_batch``.
+
+    ``connect``: when set (``"HOST:PORT"``), the stream replays against a
+    live :class:`~repro.server.core.EngineServer` at that address instead
+    of an embedded engine -- pass ``engine=None``.  ``clients`` (default
+    1) concurrent connections replay consecutive ingest chunks with the
+    same shard-affine partitioning ``writers`` uses (the server's
+    partition map decides, fetched via ping), each connection pipelining
+    its lane; non-ingest operations are barriers executed on the calling
+    thread.  Per-key order therefore matches the serial replay and final
+    served contents are digest-equivalent to the embedded ones.  Modeled
+    microseconds come from the per-request server-side cost in each
+    response (exact per-kind attribution); page counts are not carried
+    over the wire and stay 0.  Wall latencies and client-side
+    shed/reconnect counters land in :attr:`WorkloadResult.served`.
     """
     result = WorkloadResult()
     started = time.perf_counter()
+    if connect is not None:
+        if engine is not None:
+            raise WorkloadError(
+                "run_workload(connect=...) drives a remote server; pass "
+                "engine=None (an embedded engine cannot apply remotely)"
+            )
+        _run_served(
+            connect,
+            operations,
+            secondary_delete_window,
+            max(1, clients or 1),
+            result,
+            secondary_delete_method,
+        )
+        result.wall_seconds = time.perf_counter() - started
+        return result
+    if clients is not None:
+        raise WorkloadError("run_workload(clients=...) requires connect=...")
     if writers is not None and writers >= 2:
         if getattr(engine, "faults", None) is not None:
             raise WorkloadError(
@@ -328,6 +366,133 @@ def _run_multi(
         drain()
         _run_one(engine, op, window, result, method)
     drain()
+
+
+def _run_served(
+    address: str,
+    operations: Iterable[Operation],
+    window: float,
+    clients: int,
+    result: WorkloadResult,
+    method: str = "auto",
+) -> None:
+    """Replay against a live server with ``clients`` pipelined connections.
+
+    Mirrors :func:`_run_multi`'s structure one-for-one -- consecutive
+    ingest chunks partition shard-affinely across client connections (the
+    server's partition map routes, so one shard's keys stay on one
+    connection in stream order), non-ingest operations barrier on the
+    calling thread -- which is what keeps a served replay
+    digest-equivalent to an embedded one.  Attribution is exact, not
+    pooled: every response carries the modeled microseconds its request
+    cost on the server.
+    """
+    import threading
+
+    from repro.server.client import EngineClient
+    from repro.server.protocol import Op
+    from repro.shard.partition import PartitionMap
+
+    latencies: list[float] = []
+    modeled: list[float] = []
+    served: dict = {"address": address, "clients": clients}
+    with EngineClient(address, pool_size=clients) as client:
+        info = client.ping()  # readiness + topology in one round trip
+        pmap = PartitionMap(list(info["boundaries"]))
+        conns = [client.acquire() for _ in range(clients)]
+        pending: list[Operation] = []
+        try:
+
+            def drain() -> None:
+                if not pending:
+                    return
+                lanes: list[list[tuple[OpKind, tuple[int, object]]]] = [
+                    [] for _ in range(clients)
+                ]
+                for op in pending:
+                    if op.kind is OpKind.POINT_DELETE:
+                        request = (Op.DELETE, (op.key,))
+                    else:
+                        request = (Op.PUT, (op.key, op.value, None))
+                    lanes[pmap.shard_for(op.key) % clients].append((op.kind, request))
+                outcomes: list[list | None] = [None] * clients
+                errors: list[BaseException] = []
+
+                def lane_worker(index: int) -> None:
+                    try:
+                        outcomes[index] = conns[index].pipeline(
+                            [request for _, request in lanes[index]]
+                        )
+                    except BaseException as exc:  # surfaced below
+                        errors.append(exc)
+
+                busy = [i for i in range(clients) if lanes[i]]
+                if len(busy) == 1:
+                    lane_worker(busy[0])
+                else:
+                    threads = [
+                        threading.Thread(
+                            target=lane_worker, args=(i,), name=f"repro-client-{i}"
+                        )
+                        for i in busy
+                    ]
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join()
+                if errors:
+                    raise errors[0]
+                for lane, outcome in zip(lanes, outcomes):
+                    if outcome is None:
+                        continue
+                    for (kind, _), call in zip(lane, outcome):
+                        agg = result.kind(kind)
+                        agg.count += 1
+                        agg.modeled_us += call.cost_us
+                        latencies.append(call.wall_us)
+                        modeled.append(call.cost_us)
+                result.operations += len(pending)
+                pending.clear()
+
+            def barrier_op(op: Operation) -> None:
+                conn = conns[0]
+                kind = op.kind
+                if kind is OpKind.POINT_QUERY or kind is OpKind.EMPTY_QUERY:
+                    call = conn.call(Op.GET, (op.key,))
+                    returned = 1 if call.result[0] else 0
+                elif kind is OpKind.RANGE_QUERY:
+                    call = conn.call(Op.SCAN, (op.key, op.key_hi, None, False))
+                    returned = len(call.result)
+                elif kind is OpKind.SECONDARY_RANGE_DELETE:
+                    now = conn.call(Op.PING, None).result["tick"]
+                    hi = max(0, int(now * window))
+                    call = conn.call(Op.DELETE_RANGE, (0, hi, method))
+                    returned = call.result["entries_deleted"]
+                else:  # pragma: no cover - _BATCHABLE ops never reach here
+                    raise ValueError(f"unhandled operation kind {kind}")
+                agg = result.kind(kind)
+                agg.count += 1
+                agg.modeled_us += call.cost_us
+                agg.results_returned += returned
+                latencies.append(call.wall_us)
+                modeled.append(call.cost_us)
+                result.operations += 1
+
+            for op in operations:
+                if op.kind in _BATCHABLE:
+                    pending.append(op)
+                    continue
+                drain()
+                barrier_op(op)
+            drain()
+            served["sheds_seen"] = sum(c.sheds_seen for c in conns)
+            served["reconnects"] = sum(c.reconnects for c in conns)
+        finally:
+            for conn in conns:
+                client.release(conn)
+    served["latencies_us"] = latencies
+    served["modeled_latencies_us"] = modeled
+    result.served = served
 
 
 def _apply(
